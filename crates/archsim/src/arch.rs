@@ -1,0 +1,435 @@
+//! Device specifications: Table II parameters + calibrated cost constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibrated cost constants of one device.
+///
+/// Calibration targets the paper's Table IV (per-level times on the
+/// 8 M-vertex / 128 M-edge R-MAT graph); DESIGN.md §5 lists the phenomena
+/// each constant pins down. Rates are whole-device rates at saturation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Fixed cost per BFS level: kernel launch + barrier (GPU ≈ 230 µs,
+    /// CPU ≈ 700 µs in Table IV's tiny levels).
+    pub level_overhead_s: f64,
+    /// Top-down edge examinations per second at saturation. TD scatters
+    /// (atomic parent claims), so this is well below streaming bandwidth.
+    pub td_edge_rate: f64,
+    /// Edges per second a *single thread* walks while expanding one
+    /// vertex's adjacency. Top-down parallelizes over frontier vertices,
+    /// so a level cannot finish before its highest-degree vertex is done:
+    /// `serial_term = max_frontier_degree / td_serial_edge_rate`. This is
+    /// what makes the paper's GPUTD level 2 cost 0.158 s — one weak Kepler
+    /// thread crawling a ~400 K-degree hub — while the CPU clears the same
+    /// level in ~2 ms, and it is the entire reason `CPUTD+GPUCB` exists.
+    pub td_serial_edge_rate: f64,
+    /// Bottom-up neighbor probes per second against a *dense* frontier
+    /// bitmap (coalesced adjacency streaming, most probes hit quickly).
+    pub bu_probe_rate: f64,
+    /// Slowdown factor for probing against an (asymptotically) *empty*
+    /// frontier bitmap: the effective probe rate is
+    /// `bu_probe_rate / (1 + penalty × (1 − min(1, density/saturation)))`.
+    /// This is the paper's RCMB-mismatch pathology (§IV): at level 1 the
+    /// one-bit frontier makes every probe a divergent full-adjacency miss
+    /// (GPUBU spends 97 % of its time in two levels), while at the dense
+    /// middle levels the same kernel streams at full bandwidth. Zero for
+    /// the CPU — its deep cache hierarchy hides the sparse case.
+    pub bu_sparse_penalty: f64,
+    /// Frontier density (`|V|cq / |V|`) at which the probe rate saturates.
+    pub bu_density_saturation: f64,
+    /// Bottom-up outer-loop vertex scans per second (the per-level floor of
+    /// scanning all `|V|` visited flags).
+    pub bu_scan_rate: f64,
+    /// Parallel execution units (cores on CPU/MIC, scalar cores on GPU).
+    pub parallel_units: f64,
+    /// Concurrency extracted per frontier vertex in top-down (1 thread per
+    /// vertex on CPU/MIC; a 32-wide warp per vertex on the GPU). Governs
+    /// how badly small frontiers underutilize the device.
+    pub threads_per_vertex: f64,
+}
+
+/// One architecture: identity, the paper's Table II feature block, and the
+/// calibrated cost constants.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Human-readable name ("CPU", "GPU", "MIC").
+    pub name: String,
+    /// Clock in GHz (Table II row 1).
+    pub frequency_ghz: f64,
+    /// Single-precision peak GFLOP/s (the regression feature `P` of Fig. 7).
+    pub sp_peak_gflops: f64,
+    /// Double-precision peak GFLOP/s.
+    pub dp_peak_gflops: f64,
+    /// L1 cache per core in KB (the regression feature `L1` of Fig. 7).
+    pub l1_kb: f64,
+    /// L2 cache in KB (per core for CPU/MIC, per card for GPU).
+    pub l2_kb: f64,
+    /// L3 cache in MB (0 on MIC/GPU).
+    pub l3_mb: f64,
+    /// Theoretical memory bandwidth in GB/s.
+    pub theoretical_bw_gbs: f64,
+    /// Measured memory bandwidth in GB/s (the regression feature `B`).
+    pub measured_bw_gbs: f64,
+    /// Physical cores.
+    pub cores: u32,
+    /// Calibrated cost constants.
+    pub cost: CostParams,
+}
+
+impl ArchSpec {
+    /// 8-core Intel Sandy Bridge CPU (Table II column 1).
+    ///
+    /// Cost calibration (Table IV):
+    /// * `level_overhead` 0.7 ms — CPUTD level 1 (frontier of one vertex).
+    /// * `td_edge_rate` 1.65 G/s — CPUTD levels 3–4 (~120 M edges, ~73 ms).
+    /// * `bu_probe_rate` 5.0 G/s — CPUBU level 1 (~250 M probes, ~50 ms
+    ///   above the scan floor): probes stream sorted adjacency.
+    /// * `bu_scan_rate` 1.6 G/s — CPUBU tail levels (~5 ms for 8 M scans).
+    pub fn cpu_sandy_bridge() -> Self {
+        Self {
+            name: "CPU".into(),
+            frequency_ghz: 2.00,
+            sp_peak_gflops: 256.0,
+            dp_peak_gflops: 128.0,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_mb: 20.0,
+            theoretical_bw_gbs: 51.2,
+            measured_bw_gbs: 34.0,
+            cores: 8,
+            cost: CostParams {
+                level_overhead_s: 7.0e-4,
+                td_edge_rate: 1.65e9,
+                td_serial_edge_rate: 2.1e8,
+                bu_probe_rate: 5.0e9,
+                bu_sparse_penalty: 0.0,
+                bu_density_saturation: 0.05,
+                bu_scan_rate: 1.6e9,
+                parallel_units: 8.0,
+                threads_per_vertex: 1.0,
+            },
+        }
+    }
+
+    /// NVIDIA Kepler K20x GPU (Table II column 3).
+    ///
+    /// Cost calibration (Table IV):
+    /// * `level_overhead` 230 µs — GPUTD levels 1/7/8 are pure launch cost.
+    /// * `td_edge_rate` 0.46 G/s — GPUTD level 4 (~120 M edges, 0.26 s):
+    ///   atomic scatter with warp divergence is the GPU's weak spot.
+    /// * `bu_probe_rate` 7 G/s dense with `bu_sparse_penalty` 11.5, so the
+    ///   effective rate collapses to 0.56 G/s against a near-empty frontier
+    ///   — GPUBU level 1 (~250 M probes, 0.44 s), the paper's
+    ///   RCMB-mismatch pathology — while the middle levels (density
+    ///   saturates at 10 % of |V| in the frontier, per the GPUBU level-3
+    ///   cell) run faster than the CPU (10.7 ms vs CPUBU's 15.3 ms).
+    /// * `bu_scan_rate` 5.3 G/s — GPUBU tail levels (1.5 ms per level):
+    ///   streaming the visited array is where the GPU's bandwidth shows,
+    ///   and is why GPU bottom-up wins the middle levels ~3×.
+    /// * `threads_per_vertex` 32 — warp-per-vertex gathering, so a frontier
+    ///   of `k` vertices activates `32 k` of the 2496 scalar cores.
+    pub fn gpu_k20x() -> Self {
+        Self {
+            name: "GPU".into(),
+            frequency_ghz: 0.73,
+            sp_peak_gflops: 3950.0,
+            dp_peak_gflops: 1320.0,
+            l1_kb: 64.0,
+            l2_kb: 1536.0,
+            l3_mb: 0.0,
+            theoretical_bw_gbs: 250.0,
+            measured_bw_gbs: 188.0,
+            cores: 2496,
+            cost: CostParams {
+                level_overhead_s: 2.3e-4,
+                td_edge_rate: 4.6e8,
+                td_serial_edge_rate: 2.5e6,
+                bu_probe_rate: 7.0e9,
+                bu_sparse_penalty: 11.5,
+                bu_density_saturation: 0.1,
+                bu_scan_rate: 5.3e9,
+                parallel_units: 2496.0,
+                threads_per_vertex: 32.0,
+            },
+        }
+    }
+
+    /// 61-core Intel Knights Corner MIC (Table II column 2).
+    ///
+    /// Calibrated from §V-C: a MIC core is ~20× weaker than a Sandy Bridge
+    /// core (2× clock, 2× no dual-issue, ~5× no L3/out-of-order), 60 usable
+    /// cores, and the paper's Table VI MIC-vs-CPU GTEPS gap (~3.5×). High
+    /// per-level overhead reflects 240-thread OpenMP barriers.
+    pub fn mic_knights_corner() -> Self {
+        Self {
+            name: "MIC".into(),
+            frequency_ghz: 1.09,
+            sp_peak_gflops: 2020.0,
+            dp_peak_gflops: 1010.0,
+            l1_kb: 32.0,
+            l2_kb: 512.0,
+            l3_mb: 0.0,
+            theoretical_bw_gbs: 352.0,
+            measured_bw_gbs: 159.0,
+            cores: 61,
+            cost: CostParams {
+                level_overhead_s: 1.8e-3,
+                td_edge_rate: 4.8e8,
+                td_serial_edge_rate: 1.0e7,
+                bu_probe_rate: 2.0e9,
+                bu_sparse_penalty: 3.0,
+                bu_density_saturation: 0.1,
+                bu_scan_rate: 4.5e8,
+                parallel_units: 60.0,
+                threads_per_vertex: 4.0,
+            },
+        }
+    }
+
+    /// Derive a spec running on `cores` of this device's cores (for the
+    /// Fig. 10 scaling study): whole-device rates scale linearly; per-level
+    /// overhead and per-vertex concurrency stay fixed.
+    ///
+    /// # Panics
+    /// Panics if `cores` is 0 or exceeds the physical core count.
+    pub fn with_cores(&self, cores: u32) -> Self {
+        assert!(
+            cores >= 1 && cores <= self.cores,
+            "cores must be in 1..={}, got {cores}",
+            self.cores
+        );
+        let f = cores as f64 / self.cores as f64;
+        let mut spec = self.clone();
+        spec.name = format!("{}x{}", self.name, cores);
+        spec.cores = cores;
+        spec.cost.td_edge_rate *= f;
+        spec.cost.bu_probe_rate *= f;
+        spec.cost.bu_scan_rate *= f;
+        spec.cost.parallel_units = (self.cost.parallel_units * f).max(1.0);
+        spec
+    }
+
+    /// Time to run one *top-down* level that examines `edges` edges from a
+    /// frontier of `frontier_vertices` vertices whose largest degree is
+    /// `max_frontier_degree`.
+    ///
+    /// `overhead + max(throughput_term, serial_term)`:
+    ///
+    /// * `throughput_term = edges / (td_edge_rate × util)` with
+    ///   `util = min(1, frontier_vertices × threads_per_vertex / units)` —
+    ///   a tiny frontier cannot occupy the device, which is why the GPU
+    ///   loses the early levels to the CPU (Table IV) and wins them back
+    ///   at the tail (lower launch overhead);
+    /// * `serial_term = max_frontier_degree / td_serial_edge_rate` — the
+    ///   level's critical path is its biggest hub walked by one thread,
+    ///   the paper's GPUTD level-2 blowup (0.158 s).
+    pub fn td_level_time(
+        &self,
+        frontier_vertices: u64,
+        edges: u64,
+        max_frontier_degree: u64,
+    ) -> f64 {
+        let c = &self.cost;
+        let util = ((frontier_vertices as f64 * c.threads_per_vertex)
+            / c.parallel_units)
+            .min(1.0)
+            .max(1.0 / c.parallel_units);
+        let throughput = edges as f64 / (c.td_edge_rate * util);
+        let serial = max_frontier_degree as f64 / c.td_serial_edge_rate;
+        c.level_overhead_s + throughput.max(serial)
+    }
+
+    /// Time to run one *bottom-up* level that scans `vertex_scans` visited
+    /// flags and performs `probes` neighbor probes against a frontier of
+    /// `frontier_vertices` vertices.
+    ///
+    /// Bottom-up parallelizes over the whole vertex range, so it always
+    /// saturates the device:
+    /// `overhead + scans/scan_rate + probes/effective_probe_rate`, where
+    /// the effective probe rate degrades with frontier sparsity (see
+    /// [`CostParams::bu_sparse_penalty`]).
+    pub fn bu_level_time(
+        &self,
+        vertex_scans: u64,
+        probes: u64,
+        frontier_vertices: u64,
+    ) -> f64 {
+        let c = &self.cost;
+        let density = if vertex_scans == 0 {
+            1.0
+        } else {
+            frontier_vertices as f64 / vertex_scans as f64
+        };
+        let slowdown = 1.0
+            + c.bu_sparse_penalty
+                * (1.0 - (density / c.bu_density_saturation).min(1.0));
+        c.level_overhead_s
+            + vertex_scans as f64 / c.bu_scan_rate
+            + probes as f64 * slowdown / c.bu_probe_rate
+    }
+
+    /// The architecture feature triple the paper feeds the regression
+    /// (Fig. 7): peak performance, L1 size, measured bandwidth.
+    pub fn feature_triple(&self) -> [f64; 3] {
+        [self.sp_peak_gflops, self.l1_kb, self.measured_bw_gbs]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table2() {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let mic = ArchSpec::mic_knights_corner();
+        let gpu = ArchSpec::gpu_k20x();
+        assert_eq!(cpu.measured_bw_gbs, 34.0);
+        assert_eq!(mic.measured_bw_gbs, 159.0);
+        assert_eq!(gpu.measured_bw_gbs, 188.0);
+        assert_eq!(cpu.cores, 8);
+        assert_eq!(mic.cores, 61);
+        assert_eq!(gpu.cores, 2496);
+        assert_eq!(gpu.l3_mb, 0.0);
+    }
+
+    #[test]
+    fn tiny_td_level_is_pure_overhead() {
+        let gpu = ArchSpec::gpu_k20x();
+        let t = gpu.td_level_time(1, 30, 30);
+        // Paper Table IV: GPUTD level 1 = 230 µs.
+        assert!((t - 2.3e-4).abs() / 2.3e-4 < 0.1, "got {t}");
+    }
+
+    #[test]
+    fn huge_td_level_matches_table4_gpu() {
+        let gpu = ArchSpec::gpu_k20x();
+        // Level-4-like: ~120 M edges from a 4 M-vertex frontier → ~0.26 s.
+        let t = gpu.td_level_time(4_000_000, 120_000_000, 600);
+        assert!((0.2..0.33).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn huge_td_level_matches_table4_cpu() {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let t = cpu.td_level_time(4_000_000, 120_000_000, 600);
+        // Paper: ~0.073 s.
+        assert!((0.06..0.09).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn bu_level1_pathology() {
+        // GPUBU level 1 must be catastrophically slower than CPUBU level 1
+        // (paper: 0.44 s vs 0.054 s on the 8 M / 128 M graph).
+        let gpu = ArchSpec::gpu_k20x();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let scans = 8_000_000;
+        let probes = 250_000_000;
+        // Level 1: the frontier is the lone source vertex.
+        let tg = gpu.bu_level_time(scans, probes, 1);
+        let tc = cpu.bu_level_time(scans, probes, 1);
+        assert!((0.3..0.6).contains(&tg), "gpu {tg}");
+        assert!((0.04..0.08).contains(&tc), "cpu {tc}");
+        assert!(tg / tc > 5.0);
+    }
+
+    #[test]
+    fn gpu_wins_bu_steady_state() {
+        // Tail BU levels: few probes, the scan floor dominates, GPU ~3×
+        // faster (paper: 1.5 ms vs 5 ms).
+        let gpu = ArchSpec::gpu_k20x();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let tg = gpu.bu_level_time(8_000_000, 100_000, 1_000);
+        let tc = cpu.bu_level_time(8_000_000, 100_000, 1_000);
+        assert!(tc / tg > 2.0, "cpu {tc} gpu {tg}");
+    }
+
+    #[test]
+    fn gpu_wins_dense_middle_bu_levels() {
+        // Peak levels: dense frontier, moderate probes — the GPU's probe
+        // rate recovers and it beats the CPU ~1.5–2× (paper: GPUBU level 3
+        // at 10.7 ms vs CPUBU 15.3 ms).
+        let gpu = ArchSpec::gpu_k20x();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let scans = 8_000_000;
+        let probes = 25_000_000;
+        let frontier = 4_000_000; // density 0.5 — saturated
+        let tg = gpu.bu_level_time(scans, probes, frontier);
+        let tc = cpu.bu_level_time(scans, probes, frontier);
+        assert!(tc / tg > 1.3, "cpu {tc} gpu {tg}");
+        // ...while the same probe volume on a near-empty frontier flips the
+        // ordering hard.
+        let tg_sparse = gpu.bu_level_time(scans, probes, 10);
+        assert!(tg_sparse / tg > 5.0, "sparse {tg_sparse} dense {tg}");
+    }
+
+    #[test]
+    fn gpu_wins_tiny_td_tail() {
+        // Tail TD levels: overhead only, GPU's 230 µs beats CPU's 700 µs —
+        // the reason CPUTD+GPUCB stays on the GPU at the end (Table IV).
+        let gpu = ArchSpec::gpu_k20x();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        assert!(gpu.td_level_time(5, 80, 40) < cpu.td_level_time(5, 80, 40));
+    }
+
+    #[test]
+    fn cpu_wins_small_td_levels() {
+        // Level-2-like: moderate edges from a tiny frontier → the GPU
+        // cannot occupy its cores and loses big (paper: 21 ms vs 1.9 ms).
+        let gpu = ArchSpec::gpu_k20x();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let tg = gpu.td_level_time(30, 3_000_000, 400_000);
+        let tc = cpu.td_level_time(30, 3_000_000, 400_000);
+        assert!(tg / tc > 4.0, "gpu {tg} cpu {tc}");
+    }
+
+    #[test]
+    fn with_cores_scales_rates() {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let half = cpu.with_cores(4);
+        assert_eq!(half.cores, 4);
+        assert!((half.cost.td_edge_rate - cpu.cost.td_edge_rate / 2.0).abs() < 1.0);
+        assert_eq!(half.cost.level_overhead_s, cpu.cost.level_overhead_s);
+        // Big saturated level takes ~2× longer on half the cores.
+        let full_t = cpu.td_level_time(4_000_000, 100_000_000, 600);
+        let half_t = half.td_level_time(4_000_000, 100_000_000, 600);
+        let ratio = (half_t - 7e-4) / (full_t - 7e-4);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be")]
+    fn with_cores_rejects_zero() {
+        ArchSpec::cpu_sandy_bridge().with_cores(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be")]
+    fn with_cores_rejects_oversubscription() {
+        ArchSpec::cpu_sandy_bridge().with_cores(9);
+    }
+
+    #[test]
+    fn mic_is_slowest_combination_platform() {
+        // MIC has the worst small-level overhead AND a weak TD rate —
+        // the paper's Fig. 9 shows MIC combinations losing across the board.
+        let mic = ArchSpec::mic_knights_corner();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        assert!(mic.cost.level_overhead_s > cpu.cost.level_overhead_s);
+        assert!(mic.cost.td_edge_rate < cpu.cost.td_edge_rate);
+    }
+
+    #[test]
+    fn feature_triple_order() {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        assert_eq!(cpu.feature_triple(), [256.0, 32.0, 34.0]);
+    }
+
+    #[test]
+    fn util_floor_prevents_divide_blowup() {
+        // Even a frontier of 0 vertices (degenerate) must yield finite time.
+        let gpu = ArchSpec::gpu_k20x();
+        let t = gpu.td_level_time(0, 0, 0);
+        assert!(t.is_finite() && t >= gpu.cost.level_overhead_s);
+    }
+}

@@ -1,0 +1,41 @@
+//! Architecture cost-model simulator.
+//!
+//! The paper's numbers come from three devices we do not have — an 8-core
+//! Sandy Bridge CPU, a 61-core Knights Corner MIC and a Kepler K20x GPU.
+//! This crate substitutes a *calibrated cost model*: the BFS traversal is
+//! executed for real (frontiers, probe counts and edge examinations come
+//! from `xbfs-engine` on the actual graph), and each level is then *charged*
+//! simulated time from per-architecture constants. See DESIGN.md §2 for the
+//! substitution argument and §5 for the phenomena the calibration pins down.
+//!
+//! The pieces:
+//!
+//! * [`ArchSpec`] — one device: the paper's Table II parameters (used as
+//!   regression features) plus calibrated cost constants (used to charge
+//!   time). Presets: [`ArchSpec::cpu_sandy_bridge`], [`ArchSpec::gpu_k20x`],
+//!   [`ArchSpec::mic_knights_corner`].
+//! * [`Link`] — host↔device transfer model (latency + bytes/bandwidth),
+//!   charged whenever the cross-architecture executor moves frontier state.
+//! * [`TraversalProfile`] — the exact per-level work of a BFS from a given
+//!   source, *for both directions at once*. BFS level sets are
+//!   direction-independent, so one O(V+E) profiling pass determines the
+//!   top-down cost and the bottom-up cost of every level; any switching
+//!   script can then be costed in O(depth) without re-traversing. This is
+//!   what makes the paper's exhaustive 1000-point searches (Fig. 8)
+//!   tractable inside the simulator.
+//! * [`cost`] — costing of direction scripts and `(M, N)` policies against
+//!   a profile on a device.
+
+pub mod arch;
+pub mod calibration;
+pub mod cost;
+pub mod link;
+pub mod model_policy;
+pub mod profile;
+pub mod roofline;
+
+pub use arch::{ArchSpec, CostParams};
+pub use cost::{cost_fixed_mn, cost_script, script_for_fixed_mn, LevelCost};
+pub use link::Link;
+pub use model_policy::CostModelPolicy;
+pub use profile::{profile, LevelProfile, TraversalProfile};

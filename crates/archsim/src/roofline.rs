@@ -1,0 +1,120 @@
+//! The paper's §III-B bottleneck analysis: RCMA vs RCMB.
+//!
+//! BFS viewed as sparse matrix-vector multiplication has a *ratio of
+//! computation to memory access* (RCMA) of ~0.5 flops/byte — for an `n×n`
+//! matrix, `n(2n−1)` operations against `4(n² + n)` bytes fetched
+//! (Equation 1). Every evaluated architecture has a far higher *ratio of
+//! computation to memory bandwidth* (RCMB = peak performance / measured
+//! bandwidth, Equation 2 as tabulated in Table II): the kernel is
+//! memory-bound everywhere, and the higher a device's RCMB the more of its
+//! compute sits idle — the paper's explanation for the GPU's bottom-up
+//! level-1 penalty.
+
+use crate::ArchSpec;
+
+/// Floating-point precision for the RCMB computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// Single precision (the paper's SP rows).
+    Single,
+    /// Double precision.
+    Double,
+}
+
+/// RCMA of dense matrix-vector multiplication over `n×n` with 4-byte
+/// elements: `n(2n−1) / 4(n² + n)` (the paper's Equation 1). Tends to 0.5.
+pub fn spmv_rcma(n: u64) -> f64 {
+    assert!(n > 0, "matrix dimension must be positive");
+    let n = n as f64;
+    (n * (2.0 * n - 1.0)) / (4.0 * (n * n + n))
+}
+
+/// The paper's headline RCMA constant for BFS-as-SpMV.
+pub const BFS_RCMA: f64 = 0.5;
+
+/// RCMB of a device (Equation 2, computed against *measured* bandwidth as
+/// in Table II's bottom rows).
+pub fn rcmb(arch: &ArchSpec, precision: Precision) -> f64 {
+    let peak_gflops = match precision {
+        Precision::Single => arch.sp_peak_gflops,
+        Precision::Double => arch.dp_peak_gflops,
+    };
+    peak_gflops / arch.measured_bw_gbs
+}
+
+/// How memory-bound BFS is on a device: RCMB / RCMA. Values ≫ 1 mean the
+/// bandwidth cannot feed the cores; the paper argues the mismatch grows
+/// with RCMB and "intensifies" the penalty (§IV).
+pub fn memory_bound_factor(arch: &ArchSpec, precision: Precision) -> f64 {
+    rcmb(arch, precision) / BFS_RCMA
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcma_tends_to_half() {
+        // Equation 1's worked example: "If an integer is 4 bytes, the
+        // RCMA is … = 0.5".
+        assert!((spmv_rcma(1_000_000) - 0.5).abs() < 1e-5);
+        assert!(spmv_rcma(10) < 0.5);
+        // Monotone approach from below.
+        assert!(spmv_rcma(100) < spmv_rcma(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rcma_rejects_zero() {
+        spmv_rcma(0);
+    }
+
+    #[test]
+    fn rcmb_matches_table2_sp_row() {
+        // Table II: SP RCMB 7.52 / 12.70 / 21.01 for CPU / MIC / GPU.
+        let cpu = rcmb(&ArchSpec::cpu_sandy_bridge(), Precision::Single);
+        let mic = rcmb(&ArchSpec::mic_knights_corner(), Precision::Single);
+        let gpu = rcmb(&ArchSpec::gpu_k20x(), Precision::Single);
+        assert!((cpu - 7.52).abs() < 0.02, "cpu {cpu}");
+        assert!((mic - 12.70).abs() < 0.02, "mic {mic}");
+        assert!((gpu - 21.01).abs() < 0.02, "gpu {gpu}");
+    }
+
+    #[test]
+    fn rcmb_matches_table2_dp_row() {
+        // Table II: DP RCMB 3.76 / 6.35 / 7.02.
+        let cpu = rcmb(&ArchSpec::cpu_sandy_bridge(), Precision::Double);
+        let mic = rcmb(&ArchSpec::mic_knights_corner(), Precision::Double);
+        let gpu = rcmb(&ArchSpec::gpu_k20x(), Precision::Double);
+        assert!((cpu - 3.76).abs() < 0.02, "cpu {cpu}");
+        assert!((mic - 6.35).abs() < 0.02, "mic {mic}");
+        assert!((gpu - 7.02).abs() < 0.02, "gpu {gpu}");
+    }
+
+    #[test]
+    fn every_device_is_memory_bound_on_bfs() {
+        // §III-B's conclusion: "the limited memory bandwidth may not match
+        // the high processing power" — RCMB ≫ RCMA everywhere.
+        for arch in [
+            ArchSpec::cpu_sandy_bridge(),
+            ArchSpec::mic_knights_corner(),
+            ArchSpec::gpu_k20x(),
+        ] {
+            assert!(
+                memory_bound_factor(&arch, Precision::Single) > 10.0,
+                "{} unexpectedly balanced",
+                arch.name
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_has_the_worst_mismatch() {
+        // The ordering behind the paper's GPUBU penalty argument.
+        let f = |a: ArchSpec| memory_bound_factor(&a, Precision::Single);
+        let cpu = f(ArchSpec::cpu_sandy_bridge());
+        let mic = f(ArchSpec::mic_knights_corner());
+        let gpu = f(ArchSpec::gpu_k20x());
+        assert!(gpu > mic && mic > cpu);
+    }
+}

@@ -1,0 +1,28 @@
+//! One Criterion benchmark per paper table/figure: the cost of
+//! regenerating each experiment end-to-end on the scaled preset.
+//!
+//! These are the `cargo bench` entry points corresponding one-to-one to
+//! the `repro` subcommands (and thus to the paper's evaluation artifacts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbfs_bench::{run_experiment, Preset};
+
+fn bench_experiments(c: &mut Criterion) {
+    let preset = Preset::scaled();
+    let mut group = c.benchmark_group("regenerate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    // fig8 trains a regression model per invocation and dominates runtime;
+    // it is still included because it is a paper artifact.
+    for id in xbfs_bench::ALL_EXPERIMENTS {
+        group.bench_function(*id, |b| {
+            b.iter(|| black_box(run_experiment(id, &preset).expect("known id")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Graph 500 Kronecker generator and CSR construction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xbfs_graph::{Csr, RmatConfig, RmatGenerator};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmat_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for scale in [12u32, 14, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("edge_list", scale),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    let cfg = RmatConfig::new(scale, 16).with_seed(7);
+                    black_box(RmatGenerator::new(cfg).edge_list())
+                })
+            },
+        );
+    }
+    let edges = RmatGenerator::new(RmatConfig::new(16, 16).with_seed(7)).edge_list();
+    group.bench_function("csr_build_s16", |b| {
+        b.iter(|| black_box(Csr::from_edge_list(&edges)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

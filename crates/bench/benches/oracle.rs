@@ -1,0 +1,45 @@
+//! Profiling and exhaustive-search cost.
+//!
+//! The paper rejects runtime exhaustive search because "searching among
+//! 1,000 possible points will at least take 1,000× of BFS execution-time".
+//! Inside the simulator the level profile makes a 1,000-point sweep cheap —
+//! this bench quantifies both the one-time profile cost and the per-sweep
+//! cost that the training pipeline pays per sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbfs_archsim::{profile, ArchSpec, Link};
+use xbfs_core::oracle::{self, MnGrid};
+
+fn bench_oracle(c: &mut Criterion) {
+    let g = xbfs_graph::rmat::rmat_csr(16, 16);
+    let src = xbfs_core::training::pick_source(&g, 1).unwrap();
+    let p = profile(&g, src);
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let link = Link::pcie3();
+    let grid = MnGrid::paper_1000();
+    let pair_grid = oracle::cross_pair_grid();
+
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("profile_s16_ef16", |b| {
+        b.iter(|| black_box(profile(&g, src)))
+    });
+    group.bench_function("sweep_single_1000", |b| {
+        b.iter(|| black_box(oracle::sweep_single(&p, &cpu, &grid)))
+    });
+    group.bench_function("sweep_cross_pairs_900", |b| {
+        b.iter(|| {
+            black_box(oracle::sweep_cross_pairs(
+                &p, &cpu, &gpu, &link, &pair_grid, &pair_grid,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

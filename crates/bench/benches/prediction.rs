@@ -1,0 +1,43 @@
+//! Regression prediction and training cost.
+//!
+//! The paper's §III-E claim: prediction costs "less than 0.1% of BFS
+//! execution time" while exhaustive search costs ~1000 traversals. This
+//! bench measures the real prediction latency (microseconds against
+//! millisecond traversals), SVR training time (the one-time offline cost),
+//! and the full feature-assembly + two-model prediction path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbfs_archsim::{ArchSpec, Link};
+use xbfs_core::{
+    predictor::SwitchPredictor,
+    training::{generate, paper_arch_pairs, TrainingConfig},
+};
+use xbfs_graph::GraphStats;
+
+fn bench_prediction(c: &mut Criterion) {
+    let ts = generate(&TrainingConfig::quick(), &paper_arch_pairs(), &Link::pcie3());
+    let predictor = SwitchPredictor::train(&ts);
+    let g = xbfs_graph::rmat::rmat_csr(14, 16);
+    let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+
+    let mut group = c.benchmark_group("prediction");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("predict_single_pair", |b| {
+        b.iter(|| black_box(predictor.predict(&stats, &cpu, &gpu)))
+    });
+    group.bench_function("predict_cross_params", |b| {
+        b.iter(|| black_box(predictor.predict_cross(&stats, &cpu, &gpu)))
+    });
+    group.sample_size(10);
+    group.bench_function("train_quick_set", |b| {
+        b.iter(|| black_box(SwitchPredictor::train(&ts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--preset scaled|paper] [--artifacts DIR]
+//!
+//! EXPERIMENT: fig1 fig2 fig3 table3 fig8 table4 table5 fig9
+//!             fig10a fig10b table6 graph500 | all (default)
+//! ```
+//!
+//! Prints each experiment's rows/series plus the paper-vs-measured claim
+//! check, and writes `DIR/<id>.json` artifacts (default `artifacts/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xbfs_bench::{run_experiment, write_artifact, Preset, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let mut preset = Preset::scaled();
+    let mut artifacts_dir = PathBuf::from("artifacts");
+    let mut requested: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--preset needs a value (scaled|paper)");
+                    return ExitCode::FAILURE;
+                };
+                match Preset::from_name(&name) {
+                    Some(p) => preset = p,
+                    None => {
+                        eprintln!("unknown preset '{name}' (scaled|paper)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--artifacts" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--artifacts needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                artifacts_dir = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [EXPERIMENT ...] [--preset scaled|paper] [--artifacts DIR]\n\
+                     experiments: {} | all",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+
+    let ids: Vec<&str> = if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
+
+    println!("preset: {} (scale shift -{})", preset.name, preset.scale_shift);
+    let mut failed_claims = 0usize;
+    for id in ids {
+        let Some(result) = run_experiment(id, &preset) else {
+            eprintln!("unknown experiment '{id}'");
+            return ExitCode::FAILURE;
+        };
+        println!("{}", result.render());
+        failed_claims += result.claims.iter().filter(|c| !c.holds).count();
+        if let Err(e) = write_artifact(&artifacts_dir, &result) {
+            eprintln!("failed to write artifact for {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "artifacts written to {} ({} claim(s) flagged)",
+        artifacts_dir.display(),
+        failed_claims
+    );
+    ExitCode::SUCCESS
+}

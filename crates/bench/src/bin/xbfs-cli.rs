@@ -1,0 +1,261 @@
+//! `xbfs-cli` — command-line front end for the library.
+//!
+//! ```text
+//! xbfs-cli gen        --scale S --edgefactor E --out G.xbfs [--text]
+//! xbfs-cli info       --graph G.xbfs
+//! xbfs-cli bfs        --graph G.xbfs [--source V] [--policy td|bu|hybrid|model] [--threads T]
+//! xbfs-cli stcon      --graph G.xbfs --from A --to B
+//! xbfs-cli components --graph G.xbfs
+//! xbfs-cli adaptive   --graph G.xbfs [--source V]
+//! ```
+//!
+//! Graphs are the compact binary format by default (`io::encode_csr`);
+//! `--text` reads/writes whitespace edge lists instead.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+use xbfs_archsim::{ArchSpec, CostModelPolicy};
+use xbfs_core::{training::pick_source, AdaptiveRuntime};
+use xbfs_engine::{
+    hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN,
+    SwitchPolicy,
+};
+use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--text`.
+struct Args {
+    pairs: Vec<(String, String)>,
+    text: bool,
+}
+
+impl Args {
+    fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut text = false;
+        while let Some(arg) = argv.next() {
+            if arg == "--text" {
+                text = true;
+                continue;
+            }
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'"));
+            };
+            let Some(value) = argv.next() else {
+                return Err(format!("--{key} needs a value"));
+            };
+            pairs.push((key.to_string(), value));
+        }
+        Ok(Self { pairs, text })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+fn load_graph(args: &Args) -> Result<Csr, String> {
+    let path = args.require("graph")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if args.text {
+        let el = io::read_edge_list(BufReader::new(&bytes[..]), 0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        Ok(Csr::from_edge_list(&el))
+    } else {
+        io::decode_csr(&bytes[..]).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn source_for(args: &Args, g: &Csr) -> Result<u32, String> {
+    match args.parse_num::<u32>("source")? {
+        Some(s) if s < g.num_vertices() => Ok(s),
+        Some(s) => Err(format!("source {s} out of range")),
+        None => pick_source(g, 1).ok_or_else(|| "graph has no edges".to_string()),
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let scale: u32 = args
+        .parse_num("scale")?
+        .ok_or_else(|| "missing --scale".to_string())?;
+    let edgefactor: u32 = args.parse_num("edgefactor")?.unwrap_or(16);
+    let seed: u64 = args.parse_num("seed")?.unwrap_or(0x6500);
+    let out = args.require("out")?;
+    let cfg = RmatConfig::new(scale, edgefactor).with_seed(seed);
+    let mut generator = RmatGenerator::new(cfg);
+    if args.text {
+        let el = generator.edge_list();
+        let mut buf = Vec::new();
+        io::write_edge_list(&el, &mut buf).map_err(|e| e.to_string())?;
+        std::fs::write(out, buf).map_err(|e| e.to_string())?;
+    } else {
+        let csr = generator.csr();
+        std::fs::write(out, io::encode_csr(&csr)).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {out} (SCALE {scale}, edgefactor {edgefactor}, seed {seed:#x})");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let s = GraphStats::unknown(&g);
+    println!("vertices:        {}", g.num_vertices());
+    println!("edges:           {}", g.num_edges());
+    println!("average degree:  {:.2}", s.average_degree());
+    println!("isolated:        {}", stats::isolated_count(&g));
+    if let Some((hub, deg)) = stats::max_degree_vertex(&g) {
+        println!("max degree:      {deg} (vertex {hub})");
+    }
+    let comps = components::connected_components(&g);
+    println!("components:      {}", comps.count());
+    if let Some(giant) = comps.largest() {
+        println!("largest comp.:   {} vertices", comps.sizes[giant as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_bfs(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let src = source_for(args, &g)?;
+    let threads: usize = args.parse_num("threads")?.unwrap_or(1);
+    let policy_name = args.get("policy").unwrap_or("hybrid");
+    let mut policy: Box<dyn SwitchPolicy> = match policy_name {
+        "td" => Box::new(AlwaysTopDown),
+        "bu" => Box::new(AlwaysBottomUp),
+        "hybrid" => Box::new(FixedMN::new(14.0, 24.0)),
+        "model" => Box::new(CostModelPolicy::new(ArchSpec::cpu_sandy_bridge())),
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+
+    let start = std::time::Instant::now();
+    let t = if threads > 1 {
+        par::run(&g, src, policy.as_mut(), threads)
+    } else {
+        hybrid::run(&g, src, policy.as_mut())
+    };
+    let secs = start.elapsed().as_secs_f64();
+    validate(&g, &t.output).map_err(|e| format!("validation failed: {e}"))?;
+
+    println!(
+        "BFS from {src} ({policy_name}, {threads} thread(s)): {} vertices in {} levels, {:.3} ms",
+        t.output.visited_count(),
+        t.depth(),
+        secs * 1e3,
+    );
+    println!("directions: {:?}", t.direction_script());
+    println!("level histogram: {:?}", tree::level_histogram(&t.output));
+    println!("edges examined: {}", t.total_edges_examined());
+    Ok(())
+}
+
+fn cmd_stcon(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let a: u32 = args
+        .parse_num("from")?
+        .ok_or_else(|| "missing --from".to_string())?;
+    let b: u32 = args
+        .parse_num("to")?
+        .ok_or_else(|| "missing --to".to_string())?;
+    if a >= g.num_vertices() || b >= g.num_vertices() {
+        return Err("endpoint out of range".into());
+    }
+    match stcon::st_connectivity(&g, a, b) {
+        stcon::StResult::Connected { distance } => {
+            println!("{a} and {b} are connected: shortest path {distance} edge(s)")
+        }
+        stcon::StResult::Disconnected => println!("{a} and {b} are not connected"),
+    }
+    Ok(())
+}
+
+fn cmd_components(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let comps = components::connected_components(&g);
+    let mut sizes = comps.sizes.clone();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("{} component(s); sizes (desc, top 10): {:?}", comps.count(), &sizes[..sizes.len().min(10)]);
+    Ok(())
+}
+
+fn cmd_adaptive(args: &Args) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let src = source_for(args, &g)?;
+    let stats = GraphStats::unknown(&g);
+    println!("training switch-point predictor (quick configuration)…");
+    let rt = AdaptiveRuntime::quick_trained();
+    let params = rt.predict_params(&stats);
+    println!(
+        "predicted: handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
+        params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n
+    );
+    let run = rt.run_cross(&g, &stats, src);
+    validate(&g, &run.traversal.output).map_err(|e| format!("validation failed: {e}"))?;
+    println!(
+        "plan {:?}, simulated {:.3} ms ({:.3} ms transfer)",
+        run.placements,
+        run.total_seconds * 1e3,
+        run.transfer_seconds * 1e3,
+    );
+    Ok(())
+}
+
+const USAGE: &str = "\
+usage: xbfs-cli <command> [flags]
+commands:
+  gen        --scale S [--edgefactor E] [--seed X] --out FILE [--text]
+  info       --graph FILE [--text]
+  bfs        --graph FILE [--source V] [--policy td|bu|hybrid|model] [--threads T] [--text]
+  stcon      --graph FILE --from A --to B [--text]
+  components --graph FILE [--text]
+  adaptive   --graph FILE [--source V] [--text]";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "bfs" => cmd_bfs(&args),
+        "stcon" => cmd_stcon(&args),
+        "components" => cmd_components(&args),
+        "adaptive" => cmd_adaptive(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

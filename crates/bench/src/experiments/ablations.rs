@@ -1,0 +1,245 @@
+//! Ablation experiments on the paper's design choices (DESIGN.md §4 calls
+//! these out beyond the paper's own tables): training-set size, feature
+//! blocks, regression model class, and interconnect sensitivity.
+
+use crate::{result::Claim, ExperimentResult, Preset};
+use serde_json::json;
+use xbfs_archsim::{profile, ArchSpec, Link};
+use xbfs_core::{
+    ablation::{self, FeatureSet, TestCase},
+    oracle,
+    training::{generate, paper_arch_pairs, pick_source, TrainingConfig},
+};
+
+fn training_set(preset: &Preset) -> xbfs_core::training::TrainingSet {
+    let mut cfg = TrainingConfig::paper_sized();
+    if !preset.full_training {
+        cfg.scales = vec![10, 12, 14];
+        cfg.grid = oracle::MnGrid::coarse();
+    }
+    generate(&cfg, &paper_arch_pairs(), &Link::pcie3())
+}
+
+fn test_cases(preset: &Preset) -> Vec<TestCase> {
+    [(20u32, 16u32), (21, 16), (22, 16)]
+        .iter()
+        .map(|&(ps, ef)| {
+            let scale = preset.scale(ps);
+            let g = xbfs_graph::rmat::rmat_csr(scale, ef);
+            let src = pick_source(&g, 1).unwrap();
+            TestCase {
+                profile: profile(&g, src),
+                stats: xbfs_graph::GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05),
+            }
+        })
+        .collect()
+}
+
+/// Ablation 1: regression efficiency vs training-set size.
+pub fn samples(preset: &Preset) -> ExperimentResult {
+    let ts = training_set(preset);
+    let cases = test_cases(preset);
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let sizes = [8usize, 16, ts.len() / 2, ts.len()];
+    let points = ablation::efficiency_vs_training_size(
+        &ts,
+        &sizes,
+        &cases,
+        &cpu,
+        &gpu,
+        &Link::pcie3(),
+    );
+
+    let rows: Vec<Vec<String>> = std::iter::once(vec![
+        "samples".to_string(),
+        "mean efficiency".to_string(),
+    ])
+    .chain(points.iter().map(|p| {
+        vec![p.samples.to_string(), format!("{:.0}%", 100.0 * p.mean_efficiency)]
+    }))
+    .collect();
+
+    let first = points.first().expect("non-empty sweep").mean_efficiency;
+    let last = points.last().expect("non-empty sweep").mean_efficiency;
+    ExperimentResult {
+        id: "ablation_samples",
+        title: "regression efficiency vs training-set size (§III-E remark)".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!(points
+            .iter()
+            .map(|p| json!({"samples": p.samples, "efficiency": p.mean_efficiency}))
+            .collect::<Vec<_>>()),
+        claims: vec![Claim {
+            paper: "prediction accuracy will be higher with more training samples".into(),
+            measured: format!(
+                "efficiency {:.0}% at {} samples → {:.0}% at {}",
+                100.0 * first,
+                points[0].samples,
+                100.0 * last,
+                points.last().unwrap().samples
+            ),
+            holds: last >= first - 0.05,
+        }],
+    }
+}
+
+/// Ablation 2: feature-block removal.
+pub fn features(preset: &Preset) -> ExperimentResult {
+    let ts = training_set(preset);
+    let full = ablation::feature_ablation(&ts, FeatureSet::Full);
+    let graph_only = ablation::feature_ablation(&ts, FeatureSet::GraphOnly);
+    let arch_only = ablation::feature_ablation(&ts, FeatureSet::ArchOnly);
+
+    let rows = vec![
+        vec!["feature set".to_string(), "4-fold CV MSE of best-M model".to_string()],
+        vec!["full (Fig. 7)".to_string(), format!("{full:.1}")],
+        vec!["graph block only".to_string(), format!("{graph_only:.1}")],
+        vec!["architecture blocks only".to_string(), format!("{arch_only:.1}")],
+    ];
+    ExperimentResult {
+        id: "ablation_features",
+        title: "feature-block ablation of the Fig. 7 sample layout".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!({
+            "full": full,
+            "graph_only": graph_only,
+            "arch_only": arch_only,
+        }),
+        claims: vec![Claim {
+            paper: "the best switching point depends on graph AND platform information (§III-C)".into(),
+            measured: format!(
+                "CV MSE: full {full:.1}, graph-only {graph_only:.1}, arch-only {arch_only:.1}"
+            ),
+            holds: full <= graph_only * 1.1 && full <= arch_only * 1.1,
+        }],
+    }
+}
+
+/// Ablation 3: model class.
+pub fn model(preset: &Preset) -> ExperimentResult {
+    let ts = training_set(preset);
+    let (svr, ridge, constant) = ablation::model_comparison(&ts);
+    let rows = vec![
+        vec!["model".to_string(), "4-fold CV MSE".to_string()],
+        vec!["ε-SVR (RBF)".to_string(), format!("{svr:.1}")],
+        vec!["ridge (linear)".to_string(), format!("{ridge:.1}")],
+        vec!["constant mean".to_string(), format!("{constant:.1}")],
+    ];
+    ExperimentResult {
+        id: "ablation_model",
+        title: "regression model comparison (why SVM, §II-C)".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!({"svr": svr, "ridge": ridge, "constant": constant}),
+        claims: vec![Claim {
+            paper: "SVM regression is an appropriate model class for this problem".into(),
+            measured: format!("SVR {svr:.1} vs ridge {ridge:.1} vs constant {constant:.1}"),
+            holds: svr <= constant,
+        }],
+    }
+}
+
+/// Ablation 4: link-bandwidth sensitivity.
+pub fn link(preset: &Preset) -> ExperimentResult {
+    let scale = preset.scale(22);
+    let (_, p) = super::graph_profile(scale, 16);
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let bandwidths = [6e9, 6e8, 6e7, 6e6, 6e5, 6e4];
+    let points = ablation::link_sensitivity(&p, &cpu, &gpu, &bandwidths);
+
+    let rows: Vec<Vec<String>> = std::iter::once(vec![
+        "link bandwidth".to_string(),
+        "best cross".to_string(),
+        "best single".to_string(),
+        "cross wins".to_string(),
+    ])
+    .chain(points.iter().map(|pt| {
+        vec![
+            format!("{:.0e} B/s", pt.bandwidth_bps),
+            crate::table::fmt_secs(pt.cross_seconds),
+            crate::table::fmt_secs(pt.single_seconds),
+            pt.cross_wins().to_string(),
+        ]
+    }))
+    .collect();
+
+    let wins_at_pcie = points[0].cross_wins();
+    let loses_eventually = points.iter().any(|pt| !pt.cross_wins());
+    ExperimentResult {
+        id: "ablation_link",
+        title: "host-device link sensitivity of the cross-architecture win".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!(points
+            .iter()
+            .map(|pt| json!({
+                "bandwidth_bps": pt.bandwidth_bps,
+                "cross_seconds": pt.cross_seconds,
+                "single_seconds": pt.single_seconds,
+            }))
+            .collect::<Vec<_>>()),
+        claims: vec![
+            Claim {
+                paper: "at PCIe speeds the transfer is negligible and cross-architecture wins (§IV)".into(),
+                measured: format!(
+                    "at 6 GB/s: cross {} vs single {}",
+                    crate::table::fmt_secs(points[0].cross_seconds),
+                    crate::table::fmt_secs(points[0].single_seconds)
+                ),
+                holds: wins_at_pcie,
+            },
+            Claim {
+                paper: "(implicit) the win depends on the interconnect".into(),
+                measured: format!(
+                    "cross stops winning below {:.0e} B/s",
+                    points
+                        .iter()
+                        .find(|pt| !pt.cross_wins())
+                        .map(|pt| pt.bandwidth_bps)
+                        .unwrap_or(0.0)
+                ),
+                holds: loses_eventually,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Preset {
+        let mut p = Preset::scaled();
+        p.scale_shift = 8;
+        p
+    }
+
+    #[test]
+    fn samples_sweep_runs() {
+        let r = samples(&tiny());
+        assert!(r.claims[0].holds, "{:?}", r.claims);
+    }
+
+    #[test]
+    fn feature_ablation_runs() {
+        let r = features(&tiny());
+        assert!(r.data["full"].as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn model_comparison_runs() {
+        let r = model(&tiny());
+        assert!(r.claims[0].holds, "{:?}", r.claims);
+    }
+
+    #[test]
+    fn link_sweep_finds_the_crossover() {
+        // Needs the regular scaled preset: at the tiny smoke size the
+        // cross-architecture plan does not win even on a perfect link
+        // (launch overhead dominates), so the PCIe claim is unfalsifiable.
+        let r = link(&Preset::scaled());
+        for c in &r.claims {
+            assert!(c.holds, "failed claim: {} — {}", c.paper, c.measured);
+        }
+    }
+}

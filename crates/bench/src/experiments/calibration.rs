@@ -1,0 +1,91 @@
+//! The calibration fidelity report: cost model vs the paper's Table IV,
+//! cell by cell.
+
+use crate::{result::Claim, ExperimentResult, Preset};
+use serde_json::json;
+use xbfs_archsim::{
+    calibration::{
+        geometric_mean_ratio, score_column, PAPER_CPUBU, PAPER_CPUTD,
+        PAPER_GPUBU, PAPER_GPUTD,
+    },
+    ArchSpec,
+};
+use xbfs_engine::Direction;
+
+pub fn run(_preset: &Preset) -> ExperimentResult {
+    let columns = [
+        ("GPUTD", ArchSpec::gpu_k20x(), Direction::TopDown, &PAPER_GPUTD),
+        ("GPUBU", ArchSpec::gpu_k20x(), Direction::BottomUp, &PAPER_GPUBU),
+        ("CPUTD", ArchSpec::cpu_sandy_bridge(), Direction::TopDown, &PAPER_CPUTD),
+        ("CPUBU", ArchSpec::cpu_sandy_bridge(), Direction::BottomUp, &PAPER_CPUBU),
+    ];
+
+    let mut rows = vec![vec![
+        "column".to_string(),
+        "level".to_string(),
+        "paper".to_string(),
+        "model".to_string(),
+        "model/paper".to_string(),
+    ]];
+    let mut data = Vec::new();
+    let mut gms = Vec::new();
+    for (name, arch, dir, paper) in columns {
+        let cells = score_column(&arch, dir, paper);
+        for c in &cells {
+            rows.push(vec![
+                name.to_string(),
+                c.level.to_string(),
+                crate::table::fmt_secs(c.paper_seconds),
+                crate::table::fmt_secs(c.model_seconds),
+                format!("{:.2}", c.ratio()),
+            ]);
+        }
+        let gm = geometric_mean_ratio(&cells);
+        gms.push((name, gm));
+        data.push(json!({
+            "column": name,
+            "geometric_mean_ratio": gm,
+            "cells": cells.iter().map(|c| json!({
+                "level": c.level,
+                "paper_seconds": c.paper_seconds,
+                "model_seconds": c.model_seconds,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    let worst = gms
+        .iter()
+        .map(|(_, g)| if *g > 1.0 { *g } else { 1.0 / *g })
+        .fold(f64::MIN, f64::max);
+    let claims = vec![Claim {
+        paper: "Table IV per-level times (the calibration target)".into(),
+        measured: format!(
+            "geometric-mean model/paper ratios: {}",
+            gms.iter()
+                .map(|(n, g)| format!("{n} {g:.2}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        holds: worst < 2.5,
+    }];
+
+    ExperimentResult {
+        id: "calibration",
+        title: "cost-model fidelity against the paper's Table IV".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!(data),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_report_holds() {
+        let r = run(&Preset::scaled());
+        assert!(r.claims[0].holds, "{:?}", r.claims);
+        assert_eq!(r.data.as_array().unwrap().len(), 4);
+    }
+}

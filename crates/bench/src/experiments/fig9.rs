@@ -1,0 +1,131 @@
+//! Figure 9: the four combinations (MIC, CPU, GPU, cross-architecture)
+//! across graphs, as speedup over the MIC combination.
+//!
+//! The paper's averages: the CPU+GPU cross-architecture combination is
+//! 8.5× faster than MICCB, 2.6× faster than CPUCB and 2.2× faster than
+//! GPUCB.
+
+use crate::{result::Claim, ExperimentResult, Preset};
+use serde_json::json;
+use xbfs_archsim::{ArchSpec, Link};
+use xbfs_core::oracle;
+
+const PAPER_GRAPHS: [(u32, u32); 8] = [
+    (21, 8),
+    (21, 16),
+    (21, 32),
+    (22, 8),
+    (22, 16),
+    (22, 32),
+    (23, 8),
+    (23, 16),
+];
+
+pub fn run(preset: &Preset) -> ExperimentResult {
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let mic = ArchSpec::mic_knights_corner();
+    let link = Link::pcie3();
+    let single_grid = oracle::MnGrid::paper_1000();
+    let pair_grid = oracle::cross_pair_grid();
+
+    let mut rows = vec![vec![
+        "graph".to_string(),
+        "MICCB".to_string(),
+        "CPUCB".to_string(),
+        "GPUCB".to_string(),
+        "CPU+GPU".to_string(),
+        "cross/MIC".to_string(),
+    ]];
+    let mut ratios_mic = Vec::new();
+    let mut ratios_cpu = Vec::new();
+    let mut ratios_gpu = Vec::new();
+    let mut data = Vec::new();
+    for (paper_scale, ef) in PAPER_GRAPHS {
+        let scale = preset.scale(paper_scale);
+        let (_, p) = super::graph_profile(scale, ef);
+        let t_mic = oracle::best_mn_single(&p, &mic, &single_grid).seconds;
+        let t_cpu = oracle::best_mn_single(&p, &cpu, &single_grid).seconds;
+        let t_gpu = oracle::best_mn_single(&p, &gpu, &single_grid).seconds;
+        let t_cross = oracle::best_cross(&oracle::sweep_cross_pairs(
+            &p, &cpu, &gpu, &link, &pair_grid, &pair_grid,
+        ))
+        .seconds;
+        ratios_mic.push(t_mic / t_cross);
+        ratios_cpu.push(t_cpu / t_cross);
+        ratios_gpu.push(t_gpu / t_cross);
+        rows.push(vec![
+            format!("s{scale}/ef{ef}"),
+            crate::table::fmt_secs(t_mic),
+            crate::table::fmt_secs(t_cpu),
+            crate::table::fmt_secs(t_gpu),
+            crate::table::fmt_secs(t_cross),
+            crate::table::fmt_speedup(t_mic / t_cross),
+        ]);
+        data.push(json!({
+            "paper_scale": paper_scale,
+            "scale": scale,
+            "edgefactor": ef,
+            "mic_cb": t_mic,
+            "cpu_cb": t_cpu,
+            "gpu_cb": t_gpu,
+            "cross": t_cross,
+        }));
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (am, ac, ag) = (avg(&ratios_mic), avg(&ratios_cpu), avg(&ratios_gpu));
+    let claims = vec![
+        Claim {
+            paper: "cross-architecture averages 8.5x over the MIC combination".into(),
+            measured: format!("average {am:.1}x over MICCB"),
+            holds: am > 1.5,
+        },
+        Claim {
+            paper: "cross-architecture averages 2.6x over the CPU combination".into(),
+            measured: format!("average {ac:.1}x over CPUCB"),
+            holds: ac > 1.0,
+        },
+        Claim {
+            paper: "cross-architecture averages 2.2x over the GPU combination".into(),
+            measured: format!("average {ag:.1}x over GPUCB"),
+            holds: ag > 1.0,
+        },
+        Claim {
+            paper: "the MIC combination is the slowest platform everywhere".into(),
+            measured: format!(
+                "MICCB slowest on {}/{} graphs",
+                data.iter()
+                    .filter(|d| {
+                        let m = d["mic_cb"].as_f64().unwrap();
+                        m >= d["cpu_cb"].as_f64().unwrap()
+                            && m >= d["gpu_cb"].as_f64().unwrap()
+                    })
+                    .count(),
+                data.len()
+            ),
+            holds: ratios_mic.iter().zip(&ratios_cpu).all(|(m, c)| m >= c),
+        },
+    ];
+
+    ExperimentResult {
+        id: "fig9",
+        title: "combination versions across graphs (speedup over MICCB)".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!(data),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_beats_every_single_combination_on_average() {
+        let r = run(&Preset::scaled());
+        for c in &r.claims {
+            assert!(c.holds, "failed claim: {} — {}", c.paper, c.measured);
+        }
+    }
+}

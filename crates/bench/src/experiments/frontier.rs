@@ -1,0 +1,108 @@
+//! Figures 1 and 2: frontier vertex/edge counts per level.
+//!
+//! The paper plots `|V|cq` (Fig. 1) and `|E|cq` (Fig. 2) per level for
+//! SCALE 21–23 graphs with `edges = 2^(SCALE+4)` (edgefactor 16): both are
+//! small at first, peak in the middle, and shrink again — the whole reason
+//! a combination strategy exists.
+
+use crate::{result::Claim, ExperimentResult, Preset};
+use serde_json::json;
+
+const PAPER_SCALES: [u32; 3] = [21, 22, 23];
+const EDGEFACTOR: u32 = 16;
+
+fn series(preset: &Preset, edges: bool) -> (Vec<String>, serde_json::Value, Vec<Claim>) {
+    let mut lines = Vec::new();
+    let mut data = Vec::new();
+    let mut claims = Vec::new();
+    for paper_scale in PAPER_SCALES {
+        let scale = preset.scale(paper_scale);
+        let (_, p) = super::graph_profile(scale, EDGEFACTOR);
+        let values: Vec<u64> = p
+            .levels
+            .iter()
+            .map(|l| if edges { l.frontier_edges } else { l.frontier_vertices })
+            .collect();
+        lines.push(format!(
+            "SCALE {scale} (paper {paper_scale}), EF {EDGEFACTOR}: {}",
+            values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        let peak = values
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let interior_peak = peak > 0 && peak + 1 < values.len();
+        claims.push(Claim {
+            paper: format!(
+                "SCALE {paper_scale}: frontier {} small at first, peaks in the middle",
+                if edges { "edges" } else { "vertices" }
+            ),
+            measured: format!(
+                "peak at level {peak} of {} (first={}, peak={})",
+                values.len(),
+                values[0],
+                values[peak]
+            ),
+            holds: interior_peak && values[peak] > values[0],
+        });
+        data.push(json!({
+            "paper_scale": paper_scale,
+            "scale": scale,
+            "edgefactor": EDGEFACTOR,
+            "per_level": values,
+        }));
+    }
+    (lines, json!(data), claims)
+}
+
+/// Figure 1: `|V|cq` per level.
+pub fn fig1(preset: &Preset) -> ExperimentResult {
+    let (lines, data, claims) = series(preset, false);
+    ExperimentResult {
+        id: "fig1",
+        title: "frontier vertices (|V|cq) per level".into(),
+        lines,
+        data,
+        claims,
+    }
+}
+
+/// Figure 2: `|E|cq` per level.
+pub fn fig2(preset: &Preset) -> ExperimentResult {
+    let (lines, data, claims) = series(preset, true);
+    ExperimentResult {
+        id: "fig2",
+        title: "frontier edges (|E|cq) per level".into(),
+        lines,
+        data,
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_claims_hold_on_scaled_preset() {
+        let r = fig1(&Preset::scaled());
+        assert_eq!(r.claims.len(), 3);
+        assert!(r.claims.iter().all(|c| c.holds), "{:#?}", r.claims);
+        assert_eq!(r.lines.len(), 3);
+    }
+
+    #[test]
+    fn fig2_reports_edge_series() {
+        let r = fig2(&Preset::scaled());
+        assert!(r.claims.iter().all(|c| c.holds));
+        // Edge counts exceed vertex counts at the peak (degree > 1).
+        let edges = r.data[0]["per_level"].as_array().unwrap();
+        assert!(!edges.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! The full Graph 500 protocol (kernel 1 + kernel 2 over many roots) on
+//! every runner: harmonic-mean GTEPS, the benchmark's headline number.
+//!
+//! The paper reports single-traversal times; the official benchmark
+//! aggregates 64 roots with the harmonic mean, which punishes runners that
+//! are only fast from lucky roots. This experiment checks that the paper's
+//! platform ordering survives the official aggregation.
+
+use crate::{result::Claim, ExperimentResult, Preset};
+use serde_json::json;
+use xbfs_archsim::{ArchSpec, Link};
+use xbfs_core::{
+    cross::CrossParams,
+    graph500::{run_simulated_cross, run_simulated_single, Graph500Config},
+};
+use xbfs_engine::FixedMN;
+
+pub fn run(preset: &Preset) -> ExperimentResult {
+    let scale = preset.scale(21);
+    let config = Graph500Config {
+        scale,
+        edgefactor: 16,
+        // The official count is 64; the scaled preset uses 16 to keep the
+        // suite fast (the harmonic mean stabilizes quickly).
+        num_roots: if preset.full_training { 64 } else { 16 },
+        seed: 0x6500,
+    };
+
+    let policy = || -> Box<dyn xbfs_engine::SwitchPolicy> {
+        Box::new(FixedMN::new(14.0, 24.0))
+    };
+    let cpu = run_simulated_single(&config, &ArchSpec::cpu_sandy_bridge(), policy);
+    let gpu = run_simulated_single(&config, &ArchSpec::gpu_k20x(), policy);
+    let mic = run_simulated_single(&config, &ArchSpec::mic_knights_corner(), policy);
+    let cross = run_simulated_cross(
+        &config,
+        &ArchSpec::cpu_sandy_bridge(),
+        &ArchSpec::gpu_k20x(),
+        &Link::pcie3(),
+        &CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        },
+    );
+    let reports = [&cpu, &gpu, &mic, &cross];
+
+    let mut rows = vec![vec![
+        "runner".to_string(),
+        "roots".to_string(),
+        "validated".to_string(),
+        "harmonic GTEPS".to_string(),
+        "mean ms/root".to_string(),
+    ]];
+    let mut data = Vec::new();
+    for r in reports {
+        rows.push(vec![
+            r.runner.clone(),
+            r.roots.len().to_string(),
+            r.all_validated.to_string(),
+            format!("{:.3}", r.harmonic_mean_teps() / 1e9),
+            format!("{:.3}", r.mean_seconds() * 1e3),
+        ]);
+        data.push(json!({
+            "runner": r.runner,
+            "roots": r.roots.len(),
+            "all_validated": r.all_validated,
+            "harmonic_teps": r.harmonic_mean_teps(),
+            "mean_seconds": r.mean_seconds(),
+        }));
+    }
+
+    let hm = |r: &xbfs_core::graph500::Graph500Report| r.harmonic_mean_teps();
+    let claims = vec![
+        Claim {
+            paper: "every kernel-2 output passes Graph 500 validation".into(),
+            measured: format!(
+                "all runners validated: {}",
+                reports.iter().all(|r| r.all_validated)
+            ),
+            holds: reports.iter().all(|r| r.all_validated),
+        },
+        Claim {
+            paper: "platform ordering (cross > CPU/GPU > MIC) survives harmonic-mean aggregation".into(),
+            measured: format!(
+                "GTEPS: cross {:.3}, CPU {:.3}, GPU {:.3}, MIC {:.3}",
+                hm(&cross) / 1e9,
+                hm(&cpu) / 1e9,
+                hm(&gpu) / 1e9,
+                hm(&mic) / 1e9
+            ),
+            holds: hm(&cross) > hm(&cpu)
+                && hm(&cross) > hm(&mic)
+                && hm(&cpu) > hm(&mic)
+                && hm(&gpu) > hm(&mic),
+        },
+    ];
+
+    ExperimentResult {
+        id: "graph500_protocol",
+        title: format!(
+            "full Graph 500 protocol at SCALE {scale} ({} roots, harmonic mean)",
+            config.num_roots
+        ),
+        lines: crate::table::format_table(&rows),
+        data: json!(data),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_ordering_holds() {
+        let mut p = Preset::scaled();
+        p.scale_shift = 9; // small graphs, 16 roots — still meaningful
+        let r = run(&p);
+        for c in &r.claims {
+            assert!(c.holds, "failed claim: {} — {}", c.paper, c.measured);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! One module per paper table/figure. See DESIGN.md §4 for the index.
+
+pub mod ablations;
+pub mod calibration;
+pub mod extensions;
+pub mod fig8;
+pub mod fig9;
+pub mod frontier;
+pub mod g500protocol;
+pub mod graph500;
+pub mod scaling;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod td_vs_bu;
+
+use xbfs_archsim::{profile, TraversalProfile};
+use xbfs_core::training::pick_source;
+use xbfs_graph::{rmat::rmat_csr, Csr, GraphStats, VertexId};
+
+/// Generate the deterministic R-MAT instance every experiment shares for a
+/// given `(scale, edgefactor)`.
+pub(crate) fn graph(scale: u32, edgefactor: u32) -> Csr {
+    rmat_csr(scale, edgefactor)
+}
+
+/// The paper-default stats block for a generated graph.
+pub(crate) fn stats(csr: &Csr) -> GraphStats {
+    GraphStats::rmat(csr, 0.57, 0.19, 0.19, 0.05)
+}
+
+/// Deterministic non-isolated source for a graph (Graph 500 roots must
+/// have degree ≥ 1).
+pub(crate) fn source(csr: &Csr, scale: u32, edgefactor: u32) -> VertexId {
+    pick_source(csr, 0xB0F5 ^ ((scale as u64) << 8) ^ edgefactor as u64)
+        .expect("experiment graphs are never edgeless")
+}
+
+/// Graph + profile in one step.
+pub(crate) fn graph_profile(scale: u32, edgefactor: u32) -> (Csr, TraversalProfile) {
+    let g = graph(scale, edgefactor);
+    let src = source(&g, scale, edgefactor);
+    let p = profile(&g, src);
+    (g, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_graph_is_deterministic_and_sourced() {
+        let a = graph(10, 8);
+        let b = graph(10, 8);
+        assert_eq!(a, b);
+        let s = source(&a, 10, 8);
+        assert!(a.degree(s) > 0);
+    }
+
+    #[test]
+    fn graph_profile_is_consistent() {
+        let (g, p) = graph_profile(10, 8);
+        assert_eq!(p.total_vertices, g.num_vertices() as u64);
+        assert!(p.depth() > 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Figure 10: strong and weak scaling of the combination on CPU and MIC.
+//!
+//! Strong scaling (Fig. 10a): SCALE-22 graphs with edgefactor 16/32/64,
+//! core counts swept on each platform, performance in simulated MTEPS.
+//! Weak scaling (Fig. 10b): per-core workload held constant (1 M vertices
+//! per CPU core, 0.25 M per MIC core) while cores and graph size grow
+//! together.
+//!
+//! Both use the simulated devices (`ArchSpec::with_cores`); the Criterion
+//! bench `parallel_kernels` measures real thread scaling of the actual
+//! engine on the host machine.
+
+use crate::{result::Claim, ExperimentResult, Preset};
+use serde_json::json;
+use xbfs_archsim::ArchSpec;
+use xbfs_core::oracle;
+
+const CPU_CORES: [u32; 4] = [1, 2, 4, 8];
+const MIC_CORES: [u32; 6] = [1, 2, 4, 15, 30, 60];
+
+fn best_seconds(p: &xbfs_archsim::TraversalProfile, arch: &ArchSpec) -> f64 {
+    oracle::best_mn_single(p, arch, &oracle::MnGrid::coarse()).seconds
+}
+
+/// Figure 10a.
+pub fn strong(preset: &Preset) -> ExperimentResult {
+    let scale = preset.scale(22);
+    let mut rows = vec![vec![
+        "platform".to_string(),
+        "cores".to_string(),
+        "ef16".to_string(),
+        "ef32".to_string(),
+        "ef64".to_string(),
+    ]];
+    let mut data = Vec::new();
+    let mut monotone = true;
+
+    let profiles: Vec<_> = [16u32, 32, 64]
+        .iter()
+        .map(|&ef| super::graph_profile(scale, ef).1)
+        .collect();
+
+    for (base, cores) in [
+        (ArchSpec::cpu_sandy_bridge(), &CPU_CORES[..]),
+        (ArchSpec::mic_knights_corner(), &MIC_CORES[..]),
+    ] {
+        let mut prev_teps = [0.0f64; 3];
+        for &c in cores {
+            let arch = base.with_cores(c);
+            let mut row = vec![base.name.clone(), c.to_string()];
+            let mut teps_row = Vec::new();
+            for (i, p) in profiles.iter().enumerate() {
+                let secs = best_seconds(p, &arch);
+                let teps = p.component_edges as f64 / secs;
+                row.push(format!("{:.0} MTEPS", teps / 1e6));
+                teps_row.push(teps);
+                if teps + 1e-9 < prev_teps[i] {
+                    monotone = false;
+                }
+                prev_teps[i] = teps;
+            }
+            rows.push(row);
+            data.push(json!({
+                "platform": base.name,
+                "cores": c,
+                "teps": teps_row,
+            }));
+        }
+    }
+
+    let claims = vec![Claim {
+        paper: "performance grows with increasing number of cores (Fig. 10a)".into(),
+        measured: format!(
+            "TEPS monotone in cores on both platforms: {monotone}"
+        ),
+        holds: monotone,
+    }];
+
+    ExperimentResult {
+        id: "fig10a",
+        title: format!("strong scaling at SCALE {scale} (paper 22)"),
+        lines: crate::table::format_table(&rows),
+        data: json!(data),
+        claims,
+    }
+}
+
+/// Figure 10b.
+pub fn weak(preset: &Preset) -> ExperimentResult {
+    // Per-core loads: paper keeps 1 M vertices per CPU core and 0.25 M per
+    // MIC core; the scaled preset shifts both down.
+    let cpu_base_scale = preset.scale(20); // 1 M vertices on one core
+    let mic_base_scale = preset.scale(18); // 0.25 M vertices on one core
+    let ef = 16u32;
+
+    let mut rows = vec![vec![
+        "platform".to_string(),
+        "cores".to_string(),
+        "SCALE".to_string(),
+        "MTEPS".to_string(),
+        "MTEPS/core".to_string(),
+    ]];
+    let mut data = Vec::new();
+    let mut efficiencies = Vec::new();
+
+    for (base, base_scale, core_steps) in [
+        (ArchSpec::cpu_sandy_bridge(), cpu_base_scale, &[1u32, 2, 4, 8][..]),
+        (ArchSpec::mic_knights_corner(), mic_base_scale, &[1u32, 4, 16][..]),
+    ] {
+        let mut single_core_rate = 0.0f64;
+        for (step, &c) in core_steps.iter().enumerate() {
+            // Doubling cores doubles the graph: SCALE grows by log2(cores).
+            let scale = base_scale + (c as f64).log2().round() as u32;
+            let arch = base.with_cores(c);
+            let (_, p) = super::graph_profile(scale, ef);
+            let secs = best_seconds(&p, &arch);
+            let teps = p.component_edges as f64 / secs;
+            let per_core = teps / c as f64;
+            if step == 0 {
+                single_core_rate = per_core;
+            }
+            efficiencies.push(per_core / single_core_rate);
+            rows.push(vec![
+                base.name.clone(),
+                c.to_string(),
+                scale.to_string(),
+                format!("{:.0}", teps / 1e6),
+                format!("{:.1}", per_core / 1e6),
+            ]);
+            data.push(json!({
+                "platform": base.name,
+                "cores": c,
+                "scale": scale,
+                "teps": teps,
+                "per_core_teps": per_core,
+            }));
+        }
+    }
+
+    let min_eff = efficiencies.iter().copied().fold(f64::MAX, f64::min);
+    let claims = vec![Claim {
+        paper: "good weak scaling: per-core throughput holds as the workload grows".into(),
+        measured: format!("minimum weak-scaling efficiency {:.0}%", 100.0 * min_eff),
+        holds: min_eff > 0.5,
+    }];
+
+    ExperimentResult {
+        id: "fig10b",
+        title: "weak scaling (constant per-core workload)".into(),
+        lines: crate::table::format_table(&rows),
+        data: json!(data),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_is_monotone() {
+        let r = strong(&Preset::scaled());
+        assert!(r.claims[0].holds, "{:?}", r.claims);
+        assert_eq!(r.data.as_array().unwrap().len(), CPU_CORES.len() + MIC_CORES.len());
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_holds() {
+        let r = weak(&Preset::scaled());
+        assert!(r.claims[0].holds, "{:?}", r.claims);
+    }
+}

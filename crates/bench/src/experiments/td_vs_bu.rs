@@ -1,0 +1,106 @@
+//! Figure 3: per-level top-down vs bottom-up time.
+//!
+//! "In the beginning bottom-up takes more time than top-down. In the
+//! middle bottom-up is faster than top-down. Finally bottom-up becomes
+//! slower than top-down." Charged on the simulated CPU (the paper's Fig. 3
+//! platform) for the SCALE-22 / EF-16 graph.
+
+use crate::{result::Claim, table::fmt_secs, ExperimentResult, Preset};
+use serde_json::json;
+use xbfs_archsim::{cost, ArchSpec};
+use xbfs_engine::Direction;
+
+pub fn run(preset: &Preset) -> ExperimentResult {
+    let scale = preset.scale(22);
+    let (_, p) = super::graph_profile(scale, 16);
+    let cpu = ArchSpec::cpu_sandy_bridge();
+
+    let mut rows = vec![vec![
+        "level".to_string(),
+        "TD".to_string(),
+        "BU".to_string(),
+        "winner".to_string(),
+    ]];
+    let mut td_series = Vec::new();
+    let mut bu_series = Vec::new();
+    for lp in &p.levels {
+        let td = cost::level_time(&cpu, lp, Direction::TopDown);
+        let bu = cost::level_time(&cpu, lp, Direction::BottomUp);
+        rows.push(vec![
+            lp.level.to_string(),
+            fmt_secs(td),
+            fmt_secs(bu),
+            if td <= bu { "TD" } else { "BU" }.to_string(),
+        ]);
+        td_series.push(td);
+        bu_series.push(bu);
+    }
+
+    let n = td_series.len();
+    let first_td_wins = td_series[0] <= bu_series[0];
+    let middle_bu_wins = (1..n.saturating_sub(1)).any(|i| bu_series[i] < td_series[i]);
+    let last_td_wins = n >= 2 && td_series[n - 1] <= bu_series[n - 1];
+
+    let claims = vec![
+        Claim {
+            paper: "bottom-up slower than top-down at the first level".into(),
+            measured: format!(
+                "level 0: TD {} vs BU {}",
+                fmt_secs(td_series[0]),
+                fmt_secs(bu_series[0])
+            ),
+            holds: first_td_wins,
+        },
+        Claim {
+            paper: "bottom-up faster than top-down in the middle".into(),
+            measured: format!(
+                "BU wins {} of {} interior levels",
+                (1..n.saturating_sub(1))
+                    .filter(|&i| bu_series[i] < td_series[i])
+                    .count(),
+                n.saturating_sub(2)
+            ),
+            holds: middle_bu_wins,
+        },
+        Claim {
+            paper: "top-down better again at the final levels".into(),
+            measured: format!(
+                "last level: TD {} vs BU {}",
+                fmt_secs(td_series[n - 1]),
+                fmt_secs(bu_series[n - 1])
+            ),
+            holds: last_td_wins,
+        },
+    ];
+
+    ExperimentResult {
+        id: "fig3",
+        title: format!("per-level TD vs BU time on CPU (SCALE {scale}, EF 16)"),
+        lines: crate::table::format_table(&rows),
+        data: json!({
+            "scale": scale,
+            "td_seconds": td_series,
+            "bu_seconds": bu_series,
+        }),
+        claims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_shape_holds() {
+        let r = run(&Preset::scaled());
+        assert!(r.claims.iter().all(|c| c.holds), "{:#?}", r.claims);
+    }
+
+    #[test]
+    fn table_covers_all_levels() {
+        let r = run(&Preset::scaled());
+        let levels = r.data["td_seconds"].as_array().unwrap().len();
+        // header + rule + one row per level
+        assert_eq!(r.lines.len(), levels + 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment module produces an [`ExperimentResult`] — the same rows
+//! or series the paper reports, as printable text plus a machine-readable
+//! JSON artifact. The `repro` binary dispatches on experiment id and writes
+//! artifacts under `artifacts/`. Criterion benches under `benches/` measure
+//! the *real* kernels on the host machine; the experiment modules measure
+//! the *simulated* platforms (see DESIGN.md for the substitution).
+//!
+//! Two presets control graph sizes: [`Preset::scaled`] (default; everything
+//! finishes in seconds on a laptop) and [`Preset::paper`] (the paper's
+//! SCALE 21–23 sizes; needs several GB of memory and minutes of runtime).
+
+pub mod experiments;
+pub mod preset;
+pub mod result;
+pub mod table;
+
+pub use preset::Preset;
+pub use result::ExperimentResult;
+
+use std::path::Path;
+
+/// All experiment ids: the paper's tables and figures in paper order,
+/// followed by the ablation studies this reproduction adds.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "table3", "fig8", "table4", "table5", "fig9",
+    "fig10a", "fig10b", "table6", "graph500", "ablation_samples",
+    "ablation_features", "ablation_model", "ablation_link", "ablation_relabel",
+    "ext_model_policy", "calibration", "graph500_protocol",
+];
+
+/// Run one experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run_experiment(id: &str, preset: &Preset) -> Option<ExperimentResult> {
+    Some(match id {
+        "fig1" => experiments::frontier::fig1(preset),
+        "fig2" => experiments::frontier::fig2(preset),
+        "fig3" => experiments::td_vs_bu::run(preset),
+        "table3" => experiments::table3::run(preset),
+        "fig8" => experiments::fig8::run(preset),
+        "table4" => experiments::table4::run(preset),
+        "table5" => experiments::table5::run(preset),
+        "fig9" => experiments::fig9::run(preset),
+        "fig10a" => experiments::scaling::strong(preset),
+        "fig10b" => experiments::scaling::weak(preset),
+        "table6" => experiments::table6::run(preset),
+        "graph500" => experiments::graph500::run(preset),
+        "ablation_samples" => experiments::ablations::samples(preset),
+        "ablation_features" => experiments::ablations::features(preset),
+        "ablation_model" => experiments::ablations::model(preset),
+        "ablation_link" => experiments::ablations::link(preset),
+        "ablation_relabel" => experiments::extensions::relabel(preset),
+        "ext_model_policy" => experiments::extensions::model_policy(preset),
+        "calibration" => experiments::calibration::run(preset),
+        "graph500_protocol" => experiments::g500protocol::run(preset),
+        _ => return None,
+    })
+}
+
+/// Write an experiment's JSON artifact to `dir/<id>.json`.
+pub fn write_artifact(dir: &Path, result: &ExperimentResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", result.id));
+    let json = serde_json::to_string_pretty(&result.to_json())
+        .expect("experiment JSON is serializable");
+    std::fs::write(path, json)
+}

@@ -1,0 +1,82 @@
+//! Experiment size presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Controls the graph sizes every experiment uses.
+///
+/// The paper evaluates at SCALE 21–23 (2–8 M vertices, up to 256 M
+/// undirected edges). Generating those needs gigabytes and minutes;
+/// [`Preset::scaled`] shifts every SCALE down by a constant so the whole
+/// suite reruns in seconds while preserving the relative shapes, and
+/// [`Preset::paper`] runs the original sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Preset {
+    /// Human-readable name ("scaled" / "paper").
+    pub name: &'static str,
+    /// How many SCALE steps below the paper's sizes to run (each step
+    /// halves the vertex count).
+    pub scale_shift: u32,
+    /// Training configuration size for regression experiments.
+    pub full_training: bool,
+}
+
+impl Preset {
+    /// Laptop-friendly sizes: every SCALE shifted down by 5 (so the
+    /// paper's SCALE 23 becomes 18 → 262 K vertices / 4 M edges).
+    pub fn scaled() -> Self {
+        Self { name: "scaled", scale_shift: 5, full_training: false }
+    }
+
+    /// The paper's original sizes. Memory-hungry: SCALE 23 × EF 16 holds
+    /// 256 M directed edges (~2 GB of tuples during construction).
+    pub fn paper() -> Self {
+        Self { name: "paper", scale_shift: 0, full_training: true }
+    }
+
+    /// Map a paper SCALE to this preset's SCALE.
+    pub fn scale(&self, paper_scale: u32) -> u32 {
+        paper_scale.saturating_sub(self.scale_shift).max(8)
+    }
+
+    /// Parse a preset name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "scaled" => Some(Self::scaled()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Preset {
+    fn default() -> Self {
+        Self::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_shifts_scales() {
+        let p = Preset::scaled();
+        assert_eq!(p.scale(23), 18);
+        assert_eq!(p.scale(21), 16);
+        // Floor keeps tiny scales meaningful.
+        assert_eq!(p.scale(10), 8);
+    }
+
+    #[test]
+    fn paper_preserves_scales() {
+        let p = Preset::paper();
+        assert_eq!(p.scale(23), 23);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Preset::from_name("scaled"), Some(Preset::scaled()));
+        assert_eq!(Preset::from_name("paper"), Some(Preset::paper()));
+        assert_eq!(Preset::from_name("bogus"), None);
+    }
+}

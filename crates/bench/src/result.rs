@@ -1,0 +1,94 @@
+//! Experiment output container.
+
+use serde_json::Value;
+
+/// The printable + machine-readable outcome of one experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Experiment id ("fig1", "table4", …).
+    pub id: &'static str,
+    /// One-line title (what the paper's caption says).
+    pub title: String,
+    /// Pre-formatted output lines (tables/series).
+    pub lines: Vec<String>,
+    /// Machine-readable payload for `artifacts/<id>.json`.
+    pub data: Value,
+    /// Headline paper-vs-measured comparisons, one per claim.
+    pub claims: Vec<Claim>,
+}
+
+/// One paper claim and what this reproduction measured for it.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// What the paper states.
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the *shape* (ordering / rough factor) holds.
+    pub holds: bool,
+}
+
+impl ExperimentResult {
+    /// Assemble the JSON artifact (data + claims + metadata).
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "data": self.data,
+            "claims": self.claims.iter().map(|c| serde_json::json!({
+                "paper": c.paper,
+                "measured": c.measured,
+                "holds": c.holds,
+            })).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Render to a printable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        if !self.claims.is_empty() {
+            out.push_str("-- paper vs measured --\n");
+            for c in &self.claims {
+                out.push_str(&format!(
+                    "  [{}] paper: {} | measured: {}\n",
+                    if c.holds { "ok" } else { "??" },
+                    c.paper,
+                    c.measured
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_lines_and_claims() {
+        let r = ExperimentResult {
+            id: "fig1",
+            title: "frontier shape".into(),
+            lines: vec!["row".into()],
+            data: serde_json::json!({"x": 1}),
+            claims: vec![Claim {
+                paper: "p".into(),
+                measured: "m".into(),
+                holds: true,
+            }],
+        };
+        let s = r.render();
+        assert!(s.contains("fig1"));
+        assert!(s.contains("row"));
+        assert!(s.contains("[ok]"));
+        let j = r.to_json();
+        assert_eq!(j["data"]["x"], 1);
+        assert_eq!(j["claims"][0]["holds"], true);
+    }
+}

@@ -1,0 +1,96 @@
+//! Plain-text table formatting.
+
+/// Format rows into an aligned text table. The first row is the header.
+pub fn format_table(rows: &[Vec<String>]) -> Vec<String> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len() + 1);
+    for (ri, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..*w {
+                line.push(' ');
+            }
+        }
+        out.push(line.trim_end().to_string());
+        if ri == 0 {
+            out.push(
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("--"),
+            );
+        }
+    }
+    out
+}
+
+/// Format seconds with engineering-friendly precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 0.1 {
+        format!("{s:.3}s")
+    } else if s >= 1e-4 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let rows = vec![
+            vec!["a".to_string(), "long-header".to_string()],
+            vec!["xxxx".to_string(), "1".to_string()],
+        ];
+        let t = format_table(&rows);
+        assert_eq!(t.len(), 3); // header, rule, one row
+        assert!(t[0].starts_with("a   "));
+        assert!(t[1].contains("---"));
+        assert!(t[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn empty_table() {
+        assert!(format_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(1.5), "1.500s");
+        assert_eq!(fmt_secs(0.0123), "12.300ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.0us");
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(3.16), "3.2x");
+        assert_eq!(fmt_speedup(155.4), "155x");
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end tests of the `xbfs-cli` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xbfs-cli"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("xbfs-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn stdout_of(cmd: &mut Command) -> String {
+    String::from_utf8(run_ok(cmd).stdout).expect("utf8 output")
+}
+
+#[test]
+fn gen_info_bfs_pipeline() {
+    let graph = tmpfile("pipeline.xbfs");
+    stdout_of(cli().args([
+        "gen",
+        "--scale",
+        "10",
+        "--edgefactor",
+        "8",
+        "--out",
+        graph.to_str().unwrap(),
+    ]));
+
+    let info = stdout_of(cli().args(["info", "--graph", graph.to_str().unwrap()]));
+    assert!(info.contains("vertices:        1024"), "{info}");
+    assert!(info.contains("components:"), "{info}");
+
+    for policy in ["td", "bu", "hybrid", "model"] {
+        let bfs = stdout_of(cli().args([
+            "bfs",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--source",
+            "0",
+            "--policy",
+            policy,
+        ]));
+        assert!(bfs.contains("BFS from 0"), "policy {policy}: {bfs}");
+        assert!(bfs.contains("level histogram"), "policy {policy}: {bfs}");
+    }
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn text_format_roundtrip() {
+    let graph = tmpfile("text.el");
+    stdout_of(cli().args([
+        "gen",
+        "--scale",
+        "9",
+        "--out",
+        graph.to_str().unwrap(),
+        "--text",
+    ]));
+    let info = stdout_of(cli().args([
+        "info",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--text",
+    ]));
+    assert!(info.contains("edges:"), "{info}");
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn stcon_and_components() {
+    let graph = tmpfile("stcon.xbfs");
+    stdout_of(cli().args([
+        "gen",
+        "--scale",
+        "10",
+        "--out",
+        graph.to_str().unwrap(),
+    ]));
+    let out = stdout_of(cli().args([
+        "stcon",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--from",
+        "0",
+        "--to",
+        "0",
+    ]));
+    assert!(out.contains("shortest path 0"), "{out}");
+    let comp = stdout_of(cli().args([
+        "components",
+        "--graph",
+        graph.to_str().unwrap(),
+    ]));
+    assert!(comp.contains("component(s)"), "{comp}");
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn errors_are_clean() {
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = cli().args(["gen", "--out", "/tmp/x"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scale"));
+
+    // Nonexistent graph file.
+    let out = cli()
+        .args(["info", "--graph", "/nonexistent/nope.xbfs"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Corrupt graph bytes.
+    let bad = tmpfile("bad.xbfs");
+    std::fs::write(&bad, b"not a graph").unwrap();
+    let out = cli()
+        .args(["info", "--graph", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn repro_binary_lists_and_rejects() {
+    let repro = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert!(repro.status.success());
+    let help = String::from_utf8_lossy(&repro.stdout);
+    assert!(help.contains("table4"), "{help}");
+
+    let bad = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("not-an-experiment")
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}

@@ -1,0 +1,123 @@
+//! Single-architecture combination execution with a simulated clock.
+//!
+//! The paper's `CPUCB`, `GPUCB` and `MICCB` columns: run the
+//! direction-optimizing engine with a policy, then charge each executed
+//! level on the device's cost model. Pure `*TD` / `*BU` variants fall out
+//! by passing the corresponding always-policies.
+
+use serde::{Deserialize, Serialize};
+use xbfs_archsim::ArchSpec;
+use xbfs_engine::{hybrid, Direction, SwitchPolicy, Traversal};
+use xbfs_graph::{Csr, VertexId};
+
+/// A fully executed single-device traversal with simulated timing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SingleRun {
+    /// The real traversal.
+    pub traversal: Traversal,
+    /// Simulated seconds per level.
+    pub level_seconds: Vec<f64>,
+    /// Total simulated seconds.
+    pub total_seconds: f64,
+}
+
+impl SingleRun {
+    /// Simulated TEPS for this run given the component's edge count.
+    pub fn teps(&self, component_edges: u64) -> f64 {
+        component_edges as f64 / self.total_seconds
+    }
+}
+
+/// Execute a traversal on `arch` with `policy` and charge simulated time.
+pub fn run_single(
+    csr: &Csr,
+    source: VertexId,
+    arch: &ArchSpec,
+    policy: &mut dyn SwitchPolicy,
+) -> SingleRun {
+    let traversal = hybrid::run(csr, source, policy);
+    let level_seconds: Vec<f64> = traversal
+        .levels
+        .iter()
+        .map(|rec| match rec.direction {
+            Direction::TopDown => arch.td_level_time(
+                rec.frontier_vertices,
+                rec.edges_examined,
+                rec.max_frontier_degree,
+            ),
+            Direction::BottomUp => arch.bu_level_time(
+                rec.vertices_scanned,
+                rec.edges_examined,
+                rec.frontier_vertices,
+            ),
+        })
+        .collect();
+    let total_seconds = level_seconds.iter().sum();
+    SingleRun { traversal, level_seconds, total_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_engine::{AlwaysBottomUp, AlwaysTopDown, FixedMN};
+
+    fn graph() -> Csr {
+        xbfs_graph::rmat::rmat_csr(12, 16)
+    }
+
+    #[test]
+    fn per_level_times_match_arch_model() {
+        let g = graph();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let run = run_single(&g, 0, &cpu, &mut AlwaysTopDown);
+        for (secs, rec) in run.level_seconds.iter().zip(&run.traversal.levels) {
+            let expect =
+                cpu.td_level_time(
+                rec.frontier_vertices,
+                rec.edges_examined,
+                rec.max_frontier_degree,
+            );
+            assert_eq!(*secs, expect);
+        }
+        assert_eq!(
+            run.total_seconds,
+            run.level_seconds.iter().sum::<f64>()
+        );
+    }
+
+    #[test]
+    fn combination_beats_pure_on_gpu() {
+        // Table IV's single-device story: GPUCB ≫ GPUTD and GPUBU. Uses a
+        // random non-isolated source (a hub source would make pure
+        // bottom-up optimal from level 0 and void the comparison).
+        let g = xbfs_graph::rmat::rmat_csr(14, 16);
+        let src = crate::training::pick_source(&g, 9).unwrap();
+        let gpu = ArchSpec::gpu_k20x();
+        let td = run_single(&g, src, &gpu, &mut AlwaysTopDown).total_seconds;
+        let bu = run_single(&g, src, &gpu, &mut AlwaysBottomUp).total_seconds;
+        let cb = run_single(&g, src, &gpu, &mut FixedMN::new(14.0, 24.0))
+            .total_seconds;
+        assert!(cb <= td && cb <= bu, "cb {cb} td {td} bu {bu}");
+    }
+
+    #[test]
+    fn teps_scales_inversely_with_time() {
+        let g = graph();
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let mic = ArchSpec::mic_knights_corner();
+        let rc = run_single(&g, 0, &cpu, &mut FixedMN::new(14.0, 24.0));
+        let rm = run_single(&g, 0, &mic, &mut FixedMN::new(14.0, 24.0));
+        let edges = 1_000_000u64;
+        assert!(rc.teps(edges) > rm.teps(edges));
+    }
+
+    #[test]
+    fn traversal_is_identical_across_archs() {
+        // The device only affects time, never the BFS result.
+        let g = graph();
+        let cpu = run_single(&g, 3, &ArchSpec::cpu_sandy_bridge(), &mut AlwaysTopDown);
+        let gpu = run_single(&g, 3, &ArchSpec::gpu_k20x(), &mut AlwaysTopDown);
+        assert_eq!(cpu.traversal.output, gpu.traversal.output);
+        assert_ne!(cpu.total_seconds, gpu.total_seconds);
+    }
+}

@@ -1,0 +1,396 @@
+//! The cross-architecture combination (the paper's Algorithm 3).
+//!
+//! `CPUTD+GPUCB`: the CPU runs top-down while the frontier is small
+//! (`|E|cq < |E|/M1` **and** `|V|cq < |V|/N1`); at the first violation the
+//! traversal state is shipped over the link and the GPU finishes the graph,
+//! choosing per level between top-down and bottom-up with `(M2, N2)`.
+//! Control never returns to the CPU — the paper found the tail levels are
+//! better served by the GPU's lower launch overhead than by paying another
+//! transfer (§IV).
+//!
+//! Two entry points:
+//! * [`cost_cross`] — price a parameter choice against a
+//!   [`TraversalProfile`] in O(depth); used by the oracle sweeps, training
+//!   and Fig. 8.
+//! * [`run_cross`] — actually execute the traversal level by level with
+//!   the engine kernels, producing a validated [`CrossRun`]; used by the
+//!   examples, Table IV/V and the end-to-end tests.
+
+use serde::{Deserialize, Serialize};
+use xbfs_archsim::{cost, ArchSpec, Link, TraversalProfile};
+use xbfs_engine::{Direction, FixedMN, SwitchContext, SwitchPolicy, Traversal};
+use xbfs_graph::{Csr, VertexId};
+
+/// Where one BFS level ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Top-down on the CPU.
+    CpuTd,
+    /// Top-down on the GPU.
+    GpuTd,
+    /// Bottom-up on the GPU.
+    GpuBu,
+}
+
+impl Placement {
+    /// The traversal direction of this placement.
+    pub fn direction(self) -> Direction {
+        match self {
+            Placement::CpuTd | Placement::GpuTd => Direction::TopDown,
+            Placement::GpuBu => Direction::BottomUp,
+        }
+    }
+
+    /// `true` if this placement runs on the GPU.
+    pub fn on_gpu(self) -> bool {
+        !matches!(self, Placement::CpuTd)
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::CpuTd => write!(f, "CPUTD"),
+            Placement::GpuTd => write!(f, "GPUTD"),
+            Placement::GpuBu => write!(f, "GPUBU"),
+        }
+    }
+}
+
+/// Parameters of Algorithm 3.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrossParams {
+    /// `(M1, N1)` — stay on the CPU while the frontier is below both
+    /// thresholds.
+    pub handoff: FixedMN,
+    /// `(M2, N2)` — the GPU-internal top-down/bottom-up switch.
+    pub gpu: FixedMN,
+}
+
+impl CrossParams {
+    /// Handoff semantics of line 9 of Algorithm 3: CPU top-down iff the
+    /// frontier is strictly below both thresholds.
+    fn stays_on_cpu(&self, ctx: &SwitchContext) -> bool {
+        !self.handoff.wants_bottom_up(ctx)
+    }
+}
+
+/// Decide the placement of every level of `profile` per Algorithm 3.
+///
+/// The CPU phase is a *prefix*: once any level triggers the handoff, all
+/// remaining levels run on the GPU (the inner `while` of Algorithm 3).
+pub fn placement_script(
+    profile: &TraversalProfile,
+    params: &CrossParams,
+) -> Vec<Placement> {
+    let mut on_gpu = false;
+    profile
+        .levels
+        .iter()
+        .map(|lp| {
+            let ctx = cost::switch_context(profile, lp);
+            if !on_gpu && params.stays_on_cpu(&ctx) {
+                Placement::CpuTd
+            } else {
+                on_gpu = true;
+                if params.gpu.wants_bottom_up(&ctx) {
+                    Placement::GpuBu
+                } else {
+                    Placement::GpuTd
+                }
+            }
+        })
+        .collect()
+}
+
+/// The priced execution plan of a cross-architecture traversal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrossCost {
+    /// Placement per level.
+    pub placements: Vec<Placement>,
+    /// Simulated seconds per level (compute only).
+    pub level_seconds: Vec<f64>,
+    /// Seconds spent on the CPU→GPU handoff transfer (0 if it never fires).
+    pub transfer_seconds: f64,
+    /// Total simulated seconds.
+    pub total_seconds: f64,
+}
+
+/// Price Algorithm 3 with `params` against a profile.
+pub fn cost_cross(
+    profile: &TraversalProfile,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+) -> CrossCost {
+    let placements = placement_script(profile, params);
+    let mut level_seconds = Vec::with_capacity(placements.len());
+    let mut transfer_seconds = 0.0;
+    let mut prev_on_gpu = false;
+    for (lp, &pl) in profile.levels.iter().zip(&placements) {
+        if pl.on_gpu() && !prev_on_gpu {
+            let bytes =
+                Link::handoff_bytes(profile.total_vertices, lp.frontier_vertices);
+            transfer_seconds += link.transfer_time(bytes);
+            prev_on_gpu = true;
+        }
+        let arch = if pl.on_gpu() { gpu } else { cpu };
+        level_seconds.push(cost::level_time(arch, lp, pl.direction()));
+    }
+    let total_seconds = level_seconds.iter().sum::<f64>() + transfer_seconds;
+    CrossCost { placements, level_seconds, transfer_seconds, total_seconds }
+}
+
+/// A policy adapter so the engine driver can execute Algorithm 3: it
+/// resolves placements and remembers them for post-hoc charging.
+struct CrossPolicy {
+    params: CrossParams,
+    on_gpu: bool,
+    placements: Vec<Placement>,
+}
+
+impl SwitchPolicy for CrossPolicy {
+    fn direction(&mut self, ctx: &SwitchContext) -> Direction {
+        let placement = if !self.on_gpu && self.params.stays_on_cpu(ctx) {
+            Placement::CpuTd
+        } else {
+            self.on_gpu = true;
+            if self.params.gpu.wants_bottom_up(ctx) {
+                Placement::GpuBu
+            } else {
+                Placement::GpuTd
+            }
+        };
+        self.placements.push(placement);
+        placement.direction()
+    }
+}
+
+/// A fully executed cross-architecture traversal.
+#[derive(Clone, Debug)]
+pub struct CrossRun {
+    /// The real traversal (parents, levels, per-level trace).
+    pub traversal: Traversal,
+    /// Placement per level.
+    pub placements: Vec<Placement>,
+    /// Simulated seconds per level.
+    pub level_seconds: Vec<f64>,
+    /// Seconds charged for the CPU→GPU handoff.
+    pub transfer_seconds: f64,
+    /// Total simulated seconds.
+    pub total_seconds: f64,
+}
+
+/// Execute Algorithm 3 for real: engine kernels traverse `csr`, placements
+/// follow `params`, and the simulated clock charges each level on its
+/// device plus the handoff transfer.
+///
+/// # Examples
+/// ```
+/// use xbfs_archsim::{ArchSpec, Link};
+/// use xbfs_core::cross::{run_cross, CrossParams};
+/// use xbfs_engine::FixedMN;
+///
+/// let g = xbfs_graph::rmat::rmat_csr(10, 16);
+/// let params = CrossParams {
+///     handoff: FixedMN::new(64.0, 64.0),
+///     gpu: FixedMN::new(14.0, 24.0),
+/// };
+/// let run = run_cross(
+///     &g, 0,
+///     &ArchSpec::cpu_sandy_bridge(),
+///     &ArchSpec::gpu_k20x(),
+///     &Link::pcie3(),
+///     &params,
+/// );
+/// assert!(xbfs_engine::validate(&g, &run.traversal.output).is_ok());
+/// assert_eq!(run.placements.len(), run.level_seconds.len());
+/// ```
+pub fn run_cross(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+) -> CrossRun {
+    let mut policy =
+        CrossPolicy { params: *params, on_gpu: false, placements: Vec::new() };
+    let traversal = xbfs_engine::hybrid::run(csr, source, &mut policy);
+    let placements = policy.placements;
+
+    let mut level_seconds = Vec::with_capacity(placements.len());
+    let mut transfer_seconds = 0.0;
+    let mut prev_on_gpu = false;
+    for (rec, &pl) in traversal.levels.iter().zip(&placements) {
+        if pl.on_gpu() && !prev_on_gpu {
+            let bytes = Link::handoff_bytes(
+                csr.num_vertices() as u64,
+                rec.frontier_vertices,
+            );
+            transfer_seconds += link.transfer_time(bytes);
+            prev_on_gpu = true;
+        }
+        let arch = if pl.on_gpu() { gpu } else { cpu };
+        let secs = match pl.direction() {
+            Direction::TopDown => arch.td_level_time(
+                rec.frontier_vertices,
+                rec.edges_examined,
+                rec.max_frontier_degree,
+            ),
+            Direction::BottomUp => arch.bu_level_time(
+                rec.vertices_scanned,
+                rec.edges_examined,
+                rec.frontier_vertices,
+            ),
+        };
+        level_seconds.push(secs);
+    }
+    let total_seconds = level_seconds.iter().sum::<f64>() + transfer_seconds;
+    CrossRun { traversal, placements, level_seconds, transfer_seconds, total_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_archsim::profile;
+    use xbfs_engine::validate;
+
+    fn setup() -> (Csr, TraversalProfile, ArchSpec, ArchSpec, Link) {
+        let g = xbfs_graph::rmat::rmat_csr(12, 16);
+        let p = profile(&g, 0);
+        (
+            g,
+            p,
+            ArchSpec::cpu_sandy_bridge(),
+            ArchSpec::gpu_k20x(),
+            Link::pcie3(),
+        )
+    }
+
+    fn paperish_params() -> CrossParams {
+        CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        }
+    }
+
+    #[test]
+    fn placement_is_cpu_prefix_then_gpu() {
+        let (_, p, ..) = setup();
+        let script = placement_script(&p, &paperish_params());
+        let first_gpu = script.iter().position(|pl| pl.on_gpu());
+        if let Some(k) = first_gpu {
+            assert!(script[..k].iter().all(|&pl| pl == Placement::CpuTd));
+            assert!(script[k..].iter().all(|pl| pl.on_gpu()), "{script:?}");
+        }
+        // With these thresholds on an R-MAT graph both phases must occur.
+        assert!(script[0] == Placement::CpuTd, "{script:?}");
+        assert!(script.iter().any(|pl| pl.on_gpu()), "{script:?}");
+    }
+
+    #[test]
+    fn gpu_tail_switches_back_to_topdown() {
+        // The CPUTD+GPUCB signature (Table IV): the last levels are GPUTD.
+        let (_, p, ..) = setup();
+        let script = placement_script(&p, &paperish_params());
+        assert_eq!(*script.last().unwrap(), Placement::GpuTd, "{script:?}");
+        assert!(script.contains(&Placement::GpuBu), "{script:?}");
+    }
+
+    #[test]
+    fn transfer_charged_exactly_once() {
+        let (_, p, cpu, gpu, link) = setup();
+        let c = cost_cross(&p, &cpu, &gpu, &link, &paperish_params());
+        assert!(c.transfer_seconds > 0.0);
+        // Handoff for this graph: 4096-bit bitmap + small frontier.
+        let lo = link.transfer_time(Link::handoff_bytes(4096, 0));
+        let hi = link.transfer_time(Link::handoff_bytes(4096, 4096));
+        assert!(c.transfer_seconds >= lo && c.transfer_seconds <= hi);
+    }
+
+    #[test]
+    fn all_cpu_params_mean_no_transfer() {
+        let (_, p, cpu, gpu, link) = setup();
+        let params = CrossParams {
+            handoff: FixedMN::new(1e-6, 1e-6), // thresholds above any frontier
+            gpu: FixedMN::new(14.0, 24.0),
+        };
+        let c = cost_cross(&p, &cpu, &gpu, &link, &params);
+        assert_eq!(c.transfer_seconds, 0.0);
+        assert!(c.placements.iter().all(|&pl| pl == Placement::CpuTd));
+    }
+
+    #[test]
+    fn immediate_handoff_runs_all_gpu() {
+        let (_, p, cpu, gpu, link) = setup();
+        let params = CrossParams {
+            handoff: FixedMN::new(1e9, 1e9), // any frontier triggers handoff
+            gpu: FixedMN::new(14.0, 24.0),
+        };
+        let c = cost_cross(&p, &cpu, &gpu, &link, &params);
+        assert!(c.placements.iter().all(|pl| pl.on_gpu()));
+        assert!(c.transfer_seconds > 0.0);
+    }
+
+    #[test]
+    fn cost_matches_run_on_same_placements() {
+        // The profile-based costing and the real executor must agree.
+        let (g, p, cpu, gpu, link) = setup();
+        let params = paperish_params();
+        let c = cost_cross(&p, &cpu, &gpu, &link, &params);
+        let r = run_cross(&g, 0, &cpu, &gpu, &link, &params);
+        assert_eq!(c.placements, r.placements);
+        assert_eq!(c.level_seconds.len(), r.level_seconds.len());
+        for (a, b) in c.level_seconds.iter().zip(&r.level_seconds) {
+            assert!((a - b).abs() < 1e-12, "cost {a} vs run {b}");
+        }
+        assert!((c.total_seconds - r.total_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_cross_output_is_a_valid_bfs() {
+        let (g, _, cpu, gpu, link) = setup();
+        let r = run_cross(&g, 0, &cpu, &gpu, &link, &paperish_params());
+        assert_eq!(validate(&g, &r.traversal.output), Ok(()));
+    }
+
+    #[test]
+    fn cross_beats_single_gpu_on_scale_free() {
+        // The paper's headline: CPUTD+GPUCB beats GPUCB because the CPU
+        // absorbs the small early levels (Table IV: 36.1× vs 16.5×).
+        // The win needs enough per-level work to beat launch overheads —
+        // the paper evaluates at 2–8 M vertices; scale 17 is the smallest
+        // point where the effect is unambiguous in the cost model.
+        use xbfs_archsim::cost_fixed_mn;
+        let g = xbfs_graph::rmat::rmat_csr(17, 32);
+        let src = crate::training::pick_source(&g, 4).unwrap();
+        let p = profile(&g, src);
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let gpu = ArchSpec::gpu_k20x();
+        let link = Link::pcie3();
+        let cross = crate::oracle::best_mn_cross(
+            &p,
+            &cpu,
+            &gpu,
+            &link,
+            FixedMN::new(14.0, 24.0),
+            &crate::oracle::MnGrid::coarse(),
+        );
+        let gpu_only =
+            cost_fixed_mn(&p, &gpu, FixedMN::new(14.0, 24.0));
+        assert!(
+            cross.seconds < gpu_only,
+            "cross {} vs gpu {}",
+            cross.seconds,
+            gpu_only
+        );
+    }
+
+    #[test]
+    fn placement_display() {
+        assert_eq!(Placement::CpuTd.to_string(), "CPUTD");
+        assert_eq!(Placement::GpuBu.to_string(), "GPUBU");
+    }
+}

@@ -1,0 +1,90 @@
+//! The Fig. 7 training-sample layout.
+//!
+//! Each sample concatenates the graph information with *two* architecture
+//! blocks — the platform running top-down and the platform running
+//! bottom-up (identical for single-architecture combinations):
+//!
+//! ```text
+//! [ V, E, A, B, C, D,  P1, L1, B1,  P2, L2, B2 ]
+//!   └── graph ──────┘  └─ TD arch ┘ └─ BU arch ┘
+//! ```
+//!
+//! `V`/`E` enter as log₂ (the paper's SCALE/edgefactor parameterization);
+//! raw counts spanning 2²⁰–2²⁶ would dominate every other feature even
+//! after standardization.
+
+use xbfs_archsim::ArchSpec;
+use xbfs_graph::GraphStats;
+
+/// Dimension of the feature vector.
+pub const FEATURE_DIM: usize = 12;
+
+/// Assemble the Fig. 7 feature vector for a traversal of `graph` with
+/// top-down on `arch_td` and bottom-up on `arch_bu`.
+pub fn feature_vector(
+    graph: &GraphStats,
+    arch_td: &ArchSpec,
+    arch_bu: &ArchSpec,
+) -> Vec<f64> {
+    let mut v = Vec::with_capacity(FEATURE_DIM);
+    v.push((graph.num_vertices.max(1) as f64).log2());
+    v.push((graph.num_edges.max(1) as f64).log2());
+    v.push(graph.a);
+    v.push(graph.b);
+    v.push(graph.c);
+    v.push(graph.d);
+    v.extend_from_slice(&arch_td.feature_triple());
+    v.extend_from_slice(&arch_bu.feature_triple());
+    debug_assert_eq!(v.len(), FEATURE_DIM);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::gen;
+
+    fn stats() -> GraphStats {
+        let g = gen::complete(8);
+        GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05)
+    }
+
+    #[test]
+    fn layout_matches_fig7() {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let gpu = ArchSpec::gpu_k20x();
+        let v = feature_vector(&stats(), &cpu, &gpu);
+        assert_eq!(v.len(), FEATURE_DIM);
+        assert_eq!(v[0], 3.0); // log2(8 vertices)
+        assert!((v[1] - (28f64).log2()).abs() < 1e-12);
+        assert_eq!(&v[2..6], &[0.57, 0.19, 0.19, 0.05]);
+        assert_eq!(&v[6..9], &[256.0, 32.0, 34.0]); // CPU: P, L1, B
+        assert_eq!(&v[9..12], &[3950.0, 64.0, 188.0]); // GPU: P, L1, B
+    }
+
+    #[test]
+    fn single_arch_blocks_are_identical() {
+        let mic = ArchSpec::mic_knights_corner();
+        let v = feature_vector(&stats(), &mic, &mic);
+        assert_eq!(&v[6..9], &v[9..12]);
+    }
+
+    #[test]
+    fn arch_order_matters() {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let gpu = ArchSpec::gpu_k20x();
+        assert_ne!(
+            feature_vector(&stats(), &cpu, &gpu),
+            feature_vector(&stats(), &gpu, &cpu)
+        );
+    }
+
+    #[test]
+    fn empty_graph_stays_finite() {
+        let g = gen::path(0);
+        let s = GraphStats::unknown(&g);
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let v = feature_vector(&s, &cpu, &cpu);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's contribution: adaptive, regression-predicted switch points
+//! and the cross-architecture top-down/bottom-up combination.
+//!
+//! You et al. (ICPP'14) make two moves on top of Beamer-style
+//! direction-optimizing BFS:
+//!
+//! 1. **Adaptive switching** (§III) — instead of hand-tuning the `(M, N)`
+//!    thresholds per graph and platform by trial-and-error, train an SVM
+//!    regression offline on (graph features, architecture features) → best
+//!    switching point, and predict at runtime with negligible overhead.
+//!    Implemented by [`features`] (the Fig. 7 sample layout), [`training`]
+//!    (Fig. 6's exhaustive-search labeling), [`predictor`] (the online
+//!    model) and [`strategies`] (the Fig. 8 evaluation harness).
+//! 2. **Cross-architecture combination** (§IV) — run top-down on the CPU
+//!    for the tiny early frontiers, hand off to the GPU for bottom-up in
+//!    the middle, and *stay* on the GPU switching back to top-down for the
+//!    tail (Algorithm 3, `CPUTD+GPUCB`). Implemented by [`cross`], with
+//!    single-device combinations in [`combination`] and exhaustive-search
+//!    oracles in [`oracle`].
+//!
+//! Everything executes the real BFS via `xbfs-engine` and charges simulated
+//! time via `xbfs-archsim` (see DESIGN.md for the hardware substitution).
+//! The one-stop entry point is [`runtime::AdaptiveRuntime`].
+
+pub mod ablation;
+pub mod combination;
+pub mod cross;
+pub mod features;
+pub mod graph500;
+pub mod oracle;
+pub mod predictor;
+pub mod runtime;
+pub mod strategies;
+pub mod training;
+
+pub use combination::{run_single, SingleRun};
+pub use cross::{cost_cross, run_cross, CrossCost, CrossParams, CrossRun, Placement};
+pub use features::feature_vector;
+pub use oracle::MnGrid;
+pub use predictor::SwitchPredictor;
+pub use runtime::AdaptiveRuntime;

@@ -1,0 +1,272 @@
+//! Offline training-set generation (the paper's Fig. 6, left column).
+//!
+//! For every (graph, architecture-pair) combination: profile one BFS, run
+//! the exhaustive `(M, N)` sweep, and label the Fig. 7 feature vector with
+//! the best-performing switching point. Two parallel datasets come out —
+//! one targeting `M`, one targeting `N` — because the paper trains one
+//! regression per parameter ("We will only illustrate how to get the best
+//! M. The best N can be obtained the same way", §III).
+
+use crate::{
+    features::feature_vector,
+    oracle::{best_mn_cross, best_mn_single, MnGrid},
+};
+use serde::{Deserialize, Serialize};
+use xbfs_archsim::{profile, ArchSpec, Link};
+use xbfs_engine::FixedMN;
+use xbfs_graph::{GraphStats, RmatConfig, RmatGenerator};
+
+/// Which graphs and how the sweep labels them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Graph 500 SCALEs to generate.
+    pub scales: Vec<u32>,
+    /// Edgefactors per scale.
+    pub edgefactors: Vec<u32>,
+    /// Kronecker probability sets `(A, B, C, D)`.
+    pub prob_sets: Vec<(f64, f64, f64, f64)>,
+    /// BFS sources per graph (drawn deterministically from the seed).
+    pub sources_per_graph: usize,
+    /// The exhaustive-search grid.
+    pub grid: MnGrid,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TrainingConfig {
+    /// A configuration sized like the paper's 140-sample training set
+    /// (graphs × probability sets × sources × 4 architecture pairs).
+    pub fn paper_sized() -> Self {
+        Self {
+            scales: vec![10, 11, 12, 13, 14],
+            edgefactors: vec![8, 16, 32],
+            prob_sets: vec![
+                (0.57, 0.19, 0.19, 0.05),
+                (0.45, 0.25, 0.15, 0.15),
+            ],
+            sources_per_graph: 1,
+            grid: MnGrid::paper_1000(),
+            seed: 0x7ea1_2014,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            scales: vec![9, 10],
+            edgefactors: vec![8, 16],
+            prob_sets: vec![(0.57, 0.19, 0.19, 0.05)],
+            sources_per_graph: 1,
+            grid: MnGrid::coarse(),
+            seed: 42,
+        }
+    }
+}
+
+/// Bookkeeping for one labeled sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainingLabel {
+    /// Graph SCALE.
+    pub scale: u32,
+    /// Graph edgefactor.
+    pub edgefactor: u32,
+    /// "CPU", "GPU", "MIC" or "CPU+GPU".
+    pub pair: String,
+    /// The best `(M, N)` the sweep found.
+    pub best: FixedMN,
+    /// Simulated seconds at the best point.
+    pub seconds: f64,
+}
+
+/// The generated training data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingSet {
+    /// Features → best `M`.
+    pub dataset_m: xbfs_svm::Dataset,
+    /// Features → best `N`.
+    pub dataset_n: xbfs_svm::Dataset,
+    /// One label record per sample, aligned with the datasets.
+    pub labels: Vec<TrainingLabel>,
+}
+
+impl TrainingSet {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if no samples were generated.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// The four architecture pairs the paper's model must serve: the three
+/// single-device combinations plus the CPU→GPU cross pair of Algorithm 3.
+pub fn paper_arch_pairs() -> Vec<(ArchSpec, ArchSpec)> {
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let mic = ArchSpec::mic_knights_corner();
+    vec![
+        (cpu.clone(), cpu.clone()),
+        (gpu.clone(), gpu.clone()),
+        (mic.clone(), mic),
+        (cpu, gpu),
+    ]
+}
+
+/// Human-readable pair name.
+fn pair_name(td: &ArchSpec, bu: &ArchSpec) -> String {
+    if td.name == bu.name {
+        td.name.clone()
+    } else {
+        format!("{}+{}", td.name, bu.name)
+    }
+}
+
+/// Generate the training set over `arch_pairs` (Fig. 6 steps 1–2).
+///
+/// For a single-architecture pair the label is the best `(M, N)` of that
+/// device's sweep. For a cross pair, the GPU-internal `(M2, N2)` is first
+/// fixed at the bottom-up device's own best, then the handoff `(M1, N1)`
+/// is swept — matching Algorithm 3's two separate `RegressionModel` calls.
+pub fn generate(
+    config: &TrainingConfig,
+    arch_pairs: &[(ArchSpec, ArchSpec)],
+    link: &Link,
+) -> TrainingSet {
+    let mut dataset_m = xbfs_svm::Dataset::new(crate::features::FEATURE_DIM);
+    let mut dataset_n = xbfs_svm::Dataset::new(crate::features::FEATURE_DIM);
+    let mut labels = Vec::new();
+
+    for &scale in &config.scales {
+        for &edgefactor in &config.edgefactors {
+            for (pi, &(a, b, c, d)) in config.prob_sets.iter().enumerate() {
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(((scale as u64) << 24) ^ ((edgefactor as u64) << 8) ^ pi as u64);
+                let rmat = RmatConfig::new(scale, edgefactor)
+                    .with_probabilities(a, b, c, d)
+                    .with_seed(seed);
+                let csr = RmatGenerator::new(rmat).csr();
+                let stats = GraphStats::rmat(&csr, a, b, c, d);
+
+                for s in 0..config.sources_per_graph {
+                    let Some(source) = pick_source(&csr, seed ^ s as u64) else {
+                        continue;
+                    };
+                    let prof = profile(&csr, source);
+                    for (td, bu) in arch_pairs {
+                        let best = if td.name == bu.name {
+                            best_mn_single(&prof, td, &config.grid)
+                        } else {
+                            let gpu_best =
+                                best_mn_single(&prof, bu, &config.grid).mn;
+                            best_mn_cross(&prof, td, bu, link, gpu_best, &config.grid)
+                        };
+                        let x = feature_vector(&stats, td, bu);
+                        dataset_m.push(x.clone(), best.mn.m);
+                        dataset_n.push(x, best.mn.n);
+                        labels.push(TrainingLabel {
+                            scale,
+                            edgefactor,
+                            pair: pair_name(td, bu),
+                            best: best.mn,
+                            seconds: best.seconds,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    TrainingSet { dataset_m, dataset_n, labels }
+}
+
+/// Pick a deterministic non-isolated BFS source, Graph 500 style (roots
+/// must have degree ≥ 1). Returns `None` for edgeless graphs.
+pub fn pick_source(csr: &xbfs_graph::Csr, seed: u64) -> Option<u32> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    // Deterministic probe sequence from a splitmix-style hash.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..n.min(1024) {
+        state ^= state >> 30;
+        state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state ^= state >> 27;
+        let v = (state % n as u64) as u32;
+        if csr.degree(v) > 0 {
+            return Some(v);
+        }
+    }
+    csr.vertices().find(|&v| csr.degree(v) > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_generates_aligned_datasets() {
+        let cfg = TrainingConfig::quick();
+        let pairs = paper_arch_pairs();
+        let ts = generate(&cfg, &pairs, &Link::pcie3());
+        // 2 scales × 2 edgefactors × 1 prob set × 1 source × 4 pairs.
+        assert_eq!(ts.len(), 16);
+        assert_eq!(ts.dataset_m.len(), 16);
+        assert_eq!(ts.dataset_n.len(), 16);
+        assert!(ts.labels.iter().all(|l| l.best.m > 0.0 && l.best.n > 0.0));
+        assert!(ts.labels.iter().all(|l| l.seconds > 0.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TrainingConfig::quick();
+        let pairs = vec![(ArchSpec::cpu_sandy_bridge(), ArchSpec::cpu_sandy_bridge())];
+        let a = generate(&cfg, &pairs, &Link::pcie3());
+        let b = generate(&cfg, &pairs, &Link::pcie3());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.dataset_m, b.dataset_m);
+    }
+
+    #[test]
+    fn labels_cover_all_pairs() {
+        let cfg = TrainingConfig::quick();
+        let ts = generate(&cfg, &paper_arch_pairs(), &Link::pcie3());
+        for name in ["CPU", "GPU", "MIC", "CPU+GPU"] {
+            assert!(
+                ts.labels.iter().any(|l| l.pair == name),
+                "missing pair {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_m_varies_across_samples() {
+        // Table III's point: the best switching point changes significantly
+        // between graphs/platforms — the training targets must not be
+        // constant or regression would be pointless.
+        let cfg = TrainingConfig::quick();
+        let ts = generate(&cfg, &paper_arch_pairs(), &Link::pcie3());
+        let first = ts.dataset_m.target(0);
+        assert!(
+            ts.dataset_m.targets().iter().any(|&t| t != first),
+            "all best-M labels identical: {:?}",
+            ts.dataset_m.targets()
+        );
+    }
+
+    #[test]
+    fn pick_source_avoids_isolated_vertices() {
+        let g = xbfs_graph::gen::star(50);
+        for seed in 0..20 {
+            let s = pick_source(&g, seed).unwrap();
+            assert!(g.degree(s) > 0);
+        }
+        let empty = xbfs_graph::gen::uniform_random(10, 0, 1);
+        assert_eq!(pick_source(&empty, 0), None);
+    }
+}

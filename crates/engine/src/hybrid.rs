@@ -1,0 +1,180 @@
+//! The direction-optimizing BFS driver.
+//!
+//! One loop drives every sequential engine in this crate: before each level
+//! it measures the frontier (`|V|cq`, `|E|cq`), asks the [`SwitchPolicy`]
+//! for a direction, converts the frontier representation if needed (queue
+//! for top-down, bitmap for bottom-up — the paper's §V-A storage choices)
+//! and runs the corresponding kernel. With [`AlwaysTopDown`] /
+//! [`AlwaysBottomUp`] it degenerates to Algorithms 1 / 2; with a
+//! [`FixedMN`](crate::FixedMN) policy it is Beamer-style combination BFS.
+//!
+//! [`AlwaysTopDown`]: crate::AlwaysTopDown
+//! [`AlwaysBottomUp`]: crate::AlwaysBottomUp
+
+use crate::{
+    bottomup, stats::LevelRecord, topdown, BfsOutput, Direction, SwitchContext,
+    SwitchPolicy, Traversal,
+};
+use xbfs_graph::{Bitmap, Csr, VertexId};
+
+/// Run a complete traversal from `source`, choosing a direction per level.
+///
+/// # Examples
+/// ```
+/// use xbfs_engine::{hybrid, validate, FixedMN};
+///
+/// let g = xbfs_graph::gen::grid(4, 4);
+/// let t = hybrid::run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+/// assert_eq!(t.output.visited_count(), 16);
+/// assert_eq!(t.output.max_level(), 6); // corner-to-corner Manhattan
+/// assert!(validate(&g, &t.output).is_ok());
+/// ```
+pub fn run(csr: &Csr, source: VertexId, policy: &mut dyn SwitchPolicy) -> Traversal {
+    let n = csr.num_vertices();
+    let total_edges = csr.num_directed_edges();
+    let mut out = BfsOutput::init(n, source);
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut records: Vec<LevelRecord> = Vec::new();
+
+    let mut unvisited_vertices = n as u64 - 1;
+    let mut unvisited_edges = total_edges - csr.degree(source);
+    let mut level: u32 = 0;
+
+    while !frontier.is_empty() {
+        let frontier_vertices = frontier.len() as u64;
+        let (frontier_edges, max_frontier_degree) = frontier_degree_stats(csr, &frontier);
+        let ctx = SwitchContext {
+            level,
+            frontier_vertices,
+            frontier_edges,
+            max_frontier_degree,
+            total_vertices: n as u64,
+            total_edges,
+        };
+        let direction = policy.direction(&ctx);
+
+        let (next, edges_examined, vertices_scanned) = match direction {
+            Direction::TopDown => {
+                let (next, examined) = topdown::level(csr, &frontier, &mut out, level + 1);
+                (next, examined, frontier_vertices)
+            }
+            Direction::BottomUp => {
+                let mut bits = Bitmap::new(n as usize);
+                for &v in &frontier {
+                    bits.set(v);
+                }
+                bottomup::level(csr, &bits, &mut out, level + 1)
+            }
+        };
+
+        let discovered = next.len() as u64;
+        let discovered_edges: u64 = next.iter().map(|&v| csr.degree(v)).sum();
+        records.push(LevelRecord {
+            level,
+            frontier_vertices,
+            frontier_edges,
+            max_frontier_degree,
+            unvisited_vertices,
+            unvisited_edges,
+            edges_examined,
+            vertices_scanned,
+            discovered,
+            direction,
+        });
+
+        unvisited_vertices -= discovered;
+        unvisited_edges -= discovered_edges;
+        frontier = next;
+        level += 1;
+    }
+
+    Traversal { output: out, levels: records }
+}
+
+/// `(Σ degree, max degree)` over the frontier — `|E|cq` and the level's
+/// serial critical path.
+pub(crate) fn frontier_degree_stats(csr: &Csr, frontier: &[VertexId]) -> (u64, u64) {
+    frontier.iter().fold((0, 0), |(sum, max), &v| {
+        let d = csr.degree(v);
+        (sum + d, max.max(d))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bottomup as bu, topdown as td, FixedMN};
+    use xbfs_graph::gen;
+
+    #[test]
+    fn hybrid_matches_pure_engines() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 16);
+        let reference = td::run(&g, 0);
+        let mut policy = FixedMN::new(14.0, 24.0);
+        let hybrid = run(&g, 0, &mut policy);
+        assert_eq!(hybrid.output.levels, reference.output.levels);
+        assert_eq!(hybrid.output.visited_count(), reference.output.visited_count());
+    }
+
+    #[test]
+    fn hybrid_actually_switches_on_rmat() {
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let mut policy = FixedMN::new(14.0, 24.0);
+        let t = run(&g, 0, &mut policy);
+        let dirs = t.direction_script();
+        assert!(dirs.contains(&Direction::TopDown), "no TD level: {dirs:?}");
+        assert!(dirs.contains(&Direction::BottomUp), "no BU level: {dirs:?}");
+        // Early levels top-down, the peak bottom-up (the paper's Fig. 3/4).
+        assert_eq!(dirs[0], Direction::TopDown);
+        let peak = t.peak_level().unwrap() as usize;
+        assert_eq!(dirs[peak], Direction::BottomUp);
+    }
+
+    #[test]
+    fn switch_reduces_examined_edges() {
+        // Combination should examine fewer edges than either pure engine on
+        // a scale-free graph — that is the entire premise of the paper.
+        let g = xbfs_graph::rmat::rmat_csr(11, 16);
+        let td_total = td::run(&g, 0).total_edges_examined();
+        let bu_total = bu::run(&g, 0).total_edges_examined();
+        let mut policy = FixedMN::new(14.0, 24.0);
+        let hy_total = run(&g, 0, &mut policy).total_edges_examined();
+        assert!(hy_total < td_total, "hybrid {hy_total} vs TD {td_total}");
+        assert!(hy_total < bu_total, "hybrid {hy_total} vs BU {bu_total}");
+    }
+
+    #[test]
+    fn unvisited_accounting_is_consistent() {
+        let g = xbfs_graph::rmat::rmat_csr(8, 8);
+        let t = run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+        // unvisited counts decrease monotonically and start at |V| - 1.
+        assert_eq!(
+            t.levels[0].unvisited_vertices,
+            g.num_vertices() as u64 - 1
+        );
+        for w in t.levels.windows(2) {
+            assert_eq!(
+                w[1].unvisited_vertices,
+                w[0].unvisited_vertices - w[0].discovered
+            );
+            assert!(w[1].unvisited_edges <= w[0].unvisited_edges);
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = gen::path(1);
+        let t = run(&g, 0, &mut FixedMN::new(10.0, 10.0));
+        assert_eq!(t.output.visited_count(), 1);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn frontier_edge_metric_matches_degree_sum() {
+        let g = gen::binary_tree(15);
+        let t = run(&g, 0, &mut crate::AlwaysTopDown);
+        // Level 1 frontier = {1, 2}, both have degree 3 in a 15-node tree.
+        assert_eq!(t.levels[1].frontier_vertices, 2);
+        assert_eq!(t.levels[1].frontier_edges, 6);
+    }
+}

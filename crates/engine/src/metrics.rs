@@ -1,0 +1,115 @@
+//! TEPS accounting (Graph 500 Table I).
+//!
+//! TEPS — *traversed edges per second* — is the Graph 500 performance
+//! metric: the number of input edges in the traversed component divided by
+//! BFS time. Note that it is deliberately *not* "edges examined": a
+//! bottom-up kernel that examines fewer edges in the same time scores the
+//! same TEPS, which is exactly how the paper's speedups are expressed.
+
+use serde::{Deserialize, Serialize};
+
+/// A BFS performance measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Teps {
+    /// Undirected input edges within the traversed component.
+    pub edges: u64,
+    /// Traversal time in seconds.
+    pub seconds: f64,
+}
+
+impl Teps {
+    /// Construct from an edge count and a duration.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is not positive and finite.
+    pub fn new(edges: u64, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "traversal time must be positive, got {seconds}"
+        );
+        Self { edges, seconds }
+    }
+
+    /// Traversed edges per second.
+    pub fn teps(&self) -> f64 {
+        self.edges as f64 / self.seconds
+    }
+
+    /// TEPS in units of 10⁹ (the paper's Table VI is in GTEPS).
+    pub fn gteps(&self) -> f64 {
+        self.teps() / 1e9
+    }
+
+    /// TEPS in units of 10⁶.
+    pub fn mteps(&self) -> f64 {
+        self.teps() / 1e6
+    }
+
+    /// Speedup of `self` over `other` at equal edge counts — the ratio of
+    /// rates, which equals the ratio of times when the workload matches.
+    pub fn speedup_over(&self, other: &Teps) -> f64 {
+        self.teps() / other.teps()
+    }
+}
+
+/// Harmonic mean of TEPS values — the Graph 500-prescribed aggregate over
+/// multiple BFS roots (arithmetic-averaging rates overweights lucky roots).
+pub fn harmonic_mean_teps(samples: &[Teps]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let inv_sum: f64 = samples.iter().map(|t| 1.0 / t.teps()).sum();
+    samples.len() as f64 / inv_sum
+}
+
+/// Arithmetic mean of raw TEPS values (reported by some prior work; kept
+/// for comparisons).
+pub fn mean_teps(samples: &[Teps]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(Teps::teps).sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rates() {
+        let t = Teps::new(2_000_000_000, 2.0);
+        assert_eq!(t.teps(), 1e9);
+        assert_eq!(t.gteps(), 1.0);
+        assert_eq!(t.mteps(), 1000.0);
+    }
+
+    #[test]
+    fn speedup_is_time_ratio_for_same_edges() {
+        let fast = Teps::new(100, 1.0);
+        let slow = Teps::new(100, 4.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_punishes_outliers() {
+        let samples = [Teps::new(100, 1.0), Teps::new(100, 100.0)];
+        let hm = harmonic_mean_teps(&samples);
+        let am = mean_teps(&samples);
+        assert!(hm < am);
+        // Harmonic mean of 100 and 1 TEPS is ~1.98.
+        assert!((hm - 200.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_sets() {
+        assert_eq!(harmonic_mean_teps(&[]), 0.0);
+        assert_eq!(mean_teps(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_time() {
+        Teps::new(1, 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-threaded BFS kernels.
+//!
+//! These are the "real hardware" kernels behind the paper's CPU numbers and
+//! the Fig. 10 scaling study: chunked work distribution over crossbeam
+//! scoped threads, CAS parent-claiming for top-down (first writer wins,
+//! exactly one tree edge per vertex) and owner-computes partitioning for
+//! bottom-up (each thread exclusively scans a contiguous vertex range, so
+//! parent writes need no CAS).
+//!
+//! Parallel runs may pick different *parents* than sequential runs (the CAS
+//! race is won by an arbitrary frontier vertex) but always produce identical
+//! *level maps* — the property the test suite pins down.
+
+mod bottomup;
+mod pool;
+mod topdown;
+
+pub use pool::parallel_ranges;
+
+use crate::{
+    stats::LevelRecord, BfsOutput, Direction, SwitchContext, SwitchPolicy,
+    Traversal, UNREACHED,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+use xbfs_graph::{AtomicBitmap, Csr, VertexId, NO_PARENT};
+
+/// Shared traversal state for the parallel kernels.
+///
+/// Parent and level maps live in atomics for the duration of the traversal
+/// and are converted to a plain [`BfsOutput`] at the end.
+pub(crate) struct ParState {
+    source: VertexId,
+    parents: Vec<AtomicU32>,
+    levels: Vec<AtomicU32>,
+}
+
+impl ParState {
+    fn init(num_vertices: VertexId, source: VertexId) -> Self {
+        assert!(source < num_vertices, "source {source} out of range");
+        let parents: Vec<AtomicU32> =
+            (0..num_vertices).map(|_| AtomicU32::new(NO_PARENT)).collect();
+        let levels: Vec<AtomicU32> =
+            (0..num_vertices).map(|_| AtomicU32::new(UNREACHED)).collect();
+        parents[source as usize].store(source, Ordering::Relaxed);
+        levels[source as usize].store(0, Ordering::Relaxed);
+        Self { source, parents, levels }
+    }
+
+    #[inline]
+    pub(crate) fn visited(&self, v: VertexId) -> bool {
+        self.parents[v as usize].load(Ordering::Relaxed) != NO_PARENT
+    }
+
+    /// Claim `v` with parent `u`; `true` if this call won the race.
+    #[inline]
+    pub(crate) fn claim(&self, v: VertexId, u: VertexId, level: u32) -> bool {
+        if self.parents[v as usize]
+            .compare_exchange(NO_PARENT, u, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.levels[v as usize].store(level, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Uncontended adoption (bottom-up owner-computes; `v` is exclusive to
+    /// the calling thread).
+    #[inline]
+    pub(crate) fn adopt(&self, v: VertexId, u: VertexId, level: u32) {
+        debug_assert!(!self.visited(v));
+        self.parents[v as usize].store(u, Ordering::Relaxed);
+        self.levels[v as usize].store(level, Ordering::Relaxed);
+    }
+
+    fn into_output(self) -> BfsOutput {
+        BfsOutput {
+            source: self.source,
+            parents: self.parents.into_iter().map(AtomicU32::into_inner).collect(),
+            levels: self.levels.into_iter().map(AtomicU32::into_inner).collect(),
+        }
+    }
+}
+
+/// Per-level outcome shared by both parallel kernels.
+pub(crate) struct LevelOutcome {
+    pub next: Vec<VertexId>,
+    pub edges_examined: u64,
+    pub vertices_scanned: u64,
+}
+
+/// Run a complete parallel traversal from `source` on `threads` threads,
+/// choosing a direction per level via `policy`.
+///
+/// `threads == 1` degenerates to a sequential execution on the calling
+/// thread (no spawns) so scaling baselines measure pure kernel time.
+pub fn run(
+    csr: &Csr,
+    source: VertexId,
+    policy: &mut dyn SwitchPolicy,
+    threads: usize,
+) -> Traversal {
+    assert!(threads >= 1, "need at least one thread");
+    let n = csr.num_vertices();
+    let total_edges = csr.num_directed_edges();
+    let state = ParState::init(n, source);
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut records: Vec<LevelRecord> = Vec::new();
+
+    let mut unvisited_vertices = n as u64 - 1;
+    let mut unvisited_edges = total_edges - csr.degree(source);
+    let mut level: u32 = 0;
+
+    while !frontier.is_empty() {
+        let frontier_vertices = frontier.len() as u64;
+        let (frontier_edges, max_frontier_degree) =
+            crate::hybrid::frontier_degree_stats(csr, &frontier);
+        let ctx = SwitchContext {
+            level,
+            frontier_vertices,
+            frontier_edges,
+            max_frontier_degree,
+            total_vertices: n as u64,
+            total_edges,
+        };
+        let direction = policy.direction(&ctx);
+
+        let outcome = match direction {
+            Direction::TopDown => {
+                topdown::level(csr, &frontier, &state, level + 1, threads)
+            }
+            Direction::BottomUp => {
+                // Publish the frontier bitmap in parallel; relaxed
+                // `fetch_or` publication is safe because the bitmap is
+                // only read after the scope joins.
+                let bits = AtomicBitmap::new(n as usize);
+                pool::parallel_ranges(frontier.len(), threads, |range| {
+                    for &v in &frontier[range] {
+                        bits.set(v);
+                    }
+                });
+                bottomup::level(csr, &bits, &state, level + 1, threads)
+            }
+        };
+
+        let discovered = outcome.next.len() as u64;
+        let discovered_edges: u64 =
+            outcome.next.iter().map(|&v| csr.degree(v)).sum();
+        records.push(LevelRecord {
+            level,
+            frontier_vertices,
+            frontier_edges,
+            max_frontier_degree,
+            unvisited_vertices,
+            unvisited_edges,
+            edges_examined: outcome.edges_examined,
+            vertices_scanned: outcome.vertices_scanned,
+            discovered,
+            direction,
+        });
+
+        unvisited_vertices -= discovered;
+        unvisited_edges -= discovered_edges;
+        frontier = outcome.next;
+        level += 1;
+    }
+
+    Traversal { output: state.into_output(), levels: records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hybrid, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN};
+    use xbfs_graph::gen;
+
+    fn level_maps_match(csr: &Csr, source: VertexId, threads: usize) {
+        let seq = hybrid::run(csr, source, &mut FixedMN::new(14.0, 24.0));
+        let par = run(csr, source, &mut FixedMN::new(14.0, 24.0), threads);
+        assert_eq!(seq.output.levels, par.output.levels);
+        assert_eq!(validate(csr, &par.output), Ok(()));
+    }
+
+    #[test]
+    fn parallel_hybrid_matches_sequential_on_rmat() {
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        for threads in [1, 2, 4, 8] {
+            level_maps_match(&g, 0, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_topdown_validates() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 8);
+        let t = run(&g, 5, &mut AlwaysTopDown, 4);
+        assert_eq!(validate(&g, &t.output), Ok(()));
+        assert!(t.levels.iter().all(|l| l.direction == Direction::TopDown));
+    }
+
+    #[test]
+    fn parallel_bottomup_validates() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 8);
+        let t = run(&g, 5, &mut AlwaysBottomUp, 4);
+        assert_eq!(validate(&g, &t.output), Ok(()));
+        assert!(t.levels.iter().all(|l| l.direction == Direction::BottomUp));
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let g = gen::path(5);
+        let t = run(&g, 0, &mut AlwaysTopDown, 16);
+        assert_eq!(t.output.visited_count(), 5);
+        assert_eq!(validate(&g, &t.output), Ok(()));
+    }
+
+    #[test]
+    fn disconnected_graph_parallel() {
+        let g = gen::two_cliques(5);
+        let t = run(&g, 7, &mut FixedMN::new(14.0, 24.0), 3);
+        assert_eq!(t.output.visited_count(), 5);
+        assert_eq!(validate(&g, &t.output), Ok(()));
+    }
+
+    #[test]
+    fn single_thread_matches_sequential_exactly() {
+        // With one thread even the parent choices match the sequential
+        // engine: same iteration order, no races.
+        let g = xbfs_graph::rmat::rmat_csr(8, 16);
+        let seq = hybrid::run(&g, 0, &mut AlwaysTopDown);
+        let par = run(&g, 0, &mut AlwaysTopDown, 1);
+        assert_eq!(seq.output, par.output);
+        assert_eq!(seq.levels, par.levels);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let g = gen::path(2);
+        run(&g, 0, &mut AlwaysTopDown, 0);
+    }
+}

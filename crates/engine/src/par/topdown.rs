@@ -1,0 +1,84 @@
+//! Parallel top-down level kernel.
+//!
+//! The frontier is split into contiguous chunks; each worker examines its
+//! chunk's out-edges and claims unvisited targets with a CAS
+//! ([`ParState::claim`]). Exactly one claimant wins per vertex, so each
+//! discovered vertex lands in exactly one worker's local next-queue —
+//! concatenating the locals yields a duplicate-free next frontier without
+//! any shared queue contention.
+
+use super::{pool::parallel_ranges, LevelOutcome, ParState};
+use xbfs_graph::{Csr, VertexId};
+
+/// Expand one top-down level on `threads` threads.
+pub(crate) fn level(
+    csr: &Csr,
+    frontier: &[VertexId],
+    state: &ParState,
+    next_level: u32,
+    threads: usize,
+) -> LevelOutcome {
+    let partials = parallel_ranges(frontier.len(), threads, |range| {
+        let mut local_next: Vec<VertexId> = Vec::new();
+        let mut examined = 0u64;
+        for &u in &frontier[range] {
+            for &v in csr.neighbors(u) {
+                examined += 1;
+                if state.claim(v, u, next_level) {
+                    local_next.push(v);
+                }
+            }
+        }
+        (local_next, examined)
+    });
+
+    let mut next = Vec::with_capacity(partials.iter().map(|(l, _)| l.len()).sum());
+    let mut edges_examined = 0u64;
+    for (local, examined) in partials {
+        next.extend_from_slice(&local);
+        edges_examined += examined;
+    }
+    LevelOutcome {
+        next,
+        edges_examined,
+        vertices_scanned: frontier.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_each_vertex_once() {
+        let g = xbfs_graph::gen::complete(64);
+        let state = ParState::init(64, 0);
+        let out = level(&g, &[0], &state, 1, 4);
+        let mut found = out.next.clone();
+        found.sort_unstable();
+        assert_eq!(found, (1..64).collect::<Vec<_>>());
+        assert_eq!(out.edges_examined, 63);
+    }
+
+    #[test]
+    fn examined_sums_frontier_degrees_across_threads() {
+        let g = xbfs_graph::rmat::rmat_csr(8, 8);
+        let state = ParState::init(g.num_vertices(), 0);
+        let frontier: Vec<u32> = (0..64).collect();
+        let expected: u64 = frontier.iter().map(|&v| g.degree(v)).sum();
+        let out = level(&g, &frontier, &state, 1, 8);
+        assert_eq!(out.edges_examined, expected);
+        assert_eq!(out.vertices_scanned, 64);
+    }
+
+    #[test]
+    fn claimed_vertices_not_reclaimed() {
+        let g = xbfs_graph::gen::star(10);
+        let state = ParState::init(10, 0);
+        let first = level(&g, &[0], &state, 1, 2);
+        assert_eq!(first.next.len(), 9);
+        // Running the same frontier again discovers nothing new.
+        let second = level(&g, &[0], &state, 1, 2);
+        assert!(second.next.is_empty());
+    }
+}

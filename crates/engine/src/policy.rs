@@ -1,0 +1,210 @@
+//! Direction-switching policies for the hybrid engine.
+//!
+//! The paper's switching rule (Fig. 4): run **bottom-up** when
+//! `|E|cq ≥ |E|/M` **or** `|V|cq ≥ |V|/N`; otherwise run **top-down**.
+//! The whole contribution of the paper is choosing `M` and `N` well — the
+//! policies here are the mechanism, the `xbfs-core` crate supplies the
+//! regression-predicted parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Traversal direction for one BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Frontier vertices claim their unvisited neighbors (Algorithm 1).
+    TopDown,
+    /// Unvisited vertices search the frontier for a parent (Algorithm 2).
+    BottomUp,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::TopDown => write!(f, "TD"),
+            Direction::BottomUp => write!(f, "BU"),
+        }
+    }
+}
+
+/// Everything a policy may inspect before each level: the frontier measures
+/// the paper computes at line 8 of Algorithm 3 plus graph totals.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchContext {
+    /// Current level index (the source is expanded at level 0).
+    pub level: u32,
+    /// `|V|cq` — vertices in the current queue.
+    pub frontier_vertices: u64,
+    /// `|E|cq` — out-edges of the current queue (directed count).
+    pub frontier_edges: u64,
+    /// Largest degree among frontier vertices (top-down's serial critical
+    /// path; lets model-driven policies price the level exactly).
+    pub max_frontier_degree: u64,
+    /// `|V|` — total vertices.
+    pub total_vertices: u64,
+    /// `|E|` — total directed edges (`2 ×` undirected count).
+    pub total_edges: u64,
+}
+
+/// A per-level direction chooser.
+pub trait SwitchPolicy {
+    /// Choose the direction for the level described by `ctx`.
+    fn direction(&mut self, ctx: &SwitchContext) -> Direction;
+}
+
+/// Always top-down — the paper's `*TD` columns and the Graph 500 baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysTopDown;
+
+impl SwitchPolicy for AlwaysTopDown {
+    fn direction(&mut self, _ctx: &SwitchContext) -> Direction {
+        Direction::TopDown
+    }
+}
+
+/// Always bottom-up — the paper's `*BU` columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysBottomUp;
+
+impl SwitchPolicy for AlwaysBottomUp {
+    fn direction(&mut self, _ctx: &SwitchContext) -> Direction {
+        Direction::BottomUp
+    }
+}
+
+/// The paper's threshold rule with fixed parameters `(M, N)`.
+///
+/// Bottom-up iff `|E|cq ≥ |E|/M` or `|V|cq ≥ |V|/N` (Fig. 4). Larger `M`/`N`
+/// make the bottom-up region larger (the threshold frontier smaller).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FixedMN {
+    /// Edge-ratio parameter `M` (must be positive).
+    pub m: f64,
+    /// Vertex-ratio parameter `N` (must be positive).
+    pub n: f64,
+}
+
+impl FixedMN {
+    /// Construct, validating positivity.
+    pub fn new(m: f64, n: f64) -> Self {
+        assert!(m > 0.0 && n > 0.0, "M and N must be positive, got ({m}, {n})");
+        Self { m, n }
+    }
+
+    /// Evaluate the Fig. 4 predicate without mutable state.
+    #[inline]
+    pub fn wants_bottom_up(&self, ctx: &SwitchContext) -> bool {
+        let edge_threshold = ctx.total_edges as f64 / self.m;
+        let vertex_threshold = ctx.total_vertices as f64 / self.n;
+        ctx.frontier_edges as f64 >= edge_threshold
+            || ctx.frontier_vertices as f64 >= vertex_threshold
+    }
+}
+
+impl SwitchPolicy for FixedMN {
+    fn direction(&mut self, ctx: &SwitchContext) -> Direction {
+        if self.wants_bottom_up(ctx) {
+            Direction::BottomUp
+        } else {
+            Direction::TopDown
+        }
+    }
+}
+
+/// A policy that replays a fixed per-level direction script; used by the
+/// simulator's oracle search and by tests that need exact control.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    directions: Vec<Direction>,
+    /// Direction used for levels beyond the script's end.
+    pub fallback: Direction,
+}
+
+impl Scripted {
+    /// Script the first `directions.len()` levels; later levels fall back.
+    pub fn new(directions: Vec<Direction>, fallback: Direction) -> Self {
+        Self { directions, fallback }
+    }
+}
+
+impl SwitchPolicy for Scripted {
+    fn direction(&mut self, ctx: &SwitchContext) -> Direction {
+        self.directions
+            .get(ctx.level as usize)
+            .copied()
+            .unwrap_or(self.fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(fv: u64, fe: u64) -> SwitchContext {
+        SwitchContext {
+            level: 1,
+            frontier_vertices: fv,
+            frontier_edges: fe,
+            max_frontier_degree: fe.min(50),
+            total_vertices: 1000,
+            total_edges: 16_000,
+        }
+    }
+
+    #[test]
+    fn fixed_mn_thresholds() {
+        // M = 16 → edge threshold 1000; N = 10 → vertex threshold 100.
+        let mut p = FixedMN::new(16.0, 10.0);
+        // Small frontier → top-down.
+        assert_eq!(p.direction(&ctx(10, 100)), Direction::TopDown);
+        // Edge condition alone triggers bottom-up.
+        assert_eq!(p.direction(&ctx(10, 1000)), Direction::BottomUp);
+        // Vertex condition alone triggers bottom-up.
+        assert_eq!(p.direction(&ctx(100, 10)), Direction::BottomUp);
+        // Exactly at threshold → bottom-up (the paper uses ≥).
+        assert_eq!(p.direction(&ctx(100, 999)), Direction::BottomUp);
+        assert_eq!(p.direction(&ctx(99, 999)), Direction::TopDown);
+    }
+
+    #[test]
+    fn larger_m_switches_earlier() {
+        // N = 0.001 pushes the vertex threshold to 10^6, disabling it.
+        let small_m = FixedMN::new(2.0, 0.001);
+        let large_m = FixedMN::new(200.0, 0.001);
+        let c = ctx(5, 500); // 500 edges in frontier
+        assert!(!small_m.wants_bottom_up(&c)); // threshold 8000
+        assert!(large_m.wants_bottom_up(&c)); // threshold 80
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fixed_mn_rejects_nonpositive() {
+        FixedMN::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn always_policies() {
+        assert_eq!(AlwaysTopDown.direction(&ctx(900, 15_999)), Direction::TopDown);
+        assert_eq!(AlwaysBottomUp.direction(&ctx(1, 1)), Direction::BottomUp);
+    }
+
+    #[test]
+    fn scripted_replays_then_falls_back() {
+        let mut p = Scripted::new(
+            vec![Direction::TopDown, Direction::BottomUp],
+            Direction::TopDown,
+        );
+        let mut c = ctx(1, 1);
+        c.level = 0;
+        assert_eq!(p.direction(&c), Direction::TopDown);
+        c.level = 1;
+        assert_eq!(p.direction(&c), Direction::BottomUp);
+        c.level = 5;
+        assert_eq!(p.direction(&c), Direction::TopDown);
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::TopDown.to_string(), "TD");
+        assert_eq!(Direction::BottomUp.to_string(), "BU");
+    }
+}

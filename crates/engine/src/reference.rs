@@ -1,0 +1,88 @@
+//! Naive queue-based top-down BFS — the comparison baseline of §V-D.
+//!
+//! The paper compares its tuned implementations against "the Graph 500
+//! benchmark parallel implementation source codes" run on the same CPU
+//! (4.96–21.0× speedups, average 11×). The reference implementation is a
+//! textbook FIFO traversal with none of the engine's level batching,
+//! bitmap frontiers or direction switching; it plays the same baseline role
+//! here. Deliberately kept allocation-happy and branch-heavy, as the
+//! original reference code is.
+
+use crate::{BfsOutput, UNREACHED};
+use std::collections::VecDeque;
+use xbfs_graph::{Csr, VertexId};
+
+/// Run a textbook FIFO BFS from `source`.
+pub fn run(csr: &Csr, source: VertexId) -> BfsOutput {
+    let mut out = BfsOutput::init(csr.num_vertices(), source);
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let next_level = out.levels[u as usize] + 1;
+        for &v in csr.neighbors(u) {
+            if !out.visited(v) {
+                out.parents[v as usize] = u;
+                out.levels[v as usize] = next_level;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Count the undirected edges inside the traversed component — the TEPS
+/// numerator prescribed by Graph 500 (each undirected edge counted once).
+pub fn component_edges(csr: &Csr, out: &BfsOutput) -> u64 {
+    let mut directed = 0u64;
+    for u in csr.vertices() {
+        if out.levels[u as usize] == UNREACHED {
+            continue;
+        }
+        directed += csr.degree(u);
+    }
+    directed / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topdown, validate};
+    use xbfs_graph::gen;
+
+    #[test]
+    fn matches_engine_levels() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 8);
+        let reference = run(&g, 3);
+        let engine = topdown::run(&g, 3);
+        assert_eq!(reference.levels, engine.output.levels);
+    }
+
+    #[test]
+    fn output_validates() {
+        let g = xbfs_graph::rmat::rmat_csr(8, 16);
+        let out = run(&g, 0);
+        assert_eq!(validate(&g, &out), Ok(()));
+    }
+
+    #[test]
+    fn component_edges_full_graph() {
+        let g = gen::complete(6);
+        let out = run(&g, 0);
+        assert_eq!(component_edges(&g, &out), 15);
+    }
+
+    #[test]
+    fn component_edges_partial() {
+        let g = gen::two_cliques(4); // each clique has 6 edges
+        let out = run(&g, 0);
+        assert_eq!(component_edges(&g, &out), 6);
+    }
+
+    #[test]
+    fn isolated_source_component() {
+        let g = gen::uniform_random(5, 0, 9);
+        let out = run(&g, 4);
+        assert_eq!(out.visited_count(), 1);
+        assert_eq!(component_edges(&g, &out), 0);
+    }
+}

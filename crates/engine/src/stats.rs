@@ -1,0 +1,127 @@
+//! Per-level traversal instrumentation.
+//!
+//! Every BFS engine in this crate records one [`LevelRecord`] per level.
+//! The trace is exactly the data the paper plots: frontier vertex counts
+//! (Fig. 1), frontier edge counts (Fig. 2), and the per-level work that the
+//! architecture simulator converts into per-level times (Fig. 3, Table IV).
+
+use crate::{BfsOutput, Direction};
+use serde::{Deserialize, Serialize};
+
+/// Measurements of one BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelRecord {
+    /// Level index (0 expands the source).
+    pub level: u32,
+    /// `|V|cq` — vertices in the current queue.
+    pub frontier_vertices: u64,
+    /// `|E|cq` — directed out-edges of the current queue.
+    pub frontier_edges: u64,
+    /// Largest degree among frontier vertices (the level's serial critical
+    /// path in vertex-parallel top-down).
+    pub max_frontier_degree: u64,
+    /// Unvisited vertices before the level ran.
+    pub unvisited_vertices: u64,
+    /// Directed out-edges of unvisited vertices before the level ran
+    /// (the paper's `|E|un` bound on bottom-up work).
+    pub unvisited_edges: u64,
+    /// Edges the kernel actually examined (top-down: exactly
+    /// `frontier_edges`; bottom-up: early-exit dependent).
+    pub edges_examined: u64,
+    /// Vertices the kernel scanned (top-down: `|V|cq`; bottom-up: every
+    /// unvisited vertex).
+    pub vertices_scanned: u64,
+    /// Vertices discovered into the next queue.
+    pub discovered: u64,
+    /// Direction the kernel ran in.
+    pub direction: Direction,
+}
+
+/// A completed traversal: the BFS output plus its per-level trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Traversal {
+    /// Parent and level maps.
+    pub output: BfsOutput,
+    /// One record per executed level, in order.
+    pub levels: Vec<LevelRecord>,
+}
+
+impl Traversal {
+    /// Total edges examined across all levels — the TEPS numerator when
+    /// counting real work.
+    pub fn total_edges_examined(&self) -> u64 {
+        self.levels.iter().map(|l| l.edges_examined).sum()
+    }
+
+    /// Total vertices discovered (excludes the source).
+    pub fn total_discovered(&self) -> u64 {
+        self.levels.iter().map(|l| l.discovered).sum()
+    }
+
+    /// Number of executed levels.
+    pub fn depth(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// The level index at which the frontier peaks (by vertex count).
+    pub fn peak_level(&self) -> Option<u32> {
+        self.levels
+            .iter()
+            .max_by_key(|l| l.frontier_vertices)
+            .map(|l| l.level)
+    }
+
+    /// Directions per level, e.g. `[TD, TD, BU, BU, TD]` — the paper's
+    /// Table IV annotation.
+    pub fn direction_script(&self) -> Vec<Direction> {
+        self.levels.iter().map(|l| l.direction).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(level: u32, fv: u64, dir: Direction) -> LevelRecord {
+        LevelRecord {
+            level,
+            frontier_vertices: fv,
+            frontier_edges: fv * 4,
+            max_frontier_degree: 4,
+            unvisited_vertices: 100 - fv,
+            unvisited_edges: (100 - fv) * 4,
+            edges_examined: fv * 4,
+            vertices_scanned: fv,
+            discovered: fv * 2,
+            direction: dir,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = Traversal {
+            output: BfsOutput::init(8, 0),
+            levels: vec![
+                record(0, 1, Direction::TopDown),
+                record(1, 10, Direction::BottomUp),
+                record(2, 3, Direction::TopDown),
+            ],
+        };
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.total_edges_examined(), (1 + 10 + 3) * 4);
+        assert_eq!(t.total_discovered(), (1 + 10 + 3) * 2);
+        assert_eq!(t.peak_level(), Some(1));
+        assert_eq!(
+            t.direction_script(),
+            vec![Direction::TopDown, Direction::BottomUp, Direction::TopDown]
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Traversal { output: BfsOutput::init(1, 0), levels: vec![] };
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.peak_level(), None);
+        assert_eq!(t.total_edges_examined(), 0);
+    }
+}

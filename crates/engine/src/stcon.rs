@@ -1,0 +1,165 @@
+//! st-connectivity via bidirectional BFS.
+//!
+//! The paper's lineage starts at Bader & Madduri's MTA-2 work on "BFS and
+//! st-connectivity" (§VI, reference \[18\]); this module supplies that companion
+//! primitive on top of the same kernels. Two frontiers grow from `s` and
+//! `t`, always expanding the cheaper (smaller out-degree) side — the same
+//! cost asymmetry reasoning the direction-optimizing switch uses.
+
+use crate::UNREACHED;
+use xbfs_graph::{Csr, VertexId};
+
+/// The answer to an st-connectivity query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StResult {
+    /// `s` and `t` are connected; the shortest path has this many edges.
+    Connected {
+        /// Shortest-path length in edges.
+        distance: u32,
+    },
+    /// No path exists.
+    Disconnected,
+}
+
+/// Decide whether `t` is reachable from `s` and return the shortest
+/// distance, growing both frontiers toward each other.
+///
+/// # Examples
+/// ```
+/// use xbfs_engine::stcon::{st_connectivity, StResult};
+///
+/// let g = xbfs_graph::gen::grid(3, 3);
+/// assert_eq!(st_connectivity(&g, 0, 8), StResult::Connected { distance: 4 });
+///
+/// let islands = xbfs_graph::gen::two_cliques(3);
+/// assert_eq!(st_connectivity(&islands, 0, 4), StResult::Disconnected);
+/// ```
+///
+/// # Panics
+/// Panics if either endpoint is out of range.
+pub fn st_connectivity(csr: &Csr, s: VertexId, t: VertexId) -> StResult {
+    let n = csr.num_vertices();
+    assert!(s < n && t < n, "endpoint out of range");
+    if s == t {
+        return StResult::Connected { distance: 0 };
+    }
+
+    // dist_s/dist_t: distances from each side; UNREACHED = unvisited.
+    let mut dist_s = vec![UNREACHED; n as usize];
+    let mut dist_t = vec![UNREACHED; n as usize];
+    dist_s[s as usize] = 0;
+    dist_t[t as usize] = 0;
+    let mut frontier_s = vec![s];
+    let mut frontier_t = vec![t];
+    let mut depth_s = 0u32;
+    let mut depth_t = 0u32;
+
+    while !frontier_s.is_empty() && !frontier_t.is_empty() {
+        // Expand the side with less pending edge work.
+        let work = |f: &[VertexId]| f.iter().map(|&v| csr.degree(v)).sum::<u64>();
+        let expand_s = work(&frontier_s) <= work(&frontier_t);
+        let (frontier, my_dist, other_dist, my_depth) = if expand_s {
+            depth_s += 1;
+            (&mut frontier_s, &mut dist_s, &dist_t, depth_s)
+        } else {
+            depth_t += 1;
+            (&mut frontier_t, &mut dist_t, &dist_s, depth_t)
+        };
+
+        let mut next = Vec::new();
+        let mut best_meet: Option<u32> = None;
+        for &u in frontier.iter() {
+            for &v in csr.neighbors(u) {
+                if other_dist[v as usize] != UNREACHED {
+                    // Frontiers meet: path = my side to u, edge, other side.
+                    let total = (my_depth - 1) + 1 + other_dist[v as usize];
+                    best_meet = Some(best_meet.map_or(total, |b| b.min(total)));
+                }
+                if my_dist[v as usize] == UNREACHED {
+                    my_dist[v as usize] = my_depth;
+                    next.push(v);
+                }
+            }
+        }
+        if let Some(distance) = best_meet {
+            // Taking the minimum over the whole expansion before returning
+            // is what makes this exact: any strictly shorter path must pass
+            // through a vertex discovered at this very depth, and that
+            // vertex's meet candidate is already in `best_meet` (or its
+            // far side is deeper than everything labeled, making the path
+            // longer than the candidate found).
+            return StResult::Connected { distance };
+        }
+        *frontier = next;
+    }
+    StResult::Disconnected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topdown;
+    use xbfs_graph::gen;
+
+    #[test]
+    fn trivial_cases() {
+        let g = gen::path(5);
+        assert_eq!(st_connectivity(&g, 2, 2), StResult::Connected { distance: 0 });
+        assert_eq!(st_connectivity(&g, 0, 1), StResult::Connected { distance: 1 });
+    }
+
+    #[test]
+    fn path_distances_match() {
+        let g = gen::path(10);
+        for t in 1..10u32 {
+            assert_eq!(
+                st_connectivity(&g, 0, t),
+                StResult::Connected { distance: t },
+                "target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = gen::two_cliques(4);
+        assert_eq!(st_connectivity(&g, 0, 5), StResult::Disconnected);
+        assert_eq!(st_connectivity(&g, 1, 2), StResult::Connected { distance: 1 });
+    }
+
+    #[test]
+    fn matches_bfs_levels_on_rmat() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 8);
+        let src = (0..g.num_vertices()).find(|&v| g.degree(v) > 0).unwrap();
+        let levels = topdown::run(&g, src).output.levels;
+        for t in (0..g.num_vertices()).step_by(37) {
+            let expect = levels[t as usize];
+            let got = st_connectivity(&g, src, t);
+            if expect == UNREACHED {
+                assert_eq!(got, StResult::Disconnected, "target {t}");
+            } else {
+                assert_eq!(
+                    got,
+                    StResult::Connected { distance: expect },
+                    "target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = gen::grid(5, 7);
+        // (0,0) to (4,6): 4 + 6 = 10.
+        assert_eq!(
+            st_connectivity(&g, 0, 4 * 7 + 6),
+            StResult::Connected { distance: 10 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        st_connectivity(&gen::path(3), 0, 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Connected components.
+//!
+//! The Graph 500 workflow samples BFS roots from the giant component; the
+//! experiments here need the same facility (an R-MAT graph at edgefactor 8
+//! leaves a sizable fraction of vertices isolated). Components are found
+//! with repeated frontier sweeps — no dependence on the BFS engines, so
+//! this can serve as an independent cross-check in tests.
+
+use crate::{Csr, VertexId};
+
+/// Component labeling: `labels[v]` is the component id of `v`; ids are
+/// dense, assigned in order of discovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Per-vertex component id.
+    pub labels: Vec<u32>,
+    /// Component sizes, indexed by id.
+    pub sizes: Vec<u64>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Id of the largest component (`None` for the empty graph).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// All vertices of component `id`, ascending.
+    pub fn members(&self, id: u32) -> Vec<VertexId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == id)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Label every component of `csr`.
+///
+/// # Examples
+/// ```
+/// use xbfs_graph::{components::connected_components, gen};
+///
+/// let g = gen::two_cliques(3);
+/// let c = connected_components(&g);
+/// assert_eq!(c.count(), 2);
+/// assert_eq!(c.sizes, vec![3, 3]);
+/// assert_eq!(c.members(1), vec![3, 4, 5]);
+/// ```
+pub fn connected_components(csr: &Csr) -> Components {
+    const UNLABELED: u32 = u32::MAX;
+    let n = csr.num_vertices() as usize;
+    let mut labels = vec![UNLABELED; n];
+    let mut sizes = Vec::new();
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in csr.vertices() {
+        if labels[start as usize] != UNLABELED {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0u64;
+        labels[start as usize] = id;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in csr.neighbors(u) {
+                if labels[v as usize] == UNLABELED {
+                    labels[v as usize] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// `true` if `u` and `v` are in the same component.
+pub fn same_component(components: &Components, u: VertexId, v: VertexId) -> bool {
+    components.labels[u as usize] == components.labels[v as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn connected_graph_is_one_component() {
+        let c = connected_components(&gen::complete(6));
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.sizes, vec![6]);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_cliques_are_two_components() {
+        let c = connected_components(&gen::two_cliques(4));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.sizes, vec![4, 4]);
+        assert!(same_component(&c, 0, 3));
+        assert!(!same_component(&c, 0, 4));
+        assert_eq!(c.members(1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = gen::uniform_random(5, 0, 1);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 5);
+        assert!(c.sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn largest_component_of_rmat() {
+        let g = crate::rmat::rmat_csr(10, 8);
+        let c = connected_components(&g);
+        let giant = c.largest().unwrap();
+        // R-MAT at edgefactor 8 has one giant component plus isolated dust.
+        assert!(c.sizes[giant as usize] as f64 > 0.5 * g.num_vertices() as f64);
+        // Sizes sum to |V|.
+        assert_eq!(c.sizes.iter().sum::<u64>(), g.num_vertices() as u64);
+    }
+
+    #[test]
+    fn labels_agree_with_bfs_reachability() {
+        let g = crate::rmat::rmat_csr(9, 8);
+        let c = connected_components(&g);
+        // Everything in vertex 0's component — and nothing else — is
+        // reachable by a hand-rolled reachability sweep.
+        let mut reach = vec![false; g.num_vertices() as usize];
+        let mut stack = vec![0u32];
+        reach[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !reach[v as usize] {
+                    reach[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        for v in g.vertices() {
+            assert_eq!(reach[v as usize], same_component(&c, 0, v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = connected_components(&gen::path(0));
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Frontier (current-queue) representations.
+//!
+//! Top-down wants a *queue* (iterate exactly the frontier vertices);
+//! bottom-up wants a *bitmap* (O(1) membership tests while scanning all
+//! unvisited vertices). The direction-optimizing engines convert between the
+//! two at switch points, exactly the cost the paper's combination pays.
+
+use crate::{Bitmap, VertexId};
+
+/// A BFS frontier in either representation.
+#[derive(Clone, Debug)]
+pub enum Frontier {
+    /// Explicit vertex list (unsorted).
+    Queue(Vec<VertexId>),
+    /// Dense membership bitmap, with the population count cached.
+    Bitmap { bits: Bitmap, count: usize },
+}
+
+impl Frontier {
+    /// Empty queue-form frontier.
+    pub fn empty_queue() -> Self {
+        Frontier::Queue(Vec::new())
+    }
+
+    /// Empty bitmap-form frontier over `n` vertices.
+    pub fn empty_bitmap(n: usize) -> Self {
+        Frontier::Bitmap { bits: Bitmap::new(n), count: 0 }
+    }
+
+    /// Frontier holding exactly the source vertex, in queue form.
+    pub fn source(v: VertexId) -> Self {
+        Frontier::Queue(vec![v])
+    }
+
+    /// Number of vertices in the frontier (`|V|cq`).
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Queue(q) => q.len(),
+            Frontier::Bitmap { count, .. } => *count,
+        }
+    }
+
+    /// `true` if the frontier holds no vertices — the BFS termination test.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if currently in queue form.
+    pub fn is_queue(&self) -> bool {
+        matches!(self, Frontier::Queue(_))
+    }
+
+    /// Membership test (O(1) for bitmap, O(|CQ|) for queue).
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            Frontier::Queue(q) => q.contains(&v),
+            Frontier::Bitmap { bits, .. } => bits.get(v),
+        }
+    }
+
+    /// Iterate the frontier vertices (queue order or ascending for bitmap).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = VertexId> + '_> {
+        match self {
+            Frontier::Queue(q) => Box::new(q.iter().copied()),
+            Frontier::Bitmap { bits, .. } => Box::new(bits.iter()),
+        }
+    }
+
+    /// Collect into a sorted vertex vector (test / conversion helper).
+    pub fn to_sorted_vec(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Convert into queue form (no-op if already a queue).
+    pub fn into_queue(self) -> Self {
+        match self {
+            q @ Frontier::Queue(_) => q,
+            Frontier::Bitmap { bits, .. } => Frontier::Queue(bits.iter().collect()),
+        }
+    }
+
+    /// Convert into bitmap form over `n` vertices (no-op if already bitmap).
+    ///
+    /// # Panics
+    /// Panics if a queued vertex id is `>= n`.
+    pub fn into_bitmap(self, n: usize) -> Self {
+        match self {
+            Frontier::Queue(q) => {
+                let mut bits = Bitmap::new(n);
+                for v in &q {
+                    bits.set(*v);
+                }
+                let count = bits.count();
+                Frontier::Bitmap { bits, count }
+            }
+            b @ Frontier::Bitmap { .. } => b,
+        }
+    }
+
+    /// Bytes this frontier occupies, for the simulator's transfer model.
+    pub fn storage_bytes(&self) -> u64 {
+        match self {
+            Frontier::Queue(q) => {
+                (q.len() * std::mem::size_of::<VertexId>()) as u64
+            }
+            Frontier::Bitmap { bits, .. } => bits.storage_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_frontier() {
+        let f = Frontier::source(7);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(7));
+        assert!(!f.contains(3));
+        assert!(f.is_queue());
+    }
+
+    #[test]
+    fn queue_to_bitmap_roundtrip() {
+        let f = Frontier::Queue(vec![5, 1, 9]);
+        let b = f.into_bitmap(16);
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(1) && b.contains(5) && b.contains(9));
+        let q = b.into_queue();
+        assert_eq!(q.to_sorted_vec(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn bitmap_dedups_queue_duplicates() {
+        let f = Frontier::Queue(vec![2, 2, 2]);
+        let b = f.into_bitmap(4);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn empty_frontiers() {
+        assert!(Frontier::empty_queue().is_empty());
+        assert!(Frontier::empty_bitmap(10).is_empty());
+        assert_eq!(Frontier::empty_bitmap(10).to_sorted_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn into_queue_noop_on_queue() {
+        let f = Frontier::Queue(vec![3, 1]);
+        let q = f.into_queue();
+        match q {
+            Frontier::Queue(v) => assert_eq!(v, vec![3, 1]),
+            _ => panic!("expected queue"),
+        }
+    }
+
+    #[test]
+    fn storage_bytes_by_form() {
+        let q = Frontier::Queue(vec![1, 2, 3]);
+        assert_eq!(q.storage_bytes(), 12);
+        let b = Frontier::empty_bitmap(128);
+        assert_eq!(b.storage_bytes(), 16);
+    }
+}

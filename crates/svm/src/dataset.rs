@@ -1,0 +1,148 @@
+//! Training-sample container.
+
+use serde::{Deserialize, Serialize};
+
+/// A regression dataset: `n` samples of fixed dimension with scalar targets.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Empty dataset of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Build from parallel sample/target vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or ragged samples — malformed training
+    /// data is a programming error, not a runtime condition.
+    pub fn from_samples(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "sample/target count mismatch");
+        let dim = x.first().map_or(0, Vec::len);
+        assert!(
+            x.iter().all(|s| s.len() == dim),
+            "ragged samples: expected dimension {dim}"
+        );
+        Self { dim, x, y }
+    }
+
+    /// Append one sample.
+    ///
+    /// # Panics
+    /// Panics if `sample.len() != dim` (for a non-empty dataset).
+    pub fn push(&mut self, sample: Vec<f64>, target: f64) {
+        if self.x.is_empty() && self.dim == 0 {
+            self.dim = sample.len();
+        }
+        assert_eq!(sample.len(), self.dim, "sample dimension mismatch");
+        self.x.push(sample);
+        self.y.push(target);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow sample `i`.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        &self.x[i]
+    }
+
+    /// Target of sample `i`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Iterate `(sample, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        self.x.iter().map(Vec::as_slice).zip(self.y.iter().copied())
+    }
+
+    /// Deterministic split: every `k`-th sample (by index) goes to the test
+    /// set, the rest to training. `k == 0` puts everything in training.
+    pub fn split_every_kth(&self, k: usize) -> (Dataset, Dataset) {
+        let mut train = Dataset::new(self.dim);
+        let mut test = Dataset::new(self.dim);
+        for (i, (x, y)) in self.iter().enumerate() {
+            if k > 0 && i % k == k - 1 {
+                test.push(x.to_vec(), y);
+            } else {
+                train.push(x.to_vec(), y);
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(2);
+        d.push(vec![1.0, 2.0], 3.0);
+        d.push(vec![4.0, 5.0], 6.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.sample(1), &[4.0, 5.0]);
+        assert_eq!(d.target(0), 3.0);
+        assert_eq!(d.targets(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut d = Dataset::new(2);
+        d.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_samples_rejects_ragged() {
+        Dataset::from_samples(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn from_samples_rejects_mismatch() {
+        Dataset::from_samples(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    fn split_every_kth_partitions() {
+        let d = Dataset::from_samples(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| i as f64).collect(),
+        );
+        let (train, test) = d.split_every_kth(3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(test.target(0), 2.0);
+        assert_eq!(test.target(2), 8.0);
+        let (all, none) = d.split_every_kth(0);
+        assert_eq!(all.len(), 10);
+        assert_eq!(none.len(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Regression substrate — the paper's LIBSVM stand-in.
+//!
+//! The paper predicts the best switching point `M` with Support Vector
+//! Machine regression (§II-C, §III-D), chosen because SVMs parallelize well
+//! and stay accurate on small training sets (140 samples). This crate
+//! implements what that requires, from scratch:
+//!
+//! * [`Kernel`] — linear, RBF and polynomial kernels.
+//! * [`Svr`] — ε-insensitive support vector regression trained by exact
+//!   dual coordinate descent with soft-thresholding (the no-bias dual;
+//!   targets are mean-centered so the bias is carried additively). On the
+//!   paper's sample sizes this converges in milliseconds.
+//! * [`Scaler`] — z-score feature standardization (essential for RBF on
+//!   features spanning `|V| ≈ 10^6` down to `D = 0.05`).
+//! * [`Ridge`] — a ridge/OLS baseline solved by Cholesky, used by the
+//!   ablation benches to show why the paper picked a nonlinear model.
+//! * [`Dataset`] — sample container with shape validation and splits.
+//!
+//! Everything is `serde`-serializable so trained models can ship with the
+//! benchmark artifacts.
+
+pub mod dataset;
+pub mod kernel;
+pub mod model_selection;
+pub mod ridge;
+pub mod scale;
+pub mod svr;
+
+pub use dataset::Dataset;
+pub use kernel::Kernel;
+pub use ridge::Ridge;
+pub use scale::Scaler;
+pub use svr::{Svr, SvrConfig};
+
+/// Anything that maps a feature vector to a scalar prediction.
+pub trait Regressor {
+    /// Predict the target for one sample.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Mean squared error over a dataset.
+    fn mse(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = data
+            .iter()
+            .map(|(x, y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum();
+        sum / data.len() as f64
+    }
+}

@@ -1,0 +1,168 @@
+//! Hyper-parameter selection: k-fold cross-validation and grid search.
+//!
+//! The paper leans on LIBSVM's tooling ("a detailed tutorial can be found
+//! in \[10\]") for model selection; this module supplies the equivalent:
+//! k-fold CV error for a configuration, and a grid search over
+//! `(C, γ, ε)` returning the configuration with the lowest CV error. The
+//! ablation benches use it to show how prediction accuracy moves with
+//! training-set size — the paper's "the prediction accuracy will be higher
+//! with more training samples" remark (§III-E).
+
+use crate::{Dataset, Kernel, Regressor, Svr, SvrConfig};
+
+/// Split `data` into `k` interleaved folds (`fold i` = samples with
+/// `index % k == i`) and return the mean held-out MSE of `config`.
+///
+/// # Panics
+/// Panics unless `2 ≤ k ≤ data.len()`.
+pub fn cross_validate(data: &Dataset, config: SvrConfig, k: usize) -> f64 {
+    assert!(k >= 2 && k <= data.len(), "need 2 <= k <= n, got k={k}");
+    let mut total = 0.0;
+    for fold in 0..k {
+        let mut train = Dataset::new(data.dim());
+        let mut test = Dataset::new(data.dim());
+        for (i, (x, y)) in data.iter().enumerate() {
+            if i % k == fold {
+                test.push(x.to_vec(), y);
+            } else {
+                train.push(x.to_vec(), y);
+            }
+        }
+        let model = Svr::fit(&train, config);
+        total += model.mse(&test);
+    }
+    total / k as f64
+}
+
+/// The grid-search outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSearchResult {
+    /// Winning configuration.
+    pub config: SvrConfig,
+    /// Its k-fold CV mean squared error.
+    pub cv_mse: f64,
+}
+
+/// Exhaustive search over `(C, γ, ε)` with an RBF kernel, LIBSVM style.
+///
+/// # Panics
+/// Panics if any candidate list is empty or `k` is out of range.
+pub fn grid_search(
+    data: &Dataset,
+    cs: &[f64],
+    gammas: &[f64],
+    epsilons: &[f64],
+    k: usize,
+) -> GridSearchResult {
+    assert!(
+        !cs.is_empty() && !gammas.is_empty() && !epsilons.is_empty(),
+        "candidate lists must be non-empty"
+    );
+    let mut best: Option<GridSearchResult> = None;
+    for &c in cs {
+        for &gamma in gammas {
+            for &epsilon in epsilons {
+                let config = SvrConfig {
+                    c,
+                    epsilon,
+                    kernel: Kernel::Rbf { gamma },
+                    tol: 1e-6,
+                    max_sweeps: 2000,
+                };
+                let cv_mse = cross_validate(data, config, k);
+                if best.is_none_or(|b| cv_mse < b.cv_mse) {
+                    best = Some(GridSearchResult { config, cv_mse });
+                }
+            }
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+/// LIBSVM-flavored default candidate grids: powers of 4 around the usual
+/// sweet spots.
+pub fn default_grids(dim: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let cs = vec![1.0, 16.0, 256.0];
+    let base_gamma = 1.0 / dim.max(1) as f64;
+    let gammas = vec![base_gamma / 4.0, base_gamma, base_gamma * 4.0];
+    let epsilons = vec![0.01, 0.1, 1.0];
+    (cs, gammas, epsilons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_linear(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let a = (i % 13) as f64 * 0.5;
+            let b = (i % 7) as f64;
+            // Deterministic pseudo-noise.
+            let noise = ((i * 2_654_435_761) % 100) as f64 / 500.0 - 0.1;
+            d.push(vec![a, b], 2.0 * a - b + noise);
+        }
+        d
+    }
+
+    #[test]
+    fn cv_error_is_finite_and_small_on_learnable_data() {
+        let d = noisy_linear(60);
+        let mut cfg = SvrConfig::default_for_dim(2);
+        cfg.c = 100.0;
+        cfg.epsilon = 0.05;
+        let mse = cross_validate(&d, cfg, 5);
+        assert!(mse.is_finite());
+        assert!(mse < 1.0, "cv mse {mse}");
+    }
+
+    #[test]
+    fn cv_detects_underfitting() {
+        // A tiny C cannot express the steep target → much worse CV error.
+        let d = noisy_linear(60);
+        let mut weak = SvrConfig::default_for_dim(2);
+        weak.c = 1e-4;
+        let mut strong = SvrConfig::default_for_dim(2);
+        strong.c = 100.0;
+        strong.epsilon = 0.05;
+        assert!(cross_validate(&d, weak, 5) > 3.0 * cross_validate(&d, strong, 5));
+    }
+
+    #[test]
+    fn grid_search_picks_a_winner_no_worse_than_corners() {
+        let d = noisy_linear(50);
+        let (cs, gammas, epsilons) = default_grids(2);
+        let result = grid_search(&d, &cs, &gammas, &epsilons, 5);
+        assert!(result.cv_mse.is_finite());
+        // The winner must not lose to a deliberately bad corner.
+        let mut bad = result.config;
+        bad.c = 1e-6;
+        assert!(result.cv_mse <= cross_validate(&d, bad, 5));
+    }
+
+    #[test]
+    fn more_training_data_does_not_hurt_much() {
+        // The paper's §III-E remark, as a trend check: CV error with 80
+        // samples ≤ 2× the error with 20 samples (usually far better).
+        let small = noisy_linear(20);
+        let large = noisy_linear(80);
+        let mut cfg = SvrConfig::default_for_dim(2);
+        cfg.c = 100.0;
+        cfg.epsilon = 0.05;
+        let e_small = cross_validate(&small, cfg, 4);
+        let e_large = cross_validate(&large, cfg, 4);
+        assert!(e_large <= 2.0 * e_small, "small {e_small} large {e_large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2 <= k <= n")]
+    fn cv_rejects_bad_k() {
+        cross_validate(&noisy_linear(5), SvrConfig::default_for_dim(2), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn grid_search_rejects_empty_grid() {
+        grid_search(&noisy_linear(10), &[], &[0.1], &[0.1], 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Ridge / ordinary-least-squares baseline.
+//!
+//! Solves `(XᵀX + λI) w = Xᵀy` on standardized features (with an explicit
+//! intercept) via Cholesky decomposition. The paper argues that more than
+//! ten interacting graph/architecture parameters make the switching point
+//! "almost impossible to predict manually (e.g. develop a formula)" — the
+//! ablation benches use this linear baseline to quantify that claim against
+//! the SVR.
+
+use crate::{Dataset, Regressor, Scaler};
+use serde::{Deserialize, Serialize};
+
+/// A fitted ridge-regression model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ridge {
+    scaler: Scaler,
+    /// Weights over standardized features.
+    weights: Vec<f64>,
+    intercept: f64,
+    lambda: f64,
+}
+
+impl Ridge {
+    /// Fit with regularization strength `lambda` (`0` gives OLS with a tiny
+    /// stabilizing jitter).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or negative `lambda`.
+    pub fn fit(data: &Dataset, lambda: f64) -> Self {
+        assert!(!data.is_empty(), "cannot fit ridge on zero samples");
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        let n = data.len();
+        let d = data.dim();
+
+        let scaler = Scaler::fit(data.iter().map(|(x, _)| x));
+        let xs: Vec<Vec<f64>> =
+            data.iter().map(|(x, _)| scaler.transform(x)).collect();
+        let y_mean = data.targets().iter().sum::<f64>() / n as f64;
+        let y: Vec<f64> = data.targets().iter().map(|t| t - y_mean).collect();
+
+        // Standardized features have zero mean, so the intercept decouples:
+        // fit weights on centered targets, intercept = target mean.
+        let reg = if lambda == 0.0 { 1e-10 } else { lambda };
+        let mut ata = vec![0.0f64; d * d];
+        let mut aty = vec![0.0f64; d];
+        for (row, &t) in xs.iter().zip(&y) {
+            for i in 0..d {
+                aty[i] += row[i] * t;
+                for j in i..d {
+                    ata[i * d + j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                ata[i * d + j] = ata[j * d + i];
+            }
+            ata[i * d + i] += reg;
+        }
+
+        let weights = cholesky_solve(&mut ata, &aty, d);
+        Self { scaler, weights, intercept: y_mean, lambda }
+    }
+
+    /// The fitted weights over standardized features.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept (the training-target mean).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for Ridge {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let xs = self.scaler.transform(x);
+        self.intercept
+            + xs.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>()
+    }
+}
+
+/// Solve `A w = b` for symmetric positive-definite `A` (row-major `d × d`,
+/// destroyed in place) by Cholesky factorization.
+///
+/// # Panics
+/// Panics if `A` is not positive definite (regularization above prevents
+/// this for any real dataset).
+fn cholesky_solve(a: &mut [f64], b: &[f64], d: usize) -> Vec<f64> {
+    // A = L Lᵀ, L stored in the lower triangle of `a`.
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a[i * d + j];
+            for k in 0..j {
+                sum -= a[i * d + k] * a[j * d + k];
+            }
+            if i == j {
+                assert!(sum > 0.0, "matrix not positive definite");
+                a[i * d + i] = sum.sqrt();
+            } else {
+                a[i * d + j] = sum / a[j * d + j];
+            }
+        }
+    }
+    // Forward: L z = b.
+    let mut z = vec![0.0f64; d];
+    for i in 0..d {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= a[i * d + k] * z[k];
+        }
+        z[i] = sum / a[i * d + i];
+    }
+    // Backward: Lᵀ w = z.
+    let mut w = vec![0.0f64; d];
+    for i in (0..d).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..d {
+            sum -= a[k * d + i] * w[k];
+        }
+        w[i] = sum / a[i * d + i];
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            let a = i as f64 * 0.3;
+            let b = (i % 7) as f64;
+            d.push(vec![a, b], 4.0 * a - 2.5 * b + 3.0);
+        }
+        let model = Ridge::fit(&d, 0.0);
+        for (x, y) in d.iter() {
+            assert!((model.predict(x) - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(vec![i as f64], 5.0 * i as f64);
+        }
+        let free = Ridge::fit(&d, 0.0);
+        let strong = Ridge::fit(&d, 100.0);
+        assert!(strong.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    fn intercept_is_target_mean() {
+        let mut d = Dataset::new(1);
+        for i in 0..4 {
+            d.push(vec![i as f64], 10.0 + i as f64);
+        }
+        let model = Ridge::fit(&d, 0.0);
+        assert!((model.intercept() - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → w = [1.5, 2].
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let w = cholesky_solve(&mut a, &[10.0, 9.0], 2);
+        assert!((w[0] - 1.5).abs() < 1e-12);
+        assert!((w[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn cholesky_rejects_indefinite() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        cholesky_solve(&mut a, &[1.0, 1.0], 2);
+    }
+
+    #[test]
+    fn linear_model_cannot_fit_products() {
+        // The motivating ablation: y = a*b is invisible to a linear model
+        // on a symmetric grid.
+        let mut d = Dataset::new(2);
+        for i in -3..=3 {
+            for j in -3..=3 {
+                d.push(vec![i as f64, j as f64], (i * j) as f64);
+            }
+        }
+        let model = Ridge::fit(&d, 0.0);
+        // Best linear fit is ~0; MSE stays near the target variance.
+        let var: f64 = d.targets().iter().map(|t| t * t).sum::<f64>()
+            / d.len() as f64;
+        assert!(model.mse(&d) > 0.9 * var);
+    }
+
+    #[test]
+    fn handles_constant_feature_without_blowup() {
+        let mut d = Dataset::new(2);
+        for i in 0..6 {
+            d.push(vec![1.0, i as f64], 2.0 * i as f64);
+        }
+        let model = Ridge::fit(&d, 0.0);
+        assert!((model.predict(&[1.0, 3.0]) - 6.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: generate a Graph 500 R-MAT graph, train the switching-point
+//! predictor, and run the paper's cross-architecture combination
+//! (`CPUTD+GPUCB`, Algorithm 3) on the simulated platform pair.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use xbfs::prelude::*;
+
+fn main() {
+    // 1. A Graph 500 R-MAT instance: SCALE 16 (65 536 vertices),
+    //    edgefactor 16, the paper's A/B/C/D probabilities.
+    let scale = 16;
+    let edgefactor = 16;
+    let graph = xbfs::graph::rmat::rmat_csr(scale, edgefactor);
+    let stats = GraphStats::rmat(&graph, 0.57, 0.19, 0.19, 0.05);
+    println!(
+        "graph: 2^{scale} vertices, {} undirected edges, max degree {}",
+        graph.num_edges(),
+        xbfs::graph::stats::max_degree_vertex(&graph).unwrap().1,
+    );
+
+    // 2. Train the regression model offline (Fig. 6 left column). The
+    //    quick configuration keeps this under a second; see
+    //    `TrainingConfig::paper_sized` for the 140-sample version.
+    let runtime = AdaptiveRuntime::quick_trained();
+    let params = runtime.predict_params(&stats);
+    println!(
+        "predicted switch points: handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
+        params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n,
+    );
+
+    // 3. Run the adaptive cross-architecture BFS.
+    let source = xbfs::core::training::pick_source(&graph, 42).unwrap();
+    let run = runtime.run_cross(&graph, &stats, source);
+
+    // 4. Inspect: placements per level, simulated times, validation.
+    println!("\nlevel  placement  |V|cq    simulated time");
+    for ((rec, placement), secs) in run
+        .traversal
+        .levels
+        .iter()
+        .zip(&run.placements)
+        .zip(&run.level_seconds)
+    {
+        println!(
+            "{:>5}  {:<9}  {:>7}  {:.3} ms",
+            rec.level,
+            placement.to_string(),
+            rec.frontier_vertices,
+            secs * 1e3,
+        );
+    }
+    println!(
+        "transfer: {:.3} ms, total: {:.3} ms",
+        run.transfer_seconds * 1e3,
+        run.total_seconds * 1e3,
+    );
+
+    xbfs::engine::validate(&graph, &run.traversal.output)
+        .expect("cross-architecture output must be a valid BFS");
+    let visited = run.traversal.output.visited_count();
+    let teps = 2.0 * graph.num_edges() as f64 / run.total_seconds;
+    println!(
+        "visited {visited} vertices in {} levels — {:.2} simulated GTEPS",
+        run.traversal.depth(),
+        teps / 1e9,
+    );
+}

@@ -1,0 +1,95 @@
+//! Social-network analysis — the paper's opening motivation ("BFS is
+//! widely used in real-world applications including social networks").
+//!
+//! Builds a scale-free friendship graph, then answers the classic
+//! questions with the real (host-machine) engines:
+//!
+//! * degrees of separation from a user (BFS level histogram),
+//! * how the direction-optimizing hybrid beats both pure directions and
+//!   the naive FIFO reference in wall-clock time and edges examined,
+//! * the shortest friend chain between two users from the parent map.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use std::time::Instant;
+use xbfs::prelude::*;
+
+fn main() {
+    // A scale-free "friendship" graph: 2^17 users, average 32 friends.
+    let graph = xbfs::graph::rmat::rmat_csr(17, 16);
+    let user = xbfs::core::training::pick_source(&graph, 7).unwrap();
+    println!(
+        "social graph: {} users, {} friendships; analyzing user {user}",
+        graph.num_vertices(),
+        graph.num_edges(),
+    );
+
+    // Wall-clock comparison of the real engines.
+    let timed = |name: &str, f: &mut dyn FnMut() -> Traversal| {
+        let t = Instant::now();
+        let out = f();
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "{name:<22} {:>8.1} ms   {:>12} edges examined",
+            secs * 1e3,
+            out.total_edges_examined(),
+        );
+        out
+    };
+    println!("\nengine                      time          work");
+    let td = timed("top-down", &mut || xbfs::engine::topdown::run(&graph, user));
+    timed("bottom-up", &mut || xbfs::engine::bottomup::run(&graph, user));
+    let hybrid = timed("hybrid (M=14, N=24)", &mut || {
+        xbfs::engine::hybrid::run(&graph, user, &mut FixedMN::new(14.0, 24.0))
+    });
+    assert_eq!(td.output.levels, hybrid.output.levels);
+
+    let t = Instant::now();
+    let reference = xbfs::engine::reference::run(&graph, user);
+    println!(
+        "{:<22} {:>8.1} ms   (naive FIFO baseline)",
+        "reference",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    assert_eq!(reference.levels, hybrid.output.levels);
+
+    // Degrees of separation: how far is everyone from `user`?
+    let mut histogram = std::collections::BTreeMap::<u32, u64>::new();
+    let mut unreachable = 0u64;
+    for &level in &hybrid.output.levels {
+        if level == xbfs::engine::UNREACHED {
+            unreachable += 1;
+        } else {
+            *histogram.entry(level).or_default() += 1;
+        }
+    }
+    println!("\ndegrees of separation from user {user}:");
+    for (level, count) in &histogram {
+        println!("  {level} hop(s): {count} users");
+    }
+    println!("  unreachable: {unreachable} users");
+
+    // Shortest friend chain to the farthest reachable user.
+    let far = hybrid
+        .output
+        .levels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l != xbfs::engine::UNREACHED)
+        .max_by_key(|(_, &l)| l)
+        .map(|(v, _)| v as u32)
+        .unwrap();
+    let mut chain = vec![far];
+    while *chain.last().unwrap() != user {
+        let v = *chain.last().unwrap();
+        chain.push(hybrid.output.parents[v as usize]);
+    }
+    chain.reverse();
+    println!(
+        "\nlongest shortest friend chain ({} hops): {:?}",
+        chain.len() - 1,
+        chain
+    );
+}

@@ -1,0 +1,105 @@
+//! Switch-point tuning, three ways — the paper's §III story.
+//!
+//! For one graph: (1) brute-force the best `(M, N)` like Beamer's
+//! hybrid-oracle, (2) show how badly a mistuned point hurts, and (3) train
+//! the regression predictor and compare its pick against the oracle — the
+//! paper's "95 % of exhaustive at <0.1 % of the cost" claim, end to end.
+//!
+//! ```text
+//! cargo run --release --example switch_tuning
+//! ```
+
+use std::time::Instant;
+use xbfs::prelude::*;
+use xbfs_core::{oracle, strategies, training::TrainingConfig};
+
+fn main() {
+    let graph = xbfs::graph::rmat::rmat_csr(17, 32);
+    let stats = GraphStats::rmat(&graph, 0.57, 0.19, 0.19, 0.05);
+    let src = xbfs::core::training::pick_source(&graph, 11).unwrap();
+    let profile = xbfs::archsim::profile(&graph, src);
+
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let link = Link::pcie3();
+
+    // (1) Exhaustive search over the paper's grid on the single CPU.
+    let grid = oracle::MnGrid::paper_1000();
+    let t = Instant::now();
+    let sweep = oracle::sweep_single(&profile, &cpu, &grid);
+    let sweep_wall = t.elapsed();
+    let best = oracle::best(&sweep);
+    let worst = oracle::worst(&sweep);
+    println!(
+        "CPU combination, {} candidates swept in {:.1} ms:",
+        sweep.len(),
+        sweep_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  best  (M={:>3.0}, N={:>3.0}) -> {:.3} ms",
+        best.mn.m,
+        best.mn.n,
+        best.seconds * 1e3
+    );
+    println!(
+        "  worst (M={:>3.0}, N={:>3.0}) -> {:.3} ms ({:.1}x slower)",
+        worst.mn.m,
+        worst.mn.n,
+        worst.seconds * 1e3,
+        worst.seconds / best.seconds
+    );
+
+    // (2) The cross-architecture space is far more dangerous (Fig. 8).
+    let pair_grid = oracle::cross_pair_grid();
+    let pairs =
+        oracle::sweep_cross_pairs(&profile, &cpu, &gpu, &link, &pair_grid, &pair_grid);
+    let bx = oracle::best_cross(&pairs);
+    let wx = oracle::worst_cross(&pairs);
+    println!(
+        "\ncross-architecture, {} candidates: best {:.3} ms, worst {:.3} ms ({:.0}x spread)",
+        pairs.len(),
+        bx.seconds * 1e3,
+        wx.seconds * 1e3,
+        wx.seconds / bx.seconds
+    );
+
+    // (3) Regression prediction.
+    let mut cfg = TrainingConfig::paper_sized();
+    cfg.scales = vec![10, 12, 14];
+    cfg.grid = oracle::MnGrid::coarse();
+    let t = Instant::now();
+    let runtime = AdaptiveRuntime::train(&cfg);
+    let train_wall = t.elapsed();
+
+    let t = Instant::now();
+    let params = runtime.predict_params(&stats);
+    let predict_wall = t.elapsed();
+    let report = strategies::evaluate_cross(
+        &profile, &cpu, &gpu, &link, &pair_grid, &pair_grid, params, 99,
+    );
+    println!(
+        "\nregression: trained in {:.2} s (one-time), predicted in {:.1} us",
+        train_wall.as_secs_f64(),
+        predict_wall.as_secs_f64() * 1e6
+    );
+    println!(
+        "  predicted handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
+        params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n
+    );
+    println!(
+        "  regression {:.3} ms vs exhaustive {:.3} ms -> {:.0}% efficiency",
+        report.regression_seconds * 1e3,
+        report.exhaustive_seconds * 1e3,
+        100.0 * report.regression_efficiency()
+    );
+    println!(
+        "  speedups: {:.1}x over worst, {:.1}x over random, {:.1}x over average",
+        report.regression_over_worst(),
+        report.regression_over_random(),
+        report.regression_over_average()
+    );
+    println!(
+        "  prediction overhead vs one traversal: {:.4}% (paper claims <0.1%)",
+        100.0 * predict_wall.as_secs_f64() / report.regression_seconds
+    );
+}

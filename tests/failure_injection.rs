@@ -1,0 +1,150 @@
+//! Failure injection: the Graph 500 validator must catch every class of
+//! corruption we can systematically inject into a correct BFS output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xbfs::engine::{topdown, validate, BfsOutput, UNREACHED};
+use xbfs::graph::{Csr, NO_PARENT};
+
+fn correct_run() -> (Csr, BfsOutput) {
+    let g = xbfs::graph::rmat::rmat_csr(10, 8);
+    let src = xbfs::core::training::pick_source(&g, 5).unwrap();
+    (g.clone(), topdown::run(&g, src).output)
+}
+
+/// Every visited non-source vertex, with its level corrupted to a random
+/// wrong value, must be rejected.
+#[test]
+fn any_single_level_corruption_is_caught() {
+    let (g, out) = correct_run();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut checked = 0;
+    for v in g.vertices() {
+        if v == out.source || !out.visited(v) {
+            continue;
+        }
+        // Only a sample, to keep runtime sane.
+        if rng.gen_ratio(3, 4) {
+            continue;
+        }
+        let mut bad = out.clone();
+        let true_level = bad.levels[v as usize];
+        let wrong = if true_level == 0 { 5 } else { true_level + 2 };
+        bad.levels[v as usize] = wrong;
+        assert!(
+            validate(&g, &bad).is_err(),
+            "corrupting level of vertex {v} went undetected"
+        );
+        checked += 1;
+    }
+    assert!(checked > 10, "too few vertices exercised: {checked}");
+}
+
+/// Re-parenting a vertex onto a random non-neighbor must be rejected.
+#[test]
+fn phantom_parent_edges_are_caught() {
+    let (g, out) = correct_run();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut checked = 0;
+    while checked < 25 {
+        let v = rng.gen_range(0..g.num_vertices());
+        if v == out.source || !out.visited(v) {
+            continue;
+        }
+        let fake = rng.gen_range(0..g.num_vertices());
+        if g.has_edge(fake, v) || fake == v {
+            continue;
+        }
+        let mut bad = out.clone();
+        bad.parents[v as usize] = fake;
+        assert!(
+            validate(&g, &bad).is_err(),
+            "phantom parent {fake} of {v} went undetected"
+        );
+        checked += 1;
+    }
+}
+
+/// Erasing a visited vertex entirely (claiming it unreachable) must be
+/// rejected whenever it has a visited neighbor.
+#[test]
+fn dropped_vertices_are_caught() {
+    let (g, out) = correct_run();
+    let mut checked = 0;
+    for v in g.vertices() {
+        if v == out.source || !out.visited(v) || g.degree(v) == 0 {
+            continue;
+        }
+        let mut bad = out.clone();
+        bad.parents[v as usize] = NO_PARENT;
+        bad.levels[v as usize] = UNREACHED;
+        assert!(
+            validate(&g, &bad).is_err(),
+            "dropping vertex {v} went undetected"
+        );
+        checked += 1;
+        if checked >= 30 {
+            break;
+        }
+    }
+    assert!(checked > 0);
+}
+
+/// Spuriously "visiting" an unreachable vertex must be rejected.
+#[test]
+fn fabricated_visits_are_caught() {
+    let g = xbfs::graph::gen::two_cliques(5);
+    let out = topdown::run(&g, 0).output;
+    for v in 5..10u32 {
+        let mut bad = out.clone();
+        bad.parents[v as usize] = 0;
+        bad.levels[v as usize] = 1;
+        assert!(
+            validate(&g, &bad).is_err(),
+            "fabricated visit of {v} went undetected"
+        );
+    }
+}
+
+/// Swapping the source's own entries must be rejected.
+#[test]
+fn corrupted_source_entry_is_caught() {
+    let (g, out) = correct_run();
+    let s = out.source as usize;
+
+    let mut bad = out.clone();
+    bad.levels[s] = 1;
+    assert!(validate(&g, &bad).is_err());
+
+    let mut bad = out.clone();
+    bad.parents[s] = NO_PARENT;
+    assert!(validate(&g, &bad).is_err());
+}
+
+/// Truncated maps must be rejected.
+#[test]
+fn truncated_maps_are_caught() {
+    let (g, out) = correct_run();
+    let mut bad = out.clone();
+    bad.levels.pop();
+    assert!(validate(&g, &bad).is_err());
+    let mut bad = out;
+    bad.parents.pop();
+    assert!(validate(&g, &bad).is_err());
+}
+
+/// A cycle smuggled into the parent map (two vertices claiming each other)
+/// must be rejected.
+#[test]
+fn parent_cycles_are_caught() {
+    let g = xbfs::graph::gen::cycle(6);
+    let out = topdown::run(&g, 0).output;
+    let mut bad = out;
+    // 2 and 3 are adjacent on the cycle; make them each other's parents at
+    // fabricated levels.
+    bad.parents[2] = 3;
+    bad.parents[3] = 2;
+    bad.levels[2] = 7;
+    bad.levels[3] = 8;
+    assert!(validate(&g, &bad).is_err());
+}

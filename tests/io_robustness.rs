@@ -1,0 +1,46 @@
+//! Robustness of the binary graph decoder: arbitrary bytes must never
+//! panic, and mutations of valid encodings must either decode to a valid
+//! CSR or fail cleanly.
+
+use proptest::prelude::*;
+use xbfs::graph::{gen, io};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Either outcome is fine; panicking is not.
+        let _ = io::decode_csr(&bytes[..]);
+    }
+
+    #[test]
+    fn decode_of_mutated_encoding_is_sound(
+        flip_at in 0usize..256,
+        xor in 1u8..=255,
+    ) {
+        let g = gen::grid(4, 5);
+        let mut bytes = io::encode_csr(&g).to_vec();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= xor;
+        match io::decode_csr(&bytes[..]) {
+            // If it still decodes, the decoder's full validation
+            // guarantees a canonical, symmetric CSR — a mutation can at
+            // most produce a *different* valid graph, never a corrupt one.
+            Ok(decoded) => {
+                prop_assert!(decoded.is_canonical());
+                prop_assert!(decoded.is_symmetric());
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn truncations_fail_cleanly(cut in 0usize..100) {
+        let g = gen::complete(6);
+        let bytes = io::encode_csr(&g);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let r = io::decode_csr(&bytes[..cut]);
+        prop_assert!(r.is_err(), "truncated decode at {} succeeded", cut);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-crate property tests: every BFS engine — sequential top-down,
+//! bottom-up, hybrid (any policy), the parallel variants, and the naive
+//! reference — must compute the *same level map* on arbitrary graphs, and
+//! every output must satisfy the Graph 500 validator.
+
+use proptest::prelude::*;
+use xbfs::engine::{
+    bottomup, hybrid, par, reference, topdown, validate, AlwaysBottomUp,
+    AlwaysTopDown, FixedMN,
+};
+use xbfs::graph::{Csr, EdgeList, VertexId};
+
+/// Arbitrary graph: up to 64 vertices, up to 200 random edges (duplicates
+/// and self-loops included — the CSR builder must cope).
+fn arb_graph() -> impl Strategy<Value = (Csr, VertexId)> {
+    (2u32..64).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..200);
+        let source = 0..n;
+        (edges, source).prop_map(move |(edges, source)| {
+            let el = EdgeList::from_edges(n, edges).expect("in-range");
+            (Csr::from_edge_list(&el), source)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_engines_agree_on_level_maps((g, src) in arb_graph()) {
+        let td = topdown::run(&g, src);
+        let bu = bottomup::run(&g, src);
+        let hy = hybrid::run(&g, src, &mut FixedMN::new(14.0, 24.0));
+        let pr = par::run(&g, src, &mut FixedMN::new(14.0, 24.0), 3);
+        let rf = reference::run(&g, src);
+
+        prop_assert_eq!(&td.output.levels, &bu.output.levels);
+        prop_assert_eq!(&td.output.levels, &hy.output.levels);
+        prop_assert_eq!(&td.output.levels, &pr.output.levels);
+        prop_assert_eq!(&td.output.levels, &rf.levels);
+    }
+
+    #[test]
+    fn every_engine_output_validates((g, src) in arb_graph()) {
+        prop_assert_eq!(validate(&g, &topdown::run(&g, src).output), Ok(()));
+        prop_assert_eq!(validate(&g, &bottomup::run(&g, src).output), Ok(()));
+        prop_assert_eq!(
+            validate(&g, &par::run(&g, src, &mut AlwaysTopDown, 4).output),
+            Ok(())
+        );
+        prop_assert_eq!(
+            validate(&g, &par::run(&g, src, &mut AlwaysBottomUp, 4).output),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn level_traces_are_consistent((g, src) in arb_graph()) {
+        let t = topdown::run(&g, src);
+        // Discovered counts match the level-map population per level.
+        for rec in &t.levels {
+            let in_level = t
+                .output
+                .levels
+                .iter()
+                .filter(|&&l| l == rec.level + 1)
+                .count() as u64;
+            prop_assert_eq!(rec.discovered, in_level, "level {}", rec.level);
+        }
+        // Frontier sizes chain: discovered at level i = frontier of level i+1.
+        for w in t.levels.windows(2) {
+            prop_assert_eq!(w[0].discovered, w[1].frontier_vertices);
+        }
+        // Total visited = source + all discovered.
+        prop_assert_eq!(t.output.visited_count(), 1 + t.total_discovered());
+    }
+
+    #[test]
+    fn hybrid_examines_no_more_than_pure_minimum_plus_slack((g, src) in arb_graph()) {
+        // The hybrid can never examine more edges than the direction it
+        // chose at each level; summed, it is bounded by max(TD, BU) work.
+        let td = topdown::run(&g, src).total_edges_examined();
+        let bu = bottomup::run(&g, src).total_edges_examined();
+        let hy = hybrid::run(&g, src, &mut FixedMN::new(14.0, 24.0))
+            .total_edges_examined();
+        prop_assert!(hy <= td.max(bu));
+    }
+
+    #[test]
+    fn parallel_thread_count_does_not_change_results(
+        (g, src) in arb_graph(),
+        threads in 1usize..6,
+    ) {
+        let seq = hybrid::run(&g, src, &mut FixedMN::new(14.0, 24.0));
+        let par = par::run(&g, src, &mut FixedMN::new(14.0, 24.0), threads);
+        prop_assert_eq!(seq.output.levels, par.output.levels);
+        // Work accounting is deterministic for TD (exactly |E|cq per level).
+        for (a, b) in seq.levels.iter().zip(&par.levels) {
+            prop_assert_eq!(a.frontier_edges, b.frontier_edges);
+            prop_assert_eq!(a.direction, b.direction);
+        }
+    }
+}

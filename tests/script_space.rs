@@ -1,0 +1,99 @@
+//! Exhaustive direction-script verification: on a fixed small graph, run
+//! the hybrid driver under *every possible* per-level direction script and
+//! check that the result is always the same valid BFS — the strongest
+//! statement of the level-set direction-independence the whole simulator
+//! rests on.
+
+use xbfs::archsim::{cost, profile, ArchSpec};
+use xbfs::engine::{hybrid, policy::Scripted, topdown, validate, Direction};
+use xbfs::graph::rmat::rmat_csr;
+
+fn all_scripts(depth: usize) -> Vec<Vec<Direction>> {
+    (0..1u32 << depth)
+        .map(|mask| {
+            (0..depth)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        Direction::BottomUp
+                    } else {
+                        Direction::TopDown
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn every_direction_script_yields_the_same_levels() {
+    let g = rmat_csr(8, 8);
+    let src = xbfs::core::training::pick_source(&g, 3).unwrap();
+    let reference = topdown::run(&g, src);
+    let depth = reference.levels.len();
+    assert!(depth <= 8, "graph too deep for exhaustive scripts: {depth}");
+
+    for script in all_scripts(depth) {
+        let mut policy = Scripted::new(script.clone(), Direction::TopDown);
+        let t = hybrid::run(&g, src, &mut policy);
+        assert_eq!(
+            t.output.levels, reference.output.levels,
+            "script {script:?} changed the level map"
+        );
+        assert_eq!(validate(&g, &t.output), Ok(()), "script {script:?}");
+        assert_eq!(t.direction_script(), script[..t.levels.len()].to_vec());
+    }
+}
+
+#[test]
+fn executed_work_matches_profile_for_every_script() {
+    // For every script, the engine's measured per-level work must equal
+    // what the profile predicted for that direction — i.e. the profile is
+    // exact, not approximate, over the whole script space.
+    let g = rmat_csr(8, 16);
+    let src = xbfs::core::training::pick_source(&g, 5).unwrap();
+    let p = profile(&g, src);
+    let depth = p.depth();
+    assert!(depth <= 7, "too deep: {depth}");
+
+    for script in all_scripts(depth) {
+        let mut policy = Scripted::new(script.clone(), Direction::TopDown);
+        let t = hybrid::run(&g, src, &mut policy);
+        for (rec, lp) in t.levels.iter().zip(&p.levels) {
+            match rec.direction {
+                Direction::TopDown => {
+                    assert_eq!(rec.edges_examined, lp.frontier_edges)
+                }
+                Direction::BottomUp => {
+                    assert_eq!(rec.edges_examined, lp.bu_probes)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_script_is_optimal_over_the_whole_script_space() {
+    // The per-level oracle must be the true optimum over all 2^depth
+    // scripts (valid because level costs are independent — this test is
+    // the empirical proof of that assumption).
+    let g = rmat_csr(8, 8);
+    let src = xbfs::core::training::pick_source(&g, 7).unwrap();
+    let p = profile(&g, src);
+    for arch in [
+        ArchSpec::cpu_sandy_bridge(),
+        ArchSpec::gpu_k20x(),
+        ArchSpec::mic_knights_corner(),
+    ] {
+        let oracle = cost::oracle_script(&p, &arch);
+        let oracle_cost =
+            cost::total_seconds(&cost::cost_script(&p, &arch, &oracle));
+        for script in all_scripts(p.depth()) {
+            let c = cost::total_seconds(&cost::cost_script(&p, &arch, &script));
+            assert!(
+                oracle_cost <= c + 1e-15,
+                "{}: script {script:?} beats the oracle ({c} < {oracle_cost})",
+                arch.name
+            );
+        }
+    }
+}

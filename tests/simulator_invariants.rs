@@ -1,0 +1,143 @@
+//! Property tests on the architecture simulator: the cost model must be
+//! finite, positive and monotone in work, and the traversal profile must
+//! agree exactly with what the real kernels do.
+
+use proptest::prelude::*;
+use xbfs::archsim::{cost, profile, ArchSpec, Link};
+use xbfs::engine::{bottomup, topdown, Direction, FixedMN};
+use xbfs::graph::{Csr, EdgeList, VertexId};
+
+fn arb_graph() -> impl Strategy<Value = (Csr, VertexId)> {
+    (2u32..80).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 1..300);
+        (edges, 0..n).prop_map(move |(edges, source)| {
+            let el = EdgeList::from_edges(n, edges).expect("in-range");
+            (Csr::from_edge_list(&el), source)
+        })
+    })
+}
+
+fn all_archs() -> [ArchSpec; 3] {
+    [
+        ArchSpec::cpu_sandy_bridge(),
+        ArchSpec::gpu_k20x(),
+        ArchSpec::mic_knights_corner(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn level_times_are_finite_positive_and_above_overhead(
+        (g, src) in arb_graph()
+    ) {
+        let p = profile(&g, src);
+        for arch in all_archs() {
+            for lp in &p.levels {
+                for dir in [Direction::TopDown, Direction::BottomUp] {
+                    let t = cost::level_time(&arch, lp, dir);
+                    prop_assert!(t.is_finite() && t > 0.0);
+                    prop_assert!(t >= arch.cost.level_overhead_s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn td_time_monotone_in_edges(
+        frontier in 1u64..10_000,
+        edges in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        max_deg in 1u64..1_000,
+    ) {
+        for arch in all_archs() {
+            let base = arch.td_level_time(frontier, edges, max_deg);
+            let more = arch.td_level_time(frontier, edges + extra, max_deg);
+            prop_assert!(more >= base);
+        }
+    }
+
+    #[test]
+    fn bu_time_monotone_in_probes_and_scans(
+        scans in 1u64..10_000_000,
+        probes in 0u64..10_000_000,
+        extra in 1u64..10_000_000,
+        frontier in 0u64..10_000,
+    ) {
+        for arch in all_archs() {
+            let base = arch.bu_level_time(scans, probes, frontier);
+            prop_assert!(arch.bu_level_time(scans, probes + extra, frontier) >= base);
+            prop_assert!(arch.bu_level_time(scans + extra, probes, frontier) >= base);
+        }
+    }
+
+    #[test]
+    fn denser_frontier_never_slows_bottom_up(
+        scans in 100u64..1_000_000,
+        probes in 1u64..1_000_000,
+        f1 in 0u64..500,
+        f2 in 500u64..100_000,
+    ) {
+        // More frontier density → equal or better probe rate, all devices.
+        for arch in all_archs() {
+            let sparse = arch.bu_level_time(scans, probes, f1.min(scans));
+            let dense = arch.bu_level_time(scans, probes, f2.min(scans));
+            prop_assert!(dense <= sparse + 1e-15);
+        }
+    }
+
+    #[test]
+    fn fewer_cores_never_speed_things_up((g, src) in arb_graph()) {
+        let p = profile(&g, src);
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let half = cpu.with_cores(4);
+        let mn = FixedMN::new(14.0, 24.0);
+        prop_assert!(
+            cost::cost_fixed_mn(&p, &half, mn)
+                >= cost::cost_fixed_mn(&p, &cpu, mn) - 1e-15
+        );
+    }
+
+    #[test]
+    fn profile_matches_real_kernels((g, src) in arb_graph()) {
+        let p = profile(&g, src);
+        let td = topdown::run(&g, src);
+        let bu = bottomup::run(&g, src);
+        prop_assert_eq!(p.depth(), td.levels.len());
+        for ((lp, tr), br) in p.levels.iter().zip(&td.levels).zip(&bu.levels) {
+            prop_assert_eq!(lp.frontier_edges, tr.edges_examined);
+            prop_assert_eq!(lp.bu_probes, br.edges_examined);
+            prop_assert_eq!(lp.max_frontier_degree, tr.max_frontier_degree);
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let link = Link::pcie3();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        prop_assert!(link.transfer_time(lo) >= link.latency_s);
+    }
+
+    #[test]
+    fn any_mn_cost_is_bracketed_by_best_and_worst_script(
+        (g, src) in arb_graph(),
+        m in 0.5f64..400.0,
+        n in 0.5f64..400.0,
+    ) {
+        // A FixedMN policy picks one direction per level, so its cost must
+        // lie between the per-level min and max direction costs.
+        let p = profile(&g, src);
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let cost_mn = cost::cost_fixed_mn(&p, &cpu, FixedMN::new(m, n));
+        let (mut lo, mut hi) = (0.0, 0.0);
+        for lp in &p.levels {
+            let td = cost::level_time(&cpu, lp, Direction::TopDown);
+            let bu = cost::level_time(&cpu, lp, Direction::BottomUp);
+            lo += td.min(bu);
+            hi += td.max(bu);
+        }
+        prop_assert!(cost_mn >= lo - 1e-12 && cost_mn <= hi + 1e-12);
+    }
+}
