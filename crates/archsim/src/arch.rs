@@ -230,8 +230,7 @@ impl ArchSpec {
         max_frontier_degree: u64,
     ) -> f64 {
         let c = &self.cost;
-        let util = ((frontier_vertices as f64 * c.threads_per_vertex)
-            / c.parallel_units)
+        let util = ((frontier_vertices as f64 * c.threads_per_vertex) / c.parallel_units)
             .min(1.0)
             .max(1.0 / c.parallel_units);
         let throughput = edges as f64 / (c.td_edge_rate * util);
@@ -248,21 +247,15 @@ impl ArchSpec {
     /// `overhead + scans/scan_rate + probes/effective_probe_rate`, where
     /// the effective probe rate degrades with frontier sparsity (see
     /// [`CostParams::bu_sparse_penalty`]).
-    pub fn bu_level_time(
-        &self,
-        vertex_scans: u64,
-        probes: u64,
-        frontier_vertices: u64,
-    ) -> f64 {
+    pub fn bu_level_time(&self, vertex_scans: u64, probes: u64, frontier_vertices: u64) -> f64 {
         let c = &self.cost;
         let density = if vertex_scans == 0 {
             1.0
         } else {
             frontier_vertices as f64 / vertex_scans as f64
         };
-        let slowdown = 1.0
-            + c.bu_sparse_penalty
-                * (1.0 - (density / c.bu_density_saturation).min(1.0));
+        let slowdown =
+            1.0 + c.bu_sparse_penalty * (1.0 - (density / c.bu_density_saturation).min(1.0));
         c.level_overhead_s
             + vertex_scans as f64 / c.bu_scan_rate
             + probes as f64 * slowdown / c.bu_probe_rate

@@ -84,7 +84,9 @@ pub struct SyntheticLevel {
 /// The reconstructed workload (vertex count 8 M, directed edges 256 M).
 pub fn paper_workload() -> Vec<SyntheticLevel> {
     // Level:                1       2        3         4        5       6      7     8     9
-    let fv: [u64; 9] = [1, 30, 1_000_000, 4_200_000, 2_500_000, 280_000, 3_000, 300, 30];
+    let fv: [u64; 9] = [
+        1, 30, 1_000_000, 4_200_000, 2_500_000, 280_000, 3_000, 300, 30,
+    ];
     let fe: [u64; 9] = [
         30,
         2_600_000,
@@ -96,8 +98,7 @@ pub fn paper_workload() -> Vec<SyntheticLevel> {
         900,
         90,
     ];
-    let md: [u64; 9] =
-        [30, 390_000, 390_000, 80_000, 8_000, 500, 60, 20, 10];
+    let md: [u64; 9] = [30, 390_000, 390_000, 80_000, 8_000, 500, 60, 20, 10];
     let probes: [u64; 9] = [
         250_000_000,
         240_000_000,
@@ -159,13 +160,15 @@ pub fn score_column(
                     lv.frontier_edges,
                     lv.max_frontier_degree,
                 ),
-                Direction::BottomUp => arch.bu_level_time(
-                    PAPER_VERTICES,
-                    lv.bu_probes,
-                    lv.frontier_vertices,
-                ),
+                Direction::BottomUp => {
+                    arch.bu_level_time(PAPER_VERTICES, lv.bu_probes, lv.frontier_vertices)
+                }
             };
-            CalibrationCell { level: i + 1, paper_seconds, model_seconds }
+            CalibrationCell {
+                level: i + 1,
+                paper_seconds,
+                model_seconds,
+            }
         })
         .collect()
 }
@@ -190,8 +193,7 @@ mod tests {
 
     #[test]
     fn gputd_column_tracks_table4() {
-        let cells =
-            score_column(&ArchSpec::gpu_k20x(), Direction::TopDown, &PAPER_GPUTD);
+        let cells = score_column(&ArchSpec::gpu_k20x(), Direction::TopDown, &PAPER_GPUTD);
         assert_eq!(cells.len(), 8);
         let gm = geometric_mean_ratio(&cells);
         assert!(within(gm, 0.4, 2.5), "geometric mean ratio {gm}");
@@ -203,8 +205,7 @@ mod tests {
 
     #[test]
     fn gpubu_column_tracks_table4() {
-        let cells =
-            score_column(&ArchSpec::gpu_k20x(), Direction::BottomUp, &PAPER_GPUBU);
+        let cells = score_column(&ArchSpec::gpu_k20x(), Direction::BottomUp, &PAPER_GPUBU);
         let gm = geometric_mean_ratio(&cells);
         assert!(within(gm, 0.4, 2.5), "geometric mean ratio {gm}");
         // Level 1 — the headline pathology — must be within ~25 %.
@@ -246,11 +247,12 @@ mod tests {
         let l = &w[1];
         assert!(
             cpu.td_level_time(l.frontier_vertices, l.frontier_edges, l.max_frontier_degree)
-                < 0.2 * gpu.td_level_time(
-                    l.frontier_vertices,
-                    l.frontier_edges,
-                    l.max_frontier_degree
-                )
+                < 0.2
+                    * gpu.td_level_time(
+                        l.frontier_vertices,
+                        l.frontier_edges,
+                        l.max_frontier_degree
+                    )
         );
         // Level 3: GPUBU beats CPUBU (paper: 10.7 ms vs 15.3 ms).
         let l = &w[2];
@@ -262,11 +264,7 @@ mod tests {
         let l = &w[7];
         assert!(
             gpu.td_level_time(l.frontier_vertices, l.frontier_edges, l.max_frontier_degree)
-                < cpu.td_level_time(
-                    l.frontier_vertices,
-                    l.frontier_edges,
-                    l.max_frontier_degree
-                )
+                < cpu.td_level_time(l.frontier_vertices, l.frontier_edges, l.max_frontier_degree)
         );
     }
 

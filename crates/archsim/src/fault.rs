@@ -1,0 +1,389 @@
+//! Deterministic fault injection for the simulated runtime.
+//!
+//! A [`FaultPlan`] describes, ahead of time, everything that will go wrong
+//! during a traversal: per-operation probabilities for transient faults
+//! (transfer failures, link stalls, kernel timeouts), a probability for
+//! the permanent device-lost fault, and scheduled one-shot faults ("fail
+//! the level-3 handoff"). Plans are serde-able so the CLI can load them
+//! from JSON, and seeded so a plan plus a traversal is perfectly
+//! reproducible — the recovery ladder in `xbfs-core` can be tested
+//! against an exact, replayable failure sequence.
+//!
+//! The plan is immutable; per-traversal mutable state (the RNG cursor,
+//! which one-shots have fired, which devices have died) lives in a
+//! [`FaultSession`] created by [`FaultPlan::session`].
+
+use serde::{Deserialize, Serialize};
+use xbfs_engine::XbfsError;
+
+/// Which simulated operation a fault targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// A host↔device state handoff over the link.
+    Transfer,
+    /// A kernel launch on the accelerator.
+    GpuKernel,
+    /// A kernel launch on the host CPU.
+    CpuKernel,
+}
+
+/// What goes wrong when a fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The transfer aborts; the attempt's time is wasted but a retry may
+    /// succeed (transient).
+    TransferFailure,
+    /// The link completes the transfer but at [`FaultPlan::stall_factor`] ×
+    /// the nominal time (congestion; no retry needed).
+    LinkStall,
+    /// The kernel misses its watchdog; the attempt's time is wasted but a
+    /// relaunch may succeed (transient).
+    KernelTimeout,
+    /// The device falls off the bus — permanent for the rest of the
+    /// session; no retry can help.
+    DeviceLost,
+}
+
+impl FaultKind {
+    /// `true` if retrying the operation can ever succeed.
+    pub fn is_transient(self) -> bool {
+        !matches!(self, FaultKind::DeviceLost)
+    }
+}
+
+/// A one-shot fault: fire `kind` the first time `op` is attempted at BFS
+/// level `level`, then never again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// The operation to sabotage.
+    pub op: FaultOp,
+    /// The BFS level at which to fire.
+    pub level: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// One fault that actually fired during a session — the audit record the
+/// recovery ladder accumulates into its `RunReport`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The operation that faulted.
+    pub op: FaultOp,
+    /// The BFS level at which it faulted.
+    pub level: usize,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Which attempt of the operation faulted (1 = first try).
+    pub attempt: u32,
+}
+
+/// A deterministic, serde-able description of everything that will go
+/// wrong. All probabilities are per *attempt* of the targeted operation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the per-session fault RNG.
+    pub seed: u64,
+    /// Probability a transfer attempt aborts ([`FaultKind::TransferFailure`]).
+    pub p_transfer_failure: f64,
+    /// Probability a transfer completes stalled ([`FaultKind::LinkStall`]).
+    pub p_link_stall: f64,
+    /// Stall slowdown: a stalled transfer takes `stall_factor` × nominal.
+    pub stall_factor: f64,
+    /// Probability a GPU kernel launch times out ([`FaultKind::KernelTimeout`]).
+    pub p_kernel_timeout: f64,
+    /// Probability a GPU kernel launch kills the device
+    /// ([`FaultKind::DeviceLost`]).
+    pub p_device_lost: f64,
+    /// One-shot faults, checked before the probabilistic draws.
+    pub scheduled: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the healthy baseline).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            p_transfer_failure: 0.0,
+            p_link_stall: 0.0,
+            stall_factor: 1.0,
+            p_kernel_timeout: 0.0,
+            p_device_lost: 0.0,
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// A plan whose only fault is losing `op`'s device the first time it
+    /// is used at `level` — the canonical degradation-ladder trigger.
+    pub fn lost_at(op: FaultOp, level: usize) -> Self {
+        Self {
+            scheduled: vec![ScheduledFault {
+                op,
+                level,
+                kind: FaultKind::DeviceLost,
+            }],
+            ..Self::none()
+        }
+    }
+
+    /// Validate ranges: probabilities in `[0, 1]`, stall factor ≥ 1 and
+    /// finite.
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        let probs = [
+            ("p_transfer_failure", self.p_transfer_failure),
+            ("p_link_stall", self.p_link_stall),
+            ("p_kernel_timeout", self.p_kernel_timeout),
+            ("p_device_lost", self.p_device_lost),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(XbfsError::FaultPlan(format!(
+                    "{name} must be a probability in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !self.stall_factor.is_finite() || self.stall_factor < 1.0 {
+            return Err(XbfsError::FaultPlan(format!(
+                "stall_factor must be finite and >= 1, got {}",
+                self.stall_factor
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parse a plan from JSON (the CLI's `--fault-plan` file format).
+    pub fn from_json(s: &str) -> Result<Self, XbfsError> {
+        let plan: Self = serde_json::from_str(s)
+            .map_err(|e| XbfsError::FaultPlan(format!("parse error: {e:?}")))?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Serialize the plan to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FaultPlan serializes")
+    }
+
+    /// Start a traversal-scoped injection session.
+    pub fn session(&self) -> FaultSession<'_> {
+        FaultSession {
+            plan: self,
+            rng: splitmix_init(self.seed),
+            fired: vec![false; self.scheduled.len()],
+            gpu_lost: false,
+            cpu_lost: false,
+        }
+    }
+}
+
+fn splitmix_init(seed: u64) -> u64 {
+    // Avoid the all-zero fixed point without perturbing other seeds.
+    seed ^ 0x9e37_79b9_7f4a_7c15
+}
+
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mutable per-traversal injection state. Ask it before every simulated
+/// operation; it answers with the fault to inject, if any.
+pub struct FaultSession<'a> {
+    plan: &'a FaultPlan,
+    rng: u64,
+    fired: Vec<bool>,
+    gpu_lost: bool,
+    cpu_lost: bool,
+}
+
+impl FaultSession<'_> {
+    /// Uniform draw in `[0, 1)` from the session RNG.
+    fn unit(&mut self) -> f64 {
+        (splitmix_next(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` once the GPU has been lost this session.
+    pub fn gpu_lost(&self) -> bool {
+        self.gpu_lost
+    }
+
+    /// `true` once the CPU has been lost this session.
+    pub fn cpu_lost(&self) -> bool {
+        self.cpu_lost
+    }
+
+    /// Should `op` at BFS `level` fault? Scheduled one-shots fire first
+    /// (each exactly once); otherwise the probabilistic draws run in a
+    /// fixed order. A lost device keeps reporting [`FaultKind::DeviceLost`]
+    /// for every later operation that needs it.
+    pub fn check(&mut self, op: FaultOp, level: usize) -> Option<FaultKind> {
+        let device_dead = match op {
+            FaultOp::GpuKernel | FaultOp::Transfer => self.gpu_lost,
+            FaultOp::CpuKernel => self.cpu_lost,
+        };
+        if device_dead {
+            return Some(FaultKind::DeviceLost);
+        }
+        for (i, s) in self.plan.scheduled.iter().enumerate() {
+            if !self.fired[i] && s.op == op && s.level == level {
+                self.fired[i] = true;
+                self.record_loss(op, s.kind);
+                return Some(s.kind);
+            }
+        }
+        match op {
+            FaultOp::Transfer => {
+                if self.unit() < self.plan.p_transfer_failure {
+                    return Some(FaultKind::TransferFailure);
+                }
+                if self.unit() < self.plan.p_link_stall {
+                    return Some(FaultKind::LinkStall);
+                }
+            }
+            FaultOp::GpuKernel => {
+                if self.unit() < self.plan.p_device_lost {
+                    self.gpu_lost = true;
+                    return Some(FaultKind::DeviceLost);
+                }
+                if self.unit() < self.plan.p_kernel_timeout {
+                    return Some(FaultKind::KernelTimeout);
+                }
+            }
+            FaultOp::CpuKernel => {}
+        }
+        None
+    }
+
+    fn record_loss(&mut self, op: FaultOp, kind: FaultKind) {
+        if kind == FaultKind::DeviceLost {
+            match op {
+                FaultOp::GpuKernel | FaultOp::Transfer => self.gpu_lost = true,
+                FaultOp::CpuKernel => self.cpu_lost = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_faults() {
+        let plan = FaultPlan::none();
+        let mut s = plan.session();
+        for level in 0..64 {
+            assert_eq!(s.check(FaultOp::Transfer, level), None);
+            assert_eq!(s.check(FaultOp::GpuKernel, level), None);
+            assert_eq!(s.check(FaultOp::CpuKernel, level), None);
+        }
+    }
+
+    #[test]
+    fn scheduled_fault_fires_exactly_once() {
+        let plan = FaultPlan::lost_at(FaultOp::Transfer, 3);
+        let mut s = plan.session();
+        assert_eq!(s.check(FaultOp::Transfer, 2), None);
+        assert_eq!(s.check(FaultOp::Transfer, 3), Some(FaultKind::DeviceLost));
+        // Losing the link's device poisons all later GPU-side operations.
+        assert_eq!(s.check(FaultOp::Transfer, 3), Some(FaultKind::DeviceLost));
+        assert_eq!(s.check(FaultOp::GpuKernel, 4), Some(FaultKind::DeviceLost));
+        assert_eq!(s.check(FaultOp::CpuKernel, 4), None);
+    }
+
+    #[test]
+    fn transient_scheduled_fault_does_not_poison() {
+        let plan = FaultPlan {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::Transfer,
+                level: 1,
+                kind: FaultKind::TransferFailure,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut s = plan.session();
+        assert_eq!(
+            s.check(FaultOp::Transfer, 1),
+            Some(FaultKind::TransferFailure)
+        );
+        // One-shot: the retry goes through.
+        assert_eq!(s.check(FaultOp::Transfer, 1), None);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 7,
+            p_transfer_failure: 0.5,
+            p_kernel_timeout: 0.3,
+            ..FaultPlan::none()
+        };
+        let run = |plan: &FaultPlan| {
+            let mut s = plan.session();
+            (0..32)
+                .map(|lvl| {
+                    (
+                        s.check(FaultOp::Transfer, lvl),
+                        s.check(FaultOp::GpuKernel, lvl),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&plan), run(&plan));
+        let mut other = plan.clone();
+        other.seed = 8;
+        assert_ne!(run(&plan), run(&other));
+        // At p = 0.5 some transfers must fault and some must not.
+        let seq = run(&plan);
+        assert!(seq.iter().any(|(t, _)| t.is_some()));
+        assert!(seq.iter().any(|(t, _)| t.is_none()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        let mut plan = FaultPlan::none();
+        plan.p_device_lost = 1.5;
+        assert!(matches!(plan.validate(), Err(XbfsError::FaultPlan(_))));
+        let mut plan = FaultPlan::none();
+        plan.stall_factor = 0.5;
+        assert!(matches!(plan.validate(), Err(XbfsError::FaultPlan(_))));
+        let mut plan = FaultPlan::none();
+        plan.p_link_stall = f64::NAN;
+        assert!(plan.validate().is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let plan = FaultPlan {
+            seed: 42,
+            p_transfer_failure: 0.1,
+            p_link_stall: 0.05,
+            stall_factor: 8.0,
+            p_kernel_timeout: 0.02,
+            p_device_lost: 0.01,
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::GpuKernel,
+                level: 3,
+                kind: FaultKind::DeviceLost,
+            }],
+        };
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("round trip");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_bad_ranges() {
+        assert!(matches!(
+            FaultPlan::from_json("not json"),
+            Err(XbfsError::FaultPlan(_))
+        ));
+        let mut plan = FaultPlan::none();
+        plan.p_transfer_failure = 2.0;
+        let json = plan.to_json();
+        assert!(FaultPlan::from_json(&json).is_err());
+    }
+}

@@ -25,10 +25,14 @@
 //!   tractable inside the simulator.
 //! * [`cost`] — costing of direction scripts and `(M, N)` policies against
 //!   a profile on a device.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): seeded
+//!   transient/permanent faults on simulated transfers and kernel
+//!   launches, driving the recovery ladder in `xbfs-core`.
 
 pub mod arch;
 pub mod calibration;
 pub mod cost;
+pub mod fault;
 pub mod link;
 pub mod model_policy;
 pub mod profile;
@@ -36,6 +40,7 @@ pub mod roofline;
 
 pub use arch::{ArchSpec, CostParams};
 pub use cost::{cost_fixed_mn, cost_script, script_for_fixed_mn, LevelCost};
+pub use fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession, ScheduledFault};
 pub use link::Link;
 pub use model_policy::CostModelPolicy;
 pub use profile::{profile, LevelProfile, TraversalProfile};

@@ -7,6 +7,7 @@
 //! (§IV) — this model makes that trade-off explicit.
 
 use serde::{Deserialize, Serialize};
+use xbfs_engine::XbfsError;
 
 /// A host↔device interconnect: fixed latency plus bytes over bandwidth.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -18,13 +19,36 @@ pub struct Link {
 }
 
 impl Link {
-    /// Construct, validating positivity.
+    /// Fallible construction for untrusted descriptions (CLI flags,
+    /// config files): latency must be finite and non-negative, bandwidth
+    /// positive and not NaN (infinite is allowed — see [`Link::zero`]).
+    pub fn try_new(latency_s: f64, bandwidth_bps: f64) -> Result<Self, XbfsError> {
+        let reason = if !latency_s.is_finite() || latency_s < 0.0 {
+            Some("latency must be finite and non-negative")
+        } else if bandwidth_bps.is_nan() || bandwidth_bps <= 0.0 {
+            Some("link requires positive bandwidth")
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => Err(XbfsError::InvalidLink {
+                latency_s,
+                bandwidth_bps,
+                reason,
+            }),
+            None => Ok(Self {
+                latency_s,
+                bandwidth_bps,
+            }),
+        }
+    }
+
+    /// Construct from trusted values, panicking on invalid input.
+    ///
+    /// # Panics
+    /// Panics if [`Link::try_new`] would reject the parameters.
     pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
-        assert!(
-            latency_s >= 0.0 && bandwidth_bps > 0.0,
-            "link parameters must be non-negative latency and positive bandwidth"
-        );
-        Self { latency_s, bandwidth_bps }
+        Self::try_new(latency_s, bandwidth_bps).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// PCIe 3.0 x16 as on the paper's testbed: ~15 µs effective launch
@@ -34,9 +58,10 @@ impl Link {
     }
 
     /// An instantaneous link (useful to isolate compute effects in tests
-    /// and ablations).
+    /// and ablations). Routed through the same validated constructor as
+    /// every other link, so `zero()` can never drift out of spec.
     pub fn zero() -> Self {
-        Self { latency_s: 0.0, bandwidth_bps: f64::INFINITY }
+        Self::new(0.0, f64::INFINITY)
     }
 
     /// Time to move `bytes` across the link.
@@ -91,5 +116,30 @@ mod tests {
     #[should_panic(expected = "positive bandwidth")]
     fn rejects_zero_bandwidth() {
         Link::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        for (lat, bw) in [
+            (f64::NAN, 1e9),
+            (-1.0, 1e9),
+            (f64::INFINITY, 1e9),
+            (0.0, 0.0),
+            (0.0, -5.0),
+            (0.0, f64::NAN),
+        ] {
+            match Link::try_new(lat, bw) {
+                Err(XbfsError::InvalidLink { .. }) => {}
+                other => panic!("({lat}, {bw}) gave {other:?}"),
+            }
+        }
+        assert!(Link::try_new(0.0, f64::INFINITY).is_ok());
+        assert!(Link::try_new(15e-6, 6e9).is_ok());
+    }
+
+    #[test]
+    fn zero_passes_its_own_validation() {
+        let z = Link::zero();
+        assert!(Link::try_new(z.latency_s, z.bandwidth_bps).is_ok());
     }
 }

@@ -49,7 +49,11 @@ pub struct CostModelPolicy {
 impl CostModelPolicy {
     /// Policy for one traversal on `arch`.
     pub fn new(arch: ArchSpec) -> Self {
-        Self { arch, visited_edges: 0, visited_vertices: 0 }
+        Self {
+            arch,
+            visited_edges: 0,
+            visited_vertices: 0,
+        }
     }
 
     /// Forget accumulated state so the instance can drive a new traversal.
@@ -61,8 +65,9 @@ impl CostModelPolicy {
     /// Estimated bottom-up probes for the level described by `ctx`, given
     /// the running visited totals.
     fn estimate_bu_probes(&self, ctx: &SwitchContext) -> u64 {
-        let unvisited_edges =
-            ctx.total_edges.saturating_sub(self.visited_edges + ctx.frontier_edges);
+        let unvisited_edges = ctx
+            .total_edges
+            .saturating_sub(self.visited_edges + ctx.frontier_edges);
         let unvisited_vertices = ctx
             .total_vertices
             .saturating_sub(self.visited_vertices + ctx.frontier_vertices)

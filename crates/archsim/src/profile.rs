@@ -145,11 +145,7 @@ pub fn profile(csr: &Csr, source: VertexId) -> TraversalProfile {
             // Unvisited at level i but not discovered by it: level ≥ i+2,
             // plus unreachable vertices — each probes its full adjacency.
             let far = deg_suffix.get(i + 2).copied().unwrap_or(0) + unreachable_degree;
-            let bu_probes = probes_at_discovery
-                .get(i + 1)
-                .copied()
-                .unwrap_or(0)
-                + far;
+            let bu_probes = probes_at_discovery.get(i + 1).copied().unwrap_or(0) + far;
             LevelProfile {
                 level: r.level,
                 frontier_vertices: r.frontier_vertices,
@@ -241,11 +237,7 @@ mod tests {
         // Figs. 1–2: the frontier must rise then fall on R-MAT graphs.
         let g = xbfs_graph::rmat::rmat_csr(12, 16);
         let p = profile(&g, 0);
-        let peak = p
-            .levels
-            .iter()
-            .max_by_key(|l| l.frontier_vertices)
-            .unwrap();
+        let peak = p.levels.iter().max_by_key(|l| l.frontier_vertices).unwrap();
         assert!(peak.level > 0, "peak at the source level");
         assert!(peak.level + 1 < p.depth() as u32, "peak at the last level");
         assert!(peak.frontier_vertices > 100 * p.levels[0].frontier_vertices);

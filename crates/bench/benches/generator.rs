@@ -10,16 +10,12 @@ fn bench_generator(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for scale in [12u32, 14, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("edge_list", scale),
-            &scale,
-            |b, &scale| {
-                b.iter(|| {
-                    let cfg = RmatConfig::new(scale, 16).with_seed(7);
-                    black_box(RmatGenerator::new(cfg).edge_list())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("edge_list", scale), &scale, |b, &scale| {
+            b.iter(|| {
+                let cfg = RmatConfig::new(scale, 16).with_seed(7);
+                black_box(RmatGenerator::new(cfg).edge_list())
+            })
+        });
     }
     let edges = RmatGenerator::new(RmatConfig::new(16, 16).with_seed(7)).edge_list();
     group.bench_function("csr_build_s16", |b| {

@@ -17,12 +17,8 @@ fn bench_kernels(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("topdown", |b| {
-        b.iter(|| black_box(topdown::run(&g, src)))
-    });
-    group.bench_function("bottomup", |b| {
-        b.iter(|| black_box(bottomup::run(&g, src)))
-    });
+    group.bench_function("topdown", |b| b.iter(|| black_box(topdown::run(&g, src))));
+    group.bench_function("bottomup", |b| b.iter(|| black_box(bottomup::run(&g, src))));
     group.bench_function("hybrid_m14_n24", |b| {
         b.iter(|| {
             let mut policy = FixedMN::new(14.0, 24.0);

@@ -16,7 +16,11 @@ use xbfs_core::{
 use xbfs_graph::GraphStats;
 
 fn bench_prediction(c: &mut Criterion) {
-    let ts = generate(&TrainingConfig::quick(), &paper_arch_pairs(), &Link::pcie3());
+    let ts = generate(
+        &TrainingConfig::quick(),
+        &paper_arch_pairs(),
+        &Link::pcie3(),
+    );
     let predictor = SwitchPredictor::train(&ts);
     let g = xbfs_graph::rmat::rmat_csr(14, 16);
     let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);

@@ -60,7 +60,10 @@ fn main() -> ExitCode {
         requested.iter().map(String::as_str).collect()
     };
 
-    println!("preset: {} (scale shift -{})", preset.name, preset.scale_shift);
+    println!(
+        "preset: {} (scale shift -{})",
+        preset.name, preset.scale_shift
+    );
     let mut failed_claims = 0usize;
     for id in ids {
         let Some(result) = run_experiment(id, &preset) else {

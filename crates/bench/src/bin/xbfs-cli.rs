@@ -6,7 +6,8 @@
 //! xbfs-cli bfs        --graph G.xbfs [--source V] [--policy td|bu|hybrid|model] [--threads T]
 //! xbfs-cli stcon      --graph G.xbfs --from A --to B
 //! xbfs-cli components --graph G.xbfs
-//! xbfs-cli adaptive   --graph G.xbfs [--source V]
+//! xbfs-cli adaptive   --graph G.xbfs [--source V] [--fault-plan F.json]
+//!                     [--deadline SECS] [--retries N]
 //! ```
 //!
 //! Graphs are the compact binary format by default (`io::encode_csr`);
@@ -14,11 +15,10 @@
 
 use std::io::BufReader;
 use std::process::ExitCode;
-use xbfs_archsim::{ArchSpec, CostModelPolicy};
-use xbfs_core::{training::pick_source, AdaptiveRuntime};
+use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
+use xbfs_core::{training::pick_source, AdaptiveRuntime, RetryPolicy};
 use xbfs_engine::{
-    hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN,
-    SwitchPolicy,
+    hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, SwitchPolicy,
 };
 use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
 
@@ -189,7 +189,11 @@ fn cmd_components(args: &Args) -> Result<(), String> {
     let comps = components::connected_components(&g);
     let mut sizes = comps.sizes.clone();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("{} component(s); sizes (desc, top 10): {:?}", comps.count(), &sizes[..sizes.len().min(10)]);
+    println!(
+        "{} component(s); sizes (desc, top 10): {:?}",
+        comps.count(),
+        &sizes[..sizes.len().min(10)]
+    );
     Ok(())
 }
 
@@ -197,6 +201,27 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let src = source_for(args, &g)?;
     let stats = GraphStats::unknown(&g);
+
+    let plan = match args.get("fault-plan") {
+        None => FaultPlan::none(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            FaultPlan::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+    };
+    let deadline_s: Option<f64> = args.parse_num("deadline")?;
+    if let Some(d) = deadline_s {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(format!("--deadline must be finite and positive, got {d}"));
+        }
+    }
+    let retry = RetryPolicy {
+        max_attempts: args.parse_num("retries")?.unwrap_or(3),
+        ..RetryPolicy::default_runtime()
+    };
+    // Reject bad flags before the (comparatively slow) training step.
+    retry.validate().map_err(|e| e.to_string())?;
+
     println!("training switch-point predictor (quick configuration)…");
     let rt = AdaptiveRuntime::quick_trained();
     let params = rt.predict_params(&stats);
@@ -204,13 +229,38 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         "predicted: handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
         params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n
     );
-    let run = rt.run_cross(&g, &stats, src);
-    validate(&g, &run.traversal.output).map_err(|e| format!("validation failed: {e}"))?;
+
+    let run = rt
+        .run_cross_resilient(&g, &stats, src, &plan, &retry, deadline_s)
+        .map_err(|e| format!("traversal failed: {e}"))?;
+    let report = &run.report;
     println!(
-        "plan {:?}, simulated {:.3} ms ({:.3} ms transfer)",
-        run.placements,
-        run.total_seconds * 1e3,
-        run.transfer_seconds * 1e3,
+        "rung: {} (tried: {})",
+        report.rung,
+        report
+            .rungs_tried
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    for e in &report.events {
+        println!(
+            "  fault: level {} {:?} on {:?} (attempt {})",
+            e.level, e.kind, e.op, e.attempt
+        );
+    }
+    println!(
+        "simulated {:.3} ms total, {:.3} ms lost to recovery, {} retr{}",
+        report.total_seconds * 1e3,
+        report.recovery_seconds * 1e3,
+        report.retries,
+        if report.retries == 1 { "y" } else { "ies" },
+    );
+    println!(
+        "visited {} of {} vertices (validated)",
+        run.output.visited_count(),
+        g.num_vertices(),
     );
     Ok(())
 }
@@ -223,7 +273,13 @@ commands:
   bfs        --graph FILE [--source V] [--policy td|bu|hybrid|model] [--threads T] [--text]
   stcon      --graph FILE --from A --to B [--text]
   components --graph FILE [--text]
-  adaptive   --graph FILE [--source V] [--text]";
+  adaptive   --graph FILE [--source V] [--fault-plan FILE.json] [--deadline SECS]
+             [--retries N] [--text]
+
+adaptive runs the cross-architecture combination under an optional fault
+plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
+deadline, and a degradation ladder: CPUTD+GPUCB -> CPU-only hybrid ->
+sequential reference BFS. The output is Graph 500-validated on every rung.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

@@ -42,23 +42,18 @@ pub fn samples(preset: &Preset) -> ExperimentResult {
     let cpu = ArchSpec::cpu_sandy_bridge();
     let gpu = ArchSpec::gpu_k20x();
     let sizes = [8usize, 16, ts.len() / 2, ts.len()];
-    let points = ablation::efficiency_vs_training_size(
-        &ts,
-        &sizes,
-        &cases,
-        &cpu,
-        &gpu,
-        &Link::pcie3(),
-    );
+    let points =
+        ablation::efficiency_vs_training_size(&ts, &sizes, &cases, &cpu, &gpu, &Link::pcie3());
 
-    let rows: Vec<Vec<String>> = std::iter::once(vec![
-        "samples".to_string(),
-        "mean efficiency".to_string(),
-    ])
-    .chain(points.iter().map(|p| {
-        vec![p.samples.to_string(), format!("{:.0}%", 100.0 * p.mean_efficiency)]
-    }))
-    .collect();
+    let rows: Vec<Vec<String>> =
+        std::iter::once(vec!["samples".to_string(), "mean efficiency".to_string()])
+            .chain(points.iter().map(|p| {
+                vec![
+                    p.samples.to_string(),
+                    format!("{:.0}%", 100.0 * p.mean_efficiency),
+                ]
+            }))
+            .collect();
 
     let first = points.first().expect("non-empty sweep").mean_efficiency;
     let last = points.last().expect("non-empty sweep").mean_efficiency;
@@ -92,10 +87,16 @@ pub fn features(preset: &Preset) -> ExperimentResult {
     let arch_only = ablation::feature_ablation(&ts, FeatureSet::ArchOnly);
 
     let rows = vec![
-        vec!["feature set".to_string(), "4-fold CV MSE of best-M model".to_string()],
+        vec![
+            "feature set".to_string(),
+            "4-fold CV MSE of best-M model".to_string(),
+        ],
         vec!["full (Fig. 7)".to_string(), format!("{full:.1}")],
         vec!["graph block only".to_string(), format!("{graph_only:.1}")],
-        vec!["architecture blocks only".to_string(), format!("{arch_only:.1}")],
+        vec![
+            "architecture blocks only".to_string(),
+            format!("{arch_only:.1}"),
+        ],
     ];
     ExperimentResult {
         id: "ablation_features",
@@ -107,7 +108,8 @@ pub fn features(preset: &Preset) -> ExperimentResult {
             "arch_only": arch_only,
         }),
         claims: vec![Claim {
-            paper: "the best switching point depends on graph AND platform information (§III-C)".into(),
+            paper: "the best switching point depends on graph AND platform information (§III-C)"
+                .into(),
             measured: format!(
                 "CV MSE: full {full:.1}, graph-only {graph_only:.1}, arch-only {arch_only:.1}"
             ),
@@ -180,7 +182,9 @@ pub fn link(preset: &Preset) -> ExperimentResult {
             .collect::<Vec<_>>()),
         claims: vec![
             Claim {
-                paper: "at PCIe speeds the transfer is negligible and cross-architecture wins (§IV)".into(),
+                paper:
+                    "at PCIe speeds the transfer is negligible and cross-architecture wins (§IV)"
+                        .into(),
                 measured: format!(
                     "at 6 GB/s: cross {} vs single {}",
                     crate::table::fmt_secs(points[0].cross_seconds),

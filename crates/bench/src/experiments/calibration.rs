@@ -5,8 +5,7 @@ use crate::{result::Claim, ExperimentResult, Preset};
 use serde_json::json;
 use xbfs_archsim::{
     calibration::{
-        geometric_mean_ratio, score_column, PAPER_CPUBU, PAPER_CPUTD,
-        PAPER_GPUBU, PAPER_GPUTD,
+        geometric_mean_ratio, score_column, PAPER_CPUBU, PAPER_CPUTD, PAPER_GPUBU, PAPER_GPUTD,
     },
     ArchSpec,
 };
@@ -14,10 +13,30 @@ use xbfs_engine::Direction;
 
 pub fn run(_preset: &Preset) -> ExperimentResult {
     let columns = [
-        ("GPUTD", ArchSpec::gpu_k20x(), Direction::TopDown, &PAPER_GPUTD),
-        ("GPUBU", ArchSpec::gpu_k20x(), Direction::BottomUp, &PAPER_GPUBU),
-        ("CPUTD", ArchSpec::cpu_sandy_bridge(), Direction::TopDown, &PAPER_CPUTD),
-        ("CPUBU", ArchSpec::cpu_sandy_bridge(), Direction::BottomUp, &PAPER_CPUBU),
+        (
+            "GPUTD",
+            ArchSpec::gpu_k20x(),
+            Direction::TopDown,
+            &PAPER_GPUTD,
+        ),
+        (
+            "GPUBU",
+            ArchSpec::gpu_k20x(),
+            Direction::BottomUp,
+            &PAPER_GPUBU,
+        ),
+        (
+            "CPUTD",
+            ArchSpec::cpu_sandy_bridge(),
+            Direction::TopDown,
+            &PAPER_CPUTD,
+        ),
+        (
+            "CPUBU",
+            ArchSpec::cpu_sandy_bridge(),
+            Direction::BottomUp,
+            &PAPER_CPUBU,
+        ),
     ];
 
     let mut rows = vec![vec![

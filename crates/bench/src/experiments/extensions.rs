@@ -42,11 +42,8 @@ pub fn model_policy(preset: &Preset) -> ExperimentResult {
                 .iter()
                 .map(|r| cost::level_time_for_record(arch, r))
                 .sum();
-            let oracle_secs = cost::total_seconds(&cost::cost_script(
-                &p,
-                arch,
-                &cost::oracle_script(&p, arch),
-            ));
+            let oracle_secs =
+                cost::total_seconds(&cost::cost_script(&p, arch, &cost::oracle_script(&p, arch)));
             let gap = model_secs / oracle_secs;
             worst_gap = worst_gap.max(gap);
             rows.push(vec![
@@ -121,8 +118,7 @@ pub fn relabel(preset: &Preset) -> ExperimentResult {
             "seconds_relabeled": t_rel,
         }));
     }
-    let mean_ratio =
-        probe_ratios.iter().sum::<f64>() / probe_ratios.len() as f64;
+    let mean_ratio = probe_ratios.iter().sum::<f64>() / probe_ratios.len() as f64;
     ExperimentResult {
         id: "ablation_relabel",
         title: "degree-descending vertex relabeling (Chhugani-style, §VI)".into(),
@@ -132,9 +128,7 @@ pub fn relabel(preset: &Preset) -> ExperimentResult {
             paper: "(§VI context) vertex rearrangement helps BFS; here: hubs first in \
                     sorted adjacency shortens bottom-up parent searches"
                 .into(),
-            measured: format!(
-                "relabeled/original bottom-up probe ratio averages {mean_ratio:.2}"
-            ),
+            measured: format!("relabeled/original bottom-up probe ratio averages {mean_ratio:.2}"),
             holds: mean_ratio < 1.05,
         }],
     }

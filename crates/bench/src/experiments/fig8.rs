@@ -101,13 +101,8 @@ pub fn run(preset: &Preset) -> ExperimentResult {
         xbfs_archsim::ArchSpec::mic_knights_corner(),
     ] {
         let predicted = runtime.predictor.predict(&stats, &arch, &arch);
-        let r = strategies::evaluate_single(
-            &p,
-            &arch,
-            &oracle::MnGrid::paper_1000(),
-            predicted,
-            0x51,
-        );
+        let r =
+            strategies::evaluate_single(&p, &arch, &oracle::MnGrid::paper_1000(), predicted, 0x51);
         single_rows.push(vec![
             arch.name.clone(),
             crate::table::fmt_speedup(r.speedup_over_worst(r.random_seconds)),

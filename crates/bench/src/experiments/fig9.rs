@@ -98,8 +98,7 @@ pub fn run(preset: &Preset) -> ExperimentResult {
                 data.iter()
                     .filter(|d| {
                         let m = d["mic_cb"].as_f64().unwrap();
-                        m >= d["cpu_cb"].as_f64().unwrap()
-                            && m >= d["gpu_cb"].as_f64().unwrap()
+                        m >= d["cpu_cb"].as_f64().unwrap() && m >= d["gpu_cb"].as_f64().unwrap()
                     })
                     .count(),
                 data.len()

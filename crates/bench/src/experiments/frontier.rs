@@ -21,7 +21,13 @@ fn series(preset: &Preset, edges: bool) -> (Vec<String>, serde_json::Value, Vec<
         let values: Vec<u64> = p
             .levels
             .iter()
-            .map(|l| if edges { l.frontier_edges } else { l.frontier_vertices })
+            .map(|l| {
+                if edges {
+                    l.frontier_edges
+                } else {
+                    l.frontier_vertices
+                }
+            })
             .collect();
         lines.push(format!(
             "SCALE {scale} (paper {paper_scale}), EF {EDGEFACTOR}: {}",

@@ -26,9 +26,7 @@ pub fn run(preset: &Preset) -> ExperimentResult {
         seed: 0x6500,
     };
 
-    let policy = || -> Box<dyn xbfs_engine::SwitchPolicy> {
-        Box::new(FixedMN::new(14.0, 24.0))
-    };
+    let policy = || -> Box<dyn xbfs_engine::SwitchPolicy> { Box::new(FixedMN::new(14.0, 24.0)) };
     let cpu = run_simulated_single(&config, &ArchSpec::cpu_sandy_bridge(), policy);
     let gpu = run_simulated_single(&config, &ArchSpec::gpu_k20x(), policy);
     let mic = run_simulated_single(&config, &ArchSpec::mic_knights_corner(), policy);
@@ -80,7 +78,8 @@ pub fn run(preset: &Preset) -> ExperimentResult {
             holds: reports.iter().all(|r| r.all_validated),
         },
         Claim {
-            paper: "platform ordering (cross > CPU/GPU > MIC) survives harmonic-mean aggregation".into(),
+            paper: "platform ordering (cross > CPU/GPU > MIC) survives harmonic-mean aggregation"
+                .into(),
             measured: format!(
                 "GTEPS: cross {:.3}, CPU {:.3}, GPU {:.3}, MIC {:.3}",
                 hm(&cross) / 1e9,

@@ -37,11 +37,10 @@ pub fn run(preset: &Preset) -> ExperimentResult {
     for (paper_scale, ef) in SIM_GRAPHS {
         let scale = preset.scale(paper_scale);
         let (_, p) = super::graph_profile(scale, ef);
-        let reference_secs: f64 =
-            cost::cost_script(&p, &cpu, &vec![Direction::TopDown; p.depth()])
-                .iter()
-                .map(|c| c.seconds)
-                .sum();
+        let reference_secs: f64 = cost::cost_script(&p, &cpu, &vec![Direction::TopDown; p.depth()])
+            .iter()
+            .map(|c| c.seconds)
+            .sum();
         let cross = oracle::best_cross(&oracle::sweep_cross_pairs(
             &p, &cpu, &gpu, &link, &grid, &grid,
         ));

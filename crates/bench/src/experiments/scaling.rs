@@ -70,9 +70,7 @@ pub fn strong(preset: &Preset) -> ExperimentResult {
 
     let claims = vec![Claim {
         paper: "performance grows with increasing number of cores (Fig. 10a)".into(),
-        measured: format!(
-            "TEPS monotone in cores on both platforms: {monotone}"
-        ),
+        measured: format!("TEPS monotone in cores on both platforms: {monotone}"),
         holds: monotone,
     }];
 
@@ -104,8 +102,16 @@ pub fn weak(preset: &Preset) -> ExperimentResult {
     let mut efficiencies = Vec::new();
 
     for (base, base_scale, core_steps) in [
-        (ArchSpec::cpu_sandy_bridge(), cpu_base_scale, &[1u32, 2, 4, 8][..]),
-        (ArchSpec::mic_knights_corner(), mic_base_scale, &[1u32, 4, 16][..]),
+        (
+            ArchSpec::cpu_sandy_bridge(),
+            cpu_base_scale,
+            &[1u32, 2, 4, 8][..],
+        ),
+        (
+            ArchSpec::mic_knights_corner(),
+            mic_base_scale,
+            &[1u32, 4, 16][..],
+        ),
     ] {
         let mut single_core_rate = 0.0f64;
         for (step, &c) in core_steps.iter().enumerate() {
@@ -161,7 +167,10 @@ mod tests {
     fn strong_scaling_is_monotone() {
         let r = strong(&Preset::scaled());
         assert!(r.claims[0].holds, "{:?}", r.claims);
-        assert_eq!(r.data.as_array().unwrap().len(), CPU_CORES.len() + MIC_CORES.len());
+        assert_eq!(
+            r.data.as_array().unwrap().len(),
+            CPU_CORES.len() + MIC_CORES.len()
+        );
     }
 
     #[test]

@@ -32,12 +32,7 @@ impl Approach {
     }
 }
 
-fn pure(
-    p: &TraversalProfile,
-    arch: &ArchSpec,
-    dir: Direction,
-    name: &'static str,
-) -> Approach {
+fn pure(p: &TraversalProfile, arch: &ArchSpec, dir: Direction, name: &'static str) -> Approach {
     let script = vec![dir; p.depth()];
     let costs = cost::cost_script(p, arch, &script);
     Approach {
@@ -79,14 +74,16 @@ pub fn run(preset: &Preset) -> ExperimentResult {
 
     // CPUTD+GPUBU: the GPU side is pinned to bottom-up; only the handoff
     // is tuned.
-    let handoff_bu =
-        oracle::best_mn_cross(&p, &cpu, &gpu, &link, always_bu(), &grid);
+    let handoff_bu = oracle::best_mn_cross(&p, &cpu, &gpu, &link, always_bu(), &grid);
     let cross_bu = cost_cross(
         &p,
         &cpu,
         &gpu,
         &link,
-        &CrossParams { handoff: handoff_bu.mn, gpu: always_bu() },
+        &CrossParams {
+            handoff: handoff_bu.mn,
+            gpu: always_bu(),
+        },
     );
     // CPUTD+GPUCB: both parameter pairs tuned (the paper's best solution).
     let pairs = oracle::sweep_cross_pairs(&p, &cpu, &gpu, &link, &grid, &grid);
@@ -158,8 +155,7 @@ pub fn run(preset: &Preset) -> ExperimentResult {
                 total("CPUTD") / total("CPUCB"),
                 total("CPUBU") / total("CPUCB")
             ),
-            holds: total("CPUCB") < total("CPUTD")
-                && total("CPUCB") < total("CPUBU"),
+            holds: total("CPUCB") < total("CPUTD") && total("CPUCB") < total("CPUBU"),
         },
         Claim {
             paper: "97% of GPUBU time is spent on the first two levels".into(),

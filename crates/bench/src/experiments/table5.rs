@@ -11,8 +11,15 @@ use xbfs_core::oracle;
 use xbfs_engine::Direction;
 
 /// The paper's seven (SCALE, edgefactor) pairs.
-pub const PAPER_GRAPHS: [(u32, u32); 7] =
-    [(21, 16), (21, 32), (21, 64), (22, 16), (22, 32), (22, 64), (23, 16)];
+pub const PAPER_GRAPHS: [(u32, u32); 7] = [
+    (21, 16),
+    (21, 32),
+    (21, 64),
+    (22, 16),
+    (22, 32),
+    (22, 64),
+    (23, 16),
+];
 
 pub fn run(preset: &Preset) -> ExperimentResult {
     let cpu = ArchSpec::cpu_sandy_bridge();
@@ -32,16 +39,13 @@ pub fn run(preset: &Preset) -> ExperimentResult {
     for (paper_scale, ef) in PAPER_GRAPHS {
         let scale = preset.scale(paper_scale);
         let (_, p) = super::graph_profile(scale, ef);
-        let gputd: f64 = cost::cost_script(
-            &p,
-            &gpu,
-            &vec![Direction::TopDown; p.depth()],
-        )
-        .iter()
-        .map(|c| c.seconds)
-        .sum();
-        let best =
-            oracle::best_cross(&oracle::sweep_cross_pairs(&p, &cpu, &gpu, &link, &grid, &grid));
+        let gputd: f64 = cost::cost_script(&p, &gpu, &vec![Direction::TopDown; p.depth()])
+            .iter()
+            .map(|c| c.seconds)
+            .sum();
+        let best = oracle::best_cross(&oracle::sweep_cross_pairs(
+            &p, &cpu, &gpu, &link, &grid, &grid,
+        ));
         let speedup = gputd / best.seconds;
         rows.push(vec![
             format!("2^{scale}"),

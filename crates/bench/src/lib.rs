@@ -24,10 +24,26 @@ use std::path::Path;
 /// All experiment ids: the paper's tables and figures in paper order,
 /// followed by the ablation studies this reproduction adds.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "table3", "fig8", "table4", "table5", "fig9",
-    "fig10a", "fig10b", "table6", "graph500", "ablation_samples",
-    "ablation_features", "ablation_model", "ablation_link", "ablation_relabel",
-    "ext_model_policy", "calibration", "graph500_protocol",
+    "fig1",
+    "fig2",
+    "fig3",
+    "table3",
+    "fig8",
+    "table4",
+    "table5",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "table6",
+    "graph500",
+    "ablation_samples",
+    "ablation_features",
+    "ablation_model",
+    "ablation_link",
+    "ablation_relabel",
+    "ext_model_policy",
+    "calibration",
+    "graph500_protocol",
 ];
 
 /// Run one experiment by id.
@@ -63,7 +79,7 @@ pub fn run_experiment(id: &str, preset: &Preset) -> Option<ExperimentResult> {
 pub fn write_artifact(dir: &Path, result: &ExperimentResult) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", result.id));
-    let json = serde_json::to_string_pretty(&result.to_json())
-        .expect("experiment JSON is serializable");
+    let json =
+        serde_json::to_string_pretty(&result.to_json()).expect("experiment JSON is serializable");
     std::fs::write(path, json)
 }

@@ -24,13 +24,21 @@ impl Preset {
     /// Laptop-friendly sizes: every SCALE shifted down by 5 (so the
     /// paper's SCALE 23 becomes 18 → 262 K vertices / 4 M edges).
     pub fn scaled() -> Self {
-        Self { name: "scaled", scale_shift: 5, full_training: false }
+        Self {
+            name: "scaled",
+            scale_shift: 5,
+            full_training: false,
+        }
     }
 
     /// The paper's original sizes. Memory-hungry: SCALE 23 × EF 16 holds
     /// 256 M directed edges (~2 GB of tuples during construction).
     pub fn paper() -> Self {
-        Self { name: "paper", scale_shift: 0, full_training: true }
+        Self {
+            name: "paper",
+            scale_shift: 0,
+            full_training: true,
+        }
     }
 
     /// Map a paper SCALE to this preset's SCALE.

@@ -73,12 +73,7 @@ fn text_format_roundtrip() {
         graph.to_str().unwrap(),
         "--text",
     ]));
-    let info = stdout_of(cli().args([
-        "info",
-        "--graph",
-        graph.to_str().unwrap(),
-        "--text",
-    ]));
+    let info = stdout_of(cli().args(["info", "--graph", graph.to_str().unwrap(), "--text"]));
     assert!(info.contains("edges:"), "{info}");
     std::fs::remove_file(graph).ok();
 }
@@ -86,13 +81,7 @@ fn text_format_roundtrip() {
 #[test]
 fn stcon_and_components() {
     let graph = tmpfile("stcon.xbfs");
-    stdout_of(cli().args([
-        "gen",
-        "--scale",
-        "10",
-        "--out",
-        graph.to_str().unwrap(),
-    ]));
+    stdout_of(cli().args(["gen", "--scale", "10", "--out", graph.to_str().unwrap()]));
     let out = stdout_of(cli().args([
         "stcon",
         "--graph",
@@ -103,11 +92,7 @@ fn stcon_and_components() {
         "0",
     ]));
     assert!(out.contains("shortest path 0"), "{out}");
-    let comp = stdout_of(cli().args([
-        "components",
-        "--graph",
-        graph.to_str().unwrap(),
-    ]));
+    let comp = stdout_of(cli().args(["components", "--graph", graph.to_str().unwrap()]));
     assert!(comp.contains("component(s)"), "{comp}");
     std::fs::remove_file(graph).ok();
 }

@@ -53,7 +53,11 @@ pub fn run_single(
         })
         .collect();
     let total_seconds = level_seconds.iter().sum();
-    SingleRun { traversal, level_seconds, total_seconds }
+    SingleRun {
+        traversal,
+        level_seconds,
+        total_seconds,
+    }
 }
 
 #[cfg(test)]
@@ -71,18 +75,14 @@ mod tests {
         let cpu = ArchSpec::cpu_sandy_bridge();
         let run = run_single(&g, 0, &cpu, &mut AlwaysTopDown);
         for (secs, rec) in run.level_seconds.iter().zip(&run.traversal.levels) {
-            let expect =
-                cpu.td_level_time(
+            let expect = cpu.td_level_time(
                 rec.frontier_vertices,
                 rec.edges_examined,
                 rec.max_frontier_degree,
             );
             assert_eq!(*secs, expect);
         }
-        assert_eq!(
-            run.total_seconds,
-            run.level_seconds.iter().sum::<f64>()
-        );
+        assert_eq!(run.total_seconds, run.level_seconds.iter().sum::<f64>());
     }
 
     #[test]
@@ -95,8 +95,7 @@ mod tests {
         let gpu = ArchSpec::gpu_k20x();
         let td = run_single(&g, src, &gpu, &mut AlwaysTopDown).total_seconds;
         let bu = run_single(&g, src, &gpu, &mut AlwaysBottomUp).total_seconds;
-        let cb = run_single(&g, src, &gpu, &mut FixedMN::new(14.0, 24.0))
-            .total_seconds;
+        let cb = run_single(&g, src, &gpu, &mut FixedMN::new(14.0, 24.0)).total_seconds;
         assert!(cb <= td && cb <= bu, "cb {cb} td {td} bu {bu}");
     }
 

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 use xbfs_archsim::{cost, ArchSpec, Link, TraversalProfile};
-use xbfs_engine::{Direction, FixedMN, SwitchContext, SwitchPolicy, Traversal};
+use xbfs_engine::{Direction, FixedMN, SwitchContext, SwitchPolicy, Traversal, XbfsError};
 use xbfs_graph::{Csr, VertexId};
 
 /// Where one BFS level ran.
@@ -73,16 +73,24 @@ impl CrossParams {
     fn stays_on_cpu(&self, ctx: &SwitchContext) -> bool {
         !self.handoff.wants_bottom_up(ctx)
     }
+
+    /// Validate both threshold pairs: finite and strictly positive.
+    ///
+    /// [`try_cost_cross`] and [`try_run_cross`] share this single gate, so
+    /// the oracle's costing and the real executor can never disagree about
+    /// which parameters are legal.
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        FixedMN::try_new(self.handoff.m, self.handoff.n)?;
+        FixedMN::try_new(self.gpu.m, self.gpu.n)?;
+        Ok(())
+    }
 }
 
 /// Decide the placement of every level of `profile` per Algorithm 3.
 ///
 /// The CPU phase is a *prefix*: once any level triggers the handoff, all
 /// remaining levels run on the GPU (the inner `while` of Algorithm 3).
-pub fn placement_script(
-    profile: &TraversalProfile,
-    params: &CrossParams,
-) -> Vec<Placement> {
+pub fn placement_script(profile: &TraversalProfile, params: &CrossParams) -> Vec<Placement> {
     let mut on_gpu = false;
     profile
         .levels
@@ -116,6 +124,20 @@ pub struct CrossCost {
     pub total_seconds: f64,
 }
 
+/// Fallible [`cost_cross`]: validates `params` before pricing, so bad
+/// thresholds surface as [`XbfsError::InvalidSwitchParams`] instead of a
+/// nonsense plan.
+pub fn try_cost_cross(
+    profile: &TraversalProfile,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+) -> Result<CrossCost, XbfsError> {
+    params.validate()?;
+    Ok(cost_cross(profile, cpu, gpu, link, params))
+}
+
 /// Price Algorithm 3 with `params` against a profile.
 pub fn cost_cross(
     profile: &TraversalProfile,
@@ -130,8 +152,7 @@ pub fn cost_cross(
     let mut prev_on_gpu = false;
     for (lp, &pl) in profile.levels.iter().zip(&placements) {
         if pl.on_gpu() && !prev_on_gpu {
-            let bytes =
-                Link::handoff_bytes(profile.total_vertices, lp.frontier_vertices);
+            let bytes = Link::handoff_bytes(profile.total_vertices, lp.frontier_vertices);
             transfer_seconds += link.transfer_time(bytes);
             prev_on_gpu = true;
         }
@@ -139,7 +160,12 @@ pub fn cost_cross(
         level_seconds.push(cost::level_time(arch, lp, pl.direction()));
     }
     let total_seconds = level_seconds.iter().sum::<f64>() + transfer_seconds;
-    CrossCost { placements, level_seconds, transfer_seconds, total_seconds }
+    CrossCost {
+        placements,
+        level_seconds,
+        transfer_seconds,
+        total_seconds,
+    }
 }
 
 /// A policy adapter so the engine driver can execute Algorithm 3: it
@@ -207,6 +233,26 @@ pub struct CrossRun {
 /// assert!(xbfs_engine::validate(&g, &run.traversal.output).is_ok());
 /// assert_eq!(run.placements.len(), run.level_seconds.len());
 /// ```
+/// Fallible [`run_cross`]: validates `params` (the same gate as
+/// [`try_cost_cross`]) and the source vertex before executing.
+pub fn try_run_cross(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+) -> Result<CrossRun, XbfsError> {
+    params.validate()?;
+    if source >= csr.num_vertices() {
+        return Err(XbfsError::BadSource {
+            source,
+            num_vertices: csr.num_vertices(),
+        });
+    }
+    Ok(run_cross(csr, source, cpu, gpu, link, params))
+}
+
 pub fn run_cross(
     csr: &Csr,
     source: VertexId,
@@ -215,8 +261,11 @@ pub fn run_cross(
     link: &Link,
     params: &CrossParams,
 ) -> CrossRun {
-    let mut policy =
-        CrossPolicy { params: *params, on_gpu: false, placements: Vec::new() };
+    let mut policy = CrossPolicy {
+        params: *params,
+        on_gpu: false,
+        placements: Vec::new(),
+    };
     let traversal = xbfs_engine::hybrid::run(csr, source, &mut policy);
     let placements = policy.placements;
 
@@ -225,10 +274,7 @@ pub fn run_cross(
     let mut prev_on_gpu = false;
     for (rec, &pl) in traversal.levels.iter().zip(&placements) {
         if pl.on_gpu() && !prev_on_gpu {
-            let bytes = Link::handoff_bytes(
-                csr.num_vertices() as u64,
-                rec.frontier_vertices,
-            );
+            let bytes = Link::handoff_bytes(csr.num_vertices() as u64, rec.frontier_vertices);
             transfer_seconds += link.transfer_time(bytes);
             prev_on_gpu = true;
         }
@@ -248,7 +294,13 @@ pub fn run_cross(
         level_seconds.push(secs);
     }
     let total_seconds = level_seconds.iter().sum::<f64>() + transfer_seconds;
-    CrossRun { traversal, placements, level_seconds, transfer_seconds, total_seconds }
+    CrossRun {
+        traversal,
+        placements,
+        level_seconds,
+        transfer_seconds,
+        total_seconds,
+    }
 }
 
 #[cfg(test)]
@@ -359,13 +411,25 @@ mod tests {
     #[test]
     fn cross_beats_single_gpu_on_scale_free() {
         // The paper's headline: CPUTD+GPUCB beats GPUCB because the CPU
-        // absorbs the small early levels (Table IV: 36.1× vs 16.5×).
-        // The win needs enough per-level work to beat launch overheads —
-        // the paper evaluates at 2–8 M vertices; scale 17 is the smallest
-        // point where the effect is unambiguous in the cost model.
+        // absorbs the small early levels (Table IV: 36.1× vs 16.5×). The
+        // decisive case is the GPUTD hub blowup: when an early frontier
+        // contains a hub, the GPU's single-thread-per-vertex gather
+        // serializes on it (Table IV's 0.158 s level 2), while CPUTD walks
+        // the same level in sub-millisecond time. Start next to the
+        // biggest hub so the traversal's second level is exactly that
+        // pathology; the hub's existence is structural in R-MAT, so the
+        // test does not depend on a particular generator stream.
         use xbfs_archsim::cost_fixed_mn;
         let g = xbfs_graph::rmat::rmat_csr(17, 32);
-        let src = crate::training::pick_source(&g, 4).unwrap();
+        let hub = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty graph");
+        let src = g
+            .neighbors(hub)
+            .iter()
+            .copied()
+            .min_by_key(|&v| g.degree(v))
+            .expect("a scale-free hub has neighbors");
         let p = profile(&g, src);
         let cpu = ArchSpec::cpu_sandy_bridge();
         let gpu = ArchSpec::gpu_k20x();
@@ -378,8 +442,7 @@ mod tests {
             FixedMN::new(14.0, 24.0),
             &crate::oracle::MnGrid::coarse(),
         );
-        let gpu_only =
-            cost_fixed_mn(&p, &gpu, FixedMN::new(14.0, 24.0));
+        let gpu_only = cost_fixed_mn(&p, &gpu, FixedMN::new(14.0, 24.0));
         assert!(
             cross.seconds < gpu_only,
             "cross {} vs gpu {}",

@@ -21,11 +21,7 @@ pub const FEATURE_DIM: usize = 12;
 
 /// Assemble the Fig. 7 feature vector for a traversal of `graph` with
 /// top-down on `arch_td` and bottom-up on `arch_bu`.
-pub fn feature_vector(
-    graph: &GraphStats,
-    arch_td: &ArchSpec,
-    arch_bu: &ArchSpec,
-) -> Vec<f64> {
+pub fn feature_vector(graph: &GraphStats, arch_td: &ArchSpec, arch_bu: &ArchSpec) -> Vec<f64> {
     let mut v = Vec::with_capacity(FEATURE_DIM);
     v.push((graph.num_vertices.max(1) as f64).log2());
     v.push((graph.num_edges.max(1) as f64).log2());

@@ -37,7 +37,12 @@ pub struct Graph500Config {
 impl Graph500Config {
     /// A configuration with the official 64 roots.
     pub fn new(scale: u32, edgefactor: u32) -> Self {
-        Self { scale, edgefactor, num_roots: 64, seed: 0x6500 }
+        Self {
+            scale,
+            edgefactor,
+            num_roots: 64,
+            seed: 0x6500,
+        }
     }
 
     /// Kernel 1: construct the graph.
@@ -238,7 +243,12 @@ mod tests {
     use xbfs_engine::FixedMN;
 
     fn small() -> Graph500Config {
-        Graph500Config { scale: 10, edgefactor: 8, num_roots: 8, seed: 5 }
+        Graph500Config {
+            scale: 10,
+            edgefactor: 8,
+            num_roots: 8,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -280,11 +290,9 @@ mod tests {
     #[test]
     fn simulated_cross_beats_simulated_mic() {
         let cfg = small();
-        let mic = run_simulated_single(
-            &cfg,
-            &ArchSpec::mic_knights_corner(),
-            || Box::new(FixedMN::new(14.0, 24.0)),
-        );
+        let mic = run_simulated_single(&cfg, &ArchSpec::mic_knights_corner(), || {
+            Box::new(FixedMN::new(14.0, 24.0))
+        });
         let cross = run_simulated_cross(
             &cfg,
             &ArchSpec::cpu_sandy_bridge(),
@@ -312,8 +320,18 @@ mod tests {
             config: small(),
             runner: "x".into(),
             roots: vec![
-                RootResult { root: 0, seconds: 1.0, component_edges: 100, visited: 10 },
-                RootResult { root: 1, seconds: 100.0, component_edges: 100, visited: 10 },
+                RootResult {
+                    root: 0,
+                    seconds: 1.0,
+                    component_edges: 100,
+                    visited: 10,
+                },
+                RootResult {
+                    root: 1,
+                    seconds: 100.0,
+                    component_edges: 100,
+                    visited: 10,
+                },
             ],
             all_validated: true,
         };

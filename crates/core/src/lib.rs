@@ -29,13 +29,18 @@ pub mod features;
 pub mod graph500;
 pub mod oracle;
 pub mod predictor;
+pub mod recovery;
 pub mod runtime;
 pub mod strategies;
 pub mod training;
 
 pub use combination::{run_single, SingleRun};
-pub use cross::{cost_cross, run_cross, CrossCost, CrossParams, CrossRun, Placement};
+pub use cross::{
+    cost_cross, run_cross, try_cost_cross, try_run_cross, CrossCost, CrossParams, CrossRun,
+    Placement,
+};
 pub use features::feature_vector;
 pub use oracle::MnGrid;
 pub use predictor::SwitchPredictor;
+pub use recovery::{run_cross_resilient, RecoveredRun, RetryPolicy, RunReport, Rung};
 pub use runtime::AdaptiveRuntime;

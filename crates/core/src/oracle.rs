@@ -61,9 +61,9 @@ impl MnGrid {
 
     /// Iterate all combinations.
     pub fn iter(&self) -> impl Iterator<Item = FixedMN> + '_ {
-        self.ms.iter().flat_map(move |&m| {
-            self.ns.iter().map(move |&n| FixedMN { m, n })
-        })
+        self.ms
+            .iter()
+            .flat_map(move |&m| self.ns.iter().map(move |&n| FixedMN { m, n }))
     }
 }
 
@@ -77,13 +77,12 @@ pub struct Candidate {
 }
 
 /// Evaluate every grid point of a *single-architecture* combination.
-pub fn sweep_single(
-    profile: &TraversalProfile,
-    arch: &ArchSpec,
-    grid: &MnGrid,
-) -> Vec<Candidate> {
+pub fn sweep_single(profile: &TraversalProfile, arch: &ArchSpec, grid: &MnGrid) -> Vec<Candidate> {
     grid.iter()
-        .map(|mn| Candidate { mn, seconds: cost_fixed_mn(profile, arch, mn) })
+        .map(|mn| Candidate {
+            mn,
+            seconds: cost_fixed_mn(profile, arch, mn),
+        })
         .collect()
 }
 
@@ -100,7 +99,10 @@ pub fn sweep_single_parallel(
     let chunks = xbfs_engine::par::parallel_ranges(points.len(), threads, |range| {
         points[range]
             .iter()
-            .map(|&mn| Candidate { mn, seconds: cost_fixed_mn(profile, arch, mn) })
+            .map(|&mn| Candidate {
+                mn,
+                seconds: cost_fixed_mn(profile, arch, mn),
+            })
             .collect::<Vec<_>>()
     });
     chunks.into_iter().flatten().collect()
@@ -118,7 +120,10 @@ pub fn sweep_cross(
 ) -> Vec<Candidate> {
     grid.iter()
         .map(|mn| {
-            let params = CrossParams { handoff: mn, gpu: gpu_mn };
+            let params = CrossParams {
+                handoff: mn,
+                gpu: gpu_mn,
+            };
             Candidate {
                 mn,
                 seconds: cost_cross(profile, cpu, gpu, link, &params).total_seconds,
@@ -153,7 +158,10 @@ pub fn sweep_cross_pairs(
     handoff_grid
         .iter()
         .flat_map(|handoff| {
-            gpu_grid.iter().map(move |gpu_mn| CrossParams { handoff, gpu: gpu_mn })
+            gpu_grid.iter().map(move |gpu_mn| CrossParams {
+                handoff,
+                gpu: gpu_mn,
+            })
         })
         .map(|params| CrossCandidate {
             params,
@@ -203,11 +211,7 @@ pub fn mean_seconds(candidates: &[Candidate]) -> f64 {
 }
 
 /// Best single-architecture `(M, N)` for this traversal.
-pub fn best_mn_single(
-    profile: &TraversalProfile,
-    arch: &ArchSpec,
-    grid: &MnGrid,
-) -> Candidate {
+pub fn best_mn_single(profile: &TraversalProfile, arch: &ArchSpec, grid: &MnGrid) -> Candidate {
     best(&sweep_single(profile, arch, grid))
 }
 
@@ -305,7 +309,9 @@ mod tests {
         let grid = MnGrid::coarse();
         let sweep = sweep_single(&p, &gpu, &grid);
         assert_eq!(sweep.len(), grid.len());
-        assert!(sweep.iter().all(|c| c.seconds.is_finite() && c.seconds > 0.0));
+        assert!(sweep
+            .iter()
+            .all(|c| c.seconds.is_finite() && c.seconds > 0.0));
     }
 
     #[test]

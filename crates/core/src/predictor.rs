@@ -6,11 +6,7 @@
 //! microseconds: the paper's "<0.1 % of BFS execution time" claim is easy
 //! to meet (and the benches verify it).
 
-use crate::{
-    cross::CrossParams,
-    features::feature_vector,
-    training::TrainingSet,
-};
+use crate::{cross::CrossParams, features::feature_vector, training::TrainingSet};
 use serde::{Deserialize, Serialize};
 use xbfs_archsim::ArchSpec;
 use xbfs_engine::FixedMN;
@@ -58,12 +54,7 @@ impl SwitchPredictor {
     /// Predict `(M, N)` for traversing `graph` with top-down on `arch_td`
     /// and bottom-up on `arch_bu` — one `RegressionModel(GI, ·, ·)` call of
     /// Algorithm 3.
-    pub fn predict(
-        &self,
-        graph: &GraphStats,
-        arch_td: &ArchSpec,
-        arch_bu: &ArchSpec,
-    ) -> FixedMN {
+    pub fn predict(&self, graph: &GraphStats, arch_td: &ArchSpec, arch_bu: &ArchSpec) -> FixedMN {
         let x = feature_vector(graph, arch_td, arch_bu);
         let m = self.model_m.predict(&x).clamp(M_RANGE.0, M_RANGE.1);
         let n = self.model_n.predict(&x).clamp(N_RANGE.0, N_RANGE.1);
@@ -72,12 +63,7 @@ impl SwitchPredictor {
 
     /// Both `RegressionModel` calls of Algorithm 3 at once: the CPU→GPU
     /// handoff `(M1, N1)` and the GPU-internal `(M2, N2)`.
-    pub fn predict_cross(
-        &self,
-        graph: &GraphStats,
-        cpu: &ArchSpec,
-        gpu: &ArchSpec,
-    ) -> CrossParams {
+    pub fn predict_cross(&self, graph: &GraphStats, cpu: &ArchSpec, gpu: &ArchSpec) -> CrossParams {
         CrossParams {
             handoff: self.predict(graph, cpu, gpu),
             gpu: self.predict(graph, gpu, gpu),
@@ -131,8 +117,7 @@ mod tests {
                 use xbfs_svm::Regressor;
                 p.model_m.predict(ts.dataset_m.sample(i))
             };
-            if (pred - ts.dataset_m.target(i)).abs()
-                < 0.35 * (ts.dataset_m.target(i).abs() + 10.0)
+            if (pred - ts.dataset_m.target(i)).abs() < 0.35 * (ts.dataset_m.target(i).abs() + 10.0)
             {
                 close += 1;
             }

@@ -1,0 +1,584 @@
+//! Fault recovery: retries, deadlines, and the graceful-degradation ladder.
+//!
+//! The paper's Algorithm 3 is a one-shot handoff with zero failure
+//! handling — fine for a benchmark, fatal for a runtime. This module wraps
+//! the cross-architecture executor in a recovery policy driven by a
+//! deterministic [`FaultPlan`]:
+//!
+//! * **Retry with exponential backoff** — transient faults (transfer
+//!   failures, kernel timeouts) waste the attempt's simulated time, wait
+//!   out a seeded-jitter backoff, and try again up to
+//!   [`RetryPolicy::max_attempts`].
+//! * **Deadline budget** — every simulated second (productive, wasted, or
+//!   backoff) is charged against one clock; blowing the budget aborts the
+//!   whole ladder with [`XbfsError::DeadlineExceeded`].
+//! * **Degradation ladder** — when a rung fails permanently the traversal
+//!   restarts one rung down: `CPUTD+GPUCB` → CPU-only hybrid
+//!   ([`FixedMN`]) → sequential reference BFS. Every rung's output goes
+//!   through Graph 500 validation before it is allowed to count as
+//!   success; a rung that produces an invalid tree is treated as faulty,
+//!   never as done.
+//!
+//! The outcome is always one of two things: a [`RecoveredRun`] holding a
+//! validated [`BfsOutput`] plus a [`RunReport`] naming the rung that
+//! produced it, or a typed [`XbfsError`] — never a panic.
+
+use crate::combination::run_single;
+use crate::cross::{run_cross, CrossParams};
+use serde::{Deserialize, Serialize};
+use xbfs_archsim::fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession};
+use xbfs_archsim::{ArchSpec, Link};
+use xbfs_engine::{validate, BfsOutput, FixedMN, XbfsError};
+use xbfs_graph::{Csr, VertexId};
+
+/// Bounded retry with exponential backoff and seeded jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per operation, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff per further retry (≥ 1).
+    pub backoff_factor: f64,
+    /// Uniform jitter fraction in `[0, 1]`: each backoff is scaled by
+    /// `1 + jitter_frac × u` with `u ~ U[0, 1)` from the fault seed.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// The runtime default: 3 attempts, 100 µs base backoff, doubling,
+    /// 10 % jitter.
+    pub fn default_runtime() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_s: 1e-4,
+            backoff_factor: 2.0,
+            jitter_frac: 0.1,
+        }
+    }
+
+    /// No retries: every transient fault is immediately permanent.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff_s: 0.0,
+            backoff_factor: 1.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        if self.max_attempts == 0 {
+            return Err(XbfsError::InvalidArgument {
+                what: "retry policy needs max_attempts >= 1".into(),
+            });
+        }
+        if !self.base_backoff_s.is_finite() || self.base_backoff_s < 0.0 {
+            return Err(XbfsError::InvalidArgument {
+                what: format!(
+                    "base_backoff_s must be finite and non-negative, got {}",
+                    self.base_backoff_s
+                ),
+            });
+        }
+        if !self.backoff_factor.is_finite() || self.backoff_factor < 1.0 {
+            return Err(XbfsError::InvalidArgument {
+                what: format!(
+                    "backoff_factor must be finite and >= 1, got {}",
+                    self.backoff_factor
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.jitter_frac) {
+            return Err(XbfsError::InvalidArgument {
+                what: format!("jitter_frac must be in [0, 1], got {}", self.jitter_frac),
+            });
+        }
+        Ok(())
+    }
+
+    /// Backoff before retry number `retry` (0-based), with `u ~ U[0, 1)`.
+    fn backoff_s(&self, retry: u32, u: f64) -> f64 {
+        self.base_backoff_s * self.backoff_factor.powi(retry as i32) * (1.0 + self.jitter_frac * u)
+    }
+}
+
+/// One rung of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rung {
+    /// The paper's headline `CPUTD+GPUCB` (Algorithm 3).
+    CrossCpuGpu,
+    /// CPU-only direction-optimizing hybrid with Beamer-default `(M, N)`.
+    CpuOnly,
+    /// Sequential textbook reference BFS — the last resort.
+    Reference,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rung::CrossCpuGpu => write!(f, "CPUTD+GPUCB"),
+            Rung::CpuOnly => write!(f, "CPU-only hybrid"),
+            Rung::Reference => write!(f, "sequential reference"),
+        }
+    }
+}
+
+/// What happened while serving one traversal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The rung that produced the validated output.
+    pub rung: Rung,
+    /// Every rung attempted, in order (ends with `rung`).
+    pub rungs_tried: Vec<Rung>,
+    /// Every fault observed, in injection order.
+    pub events: Vec<FaultEvent>,
+    /// Operation retries spent across all rungs.
+    pub retries: u32,
+    /// Simulated seconds lost to faults: wasted attempts, backoff waits,
+    /// stall excess, and the entire elapsed time of abandoned rungs.
+    pub recovery_seconds: f64,
+    /// End-to-end simulated seconds, recovery included.
+    pub total_seconds: f64,
+}
+
+/// A traversal that survived its fault plan.
+#[derive(Clone, Debug)]
+pub struct RecoveredRun {
+    /// The Graph 500–validated BFS result.
+    pub output: BfsOutput,
+    /// The audit trail.
+    pub report: RunReport,
+}
+
+/// The global simulated clock, charging every second against an optional
+/// deadline budget.
+struct Clock {
+    elapsed_s: f64,
+    budget_s: Option<f64>,
+}
+
+impl Clock {
+    fn charge(&mut self, seconds: f64) -> Result<(), XbfsError> {
+        self.elapsed_s += seconds;
+        match self.budget_s {
+            Some(b) if self.elapsed_s > b => Err(XbfsError::DeadlineExceeded {
+                budget_s: b,
+                elapsed_s: self.elapsed_s,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Why a rung stopped: a blown deadline aborts the whole ladder, any other
+/// permanent fault degrades to the next rung.
+enum RungError {
+    Fatal(XbfsError),
+    Degrade(XbfsError),
+}
+
+fn splitmix_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Shared per-ladder mutable state threaded through the rungs.
+struct Recovery<'a> {
+    session: FaultSession<'a>,
+    retry: RetryPolicy,
+    clock: Clock,
+    jitter_rng: u64,
+    events: Vec<FaultEvent>,
+    retries: u32,
+    /// Simulated seconds lost to faults so far.
+    lost_s: f64,
+    /// Copied out of the plan so `attempt_op` needn't re-borrow it past
+    /// the session.
+    stall_factor: f64,
+}
+
+impl<'a> Recovery<'a> {
+    fn new(plan: &'a FaultPlan, retry: RetryPolicy, deadline_s: Option<f64>) -> Self {
+        Self {
+            session: plan.session(),
+            retry,
+            clock: Clock {
+                elapsed_s: 0.0,
+                budget_s: deadline_s,
+            },
+            jitter_rng: plan.seed ^ 0x5851_f42d_4c95_7f2d,
+            events: Vec::new(),
+            retries: 0,
+            lost_s: 0.0,
+            stall_factor: plan.stall_factor,
+        }
+    }
+    /// Run one fallible operation of nominal duration `nominal_s`,
+    /// retrying transients per policy. `device` names the kernel's home
+    /// for error reporting.
+    fn attempt_op(
+        &mut self,
+        op: FaultOp,
+        level: usize,
+        nominal_s: f64,
+        device: &'static str,
+    ) -> Result<(), RungError> {
+        for attempt in 1..=self.retry.max_attempts {
+            match self.session.check(op, level) {
+                None => {
+                    self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
+                    return Ok(());
+                }
+                Some(FaultKind::LinkStall) => {
+                    self.events.push(FaultEvent {
+                        op,
+                        level,
+                        kind: FaultKind::LinkStall,
+                        attempt,
+                    });
+                    let stalled = nominal_s * self.stall_factor;
+                    self.lost_s += stalled - nominal_s;
+                    self.clock.charge(stalled).map_err(RungError::Fatal)?;
+                    return Ok(());
+                }
+                Some(kind @ (FaultKind::TransferFailure | FaultKind::KernelTimeout)) => {
+                    self.events.push(FaultEvent {
+                        op,
+                        level,
+                        kind,
+                        attempt,
+                    });
+                    // The failed attempt's full time is wasted.
+                    self.lost_s += nominal_s;
+                    self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
+                    if attempt == self.retry.max_attempts {
+                        let e = match kind {
+                            FaultKind::TransferFailure => XbfsError::TransferFailed {
+                                level,
+                                attempts: attempt,
+                            },
+                            _ => XbfsError::KernelTimeout {
+                                device,
+                                level,
+                                attempts: attempt,
+                            },
+                        };
+                        return Err(RungError::Degrade(e));
+                    }
+                    let u = splitmix_unit(&mut self.jitter_rng);
+                    let backoff = self.retry.backoff_s(attempt - 1, u);
+                    self.lost_s += backoff;
+                    self.retries += 1;
+                    self.clock.charge(backoff).map_err(RungError::Fatal)?;
+                }
+                Some(FaultKind::DeviceLost) => {
+                    self.events.push(FaultEvent {
+                        op,
+                        level,
+                        kind: FaultKind::DeviceLost,
+                        attempt,
+                    });
+                    return Err(RungError::Degrade(XbfsError::DeviceLost { device, level }));
+                }
+            }
+        }
+        unreachable!("loop returns on success, exhaustion, or device loss")
+    }
+}
+
+/// Run the cross-architecture combination under a fault plan, degrading
+/// down the ladder as devices fail.
+///
+/// Returns a validated [`RecoveredRun`] or a typed error ­— the only
+/// errors that escape are argument validation, [`XbfsError::DeadlineExceeded`],
+/// and (if even the reference rung cannot produce a valid tree)
+/// [`XbfsError::Validation`] / the last rung's fault.
+#[allow(clippy::too_many_arguments)] // the runtime's full failure surface
+pub fn run_cross_resilient(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    deadline_s: Option<f64>,
+) -> Result<RecoveredRun, XbfsError> {
+    params.validate()?;
+    plan.validate()?;
+    retry.validate()?;
+    if source >= csr.num_vertices() {
+        return Err(XbfsError::BadSource {
+            source,
+            num_vertices: csr.num_vertices(),
+        });
+    }
+    if let Some(d) = deadline_s {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(XbfsError::InvalidArgument {
+                what: format!("deadline must be finite and positive, got {d} s"),
+            });
+        }
+    }
+
+    let mut rec = Recovery::new(plan, *retry, deadline_s);
+    let mut rungs_tried = Vec::new();
+    let mut last_error: Option<XbfsError> = None;
+
+    for rung in [Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference] {
+        rungs_tried.push(rung);
+        let productive_before = rec.clock.elapsed_s - rec.lost_s;
+        let outcome = match rung {
+            Rung::CrossCpuGpu => run_rung_cross(csr, source, cpu, gpu, link, params, &mut rec),
+            Rung::CpuOnly => run_rung_cpu_only(csr, source, cpu, &mut rec),
+            Rung::Reference => run_rung_reference(csr, source, cpu, &mut rec),
+        };
+        match outcome {
+            Ok(output) => match validate(csr, &output) {
+                Ok(()) => {
+                    let report = RunReport {
+                        rung,
+                        rungs_tried,
+                        events: rec.events,
+                        retries: rec.retries,
+                        recovery_seconds: rec.lost_s,
+                        total_seconds: rec.clock.elapsed_s,
+                    };
+                    return Ok(RecoveredRun { output, report });
+                }
+                Err(v) => {
+                    // A rung that emits a corrupt tree is a faulty rung:
+                    // its productive time becomes loss, and the ladder
+                    // moves on.
+                    let productive = rec.clock.elapsed_s - rec.lost_s - productive_before;
+                    rec.lost_s += productive;
+                    last_error = Some(XbfsError::Validation(v));
+                }
+            },
+            Err(RungError::Fatal(e)) => return Err(e),
+            Err(RungError::Degrade(e)) => {
+                // Everything the abandoned rung spent is recovery loss.
+                let productive = rec.clock.elapsed_s - rec.lost_s - productive_before;
+                rec.lost_s += productive;
+                last_error = Some(e);
+            }
+        }
+    }
+    Err(last_error.expect("ladder only exits the loop after a rung failure"))
+}
+
+/// Rung 1: Algorithm 3 with fault checks on the handoff transfer and every
+/// kernel launch.
+fn run_rung_cross(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+    rec: &mut Recovery<'_>,
+) -> Result<BfsOutput, RungError> {
+    if rec.session.gpu_lost() {
+        return Err(RungError::Degrade(XbfsError::DeviceLost {
+            device: "gpu",
+            level: 0,
+        }));
+    }
+    let run = run_cross(csr, source, cpu, gpu, link, params);
+    let mut handed_off = false;
+    for (i, (&pl, &secs)) in run.placements.iter().zip(&run.level_seconds).enumerate() {
+        if pl.on_gpu() && !handed_off {
+            handed_off = true;
+            rec.attempt_op(FaultOp::Transfer, i, run.transfer_seconds, "link")?;
+        }
+        let (op, device) = if pl.on_gpu() {
+            (FaultOp::GpuKernel, "gpu")
+        } else {
+            (FaultOp::CpuKernel, "cpu")
+        };
+        rec.attempt_op(op, i, secs, device)?;
+    }
+    Ok(run.traversal.output)
+}
+
+/// Rung 2: CPU-only direction-optimizing hybrid at Beamer-default
+/// thresholds, with fault checks on every level kernel.
+fn run_rung_cpu_only(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    rec: &mut Recovery<'_>,
+) -> Result<BfsOutput, RungError> {
+    if rec.session.cpu_lost() {
+        return Err(RungError::Degrade(XbfsError::DeviceLost {
+            device: "cpu",
+            level: 0,
+        }));
+    }
+    let mut mn = FixedMN::new(14.0, 24.0);
+    let run = run_single(csr, source, cpu, &mut mn);
+    for (i, &secs) in run.level_seconds.iter().enumerate() {
+        rec.attempt_op(FaultOp::CpuKernel, i, secs, "cpu")?;
+    }
+    Ok(run.traversal.output)
+}
+
+/// Rung 3: sequential reference BFS — assumed fault-free (no accelerator,
+/// no parallel kernels) but still on the simulated clock: each level is
+/// charged the CPU's top-down cost scaled up by its core count, the cost
+/// model's view of single-threaded execution.
+fn run_rung_reference(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    rec: &mut Recovery<'_>,
+) -> Result<BfsOutput, RungError> {
+    let output = xbfs_engine::reference::run(csr, source);
+    let profile = xbfs_archsim::profile(csr, source);
+    let sequential_penalty = cpu.cost.parallel_units.max(1.0);
+    for lp in &profile.levels {
+        let t = cpu.td_level_time(
+            lp.frontier_vertices,
+            lp.frontier_edges,
+            lp.max_frontier_degree,
+        ) * sequential_penalty;
+        rec.clock.charge(t).map_err(RungError::Fatal)?;
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_archsim::fault::ScheduledFault;
+
+    fn setup() -> (Csr, u32, ArchSpec, ArchSpec, Link, CrossParams) {
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let src = crate::training::pick_source(&g, 3).unwrap();
+        (
+            g,
+            src,
+            ArchSpec::cpu_sandy_bridge(),
+            ArchSpec::gpu_k20x(),
+            Link::pcie3(),
+            CrossParams {
+                handoff: FixedMN::new(64.0, 64.0),
+                gpu: FixedMN::new(14.0, 24.0),
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_plan_stays_on_the_top_rung() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let plan = FaultPlan::none();
+        let run = run_cross_resilient(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &RetryPolicy::default_runtime(),
+            None,
+        )
+        .expect("healthy run succeeds");
+        assert_eq!(run.report.rung, Rung::CrossCpuGpu);
+        assert_eq!(run.report.rungs_tried, vec![Rung::CrossCpuGpu]);
+        assert!(run.report.events.is_empty());
+        assert_eq!(run.report.retries, 0);
+        assert_eq!(run.report.recovery_seconds, 0.0);
+        assert!(run.report.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn retry_policy_rejects_bad_ranges() {
+        let mut r = RetryPolicy::default_runtime();
+        r.max_attempts = 0;
+        assert!(r.validate().is_err());
+        let mut r = RetryPolicy::default_runtime();
+        r.backoff_factor = 0.5;
+        assert!(r.validate().is_err());
+        let mut r = RetryPolicy::default_runtime();
+        r.jitter_frac = 2.0;
+        assert!(r.validate().is_err());
+        assert!(RetryPolicy::default_runtime().validate().is_ok());
+        assert!(RetryPolicy::none().validate().is_ok());
+    }
+
+    #[test]
+    fn cpu_device_loss_reaches_the_reference_rung() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        // Kill the CPU at its very first kernel: rung 1 dies at level 0,
+        // rung 2 is skipped (CPU is gone), the reference rung serves.
+        let plan = FaultPlan {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::CpuKernel,
+                level: 0,
+                kind: FaultKind::DeviceLost,
+            }],
+            ..FaultPlan::none()
+        };
+        let run = run_cross_resilient(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &RetryPolicy::default_runtime(),
+            None,
+        )
+        .expect("reference rung still serves");
+        assert_eq!(run.report.rung, Rung::Reference);
+        assert_eq!(
+            run.report.rungs_tried,
+            vec![Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference]
+        );
+        assert_eq!(validate(&g, &run.output), Ok(()));
+    }
+
+    #[test]
+    fn deadline_zero_budget_is_rejected_as_argument() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let err = run_cross_resilient(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &FaultPlan::none(),
+            &RetryPolicy::default_runtime(),
+            Some(0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XbfsError::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn bad_source_is_a_typed_error() {
+        let (g, _, cpu, gpu, link, params) = setup();
+        let err = run_cross_resilient(
+            &g,
+            g.num_vertices() + 7,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &FaultPlan::none(),
+            &RetryPolicy::default_runtime(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, XbfsError::BadSource { .. }));
+    }
+}

@@ -12,9 +12,11 @@ use crate::{
     combination::{run_single, SingleRun},
     cross::{run_cross, CrossParams, CrossRun},
     predictor::SwitchPredictor,
+    recovery::{run_cross_resilient, RecoveredRun, RetryPolicy},
     training::{generate, paper_arch_pairs, TrainingConfig},
 };
-use xbfs_archsim::{ArchSpec, Link};
+use xbfs_archsim::{ArchSpec, FaultPlan, Link};
+use xbfs_engine::XbfsError;
 use xbfs_graph::{Csr, GraphStats, VertexId};
 
 /// A trained, ready-to-run adaptive BFS system.
@@ -62,6 +64,26 @@ impl AdaptiveRuntime {
     pub fn run_cross(&self, csr: &Csr, stats: &GraphStats, source: VertexId) -> CrossRun {
         let params = self.predict_params(stats);
         run_cross(csr, source, &self.cpu, &self.gpu, &self.link, &params)
+    }
+
+    /// Run the cross-architecture combination under a fault plan, with
+    /// retry, an optional deadline, and the degradation ladder
+    /// (`CPUTD+GPUCB` → CPU-only hybrid → sequential reference). Always
+    /// returns either a Graph 500–validated output with a
+    /// [`crate::recovery::RunReport`] or a typed error — never panics.
+    pub fn run_cross_resilient(
+        &self,
+        csr: &Csr,
+        stats: &GraphStats,
+        source: VertexId,
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+        deadline_s: Option<f64>,
+    ) -> Result<RecoveredRun, XbfsError> {
+        let params = self.predict_params(stats);
+        run_cross_resilient(
+            csr, source, &self.cpu, &self.gpu, &self.link, &params, plan, retry, deadline_s,
+        )
     }
 
     /// Run a single-device combination with a predicted `(M, N)`.
@@ -114,6 +136,49 @@ mod tests {
     }
 
     #[test]
+    fn resilient_entry_degrades_on_gpu_loss() {
+        use crate::recovery::{RetryPolicy, Rung};
+
+        let rt = runtime();
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
+        let src = crate::training::pick_source(&g, 4).unwrap();
+
+        let healthy = rt
+            .run_cross_resilient(
+                &g,
+                &stats,
+                src,
+                &FaultPlan::none(),
+                &RetryPolicy::default_runtime(),
+                None,
+            )
+            .expect("healthy run");
+        assert_eq!(healthy.report.rung, Rung::CrossCpuGpu);
+
+        // Kill the GPU at its first kernel launch, whatever level the
+        // predicted handoff lands on: the ladder must fall back to the
+        // CPU-only hybrid and still produce the same level structure.
+        let gpu_dies = FaultPlan {
+            p_device_lost: 1.0,
+            ..FaultPlan::none()
+        };
+        let run = rt
+            .run_cross_resilient(
+                &g,
+                &stats,
+                src,
+                &gpu_dies,
+                &RetryPolicy::default_runtime(),
+                None,
+            )
+            .expect("degraded run");
+        assert_eq!(run.report.rung, Rung::CpuOnly);
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert_eq!(run.output.levels, healthy.output.levels);
+    }
+
+    #[test]
     fn predicted_cross_is_not_pathological() {
         // The predicted parameters must land within ~10× of the exhaustive
         // optimum (the paper claims 95 %; the quick training set is tiny,
@@ -124,8 +189,7 @@ mod tests {
         let src = crate::training::pick_source(&g, 3).unwrap();
         let prof = xbfs_archsim::profile(&g, src);
         let params = rt.predict_params(&stats);
-        let predicted =
-            crate::cross::cost_cross(&prof, &rt.cpu, &rt.gpu, &rt.link, &params);
+        let predicted = crate::cross::cost_cross(&prof, &rt.cpu, &rt.gpu, &rt.link, &params);
         let best = crate::oracle::best_mn_cross(
             &prof,
             &rt.cpu,

@@ -40,10 +40,7 @@ impl TrainingConfig {
         Self {
             scales: vec![10, 11, 12, 13, 14],
             edgefactors: vec![8, 16, 32],
-            prob_sets: vec![
-                (0.57, 0.19, 0.19, 0.05),
-                (0.45, 0.25, 0.15, 0.15),
-            ],
+            prob_sets: vec![(0.57, 0.19, 0.19, 0.05), (0.45, 0.25, 0.15, 0.15)],
             sources_per_graph: 1,
             grid: MnGrid::paper_1000(),
             seed: 0x7ea1_2014,
@@ -161,8 +158,7 @@ pub fn generate(
                         let best = if td.name == bu.name {
                             best_mn_single(&prof, td, &config.grid)
                         } else {
-                            let gpu_best =
-                                best_mn_single(&prof, bu, &config.grid).mn;
+                            let gpu_best = best_mn_single(&prof, bu, &config.grid).mn;
                             best_mn_cross(&prof, td, bu, link, gpu_best, &config.grid)
                         };
                         let x = feature_vector(&stats, td, bu);
@@ -181,7 +177,11 @@ pub fn generate(
         }
     }
 
-    TrainingSet { dataset_m, dataset_n, labels }
+    TrainingSet {
+        dataset_m,
+        dataset_n,
+        labels,
+    }
 }
 
 /// Pick a deterministic non-isolated BFS source, Graph 500 style (roots

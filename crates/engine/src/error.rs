@@ -1,0 +1,192 @@
+//! Workspace-wide error hierarchy for the runtime path.
+//!
+//! The seed grew up on `assert!`/`expect`: fine for programmer contracts
+//! inside a kernel, fatal for a runtime that must keep answering queries
+//! while devices fail underneath it. Everything that can go wrong while
+//! *serving a traversal* — bad device/link descriptions, parameter
+//! validation, injected or real device faults, blown deadlines, a worker
+//! thread panicking mid-kernel — is a typed [`XbfsError`] so the
+//! recovery ladder in `xbfs-core` can match on it and decide: retry,
+//! degrade to the next rung, or surface to the caller.
+//!
+//! This module lives in `xbfs-engine` because it is the lowest crate
+//! shared by both the architecture simulator (`xbfs-archsim`) and the
+//! runtime (`xbfs-core`); fault variants therefore carry plain data
+//! (device names, levels, attempt counts) rather than simulator types.
+
+use crate::validate::ValidationError;
+
+/// Any failure on the runtime path of a cross-architecture traversal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XbfsError {
+    /// A link description failed validation (negative/NaN latency,
+    /// non-positive or NaN bandwidth).
+    InvalidLink {
+        /// Offered one-way latency in seconds.
+        latency_s: f64,
+        /// Offered bandwidth in bytes per second.
+        bandwidth_bps: f64,
+        /// Which constraint was violated.
+        reason: &'static str,
+    },
+    /// `(M, N)` switch thresholds failed validation (non-positive, NaN,
+    /// or infinite).
+    InvalidSwitchParams {
+        /// Offered edge threshold divisor `M`.
+        m: f64,
+        /// Offered vertex threshold divisor `N`.
+        n: f64,
+        /// Which constraint was violated.
+        reason: &'static str,
+    },
+    /// BFS source outside the vertex range.
+    BadSource {
+        /// Requested source vertex.
+        source: u32,
+        /// Number of vertices in the graph.
+        num_vertices: u32,
+    },
+    /// A miscellaneous argument violated its contract.
+    InvalidArgument {
+        /// Human-readable description of the violated contract.
+        what: String,
+    },
+    /// A worker thread panicked inside a parallel kernel; the panic was
+    /// caught at the fork-join boundary and converted.
+    KernelPanic {
+        /// The worker's original panic payload (stringified).
+        payload: String,
+        /// The item range the worker was processing, if known.
+        range: Option<(usize, usize)>,
+    },
+    /// A host↔device transfer failed permanently (after any retries).
+    TransferFailed {
+        /// BFS level at which the handoff was attempted.
+        level: usize,
+        /// Transfer attempts made, including the first.
+        attempts: u32,
+    },
+    /// A device kernel exceeded its watchdog timeout (after any retries).
+    KernelTimeout {
+        /// Device the kernel ran on (e.g. `"gpu"`).
+        device: &'static str,
+        /// BFS level of the timed-out kernel.
+        level: usize,
+        /// Launch attempts made, including the first.
+        attempts: u32,
+    },
+    /// A device dropped off the bus; nothing further can run on it.
+    DeviceLost {
+        /// Device that was lost (e.g. `"gpu"`).
+        device: &'static str,
+        /// BFS level at which the loss was detected.
+        level: usize,
+    },
+    /// The traversal's simulated-time budget ran out.
+    DeadlineExceeded {
+        /// Budget in simulated seconds.
+        budget_s: f64,
+        /// Simulated seconds consumed when the deadline tripped.
+        elapsed_s: f64,
+    },
+    /// A finished traversal failed Graph 500 output validation — the
+    /// recovery ladder treats this as a faulty rung, never as success.
+    Validation(ValidationError),
+    /// A fault-injection plan could not be loaded or parsed.
+    FaultPlan(String),
+}
+
+impl std::fmt::Display for XbfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XbfsError::InvalidLink {
+                latency_s,
+                bandwidth_bps,
+                reason,
+            } => write!(
+                f,
+                "invalid link (latency {latency_s} s, bandwidth {bandwidth_bps} B/s): {reason}"
+            ),
+            XbfsError::InvalidSwitchParams { m, n, reason } => {
+                write!(f, "invalid switch thresholds (M={m}, N={n}): {reason}")
+            }
+            XbfsError::BadSource {
+                source,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "source {source} out of range for {num_vertices} vertices"
+                )
+            }
+            XbfsError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            XbfsError::KernelPanic { payload, range } => match range {
+                Some((start, end)) => write!(
+                    f,
+                    "kernel worker panicked on range {start}..{end}: {payload}"
+                ),
+                None => write!(f, "kernel worker panicked: {payload}"),
+            },
+            XbfsError::TransferFailed { level, attempts } => write!(
+                f,
+                "host-device transfer failed at level {level} after {attempts} attempt(s)"
+            ),
+            XbfsError::KernelTimeout {
+                device,
+                level,
+                attempts,
+            } => write!(
+                f,
+                "{device} kernel timed out at level {level} after {attempts} attempt(s)"
+            ),
+            XbfsError::DeviceLost { device, level } => {
+                write!(f, "{device} device lost at level {level}")
+            }
+            XbfsError::DeadlineExceeded {
+                budget_s,
+                elapsed_s,
+            } => write!(
+                f,
+                "deadline exceeded: budget {budget_s} s, elapsed {elapsed_s} s"
+            ),
+            XbfsError::Validation(e) => write!(f, "output failed validation: {e:?}"),
+            XbfsError::FaultPlan(msg) => write!(f, "fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XbfsError {}
+
+impl From<ValidationError> for XbfsError {
+    fn from(e: ValidationError) -> Self {
+        XbfsError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = XbfsError::KernelPanic {
+            payload: "index out of bounds".into(),
+            range: Some((128, 256)),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("128..256"), "{msg}");
+        assert!(msg.contains("index out of bounds"), "{msg}");
+
+        let e = XbfsError::DeviceLost {
+            device: "gpu",
+            level: 3,
+        };
+        assert!(e.to_string().contains("gpu device lost at level 3"));
+    }
+
+    #[test]
+    fn validation_errors_convert() {
+        let e: XbfsError = ValidationError::WrongLength.into();
+        assert_eq!(e, XbfsError::Validation(ValidationError::WrongLength));
+    }
+}

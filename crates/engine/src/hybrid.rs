@@ -12,8 +12,8 @@
 //! [`AlwaysBottomUp`]: crate::AlwaysBottomUp
 
 use crate::{
-    bottomup, stats::LevelRecord, topdown, BfsOutput, Direction, SwitchContext,
-    SwitchPolicy, Traversal,
+    bottomup, stats::LevelRecord, topdown, BfsOutput, Direction, SwitchContext, SwitchPolicy,
+    Traversal,
 };
 use xbfs_graph::{Bitmap, Csr, VertexId};
 
@@ -88,7 +88,10 @@ pub fn run(csr: &Csr, source: VertexId, policy: &mut dyn SwitchPolicy) -> Traver
         level += 1;
     }
 
-    Traversal { output: out, levels: records }
+    Traversal {
+        output: out,
+        levels: records,
+    }
 }
 
 /// `(Σ degree, max degree)` over the frontier — `|E|cq` and the level's
@@ -113,7 +116,10 @@ mod tests {
         let mut policy = FixedMN::new(14.0, 24.0);
         let hybrid = run(&g, 0, &mut policy);
         assert_eq!(hybrid.output.levels, reference.output.levels);
-        assert_eq!(hybrid.output.visited_count(), reference.output.visited_count());
+        assert_eq!(
+            hybrid.output.visited_count(),
+            reference.output.visited_count()
+        );
     }
 
     #[test]
@@ -135,10 +141,19 @@ mod tests {
         // Combination should examine fewer edges than either pure engine on
         // a scale-free graph — that is the entire premise of the paper.
         let g = xbfs_graph::rmat::rmat_csr(11, 16);
-        let td_total = td::run(&g, 0).total_edges_examined();
-        let bu_total = bu::run(&g, 0).total_edges_examined();
+        // No fixed vertex id is guaranteed to be non-isolated across
+        // generator streams; traverse from a giant-component member.
+        let comps = xbfs_graph::components::connected_components(&g);
+        let giant = comps.largest().expect("non-empty graph");
+        let src = comps
+            .members(giant)
+            .into_iter()
+            .min_by_key(|&v| g.degree(v))
+            .expect("giant component has members");
+        let td_total = td::run(&g, src).total_edges_examined();
+        let bu_total = bu::run(&g, src).total_edges_examined();
         let mut policy = FixedMN::new(14.0, 24.0);
-        let hy_total = run(&g, 0, &mut policy).total_edges_examined();
+        let hy_total = run(&g, src, &mut policy).total_edges_examined();
         assert!(hy_total < td_total, "hybrid {hy_total} vs TD {td_total}");
         assert!(hy_total < bu_total, "hybrid {hy_total} vs BU {bu_total}");
     }
@@ -148,10 +163,7 @@ mod tests {
         let g = xbfs_graph::rmat::rmat_csr(8, 8);
         let t = run(&g, 0, &mut FixedMN::new(14.0, 24.0));
         // unvisited counts decrease monotonically and start at |V| - 1.
-        assert_eq!(
-            t.levels[0].unvisited_vertices,
-            g.num_vertices() as u64 - 1
-        );
+        assert_eq!(t.levels[0].unvisited_vertices, g.num_vertices() as u64 - 1);
         for w in t.levels.windows(2) {
             assert_eq!(
                 w[1].unvisited_vertices,

@@ -20,13 +20,14 @@
 //! the architecture simulator replays to charge per-level costs.
 //!
 //! [`par`] holds the multi-threaded variants (chunked work distribution over
-//! crossbeam scoped threads, CAS parent-claiming, atomic bitmap frontiers)
+//! scoped threads, CAS parent-claiming, atomic bitmap frontiers)
 //! used for the real-machine scaling experiments (Fig. 10). [`validate`](crate::validate::validate)
 //! implements the Graph 500-style output checker, [`metrics`] the TEPS
 //! accounting, and [`mod@reference`] the naive queue-based baseline the paper
 //! compares against in §V-D.
 
 pub mod bottomup;
+pub mod error;
 pub mod hybrid;
 pub mod metrics;
 pub mod par;
@@ -38,6 +39,7 @@ pub mod topdown;
 pub mod tree;
 pub mod validate;
 
+pub use error::XbfsError;
 pub use policy::{AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN, SwitchContext, SwitchPolicy};
 pub use stats::{LevelRecord, Traversal};
 pub use validate::{validate, ValidationError};
@@ -70,7 +72,11 @@ impl BfsOutput {
         let mut levels = vec![UNREACHED; num_vertices as usize];
         parents[source as usize] = source;
         levels[source as usize] = 0;
-        Self { source, parents, levels }
+        Self {
+            source,
+            parents,
+            levels,
+        }
     }
 
     /// `true` if `v` has been visited.

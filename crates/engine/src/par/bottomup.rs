@@ -45,7 +45,11 @@ pub(crate) fn level(
         next.extend_from_slice(&local);
         edges_examined += examined;
     }
-    LevelOutcome { next, edges_examined, vertices_scanned: n as u64 }
+    LevelOutcome {
+        next,
+        edges_examined,
+        vertices_scanned: n as u64,
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Multi-threaded BFS kernels.
 //!
 //! These are the "real hardware" kernels behind the paper's CPU numbers and
-//! the Fig. 10 scaling study: chunked work distribution over crossbeam
-//! scoped threads, CAS parent-claiming for top-down (first writer wins,
+//! the Fig. 10 scaling study: chunked work distribution over scoped
+//! threads, CAS parent-claiming for top-down (first writer wins,
 //! exactly one tree edge per vertex) and owner-computes partitioning for
 //! bottom-up (each thread exclusively scans a contiguous vertex range, so
 //! parent writes need no CAS).
@@ -15,11 +15,10 @@ mod bottomup;
 mod pool;
 mod topdown;
 
-pub use pool::parallel_ranges;
+pub use pool::{parallel_ranges, try_parallel_ranges};
 
 use crate::{
-    stats::LevelRecord, BfsOutput, Direction, SwitchContext, SwitchPolicy,
-    Traversal, UNREACHED,
+    stats::LevelRecord, BfsOutput, Direction, SwitchContext, SwitchPolicy, Traversal, UNREACHED,
 };
 use std::sync::atomic::{AtomicU32, Ordering};
 use xbfs_graph::{AtomicBitmap, Csr, VertexId, NO_PARENT};
@@ -37,13 +36,19 @@ pub(crate) struct ParState {
 impl ParState {
     fn init(num_vertices: VertexId, source: VertexId) -> Self {
         assert!(source < num_vertices, "source {source} out of range");
-        let parents: Vec<AtomicU32> =
-            (0..num_vertices).map(|_| AtomicU32::new(NO_PARENT)).collect();
-        let levels: Vec<AtomicU32> =
-            (0..num_vertices).map(|_| AtomicU32::new(UNREACHED)).collect();
+        let parents: Vec<AtomicU32> = (0..num_vertices)
+            .map(|_| AtomicU32::new(NO_PARENT))
+            .collect();
+        let levels: Vec<AtomicU32> = (0..num_vertices)
+            .map(|_| AtomicU32::new(UNREACHED))
+            .collect();
         parents[source as usize].store(source, Ordering::Relaxed);
         levels[source as usize].store(0, Ordering::Relaxed);
-        Self { source, parents, levels }
+        Self {
+            source,
+            parents,
+            levels,
+        }
     }
 
     #[inline]
@@ -77,7 +82,11 @@ impl ParState {
     fn into_output(self) -> BfsOutput {
         BfsOutput {
             source: self.source,
-            parents: self.parents.into_iter().map(AtomicU32::into_inner).collect(),
+            parents: self
+                .parents
+                .into_iter()
+                .map(AtomicU32::into_inner)
+                .collect(),
             levels: self.levels.into_iter().map(AtomicU32::into_inner).collect(),
         }
     }
@@ -127,9 +136,7 @@ pub fn run(
         let direction = policy.direction(&ctx);
 
         let outcome = match direction {
-            Direction::TopDown => {
-                topdown::level(csr, &frontier, &state, level + 1, threads)
-            }
+            Direction::TopDown => topdown::level(csr, &frontier, &state, level + 1, threads),
             Direction::BottomUp => {
                 // Publish the frontier bitmap in parallel; relaxed
                 // `fetch_or` publication is safe because the bitmap is
@@ -145,8 +152,7 @@ pub fn run(
         };
 
         let discovered = outcome.next.len() as u64;
-        let discovered_edges: u64 =
-            outcome.next.iter().map(|&v| csr.degree(v)).sum();
+        let discovered_edges: u64 = outcome.next.iter().map(|&v| csr.degree(v)).sum();
         records.push(LevelRecord {
             level,
             frontier_vertices,
@@ -166,7 +172,10 @@ pub fn run(
         level += 1;
     }
 
-    Traversal { output: state.into_output(), levels: records }
+    Traversal {
+        output: state.into_output(),
+        levels: records,
+    }
 }
 
 #[cfg(test)]

@@ -2,12 +2,35 @@
 //!
 //! One primitive covers every parallel kernel in this crate: split
 //! `0..n_items` into at most `threads` contiguous ranges and run a worker
-//! per range on crossbeam scoped threads, collecting each worker's result.
-//! Spawning per level costs a few tens of microseconds — negligible against
-//! the multi-millisecond levels the scaling study measures, and it keeps
-//! the kernels free of pool lifetime plumbing.
+//! per range on `std::thread::scope` threads, collecting each worker's
+//! result. Spawning per level costs a few tens of microseconds —
+//! negligible against the multi-millisecond levels the scaling study
+//! measures, and it keeps the kernels free of pool lifetime plumbing.
+//!
+//! Panic hygiene: a worker that panics never tears down the process with
+//! a bare "worker panicked". [`try_parallel_ranges`] catches the unwind
+//! at the fork-join boundary and surfaces a typed
+//! [`XbfsError::KernelPanic`] carrying the worker's original payload and
+//! the item range it was processing; [`parallel_ranges`] keeps the
+//! infallible signature the kernels use and re-panics with that same
+//! enriched message.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::XbfsError;
+
+/// Render a caught panic payload for diagnostics, preserving the
+/// worker's original message where it was a string.
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Split `0..n_items` into at most `threads` contiguous ranges and apply
 /// `work` to each in parallel, returning the per-range results in range
@@ -16,27 +39,82 @@ use std::ops::Range;
 /// Ranges are balanced to within one item. If `n_items == 0` no worker runs.
 /// With a single range the closure runs on the calling thread (no spawn),
 /// which makes `threads == 1` a true sequential baseline.
+///
+/// A panicking worker is reported as [`XbfsError::KernelPanic`] with the
+/// worker's payload and range; every spawned worker is joined before the
+/// error returns, so no work is left running.
+pub fn try_parallel_ranges<T, F>(
+    n_items: usize,
+    threads: usize,
+    work: F,
+) -> Result<Vec<T>, XbfsError>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if threads == 0 {
+        return Err(XbfsError::InvalidArgument {
+            what: "parallel_ranges needs at least one thread".to_string(),
+        });
+    }
+    let ranges = split_ranges(n_items, threads);
+    match ranges.len() {
+        0 => Ok(Vec::new()),
+        1 => {
+            let r = ranges.into_iter().next().expect("one range");
+            let span = (r.start, r.end);
+            // `work` only crosses the unwind boundary on the error path,
+            // where it is never touched again — safe to assert.
+            catch_unwind(AssertUnwindSafe(|| work(r)))
+                .map(|v| vec![v])
+                .map_err(|p| XbfsError::KernelPanic {
+                    payload: payload_to_string(&*p),
+                    range: Some(span),
+                })
+        }
+        _ => std::thread::scope(|s| {
+            let work = &work;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    let span = (r.start, r.end);
+                    (span, s.spawn(move || work(r)))
+                })
+                .collect();
+            // Join every worker before reporting, so an early panic
+            // cannot leave siblings running past the scope.
+            let joined: Vec<_> = handles
+                .into_iter()
+                .map(|(span, h)| (span, h.join()))
+                .collect();
+            joined
+                .into_iter()
+                .map(|(span, res)| {
+                    res.map_err(|p| XbfsError::KernelPanic {
+                        payload: payload_to_string(&*p),
+                        range: Some(span),
+                    })
+                })
+                .collect()
+        }),
+    }
+}
+
+/// Infallible wrapper over [`try_parallel_ranges`] for kernels whose
+/// workers are trusted: a worker panic re-panics here, but with the
+/// worker's original payload and range in the message instead of a bare
+/// join failure.
+///
+/// # Panics
+/// Panics if `threads == 0` or any worker panics.
 pub fn parallel_ranges<T, F>(n_items: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    assert!(threads >= 1, "need at least one thread");
-    let ranges = split_ranges(n_items, threads);
-    match ranges.len() {
-        0 => Vec::new(),
-        1 => vec![work(ranges.into_iter().next().expect("one range"))],
-        _ => crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|r| s.spawn(|_| work(r)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scope panicked"),
+    match try_parallel_ranges(n_items, threads, work) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -91,9 +169,7 @@ mod tests {
     #[test]
     fn parallel_sum_matches_sequential() {
         let data: Vec<u64> = (0..10_000).collect();
-        let partials = parallel_ranges(data.len(), 4, |r| {
-            data[r].iter().sum::<u64>()
-        });
+        let partials = parallel_ranges(data.len(), 4, |r| data[r].iter().sum::<u64>());
         assert_eq!(partials.len(), 4);
         assert_eq!(partials.iter().sum::<u64>(), 10_000 * 9_999 / 2);
     }
@@ -120,5 +196,59 @@ mod tests {
         let mut sorted = results.clone();
         sorted.sort_unstable();
         assert_eq!(results, sorted);
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error() {
+        let r = try_parallel_ranges(10, 0, |r| r.len());
+        assert!(matches!(r, Err(XbfsError::InvalidArgument { .. })));
+    }
+
+    #[test]
+    fn scoped_worker_panic_carries_payload_and_range() {
+        let err = try_parallel_ranges(100, 4, |r| {
+            if r.contains(&60) {
+                panic!("worker exploded at {}", r.start);
+            }
+            r.len()
+        })
+        .expect_err("must surface the panic");
+        match &err {
+            XbfsError::KernelPanic { payload, range } => {
+                assert!(payload.contains("worker exploded"), "{payload}");
+                let (start, end) = range.expect("range recorded");
+                assert!((start..end).contains(&60), "{start}..{end}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_worker_panic_carries_payload_and_range() {
+        let err = try_parallel_ranges(5, 1, |_| -> usize { panic!("inline boom") })
+            .expect_err("must surface the panic");
+        match &err {
+            XbfsError::KernelPanic { payload, range } => {
+                assert!(payload.contains("inline boom"), "{payload}");
+                assert_eq!(*range, Some((0, 5)));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infallible_wrapper_repanics_with_context() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_ranges(8, 2, |r| {
+                if r.start == 0 {
+                    panic!("first chunk failed");
+                }
+                r.len()
+            })
+        })
+        .expect_err("must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("first chunk failed"), "{msg}");
+        assert!(msg.contains("0..4"), "{msg}");
     }
 }

@@ -86,8 +86,31 @@ pub struct FixedMN {
 impl FixedMN {
     /// Construct, validating positivity.
     pub fn new(m: f64, n: f64) -> Self {
-        assert!(m > 0.0 && n > 0.0, "M and N must be positive, got ({m}, {n})");
+        assert!(
+            m > 0.0 && n > 0.0,
+            "M and N must be positive, got ({m}, {n})"
+        );
         Self { m, n }
+    }
+
+    /// Fallible construction for untrusted thresholds (predictions, CLI
+    /// flags): both parameters must be finite and strictly positive.
+    /// Infinite thresholds are rejected even though `new` tolerates them —
+    /// `|E|/∞ = 0` would silently force bottom-up everywhere.
+    pub fn try_new(m: f64, n: f64) -> Result<Self, crate::XbfsError> {
+        let reason = if m.is_nan() || n.is_nan() {
+            Some("M and N must not be NaN")
+        } else if m <= 0.0 || n <= 0.0 {
+            Some("M and N must be positive")
+        } else if !m.is_finite() || !n.is_finite() {
+            Some("M and N must be finite")
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => Err(crate::XbfsError::InvalidSwitchParams { m, n, reason }),
+            None => Ok(Self { m, n }),
+        }
     }
 
     /// Evaluate the Fig. 4 predicate without mutable state.
@@ -122,7 +145,10 @@ pub struct Scripted {
 impl Scripted {
     /// Script the first `directions.len()` levels; later levels fall back.
     pub fn new(directions: Vec<Direction>, fallback: Direction) -> Self {
-        Self { directions, fallback }
+        Self {
+            directions,
+            fallback,
+        }
     }
 }
 
@@ -183,7 +209,10 @@ mod tests {
 
     #[test]
     fn always_policies() {
-        assert_eq!(AlwaysTopDown.direction(&ctx(900, 15_999)), Direction::TopDown);
+        assert_eq!(
+            AlwaysTopDown.direction(&ctx(900, 15_999)),
+            Direction::TopDown
+        );
         assert_eq!(AlwaysBottomUp.direction(&ctx(1, 1)), Direction::BottomUp);
     }
 

@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let t = Traversal { output: BfsOutput::init(1, 0), levels: vec![] };
+        let t = Traversal {
+            output: BfsOutput::init(1, 0),
+            levels: vec![],
+        };
         assert_eq!(t.depth(), 0);
         assert_eq!(t.peak_level(), None);
         assert_eq!(t.total_edges_examined(), 0);

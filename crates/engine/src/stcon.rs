@@ -104,8 +104,14 @@ mod tests {
     #[test]
     fn trivial_cases() {
         let g = gen::path(5);
-        assert_eq!(st_connectivity(&g, 2, 2), StResult::Connected { distance: 0 });
-        assert_eq!(st_connectivity(&g, 0, 1), StResult::Connected { distance: 1 });
+        assert_eq!(
+            st_connectivity(&g, 2, 2),
+            StResult::Connected { distance: 0 }
+        );
+        assert_eq!(
+            st_connectivity(&g, 0, 1),
+            StResult::Connected { distance: 1 }
+        );
     }
 
     #[test]
@@ -124,7 +130,10 @@ mod tests {
     fn disconnected_detected() {
         let g = gen::two_cliques(4);
         assert_eq!(st_connectivity(&g, 0, 5), StResult::Disconnected);
-        assert_eq!(st_connectivity(&g, 1, 2), StResult::Connected { distance: 1 });
+        assert_eq!(
+            st_connectivity(&g, 1, 2),
+            StResult::Connected { distance: 1 }
+        );
     }
 
     #[test]
@@ -138,11 +147,7 @@ mod tests {
             if expect == UNREACHED {
                 assert_eq!(got, StResult::Disconnected, "target {t}");
             } else {
-                assert_eq!(
-                    got,
-                    StResult::Connected { distance: expect },
-                    "target {t}"
-                );
+                assert_eq!(got, StResult::Connected { distance: expect }, "target {t}");
             }
         }
     }

@@ -105,10 +105,7 @@ mod tests {
         for v in 1..16u32 {
             let p = t.output.parents[v as usize];
             assert!(g.has_edge(p, v), "parent edge ({p},{v}) missing");
-            assert_eq!(
-                t.output.levels[v as usize],
-                t.output.levels[p as usize] + 1
-            );
+            assert_eq!(t.output.levels[v as usize], t.output.levels[p as usize] + 1);
         }
     }
 

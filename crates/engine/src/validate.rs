@@ -95,9 +95,7 @@ pub fn validate(csr: &Csr, out: &BfsOutput) -> Result<(), ValidationError> {
         if !csr.has_edge(p, v) {
             return Err(ValidationError::PhantomTreeEdge { v });
         }
-        if out.levels[p as usize] == UNREACHED
-            || out.levels[vi] != out.levels[p as usize] + 1
-        {
+        if out.levels[p as usize] == UNREACHED || out.levels[vi] != out.levels[p as usize] + 1 {
             return Err(ValidationError::BadTreeLevel { v });
         }
     }
@@ -169,7 +167,10 @@ mod tests {
             .find(|&v| v != out.source && out.visited(v))
             .unwrap();
         out.levels[v as usize] = UNREACHED;
-        assert_eq!(validate(&g, &out), Err(ValidationError::VisitMismatch { v }));
+        assert_eq!(
+            validate(&g, &out),
+            Err(ValidationError::VisitMismatch { v })
+        );
     }
 
     #[test]
@@ -188,15 +189,14 @@ mod tests {
         let g = gen::path(5);
         let mut out = topdown::run(&g, 0).output;
         out.levels[4] = 2; // parent is 3 at level 3
-        // VisitMismatch won't fire (still visited); tree level check does,
-        // unless the edge sweep sees the level skip first — both are
-        // acceptable detections of the same corruption.
+                           // VisitMismatch won't fire (still visited); tree level check does,
+                           // unless the edge sweep sees the level skip first — both are
+                           // acceptable detections of the same corruption.
         let err = validate(&g, &out).unwrap_err();
         assert!(
             matches!(
                 err,
-                ValidationError::BadTreeLevel { v: 4 }
-                    | ValidationError::LevelSkip { .. }
+                ValidationError::BadTreeLevel { v: 4 } | ValidationError::LevelSkip { .. }
             ),
             "unexpected error {err:?}"
         );

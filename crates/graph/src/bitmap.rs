@@ -22,7 +22,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap able to hold `len` bits.
     pub fn new(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(BITS)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(BITS)],
+        }
     }
 
     /// Capacity in bits.
@@ -73,9 +76,13 @@ impl Bitmap {
 
     /// Iterate set bits in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: (wi * BITS) as u32 }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: (wi * BITS) as u32,
+            })
     }
 
     /// Bytes of backing storage (simulator byte accounting).
@@ -165,7 +172,11 @@ impl AtomicBitmap {
     pub fn snapshot(&self) -> Bitmap {
         Bitmap {
             len: self.len,
-            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 

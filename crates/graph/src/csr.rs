@@ -44,8 +44,7 @@ impl Csr {
     pub fn from_edge_list(edges: &EdgeList) -> Self {
         let n = edges.num_vertices();
         // Symmetrize into a scratch tuple list.
-        let mut tuples: Vec<(VertexId, VertexId)> =
-            Vec::with_capacity(edges.len() * 2);
+        let mut tuples: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len() * 2);
         for (s, d) in edges.iter() {
             if s == d {
                 continue;
@@ -64,7 +63,11 @@ impl Csr {
             row_offsets[i + 1] += row_offsets[i];
         }
         let column_indices = tuples.iter().map(|&(_, d)| d).collect();
-        Self { num_vertices: n, row_offsets, column_indices }
+        Self {
+            num_vertices: n,
+            row_offsets,
+            column_indices,
+        }
     }
 
     /// Build directly from per-vertex sorted adjacency (used by tests/io).
@@ -91,7 +94,11 @@ impl Csr {
         if column_indices.iter().any(|&c| c >= num_vertices) {
             return None;
         }
-        let csr = Self { num_vertices, row_offsets, column_indices };
+        let csr = Self {
+            num_vertices,
+            row_offsets,
+            column_indices,
+        };
         if !csr.is_canonical() || !csr.is_symmetric() {
             return None;
         }
@@ -181,8 +188,7 @@ mod tests {
     use super::*;
 
     fn triangle() -> Csr {
-        let el =
-            EdgeList::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        let el = EdgeList::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
         Csr::from_edge_list(&el)
     }
 
@@ -200,11 +206,7 @@ mod tests {
 
     #[test]
     fn self_loops_dropped_duplicates_collapsed() {
-        let el = EdgeList::from_edges(
-            3,
-            vec![(0, 0), (0, 1), (1, 0), (0, 1), (2, 2)],
-        )
-        .unwrap();
+        let el = EdgeList::from_edges(3, vec![(0, 0), (0, 1), (1, 0), (0, 1), (2, 2)]).unwrap();
         let g = Csr::from_edge_list(&el);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.neighbors(0), &[1]);

@@ -20,25 +20,34 @@ pub struct EdgeList {
 impl EdgeList {
     /// Create an empty edge list over `num_vertices` vertices.
     pub fn new(num_vertices: VertexId) -> Self {
-        Self { num_vertices, edges: Vec::new() }
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Create an edge list with pre-reserved capacity for `num_edges` edges.
     pub fn with_capacity(num_vertices: VertexId, num_edges: usize) -> Self {
-        Self { num_vertices, edges: Vec::with_capacity(num_edges) }
+        Self {
+            num_vertices,
+            edges: Vec::with_capacity(num_edges),
+        }
     }
 
     /// Build from raw parts, validating that every endpoint is in range.
     ///
     /// Returns `None` if any edge references a vertex `>= num_vertices`.
-    pub fn from_edges(
-        num_vertices: VertexId,
-        edges: Vec<(VertexId, VertexId)>,
-    ) -> Option<Self> {
-        if edges.iter().any(|&(s, d)| s >= num_vertices || d >= num_vertices) {
+    pub fn from_edges(num_vertices: VertexId, edges: Vec<(VertexId, VertexId)>) -> Option<Self> {
+        if edges
+            .iter()
+            .any(|&(s, d)| s >= num_vertices || d >= num_vertices)
+        {
             return None;
         }
-        Some(Self { num_vertices, edges })
+        Some(Self {
+            num_vertices,
+            edges,
+        })
     }
 
     /// Number of vertices (the id space, not the number of touched vertices).

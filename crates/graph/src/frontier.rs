@@ -24,7 +24,10 @@ impl Frontier {
 
     /// Empty bitmap-form frontier over `n` vertices.
     pub fn empty_bitmap(n: usize) -> Self {
-        Frontier::Bitmap { bits: Bitmap::new(n), count: 0 }
+        Frontier::Bitmap {
+            bits: Bitmap::new(n),
+            count: 0,
+        }
     }
 
     /// Frontier holding exactly the source vertex, in queue form.
@@ -102,9 +105,7 @@ impl Frontier {
     /// Bytes this frontier occupies, for the simulator's transfer model.
     pub fn storage_bytes(&self) -> u64 {
         match self {
-            Frontier::Queue(q) => {
-                (q.len() * std::mem::size_of::<VertexId>()) as u64
-            }
+            Frontier::Queue(q) => (q.len() * std::mem::size_of::<VertexId>()) as u64,
             Frontier::Bitmap { bits, .. } => bits.storage_bytes(),
         }
     }
@@ -144,7 +145,10 @@ mod tests {
     fn empty_frontiers() {
         assert!(Frontier::empty_queue().is_empty());
         assert!(Frontier::empty_bitmap(10).is_empty());
-        assert_eq!(Frontier::empty_bitmap(10).to_sorted_vec(), Vec::<u32>::new());
+        assert_eq!(
+            Frontier::empty_bitmap(10).to_sorted_vec(),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

@@ -2,14 +2,13 @@
 //!
 //! Two formats:
 //!
-//! * **Binary** — a compact little-endian framing of the CSR arrays built on
-//!   [`bytes`], suitable for caching generated R-MAT instances between
-//!   benchmark runs (regenerating SCALE-23 takes longer than reloading it).
+//! * **Binary** — a compact little-endian framing of the CSR arrays,
+//!   suitable for caching generated R-MAT instances between benchmark
+//!   runs (regenerating SCALE-23 takes longer than reloading it).
 //! * **Text edge list** — `u v` per line, the lingua franca of graph tools,
 //!   used by the examples to ingest user graphs.
 
 use crate::{Csr, EdgeList, VertexId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, BufRead, Write};
 
 /// Magic tag guarding the binary format.
@@ -43,51 +42,92 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Little-endian cursor over a byte slice; every read is bounds-checked
+/// so truncated or hostile input surfaces as [`DecodeError::Truncated`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + N)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += N;
+        Ok(chunk.try_into().expect("slice of length N"))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
 /// Encode a CSR into the compact binary format.
-pub fn encode_csr(csr: &Csr) -> Bytes {
+pub fn encode_csr(csr: &Csr) -> Vec<u8> {
     let offsets = csr.row_offsets();
     let columns = csr.column_indices();
-    let mut buf = BytesMut::with_capacity(24 + offsets.len() * 8 + columns.len() * 4);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(csr.num_vertices());
-    buf.put_u32_le(0); // reserved / alignment
-    buf.put_u64_le(columns.len() as u64);
+    let mut buf = Vec::with_capacity(24 + offsets.len() * 8 + columns.len() * 4);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&csr.num_vertices().to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes()); // reserved / alignment
+    buf.extend_from_slice(&(columns.len() as u64).to_le_bytes());
     for &o in offsets {
-        buf.put_u64_le(o);
+        buf.extend_from_slice(&o.to_le_bytes());
     }
     for &c in columns {
-        buf.put_u32_le(c);
+        buf.extend_from_slice(&c.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decode a CSR from the binary format.
-pub fn decode_csr(mut buf: impl Buf) -> Result<Csr, DecodeError> {
-    if buf.remaining() < 24 {
+pub fn decode_csr(buf: impl AsRef<[u8]>) -> Result<Csr, DecodeError> {
+    let mut r = Reader {
+        bytes: buf.as_ref(),
+        pos: 0,
+    };
+    if r.bytes.len() < 24 {
         return Err(DecodeError::Truncated);
     }
-    if buf.get_u32_le() != MAGIC {
+    if r.u32_le()? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = r.u32_le()?;
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let n = buf.get_u32_le();
-    let _reserved = buf.get_u32_le();
-    let m = buf.get_u64_le() as usize;
-    let offsets_len = n as usize + 1;
-    if buf.remaining() < offsets_len * 8 + m * 4 {
+    let n = r.u32_le()?;
+    let _reserved = r.u32_le()?;
+    let m = r.u64_le()?;
+    let offsets_len = n as u64 + 1;
+    // Check the declared sizes against what is actually present before
+    // allocating, so a hostile header cannot request a huge buffer.
+    let body = offsets_len
+        .checked_mul(8)
+        .and_then(|o| m.checked_mul(4).map(|c| (o, c)))
+        .and_then(|(o, c)| o.checked_add(c))
+        .ok_or(DecodeError::Truncated)?;
+    if (r.remaining() as u64) < body {
         return Err(DecodeError::Truncated);
     }
-    let mut offsets = Vec::with_capacity(offsets_len);
+    let mut offsets = Vec::with_capacity(offsets_len as usize);
     for _ in 0..offsets_len {
-        offsets.push(buf.get_u64_le());
+        offsets.push(r.u64_le()?);
     }
-    let mut columns = Vec::with_capacity(m);
+    let mut columns = Vec::with_capacity(m as usize);
     for _ in 0..m {
-        columns.push(buf.get_u32_le());
+        columns.push(r.u32_le()?);
     }
     Csr::from_parts(n, offsets, columns).ok_or(DecodeError::Invalid)
 }
@@ -103,10 +143,7 @@ pub fn write_edge_list(el: &EdgeList, mut w: impl Write) -> io::Result<()> {
 /// Read a whitespace-separated edge list. Lines starting with `#` or `%`
 /// are comments. The vertex count is `max endpoint + 1` unless a larger
 /// `min_vertices` is supplied.
-pub fn read_edge_list(
-    r: impl BufRead,
-    min_vertices: VertexId,
-) -> io::Result<EdgeList> {
+pub fn read_edge_list(r: impl BufRead, min_vertices: VertexId) -> io::Result<EdgeList> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_v: VertexId = 0;
     for line in r.lines() {
@@ -156,11 +193,24 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(decode_csr(&b"hello"[..]), Err(DecodeError::Truncated));
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(0xdead_beef);
-        buf.put_u32_le(VERSION);
-        buf.put_bytes(0, 16);
-        assert_eq!(decode_csr(buf.freeze()), Err(DecodeError::BadMagic));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(decode_csr(buf), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn decode_rejects_overflowing_declared_sizes() {
+        // Header declares u64::MAX edges; size math must not overflow
+        // into a small allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_csr(buf), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -33,10 +33,8 @@ pub fn apply_permutation(csr: &Csr, perm: &[VertexId]) -> Csr {
         csr.num_vertices() as usize,
         "permutation length must equal vertex count"
     );
-    let mut edges = EdgeList::with_capacity(
-        csr.num_vertices(),
-        csr.num_directed_edges() as usize / 2,
-    );
+    let mut edges =
+        EdgeList::with_capacity(csr.num_vertices(), csr.num_directed_edges() as usize / 2);
     for u in csr.vertices() {
         for &v in csr.neighbors(u) {
             if u <= v {
@@ -87,7 +85,10 @@ mod tests {
         let g = crate::rmat::rmat_csr(9, 16);
         let r = by_degree(&g);
         let degs: Vec<u64> = r.vertices().map(|v| r.degree(v)).collect();
-        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "not sorted: {degs:?}");
+        assert!(
+            degs.windows(2).all(|w| w[0] >= w[1]),
+            "not sorted: {degs:?}"
+        );
     }
 
     #[test]

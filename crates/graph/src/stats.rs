@@ -69,11 +69,7 @@ impl GraphStats {
 
 /// Degree histogram: `histogram[d]` = number of vertices with degree `d`.
 pub fn degree_histogram(csr: &Csr) -> Vec<u64> {
-    let max_deg = csr
-        .vertices()
-        .map(|v| csr.degree(v))
-        .max()
-        .unwrap_or(0) as usize;
+    let max_deg = csr.vertices().map(|v| csr.degree(v)).max().unwrap_or(0) as usize;
     let mut hist = vec![0u64; max_deg + 1];
     for v in csr.vertices() {
         hist[csr.degree(v) as usize] += 1;

@@ -13,7 +13,11 @@ pub struct Dataset {
 impl Dataset {
     /// Empty dataset of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, x: Vec::new(), y: Vec::new() }
+        Self {
+            dim,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     /// Build from parallel sample/target vectors.

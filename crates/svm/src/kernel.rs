@@ -27,7 +27,9 @@ pub enum Kernel {
 impl Kernel {
     /// RBF with the LIBSVM default width `γ = 1/dim`.
     pub fn rbf_default(dim: usize) -> Self {
-        Kernel::Rbf { gamma: 1.0 / dim.max(1) as f64 }
+        Kernel::Rbf {
+            gamma: 1.0 / dim.max(1) as f64,
+        }
     }
 
     /// Evaluate `K(x, y)`.
@@ -49,9 +51,11 @@ impl Kernel {
                     .sum();
                 (-gamma * d2).exp()
             }
-            Kernel::Poly { gamma, coef0, degree } => {
-                (gamma * dot(x, y) + coef0).powi(degree as i32)
-            }
+            Kernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(x, y) + coef0).powi(degree as i32),
         }
     }
 }
@@ -104,7 +108,11 @@ mod tests {
 
     #[test]
     fn poly_matches_closed_form() {
-        let k = Kernel::Poly { gamma: 1.0, coef0: 1.0, degree: 2 };
+        let k = Kernel::Poly {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
         // (x·y + 1)^2 with x·y = 2 → 9.
         assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 9.0);
     }
@@ -112,8 +120,9 @@ mod tests {
     #[test]
     fn gram_matrix_is_positive_semidefinite_on_samples() {
         // Spot-check PSD via z^T K z ≥ 0 for a few random-ish z.
-        let pts: Vec<Vec<f64>> =
-            (0..5).map(|i| vec![i as f64, (i * i) as f64 / 3.0]).collect();
+        let pts: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![i as f64, (i * i) as f64 / 3.0])
+            .collect();
         let k = Kernel::rbf_default(2);
         let zs = [
             vec![1.0, -1.0, 0.5, 0.0, 2.0],

@@ -33,8 +33,7 @@ impl Ridge {
         let d = data.dim();
 
         let scaler = Scaler::fit(data.iter().map(|(x, _)| x));
-        let xs: Vec<Vec<f64>> =
-            data.iter().map(|(x, _)| scaler.transform(x)).collect();
+        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| scaler.transform(x)).collect();
         let y_mean = data.targets().iter().sum::<f64>() / n as f64;
         let y: Vec<f64> = data.targets().iter().map(|t| t - y_mean).collect();
 
@@ -59,7 +58,12 @@ impl Ridge {
         }
 
         let weights = cholesky_solve(&mut ata, &aty, d);
-        Self { scaler, weights, intercept: y_mean, lambda }
+        Self {
+            scaler,
+            weights,
+            intercept: y_mean,
+            lambda,
+        }
     }
 
     /// The fitted weights over standardized features.
@@ -77,7 +81,10 @@ impl Regressor for Ridge {
     fn predict(&self, x: &[f64]) -> f64 {
         let xs = self.scaler.transform(x);
         self.intercept
-            + xs.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>()
+            + xs.iter()
+                .zip(&self.weights)
+                .map(|(a, w)| a * w)
+                .sum::<f64>()
     }
 }
 
@@ -191,8 +198,7 @@ mod tests {
         }
         let model = Ridge::fit(&d, 0.0);
         // Best linear fit is ~0; MSE stays near the target variance.
-        let var: f64 = d.targets().iter().map(|t| t * t).sum::<f64>()
-            / d.len() as f64;
+        let var: f64 = d.targets().iter().map(|t| t * t).sum::<f64>() / d.len() as f64;
         assert!(model.mse(&d) > 0.9 * var);
     }
 

@@ -90,8 +90,7 @@ impl Svr {
         let n = data.len();
 
         let scaler = Scaler::fit(data.iter().map(|(x, _)| x));
-        let xs: Vec<Vec<f64>> =
-            data.iter().map(|(x, _)| scaler.transform(x)).collect();
+        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| scaler.transform(x)).collect();
         let bias = data.targets().iter().sum::<f64>() / n as f64;
         let y: Vec<f64> = data.targets().iter().map(|t| t - bias).collect();
 
@@ -143,7 +142,14 @@ impl Svr {
                 support_beta.push(b);
             }
         }
-        Self { config, scaler, support, beta: support_beta, bias, sweeps_used }
+        Self {
+            config,
+            scaler,
+            support,
+            beta: support_beta,
+            bias,
+            sweeps_used,
+        }
     }
 
     /// Number of support vectors retained.
@@ -191,12 +197,7 @@ fn soft_threshold(z: f64, eps: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn dataset_from_fn(
-        f: impl Fn(f64, f64) -> f64,
-        grid: usize,
-        lo: f64,
-        hi: f64,
-    ) -> Dataset {
+    fn dataset_from_fn(f: impl Fn(f64, f64) -> f64, grid: usize, lo: f64, hi: f64) -> Dataset {
         let mut d = Dataset::new(2);
         for i in 0..grid {
             for j in 0..grid {

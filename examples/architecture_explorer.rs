@@ -55,7 +55,14 @@ fn main() {
         "{:>14} {:>9} {:>9} {:>9} {:>11} {:>9}",
         "graph", "CPU", "GPU", "MIC", "CPU+GPU", "winner"
     );
-    for (s, e) in [(15u32, 16u32), (16, 16), (16, 64), (17, 16), (18, 16), (18, 32)] {
+    for (s, e) in [
+        (15u32, 16u32),
+        (16, 16),
+        (16, 64),
+        (17, 16),
+        (18, 16),
+        (18, 32),
+    ] {
         let g = xbfs::graph::rmat::rmat_csr(s, e);
         let src = xbfs::core::training::pick_source(&g, 3).unwrap();
         let p = xbfs::archsim::profile(&g, src);
@@ -66,11 +73,16 @@ fn main() {
             &p, &cpu, &gpu, &link, &pair_grid, &pair_grid,
         ))
         .seconds;
-        let winner = [("CPU", t_cpu), ("GPU", t_gpu), ("MIC", t_mic), ("CPU+GPU", t_x)]
-            .into_iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
+        let winner = [
+            ("CPU", t_cpu),
+            ("GPU", t_gpu),
+            ("MIC", t_mic),
+            ("CPU+GPU", t_x),
+        ]
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+        .0;
         println!(
             "{:>10}/ef{:<3} {:>9.3} {:>9.3} {:>9.3} {:>11.3} {:>9}",
             format!("s{s}"),

@@ -39,8 +39,8 @@ fn main() {
     let graph = match std::env::args().nth(1) {
         Some(path) => {
             let file = std::fs::File::open(&path).expect("cannot open edge list");
-            let el = io::read_edge_list(std::io::BufReader::new(file), 0)
-                .expect("malformed edge list");
+            let el =
+                io::read_edge_list(std::io::BufReader::new(file), 0).expect("malformed edge list");
             println!("loaded {} edges from {path}", el.len());
             xbfs::graph::Csr::from_edge_list(&el)
         }
@@ -74,9 +74,9 @@ fn main() {
         .max_by_key(|&v| graph.degree(v))
         .unwrap();
     match xbfs::engine::stcon::st_connectivity(&graph, hub, second) {
-        xbfs::engine::stcon::StResult::Connected { distance } => println!(
-            "hub {hub} (degree {hub_deg}) reaches vertex {second} in {distance} hop(s)"
-        ),
+        xbfs::engine::stcon::StResult::Connected { distance } => {
+            println!("hub {hub} (degree {hub_deg}) reaches vertex {second} in {distance} hop(s)")
+        }
         xbfs::engine::stcon::StResult::Disconnected => {
             println!("hub {hub} and vertex {second} are in different components")
         }

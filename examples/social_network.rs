@@ -40,7 +40,9 @@ fn main() {
     };
     println!("\nengine                      time          work");
     let td = timed("top-down", &mut || xbfs::engine::topdown::run(&graph, user));
-    timed("bottom-up", &mut || xbfs::engine::bottomup::run(&graph, user));
+    timed("bottom-up", &mut || {
+        xbfs::engine::bottomup::run(&graph, user)
+    });
     let hybrid = timed("hybrid (M=14, N=24)", &mut || {
         xbfs::engine::hybrid::run(&graph, user, &mut FixedMN::new(14.0, 24.0))
     });

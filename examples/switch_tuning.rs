@@ -51,8 +51,7 @@ fn main() {
 
     // (2) The cross-architecture space is far more dangerous (Fig. 8).
     let pair_grid = oracle::cross_pair_grid();
-    let pairs =
-        oracle::sweep_cross_pairs(&profile, &cpu, &gpu, &link, &pair_grid, &pair_grid);
+    let pairs = oracle::sweep_cross_pairs(&profile, &cpu, &gpu, &link, &pair_grid, &pair_grid);
     let bx = oracle::best_cross(&pairs);
     let wx = oracle::worst_cross(&pairs);
     println!(

@@ -45,8 +45,7 @@ pub mod prelude {
     pub use xbfs_archsim::{ArchSpec, Link, TraversalProfile};
     pub use xbfs_core::{AdaptiveRuntime, CrossParams, CrossRun, SingleRun};
     pub use xbfs_engine::{
-        AlwaysBottomUp, AlwaysTopDown, BfsOutput, Direction, FixedMN,
-        SwitchPolicy, Traversal,
+        AlwaysBottomUp, AlwaysTopDown, BfsOutput, Direction, FixedMN, SwitchPolicy, Traversal,
     };
     pub use xbfs_graph::{Csr, EdgeList, Frontier, GraphStats, RmatConfig};
     pub use xbfs_svm::{Regressor, Svr, SvrConfig};

@@ -4,8 +4,10 @@
 
 use proptest::prelude::*;
 use xbfs::archsim::{profile, ArchSpec, Link};
-use xbfs::core::cross::{cost_cross, placement_script, run_cross, CrossParams, Placement};
-use xbfs::engine::{validate, FixedMN};
+use xbfs::core::cross::{
+    cost_cross, placement_script, run_cross, try_cost_cross, try_run_cross, CrossParams, Placement,
+};
+use xbfs::engine::{validate, FixedMN, XbfsError};
 use xbfs::graph::{Csr, EdgeList};
 
 fn arb_graph() -> impl Strategy<Value = (Csr, u32)> {
@@ -24,6 +26,36 @@ fn arb_params() -> impl Strategy<Value = CrossParams> {
         handoff: FixedMN::new(m1, n1),
         gpu: FixedMN::new(m2, n2),
     })
+}
+
+/// Switch parameters drawn from the full abuse surface: zeros, negatives,
+/// infinities, NaN, and ordinary valid values. Built as raw struct
+/// literals so the degenerate values bypass `FixedMN::new`'s assert, the
+/// way an unvalidated prediction or config file would.
+fn arb_degenerate_mn() -> impl Strategy<Value = f64> {
+    (0u32..8, 0.5f64..400.0).prop_map(|(pick, ordinary)| match pick {
+        0 => 0.0,
+        1 => -1.0,
+        2 => f64::NAN,
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => 1e308,
+        6 => f64::MIN_POSITIVE,
+        _ => ordinary,
+    })
+}
+
+fn arb_degenerate_params() -> impl Strategy<Value = CrossParams> {
+    (
+        arb_degenerate_mn(),
+        arb_degenerate_mn(),
+        arb_degenerate_mn(),
+        arb_degenerate_mn(),
+    )
+        .prop_map(|(m1, n1, m2, n2)| CrossParams {
+            handoff: FixedMN { m: m1, n: n1 },
+            gpu: FixedMN { m: m2, n: n2 },
+        })
 }
 
 proptest! {
@@ -88,5 +120,53 @@ proptest! {
         let pcie = cost_cross(&p, &cpu, &gpu, &Link::pcie3(), &params);
         prop_assert!(free.total_seconds <= pcie.total_seconds + 1e-15);
         prop_assert_eq!(free.placements, pcie.placements);
+    }
+
+    #[test]
+    fn degenerate_params_rejected_identically_by_costing_and_executor(
+        (g, src) in arb_graph(),
+        params in arb_degenerate_params(),
+    ) {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let gpu = ArchSpec::gpu_k20x();
+        let link = Link::pcie3();
+        let p = profile(&g, src);
+
+        let costed = try_cost_cross(&p, &cpu, &gpu, &link, &params);
+        let ran = try_run_cross(&g, src, &cpu, &gpu, &link, &params);
+
+        // The two entry points accept and reject the same parameter sets,
+        // with the same typed error (compared by message so NaN fields
+        // don't defeat PartialEq).
+        match (&costed, &ran) {
+            (Ok(c), Ok(r)) => {
+                prop_assert!((c.total_seconds - r.total_seconds).abs() < 1e-12);
+                prop_assert_eq!(validate(&g, &r.traversal.output), Ok(()));
+            }
+            (Err(ce), Err(re)) => {
+                prop_assert!(matches!(ce, XbfsError::InvalidSwitchParams { .. }));
+                prop_assert_eq!(ce.to_string(), re.to_string());
+            }
+            (c, r) => prop_assert!(
+                false,
+                "costing and executor disagree: cost={c:?} run={r:?}"
+            ),
+        }
+
+        // Acceptance is exactly "all four thresholds finite and positive".
+        let all_valid = [params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n]
+            .iter()
+            .all(|v| v.is_finite() && *v > 0.0);
+        prop_assert_eq!(costed.is_ok(), all_valid);
+    }
+
+    #[test]
+    fn out_of_range_source_is_a_typed_error((g, _) in arb_graph(), params in arb_params()) {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let gpu = ArchSpec::gpu_k20x();
+        let link = Link::pcie3();
+        let bad = g.num_vertices() + 1;
+        let err = try_run_cross(&g, bad, &cpu, &gpu, &link, &params).unwrap_err();
+        prop_assert!(matches!(err, XbfsError::BadSource { .. }));
     }
 }

@@ -2,8 +2,8 @@
 //! must be bit-identical. Determinism is what makes the JSON artifacts,
 //! the paper-claim checks, and the whole test suite reproducible.
 
-use xbfs::prelude::*;
 use xbfs::core::{oracle, training};
+use xbfs::prelude::*;
 
 #[test]
 fn generation_and_profiles_are_deterministic() {
@@ -26,12 +26,14 @@ fn training_prediction_and_strategies_are_deterministic() {
         let predictor = xbfs::core::SwitchPredictor::train(&ts);
         let g = xbfs::graph::rmat::rmat_csr(10, 16);
         let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
-        let params = predictor.predict_cross(
-            &stats,
-            &ArchSpec::cpu_sandy_bridge(),
-            &ArchSpec::gpu_k20x(),
-        );
-        (params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n)
+        let params =
+            predictor.predict_cross(&stats, &ArchSpec::cpu_sandy_bridge(), &ArchSpec::gpu_k20x());
+        (
+            params.handoff.m,
+            params.handoff.n,
+            params.gpu.m,
+            params.gpu.n,
+        )
     };
     assert_eq!(make(), make());
 }

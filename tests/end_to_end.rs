@@ -3,8 +3,8 @@
 //! cross-architecture combination, and check the result against the
 //! exhaustive oracle.
 
-use xbfs::prelude::*;
 use xbfs::core::{oracle, training};
+use xbfs::prelude::*;
 
 fn runtime() -> AdaptiveRuntime {
     AdaptiveRuntime::quick_trained()
@@ -70,7 +70,10 @@ fn training_set_round_trips_through_serde() {
     // compare fields rather than whole structs.
     assert_eq!(ts.labels.len(), back.labels.len());
     for (a, b) in ts.labels.iter().zip(&back.labels) {
-        assert_eq!((a.scale, a.edgefactor, &a.pair), (b.scale, b.edgefactor, &b.pair));
+        assert_eq!(
+            (a.scale, a.edgefactor, &a.pair),
+            (b.scale, b.edgefactor, &b.pair)
+        );
         assert_eq!(a.best, b.best);
         assert!((a.seconds - b.seconds).abs() < 1e-12);
     }

@@ -8,8 +8,7 @@
 
 use xbfs::archsim::profile;
 use xbfs::engine::{
-    bottomup, hybrid, par, reference, stcon, topdown, tree, validate, FixedMN,
-    UNREACHED,
+    bottomup, hybrid, par, reference, stcon, topdown, tree, validate, FixedMN, UNREACHED,
 };
 use xbfs::graph::{Csr, EdgeList};
 

@@ -1,0 +1,362 @@
+//! End-to-end proof of the robustness contract: under any fault plan the
+//! runtime returns either a Graph 500–validated `BfsOutput` plus a
+//! `RunReport` naming the rung that produced it, or a typed `XbfsError` —
+//! and it never panics.
+
+use xbfs::archsim::fault::{FaultKind, FaultOp, FaultPlan, ScheduledFault};
+use xbfs::archsim::{ArchSpec, Link};
+use xbfs::core::recovery::{run_cross_resilient, RetryPolicy, Rung};
+use xbfs::core::{run_cross, CrossParams};
+use xbfs::engine::{reference, validate, FixedMN, XbfsError};
+use xbfs::graph::Csr;
+
+fn fixture() -> (Csr, u32, ArchSpec, ArchSpec, Link, CrossParams) {
+    let g = xbfs::graph::rmat::rmat_csr(10, 16);
+    let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
+    (
+        g,
+        src,
+        ArchSpec::cpu_sandy_bridge(),
+        ArchSpec::gpu_k20x(),
+        Link::pcie3(),
+        CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        },
+    )
+}
+
+#[test]
+fn no_fault_plan_serves_from_the_top_rung() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let run = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &FaultPlan::none(),
+        &RetryPolicy::default_runtime(),
+        None,
+    )
+    .expect("healthy traversal");
+    assert_eq!(run.report.rung, Rung::CrossCpuGpu);
+    assert!(run.report.events.is_empty());
+    assert_eq!(run.report.retries, 0);
+    assert_eq!(run.report.recovery_seconds, 0.0);
+    assert_eq!(validate(&g, &run.output), Ok(()));
+}
+
+#[test]
+fn transient_transfer_fault_is_retried_and_billed() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    // Find the handoff level so the scheduled fault is guaranteed to hit.
+    let baseline = run_cross(&g, src, &cpu, &gpu, &link, &params);
+    let handoff = baseline
+        .placements
+        .iter()
+        .position(|p| p.on_gpu())
+        .expect("cross run uses the GPU");
+
+    let plan = FaultPlan {
+        scheduled: vec![ScheduledFault {
+            op: FaultOp::Transfer,
+            level: handoff,
+            kind: FaultKind::TransferFailure,
+        }],
+        ..FaultPlan::none()
+    };
+    let run = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &plan,
+        &RetryPolicy::default_runtime(),
+        None,
+    )
+    .expect("one transient fault is retried away");
+    // The retry succeeded, so the top rung still serves — but the report
+    // shows the fault, the retry, and the simulated time it cost.
+    assert_eq!(run.report.rung, Rung::CrossCpuGpu);
+    assert_eq!(run.report.events.len(), 1);
+    assert_eq!(run.report.events[0].kind, FaultKind::TransferFailure);
+    assert_eq!(run.report.retries, 1);
+    assert!(run.report.recovery_seconds > 0.0);
+    assert!(run.report.total_seconds > baseline.total_seconds);
+    assert_eq!(validate(&g, &run.output), Ok(()));
+}
+
+#[test]
+fn device_lost_at_every_level_never_panics_and_always_validates() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let baseline = run_cross(&g, src, &cpu, &gpu, &link, &params);
+    let reference_levels = reference::run(&g, src).levels;
+    let num_levels = baseline.placements.len();
+
+    for op in [FaultOp::Transfer, FaultOp::GpuKernel, FaultOp::CpuKernel] {
+        for level in 0..num_levels + 2 {
+            let plan = FaultPlan::lost_at(op, level);
+            let run = run_cross_resilient(
+                &g,
+                src,
+                &cpu,
+                &gpu,
+                &link,
+                &params,
+                &plan,
+                &RetryPolicy::default_runtime(),
+                None,
+            )
+            .unwrap_or_else(|e| panic!("{op:?} lost at level {level}: {e}"));
+            assert_eq!(
+                validate(&g, &run.output),
+                Ok(()),
+                "{op:?} lost at level {level}: invalid output on rung {}",
+                run.report.rung
+            );
+            // Degraded runs agree level-for-level with the reference BFS.
+            assert_eq!(
+                run.output.levels, reference_levels,
+                "{op:?} lost at level {level}: levels diverge on rung {}",
+                run.report.rung
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_lost_at_handoff_degrades_to_cpu_only_matching_reference() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let baseline = run_cross(&g, src, &cpu, &gpu, &link, &params);
+    let handoff = baseline
+        .placements
+        .iter()
+        .position(|p| p.on_gpu())
+        .expect("cross run uses the GPU");
+
+    let plan = FaultPlan::lost_at(FaultOp::Transfer, handoff);
+    let run = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &plan,
+        &RetryPolicy::default_runtime(),
+        None,
+    )
+    .expect("CPU-only rung serves");
+    assert_eq!(run.report.rung, Rung::CpuOnly);
+    assert_eq!(
+        run.report.rungs_tried,
+        vec![Rung::CrossCpuGpu, Rung::CpuOnly]
+    );
+    assert_eq!(run.output.levels, reference::run(&g, src).levels);
+    // The abandoned rung's spend is accounted as recovery loss.
+    assert!(run.report.recovery_seconds > 0.0);
+}
+
+#[test]
+fn cpu_lost_falls_all_the_way_to_the_reference_rung() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let plan = FaultPlan::lost_at(FaultOp::CpuKernel, 0);
+    let run = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &plan,
+        &RetryPolicy::default_runtime(),
+        None,
+    )
+    .expect("reference rung serves");
+    assert_eq!(run.report.rung, Rung::Reference);
+    assert_eq!(
+        run.report.rungs_tried,
+        vec![Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference]
+    );
+    assert_eq!(run.output.levels, reference::run(&g, src).levels);
+    assert_eq!(validate(&g, &run.output), Ok(()));
+}
+
+#[test]
+fn exhausted_deadline_is_a_typed_error_not_a_panic() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let err = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &FaultPlan::none(),
+        &RetryPolicy::default_runtime(),
+        Some(1e-9),
+    )
+    .expect_err("1 ns budget cannot cover a level");
+    assert!(
+        matches!(err, XbfsError::DeadlineExceeded { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn deadline_covers_recovery_time_too() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    // Healthy run fits the budget...
+    let healthy = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &FaultPlan::none(),
+        &RetryPolicy::default_runtime(),
+        None,
+    )
+    .expect("healthy");
+    let budget = healthy.report.total_seconds * 1.5;
+    // ...but a GPU lost mid-run forces a CPU-only restart that cannot.
+    let gpu_dies = FaultPlan {
+        p_device_lost: 1.0,
+        ..FaultPlan::none()
+    };
+    let err = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &gpu_dies,
+        &RetryPolicy::default_runtime(),
+        Some(budget),
+    )
+    .expect_err("restarting on the CPU blows a 1.5x budget");
+    assert!(
+        matches!(err, XbfsError::DeadlineExceeded { .. }),
+        "got {err}"
+    );
+    // With headroom the same plan succeeds on a lower rung.
+    let run = run_cross_resilient(
+        &g,
+        src,
+        &cpu,
+        &gpu,
+        &link,
+        &params,
+        &gpu_dies,
+        &RetryPolicy::default_runtime(),
+        Some(budget * 100.0),
+    )
+    .expect("generous budget");
+    assert_ne!(run.report.rung, Rung::CrossCpuGpu);
+}
+
+#[test]
+fn seeded_fault_corpus_always_validates_or_errors_typed() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let mut rungs_seen = std::collections::BTreeMap::new();
+    for seed in 0..50u64 {
+        let plan = FaultPlan {
+            seed,
+            p_transfer_failure: 0.3,
+            p_link_stall: 0.2,
+            stall_factor: 4.0,
+            p_kernel_timeout: 0.15,
+            p_device_lost: 0.1,
+            scheduled: Vec::new(),
+        };
+        match run_cross_resilient(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &RetryPolicy::default_runtime(),
+            None,
+        ) {
+            Ok(run) => {
+                assert_eq!(
+                    validate(&g, &run.output),
+                    Ok(()),
+                    "seed {seed}: rung {} emitted an invalid tree",
+                    run.report.rung
+                );
+                assert!(run.report.rungs_tried.ends_with(&[run.report.rung]));
+                assert!(run.report.total_seconds >= run.report.recovery_seconds);
+                *rungs_seen
+                    .entry(format!("{}", run.report.rung))
+                    .or_insert(0u32) += 1;
+            }
+            // Without a deadline every rung failing is the only typed exit.
+            Err(e) => panic!("seed {seed}: no-deadline corpus cannot fail, got {e}"),
+        }
+    }
+    // The corpus must actually exercise degradation, not just the top rung.
+    assert!(
+        rungs_seen.len() >= 2,
+        "corpus never degraded: {rungs_seen:?}"
+    );
+}
+
+#[test]
+fn corpus_with_tight_deadlines_only_fails_typed() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let mut successes = 0;
+    let mut deadline_errors = 0;
+    for seed in 0..30u64 {
+        let plan = FaultPlan {
+            seed,
+            p_transfer_failure: 0.4,
+            p_link_stall: 0.3,
+            stall_factor: 16.0,
+            p_kernel_timeout: 0.3,
+            p_device_lost: 0.2,
+            scheduled: Vec::new(),
+        };
+        // A budget around the healthy runtime: stalls and restarts blow it.
+        match run_cross_resilient(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &RetryPolicy::default_runtime(),
+            Some(2e-3),
+        ) {
+            Ok(run) => {
+                successes += 1;
+                assert_eq!(validate(&g, &run.output), Ok(()));
+            }
+            Err(XbfsError::DeadlineExceeded {
+                budget_s,
+                elapsed_s,
+            }) => {
+                deadline_errors += 1;
+                assert!(elapsed_s > budget_s);
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
+    }
+    assert!(
+        successes > 0,
+        "no seed survived — deadline too tight for the test"
+    );
+    assert!(
+        deadline_errors > 0,
+        "no seed hit the deadline — test proves nothing"
+    );
+}

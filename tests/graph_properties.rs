@@ -4,14 +4,12 @@
 
 use proptest::prelude::*;
 use xbfs::graph::{
-    bitmap::Bitmap, components, frontier::Frontier, io, relabel, Csr,
-    EdgeList, VertexId,
+    bitmap::Bitmap, components, frontier::Frontier, io, relabel, Csr, EdgeList, VertexId,
 };
 
 fn arb_edges() -> impl Strategy<Value = (VertexId, Vec<(VertexId, VertexId)>)> {
     (1u32..96).prop_flat_map(|n| {
-        prop::collection::vec((0..n, 0..n), 0..256)
-            .prop_map(move |edges| (n, edges))
+        prop::collection::vec((0..n, 0..n), 0..256).prop_map(move |edges| (n, edges))
     })
 }
 

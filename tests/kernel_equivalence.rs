@@ -5,8 +5,7 @@
 
 use proptest::prelude::*;
 use xbfs::engine::{
-    bottomup, hybrid, par, reference, topdown, validate, AlwaysBottomUp,
-    AlwaysTopDown, FixedMN,
+    bottomup, hybrid, par, reference, topdown, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN,
 };
 use xbfs::graph::{Csr, EdgeList, VertexId};
 

@@ -85,8 +85,7 @@ fn oracle_script_is_optimal_over_the_whole_script_space() {
         ArchSpec::mic_knights_corner(),
     ] {
         let oracle = cost::oracle_script(&p, &arch);
-        let oracle_cost =
-            cost::total_seconds(&cost::cost_script(&p, &arch, &oracle));
+        let oracle_cost = cost::total_seconds(&cost::cost_script(&p, &arch, &oracle));
         for script in all_scripts(p.depth()) {
             let c = cost::total_seconds(&cost::cost_script(&p, &arch, &script));
             assert!(

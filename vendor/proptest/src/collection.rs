@@ -1,0 +1,61 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with length drawn from a range.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vector of `element`-generated values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+/// Sorted-unique set of `element`-generated values, sized best-effort
+/// within `len` (duplicates shrink the result; generation retries a
+/// bounded number of times rather than looping forever on small domains).
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = std::collections::BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.len.clone().generate(rng);
+        let mut out = std::collections::BTreeSet::new();
+        for _ in 0..target.saturating_mul(8).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+/// Set of `element`-generated values aiming for a size in `len`.
+pub fn btree_set<S: Strategy>(element: S, len: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    assert!(len.start < len.end, "empty length range");
+    BTreeSetStrategy { element, len }
+}

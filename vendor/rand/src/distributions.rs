@@ -1,0 +1,64 @@
+//! Distribution sampling (only the uniform surface this workspace needs).
+
+use crate::RngCore;
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a half-open interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl Uniform<f64> {
+    /// Uniform over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics unless `low < high` and both are finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite(),
+            "uniform bounds must be finite"
+        );
+        assert!(low < high, "uniform requires low < high");
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + crate::unit_f64(rng.next_u64()) * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn uniform_unit_interval() {
+        let unit = Uniform::new(0.0f64, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo_half = 0usize;
+        for _ in 0..2000 {
+            let r = unit.sample(&mut rng);
+            assert!((0.0..1.0).contains(&r));
+            if r < 0.5 {
+                lo_half += 1;
+            }
+        }
+        assert!((800..1200).contains(&lo_half), "lo_half = {lo_half}");
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn uniform_rejects_empty() {
+        Uniform::new(1.0f64, 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Hermetic stand-in for the `serde` crate.
+//!
+//! This build environment has no crate registry, so the workspace vendors a
+//! minimal serialization framework under the same crate name. The API is a
+//! deliberate simplification: instead of serde's visitor-based zero-copy
+//! data model, everything funnels through an owned [`Value`] tree
+//! (JSON-shaped). `#[derive(Serialize, Deserialize)]` is provided by the
+//! vendored `serde_derive` proc macro and generates `to_value`/`from_value`
+//! impls mirroring serde's externally-tagged conventions:
+//!
+//! * named structs → objects, tuple structs → arrays (newtypes transparent);
+//! * unit enum variants → `"Variant"`, data variants → `{"Variant": …}`;
+//! * missing object keys deserialize as `Value::Null` (so `Option` fields
+//!   default to `None`, matching serde's common usage).
+//!
+//! Only the surface this workspace uses is implemented. The vendored
+//! `serde_json` builds its text format on the same [`Value`].
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::{Number, Value};
+
+// Derive macros live in the macro namespace; re-exporting them alongside
+// the traits of the same name matches real serde's layout.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,392 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote` —
+//! the build environment has no registry). Supports the shapes this
+//! workspace uses: non-generic named structs, tuple structs, unit structs,
+//! and enums whose variants are unit, named, or tuple. Generic types and
+//! `#[serde(...)]` attributes are deliberately rejected with a compile
+//! error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error must parse"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` (the group is consumed next turn) …
+            }
+            Some(_) => {}
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type `{name}`"));
+    }
+
+    if kind == "struct" {
+        let fields = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        let body = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, got {other:?}")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Field names of `{ pub a: T, b: U, … }` — idents directly followed by `:`
+/// at angle-depth 0, skipping attributes and visibility.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the field.
+        while matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next(); // the [...] group
+        }
+        // Visibility.
+        if matches!(&tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(&tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected field name, got {tok:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{id}`, got {other:?}")),
+        }
+        fields.push(id.to_string());
+        // Skip the type up to the next comma at angle-depth 0.
+        let mut angle: i32 = 0;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                // `->` in fn-pointer types would confuse counting; none occur.
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body `(T, U, …)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle: i32 = 0;
+    let mut saw_token = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected variant name, got {tok:?}"));
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                tokens.next();
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((id.to_string(), fields));
+        // Skip to the comma separating variants (covers discriminants).
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => {
+                    let pushes: String = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "__fields.push((::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f})));"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                         = ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(__fields)"
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Named(fs) => {
+                        let binders = fs.join(", ");
+                        let pushes: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__fields.push((::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binders} }} => {{ \
+                               let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                               = ::std::vec::Vec::new(); {pushes} \
+                               ::serde::Value::Object(vec![(::std::string::String::from({v:?}), \
+                               ::serde::Value::Object(__fields))]) }}"
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binders = tuple_binders(*n);
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![( \
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("Ok({name})"),
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(__obj, {f:?})?"))
+                    .collect();
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(concat!(\"expected object for \", {name:?})))?; \
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected array\"))?; \
+                     if __a.len() != {n} {{ return Err(::serde::de::Error::custom(\
+                     \"tuple struct arity mismatch\")); }} \
+                     Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de::field(__obj, {f:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"expected variant object\"))?; \
+                             return Ok({name}::{v} {{ {} }}); }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{ let __a = __payload.as_array().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"expected variant array\"))?; \
+                             if __a.len() != {n} {{ return Err(::serde::de::Error::custom(\
+                             \"variant arity mismatch\")); }} \
+                             return Ok({name}::{v}({})); }}",
+                            elems.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{ \
+                   match __s {{ {unit_arms} _ => {{}} }} \
+                 }} \
+                 if let Some(__obj) = __v.as_object() {{ \
+                   if __obj.len() == 1 {{ \
+                     let (__tag, __payload) = &__obj[0]; \
+                     match __tag.as_str() {{ {tagged_arms} _ => {{}} }} \
+                   }} \
+                 }} \
+                 Err(::serde::de::Error::custom(concat!(\"no matching variant of \", {name:?})))"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) \
+           -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} \
+         }}"
+    )
+}
