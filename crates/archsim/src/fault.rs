@@ -173,6 +173,46 @@ impl FaultPlan {
             cpu_lost: false,
         }
     }
+
+    /// Resume a session from a persisted [`FaultCursor`], so a traversal
+    /// restarted from a checkpoint consumes exactly the fault stream
+    /// suffix the uninterrupted run would have seen. Fails if the cursor
+    /// does not track this plan's scheduled faults.
+    pub fn session_at(&self, cursor: &FaultCursor) -> Result<FaultSession<'_>, XbfsError> {
+        if cursor.fired.len() != self.scheduled.len() {
+            return Err(XbfsError::Checkpoint {
+                what: format!(
+                    "fault cursor tracks {} scheduled fault(s), plan has {}",
+                    cursor.fired.len(),
+                    self.scheduled.len()
+                ),
+            });
+        }
+        Ok(FaultSession {
+            plan: self,
+            rng: cursor.rng,
+            fired: cursor.fired.clone(),
+            gpu_lost: cursor.gpu_lost,
+            cpu_lost: cursor.cpu_lost,
+        })
+    }
+}
+
+/// The resumable position of a [`FaultSession`]: the RNG state, which
+/// one-shots have fired, and which devices have died. Checkpoints persist
+/// this so that resuming a plan replays the identical fault suffix —
+/// the probabilistic draws continue from the same stream position instead
+/// of restarting from the seed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCursor {
+    /// The splitmix64 state after every draw consumed so far.
+    pub rng: u64,
+    /// Fired flags, index-aligned with [`FaultPlan::scheduled`].
+    pub fired: Vec<bool>,
+    /// `true` once the GPU died before the cursor was cut.
+    pub gpu_lost: bool,
+    /// `true` once the CPU died before the cursor was cut.
+    pub cpu_lost: bool,
 }
 
 fn splitmix_init(seed: u64) -> u64 {
@@ -212,6 +252,17 @@ impl FaultSession<'_> {
     /// `true` once the CPU has been lost this session.
     pub fn cpu_lost(&self) -> bool {
         self.cpu_lost
+    }
+
+    /// Snapshot the session's mutable state for checkpointing; feed the
+    /// cursor back through [`FaultPlan::session_at`] to resume.
+    pub fn cursor(&self) -> FaultCursor {
+        FaultCursor {
+            rng: self.rng,
+            fired: self.fired.clone(),
+            gpu_lost: self.gpu_lost,
+            cpu_lost: self.cpu_lost,
+        }
     }
 
     /// Should `op` at BFS `level` fault? Scheduled one-shots fire first
@@ -353,6 +404,112 @@ mod tests {
         plan.p_link_stall = f64::NAN;
         assert!(plan.validate().is_err());
         assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn cursor_resume_replays_the_identical_fault_suffix() {
+        let plan = FaultPlan {
+            seed: 11,
+            p_transfer_failure: 0.4,
+            p_link_stall: 0.2,
+            stall_factor: 3.0,
+            p_kernel_timeout: 0.3,
+            p_device_lost: 0.05,
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::CpuKernel,
+                level: 9,
+                kind: FaultKind::KernelTimeout,
+            }],
+        };
+        // Drive an uninterrupted session, cutting a cursor mid-stream.
+        let mut whole = plan.session();
+        let mut prefix = Vec::new();
+        for lvl in 0..6 {
+            prefix.push(whole.check(FaultOp::Transfer, lvl));
+            prefix.push(whole.check(FaultOp::GpuKernel, lvl));
+        }
+        let cursor = whole.cursor();
+        let suffix: Vec<_> = (6..20)
+            .flat_map(|lvl| {
+                [
+                    whole.check(FaultOp::Transfer, lvl),
+                    whole.check(FaultOp::GpuKernel, lvl),
+                    whole.check(FaultOp::CpuKernel, lvl),
+                ]
+            })
+            .collect();
+
+        // Resume from the cursor: the suffix must match draw for draw.
+        let mut resumed = plan.session_at(&cursor).expect("cursor fits plan");
+        let resumed_suffix: Vec<_> = (6..20)
+            .flat_map(|lvl| {
+                [
+                    resumed.check(FaultOp::Transfer, lvl),
+                    resumed.check(FaultOp::GpuKernel, lvl),
+                    resumed.check(FaultOp::CpuKernel, lvl),
+                ]
+            })
+            .collect();
+        assert_eq!(resumed_suffix, suffix);
+
+        // A fresh session does NOT match the suffix (the stream position
+        // matters) — otherwise the cursor would be vacuous.
+        let mut fresh = plan.session();
+        let fresh_suffix: Vec<_> = (6..20)
+            .flat_map(|lvl| {
+                [
+                    fresh.check(FaultOp::Transfer, lvl),
+                    fresh.check(FaultOp::GpuKernel, lvl),
+                    fresh.check(FaultOp::CpuKernel, lvl),
+                ]
+            })
+            .collect();
+        assert_ne!(fresh_suffix, suffix);
+    }
+
+    #[test]
+    fn cursor_preserves_dead_devices_and_fired_one_shots() {
+        let plan = FaultPlan::lost_at(FaultOp::GpuKernel, 2);
+        let mut s = plan.session();
+        assert_eq!(s.check(FaultOp::GpuKernel, 2), Some(FaultKind::DeviceLost));
+        let cursor = s.cursor();
+        assert!(cursor.gpu_lost);
+        assert_eq!(cursor.fired, vec![true]);
+        let mut resumed = plan.session_at(&cursor).unwrap();
+        assert!(resumed.gpu_lost());
+        assert_eq!(
+            resumed.check(FaultOp::GpuKernel, 5),
+            Some(FaultKind::DeviceLost)
+        );
+        assert_eq!(resumed.check(FaultOp::CpuKernel, 5), None);
+    }
+
+    #[test]
+    fn cursor_from_the_wrong_plan_is_rejected() {
+        let plan = FaultPlan::lost_at(FaultOp::Transfer, 1);
+        let cursor = plan.session().cursor();
+        let other = FaultPlan::none(); // no scheduled faults
+        assert!(matches!(
+            other.session_at(&cursor),
+            Err(XbfsError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn cursor_serde_round_trip() {
+        let plan = FaultPlan {
+            seed: 3,
+            p_kernel_timeout: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut s = plan.session();
+        for lvl in 0..8 {
+            s.check(FaultOp::GpuKernel, lvl);
+        }
+        let cursor = s.cursor();
+        let json = serde_json::to_string(&cursor).expect("cursor serializes");
+        let back: FaultCursor = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, cursor);
     }
 
     #[test]

@@ -76,6 +76,19 @@ impl Link {
     pub fn handoff_bytes(num_vertices: u64, frontier_vertices: u64) -> u64 {
         num_vertices.div_ceil(8) + 4 * frontier_vertices
     }
+
+    /// Bytes drained host-ward when a device-resident traversal is
+    /// checkpointed at a level boundary: the visited bitmap, one
+    /// `(parent, level)` pair (8 bytes) per vertex the device discovered
+    /// since the handoff, and the live frontier queue. The host already
+    /// holds the pre-handoff prefix, so only the device's delta moves.
+    pub fn pullback_bytes(
+        num_vertices: u64,
+        device_discovered: u64,
+        frontier_vertices: u64,
+    ) -> u64 {
+        num_vertices.div_ceil(8) + 8 * device_discovered + 4 * frontier_vertices
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +123,15 @@ mod tests {
     fn handoff_bytes_rounds_bitmap_up() {
         assert_eq!(Link::handoff_bytes(9, 1), 2 + 4);
         assert_eq!(Link::handoff_bytes(0, 0), 0);
+    }
+
+    #[test]
+    fn pullback_counts_bitmap_delta_and_frontier() {
+        assert_eq!(Link::pullback_bytes(16, 3, 2), 2 + 24 + 8);
+        // With nothing discovered on the device, a pullback still ships the
+        // bitmap and frontier — it can never be cheaper than a handoff of
+        // the same frontier.
+        assert!(Link::pullback_bytes(1 << 20, 0, 100) >= Link::handoff_bytes(1 << 20, 100));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! xbfs-cli components --graph G.xbfs
 //! xbfs-cli adaptive   --graph G.xbfs [--source V] [--fault-plan F.json]
 //!                     [--deadline SECS] [--retries N]
+//!                     [--checkpoint-interval L] [--spill CK.json]
+//!                     [--resume CK.json] [--report-json R.json]
 //! ```
 //!
 //! Graphs are the compact binary format by default (`io::encode_csr`);
@@ -16,7 +18,10 @@
 use std::io::BufReader;
 use std::process::ExitCode;
 use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
-use xbfs_core::{training::pick_source, AdaptiveRuntime, RetryPolicy};
+use xbfs_core::{
+    training::pick_source, AdaptiveRuntime, CheckpointPolicy, LevelCheckpoint, ResilienceConfig,
+    RetryPolicy,
+};
 use xbfs_engine::{
     hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, SwitchPolicy,
 };
@@ -219,8 +224,33 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         max_attempts: args.parse_num("retries")?.unwrap_or(3),
         ..RetryPolicy::default_runtime()
     };
-    // Reject bad flags before the (comparatively slow) training step.
-    retry.validate().map_err(|e| e.to_string())?;
+    let checkpoint = CheckpointPolicy {
+        interval_levels: args.parse_num("checkpoint-interval")?.unwrap_or(0),
+        spill: args.get("spill").map(str::to_string),
+    };
+    let config = ResilienceConfig {
+        retry,
+        deadline_s,
+        checkpoint,
+        ..ResilienceConfig::default_runtime()
+    };
+    // Reject bad flags — and an unreadable or mismatched resume
+    // checkpoint — before the (comparatively slow) training step.
+    config.validate().map_err(|e| e.to_string())?;
+    let resume_from = match args.get("resume") {
+        None => None,
+        Some(path) => {
+            let ck = LevelCheckpoint::load(path).map_err(|e| e.to_string())?;
+            ck.validate_for(&g).map_err(|e| format!("{path}: {e}"))?;
+            if args.get("source").is_some() && ck.state.output.source != src {
+                return Err(format!(
+                    "--source {src} disagrees with the checkpoint's source {}",
+                    ck.state.output.source
+                ));
+            }
+            Some(ck)
+        }
+    };
 
     println!("training switch-point predictor (quick configuration)…");
     let rt = AdaptiveRuntime::quick_trained();
@@ -230,9 +260,19 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n
     );
 
-    let run = rt
-        .run_cross_resilient(&g, &stats, src, &plan, &retry, deadline_s)
-        .map_err(|e| format!("traversal failed: {e}"))?;
+    let run = match &resume_from {
+        Some(ck) => {
+            println!(
+                "resuming {} from level {} (checkpointed at {:.3} ms)",
+                ck.rung,
+                ck.level(),
+                ck.clock_s * 1e3
+            );
+            rt.resume_cross(&g, &stats, &plan, &config, ck)
+        }
+        None => rt.run_cross_resilient_with(&g, &stats, src, &plan, &config),
+    }
+    .map_err(|e| format!("traversal failed: {e}"))?;
     let report = &run.report;
     println!(
         "rung: {} (tried: {})",
@@ -250,6 +290,16 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
             e.level, e.kind, e.op, e.attempt
         );
     }
+    for t in &report.breaker_transitions {
+        println!(
+            "  breaker: {} {} -> {} at {:.3} ms ({:?})",
+            t.device,
+            t.from,
+            t.to,
+            t.at_s * 1e3,
+            t.cause
+        );
+    }
     println!(
         "simulated {:.3} ms total, {:.3} ms lost to recovery, {} retr{}",
         report.total_seconds * 1e3,
@@ -257,11 +307,40 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         report.retries,
         if report.retries == 1 { "y" } else { "ies" },
     );
+    if let Some(level) = report.resumed_from_level {
+        println!("resumed from level {level} (checkpointed state reused)");
+    }
+    if report.checkpoints_taken > 0 || !report.resumes.is_empty() {
+        println!(
+            "checkpoints: {} taken ({} bytes, {:.3} ms overhead); \
+             {} level(s) replayed, est. {:.3} ms saved vs restart",
+            report.checkpoints_taken,
+            report.checkpoint_bytes,
+            report.checkpoint_seconds * 1e3,
+            report.levels_replayed,
+            report.saved_seconds * 1e3,
+        );
+    }
+    if !report.skipped_rungs.is_empty() {
+        println!(
+            "rungs skipped by open breakers: {}",
+            report
+                .skipped_rungs
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     println!(
         "visited {} of {} vertices (validated)",
         run.output.visited_count(),
         g.num_vertices(),
     );
+    if let Some(path) = args.get("report-json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote run report to {path}");
+    }
     Ok(())
 }
 
@@ -274,12 +353,17 @@ commands:
   stcon      --graph FILE --from A --to B [--text]
   components --graph FILE [--text]
   adaptive   --graph FILE [--source V] [--fault-plan FILE.json] [--deadline SECS]
-             [--retries N] [--text]
+             [--retries N] [--checkpoint-interval L] [--spill CK.json]
+             [--resume CK.json] [--report-json R.json] [--text]
 
 adaptive runs the cross-architecture combination under an optional fault
 plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
-deadline, and a degradation ladder: CPUTD+GPUCB -> CPU-only hybrid ->
-sequential reference BFS. The output is Graph 500-validated on every rung.";
+deadline, per-device circuit breakers, and a degradation ladder:
+CPUTD+GPUCB -> CPU-only hybrid -> sequential reference BFS. The output is
+Graph 500-validated on every rung. --checkpoint-interval L cuts a resumable
+checkpoint every L levels (--spill writes each one to disk as JSON);
+--resume continues a previous run from such a file instead of starting at
+level 0; --report-json writes the full RunReport as JSON.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

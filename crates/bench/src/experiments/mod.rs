@@ -8,6 +8,7 @@ pub mod fig9;
 pub mod frontier;
 pub mod g500protocol;
 pub mod graph500;
+pub mod recovery;
 pub mod scaling;
 pub mod table3;
 pub mod table4;

@@ -44,6 +44,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ext_model_policy",
     "calibration",
     "graph500_protocol",
+    "recovery",
 ];
 
 /// Run one experiment by id.
@@ -71,6 +72,7 @@ pub fn run_experiment(id: &str, preset: &Preset) -> Option<ExperimentResult> {
         "ext_model_policy" => experiments::extensions::model_policy(preset),
         "calibration" => experiments::calibration::run(preset),
         "graph500_protocol" => experiments::g500protocol::run(preset),
+        "recovery" => experiments::recovery::run(preset),
         _ => return None,
     })
 }

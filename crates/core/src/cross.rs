@@ -18,7 +18,9 @@
 
 use serde::{Deserialize, Serialize};
 use xbfs_archsim::{cost, ArchSpec, Link, TraversalProfile};
-use xbfs_engine::{Direction, FixedMN, SwitchContext, SwitchPolicy, Traversal, XbfsError};
+use xbfs_engine::{
+    Direction, FixedMN, SwitchContext, SwitchPolicy, Traversal, TraversalState, XbfsError,
+};
 use xbfs_graph::{Csr, VertexId};
 
 /// Where one BFS level ran.
@@ -193,6 +195,65 @@ impl SwitchPolicy for CrossPolicy {
     }
 }
 
+/// A stepwise executor of Algorithm 3: one [`step`](CrossDriver::step) per
+/// level over a [`TraversalState`], with the handoff latch and placement
+/// log exposed so a caller can pause at any level boundary, checkpoint,
+/// and resume — including resuming a *partially executed* cross traversal
+/// whose CPU→GPU handoff already happened.
+pub struct CrossDriver {
+    policy: CrossPolicy,
+}
+
+impl CrossDriver {
+    /// Driver for a fresh traversal (level 0, CPU phase).
+    pub fn new(params: CrossParams) -> Self {
+        Self {
+            policy: CrossPolicy {
+                params,
+                on_gpu: false,
+                placements: Vec::new(),
+            },
+        }
+    }
+
+    /// Driver resuming mid-traversal: `placements` are the levels already
+    /// executed (one per level of the resumed state) and `handed_off`
+    /// tells the driver whether the one-way CPU→GPU handoff has already
+    /// fired — Algorithm 3's control never returns to the CPU, so the
+    /// latch is part of the resumable state.
+    pub fn resume(params: CrossParams, handed_off: bool, placements: Vec<Placement>) -> Self {
+        Self {
+            policy: CrossPolicy {
+                params,
+                on_gpu: handed_off,
+                placements,
+            },
+        }
+    }
+
+    /// `true` once the traversal state lives on the GPU.
+    pub fn handed_off(&self) -> bool {
+        self.policy.on_gpu
+    }
+
+    /// Placement per executed level, in order.
+    pub fn placements(&self) -> &[Placement] {
+        &self.policy.placements
+    }
+
+    /// Consume the driver, keeping the placement log.
+    pub fn into_placements(self) -> Vec<Placement> {
+        self.policy.placements
+    }
+
+    /// Execute one level of `state`, returning its placement — `None` once
+    /// the traversal is complete.
+    pub fn step(&mut self, csr: &Csr, state: &mut TraversalState) -> Option<Placement> {
+        state.step(csr, &mut self.policy)?;
+        self.policy.placements.last().copied()
+    }
+}
+
 /// A fully executed cross-architecture traversal.
 #[derive(Clone, Debug)]
 pub struct CrossRun {
@@ -261,42 +322,25 @@ pub fn run_cross(
     link: &Link,
     params: &CrossParams,
 ) -> CrossRun {
-    let mut policy = CrossPolicy {
-        params: *params,
-        on_gpu: false,
-        placements: Vec::new(),
-    };
-    let traversal = xbfs_engine::hybrid::run(csr, source, &mut policy);
-    let placements = policy.placements;
-
-    let mut level_seconds = Vec::with_capacity(placements.len());
+    let mut driver = CrossDriver::new(*params);
+    let mut state = TraversalState::start(csr, source);
+    let mut level_seconds = Vec::new();
     let mut transfer_seconds = 0.0;
     let mut prev_on_gpu = false;
-    for (rec, &pl) in traversal.levels.iter().zip(&placements) {
+    while let Some(pl) = driver.step(csr, &mut state) {
+        let rec = state.levels.last().expect("step just pushed a record");
         if pl.on_gpu() && !prev_on_gpu {
             let bytes = Link::handoff_bytes(csr.num_vertices() as u64, rec.frontier_vertices);
             transfer_seconds += link.transfer_time(bytes);
             prev_on_gpu = true;
         }
         let arch = if pl.on_gpu() { gpu } else { cpu };
-        let secs = match pl.direction() {
-            Direction::TopDown => arch.td_level_time(
-                rec.frontier_vertices,
-                rec.edges_examined,
-                rec.max_frontier_degree,
-            ),
-            Direction::BottomUp => arch.bu_level_time(
-                rec.vertices_scanned,
-                rec.edges_examined,
-                rec.frontier_vertices,
-            ),
-        };
-        level_seconds.push(secs);
+        level_seconds.push(cost::level_time_for_record(arch, rec));
     }
     let total_seconds = level_seconds.iter().sum::<f64>() + transfer_seconds;
     CrossRun {
-        traversal,
-        placements,
+        traversal: state.into_traversal(),
+        placements: driver.into_placements(),
         level_seconds,
         transfer_seconds,
         total_seconds,
@@ -449,6 +493,33 @@ mod tests {
             cross.seconds,
             gpu_only
         );
+    }
+
+    #[test]
+    fn driver_resumed_mid_traversal_matches_uninterrupted_run() {
+        let (g, _, cpu, gpu, link) = setup();
+        let params = paperish_params();
+        let whole = run_cross(&g, 0, &cpu, &gpu, &link, &params);
+        for pause_at in [1, 3, whole.placements.len() - 1] {
+            // Execute a prefix, capture the driver + state, rebuild both.
+            let mut driver = CrossDriver::new(params);
+            let mut st = xbfs_engine::TraversalState::start(&g, 0);
+            for _ in 0..pause_at {
+                driver.step(&g, &mut st);
+            }
+            let mut resumed =
+                CrossDriver::resume(params, driver.handed_off(), driver.placements().to_vec());
+            let mut st = st.clone();
+            while resumed.step(&g, &mut st).is_some() {}
+            assert_eq!(
+                resumed.placements(),
+                &whole.placements[..],
+                "pause {pause_at}"
+            );
+            let t = st.into_traversal();
+            assert_eq!(t.output, whole.traversal.output, "pause {pause_at}");
+            assert_eq!(t.levels, whole.traversal.levels, "pause {pause_at}");
+        }
     }
 
     #[test]

@@ -23,24 +23,34 @@
 //! The one-stop entry point is [`runtime::AdaptiveRuntime`].
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod combination;
 pub mod cross;
 pub mod features;
 pub mod graph500;
+pub mod health;
 pub mod oracle;
 pub mod predictor;
 pub mod recovery;
 pub mod runtime;
+mod seeded;
 pub mod strategies;
 pub mod training;
 
+pub use checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
 pub use combination::{run_single, SingleRun};
 pub use cross::{
-    cost_cross, run_cross, try_cost_cross, try_run_cross, CrossCost, CrossParams, CrossRun,
-    Placement,
+    cost_cross, run_cross, try_cost_cross, try_run_cross, CrossCost, CrossDriver, CrossParams,
+    CrossRun, Placement,
 };
 pub use features::feature_vector;
+pub use health::{
+    BreakerPolicy, BreakerState, BreakerTransition, Device, DeviceHealth, HealthSnapshot,
+};
 pub use oracle::MnGrid;
 pub use predictor::SwitchPredictor;
-pub use recovery::{run_cross_resilient, RecoveredRun, RetryPolicy, RunReport, Rung};
+pub use recovery::{
+    resume_cross_resilient, run_cross_resilient, run_cross_resilient_with, RecoveredRun,
+    ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung,
+};
 pub use runtime::AdaptiveRuntime;

@@ -1,4 +1,5 @@
-//! Fault recovery: retries, deadlines, and the graceful-degradation ladder.
+//! Fault recovery: retries, deadlines, circuit breakers, checkpoints, and
+//! the graceful-degradation ladder.
 //!
 //! The paper's Algorithm 3 is a one-shot handoff with zero failure
 //! handling — fine for a benchmark, fatal for a runtime. This module wraps
@@ -13,23 +14,51 @@
 //!   backoff) is charged against one clock; blowing the budget aborts the
 //!   whole ladder with [`XbfsError::DeadlineExceeded`].
 //! * **Degradation ladder** — when a rung fails permanently the traversal
-//!   restarts one rung down: `CPUTD+GPUCB` → CPU-only hybrid
+//!   continues one rung down: `CPUTD+GPUCB` → CPU-only hybrid
 //!   ([`FixedMN`]) → sequential reference BFS. Every rung's output goes
 //!   through Graph 500 validation before it is allowed to count as
 //!   success; a rung that produces an invalid tree is treated as faulty,
 //!   never as done.
+//! * **Level-granular checkpoints** — with a
+//!   [`CheckpointPolicy`](crate::checkpoint::CheckpointPolicy) enabled,
+//!   the executing rung cuts a [`LevelCheckpoint`] at configurable level
+//!   boundaries. A failed rung no longer drags the whole traversal back
+//!   to level 0: the next rung (or, via [`resume_cross_resilient`], the
+//!   next *process*) resumes from the last checkpoint, translating a
+//!   GPU-resident frontier to host form when control moves down-ladder.
+//! * **Per-device circuit breakers** — every operation outcome feeds a
+//!   [`DeviceHealth`] bank of breakers, one per simulated device. A rung
+//!   whose devices include an open breaker is skipped at *selection*
+//!   time instead of burning retries rediscovering a device the runtime
+//!   already knows is sick; [`FaultKind::DeviceLost`] opens a breaker
+//!   permanently.
 //!
 //! The outcome is always one of two things: a [`RecoveredRun`] holding a
 //! validated [`BfsOutput`] plus a [`RunReport`] naming the rung that
 //! produced it, or a typed [`XbfsError`] — never a panic.
 
-use crate::combination::run_single;
-use crate::cross::{run_cross, CrossParams};
+use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency, CHECKPOINT_FORMAT_VERSION};
+use crate::cross::{CrossDriver, CrossParams};
+use crate::health::{BreakerPolicy, BreakerTransition, Device, DeviceHealth};
+use crate::seeded::splitmix_unit;
 use serde::{Deserialize, Serialize};
 use xbfs_archsim::fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession};
-use xbfs_archsim::{ArchSpec, Link};
-use xbfs_engine::{validate, BfsOutput, FixedMN, XbfsError};
+use xbfs_archsim::{cost, ArchSpec, Link};
+use xbfs_engine::{
+    validate, AlwaysTopDown, BfsOutput, FixedMN, LevelRecord, TraversalState, XbfsError,
+};
 use xbfs_graph::{Csr, VertexId};
+
+/// Salt folded into the fault-plan seed for the retry-backoff jitter RNG.
+/// Shared with checkpoint capture so a checkpointed `jitter_rng` always
+/// means "this stream, at this position".
+pub(crate) const JITTER_SALT: u64 = 0x5851_f42d_4c95_7f2d;
+
+/// The cost model's single-thread penalty for the sequential reference
+/// rung: one core doing the work of all of them.
+pub(crate) fn reference_sequential_penalty(cpu: &ArchSpec) -> f64 {
+    cpu.cost.parallel_units.max(1.0)
+}
 
 /// Bounded retry with exponential backoff and seeded jitter.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -104,6 +133,47 @@ impl RetryPolicy {
     }
 }
 
+/// The full failure-handling configuration of one resilient run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Per-operation retry policy.
+    pub retry: RetryPolicy,
+    /// Optional end-to-end simulated deadline budget.
+    pub deadline_s: Option<f64>,
+    /// Checkpoint cadence and spill target.
+    pub checkpoint: CheckpointPolicy,
+    /// Circuit-breaker tuning shared by all devices.
+    pub breaker: BreakerPolicy,
+}
+
+impl ResilienceConfig {
+    /// Runtime defaults: default retries and breakers, a checkpoint every
+    /// 4 levels (in-memory only), no deadline.
+    pub fn default_runtime() -> Self {
+        Self {
+            retry: RetryPolicy::default_runtime(),
+            deadline_s: None,
+            checkpoint: CheckpointPolicy::every(4),
+            breaker: BreakerPolicy::default_runtime(),
+        }
+    }
+
+    /// Validate every component.
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        self.retry.validate()?;
+        self.checkpoint.validate()?;
+        self.breaker.validate()?;
+        if let Some(d) = self.deadline_s {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(XbfsError::InvalidArgument {
+                    what: format!("deadline must be finite and positive, got {d} s"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One rung of the degradation ladder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Rung {
@@ -113,6 +183,18 @@ pub enum Rung {
     CpuOnly,
     /// Sequential textbook reference BFS — the last resort.
     Reference,
+}
+
+impl Rung {
+    /// The simulated devices a rung needs; an open breaker on any of them
+    /// skips the rung at selection time.
+    pub fn devices(self) -> &'static [Device] {
+        match self {
+            Rung::CrossCpuGpu => &[Device::Cpu, Device::Gpu, Device::Link],
+            Rung::CpuOnly => &[Device::Cpu],
+            Rung::Reference => &[],
+        }
+    }
 }
 
 impl std::fmt::Display for Rung {
@@ -125,22 +207,81 @@ impl std::fmt::Display for Rung {
     }
 }
 
+/// One resume of a rung from a checkpoint (in-process after a failure, or
+/// external via [`resume_cross_resilient`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResumeRecord {
+    /// The rung that picked the traversal up.
+    pub rung: Rung,
+    /// The level it resumed at.
+    pub from_level: u32,
+    /// `true` if the device-resident frontier was translated to host
+    /// (ascending-order) form for a host rung.
+    pub translated: bool,
+    /// `true` for a cross-process resume from a spilled checkpoint.
+    pub external: bool,
+}
+
 /// What happened while serving one traversal.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// The rung that produced the validated output.
     pub rung: Rung,
-    /// Every rung attempted, in order (ends with `rung`).
+    /// Every rung attempted, in order (ends with `rung`); includes rungs
+    /// skipped by an open breaker.
     pub rungs_tried: Vec<Rung>,
+    /// The subset of `rungs_tried` skipped at selection time by an open
+    /// circuit breaker.
+    pub skipped_rungs: Vec<Rung>,
     /// Every fault observed, in injection order.
     pub events: Vec<FaultEvent>,
     /// Operation retries spent across all rungs.
     pub retries: u32,
     /// Simulated seconds lost to faults: wasted attempts, backoff waits,
-    /// stall excess, and the entire elapsed time of abandoned rungs.
+    /// stall excess, and post-checkpoint time of abandoned rungs.
     pub recovery_seconds: f64,
-    /// End-to-end simulated seconds, recovery included.
+    /// End-to-end simulated seconds, recovery and checkpointing included.
     pub total_seconds: f64,
+    /// Every circuit-breaker state change, in simulated-time order.
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// Checkpoints cut during this run.
+    pub checkpoints_taken: u32,
+    /// Total serialized bytes across those checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Simulated seconds spent making checkpoints durable (device-state
+    /// pullbacks) and re-uploading state on a same-rung resume.
+    pub checkpoint_seconds: f64,
+    /// For a run started by [`resume_cross_resilient`]: the level it
+    /// resumed at.
+    pub resumed_from_level: Option<u32>,
+    /// Previously-completed levels that had to be re-executed because the
+    /// newest checkpoint was older than the failure point (0 when every
+    /// failure resumed exactly where it stopped).
+    pub levels_replayed: u32,
+    /// Levels actually executed by this process (prefix levels restored
+    /// from a checkpoint are not re-executed and not counted).
+    pub levels_executed: u32,
+    /// Edges examined by the levels this process actually executed.
+    pub edges_examined: u64,
+    /// Estimated simulated seconds saved by resuming from checkpoints
+    /// instead of restarting each serving rung from level 0.
+    pub saved_seconds: f64,
+    /// Every checkpoint resume, in order.
+    pub resumes: Vec<ResumeRecord>,
+}
+
+impl RunReport {
+    /// Serialize to JSON (for `--report-json` and the chaos corpus).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("RunReport serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, XbfsError> {
+        serde_json::from_str(s).map_err(|e| XbfsError::InvalidArgument {
+            what: format!("run report parse error: {e:?}"),
+        })
+    }
 }
 
 /// A traversal that survived its fault plan.
@@ -179,12 +320,12 @@ enum RungError {
     Degrade(XbfsError),
 }
 
-fn splitmix_unit(state: &mut u64) -> f64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+/// A rung's starting point: fresh at level 0, or mid-traversal from the
+/// newest checkpoint.
+struct RungStart {
+    state: TraversalState,
+    driver: CrossDriver,
+    device_discovered: u64,
 }
 
 /// Shared per-ladder mutable state threaded through the rungs.
@@ -200,38 +341,117 @@ struct Recovery<'a> {
     /// Copied out of the plan so `attempt_op` needn't re-borrow it past
     /// the session.
     stall_factor: f64,
+    health: DeviceHealth,
+    checkpoint: CheckpointPolicy,
+    /// The newest trusted checkpoint — the ladder's resume point.
+    latest: Option<LevelCheckpoint>,
+    checkpoints_taken: u32,
+    checkpoint_bytes: u64,
+    checkpoint_seconds: f64,
+    /// Set only by [`resume_cross_resilient`].
+    resumed_from_level: Option<u32>,
+    /// `true` until the first `start_for` consumes the external-resume
+    /// marker.
+    external: bool,
+    /// Most levels ever completed by any execution (checkpoint prefix
+    /// included).
+    furthest_completed: u32,
+    levels_replayed: u32,
+    levels_executed: u32,
+    edges_examined: u64,
+    saved_seconds: f64,
+    resumes: Vec<ResumeRecord>,
+    skipped: Vec<Rung>,
 }
 
 impl<'a> Recovery<'a> {
-    fn new(plan: &'a FaultPlan, retry: RetryPolicy, deadline_s: Option<f64>) -> Self {
+    fn new(plan: &'a FaultPlan, config: &ResilienceConfig) -> Self {
         Self {
             session: plan.session(),
-            retry,
+            retry: config.retry,
             clock: Clock {
                 elapsed_s: 0.0,
-                budget_s: deadline_s,
+                budget_s: config.deadline_s,
             },
-            jitter_rng: plan.seed ^ 0x5851_f42d_4c95_7f2d,
+            jitter_rng: plan.seed ^ JITTER_SALT,
             events: Vec::new(),
             retries: 0,
             lost_s: 0.0,
             stall_factor: plan.stall_factor,
+            health: DeviceHealth::new(config.breaker, plan.seed),
+            checkpoint: config.checkpoint.clone(),
+            latest: None,
+            checkpoints_taken: 0,
+            checkpoint_bytes: 0,
+            checkpoint_seconds: 0.0,
+            resumed_from_level: None,
+            external: false,
+            furthest_completed: 0,
+            levels_replayed: 0,
+            levels_executed: 0,
+            edges_examined: 0,
+            saved_seconds: 0.0,
+            resumes: Vec::new(),
+            skipped: Vec::new(),
         }
     }
+
+    /// Rebuild the ladder's state from a spilled checkpoint: the clock,
+    /// loss ledger, fault-stream position, jitter RNG, and breaker bank
+    /// all continue exactly where the checkpointing process stopped.
+    fn resume(
+        plan: &'a FaultPlan,
+        config: &ResilienceConfig,
+        ck: &LevelCheckpoint,
+    ) -> Result<Self, XbfsError> {
+        let session = plan.session_at(&ck.fault_cursor)?;
+        let mut health = DeviceHealth::new(config.breaker, plan.seed);
+        health.restore(&ck.breakers);
+        Ok(Self {
+            session,
+            retry: config.retry,
+            clock: Clock {
+                elapsed_s: ck.clock_s,
+                budget_s: config.deadline_s,
+            },
+            jitter_rng: ck.jitter_rng,
+            events: ck.events.clone(),
+            retries: ck.retries,
+            lost_s: ck.lost_s,
+            stall_factor: plan.stall_factor,
+            health,
+            checkpoint: config.checkpoint.clone(),
+            latest: Some(ck.clone()),
+            checkpoints_taken: 0,
+            checkpoint_bytes: 0,
+            checkpoint_seconds: 0.0,
+            resumed_from_level: Some(ck.level()),
+            external: true,
+            furthest_completed: ck.level(),
+            levels_replayed: 0,
+            levels_executed: 0,
+            edges_examined: 0,
+            saved_seconds: 0.0,
+            resumes: Vec::new(),
+            skipped: Vec::new(),
+        })
+    }
+
     /// Run one fallible operation of nominal duration `nominal_s`,
-    /// retrying transients per policy. `device` names the kernel's home
-    /// for error reporting.
+    /// retrying transients per policy and feeding every outcome to the
+    /// device's circuit breaker.
     fn attempt_op(
         &mut self,
         op: FaultOp,
         level: usize,
         nominal_s: f64,
-        device: &'static str,
+        device: Device,
     ) -> Result<(), RungError> {
         for attempt in 1..=self.retry.max_attempts {
             match self.session.check(op, level) {
                 None => {
                     self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
+                    self.health.record_success(device, self.clock.elapsed_s);
                     return Ok(());
                 }
                 Some(FaultKind::LinkStall) => {
@@ -244,6 +464,8 @@ impl<'a> Recovery<'a> {
                     let stalled = nominal_s * self.stall_factor;
                     self.lost_s += stalled - nominal_s;
                     self.clock.charge(stalled).map_err(RungError::Fatal)?;
+                    // Slow but done: a stall is not a breaker failure.
+                    self.health.record_success(device, self.clock.elapsed_s);
                     return Ok(());
                 }
                 Some(kind @ (FaultKind::TransferFailure | FaultKind::KernelTimeout)) => {
@@ -256,6 +478,8 @@ impl<'a> Recovery<'a> {
                     // The failed attempt's full time is wasted.
                     self.lost_s += nominal_s;
                     self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
+                    self.health
+                        .record_failure(device, self.clock.elapsed_s, false);
                     if attempt == self.retry.max_attempts {
                         let e = match kind {
                             FaultKind::TransferFailure => XbfsError::TransferFailed {
@@ -263,7 +487,7 @@ impl<'a> Recovery<'a> {
                                 attempts: attempt,
                             },
                             _ => XbfsError::KernelTimeout {
-                                device,
+                                device: device.name(),
                                 level,
                                 attempts: attempt,
                             },
@@ -283,16 +507,207 @@ impl<'a> Recovery<'a> {
                         kind: FaultKind::DeviceLost,
                         attempt,
                     });
-                    return Err(RungError::Degrade(XbfsError::DeviceLost { device, level }));
+                    self.health
+                        .record_failure(device, self.clock.elapsed_s, true);
+                    return Err(RungError::Degrade(XbfsError::DeviceLost {
+                        device: device.name(),
+                        level,
+                    }));
                 }
             }
         }
         unreachable!("loop returns on success, exhaustion, or device loss")
     }
+
+    /// Book a completed level into the execution counters.
+    fn note_level(&mut self, rec: &LevelRecord) {
+        self.levels_executed += 1;
+        self.edges_examined += rec.edges_examined;
+        self.furthest_completed = self.furthest_completed.max(rec.level + 1);
+    }
+
+    /// Cut a checkpoint at the level boundary in front of `st` if one is
+    /// due. Device-resident state is drained over the link first (charged
+    /// on the clock), so the stored checkpoint is host-durable.
+    fn maybe_capture(
+        &mut self,
+        csr: &Csr,
+        rung: Rung,
+        st: &TraversalState,
+        driver: Option<&CrossDriver>,
+        device_discovered: u64,
+        link: &Link,
+    ) -> Result<(), RungError> {
+        if !self.checkpoint.due(st.next_level) || st.is_complete() {
+            return Ok(());
+        }
+        if self
+            .latest
+            .as_ref()
+            .is_some_and(|ck| ck.level() == st.next_level)
+        {
+            // This boundary is already durable (we just resumed here).
+            return Ok(());
+        }
+        let handed = driver.is_some_and(|d| d.handed_off());
+        let residency = if handed {
+            Residency::Device
+        } else {
+            Residency::Host
+        };
+        if residency == Residency::Device {
+            let t = link.transfer_time(Link::pullback_bytes(
+                csr.num_vertices() as u64,
+                device_discovered,
+                st.frontier.len() as u64,
+            ));
+            self.checkpoint_seconds += t;
+            self.clock.charge(t).map_err(RungError::Fatal)?;
+        }
+        let ck = LevelCheckpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            num_vertices: csr.num_vertices(),
+            num_directed_edges: csr.num_directed_edges(),
+            rung,
+            residency,
+            state: st.clone(),
+            placements: driver.map(|d| d.placements().to_vec()).unwrap_or_default(),
+            handed_off: handed,
+            device_discovered,
+            clock_s: self.clock.elapsed_s,
+            lost_s: self.lost_s,
+            retries: self.retries,
+            events: self.events.clone(),
+            fault_cursor: self.session.cursor(),
+            jitter_rng: self.jitter_rng,
+            breakers: self.health.snapshot(),
+        };
+        if ck.validate_for(csr).is_err() {
+            // A state that fails its own audit must never become a resume
+            // point; keep the previous checkpoint and let end-of-rung
+            // validation deal with the corruption.
+            return Ok(());
+        }
+        self.checkpoints_taken += 1;
+        self.checkpoint_bytes += ck.byte_size();
+        if let Some(path) = self.checkpoint.spill.clone() {
+            ck.spill(&path).map_err(RungError::Fatal)?;
+        }
+        self.latest = Some(ck);
+        Ok(())
+    }
+
+    /// Where `rung` starts: fresh at level 0, or resumed from the newest
+    /// checkpoint (translating representation and charging a re-upload as
+    /// needed), with the resume booked into the report counters.
+    #[allow(clippy::too_many_arguments)]
+    fn start_for(
+        &mut self,
+        rung: Rung,
+        csr: &Csr,
+        source: VertexId,
+        params: &CrossParams,
+        cpu: &ArchSpec,
+        gpu: &ArchSpec,
+        link: &Link,
+    ) -> Result<RungStart, RungError> {
+        let external = std::mem::take(&mut self.external);
+        let Some(ck) = self.latest.clone() else {
+            return Ok(RungStart {
+                state: TraversalState::start(csr, source),
+                driver: CrossDriver::new(*params),
+                device_discovered: 0,
+            });
+        };
+        let from = ck.level();
+        let mut state = ck.state.clone();
+        let mut translated = false;
+        let (driver, device_discovered) = match rung {
+            Rung::CrossCpuGpu => {
+                // Only reachable from a cross checkpoint: the in-process
+                // ladder never climbs back up, and an external resume
+                // starts at the checkpoint's own rung.
+                if ck.handed_off {
+                    // The checkpoint is host-durable; put the frontier and
+                    // visited bitmap back on the device before continuing
+                    // the GPU phase. Supervised machinery, not a faultable
+                    // kernel launch — charged, never injected.
+                    let t = link.transfer_time(Link::handoff_bytes(
+                        csr.num_vertices() as u64,
+                        state.frontier.len() as u64,
+                    ));
+                    self.checkpoint_seconds += t;
+                    self.clock.charge(t).map_err(RungError::Fatal)?;
+                }
+                (
+                    CrossDriver::resume(*params, ck.handed_off, ck.placements.clone()),
+                    ck.device_discovered,
+                )
+            }
+            Rung::CpuOnly | Rung::Reference => {
+                if ck.residency == Residency::Device {
+                    // GPU frontier → host queue: the drain produces
+                    // ascending vertex order, exactly what a bitmap yields.
+                    state.frontier = ck.host_order_frontier();
+                    translated = true;
+                }
+                (CrossDriver::new(*params), 0)
+            }
+        };
+        // What re-running the restored prefix on this rung would have
+        // cost — the resume's saving vs a restart from scratch. For host
+        // rungs resuming a cross prefix this is an estimate (the prefix
+        // records carry the cross policy's direction choices).
+        let saved = match rung {
+            Rung::CrossCpuGpu => {
+                let mut handed = false;
+                let mut s = 0.0;
+                for (i, r) in state.levels.iter().enumerate() {
+                    let on_gpu = ck.placements.get(i).is_some_and(|p| p.on_gpu());
+                    if on_gpu && !handed {
+                        handed = true;
+                        s += link.transfer_time(Link::handoff_bytes(
+                            csr.num_vertices() as u64,
+                            r.frontier_vertices,
+                        ));
+                    }
+                    s += cost::level_time_for_record(if on_gpu { gpu } else { cpu }, r);
+                }
+                s
+            }
+            Rung::CpuOnly => state
+                .levels
+                .iter()
+                .map(|r| cost::level_time_for_record(cpu, r))
+                .sum(),
+            Rung::Reference => {
+                let penalty = reference_sequential_penalty(cpu);
+                state
+                    .levels
+                    .iter()
+                    .map(|r| cost::level_time_for_record(cpu, r) * penalty)
+                    .sum()
+            }
+        };
+        self.saved_seconds += saved;
+        self.levels_replayed += self.furthest_completed.saturating_sub(from);
+        self.resumes.push(ResumeRecord {
+            rung,
+            from_level: from,
+            translated,
+            external,
+        });
+        Ok(RungStart {
+            state,
+            driver,
+            device_discovered,
+        })
+    }
 }
 
 /// Run the cross-architecture combination under a fault plan, degrading
-/// down the ladder as devices fail.
+/// down the ladder as devices fail. PR 1 compatibility entry point:
+/// checkpointing disabled, default breakers.
 ///
 /// Returns a validated [`RecoveredRun`] or a typed error ­— the only
 /// errors that escape are argument validation, [`XbfsError::DeadlineExceeded`],
@@ -310,34 +725,115 @@ pub fn run_cross_resilient(
     retry: &RetryPolicy,
     deadline_s: Option<f64>,
 ) -> Result<RecoveredRun, XbfsError> {
+    let config = ResilienceConfig {
+        retry: *retry,
+        deadline_s,
+        checkpoint: CheckpointPolicy::disabled(),
+        breaker: BreakerPolicy::default_runtime(),
+    };
+    run_cross_resilient_with(csr, source, cpu, gpu, link, params, plan, &config)
+}
+
+/// [`run_cross_resilient`] with the full [`ResilienceConfig`] surface:
+/// level-granular checkpoints (optionally spilled to disk) and per-device
+/// circuit breakers on top of retries and the deadline budget.
+#[allow(clippy::too_many_arguments)] // the runtime's full failure surface
+pub fn run_cross_resilient_with(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+    plan: &FaultPlan,
+    config: &ResilienceConfig,
+) -> Result<RecoveredRun, XbfsError> {
     params.validate()?;
     plan.validate()?;
-    retry.validate()?;
+    config.validate()?;
     if source >= csr.num_vertices() {
         return Err(XbfsError::BadSource {
             source,
             num_vertices: csr.num_vertices(),
         });
     }
-    if let Some(d) = deadline_s {
-        if !d.is_finite() || d <= 0.0 {
-            return Err(XbfsError::InvalidArgument {
-                what: format!("deadline must be finite and positive, got {d} s"),
-            });
-        }
-    }
+    let rec = Recovery::new(plan, config);
+    ladder(
+        csr,
+        source,
+        cpu,
+        gpu,
+        link,
+        params,
+        rec,
+        &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
+    )
+}
 
-    let mut rec = Recovery::new(plan, *retry, deadline_s);
+/// Resume a traversal from a [`LevelCheckpoint`] — same process or a
+/// fresh one (via [`LevelCheckpoint::load`]). The ladder starts at the
+/// checkpoint's rung and may degrade further; the clock, loss ledger,
+/// fault stream, jitter RNG, and breaker bank all continue exactly where
+/// the checkpointing run stopped, so a resumed run is indistinguishable
+/// from one that never died.
+#[allow(clippy::too_many_arguments)] // the runtime's full failure surface
+pub fn resume_cross_resilient(
+    csr: &Csr,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+    plan: &FaultPlan,
+    config: &ResilienceConfig,
+    checkpoint: &LevelCheckpoint,
+) -> Result<RecoveredRun, XbfsError> {
+    params.validate()?;
+    plan.validate()?;
+    config.validate()?;
+    checkpoint.validate_for(csr)?;
+    let source = checkpoint.state.output.source;
+    let rec = Recovery::resume(plan, config, checkpoint)?;
+    let rungs: &[Rung] = match checkpoint.rung {
+        Rung::CrossCpuGpu => &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
+        Rung::CpuOnly => &[Rung::CpuOnly, Rung::Reference],
+        Rung::Reference => &[Rung::Reference],
+    };
+    ladder(csr, source, cpu, gpu, link, params, rec, rungs)
+}
+
+/// The degradation ladder shared by fresh and resumed entries.
+#[allow(clippy::too_many_arguments)]
+fn ladder(
+    csr: &Csr,
+    source: VertexId,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+    mut rec: Recovery<'_>,
+    rungs: &[Rung],
+) -> Result<RecoveredRun, XbfsError> {
     let mut rungs_tried = Vec::new();
     let mut last_error: Option<XbfsError> = None;
 
-    for rung in [Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference] {
+    for &rung in rungs {
         rungs_tried.push(rung);
-        let productive_before = rec.clock.elapsed_s - rec.lost_s;
+        // Rung-selection gate: a sick device is skipped here instead of
+        // rediscovered through a full retry budget.
+        if let Some((device, _state)) = rec.health.first_denial(rung.devices(), rec.clock.elapsed_s)
+        {
+            rec.skipped.push(rung);
+            last_error = Some(XbfsError::CircuitOpen {
+                device: device.name(),
+            });
+            continue;
+        }
+        let rung_start_latest = rec.latest.clone();
+        let retained_at_start = retained_productive(&rec.latest);
         let outcome = match rung {
             Rung::CrossCpuGpu => run_rung_cross(csr, source, cpu, gpu, link, params, &mut rec),
-            Rung::CpuOnly => run_rung_cpu_only(csr, source, cpu, &mut rec),
-            Rung::Reference => run_rung_reference(csr, source, cpu, &mut rec),
+            Rung::CpuOnly => run_rung_cpu_only(csr, source, cpu, gpu, link, params, &mut rec),
+            Rung::Reference => run_rung_reference(csr, source, cpu, gpu, link, params, &mut rec),
         };
         match outcome {
             Ok(output) => match validate(csr, &output) {
@@ -345,27 +841,42 @@ pub fn run_cross_resilient(
                     let report = RunReport {
                         rung,
                         rungs_tried,
+                        skipped_rungs: rec.skipped,
                         events: rec.events,
                         retries: rec.retries,
                         recovery_seconds: rec.lost_s,
                         total_seconds: rec.clock.elapsed_s,
+                        breaker_transitions: rec.health.transitions(),
+                        checkpoints_taken: rec.checkpoints_taken,
+                        checkpoint_bytes: rec.checkpoint_bytes,
+                        checkpoint_seconds: rec.checkpoint_seconds,
+                        resumed_from_level: rec.resumed_from_level,
+                        levels_replayed: rec.levels_replayed,
+                        levels_executed: rec.levels_executed,
+                        edges_examined: rec.edges_examined,
+                        saved_seconds: rec.saved_seconds,
+                        resumes: rec.resumes,
                     };
                     return Ok(RecoveredRun { output, report });
                 }
                 Err(v) => {
-                    // A rung that emits a corrupt tree is a faulty rung:
-                    // its productive time becomes loss, and the ladder
-                    // moves on.
-                    let productive = rec.clock.elapsed_s - rec.lost_s - productive_before;
-                    rec.lost_s += productive;
+                    // A rung that emits a corrupt tree is a faulty rung.
+                    // Checkpoints it cut are tainted too: roll back to the
+                    // rung-start checkpoint and convert everything after
+                    // it to loss.
+                    let productive_now = rec.clock.elapsed_s - rec.lost_s;
+                    rec.lost_s += (productive_now - retained_at_start).max(0.0);
+                    rec.latest = rung_start_latest;
                     last_error = Some(XbfsError::Validation(v));
                 }
             },
             Err(RungError::Fatal(e)) => return Err(e),
             Err(RungError::Degrade(e)) => {
-                // Everything the abandoned rung spent is recovery loss.
-                let productive = rec.clock.elapsed_s - rec.lost_s - productive_before;
-                rec.lost_s += productive;
+                // Time since the newest checkpoint is gone; everything up
+                // to it survives for the next rung to resume from.
+                let retained = retained_productive(&rec.latest);
+                let productive_now = rec.clock.elapsed_s - rec.lost_s;
+                rec.lost_s += (productive_now - retained).max(0.0);
                 last_error = Some(e);
             }
         }
@@ -373,8 +884,16 @@ pub fn run_cross_resilient(
     Err(last_error.expect("ladder only exits the loop after a rung failure"))
 }
 
+/// The productive simulated seconds preserved by the newest checkpoint —
+/// what a rung failure does *not* forfeit.
+fn retained_productive(latest: &Option<LevelCheckpoint>) -> f64 {
+    latest.as_ref().map_or(0.0, |ck| ck.clock_s - ck.lost_s)
+}
+
 /// Rung 1: Algorithm 3 with fault checks on the handoff transfer and every
-/// kernel launch.
+/// kernel launch, stepping level-by-level so checkpoints can be cut at
+/// boundaries.
+#[allow(clippy::too_many_arguments)]
 fn run_rung_cross(
     csr: &Csr,
     source: VertexId,
@@ -390,29 +909,59 @@ fn run_rung_cross(
             level: 0,
         }));
     }
-    let run = run_cross(csr, source, cpu, gpu, link, params);
-    let mut handed_off = false;
-    for (i, (&pl, &secs)) in run.placements.iter().zip(&run.level_seconds).enumerate() {
-        if pl.on_gpu() && !handed_off {
-            handed_off = true;
-            rec.attempt_op(FaultOp::Transfer, i, run.transfer_seconds, "link")?;
-        }
-        let (op, device) = if pl.on_gpu() {
-            (FaultOp::GpuKernel, "gpu")
-        } else {
-            (FaultOp::CpuKernel, "cpu")
+    let RungStart {
+        mut state,
+        mut driver,
+        mut device_discovered,
+    } = rec.start_for(Rung::CrossCpuGpu, csr, source, params, cpu, gpu, link)?;
+    let n = csr.num_vertices() as u64;
+    loop {
+        rec.maybe_capture(
+            csr,
+            Rung::CrossCpuGpu,
+            &state,
+            Some(&driver),
+            device_discovered,
+            link,
+        )?;
+        let was_handed = driver.handed_off();
+        let Some(pl) = driver.step(csr, &mut state) else {
+            break;
         };
-        rec.attempt_op(op, i, secs, device)?;
+        let lvl = *state.levels.last().expect("step pushed a record");
+        if pl.on_gpu() && !was_handed {
+            let t = link.transfer_time(Link::handoff_bytes(n, lvl.frontier_vertices));
+            rec.attempt_op(FaultOp::Transfer, lvl.level as usize, t, Device::Link)?;
+        }
+        let (op, device, arch) = if pl.on_gpu() {
+            (FaultOp::GpuKernel, Device::Gpu, gpu)
+        } else {
+            (FaultOp::CpuKernel, Device::Cpu, cpu)
+        };
+        rec.attempt_op(
+            op,
+            lvl.level as usize,
+            cost::level_time_for_record(arch, &lvl),
+            device,
+        )?;
+        rec.note_level(&lvl);
+        if pl.on_gpu() {
+            device_discovered += lvl.discovered;
+        }
     }
-    Ok(run.traversal.output)
+    Ok(state.into_traversal().output)
 }
 
 /// Rung 2: CPU-only direction-optimizing hybrid at Beamer-default
 /// thresholds, with fault checks on every level kernel.
+#[allow(clippy::too_many_arguments)]
 fn run_rung_cpu_only(
     csr: &Csr,
     source: VertexId,
     cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
     rec: &mut Recovery<'_>,
 ) -> Result<BfsOutput, RungError> {
     if rec.session.cpu_lost() {
@@ -421,36 +970,56 @@ fn run_rung_cpu_only(
             level: 0,
         }));
     }
+    let RungStart { mut state, .. } =
+        rec.start_for(Rung::CpuOnly, csr, source, params, cpu, gpu, link)?;
     let mut mn = FixedMN::new(14.0, 24.0);
-    let run = run_single(csr, source, cpu, &mut mn);
-    for (i, &secs) in run.level_seconds.iter().enumerate() {
-        rec.attempt_op(FaultOp::CpuKernel, i, secs, "cpu")?;
+    loop {
+        rec.maybe_capture(csr, Rung::CpuOnly, &state, None, 0, link)?;
+        if state.step(csr, &mut mn).is_none() {
+            break;
+        }
+        let lvl = *state.levels.last().expect("step pushed a record");
+        rec.attempt_op(
+            FaultOp::CpuKernel,
+            lvl.level as usize,
+            cost::level_time_for_record(cpu, &lvl),
+            Device::Cpu,
+        )?;
+        rec.note_level(&lvl);
     }
-    Ok(run.traversal.output)
+    Ok(state.into_traversal().output)
 }
 
 /// Rung 3: sequential reference BFS — assumed fault-free (no accelerator,
 /// no parallel kernels) but still on the simulated clock: each level is
 /// charged the CPU's top-down cost scaled up by its core count, the cost
 /// model's view of single-threaded execution.
+#[allow(clippy::too_many_arguments)]
 fn run_rung_reference(
     csr: &Csr,
     source: VertexId,
     cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
     rec: &mut Recovery<'_>,
 ) -> Result<BfsOutput, RungError> {
-    let output = xbfs_engine::reference::run(csr, source);
-    let profile = xbfs_archsim::profile(csr, source);
-    let sequential_penalty = cpu.cost.parallel_units.max(1.0);
-    for lp in &profile.levels {
-        let t = cpu.td_level_time(
-            lp.frontier_vertices,
-            lp.frontier_edges,
-            lp.max_frontier_degree,
-        ) * sequential_penalty;
-        rec.clock.charge(t).map_err(RungError::Fatal)?;
+    let RungStart { mut state, .. } =
+        rec.start_for(Rung::Reference, csr, source, params, cpu, gpu, link)?;
+    let mut td = AlwaysTopDown;
+    let penalty = reference_sequential_penalty(cpu);
+    loop {
+        rec.maybe_capture(csr, Rung::Reference, &state, None, 0, link)?;
+        if state.step(csr, &mut td).is_none() {
+            break;
+        }
+        let lvl = *state.levels.last().expect("step pushed a record");
+        rec.clock
+            .charge(cost::level_time_for_record(cpu, &lvl) * penalty)
+            .map_err(RungError::Fatal)?;
+        rec.note_level(&lvl);
     }
-    Ok(output)
+    Ok(state.into_traversal().output)
 }
 
 #[cfg(test)]
@@ -496,6 +1065,13 @@ mod tests {
         assert_eq!(run.report.retries, 0);
         assert_eq!(run.report.recovery_seconds, 0.0);
         assert!(run.report.total_seconds > 0.0);
+        // Legacy entry: checkpointing off, nothing skipped, no breaker
+        // activity.
+        assert_eq!(run.report.checkpoints_taken, 0);
+        assert!(run.report.skipped_rungs.is_empty());
+        assert!(run.report.breaker_transitions.is_empty());
+        assert!(run.report.resumes.is_empty());
+        assert_eq!(run.report.resumed_from_level, None);
     }
 
     #[test]
@@ -514,10 +1090,31 @@ mod tests {
     }
 
     #[test]
+    fn resilience_config_validates_components() {
+        assert!(ResilienceConfig::default_runtime().validate().is_ok());
+        let mut c = ResilienceConfig::default_runtime();
+        c.retry.max_attempts = 0;
+        assert!(c.validate().is_err());
+        let mut c = ResilienceConfig::default_runtime();
+        c.checkpoint = CheckpointPolicy {
+            interval_levels: 0,
+            spill: Some("/tmp/x.json".into()),
+        };
+        assert!(c.validate().is_err());
+        let mut c = ResilienceConfig::default_runtime();
+        c.breaker.failure_threshold = 0;
+        assert!(c.validate().is_err());
+        let mut c = ResilienceConfig::default_runtime();
+        c.deadline_s = Some(-1.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn cpu_device_loss_reaches_the_reference_rung() {
         let (g, src, cpu, gpu, link, params) = setup();
         // Kill the CPU at its very first kernel: rung 1 dies at level 0,
-        // rung 2 is skipped (CPU is gone), the reference rung serves.
+        // rung 2 is skipped (CPU breaker is permanently open), the
+        // reference rung serves.
         let plan = FaultPlan {
             scheduled: vec![ScheduledFault {
                 op: FaultOp::CpuKernel,
@@ -544,6 +1141,14 @@ mod tests {
             vec![Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference]
         );
         assert_eq!(validate(&g, &run.output), Ok(()));
+        // The breaker, not a wasted execution, vetoed the CPU-only rung.
+        assert_eq!(run.report.skipped_rungs, vec![Rung::CpuOnly]);
+        assert!(run
+            .report
+            .breaker_transitions
+            .iter()
+            .any(|t| t.device == Device::Cpu
+                && t.cause == crate::health::TransitionCause::DeviceLost));
     }
 
     #[test]
@@ -580,5 +1185,116 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, XbfsError::BadSource { .. }));
+    }
+
+    #[test]
+    fn checkpointing_off_matches_pr1_clock_exactly() {
+        // The `_with` entry with checkpointing disabled must be
+        // numerically identical to the legacy entry.
+        let (g, src, cpu, gpu, link, params) = setup();
+        let plan = FaultPlan {
+            p_transfer_failure: 0.3,
+            p_kernel_timeout: 0.2,
+            ..FaultPlan::none()
+        };
+        let legacy = run_cross_resilient(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &RetryPolicy::default_runtime(),
+            None,
+        )
+        .expect("legacy");
+        let config = ResilienceConfig {
+            retry: RetryPolicy::default_runtime(),
+            deadline_s: None,
+            checkpoint: CheckpointPolicy::disabled(),
+            breaker: BreakerPolicy::default_runtime(),
+        };
+        let with = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+            .expect("with");
+        assert_eq!(legacy.output, with.output);
+        assert_eq!(legacy.report.total_seconds, with.report.total_seconds);
+        assert_eq!(legacy.report.events, with.report.events);
+        assert_eq!(legacy.report.recovery_seconds, with.report.recovery_seconds);
+    }
+
+    #[test]
+    fn gpu_loss_after_checkpoint_resumes_cpu_rung_mid_traversal() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        // Lose the GPU at its first operation (the handoff transfer). With
+        // a checkpoint cut every level, the CPU-only rung resumes from the
+        // last boundary instead of restarting at level 0.
+        let plan = FaultPlan {
+            p_device_lost: 1.0,
+            ..FaultPlan::none()
+        };
+        let config = ResilienceConfig {
+            checkpoint: CheckpointPolicy::every(1),
+            ..ResilienceConfig::default_runtime()
+        };
+        let run = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+            .expect("cpu rung serves");
+        assert_eq!(run.report.rung, Rung::CpuOnly);
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert!(run.report.checkpoints_taken > 0);
+        assert!(run.report.checkpoint_bytes > 0);
+        let resume = run
+            .report
+            .resumes
+            .iter()
+            .find(|r| r.rung == Rung::CpuOnly)
+            .expect("cpu rung resumed from checkpoint");
+        assert!(resume.from_level > 0);
+        assert!(!resume.external);
+        assert!(run.report.saved_seconds > 0.0);
+        // The levels the CPU rung skipped were the checkpointed prefix.
+        let total_levels = run
+            .output
+            .levels
+            .iter()
+            .filter(|&&l| l != xbfs_engine::UNREACHED)
+            .max()
+            .copied()
+            .unwrap()
+            + 1;
+        assert!(run.report.levels_executed < 2 * total_levels);
+    }
+
+    #[test]
+    fn spilled_checkpoint_resumes_in_a_fresh_ladder() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let dir = std::env::temp_dir().join("xbfs-recovery-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.json");
+        let path_s = path.to_str().unwrap().to_string();
+        // Healthy run that spills a checkpoint each boundary, then resume
+        // the final spill externally: the resumed run must reproduce the
+        // same tree and the same final clock.
+        let config = ResilienceConfig {
+            checkpoint: CheckpointPolicy {
+                interval_levels: 2,
+                spill: Some(path_s.clone()),
+            },
+            ..ResilienceConfig::default_runtime()
+        };
+        let plan = FaultPlan::none();
+        let full = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+            .expect("healthy spilling run");
+        let ck = LevelCheckpoint::load(&path_s).expect("spill exists");
+        assert!(ck.level() >= 2);
+        let resumed = resume_cross_resilient(&g, &cpu, &gpu, &link, &params, &plan, &config, &ck)
+            .expect("resume");
+        assert_eq!(resumed.output, full.output);
+        assert_eq!(resumed.report.rung, full.report.rung);
+        assert_eq!(resumed.report.resumed_from_level, Some(ck.level()));
+        assert!(resumed.report.resumes[0].external);
+        // The resumed process only executed the suffix.
+        assert!(resumed.report.levels_executed < full.report.levels_executed);
+        let _ = std::fs::remove_file(&path);
     }
 }

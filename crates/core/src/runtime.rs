@@ -9,10 +9,14 @@
 //!   predicted `(M, N)`.
 
 use crate::{
+    checkpoint::LevelCheckpoint,
     combination::{run_single, SingleRun},
     cross::{run_cross, CrossParams, CrossRun},
     predictor::SwitchPredictor,
-    recovery::{run_cross_resilient, RecoveredRun, RetryPolicy},
+    recovery::{
+        resume_cross_resilient, run_cross_resilient, run_cross_resilient_with, RecoveredRun,
+        ResilienceConfig, RetryPolicy,
+    },
     training::{generate, paper_arch_pairs, TrainingConfig},
 };
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
@@ -83,6 +87,42 @@ impl AdaptiveRuntime {
         let params = self.predict_params(stats);
         run_cross_resilient(
             csr, source, &self.cpu, &self.gpu, &self.link, &params, plan, retry, deadline_s,
+        )
+    }
+
+    /// [`Self::run_cross_resilient`] with the full [`ResilienceConfig`]
+    /// surface: level-granular checkpoints (optionally spilled to disk)
+    /// and per-device circuit breakers on top of retries and the deadline
+    /// budget.
+    pub fn run_cross_resilient_with(
+        &self,
+        csr: &Csr,
+        stats: &GraphStats,
+        source: VertexId,
+        plan: &FaultPlan,
+        config: &ResilienceConfig,
+    ) -> Result<RecoveredRun, XbfsError> {
+        let params = self.predict_params(stats);
+        run_cross_resilient_with(
+            csr, source, &self.cpu, &self.gpu, &self.link, &params, plan, config,
+        )
+    }
+
+    /// Resume a traversal from a [`LevelCheckpoint`] (typically loaded
+    /// from a spill file after a crash): the ladder restarts at the
+    /// checkpoint's rung and level instead of level 0, with the clock,
+    /// fault stream, and breaker states continuing where they stopped.
+    pub fn resume_cross(
+        &self,
+        csr: &Csr,
+        stats: &GraphStats,
+        plan: &FaultPlan,
+        config: &ResilienceConfig,
+        checkpoint: &LevelCheckpoint,
+    ) -> Result<RecoveredRun, XbfsError> {
+        let params = self.predict_params(stats);
+        resume_cross_resilient(
+            csr, &self.cpu, &self.gpu, &self.link, &params, plan, config, checkpoint,
         )
     }
 
@@ -176,6 +216,41 @@ mod tests {
         assert_eq!(run.report.rung, Rung::CpuOnly);
         assert_eq!(validate(&g, &run.output), Ok(()));
         assert_eq!(run.output.levels, healthy.output.levels);
+    }
+
+    #[test]
+    fn runtime_spills_checkpoints_and_resumes_them() {
+        use crate::checkpoint::CheckpointPolicy;
+
+        let rt = runtime();
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
+        let src = crate::training::pick_source(&g, 4).unwrap();
+        let dir = std::env::temp_dir().join("xbfs-runtime-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runtime-resume.json");
+        let path_s = path.to_str().unwrap().to_string();
+
+        let config = ResilienceConfig {
+            checkpoint: CheckpointPolicy {
+                interval_levels: 2,
+                spill: Some(path_s.clone()),
+            },
+            ..ResilienceConfig::default_runtime()
+        };
+        let plan = FaultPlan::none();
+        let full = rt
+            .run_cross_resilient_with(&g, &stats, src, &plan, &config)
+            .expect("spilling run");
+        assert!(full.report.checkpoints_taken > 0);
+
+        let ck = LevelCheckpoint::load(&path_s).expect("spill exists");
+        let resumed = rt
+            .resume_cross(&g, &stats, &plan, &config, &ck)
+            .expect("resume");
+        assert_eq!(resumed.output, full.output);
+        assert_eq!(resumed.report.resumed_from_level, Some(ck.level()));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

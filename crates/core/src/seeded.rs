@@ -1,0 +1,28 @@
+//! Tiny seeded-jitter RNG shared by the recovery ladder and the circuit
+//! breakers: splitmix64 folded into a `[0, 1)` uniform. Kept in one place
+//! so checkpointed RNG cursors mean the same thing everywhere.
+
+/// Advance `state` one splitmix64 step and fold to a uniform in `[0, 1)`.
+pub(crate) fn splitmix_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_range_and_determinism() {
+        let mut a = 123u64;
+        let mut b = 123u64;
+        for _ in 0..1000 {
+            let x = splitmix_unit(&mut a);
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, splitmix_unit(&mut b));
+        }
+    }
+}

@@ -94,6 +94,17 @@ pub enum XbfsError {
     Validation(ValidationError),
     /// A fault-injection plan could not be loaded or parsed.
     FaultPlan(String),
+    /// A rung was skipped because a device's circuit breaker is open.
+    CircuitOpen {
+        /// Which device's breaker refused the work.
+        device: &'static str,
+    },
+    /// A checkpoint could not be captured, spilled, loaded, validated, or
+    /// translated for resume.
+    Checkpoint {
+        /// Human-readable description of what was wrong.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for XbfsError {
@@ -151,6 +162,10 @@ impl std::fmt::Display for XbfsError {
             ),
             XbfsError::Validation(e) => write!(f, "output failed validation: {e:?}"),
             XbfsError::FaultPlan(msg) => write!(f, "fault plan: {msg}"),
+            XbfsError::CircuitOpen { device } => {
+                write!(f, "circuit breaker open for {device}")
+            }
+            XbfsError::Checkpoint { what } => write!(f, "checkpoint: {what}"),
         }
     }
 }

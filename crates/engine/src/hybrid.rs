@@ -15,7 +15,159 @@ use crate::{
     bottomup, stats::LevelRecord, topdown, BfsOutput, Direction, SwitchContext, SwitchPolicy,
     Traversal,
 };
+use serde::{Deserialize, Serialize};
 use xbfs_graph::{Bitmap, Csr, VertexId};
+
+/// The complete mid-traversal state of the level-synchronous driver:
+/// everything needed to execute the next level, and nothing tied to a
+/// device. A traversal can be paused at any level boundary, serialized
+/// (the recovery subsystem wraps this in a `LevelCheckpoint` for on-disk
+/// spill), and resumed — on the same engine or a different one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraversalState {
+    /// Parent and level maps filled in so far.
+    pub output: BfsOutput,
+    /// The current frontier: vertices at distance `next_level` from the
+    /// source, in driver order (discovery order after a top-down level,
+    /// ascending after a bottom-up level).
+    pub frontier: Vec<VertexId>,
+    /// One record per level executed so far.
+    pub levels: Vec<LevelRecord>,
+    /// Unvisited vertices before the next level runs.
+    pub unvisited_vertices: u64,
+    /// Directed out-edges of unvisited vertices before the next level runs.
+    pub unvisited_edges: u64,
+    /// Index of the next level to execute.
+    pub next_level: u32,
+}
+
+impl TraversalState {
+    /// Fresh state at level 0: the frontier is exactly the source.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range (same contract as
+    /// [`BfsOutput::init`]).
+    pub fn start(csr: &Csr, source: VertexId) -> Self {
+        let n = csr.num_vertices();
+        Self {
+            output: BfsOutput::init(n, source),
+            frontier: vec![source],
+            levels: Vec::new(),
+            unvisited_vertices: n as u64 - 1,
+            unvisited_edges: csr.num_directed_edges() - csr.degree(source),
+            next_level: 0,
+        }
+    }
+
+    /// `true` once the frontier is empty — no further level can run.
+    pub fn is_complete(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Execute one level: measure the frontier, ask `policy` for a
+    /// direction, run the kernel, and append the level's [`LevelRecord`].
+    /// Returns the new record, or `None` if the traversal was already
+    /// complete.
+    pub fn step(&mut self, csr: &Csr, policy: &mut dyn SwitchPolicy) -> Option<&LevelRecord> {
+        if self.frontier.is_empty() {
+            return None;
+        }
+        let n = csr.num_vertices();
+        let level = self.next_level;
+        let frontier_vertices = self.frontier.len() as u64;
+        let (frontier_edges, max_frontier_degree) = frontier_degree_stats(csr, &self.frontier);
+        let ctx = SwitchContext {
+            level,
+            frontier_vertices,
+            frontier_edges,
+            max_frontier_degree,
+            total_vertices: n as u64,
+            total_edges: csr.num_directed_edges(),
+        };
+        let direction = policy.direction(&ctx);
+
+        let (next, edges_examined, vertices_scanned) = match direction {
+            Direction::TopDown => {
+                let (next, examined) =
+                    topdown::level(csr, &self.frontier, &mut self.output, level + 1);
+                (next, examined, frontier_vertices)
+            }
+            Direction::BottomUp => {
+                let mut bits = Bitmap::new(n as usize);
+                for &v in &self.frontier {
+                    bits.set(v);
+                }
+                bottomup::level(csr, &bits, &mut self.output, level + 1)
+            }
+        };
+
+        let discovered = next.len() as u64;
+        let discovered_edges: u64 = next.iter().map(|&v| csr.degree(v)).sum();
+        self.levels.push(LevelRecord {
+            level,
+            frontier_vertices,
+            frontier_edges,
+            max_frontier_degree,
+            unvisited_vertices: self.unvisited_vertices,
+            unvisited_edges: self.unvisited_edges,
+            edges_examined,
+            vertices_scanned,
+            discovered,
+            direction,
+        });
+
+        self.unvisited_vertices -= discovered;
+        self.unvisited_edges -= discovered_edges;
+        self.frontier = next;
+        self.next_level += 1;
+        self.levels.last()
+    }
+
+    /// Finish: convert into the completed [`Traversal`].
+    pub fn into_traversal(self) -> Traversal {
+        Traversal {
+            output: self.output,
+            levels: self.levels,
+        }
+    }
+
+    /// Structural consistency against `csr` — the gate a deserialized
+    /// state must pass before the driver will resume from it. Checks map
+    /// lengths, the level/record bookkeeping, and that every frontier
+    /// vertex really sits at distance `next_level`.
+    pub fn check_against(&self, csr: &Csr) -> Result<(), crate::XbfsError> {
+        let n = csr.num_vertices() as usize;
+        let fail = |what: String| Err(crate::XbfsError::Checkpoint { what });
+        if self.output.parents.len() != n || self.output.levels.len() != n {
+            return fail(format!(
+                "state maps cover {} vertices, graph has {n}",
+                self.output.parents.len()
+            ));
+        }
+        if self.levels.len() != self.next_level as usize {
+            return fail(format!(
+                "state records {} levels but claims to resume at level {}",
+                self.levels.len(),
+                self.next_level
+            ));
+        }
+        if self.unvisited_vertices > n as u64 || self.unvisited_edges > csr.num_directed_edges() {
+            return fail("unvisited counters exceed the graph".into());
+        }
+        for &v in &self.frontier {
+            if v as usize >= n {
+                return fail(format!("frontier vertex {v} out of range"));
+            }
+            if self.output.levels[v as usize] != self.next_level {
+                return fail(format!(
+                    "frontier vertex {v} is at level {}, expected {}",
+                    self.output.levels[v as usize], self.next_level
+                ));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Run a complete traversal from `source`, choosing a direction per level.
 ///
@@ -30,68 +182,9 @@ use xbfs_graph::{Bitmap, Csr, VertexId};
 /// assert!(validate(&g, &t.output).is_ok());
 /// ```
 pub fn run(csr: &Csr, source: VertexId, policy: &mut dyn SwitchPolicy) -> Traversal {
-    let n = csr.num_vertices();
-    let total_edges = csr.num_directed_edges();
-    let mut out = BfsOutput::init(n, source);
-    let mut frontier: Vec<VertexId> = vec![source];
-    let mut records: Vec<LevelRecord> = Vec::new();
-
-    let mut unvisited_vertices = n as u64 - 1;
-    let mut unvisited_edges = total_edges - csr.degree(source);
-    let mut level: u32 = 0;
-
-    while !frontier.is_empty() {
-        let frontier_vertices = frontier.len() as u64;
-        let (frontier_edges, max_frontier_degree) = frontier_degree_stats(csr, &frontier);
-        let ctx = SwitchContext {
-            level,
-            frontier_vertices,
-            frontier_edges,
-            max_frontier_degree,
-            total_vertices: n as u64,
-            total_edges,
-        };
-        let direction = policy.direction(&ctx);
-
-        let (next, edges_examined, vertices_scanned) = match direction {
-            Direction::TopDown => {
-                let (next, examined) = topdown::level(csr, &frontier, &mut out, level + 1);
-                (next, examined, frontier_vertices)
-            }
-            Direction::BottomUp => {
-                let mut bits = Bitmap::new(n as usize);
-                for &v in &frontier {
-                    bits.set(v);
-                }
-                bottomup::level(csr, &bits, &mut out, level + 1)
-            }
-        };
-
-        let discovered = next.len() as u64;
-        let discovered_edges: u64 = next.iter().map(|&v| csr.degree(v)).sum();
-        records.push(LevelRecord {
-            level,
-            frontier_vertices,
-            frontier_edges,
-            max_frontier_degree,
-            unvisited_vertices,
-            unvisited_edges,
-            edges_examined,
-            vertices_scanned,
-            discovered,
-            direction,
-        });
-
-        unvisited_vertices -= discovered;
-        unvisited_edges -= discovered_edges;
-        frontier = next;
-        level += 1;
-    }
-
-    Traversal {
-        output: out,
-        levels: records,
-    }
+    let mut state = TraversalState::start(csr, source);
+    while state.step(csr, policy).is_some() {}
+    state.into_traversal()
 }
 
 /// `(Σ degree, max degree)` over the frontier — `|E|cq` and the level's
@@ -188,5 +281,70 @@ mod tests {
         // Level 1 frontier = {1, 2}, both have degree 3 in a 15-node tree.
         assert_eq!(t.levels[1].frontier_vertices, 2);
         assert_eq!(t.levels[1].frontier_edges, 6);
+    }
+
+    #[test]
+    fn stepwise_state_matches_monolithic_run() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 16);
+        let whole = run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+        let mut policy = FixedMN::new(14.0, 24.0);
+        let mut st = TraversalState::start(&g, 0);
+        let mut steps = 0;
+        while st.step(&g, &mut policy).is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, whole.levels.len());
+        let stepped = st.into_traversal();
+        assert_eq!(stepped.output, whole.output);
+        assert_eq!(stepped.levels, whole.levels);
+    }
+
+    #[test]
+    fn state_paused_at_any_level_resumes_identically() {
+        // Serialize mid-traversal, deserialize, finish: byte-identical to
+        // an uninterrupted run — the property the checkpoint system needs.
+        let g = xbfs_graph::rmat::rmat_csr(8, 16);
+        let whole = run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+        for pause_at in 0..whole.levels.len() {
+            let mut policy = FixedMN::new(14.0, 24.0);
+            let mut st = TraversalState::start(&g, 0);
+            for _ in 0..pause_at {
+                st.step(&g, &mut policy);
+            }
+            let json = serde_json::to_string(&st).expect("state serializes");
+            let mut back: TraversalState = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, st);
+            assert!(back.check_against(&g).is_ok());
+            let mut policy = FixedMN::new(14.0, 24.0);
+            while back.step(&g, &mut policy).is_some() {}
+            let resumed = back.into_traversal();
+            assert_eq!(resumed.output, whole.output);
+            assert_eq!(resumed.levels, whole.levels);
+        }
+    }
+
+    #[test]
+    fn check_against_rejects_corrupt_states() {
+        let g = xbfs_graph::rmat::rmat_csr(7, 8);
+        let mut st = TraversalState::start(&g, 0);
+        st.step(&g, &mut FixedMN::new(14.0, 24.0));
+        assert!(st.check_against(&g).is_ok());
+
+        let mut bad = st.clone();
+        bad.next_level = 7; // record count no longer matches
+        assert!(bad.check_against(&g).is_err());
+
+        let mut bad = st.clone();
+        bad.frontier.push(g.num_vertices()); // out of range
+        assert!(bad.check_against(&g).is_err());
+
+        let mut bad = st.clone();
+        if let Some(v) = bad.frontier.first().copied() {
+            bad.output.levels[v as usize] = 0; // wrong distance
+            assert!(bad.check_against(&g).is_err());
+        }
+
+        let smaller = gen::path(3);
+        assert!(st.check_against(&smaller).is_err());
     }
 }

@@ -40,6 +40,7 @@ pub mod tree;
 pub mod validate;
 
 pub use error::XbfsError;
+pub use hybrid::TraversalState;
 pub use policy::{AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN, SwitchContext, SwitchPolicy};
 pub use stats::{LevelRecord, Traversal};
 pub use validate::{validate, ValidationError};

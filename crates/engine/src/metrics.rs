@@ -62,6 +62,15 @@ pub fn harmonic_mean_teps(samples: &[Teps]) -> f64 {
     samples.len() as f64 / inv_sum
 }
 
+/// Effective TEPS of a resumed traversal: edges credited against the sum
+/// of time actually spent *this* run plus the replayed-prefix time already
+/// banked in a checkpoint. Resuming from level ℓ skips the prefix's work
+/// but not its wall-clock history, so a fair rate charges both — this is
+/// the number the CLI reports next to "resumed from level ℓ".
+pub fn resumed_teps(edges: u64, suffix_seconds: f64, prefix_seconds: f64) -> Teps {
+    Teps::new(edges, suffix_seconds + prefix_seconds)
+}
+
 /// Arithmetic mean of raw TEPS values (reported by some prior work; kept
 /// for comparisons).
 pub fn mean_teps(samples: &[Teps]) -> f64 {
@@ -99,6 +108,14 @@ mod tests {
         assert!(hm < am);
         // Harmonic mean of 100 and 1 TEPS is ~1.98.
         assert!((hm - 200.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resumed_rate_charges_prefix_and_suffix() {
+        let t = resumed_teps(1000, 1.0, 3.0);
+        assert_eq!(t.teps(), 250.0);
+        // A free prefix degenerates to the plain rate.
+        assert_eq!(resumed_teps(1000, 2.0, 0.0).teps(), 500.0);
     }
 
     #[test]

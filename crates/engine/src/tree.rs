@@ -6,7 +6,7 @@
 //! the validator tests as an independent cross-check.
 
 use crate::{BfsOutput, UNREACHED};
-use xbfs_graph::{VertexId, NO_PARENT};
+use xbfs_graph::{Csr, VertexId, NO_PARENT};
 
 /// The root-to-`v` path through the BFS tree, inclusive on both ends.
 /// `None` if `v` was not reached.
@@ -67,6 +67,55 @@ pub fn subtree_sizes(out: &BfsOutput) -> Vec<u64> {
         }
     }
     sizes
+}
+
+/// First inconsistency of a *partial* BFS tree against `csr`, or `None`
+/// if the prefix is sound. A partial tree assigns levels only up to some
+/// frontier depth; this checks what Graph 500 validation checks — every
+/// visited non-source vertex has a visited parent exactly one level
+/// shallower, across a real edge — without requiring the traversal to be
+/// finished. The recovery subsystem runs this over a deserialized
+/// checkpoint before trusting it.
+pub fn partial_tree_violation(csr: &Csr, out: &BfsOutput) -> Option<String> {
+    let n = csr.num_vertices();
+    if out.parents.len() != n as usize || out.levels.len() != n as usize {
+        return Some(format!(
+            "tree maps cover {} vertices, graph has {n}",
+            out.parents.len()
+        ));
+    }
+    if out.source >= n || out.parents[out.source as usize] != out.source {
+        return Some(format!("source {} is not its own root", out.source));
+    }
+    for v in 0..n {
+        let p = out.parents[v as usize];
+        let l = out.levels[v as usize];
+        if p == NO_PARENT {
+            if l != UNREACHED {
+                return Some(format!("vertex {v} has a level but no parent"));
+            }
+            continue;
+        }
+        if l == UNREACHED {
+            return Some(format!("vertex {v} has a parent but no level"));
+        }
+        if v == out.source {
+            continue;
+        }
+        if p >= n || out.parents[p as usize] == NO_PARENT {
+            return Some(format!("vertex {v}: parent {p} is unvisited"));
+        }
+        if out.levels[p as usize] + 1 != l {
+            return Some(format!(
+                "vertex {v} at level {l}, parent {p} at level {}",
+                out.levels[p as usize]
+            ));
+        }
+        if !csr.has_edge(p, v) {
+            return Some(format!("tree edge {p} -> {v} is not a graph edge"));
+        }
+    }
+    None
 }
 
 /// Mean distance from the source over reached vertices (0 for a lone
@@ -163,6 +212,36 @@ mod tests {
         let out = topdown::run(&g, src).output;
         let sizes = subtree_sizes(&out);
         assert_eq!(sizes[src as usize], out.visited_count());
+    }
+
+    #[test]
+    fn partial_tree_accepts_any_prefix_and_rejects_corruption() {
+        let g = xbfs_graph::rmat::rmat_csr(8, 8);
+        let src = (0..g.num_vertices()).find(|&v| g.degree(v) > 0).unwrap();
+        let whole = topdown::run(&g, src).output;
+        assert_eq!(partial_tree_violation(&g, &whole), None);
+
+        // A prefix (everything deeper truncated) is also a sound partial
+        // tree.
+        let mut prefix = whole.clone();
+        for v in 0..g.num_vertices() as usize {
+            if prefix.levels[v] != UNREACHED && prefix.levels[v] > 1 {
+                prefix.levels[v] = UNREACHED;
+                prefix.parents[v] = xbfs_graph::NO_PARENT;
+            }
+        }
+        assert_eq!(partial_tree_violation(&g, &prefix), None);
+
+        // Corrupt a parent pointer: detected.
+        let mut bad = whole.clone();
+        let victim = (0..g.num_vertices())
+            .find(|&v| v != src && bad.parents[v as usize] != xbfs_graph::NO_PARENT)
+            .unwrap() as usize;
+        bad.levels[victim] += 1;
+        assert!(partial_tree_violation(&g, &bad).is_some());
+
+        // Wrong graph: detected.
+        assert!(partial_tree_violation(&gen::path(3), &whole).is_some());
     }
 
     #[test]

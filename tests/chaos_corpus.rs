@@ -1,0 +1,131 @@
+//! Chaos corpus replay: every committed `tests/chaos/*.json` fault plan is
+//! run through the full resilient ladder with checkpointing on. The
+//! contract under arbitrary injected chaos: no panics, every produced tree
+//! passes Graph 500 validation, and every circuit breaker walks a legal,
+//! time-monotone state machine.
+//!
+//! The nightly chaos workflow shards the corpus across jobs with
+//! `CHAOS_SHARD` / `CHAOS_SHARDS`; locally (both unset) every plan runs.
+
+use std::collections::BTreeMap;
+use xbfs::archsim::fault::FaultPlan;
+use xbfs::archsim::{ArchSpec, Link};
+use xbfs::core::checkpoint::CheckpointPolicy;
+use xbfs::core::health::legal_transition;
+use xbfs::core::recovery::{run_cross_resilient_with, ResilienceConfig};
+use xbfs::core::CrossParams;
+use xbfs::engine::{validate, FixedMN};
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("chaos");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("chaos corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn shard_env() -> (usize, usize) {
+    let parse = |var: &str, default: usize| {
+        std::env::var(var)
+            .ok()
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{var}={v} is not a number"))
+            })
+            .unwrap_or(default)
+    };
+    let shards = parse("CHAOS_SHARDS", 1).max(1);
+    let shard = parse("CHAOS_SHARD", 0);
+    assert!(
+        shard < shards,
+        "CHAOS_SHARD {shard} out of range 0..{shards}"
+    );
+    (shard, shards)
+}
+
+#[test]
+fn chaos_corpus_replays_without_panics_or_corruption() {
+    let g = xbfs::graph::rmat::rmat_csr(10, 16);
+    let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let link = Link::pcie3();
+    let params = CrossParams {
+        handoff: FixedMN::new(64.0, 64.0),
+        gpu: FixedMN::new(14.0, 24.0),
+    };
+    let config = ResilienceConfig {
+        checkpoint: CheckpointPolicy::every(2),
+        ..ResilienceConfig::default_runtime()
+    };
+
+    let files = corpus_files();
+    assert!(
+        files.len() >= 12,
+        "the committed corpus shrank to {} plans",
+        files.len()
+    );
+    let (shard, shards) = shard_env();
+    let mut replayed = 0;
+    for (ix, path) in files.iter().enumerate() {
+        if ix % shards != shard {
+            continue;
+        }
+        replayed += 1;
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("{name}: unreadable plan: {e}"));
+        let plan = FaultPlan::from_json(&text)
+            .unwrap_or_else(|e| panic!("{name}: plan does not parse: {e}"));
+        plan.validate()
+            .unwrap_or_else(|e| panic!("{name}: plan fails validation: {e}"));
+
+        // No deadline: the fault-free reference rung always serves, so a
+        // typed error here would itself be a contract violation.
+        let run = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+            .unwrap_or_else(|e| panic!("{name}: no-deadline replay failed: {e}"));
+        assert_eq!(
+            validate(&g, &run.output),
+            Ok(()),
+            "{name}: rung {} emitted an invalid tree",
+            run.report.rung
+        );
+        assert!(
+            run.report.rungs_tried.ends_with(&[run.report.rung]),
+            "{name}: serving rung missing from rungs_tried"
+        );
+        assert!(
+            run.report.total_seconds.is_finite() && run.report.total_seconds >= 0.0,
+            "{name}: broken clock {}",
+            run.report.total_seconds
+        );
+
+        // Every breaker must walk a legal machine, in time order, per
+        // device.
+        let mut last_at: BTreeMap<&str, f64> = BTreeMap::new();
+        for tr in &run.report.breaker_transitions {
+            assert!(
+                legal_transition(tr.from, tr.to),
+                "{name}: illegal breaker transition {tr:?}"
+            );
+            let at = last_at.entry(tr.device.name()).or_insert(f64::NEG_INFINITY);
+            assert!(
+                tr.at_s >= *at,
+                "{name}: breaker transitions out of time order: {tr:?}"
+            );
+            *at = tr.at_s;
+        }
+
+        // The report is the chaos run's artifact; it must survive a JSON
+        // round trip for the workflow to archive it.
+        let back = xbfs::core::recovery::RunReport::from_json(&run.report.to_json())
+            .unwrap_or_else(|e| panic!("{name}: report round trip failed: {e}"));
+        assert_eq!(back, run.report, "{name}: report round trip lossy");
+    }
+    assert!(replayed > 0, "shard {shard}/{shards} replayed nothing");
+}
