@@ -229,13 +229,27 @@ impl ArchSpec {
         edges: u64,
         max_frontier_degree: u64,
     ) -> f64 {
+        let (throughput, serial) =
+            self.td_level_terms(frontier_vertices, edges, max_frontier_degree);
+        self.cost.level_overhead_s + throughput.max(serial)
+    }
+
+    /// The `(throughput_term, serial_term)` pair inside
+    /// [`td_level_time`](Self::td_level_time) — exposed so telemetry can
+    /// report which term bound a level without re-deriving the model.
+    pub fn td_level_terms(
+        &self,
+        frontier_vertices: u64,
+        edges: u64,
+        max_frontier_degree: u64,
+    ) -> (f64, f64) {
         let c = &self.cost;
         let util = ((frontier_vertices as f64 * c.threads_per_vertex) / c.parallel_units)
             .min(1.0)
             .max(1.0 / c.parallel_units);
         let throughput = edges as f64 / (c.td_edge_rate * util);
         let serial = max_frontier_degree as f64 / c.td_serial_edge_rate;
-        c.level_overhead_s + throughput.max(serial)
+        (throughput, serial)
     }
 
     /// Time to run one *bottom-up* level that scans `vertex_scans` visited

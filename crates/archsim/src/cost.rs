@@ -2,7 +2,10 @@
 
 use crate::{ArchSpec, LevelProfile, TraversalProfile};
 use serde::{Deserialize, Serialize};
-use xbfs_engine::{Direction, FixedMN, SwitchContext};
+use xbfs_engine::{
+    trace::{TraceEvent, TraceSink},
+    Direction, FixedMN, SwitchContext,
+};
 
 /// The simulated cost of one level.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,6 +47,81 @@ pub fn level_time_for_record(arch: &ArchSpec, rec: &xbfs_engine::LevelRecord) ->
             rec.frontier_vertices,
         ),
     }
+}
+
+/// The decomposed charge for one executed level — telemetry companion to
+/// [`level_time_for_record`]. `total_s` is bit-identical to the
+/// undecomposed model (the clock must always be charged `total_s`, never a
+/// re-summed `overhead_s + work_s`, which may differ in the last ulp).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelCostParts {
+    /// Exact charged time, identical to [`level_time_for_record`].
+    pub total_s: f64,
+    /// The device's fixed per-level overhead.
+    pub overhead_s: f64,
+    /// Everything above the overhead (throughput/serial term for TD,
+    /// scan + probe terms for BU).
+    pub work_s: f64,
+    /// Which model term bound the level: `"td-throughput"`, `"td-serial"`,
+    /// or `"bu"`.
+    pub bound: &'static str,
+}
+
+/// Decompose the charge for one executed level record.
+pub fn level_cost_parts_for_record(
+    arch: &ArchSpec,
+    rec: &xbfs_engine::LevelRecord,
+) -> LevelCostParts {
+    let total_s = level_time_for_record(arch, rec);
+    let overhead_s = arch.cost.level_overhead_s;
+    let bound = match rec.direction {
+        Direction::TopDown => {
+            let (throughput, serial) = arch.td_level_terms(
+                rec.frontier_vertices,
+                rec.edges_examined,
+                rec.max_frontier_degree,
+            );
+            if serial > throughput {
+                "td-serial"
+            } else {
+                "td-throughput"
+            }
+        }
+        Direction::BottomUp => "bu",
+    };
+    LevelCostParts {
+        total_s,
+        overhead_s,
+        work_s: total_s - overhead_s,
+        bound,
+    }
+}
+
+/// [`level_time_for_record`], additionally reporting the decomposed charge
+/// to `sink` as a [`TraceEvent::KernelCost`] stamped at simulated time
+/// `at_s`. The returned value is exactly `level_time_for_record`'s.
+pub fn level_time_for_record_traced(
+    arch: &ArchSpec,
+    rec: &xbfs_engine::LevelRecord,
+    device: &'static str,
+    at_s: f64,
+    sink: &dyn TraceSink,
+) -> f64 {
+    if !sink.enabled() {
+        return level_time_for_record(arch, rec);
+    }
+    let parts = level_cost_parts_for_record(arch, rec);
+    sink.record(&TraceEvent::KernelCost {
+        device,
+        level: rec.level,
+        direction: rec.direction,
+        total_s: parts.total_s,
+        overhead_s: parts.overhead_s,
+        work_s: parts.work_s,
+        bound: parts.bound,
+        at_s,
+    });
+    parts.total_s
 }
 
 /// Cost an explicit per-level direction script on a single device.
@@ -261,5 +339,37 @@ mod tests {
     fn short_script_rejected() {
         let p = rmat_profile();
         cost_script(&p, &ArchSpec::cpu_sandy_bridge(), &[Direction::TopDown]);
+    }
+
+    #[test]
+    fn cost_parts_total_is_bit_identical_to_model() {
+        // The decomposed charge must never perturb the charged clock: the
+        // recovery ladder's numeric-identity contract depends on it.
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let t = xbfs_engine::hybrid::run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+        let sink = xbfs_engine::trace::MemorySink::new();
+        for arch in [ArchSpec::cpu_sandy_bridge(), ArchSpec::gpu_k20x()] {
+            for rec in &t.levels {
+                let plain = level_time_for_record(&arch, rec);
+                let parts = level_cost_parts_for_record(&arch, rec);
+                assert_eq!(parts.total_s.to_bits(), plain.to_bits());
+                let traced = level_time_for_record_traced(&arch, rec, "cpu", 0.0, &sink);
+                assert_eq!(traced.to_bits(), plain.to_bits());
+                let null = level_time_for_record_traced(
+                    &arch,
+                    rec,
+                    "cpu",
+                    0.0,
+                    &xbfs_engine::trace::NULL_SINK,
+                );
+                assert_eq!(null.to_bits(), plain.to_bits());
+                match rec.direction {
+                    Direction::TopDown => assert!(parts.bound.starts_with("td-")),
+                    Direction::BottomUp => assert_eq!(parts.bound, "bu"),
+                }
+            }
+        }
+        // One KernelCost event per (arch, level) pair through the live sink.
+        assert_eq!(sink.len(), 2 * t.levels.len());
     }
 }

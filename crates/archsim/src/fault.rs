@@ -27,6 +27,17 @@ pub enum FaultOp {
     CpuKernel,
 }
 
+impl FaultOp {
+    /// Stable lowercase label for trace events and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Transfer => "transfer",
+            FaultOp::GpuKernel => "gpu-kernel",
+            FaultOp::CpuKernel => "cpu-kernel",
+        }
+    }
+}
+
 /// What goes wrong when a fault fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -48,6 +59,16 @@ impl FaultKind {
     /// `true` if retrying the operation can ever succeed.
     pub fn is_transient(self) -> bool {
         !matches!(self, FaultKind::DeviceLost)
+    }
+
+    /// Stable lowercase label for trace events and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransferFailure => "transfer-failure",
+            FaultKind::LinkStall => "link-stall",
+            FaultKind::KernelTimeout => "kernel-timeout",
+            FaultKind::DeviceLost => "device-lost",
+        }
     }
 }
 

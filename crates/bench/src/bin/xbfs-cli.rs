@@ -14,32 +14,47 @@
 //!
 //! Graphs are the compact binary format by default (`io::encode_csr`);
 //! `--text` reads/writes whitespace edge lists instead.
+//!
+//! `--trace-out` and `--metrics-out` record the run through a
+//! [`MemorySink`] and export it as chrome://tracing JSON (load in
+//! Perfetto) and Prometheus text respectively. Either accepts `-` for
+//! stdout; when any machine output claims stdout, the human narration
+//! moves to stderr so the data stream stays clean. `--quiet` silences the
+//! narration entirely.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
 use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
 use xbfs_core::{
-    training::pick_source, AdaptiveRuntime, CheckpointPolicy, LevelCheckpoint, ResilienceConfig,
-    RetryPolicy,
+    chrome_trace_json, prometheus_text, training::pick_source, AdaptiveRuntime, CheckpointPolicy,
+    LevelCheckpoint, ResilienceConfig, RetryPolicy,
 };
 use xbfs_engine::{
-    hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, SwitchPolicy,
+    hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
+    SwitchPolicy,
 };
 use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
 
-/// Minimal flag parser: `--key value` pairs plus boolean `--text`.
+/// Minimal flag parser: `--key value` pairs plus boolean `--text` /
+/// `--quiet`.
 struct Args {
     pairs: Vec<(String, String)>,
     text: bool,
+    quiet: bool,
 }
 
 impl Args {
     fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut pairs = Vec::new();
         let mut text = false;
+        let mut quiet = false;
         while let Some(arg) = argv.next() {
             if arg == "--text" {
                 text = true;
+                continue;
+            }
+            if arg == "--quiet" {
+                quiet = true;
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
@@ -50,7 +65,7 @@ impl Args {
             };
             pairs.push((key.to_string(), value));
         }
-        Ok(Self { pairs, text })
+        Ok(Self { pairs, text, quiet })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -73,6 +88,69 @@ impl Args {
                 .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
+}
+
+/// Human-narration channel. Machine outputs (`--report-json -`,
+/// `--trace-out -`, `--metrics-out -`) own stdout when they point there;
+/// narration then moves to stderr. `--quiet` drops it entirely.
+struct Ui {
+    quiet: bool,
+    to_stderr: bool,
+}
+
+impl Ui {
+    fn new(args: &Args) -> Self {
+        let stdout_claimed = ["report-json", "trace-out", "metrics-out"]
+            .iter()
+            .any(|k| args.get(k) == Some("-"));
+        Self {
+            quiet: args.quiet,
+            to_stderr: stdout_claimed,
+        }
+    }
+
+    fn say(&self, msg: impl AsRef<str>) {
+        if self.quiet {
+            return;
+        }
+        if self.to_stderr {
+            eprintln!("{}", msg.as_ref());
+        } else {
+            println!("{}", msg.as_ref());
+        }
+    }
+}
+
+/// Write a machine output to `path`, with `-` meaning stdout.
+fn write_out(path: &str, content: &str) -> Result<(), String> {
+    if path == "-" {
+        std::io::stdout()
+            .write_all(content.as_bytes())
+            .map_err(|e| format!("stdout: {e}"))
+    } else {
+        std::fs::write(path, content).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Export a recorded trace per `--trace-out` / `--metrics-out`.
+fn export_trace(args: &Args, ui: &Ui, sink: &MemorySink) -> Result<(), String> {
+    let events = sink.events();
+    if let Some(path) = args.get("trace-out") {
+        write_out(path, &chrome_trace_json(&events))?;
+        if path != "-" {
+            ui.say(format!(
+                "wrote chrome trace to {path} ({} events)",
+                events.len()
+            ));
+        }
+    }
+    if let Some(path) = args.get("metrics-out") {
+        write_out(path, &prometheus_text(&events))?;
+        if path != "-" {
+            ui.say(format!("wrote metrics to {path}"));
+        }
+    }
+    Ok(())
 }
 
 fn load_graph(args: &Args) -> Result<Csr, String> {
@@ -136,9 +214,14 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_bfs(args: &Args) -> Result<(), String> {
+    let ui = Ui::new(args);
     let g = load_graph(args)?;
     let src = source_for(args, &g)?;
     let threads: usize = args.parse_num("threads")?.unwrap_or(1);
+    let tracing = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
+    if tracing && threads > 1 {
+        return Err("--trace-out/--metrics-out require --threads 1".into());
+    }
     let policy_name = args.get("policy").unwrap_or("hybrid");
     let mut policy: Box<dyn SwitchPolicy> = match policy_name {
         "td" => Box::new(AlwaysTopDown),
@@ -148,24 +231,31 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown policy '{other}'")),
     };
 
+    let sink = MemorySink::new();
     let start = std::time::Instant::now();
     let t = if threads > 1 {
         par::run(&g, src, policy.as_mut(), threads)
+    } else if tracing {
+        hybrid::run_traced(&g, src, policy.as_mut(), &sink)
     } else {
         hybrid::run(&g, src, policy.as_mut())
     };
     let secs = start.elapsed().as_secs_f64();
     validate(&g, &t.output).map_err(|e| format!("validation failed: {e}"))?;
 
-    println!(
+    ui.say(format!(
         "BFS from {src} ({policy_name}, {threads} thread(s)): {} vertices in {} levels, {:.3} ms",
         t.output.visited_count(),
         t.depth(),
         secs * 1e3,
-    );
-    println!("directions: {:?}", t.direction_script());
-    println!("level histogram: {:?}", tree::level_histogram(&t.output));
-    println!("edges examined: {}", t.total_edges_examined());
+    ));
+    ui.say(format!("directions: {:?}", t.direction_script()));
+    ui.say(format!(
+        "level histogram: {:?}",
+        tree::level_histogram(&t.output)
+    ));
+    ui.say(format!("edges examined: {}", t.total_edges_examined()));
+    export_trace(args, &ui, &sink)?;
     Ok(())
 }
 
@@ -203,6 +293,7 @@ fn cmd_components(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_adaptive(args: &Args) -> Result<(), String> {
+    let ui = Ui::new(args);
     let g = load_graph(args)?;
     let src = source_for(args, &g)?;
     let stats = GraphStats::unknown(&g);
@@ -252,29 +343,36 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         }
     };
 
-    println!("training switch-point predictor (quick configuration)…");
+    ui.say("training switch-point predictor (quick configuration)…");
     let rt = AdaptiveRuntime::quick_trained();
     let params = rt.predict_params(&stats);
-    println!(
+    ui.say(format!(
         "predicted: handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
         params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n
-    );
+    ));
 
+    let sink = MemorySink::new();
+    let session = rt
+        .session(&g, &stats)
+        .params(params)
+        .fault_plan(&plan)
+        .resilience(config)
+        .sink(&sink);
     let run = match &resume_from {
         Some(ck) => {
-            println!(
+            ui.say(format!(
                 "resuming {} from level {} (checkpointed at {:.3} ms)",
                 ck.rung,
                 ck.level(),
                 ck.clock_s * 1e3
-            );
-            rt.resume_cross(&g, &stats, &plan, &config, ck)
+            ));
+            session.resume(ck)
         }
-        None => rt.run_cross_resilient_with(&g, &stats, src, &plan, &config),
+        None => session.source(src).run(),
     }
     .map_err(|e| format!("traversal failed: {e}"))?;
     let report = &run.report;
-    println!(
+    ui.say(format!(
         "rung: {} (tried: {})",
         report.rung,
         report
@@ -283,35 +381,37 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
             .map(|r| r.to_string())
             .collect::<Vec<_>>()
             .join(" -> ")
-    );
+    ));
     for e in &report.events {
-        println!(
+        ui.say(format!(
             "  fault: level {} {:?} on {:?} (attempt {})",
             e.level, e.kind, e.op, e.attempt
-        );
+        ));
     }
     for t in &report.breaker_transitions {
-        println!(
+        ui.say(format!(
             "  breaker: {} {} -> {} at {:.3} ms ({:?})",
             t.device,
             t.from,
             t.to,
             t.at_s * 1e3,
             t.cause
-        );
+        ));
     }
-    println!(
+    ui.say(format!(
         "simulated {:.3} ms total, {:.3} ms lost to recovery, {} retr{}",
         report.total_seconds * 1e3,
         report.recovery_seconds * 1e3,
         report.retries,
         if report.retries == 1 { "y" } else { "ies" },
-    );
+    ));
     if let Some(level) = report.resumed_from_level {
-        println!("resumed from level {level} (checkpointed state reused)");
+        ui.say(format!(
+            "resumed from level {level} (checkpointed state reused)"
+        ));
     }
     if report.checkpoints_taken > 0 || !report.resumes.is_empty() {
-        println!(
+        ui.say(format!(
             "checkpoints: {} taken ({} bytes, {:.3} ms overhead); \
              {} level(s) replayed, est. {:.3} ms saved vs restart",
             report.checkpoints_taken,
@@ -319,10 +419,10 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
             report.checkpoint_seconds * 1e3,
             report.levels_replayed,
             report.saved_seconds * 1e3,
-        );
+        ));
     }
     if !report.skipped_rungs.is_empty() {
-        println!(
+        ui.say(format!(
             "rungs skipped by open breakers: {}",
             report
                 .skipped_rungs
@@ -330,17 +430,20 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
                 .map(|r| r.to_string())
                 .collect::<Vec<_>>()
                 .join(", ")
-        );
+        ));
     }
-    println!(
+    ui.say(format!(
         "visited {} of {} vertices (validated)",
         run.output.visited_count(),
         g.num_vertices(),
-    );
+    ));
     if let Some(path) = args.get("report-json") {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote run report to {path}");
+        write_out(path, &report.to_json())?;
+        if path != "-" {
+            ui.say(format!("wrote run report to {path}"));
+        }
     }
+    export_trace(args, &ui, &sink)?;
     Ok(())
 }
 
@@ -349,12 +452,14 @@ usage: xbfs-cli <command> [flags]
 commands:
   gen        --scale S [--edgefactor E] [--seed X] --out FILE [--text]
   info       --graph FILE [--text]
-  bfs        --graph FILE [--source V] [--policy td|bu|hybrid|model] [--threads T] [--text]
+  bfs        --graph FILE [--source V] [--policy td|bu|hybrid|model] [--threads T]
+             [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   stcon      --graph FILE --from A --to B [--text]
   components --graph FILE [--text]
   adaptive   --graph FILE [--source V] [--fault-plan FILE.json] [--deadline SECS]
              [--retries N] [--checkpoint-interval L] [--spill CK.json]
-             [--resume CK.json] [--report-json R.json] [--text]
+             [--resume CK.json] [--report-json R.json]
+             [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
 
 adaptive runs the cross-architecture combination under an optional fault
 plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
@@ -363,7 +468,12 @@ CPUTD+GPUCB -> CPU-only hybrid -> sequential reference BFS. The output is
 Graph 500-validated on every rung. --checkpoint-interval L cuts a resumable
 checkpoint every L levels (--spill writes each one to disk as JSON);
 --resume continues a previous run from such a file instead of starting at
-level 0; --report-json writes the full RunReport as JSON.";
+level 0; --report-json writes the full RunReport as JSON.
+
+--trace-out records the run as chrome://tracing JSON (load the file at
+https://ui.perfetto.dev); --metrics-out writes Prometheus text-format
+counters keyed by device, rung, and direction. Both accept '-' for stdout;
+human narration then moves to stderr, and --quiet silences it entirely.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

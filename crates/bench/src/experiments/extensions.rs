@@ -4,7 +4,7 @@
 //!   (`archsim::CostModelPolicy`) against the paper's trained regression
 //!   and the exhaustive oracle: how much of the regression machinery a
 //!   calibrated model makes unnecessary.
-//! * [`relabel`] — Chhugani-style degree-descending vertex relabeling
+//! * [`relabel()`] — Chhugani-style degree-descending vertex relabeling
 //!   (cited in the paper's §VI): its effect on bottom-up probe counts and
 //!   on the tuned combination time.
 

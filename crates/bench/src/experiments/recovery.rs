@@ -13,9 +13,7 @@
 use crate::{result::Claim, ExperimentResult, Preset};
 use serde_json::json;
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
-use xbfs_core::{
-    recovery::run_cross_resilient_with, CheckpointPolicy, CrossParams, ResilienceConfig,
-};
+use xbfs_core::{CheckpointPolicy, CrossParams, ResilienceConfig, RunSession};
 use xbfs_engine::FixedMN;
 
 /// Checkpoint-cadence sweep under a seeded GPU loss.
@@ -61,7 +59,11 @@ pub fn run(preset: &Preset) -> ExperimentResult {
             },
             ..ResilienceConfig::default_runtime()
         };
-        let run = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+        let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&plan)
+            .resilience(config)
+            .run()
             .expect("the CPU-only rung serves this plan");
         let r = &run.report;
         if interval == 0 {

@@ -128,6 +128,115 @@ fn errors_are_clean() {
 }
 
 #[test]
+fn bfs_trace_and_metrics_outputs() {
+    let graph = tmpfile("bfs-trace.xbfs");
+    let trace = tmpfile("bfs-trace.json");
+    let metrics = tmpfile("bfs-metrics.prom");
+    stdout_of(cli().args(["gen", "--scale", "9", "--out", graph.to_str().unwrap()]));
+
+    let out = stdout_of(cli().args([
+        "bfs",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]));
+    assert!(out.contains("wrote chrome trace"), "{out}");
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(trace_text.contains("\"traceEvents\""), "{trace_text}");
+    assert!(trace_text.contains("engine-level"), "{trace_text}");
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        metrics_text.contains("xbfs_engine_levels_total"),
+        "{metrics_text}"
+    );
+
+    // --trace-out - puts the JSON on stdout and the narration on stderr;
+    // with --quiet stdout is pure JSON and stderr is silent.
+    let out = run_ok(cli().args([
+        "bfs",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--quiet",
+        "--trace-out",
+        "-",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"traceEvents\""), "{stdout}");
+    assert!(out.stderr.is_empty(), "quiet run must not narrate");
+
+    // Tracing is a single-thread feature; asking for both is an error.
+    let out = cli()
+        .args([
+            "bfs",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--trace-out",
+            "-",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(trace).ok();
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn adaptive_emits_trace_and_metrics() {
+    let graph = tmpfile("adaptive-trace.xbfs");
+    let trace = tmpfile("adaptive-trace.json");
+    let metrics = tmpfile("adaptive-metrics.prom");
+    stdout_of(cli().args(["gen", "--scale", "9", "--out", graph.to_str().unwrap()]));
+
+    let out = run_ok(cli().args([
+        "adaptive",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--checkpoint-interval",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]));
+    let narration = String::from_utf8_lossy(&out.stdout);
+    assert!(narration.contains("rung:"), "{narration}");
+
+    // The chrome trace is a JSON object with the trace-viewer's two
+    // top-level keys and spans from the simulated run.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(trace_text.trim_start().starts_with('{'), "{trace_text}");
+    assert!(trace_text.contains("\"traceEvents\""), "{trace_text}");
+    assert!(trace_text.contains("\"displayTimeUnit\""), "{trace_text}");
+    assert!(trace_text.contains("rung:cross"), "{trace_text}");
+    assert!(trace_text.contains("\"checkpoint\""), "{trace_text}");
+
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(metrics_text.contains("xbfs_levels_total"), "{metrics_text}");
+    assert!(
+        metrics_text.contains("xbfs_checkpoints_total"),
+        "{metrics_text}"
+    );
+    assert!(metrics_text.contains("# TYPE"), "{metrics_text}");
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(trace).ok();
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
 fn repro_binary_lists_and_rejects() {
     let repro = Command::new(env!("CARGO_BIN_EXE_repro"))
         .arg("--help")

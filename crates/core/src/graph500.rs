@@ -106,7 +106,7 @@ impl Graph500Report {
         let samples: Vec<Teps> = self
             .roots
             .iter()
-            .map(|r| Teps::new(r.component_edges, r.seconds))
+            .filter_map(|r| Teps::try_new(r.component_edges, r.seconds).ok())
             .collect();
         harmonic_mean_teps(&samples)
     }

@@ -70,13 +70,20 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable lowercase label for trace events and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
 impl std::fmt::Display for BreakerState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BreakerState::Closed => write!(f, "closed"),
-            BreakerState::Open => write!(f, "open"),
-            BreakerState::HalfOpen => write!(f, "half-open"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -93,6 +100,19 @@ pub enum TransitionCause {
     ProbeFailed,
     /// The half-open probe succeeded.
     ProbeSucceeded,
+}
+
+impl TransitionCause {
+    /// Stable lowercase label for trace events and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionCause::FailureThreshold => "failure-threshold",
+            TransitionCause::DeviceLost => "device-lost",
+            TransitionCause::ProbeWindow => "probe-window",
+            TransitionCause::ProbeFailed => "probe-failed",
+            TransitionCause::ProbeSucceeded => "probe-succeeded",
+        }
+    }
 }
 
 /// One recorded state change of one device's breaker.

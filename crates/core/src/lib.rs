@@ -29,11 +29,14 @@ pub mod cross;
 pub mod features;
 pub mod graph500;
 pub mod health;
+pub mod observe;
 pub mod oracle;
 pub mod predictor;
+pub mod prelude;
 pub mod recovery;
 pub mod runtime;
 mod seeded;
+pub mod session;
 pub mod strategies;
 pub mod training;
 
@@ -47,10 +50,11 @@ pub use features::feature_vector;
 pub use health::{
     BreakerPolicy, BreakerState, BreakerTransition, Device, DeviceHealth, HealthSnapshot,
 };
+pub use observe::{chrome_trace_json, prometheus_text};
 pub use oracle::MnGrid;
 pub use predictor::SwitchPredictor;
-pub use recovery::{
-    resume_cross_resilient, run_cross_resilient, run_cross_resilient_with, RecoveredRun,
-    ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung,
-};
+#[allow(deprecated)]
+pub use recovery::{resume_cross_resilient, run_cross_resilient, run_cross_resilient_with};
+pub use recovery::{RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung};
 pub use runtime::AdaptiveRuntime;
+pub use session::RunSession;

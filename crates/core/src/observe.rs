@@ -1,0 +1,851 @@
+//! Offline exporters that turn a recorded trace into standard formats.
+//!
+//! The sinks in [`xbfs_engine::trace`] deliberately do no interpretation —
+//! they buffer or count. This module consumes a buffered event list (from a
+//! [`MemorySink`](xbfs_engine::trace::MemorySink)) after the run and
+//! renders it two ways:
+//!
+//! * [`chrome_trace_json`] — the Chrome Trace Event format, loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>: one track per device
+//!   (cpu / gpu / link), one for the recovery ladder, one for the pure
+//!   engine; levels, kernel attempts, transfers, backoffs, and checkpoints
+//!   as duration spans; faults, breaker flips, and resumes as instants;
+//!   decomposed kernel costs as counter series.
+//! * [`prometheus_text`] — the Prometheus text exposition format: counters
+//!   keyed by device, rung, and direction, plus a per-device histogram of
+//!   simulated level durations.
+//!
+//! Both outputs are deterministic for a given event list (stable sorts,
+//! `BTreeMap`-ordered label sets), which is what lets the golden-file test
+//! pin the chrome trace byte-for-byte.
+
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use xbfs_engine::trace::TraceEvent;
+use xbfs_engine::Direction;
+
+/// Stable lowercase label for a direction, for metric keys and span names.
+fn dir_label(d: Direction) -> &'static str {
+    match d {
+        Direction::TopDown => "td",
+        Direction::BottomUp => "bu",
+    }
+}
+
+/// Thread-track id a device label renders on in the chrome trace.
+fn device_tid(device: &str) -> u64 {
+    match device {
+        "cpu" => 1,
+        "gpu" => 2,
+        "link" => 3,
+        _ => 0,
+    }
+}
+
+/// Track id for a fault-op label (faults render on the device they hit).
+fn op_tid(op: &str) -> u64 {
+    match op {
+        "cpu-kernel" => 1,
+        "gpu-kernel" => 2,
+        "transfer" => 3,
+        _ => 0,
+    }
+}
+
+const ENGINE_TID: u64 = 4;
+
+fn micros(s: f64) -> f64 {
+    s * 1e6
+}
+
+/// Render `events` as a Chrome Trace Event JSON document.
+///
+/// The output is a single JSON object `{"traceEvents": [...],
+/// "displayTimeUnit": "ms"}`. Metadata records name the process and the
+/// five tracks; every other record is sorted by timestamp (stable on the
+/// original event order), so timestamps are monotone — a property the
+/// golden test pins. Load the result in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut records: Vec<(f64, usize, Value)> = Vec::new();
+    let mut push = |ts: f64, seq: usize, v: Value| records.push((ts, seq, v));
+
+    // The pure engine has no simulated clock; lay its levels end to end.
+    let mut engine_cursor_s = 0.0;
+    // Rungs never nest, so one open slot pairs RungBegin with RungEnd.
+    let mut open_rung: Option<(&'static str, f64)> = None;
+
+    for (seq, ev) in events.iter().enumerate() {
+        match ev {
+            TraceEvent::RungBegin { rung, at_s } => {
+                open_rung = Some((rung, *at_s));
+            }
+            TraceEvent::RungEnd {
+                rung,
+                at_s,
+                outcome,
+            } => {
+                let start_s = match open_rung.take() {
+                    Some((r, s)) if r == *rung => s,
+                    _ => *at_s,
+                };
+                push(
+                    micros(start_s),
+                    seq,
+                    json!({
+                        "name": format!("rung:{rung}"),
+                        "cat": "rung",
+                        "ph": "X",
+                        "ts": micros(start_s),
+                        "dur": micros(at_s - start_s),
+                        "pid": 1,
+                        "tid": 0,
+                        "args": {"outcome": outcome.name()}
+                    }),
+                );
+            }
+            TraceEvent::RungSkipped { rung, device, at_s } => {
+                push(
+                    micros(*at_s),
+                    seq,
+                    json!({
+                        "name": format!("rung-skipped:{rung}"),
+                        "cat": "rung",
+                        "ph": "i",
+                        "ts": micros(*at_s),
+                        "pid": 1,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {"device": *device}
+                    }),
+                );
+            }
+            TraceEvent::Level {
+                rung,
+                device,
+                level,
+                direction,
+                frontier_vertices,
+                frontier_edges,
+                edges_examined,
+                discovered,
+                start_s,
+                end_s,
+            } => {
+                push(
+                    micros(*start_s),
+                    seq,
+                    json!({
+                        "name": format!("level {level} {}", dir_label(*direction)),
+                        "cat": "level",
+                        "ph": "X",
+                        "ts": micros(*start_s),
+                        "dur": micros(end_s - start_s),
+                        "pid": 1,
+                        "tid": device_tid(device),
+                        "args": {
+                            "rung": *rung,
+                            "frontier_vertices": *frontier_vertices,
+                            "frontier_edges": *frontier_edges,
+                            "edges_examined": *edges_examined,
+                            "discovered": *discovered
+                        }
+                    }),
+                );
+            }
+            TraceEvent::Kernel {
+                device,
+                op,
+                level,
+                attempt,
+                start_s,
+                end_s,
+                ok,
+            } => {
+                push(
+                    micros(*start_s),
+                    seq,
+                    json!({
+                        "name": *op,
+                        "cat": "kernel",
+                        "ph": "X",
+                        "ts": micros(*start_s),
+                        "dur": micros(end_s - start_s),
+                        "pid": 1,
+                        "tid": device_tid(device),
+                        "args": {"level": *level, "attempt": *attempt, "ok": *ok}
+                    }),
+                );
+            }
+            TraceEvent::Transfer {
+                level,
+                bytes,
+                attempt,
+                start_s,
+                end_s,
+                ok,
+            } => {
+                push(
+                    micros(*start_s),
+                    seq,
+                    json!({
+                        "name": "transfer",
+                        "cat": "transfer",
+                        "ph": "X",
+                        "ts": micros(*start_s),
+                        "dur": micros(end_s - start_s),
+                        "pid": 1,
+                        "tid": 3,
+                        "args": {"level": *level, "bytes": *bytes, "attempt": *attempt, "ok": *ok}
+                    }),
+                );
+            }
+            TraceEvent::Backoff {
+                op,
+                level,
+                retry,
+                start_s,
+                end_s,
+            } => {
+                push(
+                    micros(*start_s),
+                    seq,
+                    json!({
+                        "name": format!("backoff:{op}"),
+                        "cat": "retry",
+                        "ph": "X",
+                        "ts": micros(*start_s),
+                        "dur": micros(end_s - start_s),
+                        "pid": 1,
+                        "tid": 0,
+                        "args": {"level": *level, "retry": *retry}
+                    }),
+                );
+            }
+            TraceEvent::Fault {
+                op,
+                kind,
+                level,
+                attempt,
+                at_s,
+            } => {
+                push(
+                    micros(*at_s),
+                    seq,
+                    json!({
+                        "name": format!("fault:{kind}"),
+                        "cat": "fault",
+                        "ph": "i",
+                        "ts": micros(*at_s),
+                        "pid": 1,
+                        "tid": op_tid(op),
+                        "s": "t",
+                        "args": {"op": *op, "level": *level, "attempt": *attempt}
+                    }),
+                );
+            }
+            TraceEvent::Breaker {
+                device,
+                from,
+                to,
+                cause,
+                at_s,
+            } => {
+                push(
+                    micros(*at_s),
+                    seq,
+                    json!({
+                        "name": format!("breaker:{from}->{to}"),
+                        "cat": "breaker",
+                        "ph": "i",
+                        "ts": micros(*at_s),
+                        "pid": 1,
+                        "tid": device_tid(device),
+                        "s": "t",
+                        "args": {"cause": *cause}
+                    }),
+                );
+            }
+            TraceEvent::Checkpoint {
+                rung,
+                level,
+                bytes,
+                spilled,
+                start_s,
+                end_s,
+            } => {
+                push(
+                    micros(*start_s),
+                    seq,
+                    json!({
+                        "name": "checkpoint",
+                        "cat": "checkpoint",
+                        "ph": "X",
+                        "ts": micros(*start_s),
+                        "dur": micros(end_s - start_s),
+                        "pid": 1,
+                        "tid": 0,
+                        "args": {
+                            "rung": *rung,
+                            "level": *level,
+                            "bytes": *bytes,
+                            "spilled": *spilled
+                        }
+                    }),
+                );
+            }
+            TraceEvent::Resume {
+                rung,
+                from_level,
+                translated,
+                external,
+                at_s,
+            } => {
+                push(
+                    micros(*at_s),
+                    seq,
+                    json!({
+                        "name": "resume",
+                        "cat": "checkpoint",
+                        "ph": "i",
+                        "ts": micros(*at_s),
+                        "pid": 1,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {
+                            "rung": *rung,
+                            "from_level": *from_level,
+                            "translated": *translated,
+                            "external": *external
+                        }
+                    }),
+                );
+            }
+            TraceEvent::KernelCost {
+                device,
+                level,
+                direction,
+                total_s,
+                overhead_s,
+                work_s,
+                bound,
+                at_s,
+            } => {
+                push(
+                    micros(*at_s),
+                    seq,
+                    json!({
+                        "name": format!("cost:{device}"),
+                        "cat": "cost",
+                        "ph": "C",
+                        "ts": micros(*at_s),
+                        "pid": 1,
+                        "tid": device_tid(device),
+                        "args": {
+                            "overhead_us": micros(*overhead_s),
+                            "work_us": micros(*work_s),
+                            "total_us": micros(*total_s),
+                            "level": *level,
+                            "direction": dir_label(*direction),
+                            "bound": *bound
+                        }
+                    }),
+                );
+            }
+            TraceEvent::EngineLevel {
+                level,
+                direction,
+                frontier_vertices,
+                frontier_edges,
+                edges_examined,
+                discovered,
+                wall_s,
+            } => {
+                let start_s = engine_cursor_s;
+                engine_cursor_s += *wall_s;
+                push(
+                    micros(start_s),
+                    seq,
+                    json!({
+                        "name": format!("level {level} {}", dir_label(*direction)),
+                        "cat": "engine-level",
+                        "ph": "X",
+                        "ts": micros(start_s),
+                        "dur": micros(*wall_s),
+                        "pid": 1,
+                        "tid": ENGINE_TID,
+                        "args": {
+                            "frontier_vertices": *frontier_vertices,
+                            "frontier_edges": *frontier_edges,
+                            "edges_examined": *edges_examined,
+                            "discovered": *discovered
+                        }
+                    }),
+                );
+            }
+        }
+    }
+
+    records.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+
+    let mut trace_events: Vec<Value> =
+        vec![json!({"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "xbfs"}})];
+    for (tid, name) in [
+        (0u64, "ladder"),
+        (1, "cpu"),
+        (2, "gpu"),
+        (3, "link"),
+        (ENGINE_TID, "engine"),
+    ] {
+        trace_events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name}
+        }));
+    }
+    trace_events.extend(records.into_iter().map(|(_, _, v)| v));
+
+    let doc = json!({"traceEvents": trace_events, "displayTimeUnit": "ms"});
+    serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+}
+
+/// A family of counters with a shared name, keyed by a rendered label set.
+#[derive(Default)]
+struct Counter {
+    series: BTreeMap<String, f64>,
+}
+
+impl Counter {
+    fn add(&mut self, labels: &[(&str, &str)], v: f64) {
+        *self.series.entry(render_labels(labels)).or_insert(0.0) += v;
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Prometheus prints integers bare and everything else in the shortest
+/// round-trip form `{}` already produces for `f64`.
+fn render_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_counter(out: &mut String, name: &str, help: &str, c: &Counter) {
+    if c.series.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+    for (labels, v) in &c.series {
+        out.push_str(&format!("{name}{labels} {}\n", render_value(*v)));
+    }
+}
+
+/// Histogram bucket upper bounds for simulated level durations, seconds.
+const LEVEL_BUCKETS_S: [f64; 6] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+#[derive(Default)]
+struct Histogram {
+    // label set → (per-bucket cumulative-style raw counts, sum, count)
+    series: BTreeMap<String, ([u64; LEVEL_BUCKETS_S.len()], f64, u64)>,
+}
+
+impl Histogram {
+    fn observe(&mut self, labels: &[(&str, &str)], v: f64) {
+        let entry = self.series.entry(render_labels(labels)).or_insert((
+            [0; LEVEL_BUCKETS_S.len()],
+            0.0,
+            0,
+        ));
+        for (i, le) in LEVEL_BUCKETS_S.iter().enumerate() {
+            if v <= *le {
+                entry.0[i] += 1;
+            }
+        }
+        entry.1 += v;
+        entry.2 += 1;
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    if h.series.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    for (labels, (buckets, sum, count)) in &h.series {
+        // Splice the `le` label into the rendered set.
+        let open = |le: &str| {
+            if labels.is_empty() {
+                format!("{{le=\"{le}\"}}")
+            } else {
+                format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+            }
+        };
+        for (i, le) in LEVEL_BUCKETS_S.iter().enumerate() {
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                open(&format!("{le}")),
+                buckets[i]
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{} {count}\n", open("+Inf")));
+        out.push_str(&format!("{name}_sum{labels} {}\n", render_value(*sum)));
+        out.push_str(&format!("{name}_count{labels} {count}\n"));
+    }
+}
+
+/// Render `events` in the Prometheus text exposition format.
+///
+/// Counters are keyed by device, rung, direction, outcome, or fault kind as
+/// appropriate; simulated level durations additionally feed a per-device
+/// histogram. Output order is deterministic (`BTreeMap` label ordering), so
+/// the text is diff-stable across runs of the same trace.
+pub fn prometheus_text(events: &[TraceEvent]) -> String {
+    let mut levels = Counter::default();
+    let mut level_edges = Counter::default();
+    let mut level_seconds = Histogram::default();
+    let mut kernel_attempts = Counter::default();
+    let mut transfer_attempts = Counter::default();
+    let mut transfer_bytes = Counter::default();
+    let mut faults = Counter::default();
+    let mut backoff_seconds = Counter::default();
+    let mut breaker_transitions = Counter::default();
+    let mut checkpoints = Counter::default();
+    let mut checkpoint_bytes = Counter::default();
+    let mut resumes = Counter::default();
+    let mut rungs = Counter::default();
+    let mut rungs_skipped = Counter::default();
+    let mut engine_levels = Counter::default();
+    let mut engine_seconds = Counter::default();
+
+    for ev in events {
+        match ev {
+            TraceEvent::RungBegin { .. } => {}
+            TraceEvent::RungEnd { rung, outcome, .. } => {
+                rungs.add(&[("rung", rung), ("outcome", outcome.name())], 1.0);
+            }
+            TraceEvent::RungSkipped { rung, device, .. } => {
+                rungs_skipped.add(&[("rung", rung), ("device", device)], 1.0);
+            }
+            TraceEvent::Level {
+                rung,
+                device,
+                direction,
+                edges_examined,
+                start_s,
+                end_s,
+                ..
+            } => {
+                let key = [
+                    ("device", *device),
+                    ("rung", *rung),
+                    ("direction", dir_label(*direction)),
+                ];
+                levels.add(&key, 1.0);
+                level_edges.add(&key, *edges_examined as f64);
+                level_seconds.observe(&[("device", *device)], end_s - start_s);
+            }
+            TraceEvent::Kernel { device, ok, .. } => {
+                kernel_attempts.add(
+                    &[
+                        ("device", device),
+                        ("ok", if *ok { "true" } else { "false" }),
+                    ],
+                    1.0,
+                );
+            }
+            TraceEvent::Transfer { bytes, ok, .. } => {
+                let ok_label = if *ok { "true" } else { "false" };
+                transfer_attempts.add(&[("ok", ok_label)], 1.0);
+                transfer_bytes.add(&[("ok", ok_label)], *bytes as f64);
+            }
+            TraceEvent::Backoff {
+                op, start_s, end_s, ..
+            } => {
+                backoff_seconds.add(&[("op", op)], end_s - start_s);
+            }
+            TraceEvent::Fault { op, kind, .. } => {
+                faults.add(&[("op", op), ("kind", kind)], 1.0);
+            }
+            TraceEvent::Breaker { device, to, .. } => {
+                breaker_transitions.add(&[("device", device), ("to", to)], 1.0);
+            }
+            TraceEvent::Checkpoint {
+                rung,
+                bytes,
+                spilled,
+                ..
+            } => {
+                let key = [
+                    ("rung", *rung),
+                    ("spilled", if *spilled { "true" } else { "false" }),
+                ];
+                checkpoints.add(&key, 1.0);
+                checkpoint_bytes.add(&key, *bytes as f64);
+            }
+            TraceEvent::Resume { rung, .. } => {
+                resumes.add(&[("rung", rung)], 1.0);
+            }
+            TraceEvent::KernelCost { .. } => {}
+            TraceEvent::EngineLevel {
+                direction, wall_s, ..
+            } => {
+                let key = [("direction", dir_label(*direction))];
+                engine_levels.add(&key, 1.0);
+                engine_seconds.add(&key, *wall_s);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    write_counter(
+        &mut out,
+        "xbfs_levels_total",
+        "BFS levels executed under the simulated cost model.",
+        &levels,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_level_edges_examined_total",
+        "Edges examined by simulated levels.",
+        &level_edges,
+    );
+    write_histogram(
+        &mut out,
+        "xbfs_level_seconds",
+        "Simulated duration of BFS levels, per device.",
+        &level_seconds,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_kernel_attempts_total",
+        "Kernel attempts on the fault/retry path.",
+        &kernel_attempts,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_transfer_attempts_total",
+        "Host-device transfer attempts across the link.",
+        &transfer_attempts,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_transfer_bytes_total",
+        "Bytes moved (nominal payload) by transfer attempts.",
+        &transfer_bytes,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_faults_total",
+        "Injected faults observed.",
+        &faults,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_backoff_seconds_total",
+        "Simulated seconds spent in retry backoff.",
+        &backoff_seconds,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_breaker_transitions_total",
+        "Circuit-breaker state transitions.",
+        &breaker_transitions,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_checkpoints_total",
+        "Level-boundary checkpoints captured.",
+        &checkpoints,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_checkpoint_bytes_total",
+        "Serialized bytes across captured checkpoints.",
+        &checkpoint_bytes,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_resumes_total",
+        "Rungs that started from a checkpoint.",
+        &resumes,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_rungs_total",
+        "Recovery-ladder rungs finished, by outcome.",
+        &rungs,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_rungs_skipped_total",
+        "Rungs skipped by an open circuit breaker.",
+        &rungs_skipped,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_engine_levels_total",
+        "Levels executed by the pure engine (wall-clock timed).",
+        &engine_levels,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_engine_level_seconds_total",
+        "Wall-clock seconds across pure-engine levels.",
+        &engine_seconds,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_engine::trace::RungOutcome;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RungBegin {
+                rung: "cross",
+                at_s: 0.0,
+            },
+            TraceEvent::Transfer {
+                level: 2,
+                bytes: 4096,
+                attempt: 0,
+                start_s: 0.001,
+                end_s: 0.0015,
+                ok: true,
+            },
+            TraceEvent::Fault {
+                op: "gpu-kernel",
+                kind: "kernel-timeout",
+                level: 2,
+                attempt: 0,
+                at_s: 0.002,
+            },
+            TraceEvent::Kernel {
+                device: "gpu",
+                op: "gpu-kernel",
+                level: 2,
+                attempt: 1,
+                start_s: 0.0025,
+                end_s: 0.004,
+                ok: true,
+            },
+            TraceEvent::Level {
+                rung: "cross",
+                device: "gpu",
+                level: 2,
+                direction: Direction::BottomUp,
+                frontier_vertices: 100,
+                frontier_edges: 1000,
+                edges_examined: 900,
+                discovered: 80,
+                start_s: 0.001,
+                end_s: 0.004,
+            },
+            TraceEvent::Breaker {
+                device: "gpu",
+                from: "closed",
+                to: "open",
+                cause: "failure-threshold",
+                at_s: 0.004,
+            },
+            TraceEvent::RungEnd {
+                rung: "cross",
+                at_s: 0.005,
+                outcome: RungOutcome::Served,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_monotone_timestamps() {
+        let text = chrome_trace_json(&sample_events());
+        let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(doc["displayTimeUnit"], "ms");
+        let evs = doc["traceEvents"].as_array().expect("traceEvents array");
+        // Process + five thread metadata records lead the stream.
+        assert_eq!(evs[0]["ph"], "M");
+        assert_eq!(evs[0]["name"], "process_name");
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut seen_non_meta = 0;
+        for ev in evs {
+            if ev["ph"] == "M" {
+                continue;
+            }
+            seen_non_meta += 1;
+            let ts = ev["ts"].as_f64().expect("ts is a number");
+            assert!(ts >= last_ts, "timestamps must be monotone");
+            last_ts = ts;
+            if ev["ph"] == "X" {
+                assert!(ev["dur"].as_f64().expect("dur") >= 0.0);
+            }
+        }
+        assert_eq!(seen_non_meta, 6, "one record per non-RungBegin event");
+    }
+
+    #[test]
+    fn chrome_trace_pairs_rung_spans() {
+        let text = chrome_trace_json(&sample_events());
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let rung = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"] == "rung:cross")
+            .expect("rung span present");
+        assert_eq!(rung["ph"], "X");
+        assert_eq!(rung["ts"], 0.0);
+        assert_eq!(rung["dur"], 5000.0); // 0.005 s in µs
+        assert_eq!(rung["args"]["outcome"], "served");
+    }
+
+    #[test]
+    fn prometheus_text_aggregates_by_labels() {
+        let text = prometheus_text(&sample_events());
+        assert!(
+            text.contains("xbfs_levels_total{device=\"gpu\",rung=\"cross\",direction=\"bu\"} 1")
+        );
+        assert!(text.contains(
+            "xbfs_level_edges_examined_total{device=\"gpu\",rung=\"cross\",direction=\"bu\"} 900"
+        ));
+        assert!(text.contains("xbfs_kernel_attempts_total{device=\"gpu\",ok=\"true\"} 1"));
+        assert!(text.contains("xbfs_transfer_bytes_total{ok=\"true\"} 4096"));
+        assert!(text.contains("xbfs_faults_total{op=\"gpu-kernel\",kind=\"kernel-timeout\"} 1"));
+        assert!(text.contains("xbfs_breaker_transitions_total{device=\"gpu\",to=\"open\"} 1"));
+        assert!(text.contains("xbfs_rungs_total{rung=\"cross\",outcome=\"served\"} 1"));
+        assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"+Inf\"} 1"));
+        assert!(text.contains("xbfs_level_seconds_count{device=\"gpu\"} 1"));
+        // A 3 ms level lands in the 0.01 bucket but not the 0.001 bucket.
+        assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"0.001\"} 0"));
+        assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"0.01\"} 1"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_exports() {
+        let prom = prometheus_text(&[]);
+        assert!(prom.is_empty());
+        let chrome = chrome_trace_json(&[]);
+        let doc: Value = serde_json::from_str(&chrome).unwrap();
+        // Only metadata records remain.
+        assert!(doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|e| e["ph"] == "M"));
+    }
+}

@@ -1,0 +1,22 @@
+//! One-line import for the common way in: `use xbfs_core::prelude::*;`.
+//!
+//! Re-exports the [`RunSession`] entry point with everything needed to
+//! configure it (resilience, checkpoints, fault plans, trace sinks), the
+//! result types it produces, and the exporters that turn a recorded trace
+//! into chrome://tracing JSON or Prometheus text.
+
+pub use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
+pub use crate::cross::CrossParams;
+pub use crate::health::{BreakerPolicy, BreakerState, BreakerTransition, Device};
+pub use crate::observe::{chrome_trace_json, prometheus_text};
+pub use crate::recovery::{
+    RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung,
+};
+pub use crate::runtime::AdaptiveRuntime;
+pub use crate::session::RunSession;
+pub use crate::training::TrainingConfig;
+pub use xbfs_archsim::{ArchSpec, FaultPlan, Link};
+pub use xbfs_engine::trace::{
+    CountingSink, MemorySink, NullSink, TraceCounts, TraceEvent, TraceSink, NULL_SINK,
+};
+pub use xbfs_engine::XbfsError;

@@ -20,7 +20,7 @@
 //!   success; a rung that produces an invalid tree is treated as faulty,
 //!   never as done.
 //! * **Level-granular checkpoints** — with a
-//!   [`CheckpointPolicy`](crate::checkpoint::CheckpointPolicy) enabled,
+//!   [`CheckpointPolicy`] enabled,
 //!   the executing rung cuts a [`LevelCheckpoint`] at configurable level
 //!   boundaries. A failed rung no longer drags the whole traversal back
 //!   to level 0: the next rung (or, via [`resume_cross_resilient`], the
@@ -45,6 +45,7 @@ use serde::{Deserialize, Serialize};
 use xbfs_archsim::fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession};
 use xbfs_archsim::{cost, ArchSpec, Link};
 use xbfs_engine::{
+    trace::{RungOutcome, TraceEvent, TraceSink},
     validate, AlwaysTopDown, BfsOutput, FixedMN, LevelRecord, TraversalState, XbfsError,
 };
 use xbfs_graph::{Csr, VertexId};
@@ -193,6 +194,15 @@ impl Rung {
             Rung::CrossCpuGpu => &[Device::Cpu, Device::Gpu, Device::Link],
             Rung::CpuOnly => &[Device::Cpu],
             Rung::Reference => &[],
+        }
+    }
+
+    /// Stable lowercase label for trace events and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::CrossCpuGpu => "cross",
+            Rung::CpuOnly => "cpu-only",
+            Rung::Reference => "reference",
         }
     }
 }
@@ -362,10 +372,14 @@ struct Recovery<'a> {
     saved_seconds: f64,
     resumes: Vec<ResumeRecord>,
     skipped: Vec<Rung>,
+    /// Trace destination; the default [`NULL_SINK`](xbfs_engine::trace::NULL_SINK)
+    /// reports itself disabled, so instrumentation sites skip event
+    /// construction entirely.
+    sink: &'a dyn TraceSink,
 }
 
 impl<'a> Recovery<'a> {
-    fn new(plan: &'a FaultPlan, config: &ResilienceConfig) -> Self {
+    fn new(plan: &'a FaultPlan, config: &ResilienceConfig, sink: &'a dyn TraceSink) -> Self {
         Self {
             session: plan.session(),
             retry: config.retry,
@@ -393,6 +407,7 @@ impl<'a> Recovery<'a> {
             saved_seconds: 0.0,
             resumes: Vec::new(),
             skipped: Vec::new(),
+            sink,
         }
     }
 
@@ -403,6 +418,7 @@ impl<'a> Recovery<'a> {
         plan: &'a FaultPlan,
         config: &ResilienceConfig,
         ck: &LevelCheckpoint,
+        sink: &'a dyn TraceSink,
     ) -> Result<Self, XbfsError> {
         let session = plan.session_at(&ck.fault_cursor)?;
         let mut health = DeviceHealth::new(config.breaker, plan.seed);
@@ -434,24 +450,79 @@ impl<'a> Recovery<'a> {
             saved_seconds: 0.0,
             resumes: Vec::new(),
             skipped: Vec::new(),
+            sink,
         })
+    }
+
+    /// Emit the span for one attempt of a fallible operation: a
+    /// [`TraceEvent::Transfer`] for link ops, a [`TraceEvent::Kernel`]
+    /// otherwise, ending at the current clock.
+    #[allow(clippy::too_many_arguments)] // one flat span, one call site shape
+    fn emit_attempt(
+        &self,
+        op: FaultOp,
+        device: Device,
+        level: usize,
+        attempt: u32,
+        bytes: u64,
+        start_s: f64,
+        ok: bool,
+    ) {
+        let ev = match op {
+            FaultOp::Transfer => TraceEvent::Transfer {
+                level: level as u32,
+                bytes,
+                attempt: attempt - 1,
+                start_s,
+                end_s: self.clock.elapsed_s,
+                ok,
+            },
+            FaultOp::GpuKernel | FaultOp::CpuKernel => TraceEvent::Kernel {
+                device: device.name(),
+                op: op.name(),
+                level: level as u32,
+                attempt: attempt - 1,
+                start_s,
+                end_s: self.clock.elapsed_s,
+                ok,
+            },
+        };
+        self.sink.record(&ev);
+    }
+
+    /// Emit the instant for one injected fault.
+    fn emit_fault(&self, op: FaultOp, kind: FaultKind, level: usize, attempt: u32) {
+        self.sink.record(&TraceEvent::Fault {
+            op: op.name(),
+            kind: kind.name(),
+            level: level as u32,
+            attempt: attempt - 1,
+            at_s: self.clock.elapsed_s,
+        });
     }
 
     /// Run one fallible operation of nominal duration `nominal_s`,
     /// retrying transients per policy and feeding every outcome to the
-    /// device's circuit breaker.
+    /// device's circuit breaker. `bytes` is the payload size reported on
+    /// transfer spans (0 for kernels).
     fn attempt_op(
         &mut self,
         op: FaultOp,
         level: usize,
         nominal_s: f64,
         device: Device,
+        bytes: u64,
     ) -> Result<(), RungError> {
+        let traced = self.sink.enabled();
         for attempt in 1..=self.retry.max_attempts {
+            let start_s = self.clock.elapsed_s;
             match self.session.check(op, level) {
                 None => {
                     self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
                     self.health.record_success(device, self.clock.elapsed_s);
+                    if traced {
+                        self.emit_attempt(op, device, level, attempt, bytes, start_s, true);
+                    }
                     return Ok(());
                 }
                 Some(FaultKind::LinkStall) => {
@@ -461,11 +532,17 @@ impl<'a> Recovery<'a> {
                         kind: FaultKind::LinkStall,
                         attempt,
                     });
+                    if traced {
+                        self.emit_fault(op, FaultKind::LinkStall, level, attempt);
+                    }
                     let stalled = nominal_s * self.stall_factor;
                     self.lost_s += stalled - nominal_s;
                     self.clock.charge(stalled).map_err(RungError::Fatal)?;
                     // Slow but done: a stall is not a breaker failure.
                     self.health.record_success(device, self.clock.elapsed_s);
+                    if traced {
+                        self.emit_attempt(op, device, level, attempt, bytes, start_s, true);
+                    }
                     return Ok(());
                 }
                 Some(kind @ (FaultKind::TransferFailure | FaultKind::KernelTimeout)) => {
@@ -475,11 +552,17 @@ impl<'a> Recovery<'a> {
                         kind,
                         attempt,
                     });
+                    if traced {
+                        self.emit_fault(op, kind, level, attempt);
+                    }
                     // The failed attempt's full time is wasted.
                     self.lost_s += nominal_s;
                     self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
                     self.health
                         .record_failure(device, self.clock.elapsed_s, false);
+                    if traced {
+                        self.emit_attempt(op, device, level, attempt, bytes, start_s, false);
+                    }
                     if attempt == self.retry.max_attempts {
                         let e = match kind {
                             FaultKind::TransferFailure => XbfsError::TransferFailed {
@@ -498,7 +581,17 @@ impl<'a> Recovery<'a> {
                     let backoff = self.retry.backoff_s(attempt - 1, u);
                     self.lost_s += backoff;
                     self.retries += 1;
+                    let backoff_start = self.clock.elapsed_s;
                     self.clock.charge(backoff).map_err(RungError::Fatal)?;
+                    if traced {
+                        self.sink.record(&TraceEvent::Backoff {
+                            op: op.name(),
+                            level: level as u32,
+                            retry: attempt - 1,
+                            start_s: backoff_start,
+                            end_s: self.clock.elapsed_s,
+                        });
+                    }
                 }
                 Some(FaultKind::DeviceLost) => {
                     self.events.push(FaultEvent {
@@ -507,6 +600,9 @@ impl<'a> Recovery<'a> {
                         kind: FaultKind::DeviceLost,
                         attempt,
                     });
+                    if traced {
+                        self.emit_fault(op, FaultKind::DeviceLost, level, attempt);
+                    }
                     self.health
                         .record_failure(device, self.clock.elapsed_s, true);
                     return Err(RungError::Degrade(XbfsError::DeviceLost {
@@ -519,11 +615,46 @@ impl<'a> Recovery<'a> {
         unreachable!("loop returns on success, exhaustion, or device loss")
     }
 
-    /// Book a completed level into the execution counters.
-    fn note_level(&mut self, rec: &LevelRecord) {
+    /// Book a completed level into the execution counters and emit its
+    /// [`TraceEvent::Level`] span: `start_s` is the clock before the
+    /// level's first charge, the span ends at the current clock.
+    fn note_level(&mut self, rec: &LevelRecord, rung: Rung, device: &'static str, start_s: f64) {
         self.levels_executed += 1;
         self.edges_examined += rec.edges_examined;
         self.furthest_completed = self.furthest_completed.max(rec.level + 1);
+        if self.sink.enabled() {
+            self.sink.record(&TraceEvent::Level {
+                rung: rung.label(),
+                device,
+                level: rec.level,
+                direction: rec.direction,
+                frontier_vertices: rec.frontier_vertices,
+                frontier_edges: rec.frontier_edges,
+                edges_examined: rec.edges_examined,
+                discovered: rec.discovered,
+                start_s,
+                end_s: self.clock.elapsed_s,
+            });
+        }
+    }
+
+    /// Report every recorded breaker transition to the sink, exactly once
+    /// per ladder, at a terminal point — the emitted list is identical to
+    /// `RunReport::breaker_transitions` (globally time-sorted), which the
+    /// span-tree reconciliation tests rely on.
+    fn emit_breakers(&mut self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        for tr in self.health.transitions() {
+            self.sink.record(&TraceEvent::Breaker {
+                device: tr.device.name(),
+                from: tr.from.name(),
+                to: tr.to.name(),
+                cause: tr.cause.name(),
+                at_s: tr.at_s,
+            });
+        }
     }
 
     /// Cut a checkpoint at the level boundary in front of `st` if one is
@@ -549,6 +680,7 @@ impl<'a> Recovery<'a> {
             // This boundary is already durable (we just resumed here).
             return Ok(());
         }
+        let capture_start_s = self.clock.elapsed_s;
         let handed = driver.is_some_and(|d| d.handed_off());
         let residency = if handed {
             Residency::Device
@@ -589,11 +721,23 @@ impl<'a> Recovery<'a> {
             return Ok(());
         }
         self.checkpoints_taken += 1;
-        self.checkpoint_bytes += ck.byte_size();
+        let bytes = ck.byte_size();
+        self.checkpoint_bytes += bytes;
+        let spilled = self.checkpoint.spill.is_some();
         if let Some(path) = self.checkpoint.spill.clone() {
             ck.spill(&path).map_err(RungError::Fatal)?;
         }
         self.latest = Some(ck);
+        if self.sink.enabled() {
+            self.sink.record(&TraceEvent::Checkpoint {
+                rung: rung.label(),
+                level: st.next_level,
+                bytes,
+                spilled,
+                start_s: capture_start_s,
+                end_s: self.clock.elapsed_s,
+            });
+        }
         Ok(())
     }
 
@@ -697,12 +841,78 @@ impl<'a> Recovery<'a> {
             translated,
             external,
         });
+        if self.sink.enabled() {
+            self.sink.record(&TraceEvent::Resume {
+                rung: rung.label(),
+                from_level: from,
+                translated,
+                external,
+                at_s: self.clock.elapsed_s,
+            });
+        }
         Ok(RungStart {
             state,
             driver,
             device_discovered,
         })
     }
+}
+
+/// Everything an execution needs besides its starting point: the graph,
+/// the platform, the fault plan, the failure policy, and the trace sink.
+/// [`RunSession`](crate::session::RunSession) assembles one of these; the
+/// deprecated free functions are thin shims that do the same.
+pub(crate) struct ExecArgs<'a> {
+    pub csr: &'a Csr,
+    pub cpu: &'a ArchSpec,
+    pub gpu: &'a ArchSpec,
+    pub link: &'a Link,
+    pub params: &'a CrossParams,
+    pub plan: &'a FaultPlan,
+    pub config: &'a ResilienceConfig,
+    pub sink: &'a dyn TraceSink,
+}
+
+/// Start the full degradation ladder fresh from `source`.
+pub(crate) fn execute_fresh(
+    args: &ExecArgs<'_>,
+    source: VertexId,
+) -> Result<RecoveredRun, XbfsError> {
+    args.params.validate()?;
+    args.plan.validate()?;
+    args.config.validate()?;
+    if source >= args.csr.num_vertices() {
+        return Err(XbfsError::BadSource {
+            source,
+            num_vertices: args.csr.num_vertices(),
+        });
+    }
+    let rec = Recovery::new(args.plan, args.config, args.sink);
+    ladder(
+        args,
+        source,
+        rec,
+        &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
+    )
+}
+
+/// Resume the ladder from `checkpoint`, starting at its rung.
+pub(crate) fn execute_resume(
+    args: &ExecArgs<'_>,
+    checkpoint: &LevelCheckpoint,
+) -> Result<RecoveredRun, XbfsError> {
+    args.params.validate()?;
+    args.plan.validate()?;
+    args.config.validate()?;
+    checkpoint.validate_for(args.csr)?;
+    let source = checkpoint.state.output.source;
+    let rec = Recovery::resume(args.plan, args.config, checkpoint, args.sink)?;
+    let rungs: &[Rung] = match checkpoint.rung {
+        Rung::CrossCpuGpu => &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
+        Rung::CpuOnly => &[Rung::CpuOnly, Rung::Reference],
+        Rung::Reference => &[Rung::Reference],
+    };
+    ladder(args, source, rec, rungs)
 }
 
 /// Run the cross-architecture combination under a fault plan, degrading
@@ -713,6 +923,9 @@ impl<'a> Recovery<'a> {
 /// errors that escape are argument validation, [`XbfsError::DeadlineExceeded`],
 /// and (if even the reference rung cannot produce a valid tree)
 /// [`XbfsError::Validation`] / the last rung's fault.
+#[deprecated(
+    note = "use `RunSession::on_platform(..).source(..).fault_plan(..).resilience(..).run()` instead"
+)]
 #[allow(clippy::too_many_arguments)] // the runtime's full failure surface
 pub fn run_cross_resilient(
     csr: &Csr,
@@ -731,12 +944,19 @@ pub fn run_cross_resilient(
         checkpoint: CheckpointPolicy::disabled(),
         breaker: BreakerPolicy::default_runtime(),
     };
-    run_cross_resilient_with(csr, source, cpu, gpu, link, params, plan, &config)
+    crate::session::RunSession::on_platform(csr, cpu, gpu, link, params)
+        .source(source)
+        .fault_plan(plan)
+        .resilience(config)
+        .run()
 }
 
 /// [`run_cross_resilient`] with the full [`ResilienceConfig`] surface:
 /// level-granular checkpoints (optionally spilled to disk) and per-device
 /// circuit breakers on top of retries and the deadline budget.
+#[deprecated(
+    note = "use `RunSession::on_platform(..).source(..).fault_plan(..).resilience(..).run()` instead"
+)]
 #[allow(clippy::too_many_arguments)] // the runtime's full failure surface
 pub fn run_cross_resilient_with(
     csr: &Csr,
@@ -748,26 +968,11 @@ pub fn run_cross_resilient_with(
     plan: &FaultPlan,
     config: &ResilienceConfig,
 ) -> Result<RecoveredRun, XbfsError> {
-    params.validate()?;
-    plan.validate()?;
-    config.validate()?;
-    if source >= csr.num_vertices() {
-        return Err(XbfsError::BadSource {
-            source,
-            num_vertices: csr.num_vertices(),
-        });
-    }
-    let rec = Recovery::new(plan, config);
-    ladder(
-        csr,
-        source,
-        cpu,
-        gpu,
-        link,
-        params,
-        rec,
-        &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
-    )
+    crate::session::RunSession::on_platform(csr, cpu, gpu, link, params)
+        .source(source)
+        .fault_plan(plan)
+        .resilience(config.clone())
+        .run()
 }
 
 /// Resume a traversal from a [`LevelCheckpoint`] — same process or a
@@ -776,6 +981,9 @@ pub fn run_cross_resilient_with(
 /// fault stream, jitter RNG, and breaker bank all continue exactly where
 /// the checkpointing run stopped, so a resumed run is indistinguishable
 /// from one that never died.
+#[deprecated(
+    note = "use `RunSession::on_platform(..).fault_plan(..).resilience(..).resume(ck)` instead"
+)]
 #[allow(clippy::too_many_arguments)] // the runtime's full failure surface
 pub fn resume_cross_resilient(
     csr: &Csr,
@@ -787,32 +995,20 @@ pub fn resume_cross_resilient(
     config: &ResilienceConfig,
     checkpoint: &LevelCheckpoint,
 ) -> Result<RecoveredRun, XbfsError> {
-    params.validate()?;
-    plan.validate()?;
-    config.validate()?;
-    checkpoint.validate_for(csr)?;
-    let source = checkpoint.state.output.source;
-    let rec = Recovery::resume(plan, config, checkpoint)?;
-    let rungs: &[Rung] = match checkpoint.rung {
-        Rung::CrossCpuGpu => &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
-        Rung::CpuOnly => &[Rung::CpuOnly, Rung::Reference],
-        Rung::Reference => &[Rung::Reference],
-    };
-    ladder(csr, source, cpu, gpu, link, params, rec, rungs)
+    crate::session::RunSession::on_platform(csr, cpu, gpu, link, params)
+        .fault_plan(plan)
+        .resilience(config.clone())
+        .resume(checkpoint)
 }
 
 /// The degradation ladder shared by fresh and resumed entries.
-#[allow(clippy::too_many_arguments)]
 fn ladder(
-    csr: &Csr,
+    args: &ExecArgs<'_>,
     source: VertexId,
-    cpu: &ArchSpec,
-    gpu: &ArchSpec,
-    link: &Link,
-    params: &CrossParams,
     mut rec: Recovery<'_>,
     rungs: &[Rung],
 ) -> Result<RecoveredRun, XbfsError> {
+    let csr = args.csr;
     let mut rungs_tried = Vec::new();
     let mut last_error: Option<XbfsError> = None;
 
@@ -823,21 +1019,45 @@ fn ladder(
         if let Some((device, _state)) = rec.health.first_denial(rung.devices(), rec.clock.elapsed_s)
         {
             rec.skipped.push(rung);
+            if rec.sink.enabled() {
+                rec.sink.record(&TraceEvent::RungSkipped {
+                    rung: rung.label(),
+                    device: device.name(),
+                    at_s: rec.clock.elapsed_s,
+                });
+            }
             last_error = Some(XbfsError::CircuitOpen {
                 device: device.name(),
             });
             continue;
         }
+        if rec.sink.enabled() {
+            rec.sink.record(&TraceEvent::RungBegin {
+                rung: rung.label(),
+                at_s: rec.clock.elapsed_s,
+            });
+        }
         let rung_start_latest = rec.latest.clone();
         let retained_at_start = retained_productive(&rec.latest);
         let outcome = match rung {
-            Rung::CrossCpuGpu => run_rung_cross(csr, source, cpu, gpu, link, params, &mut rec),
-            Rung::CpuOnly => run_rung_cpu_only(csr, source, cpu, gpu, link, params, &mut rec),
-            Rung::Reference => run_rung_reference(csr, source, cpu, gpu, link, params, &mut rec),
+            Rung::CrossCpuGpu => run_rung_cross(args, source, &mut rec),
+            Rung::CpuOnly => run_rung_cpu_only(args, source, &mut rec),
+            Rung::Reference => run_rung_reference(args, source, &mut rec),
+        };
+        let emit_rung_end = |rec: &Recovery<'_>, outcome: RungOutcome| {
+            if rec.sink.enabled() {
+                rec.sink.record(&TraceEvent::RungEnd {
+                    rung: rung.label(),
+                    at_s: rec.clock.elapsed_s,
+                    outcome,
+                });
+            }
         };
         match outcome {
             Ok(output) => match validate(csr, &output) {
                 Ok(()) => {
+                    emit_rung_end(&rec, RungOutcome::Served);
+                    rec.emit_breakers();
                     let report = RunReport {
                         rung,
                         rungs_tried,
@@ -860,6 +1080,7 @@ fn ladder(
                     return Ok(RecoveredRun { output, report });
                 }
                 Err(v) => {
+                    emit_rung_end(&rec, RungOutcome::Invalid);
                     // A rung that emits a corrupt tree is a faulty rung.
                     // Checkpoints it cut are tainted too: roll back to the
                     // rung-start checkpoint and convert everything after
@@ -870,8 +1091,13 @@ fn ladder(
                     last_error = Some(XbfsError::Validation(v));
                 }
             },
-            Err(RungError::Fatal(e)) => return Err(e),
+            Err(RungError::Fatal(e)) => {
+                emit_rung_end(&rec, RungOutcome::Fatal);
+                rec.emit_breakers();
+                return Err(e);
+            }
             Err(RungError::Degrade(e)) => {
+                emit_rung_end(&rec, RungOutcome::Degraded);
                 // Time since the newest checkpoint is gone; everything up
                 // to it survives for the next rung to resume from.
                 let retained = retained_productive(&rec.latest);
@@ -881,6 +1107,7 @@ fn ladder(
             }
         }
     }
+    rec.emit_breakers();
     Err(last_error.expect("ladder only exits the loop after a rung failure"))
 }
 
@@ -893,16 +1120,12 @@ fn retained_productive(latest: &Option<LevelCheckpoint>) -> f64 {
 /// Rung 1: Algorithm 3 with fault checks on the handoff transfer and every
 /// kernel launch, stepping level-by-level so checkpoints can be cut at
 /// boundaries.
-#[allow(clippy::too_many_arguments)]
 fn run_rung_cross(
-    csr: &Csr,
+    args: &ExecArgs<'_>,
     source: VertexId,
-    cpu: &ArchSpec,
-    gpu: &ArchSpec,
-    link: &Link,
-    params: &CrossParams,
     rec: &mut Recovery<'_>,
 ) -> Result<BfsOutput, RungError> {
+    let (csr, cpu, gpu, link, params) = (args.csr, args.cpu, args.gpu, args.link, args.params);
     if rec.session.gpu_lost() {
         return Err(RungError::Degrade(XbfsError::DeviceLost {
             device: "gpu",
@@ -924,27 +1147,37 @@ fn run_rung_cross(
             device_discovered,
             link,
         )?;
+        let level_start_s = rec.clock.elapsed_s;
         let was_handed = driver.handed_off();
         let Some(pl) = driver.step(csr, &mut state) else {
             break;
         };
         let lvl = *state.levels.last().expect("step pushed a record");
         if pl.on_gpu() && !was_handed {
-            let t = link.transfer_time(Link::handoff_bytes(n, lvl.frontier_vertices));
-            rec.attempt_op(FaultOp::Transfer, lvl.level as usize, t, Device::Link)?;
+            let bytes = Link::handoff_bytes(n, lvl.frontier_vertices);
+            let t = link.transfer_time(bytes);
+            rec.attempt_op(
+                FaultOp::Transfer,
+                lvl.level as usize,
+                t,
+                Device::Link,
+                bytes,
+            )?;
         }
-        let (op, device, arch) = if pl.on_gpu() {
-            (FaultOp::GpuKernel, Device::Gpu, gpu)
+        let (op, device, arch, device_label) = if pl.on_gpu() {
+            (FaultOp::GpuKernel, Device::Gpu, gpu, "gpu")
         } else {
-            (FaultOp::CpuKernel, Device::Cpu, cpu)
+            (FaultOp::CpuKernel, Device::Cpu, cpu, "cpu")
         };
-        rec.attempt_op(
-            op,
-            lvl.level as usize,
-            cost::level_time_for_record(arch, &lvl),
-            device,
-        )?;
-        rec.note_level(&lvl);
+        let nominal = cost::level_time_for_record_traced(
+            arch,
+            &lvl,
+            device_label,
+            rec.clock.elapsed_s,
+            rec.sink,
+        );
+        rec.attempt_op(op, lvl.level as usize, nominal, device, 0)?;
+        rec.note_level(&lvl, Rung::CrossCpuGpu, device_label, level_start_s);
         if pl.on_gpu() {
             device_discovered += lvl.discovered;
         }
@@ -954,16 +1187,12 @@ fn run_rung_cross(
 
 /// Rung 2: CPU-only direction-optimizing hybrid at Beamer-default
 /// thresholds, with fault checks on every level kernel.
-#[allow(clippy::too_many_arguments)]
 fn run_rung_cpu_only(
-    csr: &Csr,
+    args: &ExecArgs<'_>,
     source: VertexId,
-    cpu: &ArchSpec,
-    gpu: &ArchSpec,
-    link: &Link,
-    params: &CrossParams,
     rec: &mut Recovery<'_>,
 ) -> Result<BfsOutput, RungError> {
+    let (csr, cpu, gpu, link, params) = (args.csr, args.cpu, args.gpu, args.link, args.params);
     if rec.session.cpu_lost() {
         return Err(RungError::Degrade(XbfsError::DeviceLost {
             device: "cpu",
@@ -975,17 +1204,21 @@ fn run_rung_cpu_only(
     let mut mn = FixedMN::new(14.0, 24.0);
     loop {
         rec.maybe_capture(csr, Rung::CpuOnly, &state, None, 0, link)?;
+        let level_start_s = rec.clock.elapsed_s;
         if state.step(csr, &mut mn).is_none() {
             break;
         }
         let lvl = *state.levels.last().expect("step pushed a record");
+        let nominal =
+            cost::level_time_for_record_traced(cpu, &lvl, "cpu", rec.clock.elapsed_s, rec.sink);
         rec.attempt_op(
             FaultOp::CpuKernel,
             lvl.level as usize,
-            cost::level_time_for_record(cpu, &lvl),
+            nominal,
             Device::Cpu,
+            0,
         )?;
-        rec.note_level(&lvl);
+        rec.note_level(&lvl, Rung::CpuOnly, "cpu", level_start_s);
     }
     Ok(state.into_traversal().output)
 }
@@ -994,35 +1227,59 @@ fn run_rung_cpu_only(
 /// no parallel kernels) but still on the simulated clock: each level is
 /// charged the CPU's top-down cost scaled up by its core count, the cost
 /// model's view of single-threaded execution.
-#[allow(clippy::too_many_arguments)]
 fn run_rung_reference(
-    csr: &Csr,
+    args: &ExecArgs<'_>,
     source: VertexId,
-    cpu: &ArchSpec,
-    gpu: &ArchSpec,
-    link: &Link,
-    params: &CrossParams,
     rec: &mut Recovery<'_>,
 ) -> Result<BfsOutput, RungError> {
+    let (csr, cpu, gpu, link, params) = (args.csr, args.cpu, args.gpu, args.link, args.params);
     let RungStart { mut state, .. } =
         rec.start_for(Rung::Reference, csr, source, params, cpu, gpu, link)?;
     let mut td = AlwaysTopDown;
     let penalty = reference_sequential_penalty(cpu);
     loop {
         rec.maybe_capture(csr, Rung::Reference, &state, None, 0, link)?;
+        let level_start_s = rec.clock.elapsed_s;
         if state.step(csr, &mut td).is_none() {
             break;
         }
         let lvl = *state.levels.last().expect("step pushed a record");
-        rec.clock
-            .charge(cost::level_time_for_record(cpu, &lvl) * penalty)
-            .map_err(RungError::Fatal)?;
-        rec.note_level(&lvl);
+        let charge = cost::level_time_for_record(cpu, &lvl) * penalty;
+        if rec.sink.enabled() {
+            // The reference rung bypasses `attempt_op` (it is fault-free
+            // by construction), so its kernel span and cost decomposition
+            // are emitted here. The charged value stays `charge`, exactly.
+            let parts = cost::level_cost_parts_for_record(cpu, &lvl);
+            rec.sink.record(&TraceEvent::KernelCost {
+                device: "cpu",
+                level: lvl.level,
+                direction: lvl.direction,
+                total_s: charge,
+                overhead_s: parts.overhead_s * penalty,
+                work_s: parts.work_s * penalty,
+                bound: "reference-serial",
+                at_s: rec.clock.elapsed_s,
+            });
+        }
+        rec.clock.charge(charge).map_err(RungError::Fatal)?;
+        if rec.sink.enabled() {
+            rec.sink.record(&TraceEvent::Kernel {
+                device: "cpu",
+                op: "cpu-kernel",
+                level: lvl.level,
+                attempt: 0,
+                start_s: level_start_s,
+                end_s: rec.clock.elapsed_s,
+                ok: true,
+            });
+        }
+        rec.note_level(&lvl, Rung::Reference, "cpu", level_start_s);
     }
     Ok(state.into_traversal().output)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims are exercised on purpose here
 mod tests {
     use super::*;
     use xbfs_archsim::fault::ScheduledFault;

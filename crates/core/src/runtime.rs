@@ -9,14 +9,13 @@
 //!   predicted `(M, N)`.
 
 use crate::{
-    checkpoint::LevelCheckpoint,
+    checkpoint::{CheckpointPolicy, LevelCheckpoint},
     combination::{run_single, SingleRun},
     cross::{run_cross, CrossParams, CrossRun},
+    health::BreakerPolicy,
     predictor::SwitchPredictor,
-    recovery::{
-        resume_cross_resilient, run_cross_resilient, run_cross_resilient_with, RecoveredRun,
-        ResilienceConfig, RetryPolicy,
-    },
+    recovery::{RecoveredRun, ResilienceConfig, RetryPolicy},
+    session::RunSession,
     training::{generate, paper_arch_pairs, TrainingConfig},
 };
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
@@ -70,11 +69,23 @@ impl AdaptiveRuntime {
         run_cross(csr, source, &self.cpu, &self.gpu, &self.link, &params)
     }
 
+    /// Start configuring a resilient traversal on this runtime's devices.
+    ///
+    /// Equivalent to [`RunSession::new`]`(self, csr, stats)` — switch
+    /// parameters are predicted from `stats` unless the session overrides
+    /// them.
+    pub fn session<'a>(&'a self, csr: &'a Csr, stats: &'a GraphStats) -> RunSession<'a> {
+        RunSession::new(self, csr, stats)
+    }
+
     /// Run the cross-architecture combination under a fault plan, with
     /// retry, an optional deadline, and the degradation ladder
     /// (`CPUTD+GPUCB` → CPU-only hybrid → sequential reference). Always
     /// returns either a Graph 500–validated output with a
     /// [`crate::recovery::RunReport`] or a typed error — never panics.
+    #[deprecated(
+        note = "use `runtime.session(csr, stats).source(..).fault_plan(..).run()` instead"
+    )]
     pub fn run_cross_resilient(
         &self,
         csr: &Csr,
@@ -84,16 +95,25 @@ impl AdaptiveRuntime {
         retry: &RetryPolicy,
         deadline_s: Option<f64>,
     ) -> Result<RecoveredRun, XbfsError> {
-        let params = self.predict_params(stats);
-        run_cross_resilient(
-            csr, source, &self.cpu, &self.gpu, &self.link, &params, plan, retry, deadline_s,
-        )
+        self.session(csr, stats)
+            .source(source)
+            .fault_plan(plan)
+            .resilience(ResilienceConfig {
+                retry: *retry,
+                deadline_s,
+                checkpoint: CheckpointPolicy::disabled(),
+                breaker: BreakerPolicy::default_runtime(),
+            })
+            .run()
     }
 
     /// [`Self::run_cross_resilient`] with the full [`ResilienceConfig`]
     /// surface: level-granular checkpoints (optionally spilled to disk)
     /// and per-device circuit breakers on top of retries and the deadline
     /// budget.
+    #[deprecated(
+        note = "use `runtime.session(csr, stats).source(..).fault_plan(..).resilience(..).run()` instead"
+    )]
     pub fn run_cross_resilient_with(
         &self,
         csr: &Csr,
@@ -102,16 +122,20 @@ impl AdaptiveRuntime {
         plan: &FaultPlan,
         config: &ResilienceConfig,
     ) -> Result<RecoveredRun, XbfsError> {
-        let params = self.predict_params(stats);
-        run_cross_resilient_with(
-            csr, source, &self.cpu, &self.gpu, &self.link, &params, plan, config,
-        )
+        self.session(csr, stats)
+            .source(source)
+            .fault_plan(plan)
+            .resilience(config.clone())
+            .run()
     }
 
     /// Resume a traversal from a [`LevelCheckpoint`] (typically loaded
     /// from a spill file after a crash): the ladder restarts at the
     /// checkpoint's rung and level instead of level 0, with the clock,
     /// fault stream, and breaker states continuing where they stopped.
+    #[deprecated(
+        note = "use `runtime.session(csr, stats).fault_plan(..).resilience(..).resume(ck)` instead"
+    )]
     pub fn resume_cross(
         &self,
         csr: &Csr,
@@ -120,10 +144,10 @@ impl AdaptiveRuntime {
         config: &ResilienceConfig,
         checkpoint: &LevelCheckpoint,
     ) -> Result<RecoveredRun, XbfsError> {
-        let params = self.predict_params(stats);
-        resume_cross_resilient(
-            csr, &self.cpu, &self.gpu, &self.link, &params, plan, config, checkpoint,
-        )
+        self.session(csr, stats)
+            .fault_plan(plan)
+            .resilience(config.clone())
+            .resume(checkpoint)
     }
 
     /// Run a single-device combination with a predicted `(M, N)`.
@@ -177,7 +201,7 @@ mod tests {
 
     #[test]
     fn resilient_entry_degrades_on_gpu_loss() {
-        use crate::recovery::{RetryPolicy, Rung};
+        use crate::recovery::Rung;
 
         let rt = runtime();
         let g = xbfs_graph::rmat::rmat_csr(10, 16);
@@ -185,14 +209,10 @@ mod tests {
         let src = crate::training::pick_source(&g, 4).unwrap();
 
         let healthy = rt
-            .run_cross_resilient(
-                &g,
-                &stats,
-                src,
-                &FaultPlan::none(),
-                &RetryPolicy::default_runtime(),
-                None,
-            )
+            .session(&g, &stats)
+            .source(src)
+            .checkpoints(CheckpointPolicy::disabled())
+            .run()
             .expect("healthy run");
         assert_eq!(healthy.report.rung, Rung::CrossCpuGpu);
 
@@ -204,14 +224,11 @@ mod tests {
             ..FaultPlan::none()
         };
         let run = rt
-            .run_cross_resilient(
-                &g,
-                &stats,
-                src,
-                &gpu_dies,
-                &RetryPolicy::default_runtime(),
-                None,
-            )
+            .session(&g, &stats)
+            .source(src)
+            .fault_plan(&gpu_dies)
+            .checkpoints(CheckpointPolicy::disabled())
+            .run()
             .expect("degraded run");
         assert_eq!(run.report.rung, Rung::CpuOnly);
         assert_eq!(validate(&g, &run.output), Ok(()));
@@ -220,8 +237,6 @@ mod tests {
 
     #[test]
     fn runtime_spills_checkpoints_and_resumes_them() {
-        use crate::checkpoint::CheckpointPolicy;
-
         let rt = runtime();
         let g = xbfs_graph::rmat::rmat_csr(10, 16);
         let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
@@ -231,22 +246,23 @@ mod tests {
         let path = dir.join("runtime-resume.json");
         let path_s = path.to_str().unwrap().to_string();
 
-        let config = ResilienceConfig {
-            checkpoint: CheckpointPolicy {
-                interval_levels: 2,
-                spill: Some(path_s.clone()),
-            },
-            ..ResilienceConfig::default_runtime()
+        let policy = CheckpointPolicy {
+            interval_levels: 2,
+            spill: Some(path_s.clone()),
         };
-        let plan = FaultPlan::none();
         let full = rt
-            .run_cross_resilient_with(&g, &stats, src, &plan, &config)
+            .session(&g, &stats)
+            .source(src)
+            .checkpoints(policy.clone())
+            .run()
             .expect("spilling run");
         assert!(full.report.checkpoints_taken > 0);
 
         let ck = LevelCheckpoint::load(&path_s).expect("spill exists");
         let resumed = rt
-            .resume_cross(&g, &stats, &plan, &config, &ck)
+            .session(&g, &stats)
+            .checkpoints(policy)
+            .resume(&ck)
             .expect("resume");
         assert_eq!(resumed.output, full.output);
         assert_eq!(resumed.report.resumed_from_level, Some(ck.level()));

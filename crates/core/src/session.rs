@@ -1,0 +1,285 @@
+//! [`RunSession`] — the one composable entry point to resilient
+//! cross-architecture execution.
+//!
+//! PR 2 left the crate with six overlapping ways to start a traversal
+//! (three free functions in [`crate::recovery`], three methods on
+//! [`AdaptiveRuntime`]), all of them positional-argument walls. This
+//! builder replaces the lot:
+//!
+//! ```no_run
+//! use xbfs_core::prelude::*;
+//! # let runtime = AdaptiveRuntime::quick_trained();
+//! # let csr = xbfs_graph::rmat::rmat_csr(8, 8);
+//! # let stats = xbfs_graph::GraphStats::rmat(&csr, 0.57, 0.19, 0.19, 0.05);
+//! # let plan = xbfs_archsim::FaultPlan::none();
+//! let sink = MemorySink::new();
+//! let run = RunSession::new(&runtime, &csr, &stats)
+//!     .source(0)
+//!     .fault_plan(&plan)
+//!     .checkpoints(CheckpointPolicy::every(2))
+//!     .sink(&sink)
+//!     .run()?;
+//! # Ok::<(), XbfsError>(())
+//! ```
+//!
+//! Every knob has a production-sane default: no faults, the runtime
+//! resilience defaults, a disabled ([`NullSink`]) trace sink, and — on the
+//! [`RunSession::new`] path — switch parameters predicted from the graph's
+//! statistics. The deprecated free functions and runtime methods are thin
+//! shims over this type.
+//!
+//! [`NullSink`]: xbfs_engine::trace::NullSink
+
+use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint};
+use crate::cross::CrossParams;
+use crate::recovery::{execute_fresh, execute_resume, ExecArgs, RecoveredRun, ResilienceConfig};
+use crate::runtime::AdaptiveRuntime;
+use xbfs_archsim::{ArchSpec, FaultPlan, Link};
+use xbfs_engine::trace::{TraceSink, NULL_SINK};
+use xbfs_engine::XbfsError;
+use xbfs_graph::{Csr, GraphStats, VertexId};
+
+/// Where the devices and switch parameters come from.
+enum Platform<'a> {
+    /// A trained [`AdaptiveRuntime`]: devices from the runtime, parameters
+    /// predicted from graph statistics unless overridden.
+    Runtime {
+        rt: &'a AdaptiveRuntime,
+        stats: &'a GraphStats,
+    },
+    /// Explicit device specs and parameters (tests, experiments, shims).
+    Explicit {
+        cpu: &'a ArchSpec,
+        gpu: &'a ArchSpec,
+        link: &'a Link,
+    },
+}
+
+/// A configured-but-not-yet-started resilient traversal.
+///
+/// Construct with [`RunSession::new`] (trained runtime, predicted
+/// parameters) or [`RunSession::on_platform`] (explicit devices and
+/// parameters), chain the builders, finish with [`RunSession::run`] or
+/// [`RunSession::resume`].
+pub struct RunSession<'a> {
+    csr: &'a Csr,
+    platform: Platform<'a>,
+    params: Option<CrossParams>,
+    source: Option<VertexId>,
+    plan: FaultPlan,
+    config: ResilienceConfig,
+    sink: &'a dyn TraceSink,
+}
+
+impl<'a> RunSession<'a> {
+    /// A session on a trained runtime: devices come from `runtime`, and
+    /// unless [`params`](Self::params) overrides them, Algorithm 3's switch
+    /// parameters are predicted from `stats` when the session starts.
+    pub fn new(runtime: &'a AdaptiveRuntime, csr: &'a Csr, stats: &'a GraphStats) -> Self {
+        Self {
+            csr,
+            platform: Platform::Runtime { rt: runtime, stats },
+            params: None,
+            source: None,
+            plan: FaultPlan::none(),
+            config: ResilienceConfig::default_runtime(),
+            sink: &NULL_SINK,
+        }
+    }
+
+    /// A session on explicit device specs with explicit parameters — no
+    /// trained predictor involved.
+    pub fn on_platform(
+        csr: &'a Csr,
+        cpu: &'a ArchSpec,
+        gpu: &'a ArchSpec,
+        link: &'a Link,
+        params: &CrossParams,
+    ) -> Self {
+        Self {
+            csr,
+            platform: Platform::Explicit { cpu, gpu, link },
+            params: Some(*params),
+            source: None,
+            plan: FaultPlan::none(),
+            config: ResilienceConfig::default_runtime(),
+            sink: &NULL_SINK,
+        }
+    }
+
+    /// Set the BFS source vertex (required for [`run`](Self::run)).
+    pub fn source(mut self, v: VertexId) -> Self {
+        self.source = Some(v);
+        self
+    }
+
+    /// Override the cross-combination switch parameters.
+    pub fn params(mut self, params: CrossParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Inject `plan`'s faults (default: no faults).
+    pub fn fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.plan = plan.clone();
+        self
+    }
+
+    /// Replace the whole failure-handling configuration (default:
+    /// [`ResilienceConfig::default_runtime`]).
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set just the checkpoint cadence/spill, keeping the rest of the
+    /// resilience configuration.
+    pub fn checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.config.checkpoint = policy;
+        self
+    }
+
+    /// Send trace events to `sink` (default: the disabled
+    /// [`NULL_SINK`], which makes instrumentation zero-cost).
+    pub fn sink(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Resolve the platform into concrete devices and parameters.
+    fn resolve(&self) -> (&'a ArchSpec, &'a ArchSpec, &'a Link, CrossParams) {
+        match self.platform {
+            Platform::Runtime { rt, stats } => {
+                let params = self.params.unwrap_or_else(|| rt.predict_params(stats));
+                (&rt.cpu, &rt.gpu, &rt.link, params)
+            }
+            Platform::Explicit { cpu, gpu, link } => {
+                let params = self.params.expect("on_platform always sets params");
+                (cpu, gpu, link, params)
+            }
+        }
+    }
+
+    /// Start the full degradation ladder from the configured source.
+    pub fn run(self) -> Result<RecoveredRun, XbfsError> {
+        let Some(source) = self.source else {
+            return Err(XbfsError::InvalidArgument {
+                what: "RunSession::run needs a source vertex (call .source(v))".into(),
+            });
+        };
+        let (cpu, gpu, link, params) = self.resolve();
+        execute_fresh(
+            &ExecArgs {
+                csr: self.csr,
+                cpu,
+                gpu,
+                link,
+                params: &params,
+                plan: &self.plan,
+                config: &self.config,
+                sink: self.sink,
+            },
+            source,
+        )
+    }
+
+    /// Resume the ladder from `checkpoint` (typically loaded from a spill
+    /// file after a crash). The source comes from the checkpoint; a
+    /// configured [`source`](Self::source) is ignored.
+    pub fn resume(self, checkpoint: &LevelCheckpoint) -> Result<RecoveredRun, XbfsError> {
+        let (cpu, gpu, link, params) = self.resolve();
+        execute_resume(
+            &ExecArgs {
+                csr: self.csr,
+                cpu,
+                gpu,
+                link,
+                params: &params,
+                plan: &self.plan,
+                config: &self.config,
+                sink: self.sink,
+            },
+            checkpoint,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::Rung;
+    use xbfs_engine::trace::MemorySink;
+    use xbfs_engine::{validate, FixedMN};
+
+    fn setup() -> (Csr, u32, ArchSpec, ArchSpec, Link, CrossParams) {
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let src = crate::training::pick_source(&g, 3).unwrap();
+        (
+            g,
+            src,
+            ArchSpec::cpu_sandy_bridge(),
+            ArchSpec::gpu_k20x(),
+            Link::pcie3(),
+            CrossParams {
+                handoff: FixedMN::new(64.0, 64.0),
+                gpu: FixedMN::new(14.0, 24.0),
+            },
+        )
+    }
+
+    #[test]
+    fn missing_source_is_a_typed_error() {
+        let (g, _, cpu, gpu, link, params) = setup();
+        let err = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, XbfsError::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn healthy_session_serves_on_the_top_rung() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .run()
+            .expect("healthy run");
+        assert_eq!(run.report.rung, Rung::CrossCpuGpu);
+        assert_eq!(validate(&g, &run.output), Ok(()));
+    }
+
+    #[test]
+    fn sink_receives_a_trace_without_changing_the_run() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let silent = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .run()
+            .expect("silent run");
+        let sink = MemorySink::new();
+        let traced = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .sink(&sink)
+            .run()
+            .expect("traced run");
+        assert_eq!(traced.output, silent.output);
+        assert_eq!(traced.report, silent.report);
+        assert!(!sink.is_empty(), "trace must not be empty");
+    }
+
+    #[test]
+    fn checkpoints_builder_only_touches_the_checkpoint_policy() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .checkpoints(CheckpointPolicy::every(1))
+            .run()
+            .expect("checkpointing run");
+        assert!(run.report.checkpoints_taken > 0);
+        let off = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .checkpoints(CheckpointPolicy::disabled())
+            .run()
+            .expect("non-checkpointing run");
+        assert_eq!(off.report.checkpoints_taken, 0);
+        assert_eq!(run.output, off.output);
+    }
+}

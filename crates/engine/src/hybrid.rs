@@ -12,8 +12,11 @@
 //! [`AlwaysBottomUp`]: crate::AlwaysBottomUp
 
 use crate::{
-    bottomup, stats::LevelRecord, topdown, BfsOutput, Direction, SwitchContext, SwitchPolicy,
-    Traversal,
+    bottomup,
+    stats::LevelRecord,
+    topdown,
+    trace::{TraceEvent, TraceSink},
+    BfsOutput, Direction, SwitchContext, SwitchPolicy, Traversal,
 };
 use serde::{Deserialize, Serialize};
 use xbfs_graph::{Bitmap, Csr, VertexId};
@@ -123,6 +126,34 @@ impl TraversalState {
         self.levels.last()
     }
 
+    /// [`step`](Self::step), with the level's wall time measured and the
+    /// level reported to `sink` as a [`TraceEvent::EngineLevel`]. When the
+    /// sink is disabled this is exactly `step` plus one virtual call.
+    pub fn step_traced(
+        &mut self,
+        csr: &Csr,
+        policy: &mut dyn SwitchPolicy,
+        sink: &dyn TraceSink,
+    ) -> Option<&LevelRecord> {
+        if !sink.enabled() {
+            return self.step(csr, policy);
+        }
+        let started = std::time::Instant::now();
+        self.step(csr, policy)?;
+        let wall_s = started.elapsed().as_secs_f64();
+        let rec = *self.levels.last().expect("step pushed a record");
+        sink.record(&TraceEvent::EngineLevel {
+            level: rec.level,
+            direction: rec.direction,
+            frontier_vertices: rec.frontier_vertices,
+            frontier_edges: rec.frontier_edges,
+            edges_examined: rec.edges_examined,
+            discovered: rec.discovered,
+            wall_s,
+        });
+        self.levels.last()
+    }
+
     /// Finish: convert into the completed [`Traversal`].
     pub fn into_traversal(self) -> Traversal {
         Traversal {
@@ -184,6 +215,18 @@ impl TraversalState {
 pub fn run(csr: &Csr, source: VertexId, policy: &mut dyn SwitchPolicy) -> Traversal {
     let mut state = TraversalState::start(csr, source);
     while state.step(csr, policy).is_some() {}
+    state.into_traversal()
+}
+
+/// [`run`], reporting each level to `sink` with measured wall time.
+pub fn run_traced(
+    csr: &Csr,
+    source: VertexId,
+    policy: &mut dyn SwitchPolicy,
+    sink: &dyn TraceSink,
+) -> Traversal {
+    let mut state = TraversalState::start(csr, source);
+    while state.step_traced(csr, policy, sink).is_some() {}
     state.into_traversal()
 }
 
@@ -321,6 +364,43 @@ mod tests {
             assert_eq!(resumed.output, whole.output);
             assert_eq!(resumed.levels, whole.levels);
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reports_every_level() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 16);
+        let plain = run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+        let sink = crate::trace::MemorySink::new();
+        let traced = run_traced(&g, 0, &mut FixedMN::new(14.0, 24.0), &sink);
+        assert_eq!(traced.output, plain.output);
+        assert_eq!(traced.levels, plain.levels);
+        let events = sink.events();
+        assert_eq!(events.len(), plain.levels.len());
+        for (ev, rec) in events.iter().zip(&plain.levels) {
+            match ev {
+                TraceEvent::EngineLevel {
+                    level,
+                    direction,
+                    edges_examined,
+                    wall_s,
+                    ..
+                } => {
+                    assert_eq!(*level, rec.level);
+                    assert_eq!(*direction, rec.direction);
+                    assert_eq!(*edges_examined, rec.edges_examined);
+                    assert!(wall_s.is_finite() && *wall_s >= 0.0);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // A disabled sink takes the plain-step fast path.
+        let t2 = run_traced(
+            &g,
+            0,
+            &mut FixedMN::new(14.0, 24.0),
+            &crate::trace::NULL_SINK,
+        );
+        assert_eq!(t2.output, plain.output);
     }
 
     #[test]

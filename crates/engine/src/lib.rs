@@ -36,6 +36,7 @@ pub mod reference;
 pub mod stats;
 pub mod stcon;
 pub mod topdown;
+pub mod trace;
 pub mod tree;
 pub mod validate;
 
@@ -43,6 +44,9 @@ pub use error::XbfsError;
 pub use hybrid::TraversalState;
 pub use policy::{AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN, SwitchContext, SwitchPolicy};
 pub use stats::{LevelRecord, Traversal};
+pub use trace::{
+    CountingSink, MemorySink, NullSink, RungOutcome, TraceCounts, TraceEvent, TraceSink, NULL_SINK,
+};
 pub use validate::{validate, ValidationError};
 
 use serde::{Deserialize, Serialize};

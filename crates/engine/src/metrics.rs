@@ -20,14 +20,27 @@ pub struct Teps {
 impl Teps {
     /// Construct from an edge count and a duration.
     ///
+    /// Panicking convenience for tests and trusted call sites; runtime
+    /// paths handling measured or user-supplied durations should use
+    /// [`Teps::try_new`].
+    ///
     /// # Panics
     /// Panics if `seconds` is not positive and finite.
     pub fn new(edges: u64, seconds: f64) -> Self {
-        assert!(
-            seconds.is_finite() && seconds > 0.0,
-            "traversal time must be positive, got {seconds}"
-        );
-        Self { edges, seconds }
+        Self::try_new(edges, seconds)
+            .unwrap_or_else(|_| panic!("traversal time must be positive, got {seconds}"))
+    }
+
+    /// Fallible construction for untrusted durations: `seconds` must be
+    /// finite and strictly positive.
+    pub fn try_new(edges: u64, seconds: f64) -> Result<Self, crate::XbfsError> {
+        if seconds.is_finite() && seconds > 0.0 {
+            Ok(Self { edges, seconds })
+        } else {
+            Err(crate::XbfsError::InvalidArgument {
+                what: format!("traversal time must be positive and finite, got {seconds}"),
+            })
+        }
     }
 
     /// Traversed edges per second.
@@ -69,6 +82,15 @@ pub fn harmonic_mean_teps(samples: &[Teps]) -> f64 {
 /// the number the CLI reports next to "resumed from level ℓ".
 pub fn resumed_teps(edges: u64, suffix_seconds: f64, prefix_seconds: f64) -> Teps {
     Teps::new(edges, suffix_seconds + prefix_seconds)
+}
+
+/// Fallible [`resumed_teps`] for runtime paths fed measured clocks.
+pub fn try_resumed_teps(
+    edges: u64,
+    suffix_seconds: f64,
+    prefix_seconds: f64,
+) -> Result<Teps, crate::XbfsError> {
+    Teps::try_new(edges, suffix_seconds + prefix_seconds)
 }
 
 /// Arithmetic mean of raw TEPS values (reported by some prior work; kept
@@ -128,5 +150,17 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_time() {
         Teps::new(1, 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_durations() {
+        assert!(Teps::try_new(1, 0.0).is_err());
+        assert!(Teps::try_new(1, -1.0).is_err());
+        assert!(Teps::try_new(1, f64::NAN).is_err());
+        assert!(Teps::try_new(1, f64::INFINITY).is_err());
+        let t = Teps::try_new(100, 2.0).expect("valid");
+        assert_eq!(t.teps(), 50.0);
+        assert!(try_resumed_teps(100, 1.0, 1.0).is_ok());
+        assert!(try_resumed_teps(100, 0.0, 0.0).is_err());
     }
 }

@@ -1,0 +1,72 @@
+//! Observability walkthrough: run the resilient cross-architecture ladder
+//! under a chaotic fault plan with a [`MemorySink`] attached, then export
+//! the recorded trace twice — as a chrome://tracing JSON file you can drop
+//! into <https://ui.perfetto.dev>, and as a Prometheus text snapshot.
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use xbfs::prelude::*;
+
+fn main() {
+    let graph = xbfs::graph::rmat::rmat_csr(12, 16);
+    let src = xbfs::core::training::pick_source(&graph, 3).unwrap();
+    let cpu = ArchSpec::cpu_sandy_bridge();
+    let gpu = ArchSpec::gpu_k20x();
+    let link = Link::pcie3();
+    let params = CrossParams {
+        handoff: FixedMN::new(64.0, 64.0),
+        gpu: FixedMN::new(14.0, 24.0),
+    };
+
+    // A probabilistic fault plan: flaky transfers, occasional kernel
+    // timeouts, a small chance the GPU dies outright.
+    let plan = FaultPlan {
+        seed: 42,
+        p_transfer_failure: 0.3,
+        p_link_stall: 0.2,
+        stall_factor: 4.0,
+        p_kernel_timeout: 0.15,
+        p_device_lost: 0.1,
+        scheduled: Vec::new(),
+    };
+
+    // Attach a buffering sink; everything else is the ordinary session.
+    let sink = MemorySink::new();
+    let run = RunSession::on_platform(&graph, &cpu, &gpu, &link, &params)
+        .source(src)
+        .fault_plan(&plan)
+        .checkpoints(CheckpointPolicy::every(2))
+        .sink(&sink)
+        .run()
+        .expect("no-deadline chaos always serves");
+
+    println!(
+        "served by rung {} in {:.3} ms simulated ({} faults, {} retries, {} checkpoints)",
+        run.report.rung,
+        run.report.total_seconds * 1e3,
+        run.report.events.len(),
+        run.report.retries,
+        run.report.checkpoints_taken,
+    );
+
+    let events = sink.take();
+    println!("trace: {} events recorded", events.len());
+
+    // Chrome trace: load this file at https://ui.perfetto.dev (or
+    // chrome://tracing) to see rung spans, per-device level spans,
+    // transfers, retries, and checkpoints on a common timeline.
+    let trace_path = std::env::temp_dir().join("xbfs-observability-trace.json");
+    std::fs::write(&trace_path, chrome_trace_json(&events)).unwrap();
+    println!("wrote chrome trace to {}", trace_path.display());
+
+    // Prometheus: a text-exposition snapshot of the same run.
+    let metrics = prometheus_text(&events);
+    println!("\n--- prometheus snapshot (counters only) ---");
+    for line in metrics.lines() {
+        if !line.starts_with('#') && !line.contains("_bucket") {
+            println!("{line}");
+        }
+    }
+}

@@ -42,10 +42,15 @@ pub use xbfs_svm as svm;
 
 /// The types most programs need.
 pub mod prelude {
-    pub use xbfs_archsim::{ArchSpec, Link, TraversalProfile};
-    pub use xbfs_core::{AdaptiveRuntime, CrossParams, CrossRun, SingleRun};
+    pub use xbfs_archsim::{ArchSpec, FaultPlan, Link, TraversalProfile};
+    pub use xbfs_core::{
+        chrome_trace_json, prometheus_text, AdaptiveRuntime, CheckpointPolicy, CrossParams,
+        CrossRun, LevelCheckpoint, RecoveredRun, ResilienceConfig, RetryPolicy, RunReport,
+        RunSession, Rung, SingleRun,
+    };
     pub use xbfs_engine::{
-        AlwaysBottomUp, AlwaysTopDown, BfsOutput, Direction, FixedMN, SwitchPolicy, Traversal,
+        AlwaysBottomUp, AlwaysTopDown, BfsOutput, CountingSink, Direction, FixedMN, MemorySink,
+        NullSink, SwitchPolicy, TraceEvent, TraceSink, Traversal, XbfsError,
     };
     pub use xbfs_graph::{Csr, EdgeList, Frontier, GraphStats, RmatConfig};
     pub use xbfs_svm::{Regressor, Svr, SvrConfig};

@@ -12,9 +12,9 @@ use xbfs::archsim::fault::FaultPlan;
 use xbfs::archsim::{ArchSpec, Link};
 use xbfs::core::checkpoint::CheckpointPolicy;
 use xbfs::core::health::legal_transition;
-use xbfs::core::recovery::{run_cross_resilient_with, ResilienceConfig};
-use xbfs::core::CrossParams;
-use xbfs::engine::{validate, FixedMN};
+use xbfs::core::recovery::ResilienceConfig;
+use xbfs::core::{CrossParams, RunSession};
+use xbfs::engine::{validate, FixedMN, MemorySink, TraceEvent};
 
 fn corpus_files() -> Vec<std::path::PathBuf> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -86,8 +86,16 @@ fn chaos_corpus_replays_without_panics_or_corruption() {
             .unwrap_or_else(|e| panic!("{name}: plan fails validation: {e}"));
 
         // No deadline: the fault-free reference rung always serves, so a
-        // typed error here would itself be a contract violation.
-        let run = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+        // typed error here would itself be a contract violation. Every
+        // replay records a full trace so the span totals can be reconciled
+        // against the report below.
+        let sink = MemorySink::new();
+        let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&plan)
+            .resilience(config.clone())
+            .sink(&sink)
+            .run()
             .unwrap_or_else(|e| panic!("{name}: no-deadline replay failed: {e}"));
         assert_eq!(
             validate(&g, &run.output),
@@ -120,6 +128,56 @@ fn chaos_corpus_replays_without_panics_or_corruption() {
             );
             *at = tr.at_s;
         }
+
+        // The trace is the run's other artifact; its totals must reconcile
+        // with the report's counters event for event.
+        let events = sink.take();
+        let mut traced_levels = 0u32;
+        let mut traced_edges = 0u64;
+        let mut traced_faults = 0usize;
+        let mut traced_checkpoints = 0u32;
+        let mut traced_breakers = Vec::new();
+        for ev in &events {
+            match ev {
+                TraceEvent::Level { edges_examined, .. } => {
+                    traced_levels += 1;
+                    traced_edges += edges_examined;
+                }
+                TraceEvent::Fault { .. } => traced_faults += 1,
+                TraceEvent::Checkpoint { .. } => traced_checkpoints += 1,
+                TraceEvent::Breaker {
+                    device, from, to, ..
+                } => traced_breakers.push((*device, *from, *to)),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            traced_levels, run.report.levels_executed,
+            "{name}: traced level spans disagree with the report"
+        );
+        assert_eq!(
+            traced_edges, run.report.edges_examined,
+            "{name}: traced edge totals disagree with the report"
+        );
+        assert_eq!(
+            traced_faults,
+            run.report.events.len(),
+            "{name}: traced faults disagree with the report"
+        );
+        assert_eq!(
+            traced_checkpoints, run.report.checkpoints_taken,
+            "{name}: traced checkpoints disagree with the report"
+        );
+        let report_breakers: Vec<_> = run
+            .report
+            .breaker_transitions
+            .iter()
+            .map(|t| (t.device.name(), t.from.name(), t.to.name()))
+            .collect();
+        assert_eq!(
+            traced_breakers, report_breakers,
+            "{name}: traced breaker transitions disagree with the report"
+        );
 
         // The report is the chaos run's artifact; it must survive a JSON
         // round trip for the workflow to archive it.

@@ -8,10 +8,8 @@ use proptest::prelude::*;
 use xbfs::archsim::fault::{FaultKind, FaultOp, FaultPlan, ScheduledFault};
 use xbfs::archsim::{ArchSpec, Link};
 use xbfs::core::checkpoint::{capture_at, CheckpointPolicy, LevelCheckpoint};
-use xbfs::core::recovery::{
-    resume_cross_resilient, run_cross_resilient_with, ResilienceConfig, Rung,
-};
-use xbfs::core::{run_cross, CrossParams};
+use xbfs::core::recovery::{ResilienceConfig, Rung};
+use xbfs::core::{run_cross, CrossParams, RunSession};
 use xbfs::engine::{hybrid, validate, AlwaysTopDown, FixedMN, UNREACHED};
 use xbfs::graph::Csr;
 
@@ -74,15 +72,18 @@ fn gpu_loss_at_level_two_plus_resumes_only_the_suffix() {
         checkpoint: CheckpointPolicy::disabled(),
         ..ResilienceConfig::default_runtime()
     };
-    let restart =
-        run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &restart_config)
-            .expect("CPU rung serves the restart");
+    let restart = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+        .source(src)
+        .fault_plan(&plan)
+        .resilience(restart_config)
+        .run()
+        .expect("CPU rung serves the restart");
 
-    let resume_config = ResilienceConfig {
-        checkpoint: CheckpointPolicy::every(1),
-        ..ResilienceConfig::default_runtime()
-    };
-    let run = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &resume_config)
+    let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+        .source(src)
+        .fault_plan(&plan)
+        .checkpoints(CheckpointPolicy::every(1))
+        .run()
         .expect("CPU rung serves the resume");
 
     assert_eq!(run.report.rung, Rung::CpuOnly);
@@ -152,14 +153,21 @@ fn fault_stream_is_deterministic_across_external_resume() {
             p_device_lost: 0.0,
             scheduled: Vec::new(),
         };
-        let full = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+        let full = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&plan)
+            .resilience(config.clone())
+            .run()
             .expect("fault plan has no permanent faults");
         if !full.report.events.is_empty() {
             faulty_streams += 1;
         }
 
         let ck = LevelCheckpoint::load(&path_s).expect("spill exists");
-        let resumed = resume_cross_resilient(&g, &cpu, &gpu, &link, &params, &plan, &config, &ck)
+        let resumed = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .fault_plan(&plan)
+            .resilience(config.clone())
+            .resume(&ck)
             .expect("resume");
         assert_eq!(resumed.output, full.output, "seed {seed}");
         assert_eq!(resumed.report.events, full.report.events, "seed {seed}");
@@ -243,10 +251,10 @@ proptest! {
         };
         let ck = capture_at(&g, src, &cpu, &gpu, &link, &params, &plan, rung, level)
             .expect("fault-free capture inside the traversal");
-        let config = ResilienceConfig::default_runtime();
-        let resumed =
-            resume_cross_resilient(&g, &cpu, &gpu, &link, &params, &plan, &config, &ck)
-                .expect("fault-free resume");
+        let resumed = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .fault_plan(&plan)
+            .resume(&ck)
+            .expect("fault-free resume");
         prop_assert_eq!(resumed.report.rung, rung);
         prop_assert_eq!(resumed.report.resumed_from_level, Some(level));
         prop_assert_eq!(&resumed.output, &uninterrupted);

@@ -1,0 +1,195 @@
+//! Shim coverage: the three deprecated `core::recovery` free functions and
+//! the three deprecated `AdaptiveRuntime` methods must stay numerically
+//! identical to the [`RunSession`] calls they forward to. This file is the
+//! one place outside the shims themselves allowed to use the deprecated
+//! surface (CI's deprecation-budget gate enforces that).
+
+#![allow(deprecated)]
+
+use xbfs::archsim::fault::FaultPlan;
+use xbfs::archsim::{ArchSpec, Link};
+use xbfs::core::checkpoint::{capture_at, CheckpointPolicy};
+use xbfs::core::recovery::{
+    resume_cross_resilient, run_cross_resilient, run_cross_resilient_with, ResilienceConfig,
+    RetryPolicy, Rung,
+};
+use xbfs::core::{AdaptiveRuntime, CrossParams, RunSession};
+use xbfs::engine::FixedMN;
+use xbfs::graph::{Csr, GraphStats};
+
+fn fixture() -> (Csr, u32, ArchSpec, ArchSpec, Link, CrossParams) {
+    let g = xbfs::graph::rmat::rmat_csr(10, 16);
+    let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
+    (
+        g,
+        src,
+        ArchSpec::cpu_sandy_bridge(),
+        ArchSpec::gpu_k20x(),
+        Link::pcie3(),
+        CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        },
+    )
+}
+
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        p_transfer_failure: 0.3,
+        p_link_stall: 0.2,
+        stall_factor: 4.0,
+        p_kernel_timeout: 0.15,
+        p_device_lost: 0.1,
+        scheduled: Vec::new(),
+    }
+}
+
+#[test]
+fn free_function_shims_match_run_session_on_a_seeded_corpus() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let retry = RetryPolicy::default_runtime();
+    let config = ResilienceConfig {
+        checkpoint: CheckpointPolicy::every(2),
+        ..ResilienceConfig::default_runtime()
+    };
+    for seed in 0..12u64 {
+        let plan = chaos_plan(seed);
+
+        // PR 1 entry point: retries + deadline, checkpoints off.
+        let old = run_cross_resilient(&g, src, &cpu, &gpu, &link, &params, &plan, &retry, None)
+            .expect("no-deadline chaos always serves");
+        let new = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&plan)
+            .resilience(ResilienceConfig {
+                retry,
+                deadline_s: None,
+                checkpoint: CheckpointPolicy::disabled(),
+                ..ResilienceConfig::default_runtime()
+            })
+            .run()
+            .expect("no-deadline chaos always serves");
+        assert_eq!(old.output, new.output, "seed {seed}");
+        assert_eq!(old.report, new.report, "seed {seed}");
+
+        // PR 2 entry point: the full resilience surface.
+        let old = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+            .expect("no-deadline chaos always serves");
+        let new = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&plan)
+            .resilience(config.clone())
+            .run()
+            .expect("no-deadline chaos always serves");
+        assert_eq!(old.output, new.output, "seed {seed}");
+        assert_eq!(old.report, new.report, "seed {seed}");
+    }
+}
+
+#[test]
+fn resume_shim_matches_session_resume() {
+    let (g, src, cpu, gpu, link, params) = fixture();
+    let config = ResilienceConfig::default_runtime();
+    for seed in 0..6u64 {
+        let plan = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        let ck = capture_at(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            Rung::CrossCpuGpu,
+            2,
+        )
+        .expect("fault-free capture inside the traversal");
+
+        let old = resume_cross_resilient(&g, &cpu, &gpu, &link, &params, &plan, &config, &ck)
+            .expect("fault-free resume");
+        let new = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .fault_plan(&plan)
+            .resilience(config.clone())
+            .resume(&ck)
+            .expect("fault-free resume");
+        assert_eq!(old.output, new.output, "seed {seed}");
+        assert_eq!(old.report, new.report, "seed {seed}");
+    }
+}
+
+#[test]
+fn runtime_method_shims_match_the_session_builder() {
+    let rt = AdaptiveRuntime::quick_trained();
+    let g = xbfs::graph::rmat::rmat_csr(10, 16);
+    let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
+    let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
+    let plan = chaos_plan(7);
+    let retry = RetryPolicy::default_runtime();
+    let config = ResilienceConfig {
+        checkpoint: CheckpointPolicy::every(2),
+        ..ResilienceConfig::default_runtime()
+    };
+
+    let old = rt
+        .run_cross_resilient(&g, &stats, src, &plan, &retry, None)
+        .expect("no-deadline chaos always serves");
+    let new = rt
+        .session(&g, &stats)
+        .source(src)
+        .fault_plan(&plan)
+        .resilience(ResilienceConfig {
+            retry,
+            deadline_s: None,
+            checkpoint: CheckpointPolicy::disabled(),
+            ..ResilienceConfig::default_runtime()
+        })
+        .run()
+        .expect("no-deadline chaos always serves");
+    assert_eq!(old.output, new.output);
+    assert_eq!(old.report, new.report);
+
+    let old = rt
+        .run_cross_resilient_with(&g, &stats, src, &plan, &config)
+        .expect("no-deadline chaos always serves");
+    let new = rt
+        .session(&g, &stats)
+        .source(src)
+        .fault_plan(&plan)
+        .resilience(config.clone())
+        .run()
+        .expect("no-deadline chaos always serves");
+    assert_eq!(old.output, new.output);
+    assert_eq!(old.report, new.report);
+
+    // Resume through the runtime: capture on the explicit platform the
+    // runtime predicts, then hand the checkpoint to both entry points.
+    let quiet = FaultPlan::none();
+    let cross = rt.predict_params(&stats);
+    let ck = capture_at(
+        &g,
+        src,
+        &rt.cpu,
+        &rt.gpu,
+        &rt.link,
+        &cross,
+        &quiet,
+        Rung::CrossCpuGpu,
+        2,
+    )
+    .expect("fault-free capture inside the traversal");
+    let old = rt
+        .resume_cross(&g, &stats, &quiet, &config, &ck)
+        .expect("fault-free resume");
+    let new = rt
+        .session(&g, &stats)
+        .fault_plan(&quiet)
+        .resilience(config.clone())
+        .resume(&ck)
+        .expect("fault-free resume");
+    assert_eq!(old.output, new.output);
+    assert_eq!(old.report, new.report);
+}

@@ -5,8 +5,8 @@
 
 use xbfs::archsim::fault::{FaultKind, FaultOp, FaultPlan, ScheduledFault};
 use xbfs::archsim::{ArchSpec, Link};
-use xbfs::core::recovery::{run_cross_resilient, RetryPolicy, Rung};
-use xbfs::core::{run_cross, CrossParams};
+use xbfs::core::recovery::{RecoveredRun, ResilienceConfig, Rung};
+use xbfs::core::{run_cross, CheckpointPolicy, CrossParams, RunSession};
 use xbfs::engine::{reference, validate, FixedMN, XbfsError};
 use xbfs::graph::Csr;
 
@@ -26,10 +26,34 @@ fn fixture() -> (Csr, u32, ArchSpec, ArchSpec, Link, CrossParams) {
     )
 }
 
+/// PR 1 semantics through the session API: default retries and breakers,
+/// no checkpoints, an optional deadline.
+#[allow(clippy::too_many_arguments)]
+fn resilient(
+    g: &Csr,
+    src: u32,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    params: &CrossParams,
+    plan: &FaultPlan,
+    deadline_s: Option<f64>,
+) -> Result<RecoveredRun, XbfsError> {
+    RunSession::on_platform(g, cpu, gpu, link, params)
+        .source(src)
+        .fault_plan(plan)
+        .resilience(ResilienceConfig {
+            deadline_s,
+            checkpoint: CheckpointPolicy::disabled(),
+            ..ResilienceConfig::default_runtime()
+        })
+        .run()
+}
+
 #[test]
 fn no_fault_plan_serves_from_the_top_rung() {
     let (g, src, cpu, gpu, link, params) = fixture();
-    let run = run_cross_resilient(
+    let run = resilient(
         &g,
         src,
         &cpu,
@@ -37,7 +61,6 @@ fn no_fault_plan_serves_from_the_top_rung() {
         &link,
         &params,
         &FaultPlan::none(),
-        &RetryPolicy::default_runtime(),
         None,
     )
     .expect("healthy traversal");
@@ -67,18 +90,8 @@ fn transient_transfer_fault_is_retried_and_billed() {
         }],
         ..FaultPlan::none()
     };
-    let run = run_cross_resilient(
-        &g,
-        src,
-        &cpu,
-        &gpu,
-        &link,
-        &params,
-        &plan,
-        &RetryPolicy::default_runtime(),
-        None,
-    )
-    .expect("one transient fault is retried away");
+    let run = resilient(&g, src, &cpu, &gpu, &link, &params, &plan, None)
+        .expect("one transient fault is retried away");
     // The retry succeeded, so the top rung still serves — but the report
     // shows the fault, the retry, and the simulated time it cost.
     assert_eq!(run.report.rung, Rung::CrossCpuGpu);
@@ -100,18 +113,8 @@ fn device_lost_at_every_level_never_panics_and_always_validates() {
     for op in [FaultOp::Transfer, FaultOp::GpuKernel, FaultOp::CpuKernel] {
         for level in 0..num_levels + 2 {
             let plan = FaultPlan::lost_at(op, level);
-            let run = run_cross_resilient(
-                &g,
-                src,
-                &cpu,
-                &gpu,
-                &link,
-                &params,
-                &plan,
-                &RetryPolicy::default_runtime(),
-                None,
-            )
-            .unwrap_or_else(|e| panic!("{op:?} lost at level {level}: {e}"));
+            let run = resilient(&g, src, &cpu, &gpu, &link, &params, &plan, None)
+                .unwrap_or_else(|e| panic!("{op:?} lost at level {level}: {e}"));
             assert_eq!(
                 validate(&g, &run.output),
                 Ok(()),
@@ -139,18 +142,8 @@ fn gpu_lost_at_handoff_degrades_to_cpu_only_matching_reference() {
         .expect("cross run uses the GPU");
 
     let plan = FaultPlan::lost_at(FaultOp::Transfer, handoff);
-    let run = run_cross_resilient(
-        &g,
-        src,
-        &cpu,
-        &gpu,
-        &link,
-        &params,
-        &plan,
-        &RetryPolicy::default_runtime(),
-        None,
-    )
-    .expect("CPU-only rung serves");
+    let run =
+        resilient(&g, src, &cpu, &gpu, &link, &params, &plan, None).expect("CPU-only rung serves");
     assert_eq!(run.report.rung, Rung::CpuOnly);
     assert_eq!(
         run.report.rungs_tried,
@@ -165,18 +158,8 @@ fn gpu_lost_at_handoff_degrades_to_cpu_only_matching_reference() {
 fn cpu_lost_falls_all_the_way_to_the_reference_rung() {
     let (g, src, cpu, gpu, link, params) = fixture();
     let plan = FaultPlan::lost_at(FaultOp::CpuKernel, 0);
-    let run = run_cross_resilient(
-        &g,
-        src,
-        &cpu,
-        &gpu,
-        &link,
-        &params,
-        &plan,
-        &RetryPolicy::default_runtime(),
-        None,
-    )
-    .expect("reference rung serves");
+    let run =
+        resilient(&g, src, &cpu, &gpu, &link, &params, &plan, None).expect("reference rung serves");
     assert_eq!(run.report.rung, Rung::Reference);
     assert_eq!(
         run.report.rungs_tried,
@@ -189,7 +172,7 @@ fn cpu_lost_falls_all_the_way_to_the_reference_rung() {
 #[test]
 fn exhausted_deadline_is_a_typed_error_not_a_panic() {
     let (g, src, cpu, gpu, link, params) = fixture();
-    let err = run_cross_resilient(
+    let err = resilient(
         &g,
         src,
         &cpu,
@@ -197,7 +180,6 @@ fn exhausted_deadline_is_a_typed_error_not_a_panic() {
         &link,
         &params,
         &FaultPlan::none(),
-        &RetryPolicy::default_runtime(),
         Some(1e-9),
     )
     .expect_err("1 ns budget cannot cover a level");
@@ -211,7 +193,7 @@ fn exhausted_deadline_is_a_typed_error_not_a_panic() {
 fn deadline_covers_recovery_time_too() {
     let (g, src, cpu, gpu, link, params) = fixture();
     // Healthy run fits the budget...
-    let healthy = run_cross_resilient(
+    let healthy = resilient(
         &g,
         src,
         &cpu,
@@ -219,7 +201,6 @@ fn deadline_covers_recovery_time_too() {
         &link,
         &params,
         &FaultPlan::none(),
-        &RetryPolicy::default_runtime(),
         None,
     )
     .expect("healthy");
@@ -229,24 +210,14 @@ fn deadline_covers_recovery_time_too() {
         p_device_lost: 1.0,
         ..FaultPlan::none()
     };
-    let err = run_cross_resilient(
-        &g,
-        src,
-        &cpu,
-        &gpu,
-        &link,
-        &params,
-        &gpu_dies,
-        &RetryPolicy::default_runtime(),
-        Some(budget),
-    )
-    .expect_err("restarting on the CPU blows a 1.5x budget");
+    let err = resilient(&g, src, &cpu, &gpu, &link, &params, &gpu_dies, Some(budget))
+        .expect_err("restarting on the CPU blows a 1.5x budget");
     assert!(
         matches!(err, XbfsError::DeadlineExceeded { .. }),
         "got {err}"
     );
     // With headroom the same plan succeeds on a lower rung.
-    let run = run_cross_resilient(
+    let run = resilient(
         &g,
         src,
         &cpu,
@@ -254,7 +225,6 @@ fn deadline_covers_recovery_time_too() {
         &link,
         &params,
         &gpu_dies,
-        &RetryPolicy::default_runtime(),
         Some(budget * 100.0),
     )
     .expect("generous budget");
@@ -275,17 +245,7 @@ fn seeded_fault_corpus_always_validates_or_errors_typed() {
             p_device_lost: 0.1,
             scheduled: Vec::new(),
         };
-        match run_cross_resilient(
-            &g,
-            src,
-            &cpu,
-            &gpu,
-            &link,
-            &params,
-            &plan,
-            &RetryPolicy::default_runtime(),
-            None,
-        ) {
+        match resilient(&g, src, &cpu, &gpu, &link, &params, &plan, None) {
             Ok(run) => {
                 assert_eq!(
                     validate(&g, &run.output),
@@ -326,17 +286,7 @@ fn corpus_with_tight_deadlines_only_fails_typed() {
             scheduled: Vec::new(),
         };
         // A budget around the healthy runtime: stalls and restarts blow it.
-        match run_cross_resilient(
-            &g,
-            src,
-            &cpu,
-            &gpu,
-            &link,
-            &params,
-            &plan,
-            &RetryPolicy::default_runtime(),
-            Some(2e-3),
-        ) {
+        match resilient(&g, src, &cpu, &gpu, &link, &params, &plan, Some(2e-3)) {
             Ok(run) => {
                 successes += 1;
                 assert_eq!(validate(&g, &run.output), Ok(()));

@@ -1,0 +1,339 @@
+//! Observability contract, end to end: traces recorded by a [`MemorySink`]
+//! are well-formed span trees that reconcile exactly with the `RunReport`;
+//! attaching any sink never perturbs the simulated run; the counting sink
+//! agrees with the buffering sink; and the chrome-trace exporter produces
+//! valid, timestamp-monotone JSON pinned by a golden file.
+
+use proptest::prelude::*;
+use xbfs::archsim::{ArchSpec, FaultPlan, Link};
+use xbfs::core::checkpoint::CheckpointPolicy;
+use xbfs::core::{chrome_trace_json, prometheus_text, CrossParams, RunSession};
+use xbfs::engine::trace::{CountingSink, MemorySink, TraceEvent};
+use xbfs::engine::{Direction, FixedMN};
+use xbfs::graph::Csr;
+
+fn fixture() -> (Csr, u32, ArchSpec, ArchSpec, Link, CrossParams) {
+    let g = xbfs::graph::rmat::rmat_csr(10, 16);
+    let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
+    (
+        g,
+        src,
+        ArchSpec::cpu_sandy_bridge(),
+        ArchSpec::gpu_k20x(),
+        Link::pcie3(),
+        CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        },
+    )
+}
+
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        p_transfer_failure: 0.3,
+        p_link_stall: 0.2,
+        stall_factor: 4.0,
+        p_kernel_timeout: 0.15,
+        p_device_lost: 0.1,
+        scheduled: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seeded fault plan yields a well-formed span tree: rungs pair up
+    /// and never nest, work events only happen inside an open rung and
+    /// carry its label, spans run forward in time, the per-level edge sums
+    /// equal the report's total, and the breaker events replicate the
+    /// report's transition list exactly.
+    #[test]
+    fn seeded_fault_plans_yield_well_formed_span_trees(seed in 0u64..256) {
+        let (g, src, cpu, gpu, link, params) = fixture();
+        let sink = MemorySink::new();
+        let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&chaos_plan(seed))
+            .checkpoints(CheckpointPolicy::every(2))
+            .sink(&sink)
+            .run()
+            .expect("no-deadline chaos always serves");
+
+        let events = sink.take();
+        prop_assert!(!events.is_empty());
+
+        let mut open_rung: Option<&'static str> = None;
+        let mut edges = 0u64;
+        let mut traced_breakers = Vec::new();
+        for ev in &events {
+            match ev {
+                TraceEvent::RungBegin { rung, .. } => {
+                    prop_assert!(open_rung.is_none(), "rung spans must not nest");
+                    open_rung = Some(rung);
+                }
+                TraceEvent::RungEnd { rung, .. } => {
+                    prop_assert_eq!(open_rung.take(), Some(*rung), "unbalanced rung end");
+                }
+                TraceEvent::RungSkipped { .. } => {
+                    prop_assert!(open_rung.is_none(), "skips happen between rungs");
+                }
+                TraceEvent::Level { rung, edges_examined, start_s, end_s, .. } => {
+                    prop_assert_eq!(open_rung, Some(*rung), "level outside its rung");
+                    prop_assert!(end_s >= start_s);
+                    edges += edges_examined;
+                }
+                TraceEvent::Kernel { start_s, end_s, .. }
+                | TraceEvent::Transfer { start_s, end_s, .. }
+                | TraceEvent::Backoff { start_s, end_s, .. }
+                | TraceEvent::Checkpoint { start_s, end_s, .. } => {
+                    prop_assert!(open_rung.is_some(), "work event outside any rung");
+                    prop_assert!(end_s >= start_s);
+                }
+                TraceEvent::Fault { .. } | TraceEvent::Resume { .. } => {
+                    prop_assert!(open_rung.is_some());
+                }
+                TraceEvent::Breaker { device, from, to, cause, at_s } => {
+                    traced_breakers.push((*device, *from, *to, *cause, *at_s));
+                }
+                TraceEvent::KernelCost { total_s, overhead_s, work_s, .. } => {
+                    prop_assert!(open_rung.is_some());
+                    prop_assert!(*total_s >= 0.0 && *overhead_s >= 0.0 && *work_s >= 0.0);
+                }
+                TraceEvent::EngineLevel { .. } => {
+                    prop_assert!(false, "simulated runs never emit engine levels");
+                }
+            }
+        }
+        prop_assert!(open_rung.is_none(), "a rung was left open");
+        prop_assert_eq!(edges, run.report.edges_examined);
+
+        let report_breakers: Vec<_> = run
+            .report
+            .breaker_transitions
+            .iter()
+            .map(|t| (t.device.name(), t.from.name(), t.to.name(), t.cause.name(), t.at_s))
+            .collect();
+        prop_assert_eq!(traced_breakers, report_breakers);
+    }
+
+    /// Tracing is observation only: for any seeded plan the traced run and
+    /// the default (NullSink) run are numerically identical, and the
+    /// lock-free counting sink tallies exactly what the buffering sink
+    /// records.
+    #[test]
+    fn sinks_never_perturb_the_run_and_agree_with_each_other(seed in 0u64..256) {
+        let (g, src, cpu, gpu, link, params) = fixture();
+        let session = |sink: Option<&dyn xbfs::engine::TraceSink>| {
+            let mut s = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+                .source(src)
+                .fault_plan(&chaos_plan(seed))
+                .checkpoints(CheckpointPolicy::every(2));
+            if let Some(sink) = sink {
+                s = s.sink(sink);
+            }
+            s.run().expect("no-deadline chaos always serves")
+        };
+
+        let silent = session(None);
+        let memory = MemorySink::new();
+        let buffered = session(Some(&memory));
+        let counting = CountingSink::new();
+        let counted = session(Some(&counting));
+
+        prop_assert_eq!(&silent.output, &buffered.output);
+        prop_assert_eq!(&silent.report, &buffered.report);
+        prop_assert_eq!(&silent.output, &counted.output);
+        prop_assert_eq!(&silent.report, &counted.report);
+
+        // Re-derive the counting sink's tallies from the buffered list.
+        let events = memory.take();
+        let c = counting.counts();
+        let count_of = |f: &dyn Fn(&TraceEvent) -> bool| {
+            events.iter().filter(|e| f(e)).count() as u64
+        };
+        prop_assert_eq!(c.levels, count_of(&|e| matches!(e, TraceEvent::Level { .. })));
+        prop_assert_eq!(c.kernels, count_of(&|e| matches!(e, TraceEvent::Kernel { .. })));
+        prop_assert_eq!(c.transfers, count_of(&|e| matches!(e, TraceEvent::Transfer { .. })));
+        prop_assert_eq!(c.backoffs, count_of(&|e| matches!(e, TraceEvent::Backoff { .. })));
+        prop_assert_eq!(c.faults, count_of(&|e| matches!(e, TraceEvent::Fault { .. })));
+        prop_assert_eq!(
+            c.breaker_transitions,
+            count_of(&|e| matches!(e, TraceEvent::Breaker { .. }))
+        );
+        prop_assert_eq!(c.checkpoints, count_of(&|e| matches!(e, TraceEvent::Checkpoint { .. })));
+        prop_assert_eq!(c.resumes, count_of(&|e| matches!(e, TraceEvent::Resume { .. })));
+        prop_assert_eq!(c.rungs, count_of(&|e| matches!(e, TraceEvent::RungBegin { .. })));
+        let edges: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Level { edges_examined, .. } => Some(*edges_examined),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(c.edges_examined, edges);
+    }
+
+    /// The chrome-trace exporter emits valid JSON with monotone timestamps
+    /// and non-negative durations for any recorded run.
+    #[test]
+    fn chrome_trace_export_is_valid_and_monotone(seed in 0u64..256) {
+        let (g, src, cpu, gpu, link, params) = fixture();
+        let sink = MemorySink::new();
+        RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .fault_plan(&chaos_plan(seed))
+            .checkpoints(CheckpointPolicy::every(2))
+            .sink(&sink)
+            .run()
+            .expect("no-deadline chaos always serves");
+
+        let text = chrome_trace_json(&sink.take());
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let evs = doc["traceEvents"].as_array().expect("traceEvents");
+        let mut last_ts = f64::NEG_INFINITY;
+        for ev in evs {
+            if ev["ph"] == "M" {
+                continue;
+            }
+            let ts = ev["ts"].as_f64().expect("numeric ts");
+            prop_assert!(ts >= last_ts, "timestamps regressed");
+            last_ts = ts;
+            if ev["ph"] == "X" {
+                prop_assert!(ev["dur"].as_f64().expect("dur") >= 0.0);
+            }
+        }
+    }
+}
+
+/// A fixed synthetic trace pins the exporter's exact bytes. Regenerate
+/// with `UPDATE_GOLDEN=1 cargo test -q --test observability`.
+fn golden_events() -> Vec<TraceEvent> {
+    use xbfs::engine::trace::RungOutcome;
+    vec![
+        TraceEvent::RungBegin {
+            rung: "cross",
+            at_s: 0.0,
+        },
+        TraceEvent::Transfer {
+            level: 2,
+            bytes: 8192,
+            attempt: 0,
+            start_s: 0.0010,
+            end_s: 0.0016,
+            ok: false,
+        },
+        TraceEvent::Fault {
+            op: "transfer",
+            kind: "transfer-failure",
+            level: 2,
+            attempt: 0,
+            at_s: 0.0016,
+        },
+        TraceEvent::Backoff {
+            op: "transfer",
+            level: 2,
+            retry: 0,
+            start_s: 0.0016,
+            end_s: 0.0017,
+        },
+        TraceEvent::Transfer {
+            level: 2,
+            bytes: 8192,
+            attempt: 1,
+            start_s: 0.0017,
+            end_s: 0.0023,
+            ok: true,
+        },
+        TraceEvent::KernelCost {
+            device: "gpu",
+            level: 2,
+            direction: Direction::BottomUp,
+            total_s: 0.0011,
+            overhead_s: 0.0001,
+            work_s: 0.0010,
+            bound: "bu",
+            at_s: 0.0023,
+        },
+        TraceEvent::Kernel {
+            device: "gpu",
+            op: "gpu-kernel",
+            level: 2,
+            attempt: 0,
+            start_s: 0.0023,
+            end_s: 0.0034,
+            ok: true,
+        },
+        TraceEvent::Level {
+            rung: "cross",
+            device: "gpu",
+            level: 2,
+            direction: Direction::BottomUp,
+            frontier_vertices: 320,
+            frontier_edges: 5056,
+            edges_examined: 4800,
+            discovered: 401,
+            start_s: 0.0010,
+            end_s: 0.0034,
+        },
+        TraceEvent::Checkpoint {
+            rung: "cross",
+            level: 3,
+            bytes: 5120,
+            spilled: false,
+            start_s: 0.0034,
+            end_s: 0.0035,
+        },
+        TraceEvent::Breaker {
+            device: "link",
+            from: "closed",
+            to: "half-open",
+            cause: "probe-window",
+            at_s: 0.0036,
+        },
+        TraceEvent::RungEnd {
+            rung: "cross",
+            at_s: 0.0040,
+            outcome: RungOutcome::Served,
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_golden_file_is_stable() {
+    let text = chrome_trace_json(&golden_events());
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("chrome_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, golden,
+        "chrome-trace output drifted from the golden file; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+    // The golden bytes are themselves a valid trace document.
+    let doc: serde_json::Value = serde_json::from_str(&golden).expect("golden parses");
+    assert!(doc["traceEvents"].as_array().is_some());
+}
+
+#[test]
+fn prometheus_export_covers_the_golden_trace() {
+    let text = prometheus_text(&golden_events());
+    for metric in [
+        "xbfs_levels_total{device=\"gpu\",rung=\"cross\",direction=\"bu\"} 1",
+        "xbfs_transfer_attempts_total{ok=\"false\"} 1",
+        "xbfs_transfer_attempts_total{ok=\"true\"} 1",
+        "xbfs_faults_total{op=\"transfer\",kind=\"transfer-failure\"} 1",
+        "xbfs_breaker_transitions_total{device=\"link\",to=\"half-open\"} 1",
+        "xbfs_checkpoints_total{rung=\"cross\",spilled=\"false\"} 1",
+        "xbfs_rungs_total{rung=\"cross\",outcome=\"served\"} 1",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
+}
