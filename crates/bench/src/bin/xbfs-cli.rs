@@ -10,6 +10,7 @@
 //!                     [--deadline SECS] [--retries N]
 //!                     [--checkpoint-interval L] [--spill CK.json]
 //!                     [--resume CK.json] [--report-json R.json]
+//! xbfs-cli bench      [--preset P] [--compare BASELINE.json] [--bench-dir DIR]
 //! ```
 //!
 //! Graphs are the compact binary format by default (`io::encode_csr`);
@@ -25,6 +26,7 @@
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
+use xbfs_bench::perf;
 use xbfs_core::{
     chrome_trace_json, prometheus_text, training::pick_source, AdaptiveRuntime, CheckpointPolicy,
     LevelCheckpoint, ResilienceConfig, RetryPolicy,
@@ -447,6 +449,94 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let ui = Ui::new(args);
+    let preset_name = args.get("preset").unwrap_or("scaled");
+    let preset = xbfs_bench::Preset::from_name(preset_name)
+        .ok_or_else(|| format!("unknown preset '{preset_name}'"))?;
+    let overlay = match args.get("fault-plan") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(FaultPlan::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+    };
+
+    ui.say(format!(
+        "running pinned perf suite (preset {preset_name}, {} scales x {{{}, chaos}})…",
+        perf::SUITE_PAPER_SCALES.len(),
+        if overlay.is_some() {
+            "overlay"
+        } else {
+            "fault-free"
+        },
+    ));
+    let report = perf::run_suite(&preset, overlay.as_ref());
+    for case in &report.cases {
+        ui.say(format!(
+            "  {}: {:.3} ms simulated, {:.3e} TEPS, rung {}, audit efficiency {:.4}",
+            case.id,
+            case.total_seconds * 1e3,
+            case.teps,
+            case.rung,
+            case.audit.efficiency,
+        ));
+    }
+    ui.say(format!(
+        "harmonic-mean TEPS: {:.3e}",
+        report.harmonic_mean_teps
+    ));
+
+    if let Some(path) = args.get("report-json") {
+        write_out(path, &report.to_json())?;
+        if path != "-" {
+            ui.say(format!("wrote bench report to {path}"));
+        }
+    }
+
+    let baseline_path = args.get("baseline").unwrap_or("bench/baseline.json");
+    if std::env::var("UPDATE_BASELINE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        std::fs::write(baseline_path, report.to_json())
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        ui.say(format!("updated baseline at {baseline_path}"));
+        return Ok(());
+    }
+
+    let bench_dir = std::path::PathBuf::from(args.get("bench-dir").unwrap_or("bench"));
+    std::fs::create_dir_all(&bench_dir).map_err(|e| format!("{}: {e}", bench_dir.display()))?;
+    let bench_path = perf::next_bench_path(&bench_dir);
+    std::fs::write(&bench_path, report.to_json())
+        .map_err(|e| format!("{}: {e}", bench_path.display()))?;
+    ui.say(format!("wrote {}", bench_path.display()));
+
+    if let Some(path) = args.get("compare") {
+        let baseline = perf::BenchReport::load(std::path::Path::new(path))?;
+        let tol = perf::PerfTolerance {
+            rel: args.parse_num("tolerance")?.unwrap_or(1e-6),
+            ..perf::PerfTolerance::default()
+        };
+        let outcome = perf::compare(&report, &baseline, &tol);
+        for note in &outcome.improvements {
+            ui.say(format!("improvement: {note}"));
+        }
+        if !outcome.is_pass() {
+            return Err(format!(
+                "{} perf regression(s) vs {path}:\n  {}",
+                outcome.regressions.len(),
+                outcome.regressions.join("\n  ")
+            ));
+        }
+        ui.say(format!(
+            "perf gate passed: no regression vs {path} (rel tolerance {:e})",
+            tol.rel
+        ));
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 usage: xbfs-cli <command> [flags]
 commands:
@@ -460,6 +550,9 @@ commands:
              [--retries N] [--checkpoint-interval L] [--spill CK.json]
              [--resume CK.json] [--report-json R.json]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
+  bench      [--preset scaled|paper] [--compare BASELINE.json] [--tolerance REL]
+             [--bench-dir DIR] [--baseline FILE] [--fault-plan OVERLAY.json]
+             [--report-json R.json] [--quiet]
 
 adaptive runs the cross-architecture combination under an optional fault
 plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
@@ -473,7 +566,17 @@ level 0; --report-json writes the full RunReport as JSON.
 --trace-out records the run as chrome://tracing JSON (load the file at
 https://ui.perfetto.dev); --metrics-out writes Prometheus text-format
 counters keyed by device, rung, and direction. Both accept '-' for stdout;
-human narration then moves to stderr, and --quiet silences it entirely.";
+human narration then moves to stderr, and --quiet silences it entirely.
+
+bench runs the pinned deterministic perf suite (three Graph 500 sizes,
+fault-free and under the committed chaos plan), writes a versioned
+BENCH_<n>.json into --bench-dir (default bench/), and with --compare exits
+nonzero naming every metric that regressed beyond --tolerance (default
+1e-6 relative; the suite clock is simulated, so drift means a behavior
+change). --fault-plan replaces the fault-free half with an overlay plan —
+the hook for proving the gate trips. Set UPDATE_BASELINE=1 to rewrite
+--baseline (default bench/baseline.json) instead, mirroring UPDATE_GOLDEN
+for golden traces.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -495,6 +598,7 @@ fn main() -> ExitCode {
         "stcon" => cmd_stcon(&args),
         "components" => cmd_components(&args),
         "adaptive" => cmd_adaptive(&args),
+        "bench" => cmd_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

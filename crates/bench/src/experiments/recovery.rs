@@ -14,10 +14,16 @@ use crate::{result::Claim, ExperimentResult, Preset};
 use serde_json::json;
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
 use xbfs_core::{CheckpointPolicy, CrossParams, ResilienceConfig, RunSession};
+use xbfs_engine::trace::{TraceSink, NULL_SINK};
 use xbfs_engine::FixedMN;
 
 /// Checkpoint-cadence sweep under a seeded GPU loss.
 pub fn run(preset: &Preset) -> ExperimentResult {
+    run_traced(preset, &NULL_SINK)
+}
+
+/// [`run`] with every traversal's events delivered to `sink`.
+pub fn run_traced(preset: &Preset, sink: &dyn TraceSink) -> ExperimentResult {
     let scale = preset.scale(21);
     let ef = 16;
     let g = super::graph(scale, ef);
@@ -63,6 +69,7 @@ pub fn run(preset: &Preset) -> ExperimentResult {
             .source(src)
             .fault_plan(&plan)
             .resilience(config)
+            .sink(sink)
             .run()
             .expect("the CPU-only rung serves this plan");
         let r = &run.report;

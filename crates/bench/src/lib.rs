@@ -12,6 +12,7 @@
 //! SCALE 21–23 sizes; needs several GB of memory and minutes of runtime).
 
 pub mod experiments;
+pub mod perf;
 pub mod preset;
 pub mod result;
 pub mod table;
@@ -20,6 +21,7 @@ pub use preset::Preset;
 pub use result::ExperimentResult;
 
 use std::path::Path;
+use xbfs_engine::trace::TraceSink;
 
 /// All experiment ids: the paper's tables and figures in paper order,
 /// followed by the ablation studies this reproduction adds.
@@ -75,6 +77,23 @@ pub fn run_experiment(id: &str, preset: &Preset) -> Option<ExperimentResult> {
         "recovery" => experiments::recovery::run(preset),
         _ => return None,
     })
+}
+
+/// [`run_experiment`] with a trace sink attached to every traversal the
+/// experiment executes.
+///
+/// Only experiments that drive the resilient runtime emit events (today:
+/// `recovery`); the analytic experiments cost traversals without executing
+/// them, so their sink stays empty. Returns `None` for an unknown id.
+pub fn run_experiment_traced(
+    id: &str,
+    preset: &Preset,
+    sink: &dyn TraceSink,
+) -> Option<ExperimentResult> {
+    match id {
+        "recovery" => Some(experiments::recovery::run_traced(preset, sink)),
+        _ => run_experiment(id, preset),
+    }
 }
 
 /// Write an experiment's JSON artifact to `dir/<id>.json`.

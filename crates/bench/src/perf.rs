@@ -1,0 +1,569 @@
+//! The pinned performance suite behind `xbfs-cli bench`: deterministic
+//! benchmark reports, a committed baseline, and regression comparison.
+//!
+//! Every metric the suite records lives on the *simulated* clock (TEPS
+//! against simulated seconds, per-phase attribution from the trace, audit
+//! efficiency against the exhaustive oracle), so reports are bit-stable
+//! across machines and reruns — the only nondeterministic field is the
+//! measured prediction wall time, which is recorded but never compared.
+//! That determinism is what lets the CI perf gate hold tolerances near
+//! zero: any drift beyond float-noise is a real behavior change.
+//!
+//! The suite runs the scaled preset's three Graph 500 sizes twice each —
+//! fault-free and under one committed chaos plan — through the full
+//! [`xbfs_core::RunSession`] resilient path with tracing on, then audits every
+//! decision with [`decision_audit`]. Reports serialize as versioned
+//! `BENCH_<n>.json` files; `bench/baseline.json` pins the expected values.
+
+use crate::Preset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use xbfs_archsim::FaultPlan;
+use xbfs_core::{decision_audit, AdaptiveRuntime, CheckpointPolicy, DecisionAudit, RunReport};
+use xbfs_engine::metrics::{harmonic_mean_teps, Teps};
+use xbfs_engine::trace::analysis::critical_path;
+use xbfs_engine::{reference, MemorySink};
+
+/// Version of the `BENCH_<n>.json` schema; bumped on breaking changes so
+/// `compare` refuses to diff incompatible reports instead of misreading
+/// them.
+pub const BENCH_FORMAT_VERSION: u64 = 1;
+
+/// The committed chaos plan every suite run replays (moderate mixed
+/// faults, seeded — the same plan the chaos corpus pins).
+pub const SUITE_CHAOS_PLAN: &str = include_str!("../../../tests/chaos/08-mixed-moderate.json");
+
+/// The paper SCALEs the suite covers (mapped through the preset).
+pub const SUITE_PAPER_SCALES: [u32; 3] = [21, 22, 23];
+
+const SUITE_EDGEFACTOR: u32 = 16;
+
+/// One benchmark case: a `(graph, fault plan)` pair run end to end.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchCase {
+    /// Case id, e.g. `"s16-ef16-fault-free"`.
+    pub id: String,
+    /// Generated graph SCALE (after the preset's shift).
+    pub scale: u32,
+    /// Generated graph edgefactor.
+    pub edgefactor: u32,
+    /// Fault-plan label ("fault-free", "chaos", "overlay").
+    pub plan: String,
+    /// Label of the rung that served the traversal.
+    pub rung: String,
+    /// End-to-end simulated seconds.
+    pub total_seconds: f64,
+    /// Undirected edges in the traversed component (the Graph 500 TEPS
+    /// numerator).
+    pub component_edges: u64,
+    /// Simulated traversed edges per second.
+    pub teps: f64,
+    /// Edges the run examined (including replays and failed attempts).
+    pub edges_examined: u64,
+    /// Critical-path length across device lanes, simulated seconds.
+    pub critical_path_s: f64,
+    /// Simulated seconds per `kind/device` phase bucket.
+    pub phase_seconds: BTreeMap<String, f64>,
+    /// Full decision audit of the run.
+    pub audit: DecisionAudit,
+}
+
+/// A complete suite run: the versioned content of one `BENCH_<n>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_FORMAT_VERSION`]).
+    pub format_version: u64,
+    /// Preset name the suite ran under.
+    pub preset: String,
+    /// Harmonic-mean TEPS across all cases (the Graph 500 aggregate).
+    pub harmonic_mean_teps: f64,
+    /// Every case, in suite order.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("bench report parse error: {e:?}"))
+    }
+
+    /// Load a report from a file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// Tolerances for [`compare`]. Every compared metric is simulated-clock
+/// deterministic, so the defaults only absorb float-summation noise.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfTolerance {
+    /// Relative tolerance on seconds/TEPS/ratios.
+    pub rel: f64,
+    /// Absolute floor in seconds, so near-zero phases don't trip the
+    /// relative band on noise.
+    pub abs_s: f64,
+}
+
+impl Default for PerfTolerance {
+    fn default() -> Self {
+        Self {
+            rel: 1e-6,
+            abs_s: 1e-9,
+        }
+    }
+}
+
+/// Outcome of comparing a candidate report against a baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompareOutcome {
+    /// Regressions beyond tolerance — each names the case and metric.
+    pub regressions: Vec<String>,
+    /// Improvements beyond tolerance (informational; a stale baseline).
+    pub improvements: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// `true` when no regression was found.
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Run the pinned suite under `preset`.
+///
+/// Each suite graph runs twice: once fault-free (or under `overlay` when
+/// given — the hook the acceptance test uses to inject a deliberate
+/// slowdown) and once under the committed chaos plan.
+pub fn run_suite(preset: &Preset, overlay: Option<&FaultPlan>) -> BenchReport {
+    let rt = suite_runtime(preset);
+    let chaos = FaultPlan::from_json(SUITE_CHAOS_PLAN).expect("committed chaos plan parses");
+    let fault_free = FaultPlan::none();
+    let (first_plan, first_label) = match overlay {
+        Some(p) => (p.clone(), "overlay"),
+        None => (fault_free, "fault-free"),
+    };
+
+    let mut cases = Vec::new();
+    for paper_scale in SUITE_PAPER_SCALES {
+        let scale = preset.scale(paper_scale);
+        // The overlay keeps the fault-free slot's case id so a comparison
+        // against the committed baseline reports per-metric regressions
+        // instead of a case-set mismatch.
+        cases.push(run_case(&rt, scale, &first_plan, "fault-free", first_label));
+        cases.push(run_case(&rt, scale, &chaos, "chaos", "chaos"));
+    }
+    let teps: Vec<Teps> = cases
+        .iter()
+        .map(|c| Teps::new(c.component_edges, c.total_seconds))
+        .collect();
+    BenchReport {
+        format_version: BENCH_FORMAT_VERSION,
+        preset: preset.name.to_string(),
+        harmonic_mean_teps: harmonic_mean_teps(&teps),
+        cases,
+    }
+}
+
+/// The trained runtime the suite shares across cases: deterministic
+/// training data, so the predicted parameters are stable.
+pub fn suite_runtime(preset: &Preset) -> AdaptiveRuntime {
+    if preset.full_training {
+        AdaptiveRuntime::train(&xbfs_core::training::TrainingConfig::paper_sized())
+    } else {
+        AdaptiveRuntime::quick_trained()
+    }
+}
+
+fn run_case(
+    rt: &AdaptiveRuntime,
+    scale: u32,
+    plan: &FaultPlan,
+    id_label: &str,
+    plan_label: &str,
+) -> BenchCase {
+    let ef = SUITE_EDGEFACTOR;
+    let g = crate::experiments::graph(scale, ef);
+    let stats = crate::experiments::stats(&g);
+    let src = crate::experiments::source(&g, scale, ef);
+
+    let started = Instant::now();
+    let params = rt.predict_params(&stats);
+    let prediction_overhead_s = started.elapsed().as_secs_f64();
+
+    let sink = MemorySink::new();
+    let run = rt
+        .session(&g, &stats)
+        .source(src)
+        .params(params)
+        .fault_plan(plan)
+        .checkpoints(CheckpointPolicy::every(4))
+        .sink(&sink)
+        .run()
+        .expect("suite plans always leave a serving rung");
+    let events = sink.take();
+    let report: &RunReport = &run.report;
+
+    let profile = xbfs_archsim::profile(&g, src);
+    let audit = decision_audit(
+        &profile,
+        &rt.cpu,
+        &rt.gpu,
+        &rt.link,
+        &params,
+        &events,
+        report,
+        prediction_overhead_s,
+    );
+
+    let cp = critical_path(&events);
+    let mut phase_seconds: BTreeMap<String, f64> = BTreeMap::new();
+    for seg in &cp.segments {
+        *phase_seconds
+            .entry(format!("{}/{}", seg.kind, seg.device))
+            .or_insert(0.0) += seg.seconds();
+    }
+
+    let component_edges = reference::component_edges(&g, &run.output);
+    let teps = Teps::new(component_edges, report.total_seconds);
+    BenchCase {
+        id: format!("s{scale}-ef{ef}-{id_label}"),
+        scale,
+        edgefactor: ef,
+        plan: plan_label.to_string(),
+        rung: report.rung.label().to_string(),
+        total_seconds: report.total_seconds,
+        component_edges,
+        teps: teps.teps(),
+        edges_examined: report.edges_examined,
+        critical_path_s: cp.length_s,
+        phase_seconds,
+        audit,
+    }
+}
+
+fn pct(v: f64, base: f64) -> f64 {
+    if base != 0.0 {
+        (v - base) / base * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// Compare `current` against `baseline`.
+///
+/// Lower-is-better metrics (seconds) regress upward, higher-is-better
+/// metrics (TEPS, audit efficiency) regress downward; discrete metrics
+/// (edge counts, served rungs, case sets, format version) must match
+/// exactly. Every regression message names the offending case and metric
+/// with both values.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tol: &PerfTolerance,
+) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+    if current.format_version != baseline.format_version {
+        out.regressions.push(format!(
+            "format_version: baseline {} vs current {}",
+            baseline.format_version, current.format_version
+        ));
+        return out;
+    }
+    if current.preset != baseline.preset {
+        out.regressions.push(format!(
+            "preset: baseline {:?} vs current {:?}",
+            baseline.preset, current.preset
+        ));
+        return out;
+    }
+
+    // Lower is better: seconds-type metrics.
+    let worse_up = |id: &str, metric: &str, cur: f64, base: f64, out: &mut CompareOutcome| {
+        let band = (base.abs() * tol.rel).max(tol.abs_s);
+        if cur > base + band {
+            out.regressions.push(format!(
+                "{id}: {metric} regressed {:+.3}% (baseline {base:.9}, current {cur:.9})",
+                pct(cur, base)
+            ));
+        } else if cur < base - band {
+            out.improvements.push(format!(
+                "{id}: {metric} improved {:+.3}% (baseline {base:.9}, current {cur:.9})",
+                pct(cur, base)
+            ));
+        }
+    };
+    // Higher is better: rate/ratio metrics.
+    let worse_down = |id: &str, metric: &str, cur: f64, base: f64, out: &mut CompareOutcome| {
+        let band = base.abs() * tol.rel;
+        if cur < base - band {
+            out.regressions.push(format!(
+                "{id}: {metric} regressed {:+.3}% (baseline {base:.6}, current {cur:.6})",
+                pct(cur, base)
+            ));
+        } else if cur > base + band {
+            out.improvements.push(format!(
+                "{id}: {metric} improved {:+.3}% (baseline {base:.6}, current {cur:.6})",
+                pct(cur, base)
+            ));
+        }
+    };
+
+    for base_case in &baseline.cases {
+        let Some(cur) = current.cases.iter().find(|c| c.id == base_case.id) else {
+            out.regressions.push(format!(
+                "{}: case missing from current report",
+                base_case.id
+            ));
+            continue;
+        };
+        let id = &base_case.id;
+        if cur.plan != base_case.plan {
+            out.regressions.push(format!(
+                "{id}: fault plan changed (baseline {:?}, current {:?})",
+                base_case.plan, cur.plan
+            ));
+        }
+        if cur.rung != base_case.rung {
+            out.regressions.push(format!(
+                "{id}: served rung changed (baseline {:?}, current {:?})",
+                base_case.rung, cur.rung
+            ));
+        }
+        if cur.component_edges != base_case.component_edges {
+            out.regressions.push(format!(
+                "{id}: component_edges changed (baseline {}, current {})",
+                base_case.component_edges, cur.component_edges
+            ));
+        }
+        if cur.edges_examined != base_case.edges_examined {
+            out.regressions.push(format!(
+                "{id}: edges_examined changed (baseline {}, current {})",
+                base_case.edges_examined, cur.edges_examined
+            ));
+        }
+        worse_up(
+            id,
+            "total_seconds",
+            cur.total_seconds,
+            base_case.total_seconds,
+            &mut out,
+        );
+        worse_up(
+            id,
+            "critical_path_s",
+            cur.critical_path_s,
+            base_case.critical_path_s,
+            &mut out,
+        );
+        worse_down(id, "teps", cur.teps, base_case.teps, &mut out);
+        worse_down(
+            id,
+            "audit.efficiency",
+            cur.audit.efficiency,
+            base_case.audit.efficiency,
+            &mut out,
+        );
+        worse_up(
+            id,
+            "audit.regret_seconds",
+            cur.audit.regret_seconds,
+            base_case.audit.regret_seconds,
+            &mut out,
+        );
+        for (phase, base_s) in &base_case.phase_seconds {
+            let cur_s = cur.phase_seconds.get(phase).copied().unwrap_or(0.0);
+            worse_up(
+                id,
+                &format!("phase_seconds[{phase}]"),
+                cur_s,
+                *base_s,
+                &mut out,
+            );
+        }
+        for phase in cur.phase_seconds.keys() {
+            if !base_case.phase_seconds.contains_key(phase) {
+                out.regressions.push(format!(
+                    "{id}: phase_seconds[{phase}] appeared (baseline has no such phase)"
+                ));
+            }
+        }
+    }
+    for cur_case in &current.cases {
+        if !baseline.cases.iter().any(|c| c.id == cur_case.id) {
+            out.regressions.push(format!(
+                "{}: case not present in baseline (regenerate it)",
+                cur_case.id
+            ));
+        }
+    }
+    worse_down(
+        "suite",
+        "harmonic_mean_teps",
+        current.harmonic_mean_teps,
+        baseline.harmonic_mean_teps,
+        &mut out,
+    );
+    out
+}
+
+/// The next free `BENCH_<n>.json` path in `dir` (1-based, gap-free growth:
+/// one past the highest existing index).
+pub fn next_bench_path(dir: &Path) -> PathBuf {
+    let mut max = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max = max.max(n);
+            }
+        }
+    }
+    dir.join(format!("BENCH_{}.json", max + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_baseline_parses_and_meets_efficiency_bar() {
+        let path = std::path::Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../bench/baseline.json"
+        ));
+        let baseline = BenchReport::load(path).expect("committed baseline parses");
+        assert_eq!(baseline.format_version, BENCH_FORMAT_VERSION);
+        assert_eq!(baseline.preset, "scaled");
+        assert_eq!(baseline.cases.len(), SUITE_PAPER_SCALES.len() * 2);
+        for case in &baseline.cases {
+            assert!(
+                case.audit.meets(0.9),
+                "{}: predicted/oracle efficiency {:.4} below the 0.9 bar",
+                case.id,
+                case.audit.efficiency
+            );
+        }
+    }
+
+    fn tiny_report() -> BenchReport {
+        // A real single-case run at the floor scale keeps the test fast
+        // while exercising the full pipeline.
+        let rt = AdaptiveRuntime::quick_trained();
+        let case = run_case(&rt, 10, &FaultPlan::none(), "fault-free", "fault-free");
+        let teps = [Teps::new(case.component_edges, case.total_seconds)];
+        BenchReport {
+            format_version: BENCH_FORMAT_VERSION,
+            preset: "scaled".to_string(),
+            harmonic_mean_teps: harmonic_mean_teps(&teps),
+            cases: vec![case],
+        }
+    }
+
+    #[test]
+    fn case_metrics_are_deterministic_and_consistent() {
+        let rt = AdaptiveRuntime::quick_trained();
+        let a = run_case(&rt, 10, &FaultPlan::none(), "fault-free", "fault-free");
+        let b = run_case(&rt, 10, &FaultPlan::none(), "fault-free", "fault-free");
+        // The prediction wall time differs between runs; everything else
+        // must be bit-identical.
+        let mut b2 = b.clone();
+        b2.audit.prediction_overhead_s = a.audit.prediction_overhead_s;
+        b2.audit.prediction_overhead_fraction = a.audit.prediction_overhead_fraction;
+        assert_eq!(a, b2);
+        // TEPS is exactly edges over simulated seconds.
+        assert!((a.teps - a.component_edges as f64 / a.total_seconds).abs() < 1e-9);
+        // The critical path of a fresh fault-free run covers the clock.
+        assert!(a.critical_path_s <= a.total_seconds * (1.0 + 1e-9));
+        let phase_total: f64 = a.phase_seconds.values().sum();
+        assert!((phase_total - a.critical_path_s).abs() <= 1e-9 * a.critical_path_s.max(1.0));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_report();
+        let parsed = BenchReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn compare_passes_identity_and_names_regressions() {
+        let report = tiny_report();
+        let tol = PerfTolerance::default();
+        assert!(compare(&report, &report, &tol).is_pass());
+
+        // A 1 % slowdown on one case trips total_seconds, teps, and the
+        // suite harmonic mean — each named.
+        let mut slow = report.clone();
+        slow.cases[0].total_seconds *= 1.01;
+        slow.cases[0].teps /= 1.01;
+        slow.harmonic_mean_teps /= 1.01;
+        let out = compare(&slow, &report, &tol);
+        assert!(!out.is_pass());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("total_seconds") && r.contains(&report.cases[0].id)));
+        assert!(out.regressions.iter().any(|r| r.contains("teps")));
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("harmonic_mean_teps")));
+
+        // The mirror image is an improvement, not a failure.
+        let out = compare(&report, &slow, &tol);
+        assert!(out.is_pass());
+        assert!(!out.improvements.is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_schema_and_case_set_drift() {
+        let report = tiny_report();
+        let tol = PerfTolerance::default();
+
+        let mut other_version = report.clone();
+        other_version.format_version += 1;
+        let out = compare(&other_version, &report, &tol);
+        assert!(out.regressions.iter().any(|r| r.contains("format_version")));
+
+        let mut renamed = report.clone();
+        renamed.cases[0].id = "s10-ef16-renamed".to_string();
+        let out = compare(&renamed, &report, &tol);
+        assert!(out.regressions.iter().any(|r| r.contains("case missing")));
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("not present in baseline")));
+    }
+
+    #[test]
+    fn bench_paths_number_upward() {
+        let dir = std::env::temp_dir().join(format!("xbfs-bench-paths-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_1.json"));
+        std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_8.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_chaos_plan_parses() {
+        let plan = FaultPlan::from_json(SUITE_CHAOS_PLAN).expect("plan parses");
+        assert!(plan.p_device_lost > 0.0);
+    }
+}

@@ -237,6 +237,136 @@ fn adaptive_emits_trace_and_metrics() {
 }
 
 #[test]
+fn bench_compare_against_committed_baseline_passes() {
+    let bench_dir = tmpfile("bench-dir");
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench/baseline.json");
+
+    let out = run_ok(cli().args([
+        "bench",
+        "--compare",
+        baseline,
+        "--bench-dir",
+        bench_dir.to_str().unwrap(),
+    ]));
+    let narration = String::from_utf8_lossy(&out.stdout);
+    assert!(narration.contains("perf gate passed"), "{narration}");
+
+    // The run leaves a versioned snapshot behind.
+    let snapshot = bench_dir.join("BENCH_1.json");
+    let report = xbfs_bench::perf::BenchReport::load(&snapshot).expect("snapshot parses");
+    assert_eq!(report.cases.len(), 6, "three scales x two plans");
+
+    // Acceptance bar: on every preset graph the audited prediction stays
+    // within 90% of the exhaustive oracle's TEPS.
+    for case in &report.cases {
+        assert!(
+            case.audit.meets(0.9),
+            "{}: predicted/oracle efficiency {:.4} below 0.9",
+            case.id,
+            case.audit.efficiency
+        );
+    }
+
+    std::fs::remove_dir_all(bench_dir).ok();
+}
+
+#[test]
+fn bench_overlay_slowdown_trips_gate() {
+    let bench_dir = tmpfile("bench-slow-dir");
+    let plan = tmpfile("bench-slowdown.json");
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench/baseline.json");
+    std::fs::write(
+        &plan,
+        r#"{"seed":7,"p_transfer_failure":0.0,"p_link_stall":1.0,"stall_factor":10.0,
+           "p_kernel_timeout":0.0,"p_device_lost":0.0,"scheduled":[]}"#,
+    )
+    .unwrap();
+
+    let out = cli()
+        .args([
+            "bench",
+            "--fault-plan",
+            plan.to_str().unwrap(),
+            "--compare",
+            baseline,
+            "--bench-dir",
+            bench_dir.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a 10x link stall must trip the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("perf regression"), "{stderr}");
+    // The failure names the specific metrics that moved, not just "failed".
+    assert!(stderr.contains("total_seconds"), "{stderr}");
+    assert!(stderr.contains("transfer/link"), "{stderr}");
+
+    std::fs::remove_dir_all(bench_dir).ok();
+    std::fs::remove_file(plan).ok();
+}
+
+#[test]
+fn repro_trace_out_writes_recovery_trace() {
+    let trace_dir = tmpfile("repro-traces");
+    let artifacts = tmpfile("repro-artifacts");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "recovery",
+            "fig1",
+            "--artifacts",
+            artifacts.to_str().unwrap(),
+            "--trace-out",
+            trace_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let narration = String::from_utf8_lossy(&out.stdout);
+
+    // recovery drives the resilient runtime, so it leaves a chrome trace;
+    // fig1 is analytic and narrates why it has none.
+    let trace = trace_dir.join("recovery.trace.json");
+    let text = std::fs::read_to_string(&trace).expect("recovery trace written");
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    assert!(!trace_dir.join("fig1.trace.json").exists());
+    assert!(
+        narration.contains("fig1: analytic experiment"),
+        "{narration}"
+    );
+    assert!(
+        narration.contains("1 experiment(s) produced a non-empty trace"),
+        "{narration}"
+    );
+
+    // --trace-out - claims stdout; --quiet leaves it pure JSON.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "recovery",
+            "--artifacts",
+            artifacts.to_str().unwrap(),
+            "--quiet",
+            "--trace-out",
+            "-",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"traceEvents\""), "{stdout}");
+    assert!(out.stderr.is_empty(), "quiet run must not narrate");
+
+    std::fs::remove_dir_all(trace_dir).ok();
+    std::fs::remove_dir_all(artifacts).ok();
+}
+
+#[test]
 fn repro_binary_lists_and_rejects() {
     let repro = Command::new(env!("CARGO_BIN_EXE_repro"))
         .arg("--help")

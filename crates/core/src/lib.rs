@@ -23,6 +23,7 @@
 //! The one-stop entry point is [`runtime::AdaptiveRuntime`].
 
 pub mod ablation;
+pub mod audit;
 pub mod checkpoint;
 pub mod combination;
 pub mod cross;
@@ -40,6 +41,7 @@ pub mod session;
 pub mod strategies;
 pub mod training;
 
+pub use audit::{decision_audit, DecisionAudit, LevelAttribution, PhaseSeconds};
 pub use checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
 pub use combination::{run_single, SingleRun};
 pub use cross::{
@@ -50,7 +52,7 @@ pub use features::feature_vector;
 pub use health::{
     BreakerPolicy, BreakerState, BreakerTransition, Device, DeviceHealth, HealthSnapshot,
 };
-pub use observe::{chrome_trace_json, prometheus_text};
+pub use observe::{chrome_trace_json, prometheus_audit_text, prometheus_text};
 pub use oracle::MnGrid;
 pub use predictor::SwitchPredictor;
 #[allow(deprecated)]

@@ -19,6 +19,7 @@
 //! `BTreeMap`-ordered label sets), which is what lets the golden-file test
 //! pin the chrome trace byte-for-byte.
 
+use crate::audit::DecisionAudit;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use xbfs_engine::trace::TraceEvent;
@@ -426,11 +427,30 @@ impl Counter {
     }
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed must be escaped; everything else
+/// passes through.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 fn render_labels(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
-    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     format!("{{{}}}", inner.join(","))
 }
 
@@ -710,6 +730,107 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     out
 }
 
+fn write_gauge(out: &mut String, name: &str, help: &str, series: &[(String, f64)]) {
+    if series.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    for (labels, v) in series {
+        out.push_str(&format!("{name}{labels} {}\n", render_value(*v)));
+    }
+}
+
+/// Render a [`DecisionAudit`] in the Prometheus text exposition format.
+///
+/// Complements [`prometheus_text`]: where that renders the raw trace, this
+/// renders the *judgment* — predicted vs oracle seconds, regret, switch
+/// levels, and per-phase simulated-time attribution — as gauge families,
+/// so a scrape of both paints the full picture of one run.
+pub fn prometheus_audit_text(audit: &DecisionAudit) -> String {
+    let mut out = String::new();
+    let scalar = |v: f64| vec![(String::new(), v)];
+    write_gauge(
+        &mut out,
+        "xbfs_audit_predicted_seconds",
+        "Fault-free simulated seconds of the predicted (M, N) pair.",
+        &scalar(audit.predicted_seconds),
+    );
+    write_gauge(
+        &mut out,
+        "xbfs_audit_oracle_seconds",
+        "Fault-free simulated seconds of the exhaustive-sweep optimum.",
+        &scalar(audit.oracle_seconds),
+    );
+    write_gauge(
+        &mut out,
+        "xbfs_audit_regret_seconds",
+        "Simulated seconds lost to the prediction vs the oracle.",
+        &scalar(audit.regret_seconds),
+    );
+    write_gauge(
+        &mut out,
+        "xbfs_audit_efficiency_ratio",
+        "Predicted TEPS as a fraction of oracle TEPS (1 = optimal).",
+        &scalar(audit.efficiency),
+    );
+    write_gauge(
+        &mut out,
+        "xbfs_audit_prediction_overhead_fraction",
+        "Prediction wall time over prediction plus traversal time.",
+        &scalar(audit.prediction_overhead_fraction),
+    );
+    let mut switches: Vec<(String, f64)> = Vec::new();
+    for (kind, level) in [
+        ("predicted", audit.predicted_switch_level),
+        ("oracle", audit.oracle_switch_level),
+        ("realized", audit.realized_switch_level),
+    ] {
+        if let Some(level) = level {
+            switches.push((render_labels(&[("kind", kind)]), level as f64));
+        }
+    }
+    write_gauge(
+        &mut out,
+        "xbfs_audit_switch_level",
+        "First GPU level per decision source (absent when no handoff).",
+        &switches,
+    );
+    let mut params: Vec<(String, f64)> = Vec::new();
+    for (kind, p) in [("predicted", &audit.predicted), ("oracle", &audit.oracle)] {
+        for (param, v) in [
+            ("handoff_m", p.handoff.m),
+            ("handoff_n", p.handoff.n),
+            ("gpu_m", p.gpu.m),
+            ("gpu_n", p.gpu.n),
+        ] {
+            params.push((render_labels(&[("kind", kind), ("param", param)]), v));
+        }
+    }
+    write_gauge(
+        &mut out,
+        "xbfs_audit_params",
+        "Switch-point parameters of the predicted and oracle pairs.",
+        &params,
+    );
+    let phases: Vec<(String, f64)> = audit
+        .phases
+        .iter()
+        .map(|p| {
+            (
+                render_labels(&[("phase", &p.phase), ("device", &p.device)]),
+                p.seconds,
+            )
+        })
+        .collect();
+    write_gauge(
+        &mut out,
+        "xbfs_audit_phase_seconds",
+        "Simulated seconds attributed to each phase/device bucket.",
+        &phases,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +954,183 @@ mod tests {
         // A 3 ms level lands in the 0.01 bucket but not the 0.001 bucket.
         assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"0.001\"} 0"));
         assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"0.01\"} 1"));
+    }
+
+    /// Strict parser for the label block of one exposition sample line.
+    /// Panics on anything the format forbids: unescaped quotes or
+    /// newlines, dangling escapes, bad label-name characters.
+    fn parse_labels(s: &str) -> Vec<(String, String)> {
+        let mut labels = Vec::new();
+        let mut chars = s.chars().peekable();
+        loop {
+            let mut key = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == '=' {
+                    break;
+                }
+                assert!(
+                    c.is_ascii_alphanumeric() || c == '_',
+                    "label name charset: {c:?}"
+                );
+                key.push(c);
+                chars.next();
+            }
+            assert!(!key.is_empty(), "empty label name");
+            assert_eq!(chars.next(), Some('='));
+            assert_eq!(chars.next(), Some('"'));
+            let mut value = String::new();
+            loop {
+                match chars.next().expect("unterminated label value") {
+                    '\\' => match chars.next().expect("dangling escape") {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => panic!("invalid escape sequence \\{other}"),
+                    },
+                    '"' => break,
+                    c => value.push(c),
+                }
+            }
+            labels.push((key, value));
+            match chars.next() {
+                None => break,
+                Some(',') => continue,
+                Some(c) => panic!("unexpected {c:?} after a label"),
+            }
+        }
+        labels
+    }
+
+    /// One parsed sample line: metric name, label pairs, value.
+    type Sample = (String, Vec<(String, String)>, f64);
+
+    /// Strict parser for the whole exposition text: every line must be a
+    /// HELP/TYPE comment or a well-formed sample.
+    fn parse_exposition(text: &str) -> Vec<Sample> {
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "unknown comment: {line}"
+                );
+                continue;
+            }
+            assert!(!line.is_empty(), "blank line in exposition output");
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value.parse().expect("sample value parses as f64");
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), Vec::new()),
+                Some((name, rest)) => {
+                    let inner = rest.strip_suffix('}').expect("label set closes");
+                    (name.to_string(), parse_labels(inner))
+                }
+            };
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "metric name charset: {name}"
+            );
+            samples.push((name, labels, value));
+        }
+        samples
+    }
+
+    #[test]
+    fn exposition_round_trips_through_strict_parser() {
+        let text = prometheus_text(&sample_events());
+        let samples = parse_exposition(&text);
+        assert!(!samples.is_empty());
+        // Re-rendering every parsed sample reproduces a line of the
+        // original text verbatim — parse ∘ render is the identity.
+        for (name, labels, value) in samples {
+            let pairs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let line = format!("{name}{} {}", render_labels(&pairs), render_value(value));
+            assert!(text.lines().any(|l| l == line), "missing line: {line}");
+        }
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_parse_back() {
+        let hostile = "say \"hi\"\\path\nnext";
+        let mut c = Counter::default();
+        c.add(&[("op", hostile), ("plain", "ok")], 2.0);
+        let mut out = String::new();
+        write_counter(&mut out, "xbfs_test_total", "Escaping probe.", &c);
+        // The raw control characters must not survive unescaped.
+        let sample = out.lines().last().unwrap();
+        assert!(!sample.contains('\n'));
+        assert!(sample.contains("\\\"hi\\\""));
+        assert!(sample.contains("\\\\path"));
+        assert!(sample.contains("\\n"));
+        // And the strict parser recovers the original value exactly.
+        let samples = parse_exposition(&out);
+        assert_eq!(samples.len(), 1);
+        let (name, labels, value) = &samples[0];
+        assert_eq!(name, "xbfs_test_total");
+        assert_eq!(labels[0], ("op".to_string(), hostile.to_string()));
+        assert_eq!(labels[1], ("plain".to_string(), "ok".to_string()));
+        assert_eq!(*value, 2.0);
+    }
+
+    #[test]
+    fn audit_exposition_round_trips_through_strict_parser() {
+        use crate::audit::{DecisionAudit, PhaseSeconds};
+        use crate::cross::CrossParams;
+        use xbfs_engine::FixedMN;
+
+        let params = CrossParams {
+            handoff: FixedMN { m: 30.0, n: 10.0 },
+            gpu: FixedMN { m: 100.0, n: 3.0 },
+        };
+        let audit = DecisionAudit {
+            predicted: params,
+            oracle: params,
+            predicted_seconds: 0.012,
+            oracle_seconds: 0.011,
+            efficiency: 0.011 / 0.012,
+            regret_seconds: 0.001,
+            predicted_switch_level: Some(3),
+            oracle_switch_level: Some(2),
+            realized_switch_level: None,
+            served_rung: "cross".to_string(),
+            total_seconds: 0.012,
+            prediction_overhead_s: 1e-6,
+            prediction_overhead_fraction: 1e-6 / (1e-6 + 0.012),
+            levels: vec![],
+            phases: vec![PhaseSeconds {
+                phase: "kernel".to_string(),
+                device: "gpu \"0\"\\primary".to_string(),
+                seconds: 0.01,
+            }],
+        };
+        let text = prometheus_audit_text(&audit);
+        let samples = parse_exposition(&text);
+        assert!(samples
+            .iter()
+            .any(|(n, _, v)| { n == "xbfs_audit_regret_seconds" && (*v - 0.001).abs() < 1e-12 }));
+        // The hostile device label survives the round trip intact.
+        let phase = samples
+            .iter()
+            .find(|(n, _, _)| n == "xbfs_audit_phase_seconds")
+            .expect("phase sample present");
+        assert!(phase
+            .1
+            .iter()
+            .any(|(k, v)| k == "device" && v == "gpu \"0\"\\primary"));
+        // The realized switch level is absent, the other two render.
+        let kinds: Vec<&String> = samples
+            .iter()
+            .filter(|(n, _, _)| n == "xbfs_audit_switch_level")
+            .map(|(_, l, _)| &l[0].1)
+            .collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(!kinds.iter().any(|k| *k == "realized"));
     }
 
     #[test]

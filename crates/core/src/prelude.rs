@@ -5,10 +5,11 @@
 //! result types it produces, and the exporters that turn a recorded trace
 //! into chrome://tracing JSON or Prometheus text.
 
+pub use crate::audit::{decision_audit, DecisionAudit, LevelAttribution, PhaseSeconds};
 pub use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
 pub use crate::cross::CrossParams;
 pub use crate::health::{BreakerPolicy, BreakerState, BreakerTransition, Device};
-pub use crate::observe::{chrome_trace_json, prometheus_text};
+pub use crate::observe::{chrome_trace_json, prometheus_audit_text, prometheus_text};
 pub use crate::recovery::{
     RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung,
 };

@@ -44,6 +44,9 @@ pub use error::XbfsError;
 pub use hybrid::TraversalState;
 pub use policy::{AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN, SwitchContext, SwitchPolicy};
 pub use stats::{LevelRecord, Traversal};
+pub use trace::analysis::{
+    critical_path, trace_diff, CriticalPath, PathSegment, PhaseDelta, TraceDiff,
+};
 pub use trace::{
     CountingSink, MemorySink, NullSink, RungOutcome, TraceCounts, TraceEvent, TraceSink, NULL_SINK,
 };

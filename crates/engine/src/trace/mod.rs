@@ -23,6 +23,8 @@ use crate::policy::Direction;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+pub mod analysis;
+
 /// How a recovery-ladder rung ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RungOutcome {

@@ -1,7 +1,9 @@
 //! Observability walkthrough: run the resilient cross-architecture ladder
-//! under a chaotic fault plan with a [`MemorySink`] attached, then export
-//! the recorded trace twice — as a chrome://tracing JSON file you can drop
-//! into <https://ui.perfetto.dev>, and as a Prometheus text snapshot.
+//! under a chaotic fault plan with a [`MemorySink`] attached, then mine
+//! the recorded trace four ways — a [`DecisionAudit`] of the predictor's
+//! (M, N) choice against the exhaustive oracle, the critical path through
+//! the device lanes, a chrome://tracing JSON file you can drop into
+//! <https://ui.perfetto.dev>, and a Prometheus text snapshot.
 //!
 //! ```text
 //! cargo run --release --example observability
@@ -11,14 +13,15 @@ use xbfs::prelude::*;
 
 fn main() {
     let graph = xbfs::graph::rmat::rmat_csr(12, 16);
+    let stats = GraphStats::rmat(&graph, 0.57, 0.19, 0.19, 0.05);
     let src = xbfs::core::training::pick_source(&graph, 3).unwrap();
-    let cpu = ArchSpec::cpu_sandy_bridge();
-    let gpu = ArchSpec::gpu_k20x();
-    let link = Link::pcie3();
-    let params = CrossParams {
-        handoff: FixedMN::new(64.0, 64.0),
-        gpu: FixedMN::new(14.0, 24.0),
-    };
+
+    // Train the switching-point predictor and time the prediction — the
+    // audit reports its overhead as a fraction of the traversal.
+    let rt = AdaptiveRuntime::quick_trained();
+    let started = std::time::Instant::now();
+    let params = rt.predict_params(&stats);
+    let prediction_overhead_s = started.elapsed().as_secs_f64();
 
     // A probabilistic fault plan: flaky transfers, occasional kernel
     // timeouts, a small chance the GPU dies outright.
@@ -34,8 +37,10 @@ fn main() {
 
     // Attach a buffering sink; everything else is the ordinary session.
     let sink = MemorySink::new();
-    let run = RunSession::on_platform(&graph, &cpu, &gpu, &link, &params)
+    let run = rt
+        .session(&graph, &stats)
         .source(src)
+        .params(params)
         .fault_plan(&plan)
         .checkpoints(CheckpointPolicy::every(2))
         .sink(&sink)
@@ -53,6 +58,72 @@ fn main() {
 
     let events = sink.take();
     println!("trace: {} events recorded", events.len());
+
+    // Audit the switching decision: replay the predictor's (M, N) pairs
+    // and the exhaustive 900-candidate oracle through the cost model,
+    // then attribute the recorded run's simulated time phase by phase.
+    let profile = xbfs::archsim::profile(&graph, src);
+    let audit = decision_audit(
+        &profile,
+        &rt.cpu,
+        &rt.gpu,
+        &rt.link,
+        &params,
+        &events,
+        &run.report,
+        prediction_overhead_s,
+    );
+    println!("\n--- decision audit ---");
+    println!(
+        "predicted: handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
+        audit.predicted.handoff.m,
+        audit.predicted.handoff.n,
+        audit.predicted.gpu.m,
+        audit.predicted.gpu.n,
+    );
+    println!(
+        "oracle:    handoff (M1={:.0}, N1={:.0}), GPU (M2={:.0}, N2={:.0})",
+        audit.oracle.handoff.m, audit.oracle.handoff.n, audit.oracle.gpu.m, audit.oracle.gpu.n,
+    );
+    println!(
+        "efficiency {:.4} (predicted {:.3} ms vs oracle {:.3} ms, regret {:.3} ms)",
+        audit.efficiency,
+        audit.predicted_seconds * 1e3,
+        audit.oracle_seconds * 1e3,
+        audit.regret_seconds * 1e3,
+    );
+    println!(
+        "switch level: predicted {:?}, oracle {:?}, realized {:?} (served by {})",
+        audit.predicted_switch_level,
+        audit.oracle_switch_level,
+        audit.realized_switch_level,
+        audit.served_rung,
+    );
+    println!(
+        "prediction overhead: {:.3} ms wall ({:.4}% of the run)",
+        audit.prediction_overhead_s * 1e3,
+        audit.prediction_overhead_fraction * 1e2,
+    );
+    println!("phase attribution (simulated ms by phase/device):");
+    println!("  {:<12} {:<8} {:>10}", "phase", "device", "ms");
+    for p in &audit.phases {
+        println!(
+            "  {:<12} {:<8} {:>10.4}",
+            p.phase,
+            p.device,
+            p.seconds * 1e3
+        );
+    }
+
+    // The critical path: the serialized chain of kernel/transfer/backoff/
+    // checkpoint spans that bounds the makespan.
+    let path = critical_path(&events);
+    println!(
+        "critical path: {:.3} ms across {} segments ({:.3} ms idle gap)",
+        path.length_s * 1e3,
+        path.segments.len(),
+        path.gap_s * 1e3,
+    );
 
     // Chrome trace: load this file at https://ui.perfetto.dev (or
     // chrome://tracing) to see rung spans, per-device level spans,

@@ -44,13 +44,14 @@ pub use xbfs_svm as svm;
 pub mod prelude {
     pub use xbfs_archsim::{ArchSpec, FaultPlan, Link, TraversalProfile};
     pub use xbfs_core::{
-        chrome_trace_json, prometheus_text, AdaptiveRuntime, CheckpointPolicy, CrossParams,
-        CrossRun, LevelCheckpoint, RecoveredRun, ResilienceConfig, RetryPolicy, RunReport,
-        RunSession, Rung, SingleRun,
+        chrome_trace_json, decision_audit, prometheus_audit_text, prometheus_text, AdaptiveRuntime,
+        CheckpointPolicy, CrossParams, CrossRun, DecisionAudit, LevelCheckpoint, RecoveredRun,
+        ResilienceConfig, RetryPolicy, RunReport, RunSession, Rung, SingleRun,
     };
     pub use xbfs_engine::{
-        AlwaysBottomUp, AlwaysTopDown, BfsOutput, CountingSink, Direction, FixedMN, MemorySink,
-        NullSink, SwitchPolicy, TraceEvent, TraceSink, Traversal, XbfsError,
+        critical_path, trace_diff, AlwaysBottomUp, AlwaysTopDown, BfsOutput, CountingSink,
+        CriticalPath, Direction, FixedMN, MemorySink, NullSink, SwitchPolicy, TraceDiff,
+        TraceEvent, TraceSink, Traversal, XbfsError,
     };
     pub use xbfs_graph::{Csr, EdgeList, Frontier, GraphStats, RmatConfig};
     pub use xbfs_svm::{Regressor, Svr, SvrConfig};

@@ -118,6 +118,16 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
 impl<T: Deserialize> Deserialize for Option<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {

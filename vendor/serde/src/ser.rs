@@ -1,6 +1,7 @@
 //! Serialization into the [`Value`] tree.
 
 use crate::value::{Number, Value};
+use std::collections::BTreeMap;
 
 /// Types convertible into a [`Value`] tree.
 pub trait Serialize {
@@ -108,6 +109,16 @@ impl<T: Serialize> Serialize for Option<T> {
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
