@@ -16,12 +16,13 @@
 //! Graphs are the compact binary format by default (`io::encode_csr`);
 //! `--text` reads/writes whitespace edge lists instead.
 //!
-//! `--trace-out` and `--metrics-out` record the run through a
-//! [`MemorySink`] and export it as chrome://tracing JSON (load in
-//! Perfetto) and Prometheus text respectively. Either accepts `-` for
-//! stdout; when any machine output claims stdout, the human narration
-//! moves to stderr so the data stream stays clean. `--quiet` silences the
-//! narration entirely.
+//! `--trace-out` and `--metrics-out` record the run through a trace sink
+//! ([`MemorySink`] for single-threaded runs, [`ShardedSink`] when worker
+//! threads record concurrently) and export it as chrome://tracing JSON
+//! (load in Perfetto) and Prometheus text respectively. Either accepts
+//! `-` for stdout; when any machine output claims stdout, the human
+//! narration moves to stderr so the data stream stays clean. `--quiet`
+//! silences the narration entirely.
 
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -33,16 +34,17 @@ use xbfs_core::{
 };
 use xbfs_engine::{
     hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
-    SwitchPolicy,
+    ShardedSink, SwitchPolicy, TraceEvent, XbfsError,
 };
 use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--text` /
-/// `--quiet`.
+/// `--quiet` / `--threads-scaling`.
 struct Args {
     pairs: Vec<(String, String)>,
     text: bool,
     quiet: bool,
+    threads_scaling: bool,
 }
 
 impl Args {
@@ -50,6 +52,7 @@ impl Args {
         let mut pairs = Vec::new();
         let mut text = false;
         let mut quiet = false;
+        let mut threads_scaling = false;
         while let Some(arg) = argv.next() {
             if arg == "--text" {
                 text = true;
@@ -57,6 +60,10 @@ impl Args {
             }
             if arg == "--quiet" {
                 quiet = true;
+                continue;
+            }
+            if arg == "--threads-scaling" {
+                threads_scaling = true;
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
@@ -67,7 +74,12 @@ impl Args {
             };
             pairs.push((key.to_string(), value));
         }
-        Ok(Self { pairs, text, quiet })
+        Ok(Self {
+            pairs,
+            text,
+            quiet,
+            threads_scaling,
+        })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -135,10 +147,9 @@ fn write_out(path: &str, content: &str) -> Result<(), String> {
 }
 
 /// Export a recorded trace per `--trace-out` / `--metrics-out`.
-fn export_trace(args: &Args, ui: &Ui, sink: &MemorySink) -> Result<(), String> {
-    let events = sink.events();
+fn export_trace(args: &Args, ui: &Ui, events: &[TraceEvent]) -> Result<(), String> {
     if let Some(path) = args.get("trace-out") {
-        write_out(path, &chrome_trace_json(&events))?;
+        write_out(path, &chrome_trace_json(events))?;
         if path != "-" {
             ui.say(format!(
                 "wrote chrome trace to {path} ({} events)",
@@ -147,7 +158,7 @@ fn export_trace(args: &Args, ui: &Ui, sink: &MemorySink) -> Result<(), String> {
         }
     }
     if let Some(path) = args.get("metrics-out") {
-        write_out(path, &prometheus_text(&events))?;
+        write_out(path, &prometheus_text(events))?;
         if path != "-" {
             ui.say(format!("wrote metrics to {path}"));
         }
@@ -220,10 +231,15 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
     let g = load_graph(args)?;
     let src = source_for(args, &g)?;
     let threads: usize = args.parse_num("threads")?.unwrap_or(1);
-    let tracing = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
-    if tracing && threads > 1 {
-        return Err("--trace-out/--metrics-out require --threads 1".into());
+    if threads == 0 {
+        // Validate here rather than letting the engine's internal
+        // `assert!` blow up: the CLI owns argument contracts.
+        return Err(XbfsError::InvalidArgument {
+            what: "--threads must be at least 1, got 0".to_string(),
+        }
+        .to_string());
     }
+    let tracing = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
     let policy_name = args.get("policy").unwrap_or("hybrid");
     let mut policy: Box<dyn SwitchPolicy> = match policy_name {
         "td" => Box::new(AlwaysTopDown),
@@ -233,14 +249,15 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown policy '{other}'")),
     };
 
-    let sink = MemorySink::new();
+    // Multi-threaded workers record concurrently, so traced parallel runs
+    // go through the sharded (seq-ordered) sink.
+    let sink = ShardedSink::new();
     let start = std::time::Instant::now();
-    let t = if threads > 1 {
-        par::run(&g, src, policy.as_mut(), threads)
-    } else if tracing {
-        hybrid::run_traced(&g, src, policy.as_mut(), &sink)
-    } else {
-        hybrid::run(&g, src, policy.as_mut())
+    let t = match (threads > 1, tracing) {
+        (true, true) => par::run_traced(&g, src, policy.as_mut(), threads, &sink),
+        (true, false) => par::run(&g, src, policy.as_mut(), threads),
+        (false, true) => hybrid::run_traced(&g, src, policy.as_mut(), &sink),
+        (false, false) => hybrid::run(&g, src, policy.as_mut()),
     };
     let secs = start.elapsed().as_secs_f64();
     validate(&g, &t.output).map_err(|e| format!("validation failed: {e}"))?;
@@ -257,7 +274,7 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
         tree::level_histogram(&t.output)
     ));
     ui.say(format!("edges examined: {}", t.total_edges_examined()));
-    export_trace(args, &ui, &sink)?;
+    export_trace(args, &ui, &sink.events())?;
     Ok(())
 }
 
@@ -445,7 +462,7 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
             ui.say(format!("wrote run report to {path}"));
         }
     }
-    export_trace(args, &ui, &sink)?;
+    export_trace(args, &ui, &sink.events())?;
     Ok(())
 }
 
@@ -512,6 +529,34 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", bench_path.display()))?;
     ui.say(format!("wrote {}", bench_path.display()));
 
+    if args.threads_scaling {
+        // Wall-clock scheduler comparison: informational only, written as
+        // its own artifact and never read by the deterministic --compare
+        // gate below.
+        ui.say(format!(
+            "running threaded-scaling sweep (static vs work-stealing at {:?} threads)…",
+            perf::SCALING_THREADS
+        ));
+        let scaling = perf::run_threaded_scaling(&preset);
+        for case in &scaling.cases {
+            ui.say(format!(
+                "  {:>13} @ {} thread(s): {:8.3} ms wall, {:.3e} TEPS, speedup {:.2}x",
+                case.scheduler,
+                case.threads,
+                case.wall_seconds * 1e3,
+                case.teps,
+                case.speedup,
+            ));
+        }
+        let scaling_path = bench_dir.join("SCALING.json");
+        std::fs::write(&scaling_path, scaling.to_json())
+            .map_err(|e| format!("{}: {e}", scaling_path.display()))?;
+        ui.say(format!(
+            "wrote {} (informational; excluded from the perf gate)",
+            scaling_path.display()
+        ));
+    }
+
     if let Some(path) = args.get("compare") {
         let baseline = perf::BenchReport::load(std::path::Path::new(path))?;
         let tol = perf::PerfTolerance {
@@ -552,7 +597,7 @@ commands:
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   bench      [--preset scaled|paper] [--compare BASELINE.json] [--tolerance REL]
              [--bench-dir DIR] [--baseline FILE] [--fault-plan OVERLAY.json]
-             [--report-json R.json] [--quiet]
+             [--report-json R.json] [--threads-scaling] [--quiet]
 
 adaptive runs the cross-architecture combination under an optional fault
 plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
@@ -576,7 +621,10 @@ nonzero naming every metric that regressed beyond --tolerance (default
 change). --fault-plan replaces the fault-free half with an overlay plan —
 the hook for proving the gate trips. Set UPDATE_BASELINE=1 to rewrite
 --baseline (default bench/baseline.json) instead, mirroring UPDATE_GOLDEN
-for golden traces.";
+for golden traces. --threads-scaling additionally measures the static vs
+work-stealing parallel schedulers at 1/2/4/8 threads on one skewed graph
+and writes the wall-clock results to SCALING.json in --bench-dir; those
+numbers are informational and never part of the deterministic gate.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

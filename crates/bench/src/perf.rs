@@ -24,7 +24,7 @@ use xbfs_archsim::FaultPlan;
 use xbfs_core::{decision_audit, AdaptiveRuntime, CheckpointPolicy, DecisionAudit, RunReport};
 use xbfs_engine::metrics::{harmonic_mean_teps, Teps};
 use xbfs_engine::trace::analysis::critical_path;
-use xbfs_engine::{reference, MemorySink};
+use xbfs_engine::{hybrid, par, reference, FixedMN, MemorySink};
 
 /// Version of the `BENCH_<n>.json` schema; bumped on breaking changes so
 /// `compare` refuses to diff incompatible reports instead of misreading
@@ -247,6 +247,124 @@ fn run_case(
         critical_path_s: cp.length_s,
         phase_seconds,
         audit,
+    }
+}
+
+/// Thread counts the threaded-scaling sweep measures (the paper's Fig. 10
+/// axis, truncated to what a laptop plausibly has).
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The paper SCALE the scaling sweep runs at (mapped through the preset) —
+/// the skewed R-MAT instance whose hubs the work-stealing scheduler exists
+/// to balance.
+pub const SCALING_PAPER_SCALE: u32 = 21;
+
+/// One `(scheduler, thread count)` measurement of the scaling sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingCase {
+    /// Scheduler label: `"static"` (per-level fork-join over pre-cut
+    /// ranges) or `"work-stealing"` (persistent pool, chunk claiming).
+    pub scheduler: String,
+    /// Threads the traversal ran on.
+    pub threads: usize,
+    /// Measured wall-clock seconds for the traversal (nondeterministic —
+    /// informational only, never gated).
+    pub wall_seconds: f64,
+    /// Traversed edges per wall-clock second.
+    pub teps: f64,
+    /// Speedup relative to the same scheduler's single-thread run.
+    pub speedup: f64,
+}
+
+/// The wall-clock threaded-scaling sweep: static-split vs work-stealing
+/// at [`SCALING_THREADS`] on one skewed suite graph.
+///
+/// Every metric here is *measured wall time* and therefore
+/// nondeterministic; the sweep is recorded as an informational artifact
+/// (`SCALING.json`) and deliberately excluded from the deterministic
+/// perf gate ([`compare`] never reads it).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// Preset the sweep ran under.
+    pub preset: String,
+    /// Generated graph SCALE (after the preset's shift).
+    pub scale: u32,
+    /// Generated graph edgefactor.
+    pub edgefactor: u32,
+    /// BFS source vertex.
+    pub source: u32,
+    /// Undirected edges in the traversed component (TEPS numerator).
+    pub component_edges: u64,
+    /// Every measurement, scheduler-major in [`SCALING_THREADS`] order.
+    pub cases: Vec<ScalingCase>,
+}
+
+impl ScalingReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scaling report serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("scaling report parse error: {e:?}"))
+    }
+}
+
+/// Run the threaded-scaling sweep under `preset` at the default
+/// [`SCALING_PAPER_SCALE`].
+///
+/// # Panics
+/// Panics if any parallel run's level map disagrees with the sequential
+/// hybrid engine — schedule-independence of the level map is a hard
+/// engine invariant, not a tunable.
+pub fn run_threaded_scaling(preset: &Preset) -> ScalingReport {
+    run_threaded_scaling_at(preset, SCALING_PAPER_SCALE)
+}
+
+/// [`run_threaded_scaling`] at an explicit paper SCALE (tests use a
+/// smaller instance).
+pub fn run_threaded_scaling_at(preset: &Preset, paper_scale: u32) -> ScalingReport {
+    let scale = preset.scale(paper_scale);
+    let ef = SUITE_EDGEFACTOR;
+    let g = crate::experiments::graph(scale, ef);
+    let src = crate::experiments::source(&g, scale, ef);
+
+    let reference_run = hybrid::run(&g, src, &mut FixedMN::new(14.0, 24.0));
+    let component_edges = reference::component_edges(&g, &reference_run.output);
+
+    let mut cases = Vec::new();
+    for scheduler in ["static", "work-stealing"] {
+        let mut one_thread_s = None;
+        for threads in SCALING_THREADS {
+            let mut policy = FixedMN::new(14.0, 24.0);
+            let started = Instant::now();
+            let t = match scheduler {
+                "static" => par::run_static(&g, src, &mut policy, threads),
+                _ => par::run(&g, src, &mut policy, threads),
+            };
+            let wall_seconds = started.elapsed().as_secs_f64();
+            assert_eq!(
+                t.output.levels, reference_run.output.levels,
+                "{scheduler} @ {threads} threads diverged from the sequential level map"
+            );
+            let base = *one_thread_s.get_or_insert(wall_seconds);
+            cases.push(ScalingCase {
+                scheduler: scheduler.to_string(),
+                threads,
+                wall_seconds,
+                teps: Teps::new(component_edges, wall_seconds).teps(),
+                speedup: base / wall_seconds,
+            });
+        }
+    }
+    ScalingReport {
+        preset: preset.name.to_string(),
+        scale,
+        edgefactor: ef,
+        source: src,
+        component_edges,
+        cases,
     }
 }
 
@@ -559,6 +677,33 @@ mod tests {
         std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
         assert!(next_bench_path(&dir).ends_with("BENCH_8.json"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn threaded_scaling_sweep_covers_both_schedulers_and_round_trips() {
+        // A small paper scale keeps this fast; the sweep itself asserts
+        // level-map identity against the sequential engine internally.
+        let report = run_threaded_scaling_at(&Preset::scaled(), 13);
+        assert_eq!(report.cases.len(), 2 * SCALING_THREADS.len());
+        for scheduler in ["static", "work-stealing"] {
+            let threads: Vec<usize> = report
+                .cases
+                .iter()
+                .filter(|c| c.scheduler == scheduler)
+                .map(|c| c.threads)
+                .collect();
+            assert_eq!(threads, SCALING_THREADS.to_vec(), "{scheduler}");
+        }
+        for case in &report.cases {
+            assert!(case.wall_seconds > 0.0);
+            assert!(case.teps > 0.0);
+            assert!(case.speedup > 0.0);
+            if case.threads == 1 {
+                assert!((case.speedup - 1.0).abs() < 1e-12);
+            }
+        }
+        let parsed = ScalingReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -173,24 +173,82 @@ fn bfs_trace_and_metrics_outputs() {
     assert!(stdout.contains("\"traceEvents\""), "{stdout}");
     assert!(out.stderr.is_empty(), "quiet run must not narrate");
 
-    // Tracing is a single-thread feature; asking for both is an error.
-    let out = cli()
-        .args([
-            "bfs",
-            "--graph",
-            graph.to_str().unwrap(),
-            "--threads",
-            "2",
-            "--trace-out",
-            "-",
-        ])
-        .output()
-        .unwrap();
-    assert!(!out.status.success());
-
     std::fs::remove_file(graph).ok();
     std::fs::remove_file(trace).ok();
     std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn bfs_multithreaded_trace_is_valid_chrome_json() {
+    // The acceptance criterion: `bfs --threads 4 --trace-out -` emits a
+    // valid chrome trace (the old --threads 1 restriction is gone).
+    let graph = tmpfile("bfs-mt-trace.xbfs");
+    stdout_of(cli().args(["gen", "--scale", "10", "--out", graph.to_str().unwrap()]));
+
+    let out = run_ok(cli().args([
+        "bfs",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--threads",
+        "4",
+        "--quiet",
+        "--trace-out",
+        "-",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"traceEvents\""), "{stdout}");
+    // Driver spans plus per-worker kernel spans from the pool.
+    assert!(stdout.contains("engine-level"), "{stdout}");
+    assert!(
+        stdout.contains("td-kernel") || stdout.contains("bu-kernel"),
+        "{stdout}"
+    );
+    assert!(out.stderr.is_empty(), "quiet run must not narrate");
+
+    // Multi-threaded metrics export works through the same sink.
+    let metrics = tmpfile("bfs-mt-metrics.prom");
+    run_ok(cli().args([
+        "bfs",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--source",
+        "0",
+        "--threads",
+        "4",
+        "--quiet",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]));
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        metrics_text.contains("xbfs_engine_levels_total"),
+        "{metrics_text}"
+    );
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn bfs_zero_threads_is_a_clean_typed_error() {
+    let graph = tmpfile("bfs-zero-threads.xbfs");
+    stdout_of(cli().args(["gen", "--scale", "9", "--out", graph.to_str().unwrap()]));
+
+    let out = cli()
+        .args(["bfs", "--graph", graph.to_str().unwrap(), "--threads", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--threads 0 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The typed InvalidArgument error, not a worker panic/abort.
+    assert!(stderr.contains("invalid argument"), "{stderr}");
+    assert!(stderr.contains("--threads"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    std::fs::remove_file(graph).ok();
 }
 
 #[test]
@@ -247,9 +305,24 @@ fn bench_compare_against_committed_baseline_passes() {
         baseline,
         "--bench-dir",
         bench_dir.to_str().unwrap(),
+        "--threads-scaling",
     ]));
     let narration = String::from_utf8_lossy(&out.stdout);
     assert!(narration.contains("perf gate passed"), "{narration}");
+    assert!(narration.contains("work-stealing"), "{narration}");
+
+    // The scaling sweep writes its own informational artifact; it is not
+    // part of the BenchReport schema, so the deterministic gate above
+    // passed against the unchanged committed baseline.
+    let scaling_path = bench_dir.join("SCALING.json");
+    let scaling_text = std::fs::read_to_string(&scaling_path).expect("SCALING.json written");
+    let scaling =
+        xbfs_bench::perf::ScalingReport::from_json(&scaling_text).expect("scaling parses");
+    assert_eq!(
+        scaling.cases.len(),
+        2 * xbfs_bench::perf::SCALING_THREADS.len()
+    );
+    assert!(scaling.cases.iter().all(|c| c.wall_seconds > 0.0));
 
     // The run leaves a versioned snapshot behind.
     let snapshot = bench_dir.join("BENCH_1.json");

@@ -1,55 +1,71 @@
 //! Parallel bottom-up level kernel.
 //!
-//! Owner-computes partitioning: the vertex range is split contiguously and
-//! each worker scans only its own unvisited vertices against the (read-only)
+//! Owner-computes partitioning: each worker scans only the unvisited
+//! vertices of the (disjoint) ranges it holds against the read-only
 //! frontier bitmap. A vertex is written by at most one worker, so parent
-//! adoption needs plain stores, not CAS — the structural advantage the paper
-//! attributes to bottom-up ("each unvisited vertex searches for one vertex
-//! from the CQ as its parent", §II-A).
+//! adoption needs plain stores, not CAS — the structural advantage the
+//! paper attributes to bottom-up ("each unvisited vertex searches for one
+//! vertex from the CQ as its parent", §II-A).
+//!
+//! [`chunk`] is the scheduler-agnostic unit of work: the work-stealing
+//! pool feeds it cursor-claimed vertex ranges, the static [`level`] feeds
+//! it one pre-cut contiguous range per worker. Either way ranges are
+//! disjoint, which is all owner-computes needs.
 
-use super::{pool::parallel_ranges, LevelOutcome, ParState};
+use super::pool::{parallel_ranges, Partial, StolenOutcome};
+use super::ParState;
+use std::ops::Range;
 use xbfs_graph::{AtomicBitmap, Csr, VertexId};
 
-/// Expand one bottom-up level on `threads` threads.
+/// Scan one contiguous vertex range, accumulating into `out`.
+///
+/// Each adopted vertex's degree is folded into `out`'s next-frontier
+/// stats at adoption time, so the driver's switch decision needs no
+/// serial rescan of the next frontier.
+pub(crate) fn chunk(
+    csr: &Csr,
+    frontier: &AtomicBitmap,
+    range: Range<usize>,
+    state: &ParState,
+    next_level: u32,
+    out: &mut Partial,
+) {
+    for v in range {
+        let v = v as VertexId;
+        if state.visited(v) {
+            continue;
+        }
+        for &u in csr.neighbors(v) {
+            out.edges_examined += 1;
+            if frontier.get(u) {
+                state.adopt(v, u, next_level);
+                out.discover(v, csr.degree(v));
+                break;
+            }
+        }
+    }
+}
+
+/// Expand one bottom-up level on `threads` threads with static
+/// contiguous-range splitting (the baseline scheduler).
 pub(crate) fn level(
     csr: &Csr,
     frontier: &AtomicBitmap,
     state: &ParState,
     next_level: u32,
     threads: usize,
-) -> LevelOutcome {
+) -> StolenOutcome {
     let n = csr.num_vertices() as usize;
     let partials = parallel_ranges(n, threads, |range| {
-        let mut local_next: Vec<VertexId> = Vec::new();
-        let mut examined = 0u64;
-        for v in range {
-            let v = v as VertexId;
-            if state.visited(v) {
-                continue;
-            }
-            for &u in csr.neighbors(v) {
-                examined += 1;
-                if frontier.get(u) {
-                    state.adopt(v, u, next_level);
-                    local_next.push(v);
-                    break;
-                }
-            }
-        }
-        (local_next, examined)
+        let mut local = Partial::default();
+        chunk(csr, frontier, range, state, next_level, &mut local);
+        local
     });
-
-    let mut next = Vec::with_capacity(partials.iter().map(|(l, _)| l.len()).sum());
-    let mut edges_examined = 0u64;
-    for (local, examined) in partials {
-        next.extend_from_slice(&local);
-        edges_examined += examined;
+    let mut out = StolenOutcome::default();
+    for p in partials {
+        p.merge_into(&mut out);
     }
-    LevelOutcome {
-        next,
-        edges_examined,
-        vertices_scanned: n as u64,
-    }
+    out
 }
 
 #[cfg(test)]
@@ -95,12 +111,14 @@ mod tests {
     }
 
     #[test]
-    fn scans_whole_vertex_range() {
+    fn adopts_whole_star_and_folds_degree_stats() {
         let g = xbfs_graph::gen::star(100);
         let state = ParState::init(100, 0);
         let frontier = frontier_of(100, &[0]);
         let out = level(&g, &frontier, &state, 1, 8);
-        assert_eq!(out.vertices_scanned, 100);
         assert_eq!(out.next.len(), 99);
+        // Every leaf has degree 1: folded stats must agree.
+        assert_eq!(out.next_edges, 99);
+        assert_eq!(out.next_max_degree, 1);
     }
 }

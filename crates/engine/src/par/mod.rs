@@ -1,15 +1,29 @@
 //! Multi-threaded BFS kernels.
 //!
 //! These are the "real hardware" kernels behind the paper's CPU numbers and
-//! the Fig. 10 scaling study: chunked work distribution over scoped
-//! threads, CAS parent-claiming for top-down (first writer wins,
-//! exactly one tree edge per vertex) and owner-computes partitioning for
-//! bottom-up (each thread exclusively scans a contiguous vertex range, so
-//! parent writes need no CAS).
+//! the Fig. 10 scaling study: CAS parent-claiming for top-down (first
+//! writer wins, exactly one tree edge per vertex) and owner-computes
+//! partitioning for bottom-up (each worker exclusively scans the vertices
+//! of the chunks it claims, so parent writes need no CAS).
+//!
+//! Two schedulers drive the kernels:
+//!
+//! * [`run`] / [`run_traced`] — **work-stealing**: a persistent
+//!   worker pool spawned once per traversal; workers claim
+//!   fixed-size chunks of the frontier (top-down) or vertex range
+//!   (bottom-up) off a shared atomic cursor, so an R-MAT hub cannot
+//!   serialize a level by landing in one worker's statically assigned
+//!   range.
+//! * [`run_static`] — the original static fork-join: one contiguous
+//!   pre-cut range per worker, threads spawned per level. Kept as the
+//!   scaling baseline the bench suite contrasts against.
 //!
 //! Parallel runs may pick different *parents* than sequential runs (the CAS
 //! race is won by an arbitrary frontier vertex) but always produce identical
-//! *level maps* — the property the test suite pins down.
+//! *level maps* — the property the test suite pins down. With
+//! `threads == 1` both schedulers degenerate to sequential execution on the
+//! calling thread (chunks are claimed in order, nothing is spawned), and
+//! even the parents match the sequential engine exactly.
 
 mod bottomup;
 mod pool;
@@ -18,7 +32,9 @@ mod topdown;
 pub use pool::{parallel_ranges, try_parallel_ranges};
 
 use crate::{
-    stats::LevelRecord, BfsOutput, Direction, SwitchContext, SwitchPolicy, Traversal, UNREACHED,
+    stats::LevelRecord,
+    trace::{TraceEvent, TraceSink, NULL_SINK},
+    BfsOutput, Direction, SwitchContext, SwitchPolicy, Traversal, UNREACHED,
 };
 use std::sync::atomic::{AtomicU32, Ordering};
 use xbfs_graph::{AtomicBitmap, Csr, VertexId, NO_PARENT};
@@ -92,39 +108,47 @@ impl ParState {
     }
 }
 
-/// Per-level outcome shared by both parallel kernels.
-pub(crate) struct LevelOutcome {
-    pub next: Vec<VertexId>,
-    pub edges_examined: u64,
-    pub vertices_scanned: u64,
+/// Thread count for tests: `XBFS_TEST_THREADS` if set to a positive
+/// integer, else `default`. Lets CI run the same suite over a
+/// single-thread and a multi-thread axis without duplicating tests.
+pub fn env_threads(default: usize) -> usize {
+    std::env::var("XBFS_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(default)
 }
 
-/// Run a complete parallel traversal from `source` on `threads` threads,
-/// choosing a direction per level via `policy`.
+/// The level-synchronous driver shared by both parallel schedulers: it
+/// owns the switch decision and the [`LevelRecord`] bookkeeping, while
+/// `exec` runs one level in whatever way the scheduler chooses and
+/// returns the merged outcome plus the level's `vertices_scanned`.
 ///
-/// `threads == 1` degenerates to a sequential execution on the calling
-/// thread (no spawns) so scaling baselines measure pure kernel time.
-pub fn run(
+/// The next frontier's degree stats (`|E|cq`, max degree) arrive *inside*
+/// each outcome — folded in by the kernels at discovery time — so the
+/// switch decision costs no per-level serial rescan of the frontier.
+fn drive(
     csr: &Csr,
     source: VertexId,
     policy: &mut dyn SwitchPolicy,
-    threads: usize,
-) -> Traversal {
-    assert!(threads >= 1, "need at least one thread");
+    sink: &dyn TraceSink,
+    mut exec: impl FnMut(Vec<VertexId>, Direction, u32) -> (pool::StolenOutcome, u64),
+) -> Vec<LevelRecord> {
     let n = csr.num_vertices();
     let total_edges = csr.num_directed_edges();
-    let state = ParState::init(n, source);
     let mut frontier: Vec<VertexId> = vec![source];
-    let mut records: Vec<LevelRecord> = Vec::new();
-
+    // Level 0's frontier is the single source; deeper levels inherit the
+    // stats the kernels folded into the previous outcome.
+    let mut frontier_edges = csr.degree(source);
+    let mut max_frontier_degree = frontier_edges;
     let mut unvisited_vertices = n as u64 - 1;
-    let mut unvisited_edges = total_edges - csr.degree(source);
+    let mut unvisited_edges = total_edges - frontier_edges;
+    let mut records: Vec<LevelRecord> = Vec::new();
     let mut level: u32 = 0;
 
     while !frontier.is_empty() {
+        let started = sink.enabled().then(std::time::Instant::now);
         let frontier_vertices = frontier.len() as u64;
-        let (frontier_edges, max_frontier_degree) =
-            crate::hybrid::frontier_degree_stats(csr, &frontier);
         let ctx = SwitchContext {
             level,
             frontier_vertices,
@@ -134,25 +158,9 @@ pub fn run(
             total_edges,
         };
         let direction = policy.direction(&ctx);
-
-        let outcome = match direction {
-            Direction::TopDown => topdown::level(csr, &frontier, &state, level + 1, threads),
-            Direction::BottomUp => {
-                // Publish the frontier bitmap in parallel; relaxed
-                // `fetch_or` publication is safe because the bitmap is
-                // only read after the scope joins.
-                let bits = AtomicBitmap::new(n as usize);
-                pool::parallel_ranges(frontier.len(), threads, |range| {
-                    for &v in &frontier[range] {
-                        bits.set(v);
-                    }
-                });
-                bottomup::level(csr, &bits, &state, level + 1, threads)
-            }
-        };
+        let (outcome, vertices_scanned) = exec(frontier, direction, level + 1);
 
         let discovered = outcome.next.len() as u64;
-        let discovered_edges: u64 = outcome.next.iter().map(|&v| csr.degree(v)).sum();
         records.push(LevelRecord {
             level,
             frontier_vertices,
@@ -161,17 +169,171 @@ pub fn run(
             unvisited_vertices,
             unvisited_edges,
             edges_examined: outcome.edges_examined,
-            vertices_scanned: outcome.vertices_scanned,
+            vertices_scanned,
             discovered,
             direction,
         });
+        if let Some(t0) = started {
+            sink.record(&TraceEvent::EngineLevel {
+                level,
+                direction,
+                frontier_vertices,
+                frontier_edges,
+                edges_examined: outcome.edges_examined,
+                discovered,
+                wall_s: t0.elapsed().as_secs_f64(),
+            });
+        }
 
         unvisited_vertices -= discovered;
-        unvisited_edges -= discovered_edges;
+        unvisited_edges -= outcome.next_edges;
         frontier = outcome.next;
+        frontier_edges = outcome.next_edges;
+        max_frontier_degree = outcome.next_max_degree;
         level += 1;
     }
+    records
+}
 
+/// Run a complete work-stealing parallel traversal from `source` on
+/// `threads` threads, choosing a direction per level via `policy`.
+///
+/// `threads - 1` helper workers are spawned once and parked between
+/// levels; every level is executed by all `threads` workers (the caller
+/// included) claiming chunks off a shared cursor. `threads == 1`
+/// degenerates to a sequential execution on the calling thread (no
+/// spawns, in-order chunk claiming) so scaling baselines measure pure
+/// kernel time and even parent choices match the sequential engine.
+///
+/// # Panics
+/// Panics if `threads == 0`, if `source` is out of range, or if a worker
+/// panics mid-kernel (re-raised with the worker's payload and item range).
+pub fn run(
+    csr: &Csr,
+    source: VertexId,
+    policy: &mut dyn SwitchPolicy,
+    threads: usize,
+) -> Traversal {
+    run_traced(csr, source, policy, threads, &NULL_SINK)
+}
+
+/// [`run`], reporting the traversal to `sink`: one
+/// [`TraceEvent::EngineLevel`] per level with measured wall time (emitted
+/// by the driver) and one [`TraceEvent::Kernel`] span per participating
+/// worker per kernel (emitted by the workers themselves — sinks must be
+/// `Sync`, which the trait already requires). With a disabled sink this
+/// is exactly [`run`] plus one virtual call per level.
+pub fn run_traced(
+    csr: &Csr,
+    source: VertexId,
+    policy: &mut dyn SwitchPolicy,
+    threads: usize,
+    sink: &dyn TraceSink,
+) -> Traversal {
+    assert!(threads >= 1, "need at least one thread");
+    let n = csr.num_vertices();
+    let state = ParState::init(n, source);
+    let worker_pool = pool::WorkerPool::new(threads);
+    let records = std::thread::scope(|s| {
+        // Dropped when this closure exits — normally or by unwind — so
+        // parked helpers always shut down before the scope joins them.
+        let _guard = worker_pool.shutdown_guard();
+        for w in 1..threads {
+            let (worker_pool, state) = (&worker_pool, &state);
+            s.spawn(move || worker_pool.worker_loop(csr, state, sink, w));
+        }
+        drive(
+            csr,
+            source,
+            policy,
+            sink,
+            |frontier, direction, next_level| match direction {
+                Direction::TopDown => {
+                    let scanned = frontier.len() as u64;
+                    worker_pool.dispatch(
+                        csr,
+                        &state,
+                        sink,
+                        pool::LevelJob::TopDown {
+                            frontier,
+                            next_level,
+                        },
+                    );
+                    (worker_pool.collect(), scanned)
+                }
+                Direction::BottomUp => {
+                    // Two dispatches: publish the frontier bitmap, then
+                    // scan against it. The bitmap is only read after the
+                    // publish barrier, so relaxed `fetch_or` publication
+                    // is safe.
+                    let bits = AtomicBitmap::new(n as usize);
+                    worker_pool.dispatch(
+                        csr,
+                        &state,
+                        sink,
+                        pool::LevelJob::Publish { frontier, bits },
+                    );
+                    let bits = worker_pool.take_published();
+                    worker_pool.dispatch(
+                        csr,
+                        &state,
+                        sink,
+                        pool::LevelJob::BottomUp { bits, next_level },
+                    );
+                    (worker_pool.collect(), n as u64)
+                }
+            },
+        )
+    });
+    Traversal {
+        output: state.into_output(),
+        levels: records,
+    }
+}
+
+/// Run a complete parallel traversal with the original *static* fork-join
+/// scheduler: the frontier (top-down) or vertex range (bottom-up) is
+/// pre-cut into one contiguous range per worker and threads are spawned
+/// per level.
+///
+/// Kept as the scaling baseline for [`run`]: identical kernels and
+/// identical level records, differing only in how work is assigned to
+/// threads — so a bench comparison isolates the scheduler.
+///
+/// # Panics
+/// Same contract as [`run`].
+pub fn run_static(
+    csr: &Csr,
+    source: VertexId,
+    policy: &mut dyn SwitchPolicy,
+    threads: usize,
+) -> Traversal {
+    assert!(threads >= 1, "need at least one thread");
+    let n = csr.num_vertices();
+    let state = ParState::init(n, source);
+    let records = drive(
+        csr,
+        source,
+        policy,
+        &NULL_SINK,
+        |frontier, direction, next_level| match direction {
+            Direction::TopDown => {
+                let scanned = frontier.len() as u64;
+                let outcome = topdown::level(csr, &frontier, &state, next_level, threads);
+                (outcome, scanned)
+            }
+            Direction::BottomUp => {
+                let bits = AtomicBitmap::new(n as usize);
+                parallel_ranges(frontier.len(), threads, |range| {
+                    for &v in &frontier[range] {
+                        bits.set(v);
+                    }
+                });
+                let outcome = bottomup::level(csr, &bits, &state, next_level, threads);
+                (outcome, n as u64)
+            }
+        },
+    );
     Traversal {
         output: state.into_output(),
         levels: records,
@@ -181,6 +343,7 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::MemorySink;
     use crate::{hybrid, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN};
     use xbfs_graph::gen;
 
@@ -196,6 +359,34 @@ mod tests {
         let g = xbfs_graph::rmat::rmat_csr(10, 16);
         for threads in [1, 2, 4, 8] {
             level_maps_match(&g, 0, threads);
+        }
+    }
+
+    #[test]
+    fn work_stealing_matches_static_split_levels_and_records() {
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        for threads in [1, 2, 4, 8] {
+            let stealing = run(&g, 0, &mut FixedMN::new(14.0, 24.0), threads);
+            let static_split = run_static(&g, 0, &mut FixedMN::new(14.0, 24.0), threads);
+            assert_eq!(stealing.output.levels, static_split.output.levels);
+            // The full LevelRecords agree too: examined/scanned/frontier
+            // stats are schedule-independent by construction.
+            assert_eq!(stealing.levels, static_split.levels);
+            assert_eq!(validate(&g, &static_split.output), Ok(()));
+        }
+    }
+
+    #[test]
+    fn parallel_records_match_sequential_hybrid_records() {
+        // Not just the level maps: every LevelRecord field the sequential
+        // driver computes (frontier stats, examined counts, unvisited
+        // accounting) must be reproduced by the folded-stats parallel
+        // driver, at any thread count.
+        let g = xbfs_graph::rmat::rmat_csr(9, 16);
+        let seq = hybrid::run(&g, 0, &mut FixedMN::new(14.0, 24.0));
+        for threads in [1, 2, 4, 8] {
+            let par = run(&g, 0, &mut FixedMN::new(14.0, 24.0), threads);
+            assert_eq!(seq.levels, par.levels, "threads={threads}");
         }
     }
 
@@ -234,12 +425,15 @@ mod tests {
     #[test]
     fn single_thread_matches_sequential_exactly() {
         // With one thread even the parent choices match the sequential
-        // engine: same iteration order, no races.
+        // engine: in-order chunk claiming, no races — for both schedulers.
         let g = xbfs_graph::rmat::rmat_csr(8, 16);
         let seq = hybrid::run(&g, 0, &mut AlwaysTopDown);
-        let par = run(&g, 0, &mut AlwaysTopDown, 1);
-        assert_eq!(seq.output, par.output);
-        assert_eq!(seq.levels, par.levels);
+        let stealing = run(&g, 0, &mut AlwaysTopDown, 1);
+        assert_eq!(seq.output, stealing.output);
+        assert_eq!(seq.levels, stealing.levels);
+        let static_split = run_static(&g, 0, &mut AlwaysTopDown, 1);
+        assert_eq!(seq.output, static_split.output);
+        assert_eq!(seq.levels, static_split.levels);
     }
 
     #[test]
@@ -247,5 +441,93 @@ mod tests {
     fn zero_threads_rejected() {
         let g = gen::path(2);
         run(&g, 0, &mut AlwaysTopDown, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected_static() {
+        let g = gen::path(2);
+        run_static(&g, 0, &mut AlwaysTopDown, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_levels_and_kernel_spans() {
+        let g = xbfs_graph::rmat::rmat_csr(9, 16);
+        let threads = 4;
+        let plain = run(&g, 0, &mut FixedMN::new(14.0, 24.0), threads);
+        let sink = MemorySink::new();
+        let traced = run_traced(&g, 0, &mut FixedMN::new(14.0, 24.0), threads, &sink);
+        assert_eq!(traced.output.levels, plain.output.levels);
+        assert_eq!(traced.levels, plain.levels);
+
+        let events = sink.events();
+        let engine_levels: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::EngineLevel { .. }))
+            .collect();
+        assert_eq!(engine_levels.len(), plain.levels.len());
+        for (ev, rec) in engine_levels.iter().zip(&plain.levels) {
+            if let TraceEvent::EngineLevel {
+                level,
+                direction,
+                frontier_vertices,
+                frontier_edges,
+                edges_examined,
+                discovered,
+                wall_s,
+            } = ev
+            {
+                assert_eq!(*level, rec.level);
+                assert_eq!(*direction, rec.direction);
+                assert_eq!(*frontier_vertices, rec.frontier_vertices);
+                assert_eq!(*frontier_edges, rec.frontier_edges);
+                assert_eq!(*edges_examined, rec.edges_examined);
+                assert_eq!(*discovered, rec.discovered);
+                assert!(wall_s.is_finite() && *wall_s >= 0.0);
+            }
+        }
+
+        // Kernel spans: at least one per level (some worker always claims
+        // work), each well-formed, never more than `threads` per level.
+        let mut per_level = std::collections::BTreeMap::<u32, usize>::new();
+        for ev in &events {
+            if let TraceEvent::Kernel {
+                device,
+                op,
+                level,
+                attempt,
+                start_s,
+                end_s,
+                ok,
+            } = ev
+            {
+                assert_eq!(*device, "cpu");
+                assert!(*op == "td-kernel" || *op == "bu-kernel", "{op}");
+                assert!((*attempt as usize) < threads);
+                assert!(*start_s >= 0.0 && *end_s >= *start_s);
+                assert!(*ok);
+                *per_level.entry(*level).or_default() += 1;
+            }
+        }
+        for rec in &plain.levels {
+            let spans = per_level.get(&rec.level).copied().unwrap_or(0);
+            assert!(
+                (1..=threads).contains(&spans),
+                "level {} has {spans} kernel spans",
+                rec.level
+            );
+        }
+    }
+
+    #[test]
+    fn env_threads_defaults_and_parses() {
+        // Avoid mutating the process environment (racy under the parallel
+        // test runner): unset means default.
+        if std::env::var("XBFS_TEST_THREADS").is_err() {
+            assert_eq!(env_threads(3), 3);
+        } else {
+            // When CI pins the variable, it must parse to a positive count.
+            assert!(env_threads(3) >= 1);
+        }
     }
 }

@@ -1,48 +1,60 @@
 //! Parallel top-down level kernel.
 //!
-//! The frontier is split into contiguous chunks; each worker examines its
-//! chunk's out-edges and claims unvisited targets with a CAS
-//! ([`ParState::claim`]). Exactly one claimant wins per vertex, so each
-//! discovered vertex lands in exactly one worker's local next-queue —
-//! concatenating the locals yields a duplicate-free next frontier without
-//! any shared queue contention.
+//! Workers examine the out-edges of frontier vertices and claim unvisited
+//! targets with a CAS ([`ParState::claim`]). Exactly one claimant wins per
+//! vertex, so each discovered vertex lands in exactly one worker's local
+//! next-queue — concatenating the locals yields a duplicate-free next
+//! frontier without any shared queue contention.
+//!
+//! [`chunk`] is the scheduler-agnostic unit of work: the work-stealing
+//! pool feeds it cursor-claimed frontier chunks, the static [`level`]
+//! feeds it one pre-cut contiguous range per worker.
 
-use super::{pool::parallel_ranges, LevelOutcome, ParState};
+use super::pool::{parallel_ranges, Partial, StolenOutcome};
+use super::ParState;
 use xbfs_graph::{Csr, VertexId};
 
-/// Expand one top-down level on `threads` threads.
+/// Expand one contiguous chunk of the frontier, accumulating into `out`.
+///
+/// Each discovered vertex's degree is folded into `out`'s next-frontier
+/// stats at claim time, so the driver's switch decision needs no serial
+/// rescan of the next frontier.
+pub(crate) fn chunk(
+    csr: &Csr,
+    frontier: &[VertexId],
+    state: &ParState,
+    next_level: u32,
+    out: &mut Partial,
+) {
+    for &u in frontier {
+        for &v in csr.neighbors(u) {
+            out.edges_examined += 1;
+            if state.claim(v, u, next_level) {
+                out.discover(v, csr.degree(v));
+            }
+        }
+    }
+}
+
+/// Expand one top-down level on `threads` threads with static
+/// contiguous-range splitting (the baseline scheduler).
 pub(crate) fn level(
     csr: &Csr,
     frontier: &[VertexId],
     state: &ParState,
     next_level: u32,
     threads: usize,
-) -> LevelOutcome {
+) -> StolenOutcome {
     let partials = parallel_ranges(frontier.len(), threads, |range| {
-        let mut local_next: Vec<VertexId> = Vec::new();
-        let mut examined = 0u64;
-        for &u in &frontier[range] {
-            for &v in csr.neighbors(u) {
-                examined += 1;
-                if state.claim(v, u, next_level) {
-                    local_next.push(v);
-                }
-            }
-        }
-        (local_next, examined)
+        let mut local = Partial::default();
+        chunk(csr, &frontier[range], state, next_level, &mut local);
+        local
     });
-
-    let mut next = Vec::with_capacity(partials.iter().map(|(l, _)| l.len()).sum());
-    let mut edges_examined = 0u64;
-    for (local, examined) in partials {
-        next.extend_from_slice(&local);
-        edges_examined += examined;
+    let mut out = StolenOutcome::default();
+    for p in partials {
+        p.merge_into(&mut out);
     }
-    LevelOutcome {
-        next,
-        edges_examined,
-        vertices_scanned: frontier.len() as u64,
-    }
+    out
 }
 
 #[cfg(test)]
@@ -68,7 +80,6 @@ mod tests {
         let expected: u64 = frontier.iter().map(|&v| g.degree(v)).sum();
         let out = level(&g, &frontier, &state, 1, 8);
         assert_eq!(out.edges_examined, expected);
-        assert_eq!(out.vertices_scanned, 64);
     }
 
     #[test]
@@ -80,5 +91,16 @@ mod tests {
         // Running the same frontier again discovers nothing new.
         let second = level(&g, &[0], &state, 1, 2);
         assert!(second.next.is_empty());
+    }
+
+    #[test]
+    fn folds_next_frontier_degree_stats_at_claim_time() {
+        let g = xbfs_graph::rmat::rmat_csr(8, 8);
+        let state = ParState::init(g.num_vertices(), 0);
+        let out = level(&g, &[0], &state, 1, 4);
+        let expected_sum: u64 = out.next.iter().map(|&v| g.degree(v)).sum();
+        let expected_max: u64 = out.next.iter().map(|&v| g.degree(v)).max().unwrap_or(0);
+        assert_eq!(out.next_edges, expected_sum);
+        assert_eq!(out.next_max_degree, expected_max);
     }
 }

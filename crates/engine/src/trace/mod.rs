@@ -325,6 +325,75 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Number of independently locked buffers in a [`ShardedSink`].
+const SHARD_COUNT: usize = 8;
+
+/// A thread-safe buffering sink for multi-threaded traversals.
+///
+/// Every recorded event takes a ticket off one global atomic sequence
+/// counter and lands, tagged with that ticket, in one of a fixed set of
+/// independently locked buffers — so concurrent workers rarely contend on
+/// the same lock the way they would on a single [`MemorySink`] mutex.
+/// [`ShardedSink::events`] merges the shards back into one list in
+/// ascending ticket order, which is the global arrival order: the merged
+/// view is deterministic for a given interleaving and totally ordered,
+/// no matter which worker recorded which event.
+#[derive(Debug)]
+pub struct ShardedSink {
+    seq: AtomicU64,
+    shards: [Mutex<Vec<(u64, TraceEvent)>>; SHARD_COUNT],
+}
+
+impl Default for ShardedSink {
+    fn default() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl ShardedSink {
+    /// Fresh empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge the shards into one list ordered by global sequence number
+    /// (arrival order), leaving the buffers intact.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut tagged: Vec<(u64, TraceEvent)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            tagged.extend(shard.lock().expect("sink lock").iter().cloned());
+        }
+        tagged.sort_unstable_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Number of buffered events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sink lock").len())
+            .sum()
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for ShardedSink {
+    fn record(&self, event: &TraceEvent) {
+        let ticket = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.shards[(ticket as usize) % SHARD_COUNT]
+            .lock()
+            .expect("sink lock")
+            .push((ticket, event.clone()));
+    }
+}
+
 /// A point-in-time snapshot of a [`CountingSink`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceCounts {
@@ -505,6 +574,55 @@ mod tests {
         assert_eq!(RungOutcome::Degraded.to_string(), "degraded");
         assert_eq!(RungOutcome::Invalid.name(), "invalid");
         assert_eq!(RungOutcome::Fatal.name(), "fatal");
+    }
+
+    #[test]
+    fn sharded_sink_merges_in_arrival_order() {
+        let sink = ShardedSink::new();
+        assert!(sink.enabled());
+        assert!(sink.is_empty());
+        for i in 0..20 {
+            sink.record(&level_event(i, u64::from(i)));
+        }
+        assert_eq!(sink.len(), 20);
+        let events = sink.events();
+        assert_eq!(events.len(), 20);
+        // Single-threaded recording: arrival order is emission order.
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(*ev, level_event(i as u32, i as u64));
+        }
+        // events() does not drain.
+        assert_eq!(sink.len(), 20);
+    }
+
+    #[test]
+    fn sharded_sink_is_shareable_and_loses_nothing_under_contention() {
+        let sink = ShardedSink::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        sink.record(&level_event(t * 100 + i, 1));
+                    }
+                });
+            }
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 400);
+        // Every recorded event survives the merge exactly once, and each
+        // thread's own events appear in its emission order (tickets are
+        // taken before buffering, so per-thread order is preserved).
+        let mut per_thread: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        for ev in &events {
+            if let TraceEvent::Level { level, .. } = ev {
+                per_thread[(level / 100) as usize].push(level % 100);
+            }
+        }
+        for (t, seen) in per_thread.iter().enumerate() {
+            assert_eq!(seen.len(), 100, "thread {t}");
+            assert!(seen.windows(2).all(|w| w[0] < w[1]), "thread {t}: {seen:?}");
+        }
     }
 
     #[test]

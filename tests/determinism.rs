@@ -77,7 +77,8 @@ fn parallel_engine_is_deterministic_in_levels_not_parents() {
     let g = xbfs::graph::rmat::rmat_csr(12, 16);
     let mut levels = Vec::new();
     for _ in 0..3 {
-        let t = xbfs::engine::par::run(&g, 0, &mut FixedMN::new(14.0, 24.0), 4);
+        let threads = xbfs::engine::par::env_threads(4);
+        let t = xbfs::engine::par::run(&g, 0, &mut FixedMN::new(14.0, 24.0), threads);
         levels.push(t.output.levels.clone());
     }
     assert_eq!(levels[0], levels[1]);

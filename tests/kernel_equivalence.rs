@@ -30,7 +30,7 @@ proptest! {
         let td = topdown::run(&g, src);
         let bu = bottomup::run(&g, src);
         let hy = hybrid::run(&g, src, &mut FixedMN::new(14.0, 24.0));
-        let pr = par::run(&g, src, &mut FixedMN::new(14.0, 24.0), 3);
+        let pr = par::run(&g, src, &mut FixedMN::new(14.0, 24.0), par::env_threads(3));
         let rf = reference::run(&g, src);
 
         prop_assert_eq!(&td.output.levels, &bu.output.levels);
@@ -44,11 +44,11 @@ proptest! {
         prop_assert_eq!(validate(&g, &topdown::run(&g, src).output), Ok(()));
         prop_assert_eq!(validate(&g, &bottomup::run(&g, src).output), Ok(()));
         prop_assert_eq!(
-            validate(&g, &par::run(&g, src, &mut AlwaysTopDown, 4).output),
+            validate(&g, &par::run(&g, src, &mut AlwaysTopDown, par::env_threads(4)).output),
             Ok(())
         );
         prop_assert_eq!(
-            validate(&g, &par::run(&g, src, &mut AlwaysBottomUp, 4).output),
+            validate(&g, &par::run(&g, src, &mut AlwaysBottomUp, par::env_threads(4)).output),
             Ok(())
         );
     }
