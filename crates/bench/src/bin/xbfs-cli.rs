@@ -29,8 +29,9 @@ use std::process::ExitCode;
 use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
 use xbfs_bench::perf;
 use xbfs_core::{
-    chrome_trace_json, prometheus_text, training::pick_source, AdaptiveRuntime, CheckpointPolicy,
-    LevelCheckpoint, ResilienceConfig, RetryPolicy,
+    chrome_trace_json, prometheus_text, service_chrome_trace_json, training::pick_source,
+    AdaptiveRuntime, CheckpointPolicy, DrainMode, LevelCheckpoint, QueryRequest, QueryService,
+    ResilienceConfig, RetryPolicy, ScheduleItem, ServiceConfig,
 };
 use xbfs_engine::{
     hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
@@ -176,6 +177,36 @@ fn load_graph(args: &Args) -> Result<Csr, String> {
     } else {
         io::decode_csr(&bytes[..]).map_err(|e| format!("{path}: {e}"))
     }
+}
+
+/// Parse and validate the failure-handling flags shared by `adaptive` and
+/// `serve`: `--deadline SECS` (finite, positive), `--retries N` (default
+/// 3), `--checkpoint-interval L` (default 0 = off). `spill` is the
+/// checkpoint spill target — adaptive's `--spill` file; `serve` passes
+/// `None` because the service derives a per-query path from `--spill-dir`.
+fn resilience_from_args(args: &Args, spill: Option<String>) -> Result<ResilienceConfig, String> {
+    let deadline_s: Option<f64> = args.parse_num("deadline")?;
+    if let Some(d) = deadline_s {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(format!("--deadline must be finite and positive, got {d}"));
+        }
+    }
+    let retry = RetryPolicy {
+        max_attempts: args.parse_num("retries")?.unwrap_or(3),
+        ..RetryPolicy::default_runtime()
+    };
+    let checkpoint = CheckpointPolicy {
+        interval_levels: args.parse_num("checkpoint-interval")?.unwrap_or(0),
+        spill,
+    };
+    let config = ResilienceConfig {
+        retry,
+        deadline_s,
+        checkpoint,
+        ..ResilienceConfig::default_runtime()
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
 }
 
 fn source_for(args: &Args, g: &Csr) -> Result<u32, String> {
@@ -324,29 +355,9 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
             FaultPlan::from_json(&text).map_err(|e| format!("{path}: {e}"))?
         }
     };
-    let deadline_s: Option<f64> = args.parse_num("deadline")?;
-    if let Some(d) = deadline_s {
-        if !d.is_finite() || d <= 0.0 {
-            return Err(format!("--deadline must be finite and positive, got {d}"));
-        }
-    }
-    let retry = RetryPolicy {
-        max_attempts: args.parse_num("retries")?.unwrap_or(3),
-        ..RetryPolicy::default_runtime()
-    };
-    let checkpoint = CheckpointPolicy {
-        interval_levels: args.parse_num("checkpoint-interval")?.unwrap_or(0),
-        spill: args.get("spill").map(str::to_string),
-    };
-    let config = ResilienceConfig {
-        retry,
-        deadline_s,
-        checkpoint,
-        ..ResilienceConfig::default_runtime()
-    };
     // Reject bad flags — and an unreadable or mismatched resume
     // checkpoint — before the (comparatively slow) training step.
-    config.validate().map_err(|e| e.to_string())?;
+    let config = resilience_from_args(args, args.get("spill").map(str::to_string))?;
     let resume_from = match args.get("resume") {
         None => None,
         Some(path) => {
@@ -463,6 +474,210 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         }
     }
     export_trace(args, &ui, &sink.events())?;
+    Ok(())
+}
+
+/// Deterministic 64-bit mixer (splitmix64) — the CLI's only randomness,
+/// so seeded arrival schedules replay bit-for-bit everywhere.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Load every `*.json` fault plan in `dir`, sorted by file name so the
+/// query→plan assignment is stable across machines.
+fn load_chaos_plans(dir: &str) -> Result<Vec<(String, FaultPlan)>, String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut plans = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let plan = FaultPlan::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        plans.push((path.display().to_string(), plan));
+    }
+    if plans.is_empty() {
+        return Err(format!("{dir}: no *.json fault plans found"));
+    }
+    Ok(plans)
+}
+
+/// Build the request schedule for `serve`: either replay a JSON-lines
+/// stream (`--requests FILE|-`) or synthesize a seeded arrival schedule
+/// (`--arrivals N --rate R --seed S`), optionally mixing committed chaos
+/// plans into every `--chaos-every`-th query.
+fn serve_schedule(args: &Args, g: &Csr) -> Result<Vec<ScheduleItem>, String> {
+    let mut schedule: Vec<ScheduleItem> = Vec::new();
+    if let Some(path) = args.get("requests") {
+        let text = if path == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let item = ScheduleItem::from_json_line(line)
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            schedule.push(item);
+        }
+    } else {
+        let n: u64 = args
+            .parse_num("arrivals")?
+            .ok_or_else(|| "serve needs --requests FILE or --arrivals N".to_string())?;
+        let rate: f64 = args.parse_num("rate")?.unwrap_or(100.0);
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("--rate must be finite and positive, got {rate}"));
+        }
+        let mut rng: u64 = args.parse_num("seed")?.unwrap_or(0xC0FFEE);
+        let request_deadline: Option<f64> = args.parse_num("request-deadline")?;
+        if let Some(d) = request_deadline {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!(
+                    "--request-deadline must be finite and positive, got {d}"
+                ));
+            }
+        }
+        let chaos = match args.get("chaos-dir") {
+            None => Vec::new(),
+            Some(dir) => load_chaos_plans(dir)?,
+        };
+        let chaos_every: u64 = args.parse_num("chaos-every")?.unwrap_or(4);
+        if !chaos.is_empty() && chaos_every == 0 {
+            return Err("--chaos-every must be at least 1".to_string());
+        }
+        let mut arrival_s = 0.0f64;
+        for i in 0..n {
+            // Uniform inter-arrival in [0.5, 1.5]/rate — no transcendental
+            // math, so the schedule is bit-identical across platforms.
+            let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+            arrival_s += (0.5 + u) / rate;
+            let source = (splitmix64(&mut rng) % u64::from(g.num_vertices())) as u32;
+            let mut req = QueryRequest::new(i, source, arrival_s);
+            req.deadline_s = request_deadline;
+            if !chaos.is_empty() && i % chaos_every == 0 {
+                let idx = ((i / chaos_every) % chaos.len() as u64) as usize;
+                req.fault_plan = Some(chaos[idx].1.clone());
+            }
+            schedule.push(ScheduleItem::Query(req));
+        }
+    }
+    if let Some(at_s) = args.parse_num::<f64>("drain-at")? {
+        schedule.push(ScheduleItem::Drain { at_s });
+    }
+    Ok(schedule)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let ui = Ui::new(args);
+    let g = std::sync::Arc::new(load_graph(args)?);
+    let stats = GraphStats::unknown(&g);
+    let schedule = serve_schedule(args, &g)?;
+
+    let drain = match args.get("drain-mode").unwrap_or("complete") {
+        "complete" => DrainMode::Complete,
+        "cancel" => DrainMode::Cancel,
+        other => return Err(format!("unknown --drain-mode '{other}'")),
+    };
+    let keep_query_traces = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
+    let config = ServiceConfig {
+        capacity: args.parse_num("capacity")?.unwrap_or(2),
+        queue_limit: args.parse_num("queue-depth")?.unwrap_or(8),
+        resilience: resilience_from_args(args, None)?,
+        drain,
+        keep_query_traces,
+        spill_dir: args.get("spill-dir").map(str::to_string),
+    };
+    if let Some(dir) = &config.spill_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+
+    ui.say("training switch-point predictor (quick configuration)…");
+    let rt = AdaptiveRuntime::quick_trained();
+    let service = QueryService::from_runtime(&rt, g, &stats, config);
+    ui.say(format!(
+        "serving {} schedule item(s) (capacity {}, queue depth {})…",
+        schedule.len(),
+        args.parse_num::<u32>("capacity")?.unwrap_or(2),
+        args.parse_num::<u32>("queue-depth")?.unwrap_or(8),
+    ));
+    let report = service
+        .run_schedule(&schedule)
+        .map_err(|e| format!("service failed: {e}"))?;
+
+    ui.say(format!(
+        "admitted {} | served {} | degraded {} | shed {} (overload) + {} (shutdown) | \
+         deadline-missed {} | failed {}",
+        report.admitted,
+        report.served,
+        report.degraded,
+        report.shed_overloaded,
+        report.shed_shutdown,
+        report.deadline_missed,
+        report.failed,
+    ));
+    ui.say(format!(
+        "peak queue depth {} | peak in-flight {} | makespan {:.3} ms (simulated)",
+        report.peak_queue_depth,
+        report.peak_in_flight,
+        report.makespan_s * 1e3,
+    ));
+    for (device, at_s) in &report.lost_devices {
+        ui.say(format!(
+            "device lost service-wide: {} at {:.3} ms — later queries skip its rungs",
+            device,
+            at_s * 1e3
+        ));
+    }
+    for o in &report.outcomes {
+        let verdict = match (&o.error, &o.run) {
+            (Some(e), _) => format!("{}: {e}", o.disposition.name()),
+            (None, Some(run)) => format!("{} on rung {}", o.disposition.name(), run.report.rung),
+            (None, None) => o.disposition.name().to_string(),
+        };
+        ui.say(format!(
+            "  query {} (source {}, arrival {:.3} ms, wait {:.3} ms): {verdict}",
+            o.id,
+            o.source,
+            o.arrival_s * 1e3,
+            o.wait_s * 1e3,
+        ));
+    }
+
+    if let Some(path) = args.get("report-json") {
+        write_out(path, &report.to_json())?;
+        if path != "-" {
+            ui.say(format!("wrote service report to {path}"));
+        }
+    }
+    if let Some(path) = args.get("trace-out") {
+        write_out(
+            path,
+            &service_chrome_trace_json(&report.events, &report.query_traces),
+        )?;
+        if path != "-" {
+            ui.say(format!("wrote service chrome trace to {path}"));
+        }
+    }
+    if let Some(path) = args.get("metrics-out") {
+        write_out(path, &prometheus_text(&report.merged_events()))?;
+        if path != "-" {
+            ui.say(format!("wrote service metrics to {path}"));
+        }
+    }
     Ok(())
 }
 
@@ -595,6 +810,13 @@ commands:
              [--retries N] [--checkpoint-interval L] [--spill CK.json]
              [--resume CK.json] [--report-json R.json]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
+  serve      --graph FILE (--requests FILE|- | --arrivals N [--rate R] [--seed S]
+             [--request-deadline SECS] [--chaos-dir DIR] [--chaos-every K])
+             [--capacity C] [--queue-depth Q] [--deadline SECS] [--retries N]
+             [--checkpoint-interval L] [--spill-dir DIR]
+             [--drain-at SECS] [--drain-mode complete|cancel]
+             [--report-json R.json] [--trace-out T.json] [--metrics-out M.prom]
+             [--quiet] [--text]
   bench      [--preset scaled|paper] [--compare BASELINE.json] [--tolerance REL]
              [--bench-dir DIR] [--baseline FILE] [--fault-plan OVERLAY.json]
              [--report-json R.json] [--threads-scaling] [--quiet]
@@ -612,6 +834,19 @@ level 0; --report-json writes the full RunReport as JSON.
 https://ui.perfetto.dev); --metrics-out writes Prometheus text-format
 counters keyed by device, rung, and direction. Both accept '-' for stdout;
 human narration then moves to stderr, and --quiet silences it entirely.
+
+serve runs the multi-tenant query service over one shared graph: requests
+arrive on a simulated clock (a JSON-lines file with one QueryRequest per
+line and an optional {\"drain_at_s\": S} marker, or a seeded synthetic
+schedule), pass a capacity/queue admission layer that sheds overload with
+a typed error, run concurrently as fault-isolated sessions, and share
+permanent device losses through service-wide circuit breakers. --deadline
+bounds each query's simulated clock; --request-deadline additionally
+counts queue wait against each synthetic request. --chaos-dir mixes the
+committed fault plans into every --chaos-every-th query (default 4).
+--trace-out writes one chrome trace with the service track plus every
+query as its own process on the service clock; --metrics-out includes the
+xbfs_service_* admission counters.
 
 bench runs the pinned deterministic perf suite (three Graph 500 sizes,
 fault-free and under the committed chaos plan), writes a versioned
@@ -646,6 +881,7 @@ fn main() -> ExitCode {
         "stcon" => cmd_stcon(&args),
         "components" => cmd_components(&args),
         "adaptive" => cmd_adaptive(&args),
+        "serve" => cmd_serve(&args),
         "bench" => cmd_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

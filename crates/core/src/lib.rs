@@ -37,6 +37,7 @@ pub mod prelude;
 pub mod recovery;
 pub mod runtime;
 mod seeded;
+pub mod service;
 pub mod session;
 pub mod strategies;
 pub mod training;
@@ -52,11 +53,17 @@ pub use features::feature_vector;
 pub use health::{
     BreakerPolicy, BreakerState, BreakerTransition, Device, DeviceHealth, HealthSnapshot,
 };
-pub use observe::{chrome_trace_json, prometheus_audit_text, prometheus_text};
+pub use observe::{
+    chrome_trace_json, prometheus_audit_text, prometheus_text, service_chrome_trace_json,
+};
 pub use oracle::MnGrid;
 pub use predictor::SwitchPredictor;
 #[allow(deprecated)]
 pub use recovery::{resume_cross_resilient, run_cross_resilient, run_cross_resilient_with};
 pub use recovery::{RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung};
 pub use runtime::AdaptiveRuntime;
+pub use service::{
+    Disposition, DrainMode, QueryOutcome, QueryRequest, QueryService, QueryTrace, ScheduleItem,
+    ServiceConfig, ServiceReport,
+};
 pub use session::RunSession;

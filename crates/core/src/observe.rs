@@ -20,6 +20,7 @@
 //! pin the chrome trace byte-for-byte.
 
 use crate::audit::DecisionAudit;
+use crate::service::QueryTrace;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use xbfs_engine::trace::TraceEvent;
@@ -59,15 +60,35 @@ fn micros(s: f64) -> f64 {
     s * 1e6
 }
 
-/// Render `events` as a Chrome Trace Event JSON document.
-///
-/// The output is a single JSON object `{"traceEvents": [...],
-/// "displayTimeUnit": "ms"}`. Metadata records name the process and the
-/// five tracks; every other record is sorted by timestamp (stable on the
-/// original event order), so timestamps are monotone — a property the
-/// golden test pins. Load the result in `chrome://tracing` or Perfetto.
-pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    let mut records: Vec<(f64, usize, Value)> = Vec::new();
+/// Service-track state shared across [`render_events`] calls: open
+/// query spans awaiting their `QueryEnd`, and whether any service event
+/// appeared at all (the `service` track's metadata is emitted only when
+/// used, keeping pre-service traces byte-identical).
+#[derive(Default)]
+struct ServiceTrack {
+    /// Open `(query, span start on the service clock, wait_s)` entries.
+    open: Vec<(u64, f64, f64)>,
+    seen: bool,
+}
+
+/// Thread-track id service-level events render on.
+const SERVICE_TID: u64 = 5;
+
+/// Per-query processes in the service export start at this pid.
+const QUERY_PID_BASE: u64 = 10;
+
+/// Append `events` to `records` as chrome trace records under process
+/// `pid`, shifting timestamps by `offset_s` (how per-query clocks are
+/// placed onto the service clock). `seq0` seeds the tiebreak sequence;
+/// the next free sequence number is returned.
+fn render_events(
+    events: &[TraceEvent],
+    pid: u64,
+    offset_s: f64,
+    seq0: usize,
+    svc: &mut ServiceTrack,
+    records: &mut Vec<(f64, usize, Value)>,
+) -> usize {
     let mut push = |ts: f64, seq: usize, v: Value| records.push((ts, seq, v));
 
     // The pure engine has no simulated clock; lay its levels end to end.
@@ -76,6 +97,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut open_rung: Option<(&'static str, f64)> = None;
 
     for (seq, ev) in events.iter().enumerate() {
+        let seq = seq0 + seq;
         match ev {
             TraceEvent::RungBegin { rung, at_s } => {
                 open_rung = Some((rung, *at_s));
@@ -90,15 +112,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     _ => *at_s,
                 };
                 push(
-                    micros(start_s),
+                    micros(offset_s + start_s),
                     seq,
                     json!({
                         "name": format!("rung:{rung}"),
                         "cat": "rung",
                         "ph": "X",
-                        "ts": micros(start_s),
+                        "ts": micros(offset_s + start_s),
                         "dur": micros(at_s - start_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": 0,
                         "args": {"outcome": outcome.name()}
                     }),
@@ -106,14 +128,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             }
             TraceEvent::RungSkipped { rung, device, at_s } => {
                 push(
-                    micros(*at_s),
+                    micros(offset_s + *at_s),
                     seq,
                     json!({
                         "name": format!("rung-skipped:{rung}"),
                         "cat": "rung",
                         "ph": "i",
-                        "ts": micros(*at_s),
-                        "pid": 1,
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
                         "tid": 0,
                         "s": "t",
                         "args": {"device": *device}
@@ -133,15 +155,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 end_s,
             } => {
                 push(
-                    micros(*start_s),
+                    micros(offset_s + *start_s),
                     seq,
                     json!({
                         "name": format!("level {level} {}", dir_label(*direction)),
                         "cat": "level",
                         "ph": "X",
-                        "ts": micros(*start_s),
+                        "ts": micros(offset_s + *start_s),
                         "dur": micros(end_s - start_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": device_tid(device),
                         "args": {
                             "rung": *rung,
@@ -163,15 +185,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 ok,
             } => {
                 push(
-                    micros(*start_s),
+                    micros(offset_s + *start_s),
                     seq,
                     json!({
                         "name": *op,
                         "cat": "kernel",
                         "ph": "X",
-                        "ts": micros(*start_s),
+                        "ts": micros(offset_s + *start_s),
                         "dur": micros(end_s - start_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": device_tid(device),
                         "args": {"level": *level, "attempt": *attempt, "ok": *ok}
                     }),
@@ -186,15 +208,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 ok,
             } => {
                 push(
-                    micros(*start_s),
+                    micros(offset_s + *start_s),
                     seq,
                     json!({
                         "name": "transfer",
                         "cat": "transfer",
                         "ph": "X",
-                        "ts": micros(*start_s),
+                        "ts": micros(offset_s + *start_s),
                         "dur": micros(end_s - start_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": 3,
                         "args": {"level": *level, "bytes": *bytes, "attempt": *attempt, "ok": *ok}
                     }),
@@ -208,15 +230,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 end_s,
             } => {
                 push(
-                    micros(*start_s),
+                    micros(offset_s + *start_s),
                     seq,
                     json!({
                         "name": format!("backoff:{op}"),
                         "cat": "retry",
                         "ph": "X",
-                        "ts": micros(*start_s),
+                        "ts": micros(offset_s + *start_s),
                         "dur": micros(end_s - start_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": 0,
                         "args": {"level": *level, "retry": *retry}
                     }),
@@ -230,14 +252,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 at_s,
             } => {
                 push(
-                    micros(*at_s),
+                    micros(offset_s + *at_s),
                     seq,
                     json!({
                         "name": format!("fault:{kind}"),
                         "cat": "fault",
                         "ph": "i",
-                        "ts": micros(*at_s),
-                        "pid": 1,
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
                         "tid": op_tid(op),
                         "s": "t",
                         "args": {"op": *op, "level": *level, "attempt": *attempt}
@@ -252,14 +274,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 at_s,
             } => {
                 push(
-                    micros(*at_s),
+                    micros(offset_s + *at_s),
                     seq,
                     json!({
                         "name": format!("breaker:{from}->{to}"),
                         "cat": "breaker",
                         "ph": "i",
-                        "ts": micros(*at_s),
-                        "pid": 1,
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
                         "tid": device_tid(device),
                         "s": "t",
                         "args": {"cause": *cause}
@@ -275,15 +297,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 end_s,
             } => {
                 push(
-                    micros(*start_s),
+                    micros(offset_s + *start_s),
                     seq,
                     json!({
                         "name": "checkpoint",
                         "cat": "checkpoint",
                         "ph": "X",
-                        "ts": micros(*start_s),
+                        "ts": micros(offset_s + *start_s),
                         "dur": micros(end_s - start_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": 0,
                         "args": {
                             "rung": *rung,
@@ -302,14 +324,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 at_s,
             } => {
                 push(
-                    micros(*at_s),
+                    micros(offset_s + *at_s),
                     seq,
                     json!({
                         "name": "resume",
                         "cat": "checkpoint",
                         "ph": "i",
-                        "ts": micros(*at_s),
-                        "pid": 1,
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
                         "tid": 0,
                         "s": "t",
                         "args": {
@@ -332,14 +354,14 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 at_s,
             } => {
                 push(
-                    micros(*at_s),
+                    micros(offset_s + *at_s),
                     seq,
                     json!({
                         "name": format!("cost:{device}"),
                         "cat": "cost",
                         "ph": "C",
-                        "ts": micros(*at_s),
-                        "pid": 1,
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
                         "tid": device_tid(device),
                         "args": {
                             "overhead_us": micros(*overhead_s),
@@ -364,15 +386,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let start_s = engine_cursor_s;
                 engine_cursor_s += *wall_s;
                 push(
-                    micros(start_s),
+                    micros(offset_s + start_s),
                     seq,
                     json!({
                         "name": format!("level {level} {}", dir_label(*direction)),
                         "cat": "engine-level",
                         "ph": "X",
-                        "ts": micros(start_s),
+                        "ts": micros(offset_s + start_s),
                         "dur": micros(*wall_s),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": ENGINE_TID,
                         "args": {
                             "frontier_vertices": *frontier_vertices,
@@ -383,36 +405,198 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     }),
                 );
             }
+            TraceEvent::QueryAdmitted {
+                query,
+                queue_depth,
+                at_s,
+            } => {
+                svc.seen = true;
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("admit:{query}"),
+                        "cat": "service",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": SERVICE_TID,
+                        "s": "t",
+                        "args": {"queue_depth": *queue_depth}
+                    }),
+                );
+            }
+            TraceEvent::QueryStart {
+                query,
+                wait_s,
+                at_s,
+            } => {
+                // The span renders at QueryEnd; remember its start here.
+                svc.seen = true;
+                svc.open.push((*query, offset_s + *at_s, *wait_s));
+            }
+            TraceEvent::QueryEnd {
+                query,
+                outcome,
+                rung,
+                at_s,
+            } => {
+                svc.seen = true;
+                let end = offset_s + *at_s;
+                let (start, wait_s) = match svc.open.iter().position(|(q, _, _)| q == query) {
+                    Some(i) => {
+                        let (_, s, w) = svc.open.remove(i);
+                        (s, w)
+                    }
+                    None => (end, 0.0),
+                };
+                push(
+                    micros(start),
+                    seq,
+                    json!({
+                        "name": format!("query {query}"),
+                        "cat": "service",
+                        "ph": "X",
+                        "ts": micros(start),
+                        "dur": micros(end - start),
+                        "pid": pid,
+                        "tid": SERVICE_TID,
+                        "args": {"outcome": *outcome, "rung": *rung, "wait_s": wait_s}
+                    }),
+                );
+            }
+            TraceEvent::QueryShed {
+                query,
+                reason,
+                queue_depth,
+                at_s,
+            } => {
+                svc.seen = true;
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("shed:{query}"),
+                        "cat": "service",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": SERVICE_TID,
+                        "s": "t",
+                        "args": {"reason": *reason, "queue_depth": *queue_depth}
+                    }),
+                );
+            }
+            TraceEvent::QueueDepth { depth, at_s } => {
+                svc.seen = true;
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": "queue-depth",
+                        "cat": "service",
+                        "ph": "C",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": SERVICE_TID,
+                        "args": {"depth": *depth}
+                    }),
+                );
+            }
         }
     }
+    seq0 + events.len()
+}
 
+fn process_meta(pid: u64, name: &str) -> Value {
+    json!({"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}})
+}
+
+fn thread_meta(pid: u64, tid: u64, name: &str) -> Value {
+    json!({
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name}
+    })
+}
+
+/// Sort records by timestamp (stable on original event order) and strip
+/// the sort keys.
+fn sorted_values(mut records: Vec<(f64, usize, Value)>) -> Vec<Value> {
     records.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.1.cmp(&b.1))
     });
+    records.into_iter().map(|(_, _, v)| v).collect()
+}
 
-    let mut trace_events: Vec<Value> =
-        vec![json!({"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "xbfs"}})];
-    for (tid, name) in [
-        (0u64, "ladder"),
-        (1, "cpu"),
-        (2, "gpu"),
-        (3, "link"),
-        (ENGINE_TID, "engine"),
-    ] {
-        trace_events.push(json!({
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": tid,
-            "args": {"name": name}
-        }));
+const DEVICE_TRACKS: [(u64, &str); 5] = [
+    (0, "ladder"),
+    (1, "cpu"),
+    (2, "gpu"),
+    (3, "link"),
+    (ENGINE_TID, "engine"),
+];
+
+/// Render `events` as a Chrome Trace Event JSON document.
+///
+/// The output is a single JSON object `{"traceEvents": [...],
+/// "displayTimeUnit": "ms"}`. Metadata records name the process and the
+/// five tracks (plus a sixth, `service`, only when service-level events
+/// appear); every other record is sorted by timestamp (stable on the
+/// original event order), so timestamps are monotone — a property the
+/// golden test pins. Load the result in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut records: Vec<(f64, usize, Value)> = Vec::new();
+    let mut svc = ServiceTrack::default();
+    render_events(events, 1, 0.0, 0, &mut svc, &mut records);
+
+    let mut trace_events: Vec<Value> = vec![process_meta(1, "xbfs")];
+    for (tid, name) in DEVICE_TRACKS {
+        trace_events.push(thread_meta(1, tid, name));
     }
-    trace_events.extend(records.into_iter().map(|(_, _, v)| v));
+    if svc.seen {
+        trace_events.push(thread_meta(1, SERVICE_TID, "service"));
+    }
+    trace_events.extend(sorted_values(records));
 
     let doc = json!({"traceEvents": trace_events, "displayTimeUnit": "ms"});
     serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+}
+
+/// Render a whole service run — admission events plus every buffered
+/// per-query trace — as one Chrome Trace Event JSON document.
+///
+/// The service itself is process 1 (`xbfs-service`, one `service` track
+/// with query spans, shed/admit instants, and the queue-depth counter).
+/// Each query renders as its own process (`query-<id>`) with the usual
+/// five device tracks, its private clock shifted onto the service clock
+/// by its start time — so Perfetto shows the queries genuinely
+/// overlapping in service time.
+pub fn service_chrome_trace_json(service_events: &[TraceEvent], queries: &[QueryTrace]) -> String {
+    let mut records: Vec<(f64, usize, Value)> = Vec::new();
+    let mut svc = ServiceTrack::default();
+    let mut seq = render_events(service_events, 1, 0.0, 0, &mut svc, &mut records);
+
+    let mut trace_events: Vec<Value> = vec![
+        process_meta(1, "xbfs-service"),
+        thread_meta(1, SERVICE_TID, "service"),
+    ];
+    for qt in queries {
+        let pid = QUERY_PID_BASE + qt.query;
+        trace_events.push(process_meta(pid, &format!("query-{}", qt.query)));
+        for (tid, name) in DEVICE_TRACKS {
+            trace_events.push(thread_meta(pid, tid, name));
+        }
+        seq = render_events(&qt.events, pid, qt.start_s, seq, &mut svc, &mut records);
+    }
+    trace_events.extend(sorted_values(records));
+
+    let doc = json!({"traceEvents": trace_events, "displayTimeUnit": "ms"});
+    serde_json::to_string_pretty(&doc).expect("service chrome trace serializes")
 }
 
 /// A family of counters with a shared name, keyed by a rendered label set.
@@ -550,6 +734,11 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     let mut rungs_skipped = Counter::default();
     let mut engine_levels = Counter::default();
     let mut engine_seconds = Counter::default();
+    let mut service_admitted = Counter::default();
+    let mut service_shed = Counter::default();
+    let mut service_queries = Counter::default();
+    let mut service_wait_seconds = Counter::default();
+    let mut queue_depth_peak: Option<u32> = None;
 
     for ev in events {
         match ev {
@@ -626,6 +815,21 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
                 let key = [("direction", dir_label(*direction))];
                 engine_levels.add(&key, 1.0);
                 engine_seconds.add(&key, *wall_s);
+            }
+            TraceEvent::QueryAdmitted { .. } => {
+                service_admitted.add(&[], 1.0);
+            }
+            TraceEvent::QueryStart { wait_s, .. } => {
+                service_wait_seconds.add(&[], *wait_s);
+            }
+            TraceEvent::QueryEnd { outcome, .. } => {
+                service_queries.add(&[("outcome", outcome)], 1.0);
+            }
+            TraceEvent::QueryShed { reason, .. } => {
+                service_shed.add(&[("reason", reason)], 1.0);
+            }
+            TraceEvent::QueueDepth { depth, .. } => {
+                queue_depth_peak = Some(queue_depth_peak.unwrap_or(0).max(*depth));
             }
         }
     }
@@ -727,6 +931,38 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
         "Wall-clock seconds across pure-engine levels.",
         &engine_seconds,
     );
+    write_counter(
+        &mut out,
+        "xbfs_service_admitted_total",
+        "Queries admitted by the service (started or queued).",
+        &service_admitted,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_service_shed_total",
+        "Queries shed by admission control, by reason.",
+        &service_shed,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_service_queries_total",
+        "Queries reaching a terminal state, by outcome.",
+        &service_queries,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_service_wait_seconds_total",
+        "Simulated seconds queries spent queued before starting.",
+        &service_wait_seconds,
+    );
+    if let Some(peak) = queue_depth_peak {
+        write_gauge(
+            &mut out,
+            "xbfs_service_queue_depth_peak",
+            "Deepest the admission queue got over the trace.",
+            &[(String::new(), peak as f64)],
+        );
+    }
     out
 }
 

@@ -9,11 +9,16 @@ pub use crate::audit::{decision_audit, DecisionAudit, LevelAttribution, PhaseSec
 pub use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
 pub use crate::cross::CrossParams;
 pub use crate::health::{BreakerPolicy, BreakerState, BreakerTransition, Device};
-pub use crate::observe::{chrome_trace_json, prometheus_audit_text, prometheus_text};
+pub use crate::observe::{
+    chrome_trace_json, prometheus_audit_text, prometheus_text, service_chrome_trace_json,
+};
 pub use crate::recovery::{
     RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung,
 };
 pub use crate::runtime::AdaptiveRuntime;
+pub use crate::service::{
+    Disposition, DrainMode, QueryRequest, QueryService, ScheduleItem, ServiceConfig, ServiceReport,
+};
 pub use crate::session::RunSession;
 pub use crate::training::TrainingConfig;
 pub use xbfs_archsim::{ArchSpec, FaultPlan, Link};

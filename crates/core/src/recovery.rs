@@ -379,7 +379,20 @@ struct Recovery<'a> {
 }
 
 impl<'a> Recovery<'a> {
-    fn new(plan: &'a FaultPlan, config: &ResilienceConfig, sink: &'a dyn TraceSink) -> Self {
+    fn new(
+        plan: &'a FaultPlan,
+        config: &ResilienceConfig,
+        lost: &[Device],
+        sink: &'a dyn TraceSink,
+    ) -> Self {
+        // Devices the caller already knows are permanently gone (the query
+        // service's shared loss ledger) open their breakers for good at
+        // t=0, before the first rung is gated — so a service-wide GPU loss
+        // skips the cross rung without this query re-discovering the fault.
+        let mut health = DeviceHealth::new(config.breaker, plan.seed);
+        for &device in lost {
+            health.record_failure(device, 0.0, true);
+        }
         Self {
             session: plan.session(),
             retry: config.retry,
@@ -392,7 +405,7 @@ impl<'a> Recovery<'a> {
             retries: 0,
             lost_s: 0.0,
             stall_factor: plan.stall_factor,
-            health: DeviceHealth::new(config.breaker, plan.seed),
+            health,
             checkpoint: config.checkpoint.clone(),
             latest: None,
             checkpoints_taken: 0,
@@ -870,6 +883,9 @@ pub(crate) struct ExecArgs<'a> {
     pub params: &'a CrossParams,
     pub plan: &'a FaultPlan,
     pub config: &'a ResilienceConfig,
+    /// Devices known lost before the run starts (fresh runs only; a
+    /// resumed run trusts its checkpoint's breaker bank instead).
+    pub lost: &'a [Device],
     pub sink: &'a dyn TraceSink,
 }
 
@@ -887,7 +903,7 @@ pub(crate) fn execute_fresh(
             num_vertices: args.csr.num_vertices(),
         });
     }
-    let rec = Recovery::new(args.plan, args.config, args.sink);
+    let rec = Recovery::new(args.plan, args.config, args.lost, args.sink);
     ladder(
         args,
         source,

@@ -1,0 +1,1024 @@
+//! `core::service` — a multi-tenant BFS query service with admission
+//! control, deadlines, fault isolation, and graceful drain.
+//!
+//! The ROADMAP's north star is a service that survives heavy traffic, not
+//! a single traversal. This module is that service layer: it holds one
+//! immutable graph behind `Arc<Csr>` and runs many concurrent
+//! [`RunSession`]s against it, each query owning its entire mutable
+//! footprint (traversal state, fault stream, simulated clock, trace
+//! buffer) so one query's fault, blown deadline, or kernel panic can
+//! never touch its in-flight neighbors.
+//!
+//! **Determinism.** Requests carry *simulated* arrival times and the
+//! per-query costs come from the simulated clock, so the whole service
+//! schedule is a discrete-event simulation: admission, queueing,
+//! deadline checks, and the shared loss ledger all advance on simulated
+//! time in a deterministic event order. Real OS threads still execute
+//! queries concurrently — every query admitted at one event step runs in
+//! parallel — but thread timing can never change an outcome, which is
+//! what lets the chaos suite replay seeded overload scenarios byte-for-
+//! byte.
+//!
+//! **Admission and shedding.** Capacity-bounded slots plus a bounded FIFO
+//! queue. A query arriving with the queue full is shed immediately with
+//! [`XbfsError::Overloaded`] (queue-depth context included) instead of
+//! waiting unboundedly; a queued query whose deadline expires before a
+//! slot frees is shed with [`XbfsError::DeadlineExceeded`]; a query
+//! arriving after drain begins is refused with
+//! [`XbfsError::ShuttingDown`].
+//!
+//! **Fault isolation with shared permanent losses.** A seeded
+//! [`FaultPlan`], breaker trip, or panic degrades *that query* down the
+//! recovery ladder (see [`crate::recovery`]). Only *permanent* device
+//! losses are promoted to the service-wide ledger — folded in at the
+//! losing query's completion event — so queries starting later skip the
+//! lost device's rungs via [`RunSession::presume_lost`] while queries
+//! already in flight, and anything that completed earlier, are bit-for-
+//! bit identical to their solo runs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::cross::CrossParams;
+use crate::health::{BreakerState, Device, TransitionCause};
+use crate::recovery::{RecoveredRun, ResilienceConfig, Rung};
+use crate::runtime::AdaptiveRuntime;
+use crate::session::RunSession;
+use serde::{Deserialize, Serialize};
+use xbfs_archsim::{ArchSpec, FaultPlan, Link};
+use xbfs_engine::par::payload_to_string;
+use xbfs_engine::trace::{MemorySink, TraceEvent};
+use xbfs_engine::XbfsError;
+use xbfs_graph::{Csr, GraphStats, VertexId};
+
+/// One query submitted to the service.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Caller-assigned query id (appears in events, metrics, reports).
+    pub id: u64,
+    /// BFS source vertex.
+    pub source: VertexId,
+    /// Simulated service clock at which the query arrives.
+    pub arrival_s: f64,
+    /// Per-query deadline in simulated seconds, measured **from
+    /// arrival**: time spent queued counts against it, and the remainder
+    /// becomes the traversal's clock budget.
+    pub deadline_s: Option<f64>,
+    /// Seeded fault plan for this query (`None` means no faults; optional
+    /// so request lines can omit it).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl QueryRequest {
+    /// A fault-free query with no deadline.
+    pub fn new(id: u64, source: VertexId, arrival_s: f64) -> Self {
+        Self {
+            id,
+            source,
+            arrival_s,
+            deadline_s: None,
+            fault_plan: None,
+        }
+    }
+
+    /// The effective fault plan (no faults when the request omitted one).
+    pub fn plan(&self) -> FaultPlan {
+        self.fault_plan.clone().unwrap_or_else(FaultPlan::none)
+    }
+}
+
+/// One item of a service schedule: a query arrival or the drain marker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleItem {
+    /// A query arrives.
+    Query(QueryRequest),
+    /// The service begins draining at `at_s`: arrivals from then on are
+    /// refused with [`XbfsError::ShuttingDown`].
+    Drain {
+        /// Simulated service clock at which draining begins.
+        at_s: f64,
+    },
+}
+
+impl ScheduleItem {
+    /// The simulated time this item occurs at.
+    pub fn at_s(&self) -> f64 {
+        match self {
+            ScheduleItem::Query(q) => q.arrival_s,
+            ScheduleItem::Drain { at_s } => *at_s,
+        }
+    }
+
+    /// Parse one JSON line of a request stream: either a [`QueryRequest`]
+    /// object or a drain marker `{"drain_at_s": <seconds>}`.
+    pub fn from_json_line(line: &str) -> Result<Self, XbfsError> {
+        let value: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| XbfsError::InvalidArgument {
+                what: format!("request line parse error: {e}"),
+            })?;
+        if let Some(at) = value.get("drain_at_s") {
+            let at_s = at.as_f64().ok_or_else(|| XbfsError::InvalidArgument {
+                what: "drain_at_s must be a number".to_string(),
+            })?;
+            return Ok(ScheduleItem::Drain { at_s });
+        }
+        let req = <QueryRequest as serde::Deserialize>::from_value(&value).map_err(|e| {
+            XbfsError::InvalidArgument {
+                what: format!("request line parse error: {e}"),
+            }
+        })?;
+        Ok(ScheduleItem::Query(req))
+    }
+
+    /// Render this item back to its JSON-line form.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            ScheduleItem::Query(q) => serde_json::to_string(q).expect("request serializes"),
+            ScheduleItem::Drain { at_s } => format!("{{\"drain_at_s\":{at_s}}}"),
+        }
+    }
+}
+
+/// What happens to queries still queued (admitted, not yet started) when
+/// the drain marker fires. Queries already *running* always complete —
+/// they checkpoint on their configured cadence, so even a hard kill after
+/// drain loses at most one checkpoint interval of levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DrainMode {
+    /// Queued queries still run to completion (graceful drain).
+    #[default]
+    Complete,
+    /// Queued queries are shed with [`XbfsError::ShuttingDown`].
+    Cancel,
+}
+
+/// Service-level knobs: slots, queue bound, per-query resilience.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Concurrent query slots (≥ 1).
+    pub capacity: u32,
+    /// Bound on the admission queue; an arrival finding the queue at this
+    /// depth is shed with [`XbfsError::Overloaded`].
+    pub queue_limit: u32,
+    /// Base failure-handling configuration applied to every query. A
+    /// query's own `deadline_s` tightens (never loosens) this config's
+    /// deadline.
+    pub resilience: ResilienceConfig,
+    /// What happens to queued queries at drain time.
+    pub drain: DrainMode,
+    /// Buffer each query's trace events into the report (needed for the
+    /// per-query chrome export; costs memory on big runs).
+    pub keep_query_traces: bool,
+    /// Directory for per-query checkpoint spills (`query-<id>.ck.json`),
+    /// active when the resilience config has a checkpoint cadence. This
+    /// is what makes in-flight queries externally resumable across a
+    /// process death mid-drain.
+    pub spill_dir: Option<String>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 2,
+            queue_limit: 8,
+            resilience: ResilienceConfig::default_runtime(),
+            drain: DrainMode::Complete,
+            keep_query_traces: false,
+            spill_dir: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validate the knobs (capacity ≥ 1, inner resilience config valid).
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        if self.capacity == 0 {
+            return Err(XbfsError::InvalidArgument {
+                what: "service capacity must be at least 1".to_string(),
+            });
+        }
+        self.resilience.validate()
+    }
+}
+
+/// Terminal state of one scheduled query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Ran to a validated tree.
+    Served {
+        /// `true` if a rung below the cross combination served it.
+        degraded: bool,
+    },
+    /// Shed at arrival: the admission queue was full.
+    ShedOverloaded,
+    /// Shed at or after the drain marker.
+    ShedShutdown,
+    /// The deadline expired — while queued (never ran) or mid-run.
+    DeadlineMissed,
+    /// Ran and ended in a typed error other than the deadline.
+    Failed,
+}
+
+impl Disposition {
+    /// Stable lowercase label for metrics keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Disposition::Served { degraded: false } => "served",
+            Disposition::Served { degraded: true } => "degraded",
+            Disposition::ShedOverloaded => "shed-overloaded",
+            Disposition::ShedShutdown => "shed-shutdown",
+            Disposition::DeadlineMissed => "deadline-missed",
+            Disposition::Failed => "failed",
+        }
+    }
+}
+
+/// Everything the service knows about one query after the run.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Caller-assigned query id.
+    pub id: u64,
+    /// Requested source vertex.
+    pub source: VertexId,
+    /// Simulated arrival time.
+    pub arrival_s: f64,
+    /// When the query started executing (`None` if shed).
+    pub start_s: Option<f64>,
+    /// When the query reached its terminal state (`None` if shed at
+    /// arrival; shed-from-queue queries record the shed instant).
+    pub completion_s: Option<f64>,
+    /// Seconds spent waiting in the admission queue.
+    pub wait_s: f64,
+    /// Terminal state.
+    pub disposition: Disposition,
+    /// The typed error for non-served queries.
+    pub error: Option<XbfsError>,
+    /// The validated result for served queries.
+    pub run: Option<RecoveredRun>,
+}
+
+/// One query's buffered trace, positioned on the service clock.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// Caller-assigned query id.
+    pub query: u64,
+    /// Service clock at which the query started (its events are relative
+    /// to this origin).
+    pub start_s: f64,
+    /// The query's own events, on its private clock.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The result of replaying one schedule through the service.
+#[derive(Debug, Default)]
+pub struct ServiceReport {
+    /// Per-query terminal states, in schedule order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Queries admitted (started or queued).
+    pub admitted: u32,
+    /// Served on the top rung.
+    pub served: u32,
+    /// Served on a lower rung.
+    pub degraded: u32,
+    /// Shed at arrival with a full queue.
+    pub shed_overloaded: u32,
+    /// Refused or cancelled by drain.
+    pub shed_shutdown: u32,
+    /// Deadline expired (queued or mid-run).
+    pub deadline_missed: u32,
+    /// Ran and failed with a non-deadline error.
+    pub failed: u32,
+    /// Deepest the admission queue ever got.
+    pub peak_queue_depth: u32,
+    /// Most queries ever running at once.
+    pub peak_in_flight: u32,
+    /// Simulated time of the last terminal event.
+    pub makespan_s: f64,
+    /// Devices permanently lost during the run, with the service time at
+    /// which the loss was promoted to the shared ledger.
+    pub lost_devices: Vec<(Device, f64)>,
+    /// Service-level admission events (query/queue vocabulary), in
+    /// simulated event order.
+    pub events: Vec<TraceEvent>,
+    /// Per-query traces, when [`ServiceConfig::keep_query_traces`] is on.
+    pub query_traces: Vec<QueryTrace>,
+}
+
+impl ServiceReport {
+    /// The outcome for query `id`, if it was scheduled.
+    pub fn outcome(&self, id: u64) -> Option<&QueryOutcome> {
+        self.outcomes.iter().find(|o| o.id == id)
+    }
+
+    /// Service events followed by every buffered per-query event — the
+    /// input for [`crate::observe::prometheus_text`], which aggregates
+    /// both the service families and the per-traversal families.
+    pub fn merged_events(&self) -> Vec<TraceEvent> {
+        let mut all = self.events.clone();
+        for qt in &self.query_traces {
+            all.extend(qt.events.iter().cloned());
+        }
+        all
+    }
+
+    /// Serialize the report (counters + per-query summaries; results and
+    /// traces elided) to JSON.
+    pub fn to_json(&self) -> String {
+        let queries: Vec<serde_json::Value> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                serde_json::json!({
+                    "id": o.id,
+                    "source": o.source,
+                    "arrival_s": o.arrival_s,
+                    "start_s": o.start_s,
+                    "completion_s": o.completion_s,
+                    "wait_s": o.wait_s,
+                    "disposition": o.disposition.name(),
+                    "rung": o.run.as_ref().map(|r| r.report.rung.label()),
+                    "error": o.error.as_ref().map(|e| e.to_string()),
+                })
+            })
+            .collect();
+        let lost: Vec<serde_json::Value> = self
+            .lost_devices
+            .iter()
+            .map(|(d, at)| serde_json::json!({"device": d.name(), "at_s": at}))
+            .collect();
+        serde_json::to_string_pretty(&serde_json::json!({
+            "admitted": self.admitted,
+            "served": self.served,
+            "degraded": self.degraded,
+            "shed_overloaded": self.shed_overloaded,
+            "shed_shutdown": self.shed_shutdown,
+            "deadline_missed": self.deadline_missed,
+            "failed": self.failed,
+            "peak_queue_depth": self.peak_queue_depth,
+            "peak_in_flight": self.peak_in_flight,
+            "makespan_s": self.makespan_s,
+            "lost_devices": lost,
+            "queries": queries,
+        }))
+        .expect("service report serializes")
+    }
+}
+
+/// What one query's worker thread hands back.
+type QueryDone = (Result<RecoveredRun, XbfsError>, Vec<TraceEvent>);
+
+/// A query admitted to a slot, executing on its own OS thread.
+struct Running<'scope> {
+    /// Index into the outcomes vector.
+    slot: usize,
+    start_s: f64,
+    handle: Option<std::thread::ScopedJoinHandle<'scope, QueryDone>>,
+    /// `(completion_s, result)` once the thread has been joined.
+    finished: Option<(f64, QueryDone)>,
+}
+
+/// The long-running query service: one immutable graph, one platform,
+/// many concurrent fault-isolated queries.
+pub struct QueryService {
+    csr: Arc<Csr>,
+    cpu: ArchSpec,
+    gpu: ArchSpec,
+    link: Link,
+    params: CrossParams,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// A service over `csr` on an explicit platform.
+    pub fn new(
+        csr: Arc<Csr>,
+        cpu: ArchSpec,
+        gpu: ArchSpec,
+        link: Link,
+        params: CrossParams,
+        config: ServiceConfig,
+    ) -> Self {
+        Self {
+            csr,
+            cpu,
+            gpu,
+            link,
+            params,
+            config,
+        }
+    }
+
+    /// A service on a trained runtime's platform, with switch parameters
+    /// predicted from the graph's statistics.
+    pub fn from_runtime(
+        runtime: &AdaptiveRuntime,
+        csr: Arc<Csr>,
+        stats: &GraphStats,
+        config: ServiceConfig,
+    ) -> Self {
+        let params = runtime.predict_params(stats);
+        Self {
+            csr,
+            cpu: runtime.cpu.clone(),
+            gpu: runtime.gpu.clone(),
+            link: runtime.link,
+            params,
+            config,
+        }
+    }
+
+    /// The shared graph.
+    pub fn csr(&self) -> &Arc<Csr> {
+        &self.csr
+    }
+
+    /// Replay `schedule` through the service and report every query's
+    /// terminal state.
+    ///
+    /// Items are processed in ascending simulated time (ties keep input
+    /// order, completions before same-instant arrivals so a finishing
+    /// query frees its slot first). Every query ends in exactly one of:
+    /// a validated tree, a typed error, or a shed — a panic inside a
+    /// query is caught at the thread boundary and becomes that query's
+    /// [`XbfsError::KernelPanic`].
+    pub fn run_schedule(&self, schedule: &[ScheduleItem]) -> Result<ServiceReport, XbfsError> {
+        self.config.validate()?;
+        let mut items: Vec<&ScheduleItem> = schedule.iter().collect();
+        items.sort_by(|a, b| a.at_s().total_cmp(&b.at_s()));
+
+        let mut report = ServiceReport::default();
+        // Pre-create outcome records for every query, in schedule order.
+        let mut requests: Vec<&QueryRequest> = Vec::new();
+        for item in &items {
+            if let ScheduleItem::Query(q) = item {
+                requests.push(q);
+                report.outcomes.push(QueryOutcome {
+                    id: q.id,
+                    source: q.source,
+                    arrival_s: q.arrival_s,
+                    start_s: None,
+                    completion_s: None,
+                    wait_s: 0.0,
+                    disposition: Disposition::Failed,
+                    error: None,
+                    run: None,
+                });
+            }
+        }
+
+        let capacity = self.config.capacity as usize;
+        let queue_limit = self.config.queue_limit as usize;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut lost: Vec<(Device, f64)> = Vec::new();
+        let mut drained_at: Option<f64> = None;
+        let mut clock = 0.0f64;
+
+        std::thread::scope(|scope| {
+            let mut running: Vec<Running<'_>> = Vec::new();
+            // Maps schedule position -> outcome index for query items.
+            let mut query_index = 0usize;
+            let mut next_item = 0usize;
+
+            loop {
+                // Resolve completion times: join every running query whose
+                // thread has not been joined yet. Joining blocks only wall
+                // clock — all these threads already run concurrently — and
+                // their *simulated* durations decide the event order.
+                for r in running.iter_mut() {
+                    if r.finished.is_none() {
+                        let done = match r.handle.take().expect("unjoined handle").join() {
+                            Ok(done) => done,
+                            // The belt inside the thread caught the unwind;
+                            // this is the suspenders for a panic escaping it.
+                            Err(p) => (
+                                Err(XbfsError::KernelPanic {
+                                    payload: payload_to_string(&*p),
+                                    range: None,
+                                }),
+                                Vec::new(),
+                            ),
+                        };
+                        let duration = match &done.0 {
+                            Ok(run) => run.report.total_seconds,
+                            Err(XbfsError::DeadlineExceeded { elapsed_s, .. }) => *elapsed_s,
+                            // Other terminal errors carry no clock; charge
+                            // nothing (deterministic, documented).
+                            Err(_) => 0.0,
+                        };
+                        r.finished = Some((r.start_s + duration, done));
+                    }
+                }
+
+                let next_done = running
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let (ca, _) = a.finished.as_ref().expect("joined");
+                        let (cb, _) = b.finished.as_ref().expect("joined");
+                        ca.total_cmp(cb).then(a.slot.cmp(&b.slot))
+                    })
+                    .map(|(i, r)| (i, r.finished.as_ref().expect("joined").0));
+                let next_arrival = items.get(next_item).map(|it| it.at_s());
+
+                let take_completion = match (next_done, next_arrival) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    // Completions fire before same-instant arrivals so the
+                    // freed slot is visible to the arriving query.
+                    (Some((_, c)), Some(a)) => c <= a,
+                };
+
+                if take_completion {
+                    let (idx, completion_s) = next_done.expect("completion picked");
+                    let r = running.swap_remove(idx);
+                    let (_, (result, events)) = r.finished.expect("joined");
+                    clock = clock.max(completion_s);
+                    self.complete(
+                        &mut report,
+                        r.slot,
+                        r.start_s,
+                        completion_s,
+                        result,
+                        events,
+                        &mut lost,
+                    );
+                    // The freed slot admits the longest-waiting queued
+                    // queries (several, if deadline sheds cascade).
+                    while running.len() < capacity {
+                        let Some(slot) = queue.pop_front() else { break };
+                        report.events.push(TraceEvent::QueueDepth {
+                            depth: queue.len() as u32,
+                            at_s: completion_s,
+                        });
+                        if let Some(run) = self.try_start(
+                            &mut report,
+                            scope,
+                            slot,
+                            requests[slot],
+                            completion_s,
+                            queue.len() as u32,
+                            &lost,
+                        ) {
+                            running.push(run);
+                        }
+                    }
+                    continue;
+                }
+
+                let item = items[next_item];
+                next_item += 1;
+                let at_s = item.at_s();
+                clock = clock.max(at_s);
+                match item {
+                    ScheduleItem::Drain { at_s } => {
+                        drained_at = Some(*at_s);
+                        if self.config.drain == DrainMode::Cancel {
+                            while let Some(slot) = queue.pop_front() {
+                                self.shed(
+                                    &mut report,
+                                    slot,
+                                    "shutdown",
+                                    Disposition::ShedShutdown,
+                                    XbfsError::ShuttingDown,
+                                    queue.len() as u32,
+                                    *at_s,
+                                );
+                            }
+                            report.events.push(TraceEvent::QueueDepth {
+                                depth: 0,
+                                at_s: *at_s,
+                            });
+                        }
+                    }
+                    ScheduleItem::Query(q) => {
+                        let slot = query_index;
+                        query_index += 1;
+                        if drained_at.is_some_and(|d| at_s >= d) {
+                            self.shed(
+                                &mut report,
+                                slot,
+                                "shutdown",
+                                Disposition::ShedShutdown,
+                                XbfsError::ShuttingDown,
+                                queue.len() as u32,
+                                at_s,
+                            );
+                        } else if running.len() < capacity {
+                            report.admitted += 1;
+                            report.events.push(TraceEvent::QueryAdmitted {
+                                query: q.id,
+                                queue_depth: 0,
+                                at_s,
+                            });
+                            if let Some(run) =
+                                self.try_start(&mut report, scope, slot, q, at_s, 0, &lost)
+                            {
+                                running.push(run);
+                            }
+                        } else if queue.len() < queue_limit {
+                            queue.push_back(slot);
+                            report.admitted += 1;
+                            let depth = queue.len() as u32;
+                            report.peak_queue_depth = report.peak_queue_depth.max(depth);
+                            report.events.push(TraceEvent::QueryAdmitted {
+                                query: q.id,
+                                queue_depth: depth,
+                                at_s,
+                            });
+                            report.events.push(TraceEvent::QueueDepth { depth, at_s });
+                        } else {
+                            let depth = queue.len() as u32;
+                            self.shed(
+                                &mut report,
+                                slot,
+                                "overloaded",
+                                Disposition::ShedOverloaded,
+                                XbfsError::Overloaded {
+                                    queue_depth: depth,
+                                    queue_limit: self.config.queue_limit,
+                                },
+                                depth,
+                                at_s,
+                            );
+                        }
+                    }
+                }
+                report.peak_in_flight = report.peak_in_flight.max(running.len() as u32);
+            }
+        });
+
+        report.makespan_s = clock;
+        report.lost_devices = lost;
+        Ok(report)
+    }
+
+    /// Record a shed: outcome, counter, and the `QueryShed` event.
+    #[allow(clippy::too_many_arguments)] // the full shed context
+    fn shed(
+        &self,
+        report: &mut ServiceReport,
+        slot: usize,
+        reason: &'static str,
+        disposition: Disposition,
+        error: XbfsError,
+        queue_depth: u32,
+        at_s: f64,
+    ) {
+        match disposition {
+            Disposition::ShedOverloaded => report.shed_overloaded += 1,
+            Disposition::ShedShutdown => report.shed_shutdown += 1,
+            Disposition::DeadlineMissed => report.deadline_missed += 1,
+            _ => {}
+        }
+        let o = &mut report.outcomes[slot];
+        o.disposition = disposition;
+        o.completion_s = Some(at_s);
+        o.wait_s = (at_s - o.arrival_s).max(0.0);
+        report.events.push(TraceEvent::QueryShed {
+            query: o.id,
+            reason,
+            queue_depth,
+            at_s,
+        });
+        o.error = Some(error);
+    }
+
+    /// Try to start `req` at `now_s`: shed it if its deadline already
+    /// expired while queued, otherwise spawn its worker thread.
+    #[allow(clippy::too_many_arguments)] // the full admission context
+    fn try_start<'scope, 'env>(
+        &'env self,
+        report: &mut ServiceReport,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        slot: usize,
+        req: &'env QueryRequest,
+        now_s: f64,
+        queue_depth: u32,
+        lost: &[(Device, f64)],
+    ) -> Option<Running<'scope>> {
+        let wait_s = (now_s - req.arrival_s).max(0.0);
+        let mut config = self.config.resilience.clone();
+        if let Some(d) = req.deadline_s {
+            let remaining = d - wait_s;
+            if remaining <= 0.0 {
+                self.shed(
+                    report,
+                    slot,
+                    "deadline",
+                    Disposition::DeadlineMissed,
+                    XbfsError::DeadlineExceeded {
+                        budget_s: d,
+                        elapsed_s: wait_s,
+                    },
+                    queue_depth,
+                    now_s,
+                );
+                return None;
+            }
+            config.deadline_s = Some(match config.deadline_s {
+                Some(base) => base.min(remaining),
+                None => remaining,
+            });
+        }
+        if let Some(dir) = &self.config.spill_dir {
+            if config.checkpoint.interval_levels > 0 {
+                config.checkpoint.spill = Some(format!("{dir}/query-{id}.ck.json", id = req.id));
+            }
+        }
+        report.events.push(TraceEvent::QueryStart {
+            query: req.id,
+            wait_s,
+            at_s: now_s,
+        });
+        {
+            let o = &mut report.outcomes[slot];
+            o.start_s = Some(now_s);
+            o.wait_s = wait_s;
+        }
+        let lost_devices: Vec<Device> = lost.iter().map(|(d, _)| *d).collect();
+        let keep_trace = self.config.keep_query_traces;
+        let handle = scope.spawn(move || {
+            let sink = MemorySink::new();
+            let plan = req.plan();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut session = RunSession::on_platform(
+                    &self.csr,
+                    &self.cpu,
+                    &self.gpu,
+                    &self.link,
+                    &self.params,
+                )
+                .source(req.source)
+                .fault_plan(&plan)
+                .resilience(config)
+                .presume_lost(&lost_devices);
+                if keep_trace {
+                    session = session.sink(&sink);
+                }
+                session.run()
+            }))
+            .unwrap_or_else(|p| {
+                Err(XbfsError::KernelPanic {
+                    payload: payload_to_string(&*p),
+                    range: None,
+                })
+            });
+            (result, sink.take())
+        });
+        Some(Running {
+            slot,
+            start_s: now_s,
+            handle: Some(handle),
+            finished: None,
+        })
+    }
+
+    /// Process one completion: counters, the `QueryEnd` event, and the
+    /// promotion of permanent device losses to the shared ledger.
+    #[allow(clippy::too_many_arguments)] // the full completion context
+    fn complete(
+        &self,
+        report: &mut ServiceReport,
+        slot: usize,
+        start_s: f64,
+        completion_s: f64,
+        result: Result<RecoveredRun, XbfsError>,
+        events: Vec<TraceEvent>,
+        lost: &mut Vec<(Device, f64)>,
+    ) {
+        let (outcome_label, rung_label) = match &result {
+            Ok(run) => {
+                // Permanent losses join the service-wide ledger *now*, in
+                // completion order — queries already started keep their
+                // own view, queries starting later skip the dead device.
+                for t in &run.report.breaker_transitions {
+                    if t.cause == TransitionCause::DeviceLost
+                        && t.to == BreakerState::Open
+                        && !lost.iter().any(|(d, _)| *d == t.device)
+                    {
+                        lost.push((t.device, start_s + t.at_s));
+                    }
+                }
+                let degraded = run.report.rung != Rung::CrossCpuGpu;
+                if degraded {
+                    report.degraded += 1;
+                } else {
+                    report.served += 1;
+                }
+                (
+                    if degraded { "degraded" } else { "served" },
+                    run.report.rung.label(),
+                )
+            }
+            Err(XbfsError::DeadlineExceeded { .. }) => {
+                report.deadline_missed += 1;
+                ("deadline-missed", "none")
+            }
+            Err(_) => {
+                report.failed += 1;
+                ("failed", "none")
+            }
+        };
+        let o = &mut report.outcomes[slot];
+        o.completion_s = Some(completion_s);
+        match result {
+            Ok(run) => {
+                o.disposition = Disposition::Served {
+                    degraded: outcome_label == "degraded",
+                };
+                o.run = Some(run);
+            }
+            Err(e) => {
+                o.disposition = if matches!(e, XbfsError::DeadlineExceeded { .. }) {
+                    Disposition::DeadlineMissed
+                } else {
+                    Disposition::Failed
+                };
+                o.error = Some(e);
+            }
+        }
+        report.events.push(TraceEvent::QueryEnd {
+            query: o.id,
+            outcome: outcome_label,
+            rung: rung_label,
+            at_s: completion_s,
+        });
+        if self.config.keep_query_traces {
+            report.query_traces.push(QueryTrace {
+                query: o.id,
+                start_s,
+                events,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::pick_source;
+    use xbfs_engine::{validate, FixedMN};
+
+    fn service(config: ServiceConfig) -> (QueryService, u32) {
+        let g = Arc::new(xbfs_graph::rmat::rmat_csr(9, 16));
+        let src = pick_source(&g, 3).unwrap();
+        let params = CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        };
+        (
+            QueryService::new(
+                g,
+                ArchSpec::cpu_sandy_bridge(),
+                ArchSpec::gpu_k20x(),
+                Link::pcie3(),
+                params,
+                config,
+            ),
+            src,
+        )
+    }
+
+    #[test]
+    fn healthy_queries_serve_and_validate() {
+        let (svc, src) = service(ServiceConfig::default());
+        let schedule = vec![
+            ScheduleItem::Query(QueryRequest::new(0, src, 0.0)),
+            ScheduleItem::Query(QueryRequest::new(1, src, 0.0)),
+        ];
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.served, 2);
+        for o in &report.outcomes {
+            let run = o.run.as_ref().expect("served run");
+            assert_eq!(validate(svc.csr(), &run.output), Ok(()));
+        }
+        assert!(report.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_with_queue_context() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 1,
+            queue_limit: 1,
+            ..ServiceConfig::default()
+        });
+        let schedule: Vec<ScheduleItem> = (0..3)
+            .map(|i| ScheduleItem::Query(QueryRequest::new(i, src, 0.0)))
+            .collect();
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.shed_overloaded, 1);
+        assert_eq!(report.served, 2, "queued query runs after the first");
+        let shed = report.outcome(2).expect("third query");
+        assert_eq!(shed.disposition, Disposition::ShedOverloaded);
+        assert_eq!(
+            shed.error,
+            Some(XbfsError::Overloaded {
+                queue_depth: 1,
+                queue_limit: 1
+            })
+        );
+    }
+
+    #[test]
+    fn queued_deadline_expiry_sheds_without_running() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 1,
+            queue_limit: 4,
+            ..ServiceConfig::default()
+        });
+        // Query 1 waits behind query 0 (which takes ~ms of simulated
+        // time); an absurdly tight deadline expires in the queue.
+        let mut tight = QueryRequest::new(1, src, 0.0);
+        tight.deadline_s = Some(1e-9);
+        let schedule = vec![
+            ScheduleItem::Query(QueryRequest::new(0, src, 0.0)),
+            ScheduleItem::Query(tight),
+        ];
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        let shed = report.outcome(1).expect("tight query");
+        assert_eq!(shed.disposition, Disposition::DeadlineMissed);
+        assert!(shed.start_s.is_none(), "never ran");
+        assert!(matches!(
+            shed.error,
+            Some(XbfsError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(report.deadline_missed, 1);
+    }
+
+    #[test]
+    fn drain_refuses_later_arrivals() {
+        let (svc, src) = service(ServiceConfig::default());
+        let schedule = vec![
+            ScheduleItem::Query(QueryRequest::new(0, src, 0.0)),
+            ScheduleItem::Drain { at_s: 0.5 },
+            ScheduleItem::Query(QueryRequest::new(1, src, 1.0)),
+        ];
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        assert_eq!(report.served, 1);
+        assert_eq!(report.shed_shutdown, 1);
+        let refused = report.outcome(1).expect("late query");
+        assert_eq!(refused.disposition, Disposition::ShedShutdown);
+        assert_eq!(refused.error, Some(XbfsError::ShuttingDown));
+    }
+
+    #[test]
+    fn schedule_replays_deterministically() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 2,
+            queue_limit: 2,
+            keep_query_traces: true,
+            ..ServiceConfig::default()
+        });
+        let schedule: Vec<ScheduleItem> = (0..6)
+            .map(|i| ScheduleItem::Query(QueryRequest::new(i, src, 1e-4 * i as f64)))
+            .collect();
+        let a = svc.run_schedule(&schedule).expect("first replay");
+        let b = svc.run_schedule(&schedule).expect("second replay");
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn request_json_lines_round_trip() {
+        let mut req = QueryRequest::new(7, 3, 0.25);
+        req.deadline_s = Some(2.0);
+        let item = ScheduleItem::Query(req);
+        let line = item.to_json_line();
+        assert_eq!(ScheduleItem::from_json_line(&line).unwrap(), item);
+
+        let drain = ScheduleItem::Drain { at_s: 1.5 };
+        let line = drain.to_json_line();
+        assert_eq!(ScheduleItem::from_json_line(&line).unwrap(), drain);
+
+        // Minimal request line: optional fields default.
+        let parsed =
+            ScheduleItem::from_json_line(r#"{"id":1,"source":0,"arrival_s":0.0}"#).unwrap();
+        match parsed {
+            ScheduleItem::Query(q) => {
+                assert_eq!(q.deadline_s, None);
+                assert_eq!(q.fault_plan, None);
+                assert_eq!(q.plan(), FaultPlan::none());
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+
+        assert!(ScheduleItem::from_json_line("not json").is_err());
+    }
+
+    #[test]
+    fn zero_capacity_is_a_typed_error() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let schedule = vec![ScheduleItem::Query(QueryRequest::new(0, src, 0.0))];
+        assert!(matches!(
+            svc.run_schedule(&schedule),
+            Err(XbfsError::InvalidArgument { .. })
+        ));
+    }
+}

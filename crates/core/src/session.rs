@@ -32,6 +32,7 @@
 
 use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint};
 use crate::cross::CrossParams;
+use crate::health::Device;
 use crate::recovery::{execute_fresh, execute_resume, ExecArgs, RecoveredRun, ResilienceConfig};
 use crate::runtime::AdaptiveRuntime;
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
@@ -68,6 +69,7 @@ pub struct RunSession<'a> {
     source: Option<VertexId>,
     plan: FaultPlan,
     config: ResilienceConfig,
+    lost: Vec<Device>,
     sink: &'a dyn TraceSink,
 }
 
@@ -83,6 +85,7 @@ impl<'a> RunSession<'a> {
             source: None,
             plan: FaultPlan::none(),
             config: ResilienceConfig::default_runtime(),
+            lost: Vec::new(),
             sink: &NULL_SINK,
         }
     }
@@ -103,6 +106,7 @@ impl<'a> RunSession<'a> {
             source: None,
             plan: FaultPlan::none(),
             config: ResilienceConfig::default_runtime(),
+            lost: Vec::new(),
             sink: &NULL_SINK,
         }
     }
@@ -136,6 +140,17 @@ impl<'a> RunSession<'a> {
     /// resilience configuration.
     pub fn checkpoints(mut self, policy: CheckpointPolicy) -> Self {
         self.config.checkpoint = policy;
+        self
+    }
+
+    /// Declare devices known to be permanently lost before the run starts
+    /// (default: none). Their circuit breakers open for good at t=0, so
+    /// rungs needing them are skipped instead of re-discovering the loss.
+    /// The query service uses this to share one loss ledger across
+    /// queries; [`resume`](Self::resume) ignores it in favor of the
+    /// checkpoint's own breaker bank.
+    pub fn presume_lost(mut self, devices: &[Device]) -> Self {
+        self.lost = devices.to_vec();
         self
     }
 
@@ -177,6 +192,7 @@ impl<'a> RunSession<'a> {
                 params: &params,
                 plan: &self.plan,
                 config: &self.config,
+                lost: &self.lost,
                 sink: self.sink,
             },
             source,
@@ -197,6 +213,7 @@ impl<'a> RunSession<'a> {
                 params: &params,
                 plan: &self.plan,
                 config: &self.config,
+                lost: &self.lost,
                 sink: self.sink,
             },
             checkpoint,
@@ -263,6 +280,26 @@ mod tests {
         assert_eq!(traced.output, silent.output);
         assert_eq!(traced.report, silent.report);
         assert!(!sink.is_empty(), "trace must not be empty");
+    }
+
+    #[test]
+    fn presumed_lost_gpu_skips_the_cross_rung() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let run = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(src)
+            .presume_lost(&[Device::Gpu])
+            .run()
+            .expect("degraded run");
+        assert_eq!(run.report.rung, Rung::CpuOnly);
+        assert!(run.report.skipped_rungs.contains(&Rung::CrossCpuGpu));
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        // The pre-seeded loss appears as a t=0 breaker transition, so the
+        // per-query trace explains *why* the cross rung was skipped.
+        assert!(run
+            .report
+            .breaker_transitions
+            .iter()
+            .any(|t| t.device == Device::Gpu && t.at_s == 0.0));
     }
 
     #[test]

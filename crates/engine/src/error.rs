@@ -17,7 +17,13 @@
 use crate::validate::ValidationError;
 
 /// Any failure on the runtime path of a cross-architecture traversal.
+///
+/// The enum is `#[non_exhaustive]`: service callers match on it across
+/// crate boundaries, and new failure classes (admission control added
+/// `Overloaded` and `ShuttingDown`) must not be source-breaking. Always
+/// keep a wildcard arm when matching outside `xbfs-engine`.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum XbfsError {
     /// A link description failed validation (negative/NaN latency,
     /// non-positive or NaN bandwidth).
@@ -105,6 +111,16 @@ pub enum XbfsError {
         /// Human-readable description of what was wrong.
         what: String,
     },
+    /// The query service's bounded admission queue was full, so the query
+    /// was shed at arrival instead of waiting with unbounded latency.
+    Overloaded {
+        /// Queries already waiting when this one arrived.
+        queue_depth: u32,
+        /// Configured bound on the admission queue.
+        queue_limit: u32,
+    },
+    /// The query service is draining; new queries are refused.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for XbfsError {
@@ -166,6 +182,14 @@ impl std::fmt::Display for XbfsError {
                 write!(f, "circuit breaker open for {device}")
             }
             XbfsError::Checkpoint { what } => write!(f, "checkpoint: {what}"),
+            XbfsError::Overloaded {
+                queue_depth,
+                queue_limit,
+            } => write!(
+                f,
+                "service overloaded: queue depth {queue_depth} at limit {queue_limit}"
+            ),
+            XbfsError::ShuttingDown => write!(f, "service shutting down: query refused"),
         }
     }
 }
@@ -203,5 +227,95 @@ mod tests {
     fn validation_errors_convert() {
         let e: XbfsError = ValidationError::WrongLength.into();
         assert_eq!(e, XbfsError::Validation(ValidationError::WrongLength));
+    }
+
+    /// One exemplar of every variant. Kept in sync by hand; the compiler
+    /// cannot force coverage of a `#[non_exhaustive]` enum from outside,
+    /// so this is the in-crate source of truth for Display coherence.
+    fn every_variant() -> Vec<XbfsError> {
+        vec![
+            XbfsError::InvalidLink {
+                latency_s: -1.0,
+                bandwidth_bps: 0.0,
+                reason: "latency must be non-negative",
+            },
+            XbfsError::InvalidSwitchParams {
+                m: 0.0,
+                n: f64::NAN,
+                reason: "M must be positive",
+            },
+            XbfsError::BadSource {
+                source: 10,
+                num_vertices: 4,
+            },
+            XbfsError::InvalidArgument {
+                what: "threads must be >= 1".into(),
+            },
+            XbfsError::KernelPanic {
+                payload: "boom".into(),
+                range: None,
+            },
+            XbfsError::TransferFailed {
+                level: 2,
+                attempts: 3,
+            },
+            XbfsError::KernelTimeout {
+                device: "gpu",
+                level: 1,
+                attempts: 2,
+            },
+            XbfsError::DeviceLost {
+                device: "gpu",
+                level: 0,
+            },
+            XbfsError::DeadlineExceeded {
+                budget_s: 1.0,
+                elapsed_s: 1.5,
+            },
+            XbfsError::Validation(ValidationError::WrongLength),
+            XbfsError::FaultPlan("bad json".into()),
+            XbfsError::CircuitOpen { device: "link" },
+            XbfsError::Checkpoint {
+                what: "spill failed".into(),
+            },
+            XbfsError::Overloaded {
+                queue_depth: 8,
+                queue_limit: 8,
+            },
+            XbfsError::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn display_is_coherent_for_every_variant() {
+        let variants = every_variant();
+        let mut seen = std::collections::HashSet::new();
+        for e in &variants {
+            // Usable through the std error trait object, like downstream
+            // service callers will hold it.
+            let dyn_err: &dyn std::error::Error = e;
+            let msg = dyn_err.to_string();
+            assert!(!msg.is_empty(), "{e:?} renders empty");
+            assert!(
+                !msg.contains("XbfsError"),
+                "{e:?} leaks the Debug type name: {msg}"
+            );
+            assert_eq!(msg, format!("{e}"), "Display and Error disagree for {e:?}");
+            assert!(seen.insert(msg.clone()), "duplicate message: {msg}");
+        }
+    }
+
+    #[test]
+    fn overload_and_shutdown_name_the_admission_context() {
+        let e = XbfsError::Overloaded {
+            queue_depth: 4,
+            queue_limit: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("queue depth 4"), "{msg}");
+        assert!(msg.contains("limit 4"), "{msg}");
+        assert!(XbfsError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
     }
 }

@@ -42,6 +42,7 @@ pub mod validate;
 
 pub use error::XbfsError;
 pub use hybrid::TraversalState;
+pub use par::QueryPool;
 pub use policy::{AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN, SwitchContext, SwitchPolicy};
 pub use stats::{LevelRecord, Traversal};
 pub use trace::analysis::{

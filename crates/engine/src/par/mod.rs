@@ -29,7 +29,7 @@ mod bottomup;
 mod pool;
 mod topdown;
 
-pub use pool::{parallel_ranges, try_parallel_ranges};
+pub use pool::{parallel_ranges, payload_to_string, try_parallel_ranges, QueryPool};
 
 use crate::{
     stats::LevelRecord,

@@ -178,7 +178,12 @@ pub fn critical_path(events: &[TraceEvent]) -> CriticalPath {
             | TraceEvent::Fault { at_s, .. }
             | TraceEvent::Breaker { at_s, .. }
             | TraceEvent::Resume { at_s, .. }
-            | TraceEvent::KernelCost { at_s, .. } => observe(*at_s, *at_s),
+            | TraceEvent::KernelCost { at_s, .. }
+            | TraceEvent::QueryAdmitted { at_s, .. }
+            | TraceEvent::QueryStart { at_s, .. }
+            | TraceEvent::QueryEnd { at_s, .. }
+            | TraceEvent::QueryShed { at_s, .. }
+            | TraceEvent::QueueDepth { at_s, .. } => observe(*at_s, *at_s),
             TraceEvent::Level { start_s, end_s, .. } => observe(*start_s, *end_s),
             TraceEvent::EngineLevel { .. } => {}
         }
@@ -301,6 +306,23 @@ fn structural_key(ev: &TraceEvent) -> String {
              ee={edges_examined}:d={discovered}",
             dir_label(*direction)
         ),
+        TraceEvent::QueryAdmitted {
+            query, queue_depth, ..
+        } => format!("query-admitted:{query}:depth={queue_depth}"),
+        TraceEvent::QueryStart { query, .. } => format!("query-start:{query}"),
+        TraceEvent::QueryEnd {
+            query,
+            outcome,
+            rung,
+            ..
+        } => format!("query-end:{query}:{outcome}:{rung}"),
+        TraceEvent::QueryShed {
+            query,
+            reason,
+            queue_depth,
+            ..
+        } => format!("query-shed:{query}:{reason}:depth={queue_depth}"),
+        TraceEvent::QueueDepth { depth, .. } => format!("queue-depth:{depth}"),
     }
 }
 

@@ -250,6 +250,55 @@ pub enum TraceEvent {
         /// Measured wall-clock duration of the level, in seconds.
         wall_s: f64,
     },
+    /// The query service admitted a query (started or queued it).
+    QueryAdmitted {
+        /// Caller-assigned query id.
+        query: u64,
+        /// Queue depth after admission (0 = started immediately).
+        queue_depth: u32,
+        /// Service clock at admission.
+        at_s: f64,
+    },
+    /// An admitted query began executing on a service slot.
+    QueryStart {
+        /// Caller-assigned query id.
+        query: u64,
+        /// Seconds the query waited in the admission queue.
+        wait_s: f64,
+        /// Service clock at start.
+        at_s: f64,
+    },
+    /// A started query reached a terminal outcome.
+    QueryEnd {
+        /// Caller-assigned query id.
+        query: u64,
+        /// Outcome label ("served", "degraded", "deadline-missed",
+        /// "failed").
+        outcome: &'static str,
+        /// Label of the rung that served it, or "none".
+        rung: &'static str,
+        /// Service clock at completion.
+        at_s: f64,
+    },
+    /// A query was shed without running (overload, deadline already
+    /// blown while queued, or service drain).
+    QueryShed {
+        /// Caller-assigned query id.
+        query: u64,
+        /// Shed reason label ("overloaded", "deadline", "shutdown").
+        reason: &'static str,
+        /// Queue depth observed when the query was shed.
+        queue_depth: u32,
+        /// Service clock at the shed decision.
+        at_s: f64,
+    },
+    /// The admission queue depth changed (sampled at every transition).
+    QueueDepth {
+        /// Queries waiting after the transition.
+        depth: u32,
+        /// Service clock of the sample.
+        at_s: f64,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -485,6 +534,13 @@ impl TraceSink for CountingSink {
                 self.edges_examined
                     .fetch_add(*edges_examined, Ordering::Relaxed);
             }
+            // Service-level admission events: per-traversal counters do
+            // not track them; the service aggregates its own totals.
+            TraceEvent::QueryAdmitted { .. }
+            | TraceEvent::QueryStart { .. }
+            | TraceEvent::QueryEnd { .. }
+            | TraceEvent::QueryShed { .. }
+            | TraceEvent::QueueDepth { .. } => {}
         }
     }
 }

@@ -103,6 +103,13 @@ proptest! {
                 TraceEvent::EngineLevel { .. } => {
                     prop_assert!(false, "simulated runs never emit engine levels");
                 }
+                TraceEvent::QueryAdmitted { .. }
+                | TraceEvent::QueryStart { .. }
+                | TraceEvent::QueryEnd { .. }
+                | TraceEvent::QueryShed { .. }
+                | TraceEvent::QueueDepth { .. } => {
+                    prop_assert!(false, "single sessions never emit service events");
+                }
             }
         }
         prop_assert!(open_rung.is_none(), "a rung was left open");
