@@ -4,7 +4,8 @@
 //! during a traversal: per-operation probabilities for transient faults
 //! (transfer failures, link stalls, kernel timeouts), a probability for
 //! the permanent device-lost fault, and scheduled one-shot faults ("fail
-//! the level-3 handoff"). Plans are serde-able so the CLI can load them
+//! the level-3 handoff", "flip bit 5 of parent word 19 after the level-2
+//! kernel"). Plans are serde-able so the CLI can load them
 //! from JSON, and seeded so a plan plus a traversal is perfectly
 //! reproducible — the recovery ladder in `xbfs-core` can be tested
 //! against an exact, replayable failure sequence.
@@ -38,6 +39,26 @@ impl FaultOp {
     }
 }
 
+/// Which BFS payload a [`FaultKind::BitFlip`] corrupts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptPayload {
+    /// The frontier bitmap: the flip toggles one vertex's membership in
+    /// the current frontier.
+    Bitmap,
+    /// The parent map: the flip XORs one bit of one parent word.
+    Parents,
+}
+
+impl CorruptPayload {
+    /// Stable lowercase label for trace events and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptPayload::Bitmap => "bitmap",
+            CorruptPayload::Parents => "parents",
+        }
+    }
+}
+
 /// What goes wrong when a fault fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -53,10 +74,26 @@ pub enum FaultKind {
     /// The device falls off the bus — permanent for the rest of the
     /// session; no retry can help.
     DeviceLost,
+    /// A silent single-event upset: the operation *appears to succeed*
+    /// (nominal time, no error) but one bit of the named payload is
+    /// flipped — in flight for a transfer, in device-resident state for a
+    /// kernel. Only a transfer checksum, an invariant scrub, or end-of-run
+    /// validation can see it.
+    BitFlip {
+        /// Which BFS payload the flip lands in.
+        payload: CorruptPayload,
+        /// Word index into that payload (the consumer wraps it to the
+        /// payload's actual length).
+        word: u32,
+        /// Bit index within the word.
+        bit: u8,
+    },
 }
 
 impl FaultKind {
-    /// `true` if retrying the operation can ever succeed.
+    /// `true` if retrying the operation can ever succeed. A detected bit
+    /// flip is transient in this sense: re-running the transfer or kernel
+    /// produces an uncorrupted result.
     pub fn is_transient(self) -> bool {
         !matches!(self, FaultKind::DeviceLost)
     }
@@ -68,6 +105,7 @@ impl FaultKind {
             FaultKind::LinkStall => "link-stall",
             FaultKind::KernelTimeout => "kernel-timeout",
             FaultKind::DeviceLost => "device-lost",
+            FaultKind::BitFlip { .. } => "bit-flip",
         }
     }
 }
@@ -551,6 +589,111 @@ mod tests {
         let json = plan.to_json();
         let back = FaultPlan::from_json(&json).expect("round trip");
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn bit_flip_is_a_one_shot_that_does_not_poison() {
+        let plan = FaultPlan {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::GpuKernel,
+                level: 2,
+                kind: FaultKind::BitFlip {
+                    payload: CorruptPayload::Parents,
+                    word: 19,
+                    bit: 5,
+                },
+            }],
+            ..FaultPlan::none()
+        };
+        let mut s = plan.session();
+        assert_eq!(s.check(FaultOp::GpuKernel, 1), None);
+        assert_eq!(
+            s.check(FaultOp::GpuKernel, 2),
+            Some(FaultKind::BitFlip {
+                payload: CorruptPayload::Parents,
+                word: 19,
+                bit: 5,
+            })
+        );
+        // One-shot: the re-run after a rollback repair is clean, and a
+        // silent flip never kills the device.
+        assert_eq!(s.check(FaultOp::GpuKernel, 2), None);
+        assert!(!s.gpu_lost());
+        assert_eq!(s.check(FaultOp::Transfer, 3), None);
+    }
+
+    #[test]
+    fn bit_flip_labels_and_transience() {
+        let k = FaultKind::BitFlip {
+            payload: CorruptPayload::Bitmap,
+            word: 0,
+            bit: 31,
+        };
+        assert_eq!(k.name(), "bit-flip");
+        assert!(k.is_transient());
+        assert_eq!(CorruptPayload::Bitmap.name(), "bitmap");
+        assert_eq!(CorruptPayload::Parents.name(), "parents");
+    }
+
+    #[test]
+    fn bit_flip_plans_round_trip_through_json() {
+        let plan = FaultPlan {
+            seed: 1301,
+            scheduled: vec![
+                ScheduledFault {
+                    op: FaultOp::Transfer,
+                    level: 3,
+                    kind: FaultKind::BitFlip {
+                        payload: CorruptPayload::Bitmap,
+                        word: 7,
+                        bit: 3,
+                    },
+                },
+                ScheduledFault {
+                    op: FaultOp::CpuKernel,
+                    level: 1,
+                    kind: FaultKind::BitFlip {
+                        payload: CorruptPayload::Parents,
+                        word: 40,
+                        bit: 0,
+                    },
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("round trip");
+        assert_eq!(back, plan);
+        // The committed chaos-plan format spells the variant out by name.
+        assert!(json.contains("BitFlip"), "{json}");
+        assert!(json.contains("Bitmap"), "{json}");
+    }
+
+    #[test]
+    fn bit_flip_cursor_resume_does_not_refire() {
+        let plan = FaultPlan {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::Transfer,
+                level: 2,
+                kind: FaultKind::BitFlip {
+                    payload: CorruptPayload::Bitmap,
+                    word: 1,
+                    bit: 1,
+                },
+            }],
+            ..FaultPlan::none()
+        };
+        let mut s = plan.session();
+        assert!(matches!(
+            s.check(FaultOp::Transfer, 2),
+            Some(FaultKind::BitFlip { .. })
+        ));
+        let cursor = s.cursor();
+        assert_eq!(cursor.fired, vec![true]);
+        let mut resumed = plan.session_at(&cursor).unwrap();
+        // A corrupted run rolled back to a checkpoint past the flip stays
+        // byte-deterministic: the fired flag travels with the cursor.
+        assert_eq!(resumed.check(FaultOp::Transfer, 2), None);
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod roofline;
 
 pub use arch::{ArchSpec, CostParams};
 pub use cost::{cost_fixed_mn, cost_script, script_for_fixed_mn, LevelCost};
-pub use fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession, ScheduledFault};
+pub use fault::{
+    CorruptPayload, FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession, ScheduledFault,
+};
 pub use link::Link;
 pub use model_policy::CostModelPolicy;
 pub use profile::{profile, LevelProfile, TraversalProfile};

@@ -64,6 +64,20 @@ impl Link {
         Self::new(0.0, f64::INFINITY)
     }
 
+    /// Bytes per second at which the *receiving* device folds a payload
+    /// through the end-to-end integrity checksum (a CRC32-class pass,
+    /// memory-bandwidth bound — far faster than any modeled link, so
+    /// verification never dominates the transfer it protects).
+    pub const CHECKSUM_BPS: f64 = 20.0e9;
+
+    /// Simulated time for the receiver to verify the integrity checksum
+    /// over a `bytes`-sized payload. Charged per transfer attempt when
+    /// checksummed transfers are enabled; zero-cost when they are not
+    /// (the runtime simply never calls this).
+    pub fn checksum_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / Self::CHECKSUM_BPS
+    }
+
     /// Time to move `bytes` across the link.
     pub fn transfer_time(&self, bytes: u64) -> f64 {
         self.latency_s + bytes as f64 / self.bandwidth_bps
@@ -117,6 +131,18 @@ mod tests {
     fn zero_link_is_free() {
         let link = Link::zero();
         assert_eq!(link.transfer_time(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn checksum_is_cheap_relative_to_the_transfer_it_protects() {
+        let link = Link::pcie3();
+        let bytes = Link::handoff_bytes(8_000_000, 10_000);
+        let verify = link.checksum_time(bytes);
+        assert!(verify > 0.0);
+        // Verification rides a memory-bandwidth pass at the receiver; it
+        // must stay well under the wire time it guards.
+        assert!(verify < link.transfer_time(bytes), "verify {verify}");
+        assert_eq!(link.checksum_time(0), 0.0);
     }
 
     #[test]

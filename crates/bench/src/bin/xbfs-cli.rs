@@ -34,18 +34,20 @@ use xbfs_core::{
     ResilienceConfig, RetryPolicy, ScheduleItem, ServiceConfig,
 };
 use xbfs_engine::{
-    hybrid, par, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
-    ShardedSink, SwitchPolicy, TraceEvent, XbfsError,
+    hybrid, par, scrub, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
+    ScrubPolicy, ShardedSink, SwitchPolicy, TraceEvent, TraversalState, XbfsError,
 };
 use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--text` /
-/// `--quiet` / `--threads-scaling`.
+/// `--quiet` / `--threads-scaling` / `--scrub` / `--checksum`.
 struct Args {
     pairs: Vec<(String, String)>,
     text: bool,
     quiet: bool,
     threads_scaling: bool,
+    scrub: bool,
+    checksum: bool,
 }
 
 impl Args {
@@ -54,6 +56,8 @@ impl Args {
         let mut text = false;
         let mut quiet = false;
         let mut threads_scaling = false;
+        let mut scrub = false;
+        let mut checksum = false;
         while let Some(arg) = argv.next() {
             if arg == "--text" {
                 text = true;
@@ -65,6 +69,14 @@ impl Args {
             }
             if arg == "--threads-scaling" {
                 threads_scaling = true;
+                continue;
+            }
+            if arg == "--scrub" {
+                scrub = true;
+                continue;
+            }
+            if arg == "--checksum" {
+                checksum = true;
                 continue;
             }
             let Some(key) = arg.strip_prefix("--") else {
@@ -80,6 +92,8 @@ impl Args {
             text,
             quiet,
             threads_scaling,
+            scrub,
+            checksum,
         })
     }
 
@@ -181,9 +195,12 @@ fn load_graph(args: &Args) -> Result<Csr, String> {
 
 /// Parse and validate the failure-handling flags shared by `adaptive` and
 /// `serve`: `--deadline SECS` (finite, positive), `--retries N` (default
-/// 3), `--checkpoint-interval L` (default 0 = off). `spill` is the
-/// checkpoint spill target — adaptive's `--spill` file; `serve` passes
-/// `None` because the service derives a per-query path from `--spill-dir`.
+/// 3), `--checkpoint-interval L` (default 0 = off), `--scrub` (per-level
+/// invariant scrubbing + rollback repair), `--checksum` (checksummed link
+/// transfers, integrity verified at the receiver and charged on the
+/// simulated clock). `spill` is the checkpoint spill target — adaptive's
+/// `--spill` file; `serve` passes `None` because the service derives a
+/// per-query path from `--spill-dir`.
 fn resilience_from_args(args: &Args, spill: Option<String>) -> Result<ResilienceConfig, String> {
     let deadline_s: Option<f64> = args.parse_num("deadline")?;
     if let Some(d) = deadline_s {
@@ -203,6 +220,12 @@ fn resilience_from_args(args: &Args, spill: Option<String>) -> Result<Resilience
         retry,
         deadline_s,
         checkpoint,
+        scrub: if args.scrub {
+            ScrubPolicy::every_level()
+        } else {
+            ScrubPolicy::Off
+        },
+        checksum_transfers: args.checksum,
         ..ResilienceConfig::default_runtime()
     };
     config.validate().map_err(|e| e.to_string())?;
@@ -257,6 +280,18 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// FNV-1a over the parent and level maps — a stable output fingerprint
+/// for `bfs --checksum`.
+fn fingerprint(out: &xbfs_engine::BfsOutput) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in out.parents.iter().chain(out.levels.iter()) {
+        for byte in word.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 fn cmd_bfs(args: &Args) -> Result<(), String> {
     let ui = Ui::new(args);
     let g = load_graph(args)?;
@@ -284,14 +319,48 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
     // go through the sharded (seq-ordered) sink.
     let sink = ShardedSink::new();
     let start = std::time::Instant::now();
-    let t = match (threads > 1, tracing) {
-        (true, true) => par::run_traced(&g, src, policy.as_mut(), threads, &sink),
-        (true, false) => par::run(&g, src, policy.as_mut(), threads),
-        (false, true) => hybrid::run_traced(&g, src, policy.as_mut(), &sink),
-        (false, false) => hybrid::run(&g, src, policy.as_mut()),
+    let t = if args.scrub {
+        // Scrubbed runs drive the stepping engine so the invariant audit
+        // can run between levels — single-threaded by construction.
+        if threads > 1 {
+            return Err(
+                "--scrub drives the single-threaded stepping engine; drop --threads".into(),
+            );
+        }
+        let mut st = TraversalState::start(&g, src);
+        while st.step_traced(&g, policy.as_mut(), &sink).is_some() {
+            if let Some(what) = scrub::scrub_state(&g, &st) {
+                return Err(XbfsError::CorruptionDetected {
+                    what,
+                    level: st.next_level as usize,
+                }
+                .to_string());
+            }
+        }
+        st.into_traversal()
+    } else {
+        match (threads > 1, tracing) {
+            (true, true) => par::run_traced(&g, src, policy.as_mut(), threads, &sink),
+            (true, false) => par::run(&g, src, policy.as_mut(), threads),
+            (false, true) => hybrid::run_traced(&g, src, policy.as_mut(), &sink),
+            (false, false) => hybrid::run(&g, src, policy.as_mut()),
+        }
     };
     let secs = start.elapsed().as_secs_f64();
     validate(&g, &t.output).map_err(|e| format!("validation failed: {e}"))?;
+    if args.scrub {
+        ui.say(format!(
+            "scrub: {} level boundar{} audited clean",
+            t.levels.len(),
+            if t.levels.len() == 1 { "y" } else { "ies" },
+        ));
+    }
+    if args.checksum {
+        // A stable fingerprint of the parent and level maps: compare it
+        // across runs or machines to spot silent corruption on real
+        // hardware (simulated transfer checksums live under `adaptive`).
+        ui.say(format!("output checksum: {:#018x}", fingerprint(&t.output)));
+    }
 
     ui.say(format!(
         "BFS from {src} ({policy_name}, {threads} thread(s)): {} vertices in {} levels, {:.3} ms",
@@ -435,6 +504,12 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         report.retries,
         if report.retries == 1 { "y" } else { "ies" },
     ));
+    if report.corruption_detected > 0 || report.corruption_repairs > 0 {
+        ui.say(format!(
+            "corruption: {} detection(s), {} in-rung repair(s)",
+            report.corruption_detected, report.corruption_repairs,
+        ));
+    }
     if let Some(level) = report.resumed_from_level {
         ui.say(format!(
             "resumed from level {level} (checkpointed state reused)"
@@ -635,6 +710,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.peak_in_flight,
         report.makespan_s * 1e3,
     ));
+    let (detected, repaired) =
+        report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.run.as_ref())
+            .fold((0u32, 0u32), |(d, r), run| {
+                (
+                    d + run.report.corruption_detected,
+                    r + run.report.corruption_repairs,
+                )
+            });
+    if detected > 0 || repaired > 0 {
+        ui.say(format!(
+            "corruption across queries: {detected} detection(s), {repaired} repair(s)"
+        ));
+    }
     for (device, at_s) in &report.lost_devices {
         ui.say(format!(
             "device lost service-wide: {} at {:.3} ms — later queries skip its rungs",
@@ -803,17 +894,18 @@ commands:
   gen        --scale S [--edgefactor E] [--seed X] --out FILE [--text]
   info       --graph FILE [--text]
   bfs        --graph FILE [--source V] [--policy td|bu|hybrid|model] [--threads T]
+             [--scrub] [--checksum]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   stcon      --graph FILE --from A --to B [--text]
   components --graph FILE [--text]
   adaptive   --graph FILE [--source V] [--fault-plan FILE.json] [--deadline SECS]
              [--retries N] [--checkpoint-interval L] [--spill CK.json]
-             [--resume CK.json] [--report-json R.json]
+             [--resume CK.json] [--scrub] [--checksum] [--report-json R.json]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   serve      --graph FILE (--requests FILE|- | --arrivals N [--rate R] [--seed S]
              [--request-deadline SECS] [--chaos-dir DIR] [--chaos-every K])
              [--capacity C] [--queue-depth Q] [--deadline SECS] [--retries N]
-             [--checkpoint-interval L] [--spill-dir DIR]
+             [--checkpoint-interval L] [--spill-dir DIR] [--scrub] [--checksum]
              [--drain-at SECS] [--drain-mode complete|cancel]
              [--report-json R.json] [--trace-out T.json] [--metrics-out M.prom]
              [--quiet] [--text]
@@ -828,7 +920,13 @@ CPUTD+GPUCB -> CPU-only hybrid -> sequential reference BFS. The output is
 Graph 500-validated on every rung. --checkpoint-interval L cuts a resumable
 checkpoint every L levels (--spill writes each one to disk as JSON);
 --resume continues a previous run from such a file instead of starting at
-level 0; --report-json writes the full RunReport as JSON.
+level 0; --report-json writes the full RunReport as JSON. Against silent
+data corruption (FaultKind::BitFlip in a fault plan), --checksum verifies
+every link transfer at the receiver (integrity cost charged on the
+simulated clock) and --scrub audits the traversal invariants at every
+level boundary, rolling the rung back to its last trusted checkpoint on a
+hit; bfs --scrub runs the same audit on the real engine, and bfs
+--checksum prints a stable output fingerprint to compare across runs.
 
 --trace-out records the run as chrome://tracing JSON (load the file at
 https://ui.perfetto.dev); --metrics-out writes Prometheus text-format

@@ -503,6 +503,49 @@ fn render_events(
                     }),
                 );
             }
+            TraceEvent::CorruptionDetected {
+                rung,
+                detector,
+                level,
+                at_s,
+            } => {
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("corruption:{detector}"),
+                        "cat": "corruption",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {"rung": *rung, "level": *level}
+                    }),
+                );
+            }
+            TraceEvent::CorruptionRepair {
+                rung,
+                action,
+                to_level,
+                attempt,
+                at_s,
+            } => {
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("repair:{action}"),
+                        "cat": "corruption",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {"rung": *rung, "to_level": *to_level, "attempt": *attempt}
+                    }),
+                );
+            }
         }
     }
     seq0 + events.len()
@@ -739,6 +782,8 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     let mut service_queries = Counter::default();
     let mut service_wait_seconds = Counter::default();
     let mut queue_depth_peak: Option<u32> = None;
+    let mut corruption_detected = Counter::default();
+    let mut corruption_repairs = Counter::default();
 
     for ev in events {
         match ev {
@@ -830,6 +875,12 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
             }
             TraceEvent::QueueDepth { depth, .. } => {
                 queue_depth_peak = Some(queue_depth_peak.unwrap_or(0).max(*depth));
+            }
+            TraceEvent::CorruptionDetected { rung, detector, .. } => {
+                corruption_detected.add(&[("detector", detector), ("rung", rung)], 1.0);
+            }
+            TraceEvent::CorruptionRepair { rung, action, .. } => {
+                corruption_repairs.add(&[("action", action), ("rung", rung)], 1.0);
             }
         }
     }
@@ -963,6 +1014,18 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
             &[(String::new(), peak as f64)],
         );
     }
+    write_counter(
+        &mut out,
+        "xbfs_corruption_detected_total",
+        "Silent-data-corruption detections, by detector.",
+        &corruption_detected,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_corruption_repairs_total",
+        "Corruption repairs the recovery ladder performed, by action.",
+        &corruption_repairs,
+    );
     out
 }
 

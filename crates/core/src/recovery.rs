@@ -42,11 +42,15 @@ use crate::cross::{CrossDriver, CrossParams};
 use crate::health::{BreakerPolicy, BreakerTransition, Device, DeviceHealth};
 use crate::seeded::splitmix_unit;
 use serde::{Deserialize, Serialize};
-use xbfs_archsim::fault::{FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession};
+use xbfs_archsim::fault::{
+    CorruptPayload, FaultEvent, FaultKind, FaultOp, FaultPlan, FaultSession,
+};
 use xbfs_archsim::{cost, ArchSpec, Link};
 use xbfs_engine::{
+    scrub::scrub_state,
     trace::{RungOutcome, TraceEvent, TraceSink},
-    validate, AlwaysTopDown, BfsOutput, FixedMN, LevelRecord, TraversalState, XbfsError,
+    validate, AlwaysTopDown, BfsOutput, FixedMN, LevelRecord, ScrubPolicy, TraversalState,
+    XbfsError,
 };
 use xbfs_graph::{Csr, VertexId};
 
@@ -145,17 +149,34 @@ pub struct ResilienceConfig {
     pub checkpoint: CheckpointPolicy,
     /// Circuit-breaker tuning shared by all devices.
     pub breaker: BreakerPolicy,
+    /// Per-level invariant scrub cadence ([`ScrubPolicy::Off`] by
+    /// default — zero mid-run checks on the fault-free hot path).
+    pub scrub: ScrubPolicy,
+    /// Verify an integrity checksum on every link transfer. The
+    /// receiver's verification pass is charged on the simulated clock
+    /// ([`Link::checksum_time`]); a flipped payload fails verification
+    /// and is retried like a transient instead of landing silently.
+    pub checksum_transfers: bool,
+    /// Bounded in-rung repair attempts after a detected corruption
+    /// before the rung degrades with
+    /// [`XbfsError::CorruptionUnrecovered`].
+    pub corruption_repair_limit: u32,
 }
 
 impl ResilienceConfig {
     /// Runtime defaults: default retries and breakers, a checkpoint every
-    /// 4 levels (in-memory only), no deadline.
+    /// 4 levels (in-memory only), no deadline, corruption defense off
+    /// (scrub off, unchecksummed transfers) with 2 repair attempts if it
+    /// is turned on.
     pub fn default_runtime() -> Self {
         Self {
             retry: RetryPolicy::default_runtime(),
             deadline_s: None,
             checkpoint: CheckpointPolicy::every(4),
             breaker: BreakerPolicy::default_runtime(),
+            scrub: ScrubPolicy::Off,
+            checksum_transfers: false,
+            corruption_repair_limit: 2,
         }
     }
 
@@ -164,6 +185,7 @@ impl ResilienceConfig {
         self.retry.validate()?;
         self.checkpoint.validate()?;
         self.breaker.validate()?;
+        self.scrub.validate()?;
         if let Some(d) = self.deadline_s {
             if !d.is_finite() || d <= 0.0 {
                 return Err(XbfsError::InvalidArgument {
@@ -278,6 +300,12 @@ pub struct RunReport {
     pub saved_seconds: f64,
     /// Every checkpoint resume, in order.
     pub resumes: Vec<ResumeRecord>,
+    /// Silent-data-corruption detections across the run: transfer
+    /// checksum failures plus invariant-scrub hits.
+    pub corruption_detected: u32,
+    /// In-rung corruption repairs (rollbacks, restarts, and tainted
+    /// checkpoints discarded) the ladder performed.
+    pub corruption_repairs: u32,
 }
 
 impl RunReport {
@@ -323,11 +351,30 @@ impl Clock {
     }
 }
 
-/// Why a rung stopped: a blown deadline aborts the whole ladder, any other
-/// permanent fault degrades to the next rung.
+/// Why a rung stopped: a blown deadline aborts the whole ladder, detected
+/// corruption triggers an in-rung rollback repair, any other permanent
+/// fault degrades to the next rung.
 enum RungError {
     Fatal(XbfsError),
     Degrade(XbfsError),
+    /// A scrub pass caught corrupted traversal state mid-run; the ladder
+    /// repairs in place (bounded) instead of degrading.
+    Corrupted {
+        level: u32,
+        what: String,
+    },
+}
+
+/// What a fallible operation left behind: clean state, or a silent bit
+/// flip the caller must apply to the live traversal (the operation itself
+/// reported success — only a later scrub or validation can see it).
+enum OpOutcome {
+    Clean,
+    Corrupted {
+        payload: CorruptPayload,
+        word: u32,
+        bit: u8,
+    },
 }
 
 /// A rung's starting point: fresh at level 0, or mid-traversal from the
@@ -372,6 +419,16 @@ struct Recovery<'a> {
     saved_seconds: f64,
     resumes: Vec<ResumeRecord>,
     skipped: Vec<Rung>,
+    /// Scrub cadence for mid-run corruption detection.
+    scrub: ScrubPolicy,
+    /// Whether link transfers are integrity-checksummed at the receiver.
+    checksum_transfers: bool,
+    /// Bounded in-rung repair attempts per rung after detected corruption.
+    corruption_repair_limit: u32,
+    /// Corruption detections so far (checksum + scrub).
+    corruption_detected: u32,
+    /// In-rung corruption repairs performed so far.
+    corruption_repairs: u32,
     /// Trace destination; the default [`NULL_SINK`](xbfs_engine::trace::NULL_SINK)
     /// reports itself disabled, so instrumentation sites skip event
     /// construction entirely.
@@ -420,6 +477,11 @@ impl<'a> Recovery<'a> {
             saved_seconds: 0.0,
             resumes: Vec::new(),
             skipped: Vec::new(),
+            scrub: config.scrub,
+            checksum_transfers: config.checksum_transfers,
+            corruption_repair_limit: config.corruption_repair_limit,
+            corruption_detected: 0,
+            corruption_repairs: 0,
             sink,
         }
     }
@@ -463,6 +525,11 @@ impl<'a> Recovery<'a> {
             saved_seconds: 0.0,
             resumes: Vec::new(),
             skipped: Vec::new(),
+            scrub: config.scrub,
+            checksum_transfers: config.checksum_transfers,
+            corruption_repair_limit: config.corruption_repair_limit,
+            corruption_detected: 0,
+            corruption_repairs: 0,
             sink,
         })
     }
@@ -517,15 +584,20 @@ impl<'a> Recovery<'a> {
     /// Run one fallible operation of nominal duration `nominal_s`,
     /// retrying transients per policy and feeding every outcome to the
     /// device's circuit breaker. `bytes` is the payload size reported on
-    /// transfer spans (0 for kernels).
+    /// transfer spans (0 for kernels). An injected bit flip the defenses
+    /// could not see returns [`OpOutcome::Corrupted`]: the operation
+    /// *succeeded* on the clock and the breaker, but the caller must fold
+    /// the flip into its live state.
+    #[allow(clippy::too_many_arguments)] // one flat fault surface, three call sites
     fn attempt_op(
         &mut self,
+        rung: Rung,
         op: FaultOp,
         level: usize,
         nominal_s: f64,
         device: Device,
         bytes: u64,
-    ) -> Result<(), RungError> {
+    ) -> Result<OpOutcome, RungError> {
         let traced = self.sink.enabled();
         for attempt in 1..=self.retry.max_attempts {
             let start_s = self.clock.elapsed_s;
@@ -536,7 +608,77 @@ impl<'a> Recovery<'a> {
                     if traced {
                         self.emit_attempt(op, device, level, attempt, bytes, start_s, true);
                     }
-                    return Ok(());
+                    return Ok(OpOutcome::Clean);
+                }
+                Some(FaultKind::BitFlip { payload, word, bit }) => {
+                    let kind = FaultKind::BitFlip { payload, word, bit };
+                    self.events.push(FaultEvent {
+                        op,
+                        level,
+                        kind,
+                        attempt,
+                    });
+                    if traced {
+                        self.emit_fault(op, kind, level, attempt);
+                    }
+                    if self.checksum_transfers && op == FaultOp::Transfer {
+                        // DETECTED: the receiver's checksum rejects the
+                        // flipped payload. The attempt's time is wasted
+                        // and the transfer retries like a transient.
+                        self.corruption_detected += 1;
+                        self.lost_s += nominal_s;
+                        self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
+                        self.health
+                            .record_failure(device, self.clock.elapsed_s, false);
+                        if traced {
+                            self.emit_attempt(op, device, level, attempt, bytes, start_s, false);
+                            self.sink.record(&TraceEvent::CorruptionDetected {
+                                rung: rung.label(),
+                                detector: "checksum",
+                                level: level as u32,
+                                at_s: self.clock.elapsed_s,
+                            });
+                        }
+                        if attempt == self.retry.max_attempts {
+                            return Err(RungError::Degrade(XbfsError::CorruptionDetected {
+                                what: format!(
+                                    "{} payload failed its integrity checksum ({} bit {} of the {} image)",
+                                    op.name(),
+                                    word,
+                                    bit,
+                                    payload.name(),
+                                ),
+                                level,
+                            }));
+                        }
+                        let u = splitmix_unit(&mut self.jitter_rng);
+                        let backoff = self.retry.backoff_s(attempt - 1, u);
+                        self.lost_s += backoff;
+                        self.retries += 1;
+                        let backoff_start = self.clock.elapsed_s;
+                        self.clock.charge(backoff).map_err(RungError::Fatal)?;
+                        if traced {
+                            self.sink.record(&TraceEvent::Backoff {
+                                op: op.name(),
+                                level: level as u32,
+                                retry: attempt - 1,
+                                start_s: backoff_start,
+                                end_s: self.clock.elapsed_s,
+                            });
+                        }
+                    } else {
+                        // SILENT: the operation looks exactly like a
+                        // success — full nominal charge, a healthy
+                        // breaker sample, an ok span — but the caller's
+                        // state is now wrong. Only a scrub or validation
+                        // can catch it from here.
+                        self.clock.charge(nominal_s).map_err(RungError::Fatal)?;
+                        self.health.record_success(device, self.clock.elapsed_s);
+                        if traced {
+                            self.emit_attempt(op, device, level, attempt, bytes, start_s, true);
+                        }
+                        return Ok(OpOutcome::Corrupted { payload, word, bit });
+                    }
                 }
                 Some(FaultKind::LinkStall) => {
                     self.events.push(FaultEvent {
@@ -556,7 +698,7 @@ impl<'a> Recovery<'a> {
                     if traced {
                         self.emit_attempt(op, device, level, attempt, bytes, start_s, true);
                     }
-                    return Ok(());
+                    return Ok(OpOutcome::Clean);
                 }
                 Some(kind @ (FaultKind::TransferFailure | FaultKind::KernelTimeout)) => {
                     self.events.push(FaultEvent {
@@ -752,6 +894,35 @@ impl<'a> Recovery<'a> {
             });
         }
         Ok(())
+    }
+
+    /// Run the invariant scrubber at the boundary in front of `st` if one
+    /// is due. A hit is a detected corruption: the ladder answers with a
+    /// rollback repair instead of letting the rung run the corruption to
+    /// completion. Scrubbing charges no simulated time — the pass is
+    /// memory-bandwidth work the runtime overlaps with the next level's
+    /// setup — so enabling it on a fault-free run leaves the clock (and
+    /// the whole trace) untouched.
+    fn maybe_scrub(&mut self, csr: &Csr, rung: Rung, st: &TraversalState) -> Result<(), RungError> {
+        if !self.scrub.due(st.next_level) {
+            return Ok(());
+        }
+        let Some(what) = scrub_state(csr, st) else {
+            return Ok(());
+        };
+        self.corruption_detected += 1;
+        if self.sink.enabled() {
+            self.sink.record(&TraceEvent::CorruptionDetected {
+                rung: rung.label(),
+                detector: "scrub",
+                level: st.next_level,
+                at_s: self.clock.elapsed_s,
+            });
+        }
+        Err(RungError::Corrupted {
+            level: st.next_level,
+            what,
+        })
     }
 
     /// Where `rung` starts: fresh at level 0, or resumed from the newest
@@ -958,7 +1129,7 @@ pub fn run_cross_resilient(
         retry: *retry,
         deadline_s,
         checkpoint: CheckpointPolicy::disabled(),
-        breaker: BreakerPolicy::default_runtime(),
+        ..ResilienceConfig::default_runtime()
     };
     crate::session::RunSession::on_platform(csr, cpu, gpu, link, params)
         .source(source)
@@ -1055,10 +1226,58 @@ fn ladder(
         }
         let rung_start_latest = rec.latest.clone();
         let retained_at_start = retained_productive(&rec.latest);
-        let outcome = match rung {
-            Rung::CrossCpuGpu => run_rung_cross(args, source, &mut rec),
-            Rung::CpuOnly => run_rung_cpu_only(args, source, &mut rec),
-            Rung::Reference => run_rung_reference(args, source, &mut rec),
+        // Detected-corruption repair loop: a scrub hit rewinds this rung
+        // to its last *trusted* checkpoint and re-executes, a bounded
+        // number of times, before the rung is allowed to give up.
+        let mut repair_attempts: u32 = 0;
+        let outcome = loop {
+            let result = match rung {
+                Rung::CrossCpuGpu => run_rung_cross(args, source, &mut rec),
+                Rung::CpuOnly => run_rung_cpu_only(args, source, &mut rec),
+                Rung::Reference => run_rung_reference(args, source, &mut rec),
+            };
+            let Err(RungError::Corrupted { level, what }) = result else {
+                break result;
+            };
+            repair_attempts += 1;
+            if repair_attempts > rec.corruption_repair_limit {
+                break Err(RungError::Degrade(XbfsError::CorruptionUnrecovered {
+                    level: level as usize,
+                    attempts: repair_attempts - 1,
+                    what,
+                }));
+            }
+            // Pick the repair point. The newest checkpoint is re-audited
+            // before it is trusted: if the corruption predates its
+            // capture, it is tainted — discard it and fall back to the
+            // rung-start checkpoint (or a from-scratch restart).
+            let action = match rec.latest.as_ref() {
+                Some(ck) if ck.validate_for(csr).is_err() => {
+                    rec.latest = rung_start_latest.clone();
+                    "taint"
+                }
+                Some(_) => "rollback",
+                None => "restart",
+            };
+            let to_level = rec.latest.as_ref().map_or(0, |ck| ck.level());
+            // Everything after the trusted checkpoint is forfeit.
+            let retained = retained_productive(&rec.latest);
+            let productive_now = rec.clock.elapsed_s - rec.lost_s;
+            rec.lost_s += (productive_now - retained).max(0.0);
+            rec.corruption_repairs += 1;
+            if rec.sink.enabled() {
+                rec.sink.record(&TraceEvent::CorruptionRepair {
+                    rung: rung.label(),
+                    action,
+                    to_level,
+                    attempt: repair_attempts,
+                    at_s: rec.clock.elapsed_s,
+                });
+            }
+            // Re-run the same rung from the repair point. The fault
+            // session keeps its forward position: fired one-shots do not
+            // re-fire, so the repaired pass re-executes clean unless the
+            // plan schedules further corruption.
         };
         let emit_rung_end = |rec: &Recovery<'_>, outcome: RungOutcome| {
             if rec.sink.enabled() {
@@ -1092,6 +1311,8 @@ fn ladder(
                         edges_examined: rec.edges_examined,
                         saved_seconds: rec.saved_seconds,
                         resumes: rec.resumes,
+                        corruption_detected: rec.corruption_detected,
+                        corruption_repairs: rec.corruption_repairs,
                     };
                     return Ok(RecoveredRun { output, report });
                 }
@@ -1121,6 +1342,9 @@ fn ladder(
                 rec.lost_s += (productive_now - retained).max(0.0);
                 last_error = Some(e);
             }
+            Err(RungError::Corrupted { .. }) => {
+                unreachable!("detected corruption is repaired or converted inside the rung loop")
+            }
         }
     }
     rec.emit_breakers();
@@ -1131,6 +1355,34 @@ fn ladder(
 /// what a rung failure does *not* forfeit.
 fn retained_productive(latest: &Option<LevelCheckpoint>) -> f64 {
     latest.as_ref().map_or(0.0, |ck| ck.clock_s - ck.lost_s)
+}
+
+/// Fold one silently injected bit flip into the live traversal state —
+/// the simulated effect of corrupted data landing from an operation that
+/// reported success. `Parents` flips one bit of one parent-map word;
+/// `Bitmap` toggles one frontier-membership bit (adding a ghost vertex or
+/// erasing a real one). Indexes wrap modulo the state size so any plan is
+/// applicable to any graph.
+fn apply_bit_flip(state: &mut TraversalState, payload: CorruptPayload, word: u32, bit: u8) {
+    let n = state.output.parents.len();
+    if n == 0 {
+        return;
+    }
+    match payload {
+        CorruptPayload::Parents => {
+            state.output.parents[word as usize % n] ^= 1u32 << (bit % 32);
+        }
+        CorruptPayload::Bitmap => {
+            let v = ((word as usize) * 32 + (bit as usize) % 32) % n;
+            let v = v as VertexId;
+            match state.frontier.iter().position(|&f| f == v) {
+                Some(i) => {
+                    state.frontier.remove(i);
+                }
+                None => state.frontier.push(v),
+            }
+        }
+    }
 }
 
 /// Rung 1: Algorithm 3 with fault checks on the handoff transfer and every
@@ -1155,6 +1407,9 @@ fn run_rung_cross(
     } = rec.start_for(Rung::CrossCpuGpu, csr, source, params, cpu, gpu, link)?;
     let n = csr.num_vertices() as u64;
     loop {
+        // Scrub before the capture gate: a corrupt state must be caught
+        // here, never frozen into a resume point.
+        rec.maybe_scrub(csr, Rung::CrossCpuGpu, &state)?;
         rec.maybe_capture(
             csr,
             Rung::CrossCpuGpu,
@@ -1171,14 +1426,20 @@ fn run_rung_cross(
         let lvl = *state.levels.last().expect("step pushed a record");
         if pl.on_gpu() && !was_handed {
             let bytes = Link::handoff_bytes(n, lvl.frontier_vertices);
-            let t = link.transfer_time(bytes);
-            rec.attempt_op(
+            let mut t = link.transfer_time(bytes);
+            if rec.checksum_transfers {
+                t += link.checksum_time(bytes);
+            }
+            if let OpOutcome::Corrupted { payload, word, bit } = rec.attempt_op(
+                Rung::CrossCpuGpu,
                 FaultOp::Transfer,
                 lvl.level as usize,
                 t,
                 Device::Link,
                 bytes,
-            )?;
+            )? {
+                apply_bit_flip(&mut state, payload, word, bit);
+            }
         }
         let (op, device, arch, device_label) = if pl.on_gpu() {
             (FaultOp::GpuKernel, Device::Gpu, gpu, "gpu")
@@ -1192,7 +1453,16 @@ fn run_rung_cross(
             rec.clock.elapsed_s,
             rec.sink,
         );
-        rec.attempt_op(op, lvl.level as usize, nominal, device, 0)?;
+        if let OpOutcome::Corrupted { payload, word, bit } = rec.attempt_op(
+            Rung::CrossCpuGpu,
+            op,
+            lvl.level as usize,
+            nominal,
+            device,
+            0,
+        )? {
+            apply_bit_flip(&mut state, payload, word, bit);
+        }
         rec.note_level(&lvl, Rung::CrossCpuGpu, device_label, level_start_s);
         if pl.on_gpu() {
             device_discovered += lvl.discovered;
@@ -1219,6 +1489,7 @@ fn run_rung_cpu_only(
         rec.start_for(Rung::CpuOnly, csr, source, params, cpu, gpu, link)?;
     let mut mn = FixedMN::new(14.0, 24.0);
     loop {
+        rec.maybe_scrub(csr, Rung::CpuOnly, &state)?;
         rec.maybe_capture(csr, Rung::CpuOnly, &state, None, 0, link)?;
         let level_start_s = rec.clock.elapsed_s;
         if state.step(csr, &mut mn).is_none() {
@@ -1227,13 +1498,16 @@ fn run_rung_cpu_only(
         let lvl = *state.levels.last().expect("step pushed a record");
         let nominal =
             cost::level_time_for_record_traced(cpu, &lvl, "cpu", rec.clock.elapsed_s, rec.sink);
-        rec.attempt_op(
+        if let OpOutcome::Corrupted { payload, word, bit } = rec.attempt_op(
+            Rung::CpuOnly,
             FaultOp::CpuKernel,
             lvl.level as usize,
             nominal,
             Device::Cpu,
             0,
-        )?;
+        )? {
+            apply_bit_flip(&mut state, payload, word, bit);
+        }
         rec.note_level(&lvl, Rung::CpuOnly, "cpu", level_start_s);
     }
     Ok(state.into_traversal().output)
@@ -1254,6 +1528,7 @@ fn run_rung_reference(
     let mut td = AlwaysTopDown;
     let penalty = reference_sequential_penalty(cpu);
     loop {
+        rec.maybe_scrub(csr, Rung::Reference, &state)?;
         rec.maybe_capture(csr, Rung::Reference, &state, None, 0, link)?;
         let level_start_s = rec.clock.elapsed_s;
         if state.step(csr, &mut td).is_none() {
@@ -1483,10 +1758,8 @@ mod tests {
         )
         .expect("legacy");
         let config = ResilienceConfig {
-            retry: RetryPolicy::default_runtime(),
-            deadline_s: None,
             checkpoint: CheckpointPolicy::disabled(),
-            breaker: BreakerPolicy::default_runtime(),
+            ..ResilienceConfig::default_runtime()
         };
         let with = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
             .expect("with");
@@ -1569,5 +1842,314 @@ mod tests {
         // The resumed process only executed the suffix.
         assert!(resumed.report.levels_executed < full.report.levels_executed);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Drive the ladder with an explicit rung list and trace sink — the
+    /// corruption tests pin the traversal to one rung so a scheduled flip
+    /// lands deterministically.
+    fn run_ladder(
+        g: &Csr,
+        src: u32,
+        plan: &FaultPlan,
+        config: &ResilienceConfig,
+        rungs: &[Rung],
+        sink: &dyn TraceSink,
+    ) -> Result<RecoveredRun, XbfsError> {
+        let cpu = ArchSpec::cpu_sandy_bridge();
+        let gpu = ArchSpec::gpu_k20x();
+        let link = Link::pcie3();
+        let params = CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        };
+        let args = ExecArgs {
+            csr: g,
+            cpu: &cpu,
+            gpu: &gpu,
+            link: &link,
+            params: &params,
+            plan,
+            config,
+            lost: &[],
+            sink,
+        };
+        let rec = Recovery::new(plan, config, &[], sink);
+        ladder(&args, src, rec, rungs)
+    }
+
+    /// A parent-map flip with bit 31 set always breaks the tree: a visited
+    /// vertex's parent jumps out of range, an unvisited one gains a parent
+    /// with no level. Either way the scrub invariants catch it.
+    fn parent_flip_at(level: usize) -> ScheduledFault {
+        ScheduledFault {
+            op: FaultOp::CpuKernel,
+            level,
+            kind: FaultKind::BitFlip {
+                payload: CorruptPayload::Parents,
+                word: 1,
+                bit: 31,
+            },
+        }
+    }
+
+    #[test]
+    fn silent_flip_with_scrub_off_never_serves_a_wrong_tree() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        // No scrubbing, no checksums: the flip lands silently at level 0
+        // of the cross rung and the end-of-run validation gate is the only
+        // defense left. The ladder must reject the corrupt tree and serve
+        // from a lower rung — never return the wrong answer.
+        let plan = FaultPlan {
+            scheduled: vec![parent_flip_at(0)],
+            ..FaultPlan::none()
+        };
+        let config = ResilienceConfig::default_runtime();
+        let run = run_cross_resilient_with(&g, src, &cpu, &gpu, &link, &params, &plan, &config)
+            .expect("a lower rung serves a clean tree");
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert_ne!(run.report.rung, Rung::CrossCpuGpu);
+        assert_eq!(run.report.events.len(), 1);
+        // Nothing detected the flip mid-run — only the validation gate.
+        assert_eq!(run.report.corruption_detected, 0);
+        assert_eq!(run.report.corruption_repairs, 0);
+    }
+
+    #[test]
+    fn scrub_detects_a_flip_and_rolls_back_to_the_last_checkpoint() {
+        let (g, src, ..) = setup();
+        // Flip at level 3 with a checkpoint boundary at 2: the level-4
+        // scrub pass catches the corruption and the repair rolls back to
+        // level 2 instead of restarting, all within the same rung.
+        let plan = FaultPlan {
+            scheduled: vec![parent_flip_at(3)],
+            ..FaultPlan::none()
+        };
+        let config = ResilienceConfig {
+            checkpoint: CheckpointPolicy::every(2),
+            scrub: ScrubPolicy::every_level(),
+            ..ResilienceConfig::default_runtime()
+        };
+        let sink = xbfs_engine::trace::MemorySink::new();
+        let run = run_ladder(&g, src, &plan, &config, &[Rung::CpuOnly], &sink)
+            .expect("the rung repairs itself and serves");
+        assert_eq!(run.report.rung, Rung::CpuOnly);
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert_eq!(run.report.corruption_detected, 1);
+        assert_eq!(run.report.corruption_repairs, 1);
+        // The repair resumed from the level-2 checkpoint, not level 0.
+        assert!(
+            run.report.resumes.iter().any(|r| r.from_level == 2),
+            "resumes: {:?}",
+            run.report.resumes
+        );
+        assert!(run.report.recovery_seconds > 0.0);
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::CorruptionDetected {
+                detector: "scrub",
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::CorruptionRepair {
+                action: "rollback",
+                to_level: 2,
+                attempt: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn scrub_restarts_the_rung_when_no_checkpoint_exists() {
+        let (g, src, ..) = setup();
+        let plan = FaultPlan {
+            scheduled: vec![parent_flip_at(1)],
+            ..FaultPlan::none()
+        };
+        let config = ResilienceConfig {
+            checkpoint: CheckpointPolicy::disabled(),
+            scrub: ScrubPolicy::every_level(),
+            ..ResilienceConfig::default_runtime()
+        };
+        let sink = xbfs_engine::trace::MemorySink::new();
+        let run = run_ladder(&g, src, &plan, &config, &[Rung::CpuOnly], &sink)
+            .expect("restart repair serves");
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert_eq!(run.report.corruption_detected, 1);
+        assert_eq!(run.report.corruption_repairs, 1);
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::CorruptionRepair {
+                action: "restart",
+                to_level: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn exhausted_repair_budget_is_a_typed_corruption_error() {
+        let (g, src, ..) = setup();
+        let plan = FaultPlan {
+            scheduled: vec![parent_flip_at(1)],
+            ..FaultPlan::none()
+        };
+        let config = ResilienceConfig {
+            scrub: ScrubPolicy::every_level(),
+            corruption_repair_limit: 0,
+            ..ResilienceConfig::default_runtime()
+        };
+        // Pin the ladder to the corrupting rung: with no repair budget and
+        // no rung below it, the run must surface the typed terminal error
+        // rather than a wrong tree or a panic.
+        let err = run_ladder(
+            &g,
+            src,
+            &plan,
+            &config,
+            &[Rung::CpuOnly],
+            &xbfs_engine::trace::NULL_SINK,
+        )
+        .expect_err("no repair budget, no lower rung");
+        match err {
+            XbfsError::CorruptionUnrecovered { attempts, .. } => assert_eq!(attempts, 0),
+            other => panic!("expected CorruptionUnrecovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksummed_transfer_detects_a_flip_and_retries() {
+        let (g, src, ..) = setup();
+        // The handoff level depends on the frontier trajectory, so arm a
+        // one-shot transfer flip at every plausible level: exactly one
+        // fires, at whichever level the upload happens.
+        let scheduled = (0..16usize)
+            .map(|level| ScheduledFault {
+                op: FaultOp::Transfer,
+                level,
+                kind: FaultKind::BitFlip {
+                    payload: CorruptPayload::Bitmap,
+                    word: 7,
+                    bit: 3,
+                },
+            })
+            .collect();
+        let plan = FaultPlan {
+            scheduled,
+            ..FaultPlan::none()
+        };
+        let config = ResilienceConfig {
+            checksum_transfers: true,
+            ..ResilienceConfig::default_runtime()
+        };
+        let sink = xbfs_engine::trace::MemorySink::new();
+        let run = run_ladder(
+            &g,
+            src,
+            &plan,
+            &config,
+            &[Rung::CrossCpuGpu, Rung::CpuOnly, Rung::Reference],
+            &sink,
+        )
+        .expect("the retried transfer goes through clean");
+        // The checksum caught the flip at the receiver; the one-shot does
+        // not re-fire, so the retry succeeds and the top rung still serves.
+        assert_eq!(run.report.rung, Rung::CrossCpuGpu);
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert_eq!(run.report.corruption_detected, 1);
+        assert_eq!(run.report.corruption_repairs, 0);
+        assert_eq!(run.report.events.len(), 1);
+        assert!(run.report.retries >= 1);
+        assert!(run.report.recovery_seconds > 0.0);
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::CorruptionDetected {
+                detector: "checksum",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn checksums_charge_the_simulated_clock() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let plan = FaultPlan::none();
+        let off = run_cross_resilient_with(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &ResilienceConfig::default_runtime(),
+        )
+        .expect("clean run");
+        let on = run_cross_resilient_with(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &ResilienceConfig {
+                checksum_transfers: true,
+                ..ResilienceConfig::default_runtime()
+            },
+        )
+        .expect("clean checksummed run");
+        // Integrity is not free: same tree, strictly more simulated time.
+        assert_eq!(on.output, off.output);
+        assert!(on.report.total_seconds > off.report.total_seconds);
+        assert_eq!(on.report.corruption_detected, 0);
+    }
+
+    #[test]
+    fn scrub_on_is_free_and_identical_when_nothing_is_corrupt() {
+        let (g, src, cpu, gpu, link, params) = setup();
+        let plan = FaultPlan::none();
+        let off = run_cross_resilient_with(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &ResilienceConfig::default_runtime(),
+        )
+        .expect("clean run");
+        let on = run_cross_resilient_with(
+            &g,
+            src,
+            &cpu,
+            &gpu,
+            &link,
+            &params,
+            &plan,
+            &ResilienceConfig {
+                scrub: ScrubPolicy::every_level(),
+                ..ResilienceConfig::default_runtime()
+            },
+        )
+        .expect("clean scrubbed run");
+        // The scrubber overlaps with kernel execution on the simulated
+        // platform: a fault-free run is bit- and clock-identical.
+        assert_eq!(on.output, off.output);
+        assert_eq!(on.report.total_seconds, off.report.total_seconds);
+        assert_eq!(on.report.corruption_detected, 0);
+    }
+
+    #[test]
+    fn scrub_config_rejects_a_zero_interval() {
+        let mut c = ResilienceConfig::default_runtime();
+        c.scrub = ScrubPolicy::Every { levels: 0 };
+        assert!(c.validate().is_err());
+        c.scrub = ScrubPolicy::every(3);
+        assert!(c.validate().is_ok());
     }
 }

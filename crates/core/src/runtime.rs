@@ -12,7 +12,6 @@ use crate::{
     checkpoint::{CheckpointPolicy, LevelCheckpoint},
     combination::{run_single, SingleRun},
     cross::{run_cross, CrossParams, CrossRun},
-    health::BreakerPolicy,
     predictor::SwitchPredictor,
     recovery::{RecoveredRun, ResilienceConfig, RetryPolicy},
     session::RunSession,
@@ -102,7 +101,7 @@ impl AdaptiveRuntime {
                 retry: *retry,
                 deadline_s,
                 checkpoint: CheckpointPolicy::disabled(),
-                breaker: BreakerPolicy::default_runtime(),
+                ..ResilienceConfig::default_runtime()
             })
             .run()
     }

@@ -121,6 +121,26 @@ pub enum XbfsError {
     },
     /// The query service is draining; new queries are refused.
     ShuttingDown,
+    /// Mid-run silent data corruption was caught by a transfer checksum or
+    /// an invariant scrub — and could not be served from this rung (retry
+    /// and rollback budgets exhausted at the detection point).
+    CorruptionDetected {
+        /// Which invariant or check tripped.
+        what: String,
+        /// BFS level at which the corruption was detected.
+        level: usize,
+    },
+    /// Detected corruption persisted through the bounded rollback-repair
+    /// budget; the traversal was abandoned rather than returning a
+    /// possibly-wrong tree.
+    CorruptionUnrecovered {
+        /// BFS level of the last detection.
+        level: usize,
+        /// Rollback-repair attempts spent before giving up.
+        attempts: u32,
+        /// The invariant the last detection found violated.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for XbfsError {
@@ -176,7 +196,7 @@ impl std::fmt::Display for XbfsError {
                 f,
                 "deadline exceeded: budget {budget_s} s, elapsed {elapsed_s} s"
             ),
-            XbfsError::Validation(e) => write!(f, "output failed validation: {e:?}"),
+            XbfsError::Validation(e) => write!(f, "output failed validation: {e}"),
             XbfsError::FaultPlan(msg) => write!(f, "fault plan: {msg}"),
             XbfsError::CircuitOpen { device } => {
                 write!(f, "circuit breaker open for {device}")
@@ -190,6 +210,17 @@ impl std::fmt::Display for XbfsError {
                 "service overloaded: queue depth {queue_depth} at limit {queue_limit}"
             ),
             XbfsError::ShuttingDown => write!(f, "service shutting down: query refused"),
+            XbfsError::CorruptionDetected { what, level } => {
+                write!(f, "corruption detected at level {level}: {what}")
+            }
+            XbfsError::CorruptionUnrecovered {
+                level,
+                attempts,
+                what,
+            } => write!(
+                f,
+                "corruption unrecovered at level {level} after {attempts} repair attempt(s): {what}"
+            ),
         }
     }
 }
@@ -283,6 +314,15 @@ mod tests {
                 queue_limit: 8,
             },
             XbfsError::ShuttingDown,
+            XbfsError::CorruptionDetected {
+                what: "frontier vertex 9 is at level 4294967295, expected 3".into(),
+                level: 3,
+            },
+            XbfsError::CorruptionUnrecovered {
+                level: 3,
+                attempts: 2,
+                what: "visited population 12 != source + 10 discovered across 4 level(s)".into(),
+            },
         ]
     }
 
@@ -303,6 +343,35 @@ mod tests {
             assert_eq!(msg, format!("{e}"), "Display and Error disagree for {e:?}");
             assert!(seen.insert(msg.clone()), "duplicate message: {msg}");
         }
+    }
+
+    #[test]
+    fn corruption_errors_name_the_detection_site() {
+        let e = XbfsError::CorruptionDetected {
+            what: "parent word flipped".into(),
+            level: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("level 5"), "{msg}");
+        assert!(msg.contains("parent word flipped"), "{msg}");
+
+        let e = XbfsError::CorruptionUnrecovered {
+            level: 2,
+            attempts: 3,
+            what: "ghost frontier vertex 7".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("level 2"), "{msg}");
+        assert!(msg.contains("3 repair attempt"), "{msg}");
+        assert!(msg.contains("ghost frontier vertex 7"), "{msg}");
+    }
+
+    #[test]
+    fn validation_display_names_the_vertex_not_the_variant() {
+        let e = XbfsError::Validation(ValidationError::PhantomTreeEdge { v: 17 });
+        let msg = e.to_string();
+        assert!(msg.contains("vertex 17"), "{msg}");
+        assert!(!msg.contains("PhantomTreeEdge"), "{msg}");
     }
 
     #[test]

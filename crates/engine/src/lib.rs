@@ -24,7 +24,9 @@
 //! used for the real-machine scaling experiments (Fig. 10). [`validate`](crate::validate::validate)
 //! implements the Graph 500-style output checker, [`metrics`] the TEPS
 //! accounting, and [`mod@reference`] the naive queue-based baseline the paper
-//! compares against in §V-D.
+//! compares against in §V-D. [`scrub`] is the mid-run counterpart of the
+//! validator: an opt-in per-level invariant pass the recovery runtime uses
+//! to catch silent data corruption before it reaches the caller.
 
 pub mod bottomup;
 pub mod error;
@@ -33,6 +35,7 @@ pub mod metrics;
 pub mod par;
 pub mod policy;
 pub mod reference;
+pub mod scrub;
 pub mod stats;
 pub mod stcon;
 pub mod topdown;
@@ -44,6 +47,7 @@ pub use error::XbfsError;
 pub use hybrid::TraversalState;
 pub use par::QueryPool;
 pub use policy::{AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN, SwitchContext, SwitchPolicy};
+pub use scrub::ScrubPolicy;
 pub use stats::{LevelRecord, Traversal};
 pub use trace::analysis::{
     critical_path, trace_diff, CriticalPath, PathSegment, PhaseDelta, TraceDiff,

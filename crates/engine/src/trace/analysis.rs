@@ -183,7 +183,9 @@ pub fn critical_path(events: &[TraceEvent]) -> CriticalPath {
             | TraceEvent::QueryStart { at_s, .. }
             | TraceEvent::QueryEnd { at_s, .. }
             | TraceEvent::QueryShed { at_s, .. }
-            | TraceEvent::QueueDepth { at_s, .. } => observe(*at_s, *at_s),
+            | TraceEvent::QueueDepth { at_s, .. }
+            | TraceEvent::CorruptionDetected { at_s, .. }
+            | TraceEvent::CorruptionRepair { at_s, .. } => observe(*at_s, *at_s),
             TraceEvent::Level { start_s, end_s, .. } => observe(*start_s, *end_s),
             TraceEvent::EngineLevel { .. } => {}
         }
@@ -323,6 +325,19 @@ fn structural_key(ev: &TraceEvent) -> String {
             ..
         } => format!("query-shed:{query}:{reason}:depth={queue_depth}"),
         TraceEvent::QueueDepth { depth, .. } => format!("queue-depth:{depth}"),
+        TraceEvent::CorruptionDetected {
+            rung,
+            detector,
+            level,
+            ..
+        } => format!("corruption-detected:{rung}:{detector}:level={level}"),
+        TraceEvent::CorruptionRepair {
+            rung,
+            action,
+            to_level,
+            attempt,
+            ..
+        } => format!("corruption-repair:{rung}:{action}:to={to_level}:attempt={attempt}"),
     }
 }
 

@@ -299,6 +299,35 @@ pub enum TraceEvent {
         /// Service clock of the sample.
         at_s: f64,
     },
+    /// Silent data corruption was detected before it reached the caller.
+    CorruptionDetected {
+        /// Rung whose state was found corrupt.
+        rung: &'static str,
+        /// What caught it ("checksum" for a transfer integrity check,
+        /// "scrub" for a per-level invariant pass, "validate" for the
+        /// end-of-run Graph 500 checker).
+        detector: &'static str,
+        /// Level the corruption was detected at.
+        level: u32,
+        /// Simulated clock at detection.
+        at_s: f64,
+    },
+    /// The recovery ladder answered a detected corruption with a repair.
+    CorruptionRepair {
+        /// Rung being repaired.
+        rung: &'static str,
+        /// Repair action: "rollback" (rewind to the last trusted
+        /// checkpoint), "restart" (no usable checkpoint — from scratch),
+        /// or "taint" (the latest checkpoint itself failed re-validation
+        /// and was discarded before restarting).
+        action: &'static str,
+        /// Level the repaired run resumes from (0 for a restart).
+        to_level: u32,
+        /// One-based repair attempt index for this rung.
+        attempt: u32,
+        /// Simulated clock when the repair was decided.
+        at_s: f64,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -464,6 +493,10 @@ pub struct TraceCounts {
     pub resumes: u64,
     /// `RungBegin` events seen.
     pub rungs: u64,
+    /// `CorruptionDetected` events seen.
+    pub corruption_detections: u64,
+    /// `CorruptionRepair` events seen.
+    pub corruption_repairs: u64,
     /// Sum of `edges_examined` over `Level` and `EngineLevel` events.
     pub edges_examined: u64,
 }
@@ -482,6 +515,8 @@ pub struct CountingSink {
     checkpoints: AtomicU64,
     resumes: AtomicU64,
     rungs: AtomicU64,
+    corruption_detections: AtomicU64,
+    corruption_repairs: AtomicU64,
     edges_examined: AtomicU64,
 }
 
@@ -503,6 +538,8 @@ impl CountingSink {
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             resumes: self.resumes.load(Ordering::Relaxed),
             rungs: self.rungs.load(Ordering::Relaxed),
+            corruption_detections: self.corruption_detections.load(Ordering::Relaxed),
+            corruption_repairs: self.corruption_repairs.load(Ordering::Relaxed),
             edges_examined: self.edges_examined.load(Ordering::Relaxed),
         }
     }
@@ -528,6 +565,8 @@ impl TraceSink for CountingSink {
             TraceEvent::Breaker { .. } => bump(&self.breaker_transitions),
             TraceEvent::Checkpoint { .. } => bump(&self.checkpoints),
             TraceEvent::Resume { .. } => bump(&self.resumes),
+            TraceEvent::CorruptionDetected { .. } => bump(&self.corruption_detections),
+            TraceEvent::CorruptionRepair { .. } => bump(&self.corruption_repairs),
             TraceEvent::KernelCost { .. } => {}
             TraceEvent::EngineLevel { edges_examined, .. } => {
                 bump(&self.levels);
@@ -622,6 +661,34 @@ mod tests {
         assert_eq!(c.faults, 1);
         assert_eq!(c.rungs, 1);
         assert_eq!(c.transfers, 0);
+    }
+
+    #[test]
+    fn counting_sink_tallies_corruption_events() {
+        let sink = CountingSink::new();
+        sink.record(&TraceEvent::CorruptionDetected {
+            rung: "cross",
+            detector: "scrub",
+            level: 3,
+            at_s: 1.0,
+        });
+        sink.record(&TraceEvent::CorruptionDetected {
+            rung: "cross",
+            detector: "checksum",
+            level: 4,
+            at_s: 2.0,
+        });
+        sink.record(&TraceEvent::CorruptionRepair {
+            rung: "cross",
+            action: "rollback",
+            to_level: 2,
+            attempt: 1,
+            at_s: 1.5,
+        });
+        let c = sink.counts();
+        assert_eq!(c.corruption_detections, 2);
+        assert_eq!(c.corruption_repairs, 1);
+        assert_eq!(c.faults, 0);
     }
 
     #[test]

@@ -25,7 +25,15 @@ pub enum ValidationError {
     /// `parents[v]` is not a neighbor of `v`.
     PhantomTreeEdge { v: VertexId },
     /// `levels[v] != levels[parents[v]] + 1`.
-    BadTreeLevel { v: VertexId },
+    BadTreeLevel {
+        /// The vertex whose tree edge spans the wrong number of levels.
+        v: VertexId,
+        /// `levels[v]` as claimed by the output.
+        level: u32,
+        /// `levels[parents[v]]` as claimed by the output
+        /// ([`UNREACHED`] if the parent has no level).
+        parent_level: u32,
+    },
     /// A graph edge spans two levels differing by more than one.
     LevelSkip { u: VertexId, v: VertexId },
     /// A graph edge connects a visited and an unvisited vertex.
@@ -43,8 +51,15 @@ impl std::fmt::Display for ValidationError {
             ValidationError::PhantomTreeEdge { v } => {
                 write!(f, "vertex {v}: parent is not a neighbor")
             }
-            ValidationError::BadTreeLevel { v } => {
-                write!(f, "vertex {v}: level != parent level + 1")
+            ValidationError::BadTreeLevel {
+                v,
+                level,
+                parent_level,
+            } => {
+                write!(
+                    f,
+                    "vertex {v}: level {level} != parent level {parent_level} + 1"
+                )
             }
             ValidationError::LevelSkip { u, v } => {
                 write!(f, "edge ({u},{v}) spans more than one level")
@@ -92,11 +107,20 @@ pub fn validate(csr: &Csr, out: &BfsOutput) -> Result<(), ValidationError> {
             continue;
         }
         let p = out.parents[vi];
+        // A corrupted parent word can point outside the graph entirely;
+        // report it as a phantom edge instead of indexing out of bounds.
+        if p as usize >= n {
+            return Err(ValidationError::PhantomTreeEdge { v });
+        }
         if !csr.has_edge(p, v) {
             return Err(ValidationError::PhantomTreeEdge { v });
         }
         if out.levels[p as usize] == UNREACHED || out.levels[vi] != out.levels[p as usize] + 1 {
-            return Err(ValidationError::BadTreeLevel { v });
+            return Err(ValidationError::BadTreeLevel {
+                v,
+                level: out.levels[vi],
+                parent_level: out.levels[p as usize],
+            });
         }
     }
 
@@ -185,6 +209,19 @@ mod tests {
     }
 
     #[test]
+    fn rejects_out_of_range_parent_without_panicking() {
+        // A bit flip in the high bits of a parent word produces a vertex id
+        // far outside the graph; validation must reject it, not index OOB.
+        let g = gen::path(5);
+        let mut out = topdown::run(&g, 0).output;
+        out.parents[4] ^= 1 << 31;
+        assert_eq!(
+            validate(&g, &out),
+            Err(ValidationError::PhantomTreeEdge { v: 4 })
+        );
+    }
+
+    #[test]
     fn rejects_bad_tree_level() {
         let g = gen::path(5);
         let mut out = topdown::run(&g, 0).output;
@@ -196,7 +233,7 @@ mod tests {
         assert!(
             matches!(
                 err,
-                ValidationError::BadTreeLevel { v: 4 } | ValidationError::LevelSkip { .. }
+                ValidationError::BadTreeLevel { v: 4, .. } | ValidationError::LevelSkip { .. }
             ),
             "unexpected error {err:?}"
         );
@@ -236,5 +273,16 @@ mod tests {
     fn error_display_is_informative() {
         let e = ValidationError::Incomplete { u: 1, v: 2 };
         assert!(e.to_string().contains("(1,2)"));
+        // A corrupt tree edge names the vertex AND both claimed levels, so
+        // a corruption report pinpoints the flipped word without a rerun.
+        let e = ValidationError::BadTreeLevel {
+            v: 4,
+            level: 2,
+            parent_level: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("vertex 4"), "{msg}");
+        assert!(msg.contains("level 2"), "{msg}");
+        assert!(msg.contains("parent level 3"), "{msg}");
     }
 }

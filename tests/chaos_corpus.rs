@@ -66,7 +66,7 @@ fn chaos_corpus_replays_without_panics_or_corruption() {
 
     let files = corpus_files();
     assert!(
-        files.len() >= 12,
+        files.len() >= 14,
         "the committed corpus shrank to {} plans",
         files.len()
     );

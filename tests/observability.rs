@@ -110,6 +110,9 @@ proptest! {
                 | TraceEvent::QueueDepth { .. } => {
                     prop_assert!(false, "single sessions never emit service events");
                 }
+                TraceEvent::CorruptionDetected { .. } | TraceEvent::CorruptionRepair { .. } => {
+                    prop_assert!(false, "bit flips only come from scheduled faults");
+                }
             }
         }
         prop_assert!(open_rung.is_none(), "a rung was left open");
@@ -171,6 +174,14 @@ proptest! {
         prop_assert_eq!(c.checkpoints, count_of(&|e| matches!(e, TraceEvent::Checkpoint { .. })));
         prop_assert_eq!(c.resumes, count_of(&|e| matches!(e, TraceEvent::Resume { .. })));
         prop_assert_eq!(c.rungs, count_of(&|e| matches!(e, TraceEvent::RungBegin { .. })));
+        prop_assert_eq!(
+            c.corruption_detections,
+            count_of(&|e| matches!(e, TraceEvent::CorruptionDetected { .. }))
+        );
+        prop_assert_eq!(
+            c.corruption_repairs,
+            count_of(&|e| matches!(e, TraceEvent::CorruptionRepair { .. }))
+        );
         let edges: u64 = events
             .iter()
             .filter_map(|e| match e {
@@ -327,6 +338,50 @@ fn chrome_trace_golden_file_is_stable() {
     // The golden bytes are themselves a valid trace document.
     let doc: serde_json::Value = serde_json::from_str(&golden).expect("golden parses");
     assert!(doc["traceEvents"].as_array().is_some());
+}
+
+#[test]
+fn exporters_render_corruption_events() {
+    let events = vec![
+        TraceEvent::CorruptionDetected {
+            rung: "cross",
+            detector: "checksum",
+            level: 2,
+            at_s: 0.0020,
+        },
+        TraceEvent::CorruptionDetected {
+            rung: "cpu-only",
+            detector: "scrub",
+            level: 4,
+            at_s: 0.0031,
+        },
+        TraceEvent::CorruptionRepair {
+            rung: "cpu-only",
+            action: "rollback",
+            to_level: 2,
+            attempt: 1,
+            at_s: 0.0032,
+        },
+    ];
+    let text = prometheus_text(&events);
+    for metric in [
+        "xbfs_corruption_detected_total{detector=\"checksum\",rung=\"cross\"} 1",
+        "xbfs_corruption_detected_total{detector=\"scrub\",rung=\"cpu-only\"} 1",
+        "xbfs_corruption_repairs_total{action=\"rollback\",rung=\"cpu-only\"} 1",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
+    let trace = chrome_trace_json(&events);
+    let doc: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+    let names: Vec<&str> = doc["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e["name"].as_str())
+        .collect();
+    assert!(names.contains(&"corruption:checksum"), "{names:?}");
+    assert!(names.contains(&"corruption:scrub"), "{names:?}");
+    assert!(names.contains(&"repair:rollback"), "{names:?}");
 }
 
 #[test]

@@ -25,7 +25,7 @@ use xbfs::core::{
     prometheus_text, service_chrome_trace_json, CrossParams, Disposition, DrainMode, QueryRequest,
     QueryService, RunSession, ScheduleItem, ServiceConfig, ServiceReport,
 };
-use xbfs::engine::{validate, FixedMN, XbfsError};
+use xbfs::engine::{validate, FixedMN, ScrubPolicy, XbfsError};
 use xbfs::graph::Csr;
 
 /// Wall-clock bound on one service schedule. Simulated time is
@@ -105,11 +105,20 @@ fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T
 /// A solo (service-free) run of the same request under the same
 /// resilience config — the isolation baseline.
 fn solo(g: &Csr, source: u32, plan: &FaultPlan) -> xbfs::core::RecoveredRun {
+    solo_with(g, source, plan, resilience())
+}
+
+fn solo_with(
+    g: &Csr,
+    source: u32,
+    plan: &FaultPlan,
+    config: ResilienceConfig,
+) -> xbfs::core::RecoveredRun {
     let (cpu, gpu, link, params) = platform();
     RunSession::on_platform(g, &cpu, &gpu, &link, &params)
         .source(source)
         .fault_plan(plan)
-        .resilience(resilience())
+        .resilience(config)
         .run()
         .expect("no-deadline solo run always serves")
 }
@@ -164,7 +173,7 @@ fn chaos_corpus_replays_concurrently_through_the_service() {
     let g = Arc::new(xbfs::graph::rmat::rmat_csr(10, 16));
     let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
     let plans = chaos_plans();
-    assert!(plans.len() >= 12, "corpus shrank to {}", plans.len());
+    assert!(plans.len() >= 14, "corpus shrank to {}", plans.len());
 
     let schedule: Vec<ScheduleItem> = plans
         .iter()
@@ -306,6 +315,96 @@ fn faulty_queries_degrade_alone_while_neighbors_match_their_solo_runs() {
         "gpu loss missing from the shared ledger: {:?}",
         report.lost_devices
     );
+}
+
+/// Corruption isolation, k=4: two queries carry bit-flip plans while two
+/// healthy neighbors run in flight. The flipped queries are detected,
+/// repaired in-rung, and served validated; the neighbors are bit-identical
+/// to their solo runs with zero corruption on the books.
+#[test]
+fn bit_flipped_queries_repair_alone_while_neighbors_match_their_solo_runs() {
+    let g = Arc::new(xbfs::graph::rmat::rmat_csr(10, 16));
+    let healthy_src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
+    let other_src = xbfs::core::training::pick_source(&g, 7).expect("non-empty graph");
+    let plans = chaos_plans();
+    let frontier_flip = plans
+        .iter()
+        .find(|(name, _)| name.starts_with("13-"))
+        .expect("bit-flip plan committed")
+        .1
+        .clone();
+    let storm = plans
+        .iter()
+        .find(|(name, _)| name.starts_with("14-"))
+        .expect("bit-flip storm committed")
+        .1
+        .clone();
+    let scrubbed = ResilienceConfig {
+        checkpoint: CheckpointPolicy::every(2),
+        scrub: ScrubPolicy::every_level(),
+        checksum_transfers: true,
+        ..ResilienceConfig::default_runtime()
+    };
+
+    let mut flipped = QueryRequest::new(0, healthy_src, 0.0);
+    flipped.fault_plan = Some(frontier_flip.clone());
+    let mut stormy = QueryRequest::new(1, other_src, 0.0);
+    stormy.fault_plan = Some(storm.clone());
+    let schedule = vec![
+        ScheduleItem::Query(flipped),
+        ScheduleItem::Query(stormy),
+        ScheduleItem::Query(QueryRequest::new(2, healthy_src, 0.0)),
+        ScheduleItem::Query(QueryRequest::new(3, other_src, 0.0)),
+    ];
+    let config = ServiceConfig {
+        capacity: 4,
+        queue_limit: 4,
+        resilience: scrubbed.clone(),
+        ..ServiceConfig::default()
+    };
+
+    let svc = service(g.clone(), config);
+    let report = with_watchdog(move || svc.run_schedule(&schedule).expect("schedule runs"));
+    assert_all_terminal(&g, &report);
+
+    // Both corrupted queries were caught mid-run and still served a
+    // validated tree — matching their solo replays byte for byte.
+    for (id, src, plan) in [
+        (0u64, healthy_src, &frontier_flip),
+        (1u64, other_src, &storm),
+    ] {
+        let o = report.outcome(id).unwrap();
+        let run = o
+            .run
+            .as_ref()
+            .unwrap_or_else(|| panic!("query {id} must serve, got {:?}", o.disposition));
+        assert_eq!(validate(&g, &run.output), Ok(()));
+        assert!(
+            run.report.corruption_detected >= 1,
+            "query {id}: the flip went unnoticed: {:?}",
+            run.report
+        );
+        let baseline = solo_with(&g, src, plan, scrubbed.clone());
+        assert_eq!(run.output, baseline.output, "query {id}: output diverged");
+        assert_eq!(run.report, baseline.report, "query {id}: report diverged");
+    }
+
+    // The healthy neighbors never saw a flip: zero corruption counters and
+    // solo-identical results.
+    for (id, src) in [(2u64, healthy_src), (3u64, other_src)] {
+        let o = report.outcome(id).unwrap();
+        assert_eq!(
+            o.disposition,
+            Disposition::Served { degraded: false },
+            "healthy query {id} must serve on the top rung"
+        );
+        let run = o.run.as_ref().unwrap();
+        assert_eq!(run.report.corruption_detected, 0, "query {id}");
+        assert_eq!(run.report.corruption_repairs, 0, "query {id}");
+        let baseline = solo_with(&g, src, &FaultPlan::none(), scrubbed.clone());
+        assert_eq!(run.output, baseline.output, "query {id}: output diverged");
+        assert_eq!(run.report, baseline.report, "query {id}: report diverged");
+    }
 }
 
 /// A permanent loss discovered by an early query makes later queries skip
