@@ -30,8 +30,8 @@ use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
 use xbfs_bench::perf;
 use xbfs_core::{
     chrome_trace_json, prometheus_text, service_chrome_trace_json, training::pick_source,
-    AdaptiveRuntime, CheckpointPolicy, DrainMode, LevelCheckpoint, QueryRequest, QueryService,
-    ResilienceConfig, RetryPolicy, ScheduleItem, ServiceConfig,
+    AdaptiveRuntime, BatchCompat, BatchPolicy, CheckpointPolicy, DrainMode, LevelCheckpoint,
+    QueryRequest, QueryService, ResilienceConfig, RetryPolicy, ScheduleItem, ServiceConfig,
 };
 use xbfs_engine::{
     hybrid, par, scrub, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
@@ -40,12 +40,14 @@ use xbfs_engine::{
 use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--text` /
-/// `--quiet` / `--threads-scaling` / `--scrub` / `--checksum`.
+/// `--quiet` / `--threads-scaling` / `--batched` / `--scrub` /
+/// `--checksum`.
 struct Args {
     pairs: Vec<(String, String)>,
     text: bool,
     quiet: bool,
     threads_scaling: bool,
+    batched: bool,
     scrub: bool,
     checksum: bool,
 }
@@ -56,6 +58,7 @@ impl Args {
         let mut text = false;
         let mut quiet = false;
         let mut threads_scaling = false;
+        let mut batched = false;
         let mut scrub = false;
         let mut checksum = false;
         while let Some(arg) = argv.next() {
@@ -69,6 +72,10 @@ impl Args {
             }
             if arg == "--threads-scaling" {
                 threads_scaling = true;
+                continue;
+            }
+            if arg == "--batched" {
+                batched = true;
                 continue;
             }
             if arg == "--scrub" {
@@ -92,6 +99,7 @@ impl Args {
             text,
             quiet,
             threads_scaling,
+            batched,
             scrub,
             checksum,
         })
@@ -292,9 +300,87 @@ fn fingerprint(out: &xbfs_engine::BfsOutput) -> u64 {
     h
 }
 
+/// Parse `--sources a,b,c` into validated vertex ids.
+fn parse_sources(list: &str, g: &Csr) -> Result<Vec<u32>, String> {
+    let mut sources = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        let s: u32 = part
+            .parse()
+            .map_err(|_| format!("--sources: cannot parse '{part}'"))?;
+        if s >= g.num_vertices() {
+            return Err(format!("--sources: vertex {s} out of range"));
+        }
+        sources.push(s);
+    }
+    if sources.is_empty() {
+        return Err("--sources needs at least one vertex".to_string());
+    }
+    Ok(sources)
+}
+
+/// `bfs --sources a,b,c`: one lane-packed multi-source batch through the
+/// parallel engine, with a per-source summary and output fingerprint.
+fn cmd_bfs_multi(args: &Args, ui: &Ui, g: &Csr, sources: &[u32]) -> Result<(), String> {
+    if args.scrub {
+        return Err("--scrub drives the single-source stepping engine; drop --sources".into());
+    }
+    let threads: usize = args.parse_num("threads")?.unwrap_or(1);
+    if threads == 0 {
+        return Err(XbfsError::InvalidArgument {
+            what: "--threads must be at least 1, got 0".to_string(),
+        }
+        .to_string());
+    }
+    let policy_name = args.get("policy").unwrap_or("hybrid");
+    let mut policy: Box<dyn SwitchPolicy> = match policy_name {
+        "td" => Box::new(AlwaysTopDown),
+        "bu" => Box::new(AlwaysBottomUp),
+        "hybrid" => Box::new(FixedMN::new(14.0, 24.0)),
+        "model" => Box::new(CostModelPolicy::new(ArchSpec::cpu_sandy_bridge())),
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+    let tracing = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
+    let sink = ShardedSink::new();
+    let start = std::time::Instant::now();
+    let lanes = if tracing {
+        par::run_multi_traced(g, sources, policy.as_mut(), threads, &sink)
+    } else {
+        par::run_multi(g, sources, policy.as_mut(), threads)
+    }
+    .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    ui.say(format!(
+        "batched BFS over {} lane(s) ({policy_name}, {threads} thread(s)): {:.3} ms",
+        lanes.len(),
+        secs * 1e3,
+    ));
+    for (lane, t) in lanes.iter().enumerate() {
+        validate(g, &t.output).map_err(|e| format!("lane {lane} validation failed: {e}"))?;
+        ui.say(format!(
+            "  lane {lane} source {}: {} vertices in {} levels, {} edges examined, \
+             checksum {:#018x}",
+            t.output.source,
+            t.output.visited_count(),
+            t.depth(),
+            t.total_edges_examined(),
+            fingerprint(&t.output),
+        ));
+    }
+    export_trace(args, ui, &sink.events())?;
+    Ok(())
+}
+
 fn cmd_bfs(args: &Args) -> Result<(), String> {
     let ui = Ui::new(args);
     let g = load_graph(args)?;
+    if let Some(list) = args.get("sources") {
+        if args.get("source").is_some() {
+            return Err("--source and --sources are mutually exclusive".into());
+        }
+        let sources = parse_sources(list, &g)?;
+        return cmd_bfs_multi(args, &ui, &g, &sources);
+    }
     let src = source_for(args, &g)?;
     let threads: usize = args.parse_num("threads")?.unwrap_or(1);
     if threads == 0 {
@@ -641,7 +727,7 @@ fn serve_schedule(args: &Args, g: &Csr) -> Result<Vec<ScheduleItem>, String> {
             let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
             arrival_s += (0.5 + u) / rate;
             let source = (splitmix64(&mut rng) % u64::from(g.num_vertices())) as u32;
-            let mut req = QueryRequest::new(i, source, arrival_s);
+            let mut req = QueryRequest::builder(i, source).arrival(arrival_s).build();
             req.deadline_s = request_deadline;
             if !chaos.is_empty() && i % chaos_every == 0 {
                 let idx = ((i / chaos_every) % chaos.len() as u64) as usize;
@@ -668,6 +754,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown --drain-mode '{other}'")),
     };
     let keep_query_traces = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
+    let batching = BatchPolicy {
+        window: args.parse_num("batch-window")?.unwrap_or(0),
+        max_lanes: args.parse_num("batch-lanes")?.unwrap_or(64),
+        compat: BatchCompat::default(),
+    };
     let config = ServiceConfig {
         capacity: args.parse_num("capacity")?.unwrap_or(2),
         queue_limit: args.parse_num("queue-depth")?.unwrap_or(8),
@@ -675,6 +766,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         drain,
         keep_query_traces,
         spill_dir: args.get("spill-dir").map(str::to_string),
+        batching,
     };
     if let Some(dir) = &config.spill_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
@@ -682,9 +774,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     ui.say("training switch-point predictor (quick configuration)…");
     let rt = AdaptiveRuntime::quick_trained();
+    let batching_on = config.batching.enabled();
+    let batch_note = if batching_on {
+        format!(
+            ", batching window {} x {} lane(s)",
+            config.batching.window, config.batching.max_lanes
+        )
+    } else {
+        String::new()
+    };
     let service = QueryService::from_runtime(&rt, g, &stats, config);
     ui.say(format!(
-        "serving {} schedule item(s) (capacity {}, queue depth {})…",
+        "serving {} schedule item(s) (capacity {}, queue depth {}{batch_note})…",
         schedule.len(),
         args.parse_num::<u32>("capacity")?.unwrap_or(2),
         args.parse_num::<u32>("queue-depth")?.unwrap_or(8),
@@ -863,6 +964,34 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         ));
     }
 
+    if args.batched {
+        // Simulated-clock batch amortization sweep: deterministic, but
+        // its case set is not in the committed baseline, so it lives in
+        // its own artifact that the --compare gate below never reads.
+        ui.say(format!(
+            "running batched multi-source sweep ({:?} lanes vs solo sessions)…",
+            perf::BATCHED_LANES
+        ));
+        let batched = perf::run_batched(&preset);
+        for case in &batched.cases {
+            ui.say(format!(
+                "  {} lane(s): {:8.3} ms batched vs {:8.3} ms solo ({:.2}x), {} rounds",
+                case.lanes,
+                case.batch_seconds * 1e3,
+                case.solo_seconds * 1e3,
+                case.speedup,
+                case.rounds,
+            ));
+        }
+        let batched_path = bench_dir.join("BATCHED.json");
+        std::fs::write(&batched_path, batched.to_json())
+            .map_err(|e| format!("{}: {e}", batched_path.display()))?;
+        ui.say(format!(
+            "wrote {} (informational; excluded from the perf gate)",
+            batched_path.display()
+        ));
+    }
+
     if let Some(path) = args.get("compare") {
         let baseline = perf::BenchReport::load(std::path::Path::new(path))?;
         let tol = perf::PerfTolerance {
@@ -893,8 +1022,8 @@ usage: xbfs-cli <command> [flags]
 commands:
   gen        --scale S [--edgefactor E] [--seed X] --out FILE [--text]
   info       --graph FILE [--text]
-  bfs        --graph FILE [--source V] [--policy td|bu|hybrid|model] [--threads T]
-             [--scrub] [--checksum]
+  bfs        --graph FILE [--source V | --sources a,b,c] [--policy td|bu|hybrid|model]
+             [--threads T] [--scrub] [--checksum]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   stcon      --graph FILE --from A --to B [--text]
   components --graph FILE [--text]
@@ -904,14 +1033,15 @@ commands:
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   serve      --graph FILE (--requests FILE|- | --arrivals N [--rate R] [--seed S]
              [--request-deadline SECS] [--chaos-dir DIR] [--chaos-every K])
-             [--capacity C] [--queue-depth Q] [--deadline SECS] [--retries N]
+             [--capacity C] [--queue-depth Q] [--batch-window W] [--batch-lanes L]
+             [--deadline SECS] [--retries N]
              [--checkpoint-interval L] [--spill-dir DIR] [--scrub] [--checksum]
              [--drain-at SECS] [--drain-mode complete|cancel]
              [--report-json R.json] [--trace-out T.json] [--metrics-out M.prom]
              [--quiet] [--text]
   bench      [--preset scaled|paper] [--compare BASELINE.json] [--tolerance REL]
              [--bench-dir DIR] [--baseline FILE] [--fault-plan OVERLAY.json]
-             [--report-json R.json] [--threads-scaling] [--quiet]
+             [--report-json R.json] [--threads-scaling] [--batched] [--quiet]
 
 adaptive runs the cross-architecture combination under an optional fault
 plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
@@ -928,6 +1058,12 @@ level boundary, rolling the rung back to its last trusted checkpoint on a
 hit; bfs --scrub runs the same audit on the real engine, and bfs
 --checksum prints a stable output fingerprint to compare across runs.
 
+bfs --sources a,b,c runs up to 64 BFS traversals as one lane-packed batch
+through the parallel engine (one u64 word carries every lane's frontier
+bit) and prints a per-source summary plus a stable FNV-1a output checksum
+per lane — compare the checksums against solo runs to prove lane
+isolation.
+
 --trace-out records the run as chrome://tracing JSON (load the file at
 https://ui.perfetto.dev); --metrics-out writes Prometheus text-format
 counters keyed by device, rung, and direction. Both accept '-' for stdout;
@@ -942,6 +1078,11 @@ permanent device losses through service-wide circuit breakers. --deadline
 bounds each query's simulated clock; --request-deadline additionally
 counts queue wait against each synthetic request. --chaos-dir mixes the
 committed fault plans into every --chaos-every-th query (default 4).
+--batch-window W (default 0 = off) turns on the batching stage: whenever
+a slot frees, up to W compatible queued queries (fault-free; --batch-lanes
+caps the word, default 64) run as one lane-packed BatchSession occupying a
+single slot, with per-query deadlines still settled individually at the
+batch completion instant.
 --trace-out writes one chrome trace with the service track plus every
 query as its own process on the service clock; --metrics-out includes the
 xbfs_service_* admission counters.
@@ -957,7 +1098,11 @@ the hook for proving the gate trips. Set UPDATE_BASELINE=1 to rewrite
 for golden traces. --threads-scaling additionally measures the static vs
 work-stealing parallel schedulers at 1/2/4/8 threads on one skewed graph
 and writes the wall-clock results to SCALING.json in --bench-dir; those
-numbers are informational and never part of the deterministic gate.";
+numbers are informational and never part of the deterministic gate.
+--batched prices a 2/4/8-lane BatchSession against the same sources run
+solo and writes the simulated-clock amortization curve to BATCHED.json in
+--bench-dir — deterministic, but its case set is absent from the
+committed baseline, so it too stays out of the --compare gate.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

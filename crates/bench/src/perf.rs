@@ -21,7 +21,9 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use xbfs_archsim::FaultPlan;
-use xbfs_core::{decision_audit, AdaptiveRuntime, CheckpointPolicy, DecisionAudit, RunReport};
+use xbfs_core::{
+    decision_audit, AdaptiveRuntime, BatchSession, CheckpointPolicy, DecisionAudit, RunReport,
+};
 use xbfs_engine::metrics::{harmonic_mean_teps, Teps};
 use xbfs_engine::trace::analysis::critical_path;
 use xbfs_engine::{hybrid, par, reference, FixedMN, MemorySink};
@@ -368,6 +370,140 @@ pub fn run_threaded_scaling_at(preset: &Preset, paper_scale: u32) -> ScalingRepo
     }
 }
 
+/// Lane counts the batched sweep prices — powers of two up to an
+/// eighth-full u64 word keep the sweep quick while still showing the
+/// amortization curve.
+pub const BATCHED_LANES: [usize; 3] = [2, 4, 8];
+
+/// The paper SCALE the batched sweep runs at (mapped through the preset).
+pub const BATCHED_PAPER_SCALE: u32 = 21;
+
+/// One lane-count measurement of the batched sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchedCase {
+    /// Lanes packed into the batch.
+    pub lanes: usize,
+    /// Simulated seconds for the whole batch (the shared lockstep clock).
+    pub batch_seconds: f64,
+    /// Simulated seconds for the same sources run back to back through
+    /// solo [`xbfs_core::RunSession`]s.
+    pub solo_seconds: f64,
+    /// `solo_seconds / batch_seconds` — the amortization factor.
+    pub speedup: f64,
+    /// Lockstep rounds the batch took (the deepest lane's level count).
+    pub rounds: u32,
+    /// Edges examined, summed across lanes.
+    pub edges_examined: u64,
+}
+
+/// The batched multi-source sweep: [`BatchSession`] against solo sessions
+/// at every [`BATCHED_LANES`] count on one suite graph.
+///
+/// Every metric here lives on the simulated clock and is deterministic,
+/// but the case set is not in the committed baseline and [`compare`]
+/// rejects cases absent from it — so the sweep is recorded as its own
+/// informational artifact (`BATCHED.json`, following the `SCALING.json`
+/// precedent) rather than folded into `BENCH_<n>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchedReport {
+    /// Preset the sweep ran under.
+    pub preset: String,
+    /// Generated graph SCALE (after the preset's shift).
+    pub scale: u32,
+    /// Generated graph edgefactor.
+    pub edgefactor: u32,
+    /// BFS sources in lane order; the `k`-lane case batches the first `k`.
+    pub sources: Vec<u32>,
+    /// Every measurement, in [`BATCHED_LANES`] order.
+    pub cases: Vec<BatchedCase>,
+}
+
+impl BatchedReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("batched report serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("batched report parse error: {e:?}"))
+    }
+}
+
+/// Run the batched sweep under `preset` at the default
+/// [`BATCHED_PAPER_SCALE`].
+///
+/// # Panics
+/// Panics if any batch lane's parent array disagrees with its solo run —
+/// lane/solo identity is a hard `BatchSession` invariant, not a tunable.
+pub fn run_batched(preset: &Preset) -> BatchedReport {
+    run_batched_at(preset, BATCHED_PAPER_SCALE)
+}
+
+/// [`run_batched`] at an explicit paper SCALE (tests use a smaller
+/// instance).
+pub fn run_batched_at(preset: &Preset, paper_scale: u32) -> BatchedReport {
+    let rt = suite_runtime(preset);
+    let scale = preset.scale(paper_scale);
+    let ef = SUITE_EDGEFACTOR;
+    let g = crate::experiments::graph(scale, ef);
+    let stats = crate::experiments::stats(&g);
+    let base = crate::experiments::source(&g, scale, ef);
+    let n = g.num_vertices();
+    let max_lanes = *BATCHED_LANES.iter().max().expect("lane table is non-empty");
+    // Spread sources across the vertex range so the lanes see different
+    // frontier shapes instead of one traversal eight times over.
+    let sources: Vec<u32> = (0..max_lanes)
+        .map(|i| (base + i as u32 * 127) % n)
+        .collect();
+
+    // Price every source solo once; the k-lane case sums the first k.
+    let solos: Vec<_> = sources
+        .iter()
+        .map(|&s| {
+            rt.session(&g, &stats)
+                .source(s)
+                .run()
+                .expect("fault-free solo serves")
+        })
+        .collect();
+
+    let mut cases = Vec::new();
+    for &lanes in &BATCHED_LANES {
+        let batch = BatchSession::new(&rt, &g, &stats)
+            .sources(&sources[..lanes])
+            .run()
+            .expect("fault-free batch serves");
+        for (lane, solo) in batch.lanes.iter().zip(&solos) {
+            assert_eq!(
+                lane.run.output.parents, solo.output.parents,
+                "lane {} diverged from its solo run",
+                lane.lane
+            );
+        }
+        let solo_seconds: f64 = solos[..lanes].iter().map(|s| s.report.total_seconds).sum();
+        cases.push(BatchedCase {
+            lanes,
+            batch_seconds: batch.total_seconds,
+            solo_seconds,
+            speedup: solo_seconds / batch.total_seconds,
+            rounds: batch.rounds,
+            edges_examined: batch
+                .lanes
+                .iter()
+                .map(|l| l.run.report.edges_examined)
+                .sum(),
+        });
+    }
+    BatchedReport {
+        preset: preset.name.to_string(),
+        scale,
+        edgefactor: ef,
+        sources,
+        cases,
+    }
+}
+
 fn pct(v: f64, base: f64) -> f64 {
     if base != 0.0 {
         (v - base) / base * 100.0
@@ -703,6 +839,33 @@ mod tests {
             }
         }
         let parsed = ScalingReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn batched_sweep_amortizes_every_lane_count_and_round_trips() {
+        // A small paper scale keeps this fast; the sweep itself asserts
+        // lane/solo parent identity internally.
+        let report = run_batched_at(&Preset::scaled(), 13);
+        let lanes: Vec<usize> = report.cases.iter().map(|c| c.lanes).collect();
+        assert_eq!(lanes, BATCHED_LANES.to_vec());
+        assert_eq!(report.sources.len(), *BATCHED_LANES.iter().max().unwrap());
+        for case in &report.cases {
+            assert!(case.batch_seconds > 0.0);
+            assert!(case.rounds > 0);
+            assert!(case.edges_examined > 0);
+            // Lanes share every round's sweeps, so a multi-lane batch is
+            // strictly cheaper than its solo runs back to back.
+            assert!(
+                case.batch_seconds < case.solo_seconds,
+                "{} lanes: batch {} s did not beat {} s solo",
+                case.lanes,
+                case.batch_seconds,
+                case.solo_seconds
+            );
+            assert!(case.speedup > 1.0);
+        }
+        let parsed = BatchedReport::from_json(&report.to_json()).expect("parse back");
         assert_eq!(parsed, report);
     }
 

@@ -63,7 +63,7 @@ pub use recovery::{resume_cross_resilient, run_cross_resilient, run_cross_resili
 pub use recovery::{RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung};
 pub use runtime::AdaptiveRuntime;
 pub use service::{
-    Disposition, DrainMode, QueryOutcome, QueryRequest, QueryService, QueryTrace, ScheduleItem,
-    ServiceConfig, ServiceReport,
+    BatchCompat, BatchPolicy, Disposition, DrainMode, QueryOutcome, QueryRequest,
+    QueryRequestBuilder, QueryService, QueryTrace, ScheduleItem, ServiceConfig, ServiceReport,
 };
-pub use session::RunSession;
+pub use session::{BatchRun, BatchSession, LaneRun, RunSession};

@@ -546,6 +546,97 @@ fn render_events(
                     }),
                 );
             }
+            TraceEvent::BatchBegin {
+                lanes,
+                window,
+                at_s,
+            } => {
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("batch:{lanes}-lanes"),
+                        "cat": "batch",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {"lanes": *lanes, "window": *window}
+                    }),
+                );
+            }
+            TraceEvent::BatchLane {
+                lane,
+                query,
+                source,
+                at_s,
+            } => {
+                svc.seen = true;
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("lane:{lane}"),
+                        "cat": "batch",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": SERVICE_TID,
+                        "s": "t",
+                        "args": {"lane": *lane, "query": *query, "source": *source}
+                    }),
+                );
+            }
+            TraceEvent::BatchLevel {
+                device,
+                level,
+                direction,
+                lanes,
+                frontier_vertices,
+                edges_examined,
+                seconds,
+                at_s,
+            } => {
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("batch round {level} {}", dir_label(*direction)),
+                        "cat": "batch",
+                        "ph": "X",
+                        "ts": micros(offset_s + *at_s),
+                        "dur": micros(*seconds),
+                        "pid": pid,
+                        "tid": device_tid(device),
+                        "args": {
+                            "lanes": *lanes,
+                            "frontier_vertices": *frontier_vertices,
+                            "edges_examined": *edges_examined
+                        }
+                    }),
+                );
+            }
+            TraceEvent::BatchEnd {
+                lanes,
+                levels,
+                at_s,
+            } => {
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": "batch-end",
+                        "cat": "batch",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": 0,
+                        "s": "t",
+                        "args": {"lanes": *lanes, "levels": *levels}
+                    }),
+                );
+            }
         }
     }
     seq0 + events.len()
@@ -784,6 +875,11 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     let mut queue_depth_peak: Option<u32> = None;
     let mut corruption_detected = Counter::default();
     let mut corruption_repairs = Counter::default();
+    let mut batch_dispatches = Counter::default();
+    let mut batch_lanes = Counter::default();
+    let mut batch_lane_queries = Counter::default();
+    let mut batch_levels = Counter::default();
+    let mut batch_level_seconds = Counter::default();
 
     for ev in events {
         match ev {
@@ -882,6 +978,24 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
             TraceEvent::CorruptionRepair { rung, action, .. } => {
                 corruption_repairs.add(&[("action", action), ("rung", rung)], 1.0);
             }
+            TraceEvent::BatchBegin { lanes, .. } => {
+                batch_dispatches.add(&[], 1.0);
+                batch_lanes.add(&[], f64::from(*lanes));
+            }
+            TraceEvent::BatchLane { .. } => {
+                batch_lane_queries.add(&[], 1.0);
+            }
+            TraceEvent::BatchLevel {
+                device,
+                direction,
+                seconds,
+                ..
+            } => {
+                let key = [("device", *device), ("direction", dir_label(*direction))];
+                batch_levels.add(&key, 1.0);
+                batch_level_seconds.add(&key, *seconds);
+            }
+            TraceEvent::BatchEnd { .. } => {}
         }
     }
 
@@ -1025,6 +1139,36 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
         "xbfs_corruption_repairs_total",
         "Corruption repairs the recovery ladder performed, by action.",
         &corruption_repairs,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_batch_dispatches_total",
+        "Lane-packed batch traversals dispatched.",
+        &batch_dispatches,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_batch_lanes_total",
+        "Lanes (sources) carried across all batch dispatches.",
+        &batch_lanes,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_batch_lane_queries_total",
+        "Service queries that rode a batch lane.",
+        &batch_lane_queries,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_batch_levels_total",
+        "Lockstep batch rounds executed, by device and direction.",
+        &batch_levels,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_batch_level_seconds_total",
+        "Simulated seconds charged to lockstep batch rounds.",
+        &batch_level_seconds,
     );
     out
 }
@@ -1253,6 +1397,96 @@ mod tests {
         // A 3 ms level lands in the 0.01 bucket but not the 0.001 bucket.
         assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"0.001\"} 0"));
         assert!(text.contains("xbfs_level_seconds_bucket{device=\"gpu\",le=\"0.01\"} 1"));
+    }
+
+    fn batch_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::BatchBegin {
+                lanes: 3,
+                window: 8,
+                at_s: 0.0,
+            },
+            TraceEvent::BatchLane {
+                lane: 0,
+                query: 7,
+                source: 42,
+                at_s: 0.0,
+            },
+            TraceEvent::BatchLane {
+                lane: 1,
+                query: 9,
+                source: 43,
+                at_s: 0.0,
+            },
+            TraceEvent::BatchLevel {
+                device: "cpu",
+                level: 0,
+                direction: Direction::TopDown,
+                lanes: 3,
+                frontier_vertices: 3,
+                edges_examined: 48,
+                seconds: 0.002,
+                at_s: 0.0,
+            },
+            TraceEvent::BatchLevel {
+                device: "gpu",
+                level: 1,
+                direction: Direction::BottomUp,
+                lanes: 3,
+                frontier_vertices: 120,
+                edges_examined: 900,
+                seconds: 0.001,
+                at_s: 0.002,
+            },
+            TraceEvent::BatchEnd {
+                lanes: 3,
+                levels: 2,
+                at_s: 0.003,
+            },
+        ]
+    }
+
+    #[test]
+    fn prometheus_text_renders_batch_families() {
+        let text = prometheus_text(&batch_events());
+        assert!(text.contains("xbfs_batch_dispatches_total 1"));
+        assert!(text.contains("xbfs_batch_lanes_total 3"));
+        assert!(text.contains("xbfs_batch_lane_queries_total 2"));
+        assert!(text.contains("xbfs_batch_levels_total{device=\"cpu\",direction=\"td\"} 1"));
+        assert!(text.contains("xbfs_batch_levels_total{device=\"gpu\",direction=\"bu\"} 1"));
+        assert!(
+            text.contains("xbfs_batch_level_seconds_total{device=\"cpu\",direction=\"td\"} 0.002")
+        );
+        // No batch events → no batch families at all (scrape stability).
+        let plain = prometheus_text(&sample_events());
+        assert!(!plain.contains("xbfs_batch_"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_batch_rounds_and_lane_instants() {
+        let text = chrome_trace_json(&batch_events());
+        let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+        let evs = doc["traceEvents"].as_array().expect("traceEvents array");
+        let round = evs
+            .iter()
+            .find(|e| e["name"] == "batch round 1 bu")
+            .expect("batch round span");
+        assert_eq!(round["ph"], "X");
+        assert_eq!(round["tid"], 2); // gpu track
+        assert_eq!(round["dur"], 1000.0); // 0.001 s in µs
+        assert_eq!(round["args"]["lanes"], 3);
+        let lane = evs
+            .iter()
+            .find(|e| e["name"] == "lane:1")
+            .expect("lane instant");
+        assert_eq!(lane["args"]["query"], 9);
+        // Lane reconciliation rides the service track, which must now be
+        // named; batch-free traces keep omitting it (golden-trace pin).
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "M" && e["args"]["name"] == "service"));
+        let plain = chrome_trace_json(&sample_events());
+        assert!(!plain.contains("\"service\""));
     }
 
     /// Strict parser for the label block of one exposition sample line.

@@ -17,9 +17,10 @@ pub use crate::recovery::{
 };
 pub use crate::runtime::AdaptiveRuntime;
 pub use crate::service::{
-    Disposition, DrainMode, QueryRequest, QueryService, ScheduleItem, ServiceConfig, ServiceReport,
+    BatchCompat, BatchPolicy, Disposition, DrainMode, QueryRequest, QueryRequestBuilder,
+    QueryService, ScheduleItem, ServiceConfig, ServiceReport,
 };
-pub use crate::session::RunSession;
+pub use crate::session::{BatchRun, BatchSession, LaneRun, RunSession};
 pub use crate::training::TrainingConfig;
 pub use xbfs_archsim::{ArchSpec, FaultPlan, Link};
 pub use xbfs_engine::trace::{

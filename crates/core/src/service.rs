@@ -44,12 +44,12 @@ use crate::cross::CrossParams;
 use crate::health::{BreakerState, Device, TransitionCause};
 use crate::recovery::{RecoveredRun, ResilienceConfig, Rung};
 use crate::runtime::AdaptiveRuntime;
-use crate::session::RunSession;
+use crate::session::{BatchSession, RunSession};
 use serde::{Deserialize, Serialize};
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
 use xbfs_engine::par::payload_to_string;
 use xbfs_engine::trace::{MemorySink, TraceEvent};
-use xbfs_engine::XbfsError;
+use xbfs_engine::{XbfsError, MAX_LANES};
 use xbfs_graph::{Csr, GraphStats, VertexId};
 
 /// One query submitted to the service.
@@ -71,7 +71,30 @@ pub struct QueryRequest {
 }
 
 impl QueryRequest {
+    /// Start building a query for `source`: arrival 0, no deadline, no
+    /// faults until the builder says otherwise.
+    ///
+    /// ```
+    /// use xbfs_core::prelude::*;
+    /// let req = QueryRequest::builder(7, 3).arrival(0.25).deadline(2.0).build();
+    /// assert_eq!(req.deadline_s, Some(2.0));
+    /// ```
+    pub fn builder(id: u64, source: VertexId) -> QueryRequestBuilder {
+        QueryRequestBuilder {
+            req: QueryRequest {
+                id,
+                source,
+                arrival_s: 0.0,
+                deadline_s: None,
+                fault_plan: None,
+            },
+        }
+    }
+
     /// A fault-free query with no deadline.
+    #[deprecated(
+        note = "use `QueryRequest::builder(id, source).arrival(arrival_s).build()` instead"
+    )]
     pub fn new(id: u64, source: VertexId, arrival_s: f64) -> Self {
         Self {
             id,
@@ -85,6 +108,38 @@ impl QueryRequest {
     /// The effective fault plan (no faults when the request omitted one).
     pub fn plan(&self) -> FaultPlan {
         self.fault_plan.clone().unwrap_or_else(FaultPlan::none)
+    }
+}
+
+/// Builder for [`QueryRequest`] — every optional knob gets a named setter
+/// instead of post-construction field pokes.
+#[derive(Clone, Debug)]
+pub struct QueryRequestBuilder {
+    req: QueryRequest,
+}
+
+impl QueryRequestBuilder {
+    /// Simulated service clock at which the query arrives (default 0).
+    pub fn arrival(mut self, arrival_s: f64) -> Self {
+        self.req.arrival_s = arrival_s;
+        self
+    }
+
+    /// Per-query deadline in simulated seconds, measured from arrival.
+    pub fn deadline(mut self, deadline_s: f64) -> Self {
+        self.req.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Seeded fault plan for this query.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.req.fault_plan = Some(plan);
+        self
+    }
+
+    /// Finish the request.
+    pub fn build(self) -> QueryRequest {
+        self.req
     }
 }
 
@@ -153,6 +208,90 @@ pub enum DrainMode {
     Cancel,
 }
 
+/// Which queued queries may share a batch word. Batches always exclude
+/// queries with fault plans: lane-packed lockstep execution has no
+/// per-lane recovery ladder, so a faulty query would poison its word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BatchCompat {
+    /// Any fault-free query joins, deadline or not; per-lane deadlines
+    /// are re-checked against the batch completion instant.
+    #[default]
+    FaultFree,
+    /// Only fault-free queries *without* deadlines join — batching can
+    /// never convert a would-have-served query into a deadline miss.
+    FaultAndDeadlineFree,
+}
+
+impl BatchCompat {
+    /// Whether `req` may ride a batch under this rule.
+    pub fn admits(self, req: &QueryRequest) -> bool {
+        match self {
+            BatchCompat::FaultFree => req.fault_plan.is_none(),
+            BatchCompat::FaultAndDeadlineFree => {
+                req.fault_plan.is_none() && req.deadline_s.is_none()
+            }
+        }
+    }
+}
+
+/// The service's batching stage: when a slot frees, up to `window`
+/// compatible queries are popped from the queue front and served as one
+/// lane-packed [`BatchSession`] occupying a single slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchPolicy {
+    /// Most queries collected per dispatch; `0` or `1` disables batching
+    /// (every query runs solo, exactly the pre-batching service).
+    pub window: u32,
+    /// Hard lane bound per batch (≤ 64, the `u64` word width).
+    pub max_lanes: u32,
+    /// Which queued queries are allowed to share a word.
+    pub compat: BatchCompat,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            window: 0,
+            max_lanes: MAX_LANES as u32,
+            compat: BatchCompat::default(),
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy batching up to `window` queries with the default
+    /// compatibility rule.
+    pub fn windowed(window: u32) -> Self {
+        Self {
+            window,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this policy ever forms a multi-query batch.
+    pub fn enabled(&self) -> bool {
+        self.window > 1
+    }
+
+    /// The effective per-dispatch lane bound.
+    pub fn lane_limit(&self) -> usize {
+        self.window.min(self.max_lanes).min(MAX_LANES as u32) as usize
+    }
+
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        if self.window > 0 && !(1..=MAX_LANES as u32).contains(&self.max_lanes) {
+            return Err(XbfsError::InvalidArgument {
+                what: format!(
+                    "batch max_lanes must be in 1..={MAX_LANES}, got {}",
+                    self.max_lanes
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Service-level knobs: slots, queue bound, per-query resilience.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -175,6 +314,8 @@ pub struct ServiceConfig {
     /// is what makes in-flight queries externally resumable across a
     /// process death mid-drain.
     pub spill_dir: Option<String>,
+    /// The batching stage (off by default: `window` 0).
+    pub batching: BatchPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -186,18 +327,21 @@ impl Default for ServiceConfig {
             drain: DrainMode::Complete,
             keep_query_traces: false,
             spill_dir: None,
+            batching: BatchPolicy::default(),
         }
     }
 }
 
 impl ServiceConfig {
-    /// Validate the knobs (capacity ≥ 1, inner resilience config valid).
+    /// Validate the knobs (capacity ≥ 1, inner resilience and batching
+    /// configs valid).
     pub fn validate(&self) -> Result<(), XbfsError> {
         if self.capacity == 0 {
             return Err(XbfsError::InvalidArgument {
                 what: "service capacity must be at least 1".to_string(),
             });
         }
+        self.batching.validate()?;
         self.resilience.validate()
     }
 }
@@ -368,14 +512,44 @@ impl ServiceReport {
 /// What one query's worker thread hands back.
 type QueryDone = (Result<RecoveredRun, XbfsError>, Vec<TraceEvent>);
 
-/// A query admitted to a slot, executing on its own OS thread.
+/// What one slot's worker thread hands back: a solo query's result, or a
+/// whole batch's per-lane results plus the shared batch trace and clock.
+enum Done {
+    Solo(Box<QueryDone>),
+    Batch {
+        /// `(outcome slot, per-lane result)`, in lane order.
+        lanes: Vec<(usize, Result<RecoveredRun, XbfsError>)>,
+        events: Vec<TraceEvent>,
+        /// The batch's shared simulated duration.
+        total_seconds: f64,
+    },
+}
+
+impl Done {
+    /// Simulated seconds the slot was occupied.
+    fn duration(&self) -> f64 {
+        match self {
+            Done::Solo(done) => match &done.0 {
+                Ok(run) => run.report.total_seconds,
+                Err(XbfsError::DeadlineExceeded { elapsed_s, .. }) => *elapsed_s,
+                // Other terminal errors carry no clock; charge nothing
+                // (deterministic, documented).
+                Err(_) => 0.0,
+            },
+            Done::Batch { total_seconds, .. } => *total_seconds,
+        }
+    }
+}
+
+/// A query (or batch of queries) admitted to a slot, executing on its own
+/// OS thread.
 struct Running<'scope> {
-    /// Index into the outcomes vector.
+    /// Index into the outcomes vector (a batch's lead lane).
     slot: usize,
     start_s: f64,
-    handle: Option<std::thread::ScopedJoinHandle<'scope, QueryDone>>,
+    handle: Option<std::thread::ScopedJoinHandle<'scope, Done>>,
     /// `(completion_s, result)` once the thread has been joined.
-    finished: Option<(f64, QueryDone)>,
+    finished: Option<(f64, Done)>,
 }
 
 /// The long-running query service: one immutable graph, one platform,
@@ -491,21 +665,15 @@ impl QueryService {
                             Ok(done) => done,
                             // The belt inside the thread caught the unwind;
                             // this is the suspenders for a panic escaping it.
-                            Err(p) => (
+                            Err(p) => Done::Solo(Box::new((
                                 Err(XbfsError::KernelPanic {
                                     payload: payload_to_string(&*p),
                                     range: None,
                                 }),
                                 Vec::new(),
-                            ),
+                            ))),
                         };
-                        let duration = match &done.0 {
-                            Ok(run) => run.report.total_seconds,
-                            Err(XbfsError::DeadlineExceeded { elapsed_s, .. }) => *elapsed_s,
-                            // Other terminal errors carry no clock; charge
-                            // nothing (deterministic, documented).
-                            Err(_) => 0.0,
-                        };
+                        let duration = done.duration();
                         r.finished = Some((r.start_s + duration, done));
                     }
                 }
@@ -533,25 +701,103 @@ impl QueryService {
                 if take_completion {
                     let (idx, completion_s) = next_done.expect("completion picked");
                     let r = running.swap_remove(idx);
-                    let (_, (result, events)) = r.finished.expect("joined");
+                    let (_, done) = r.finished.expect("joined");
                     clock = clock.max(completion_s);
-                    self.complete(
-                        &mut report,
-                        r.slot,
-                        r.start_s,
-                        completion_s,
-                        result,
-                        events,
-                        &mut lost,
-                    );
+                    match done {
+                        Done::Solo(done) => {
+                            let (result, events) = *done;
+                            self.complete(
+                                &mut report,
+                                r.slot,
+                                r.start_s,
+                                completion_s,
+                                result,
+                                events,
+                                &mut lost,
+                            );
+                        }
+                        Done::Batch {
+                            lanes,
+                            events,
+                            total_seconds: _,
+                        } => {
+                            let mut batch_events = Some(events);
+                            for (slot, result) in lanes {
+                                // A lane that finished past its own
+                                // deadline missed it — the batch clock is
+                                // shared, the deadline check is not.
+                                let result = match (result, requests[slot].deadline_s) {
+                                    (Ok(run), Some(d)) => {
+                                        let elapsed_s = completion_s - requests[slot].arrival_s;
+                                        if elapsed_s > d {
+                                            Err(XbfsError::DeadlineExceeded {
+                                                budget_s: d,
+                                                elapsed_s,
+                                            })
+                                        } else {
+                                            Ok(run)
+                                        }
+                                    }
+                                    (result, _) => result,
+                                };
+                                // The shared batch trace rides the lead
+                                // lane; the per-lane `BatchLane` events in
+                                // the service stream reconcile the rest.
+                                let events = batch_events.take().unwrap_or_default();
+                                self.complete(
+                                    &mut report,
+                                    slot,
+                                    r.start_s,
+                                    completion_s,
+                                    result,
+                                    events,
+                                    &mut lost,
+                                );
+                            }
+                        }
+                    }
                     // The freed slot admits the longest-waiting queued
-                    // queries (several, if deadline sheds cascade).
+                    // queries (several, if deadline sheds cascade), batched
+                    // up to the window when the policy allows.
                     while running.len() < capacity {
                         let Some(slot) = queue.pop_front() else { break };
                         report.events.push(TraceEvent::QueueDepth {
                             depth: queue.len() as u32,
                             at_s: completion_s,
                         });
+                        if self.config.batching.enabled()
+                            && lost.is_empty()
+                            && self.config.batching.compat.admits(requests[slot])
+                        {
+                            let mut lanes = vec![slot];
+                            while lanes.len() < self.config.batching.lane_limit() {
+                                match queue.front() {
+                                    Some(&next)
+                                        if self.config.batching.compat.admits(requests[next]) =>
+                                    {
+                                        lanes.push(queue.pop_front().expect("peeked"));
+                                        report.events.push(TraceEvent::QueueDepth {
+                                            depth: queue.len() as u32,
+                                            at_s: completion_s,
+                                        });
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            if lanes.len() > 1 {
+                                if let Some(run) = self.try_start_batch(
+                                    &mut report,
+                                    scope,
+                                    &lanes,
+                                    &requests,
+                                    completion_s,
+                                    queue.len() as u32,
+                                ) {
+                                    running.push(run);
+                                }
+                                continue;
+                            }
+                        }
                         if let Some(run) = self.try_start(
                             &mut report,
                             scope,
@@ -765,10 +1011,144 @@ impl QueryService {
                     range: None,
                 })
             });
-            (result, sink.take())
+            Done::Solo(Box::new((result, sink.take())))
         });
         Some(Running {
             slot,
+            start_s: now_s,
+            handle: Some(handle),
+            finished: None,
+        })
+    }
+
+    /// Start `lanes` (outcome slots popped from the queue front) as one
+    /// lane-packed batch occupying a single capacity slot. Lanes whose
+    /// deadline already expired while queued are shed here, exactly as a
+    /// solo start would shed them; if fewer than two lanes survive, the
+    /// remainder runs solo through [`Self::try_start`].
+    fn try_start_batch<'scope, 'env>(
+        &'env self,
+        report: &mut ServiceReport,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        lanes: &[usize],
+        requests: &[&'env QueryRequest],
+        now_s: f64,
+        queue_depth: u32,
+    ) -> Option<Running<'scope>> {
+        let mut live: Vec<usize> = Vec::with_capacity(lanes.len());
+        for &slot in lanes {
+            let req = requests[slot];
+            let wait_s = (now_s - req.arrival_s).max(0.0);
+            if let Some(d) = req.deadline_s {
+                if d - wait_s <= 0.0 {
+                    self.shed(
+                        report,
+                        slot,
+                        "deadline",
+                        Disposition::DeadlineMissed,
+                        XbfsError::DeadlineExceeded {
+                            budget_s: d,
+                            elapsed_s: wait_s,
+                        },
+                        queue_depth,
+                        now_s,
+                    );
+                    continue;
+                }
+            }
+            live.push(slot);
+        }
+        match live.len() {
+            0 => return None,
+            1 => {
+                return self.try_start(
+                    report,
+                    scope,
+                    live[0],
+                    requests[live[0]],
+                    now_s,
+                    queue_depth,
+                    &[],
+                )
+            }
+            _ => {}
+        }
+
+        let window = self.config.batching.window;
+        let mut sources: Vec<VertexId> = Vec::with_capacity(live.len());
+        for (lane, &slot) in live.iter().enumerate() {
+            let req = requests[slot];
+            let wait_s = (now_s - req.arrival_s).max(0.0);
+            report.events.push(TraceEvent::QueryStart {
+                query: req.id,
+                wait_s,
+                at_s: now_s,
+            });
+            report.events.push(TraceEvent::BatchLane {
+                lane: lane as u32,
+                query: req.id,
+                source: req.source,
+                at_s: now_s,
+            });
+            let o = &mut report.outcomes[slot];
+            o.start_s = Some(now_s);
+            o.wait_s = wait_s;
+            sources.push(req.source);
+        }
+
+        // Per-lane deadlines are settled at completion against the shared
+        // batch clock; only the base resilience deadline bounds the batch.
+        let config = self.config.resilience.clone();
+        let keep_trace = self.config.keep_query_traces;
+        let handle = scope.spawn(move || {
+            let sink = MemorySink::new();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut session = BatchSession::on_platform(
+                    &self.csr,
+                    &self.cpu,
+                    &self.gpu,
+                    &self.link,
+                    &self.params,
+                )
+                .sources(&sources)
+                .window(window)
+                .resilience(config);
+                if keep_trace {
+                    session = session.sink(&sink);
+                }
+                session.run()
+            }))
+            .unwrap_or_else(|p| {
+                Err(XbfsError::KernelPanic {
+                    payload: payload_to_string(&*p),
+                    range: None,
+                })
+            });
+            match result {
+                Ok(batch) => Done::Batch {
+                    total_seconds: batch.total_seconds,
+                    lanes: live
+                        .iter()
+                        .zip(batch.lanes)
+                        .map(|(&slot, lane)| (slot, Ok(lane.run)))
+                        .collect(),
+                    events: sink.take(),
+                },
+                Err(e) => {
+                    let total_seconds = match &e {
+                        XbfsError::DeadlineExceeded { elapsed_s, .. } => *elapsed_s,
+                        _ => 0.0,
+                    };
+                    Done::Batch {
+                        total_seconds,
+                        lanes: live.iter().map(|&slot| (slot, Err(e.clone()))).collect(),
+                        events: sink.take(),
+                    }
+                }
+            }
+        });
+        Some(Running {
+            slot: lanes[0],
             start_s: now_s,
             handle: Some(handle),
             finished: None,
@@ -885,8 +1265,8 @@ mod tests {
     fn healthy_queries_serve_and_validate() {
         let (svc, src) = service(ServiceConfig::default());
         let schedule = vec![
-            ScheduleItem::Query(QueryRequest::new(0, src, 0.0)),
-            ScheduleItem::Query(QueryRequest::new(1, src, 0.0)),
+            ScheduleItem::Query(QueryRequest::builder(0, src).arrival(0.0).build()),
+            ScheduleItem::Query(QueryRequest::builder(1, src).arrival(0.0).build()),
         ];
         let report = svc.run_schedule(&schedule).expect("schedule");
         assert_eq!(report.admitted, 2);
@@ -906,7 +1286,7 @@ mod tests {
             ..ServiceConfig::default()
         });
         let schedule: Vec<ScheduleItem> = (0..3)
-            .map(|i| ScheduleItem::Query(QueryRequest::new(i, src, 0.0)))
+            .map(|i| ScheduleItem::Query(QueryRequest::builder(i, src).arrival(0.0).build()))
             .collect();
         let report = svc.run_schedule(&schedule).expect("schedule");
         assert_eq!(report.admitted, 2);
@@ -932,10 +1312,10 @@ mod tests {
         });
         // Query 1 waits behind query 0 (which takes ~ms of simulated
         // time); an absurdly tight deadline expires in the queue.
-        let mut tight = QueryRequest::new(1, src, 0.0);
+        let mut tight = QueryRequest::builder(1, src).arrival(0.0).build();
         tight.deadline_s = Some(1e-9);
         let schedule = vec![
-            ScheduleItem::Query(QueryRequest::new(0, src, 0.0)),
+            ScheduleItem::Query(QueryRequest::builder(0, src).arrival(0.0).build()),
             ScheduleItem::Query(tight),
         ];
         let report = svc.run_schedule(&schedule).expect("schedule");
@@ -953,9 +1333,9 @@ mod tests {
     fn drain_refuses_later_arrivals() {
         let (svc, src) = service(ServiceConfig::default());
         let schedule = vec![
-            ScheduleItem::Query(QueryRequest::new(0, src, 0.0)),
+            ScheduleItem::Query(QueryRequest::builder(0, src).arrival(0.0).build()),
             ScheduleItem::Drain { at_s: 0.5 },
-            ScheduleItem::Query(QueryRequest::new(1, src, 1.0)),
+            ScheduleItem::Query(QueryRequest::builder(1, src).arrival(1.0).build()),
         ];
         let report = svc.run_schedule(&schedule).expect("schedule");
         assert_eq!(report.served, 1);
@@ -974,7 +1354,13 @@ mod tests {
             ..ServiceConfig::default()
         });
         let schedule: Vec<ScheduleItem> = (0..6)
-            .map(|i| ScheduleItem::Query(QueryRequest::new(i, src, 1e-4 * i as f64)))
+            .map(|i| {
+                ScheduleItem::Query(
+                    QueryRequest::builder(i, src)
+                        .arrival(1e-4 * i as f64)
+                        .build(),
+                )
+            })
             .collect();
         let a = svc.run_schedule(&schedule).expect("first replay");
         let b = svc.run_schedule(&schedule).expect("second replay");
@@ -984,7 +1370,7 @@ mod tests {
 
     #[test]
     fn request_json_lines_round_trip() {
-        let mut req = QueryRequest::new(7, 3, 0.25);
+        let mut req = QueryRequest::builder(7, 3).arrival(0.25).build();
         req.deadline_s = Some(2.0);
         let item = ScheduleItem::Query(req);
         let line = item.to_json_line();
@@ -1015,7 +1401,185 @@ mod tests {
             capacity: 0,
             ..ServiceConfig::default()
         });
-        let schedule = vec![ScheduleItem::Query(QueryRequest::new(0, src, 0.0))];
+        let schedule = vec![ScheduleItem::Query(
+            QueryRequest::builder(0, src).arrival(0.0).build(),
+        )];
+        assert!(matches!(
+            svc.run_schedule(&schedule),
+            Err(XbfsError::InvalidArgument { .. })
+        ));
+    }
+
+    /// A same-instant burst: one query takes the single slot, the rest
+    /// queue behind it (or shed when the queue is full).
+    fn burst(src: u32, n: u64) -> Vec<ScheduleItem> {
+        (0..n)
+            .map(|i| ScheduleItem::Query(QueryRequest::builder(i, src).arrival(0.0).build()))
+            .collect()
+    }
+
+    #[test]
+    fn batched_burst_beats_unbatched_with_identical_shed_outcomes() {
+        let base = ServiceConfig {
+            capacity: 1,
+            queue_limit: 4,
+            ..ServiceConfig::default()
+        };
+        let batched_cfg = ServiceConfig {
+            batching: BatchPolicy::windowed(8),
+            ..base.clone()
+        };
+        // 8 arrivals, 1 slot, queue of 4: three shed overloaded either way.
+        let (svc, src) = service(base);
+        let schedule = burst(src, 8);
+        let plain = svc.run_schedule(&schedule).expect("unbatched");
+        let (svc, _) = service(batched_cfg);
+        let batched = svc.run_schedule(&schedule).expect("batched");
+
+        for (p, b) in plain.outcomes.iter().zip(&batched.outcomes) {
+            assert_eq!(p.id, b.id);
+            assert_eq!(
+                p.disposition, b.disposition,
+                "batching must not change query {}'s terminal state",
+                p.id
+            );
+        }
+        assert_eq!(plain.shed_overloaded, 3);
+        assert_eq!(batched.shed_overloaded, 3);
+        assert_eq!(batched.served, 5);
+        assert!(
+            batched.makespan_s < plain.makespan_s,
+            "batched burst {} s must beat unbatched {} s",
+            batched.makespan_s,
+            plain.makespan_s
+        );
+        for o in &batched.outcomes {
+            if let Some(run) = &o.run {
+                assert_eq!(validate(svc.csr(), &run.output), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lane_events_reconcile_queries() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 1,
+            queue_limit: 8,
+            keep_query_traces: true,
+            batching: BatchPolicy::windowed(4),
+            ..ServiceConfig::default()
+        });
+        let report = svc.run_schedule(&burst(src, 5)).expect("batched burst");
+        assert_eq!(report.served, 5);
+        // Queries 1..=4 queued behind query 0 and rode one batch: one
+        // BatchLane reconciliation event each in the service stream.
+        let lanes: Vec<(u32, u64)> = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BatchLane { lane, query, .. } => Some((*lane, *query)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lanes, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        // The shared batch trace rides the lead lane's query trace.
+        let lead = report
+            .query_traces
+            .iter()
+            .find(|t| t.query == 1)
+            .expect("lead lane trace");
+        assert!(lead
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::BatchBegin { lanes: 4, .. })));
+        assert!(lead
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::BatchEnd { .. })));
+    }
+
+    #[test]
+    fn batch_settles_each_lanes_deadline_separately() {
+        let base = ServiceConfig {
+            capacity: 1,
+            queue_limit: 8,
+            ..ServiceConfig::default()
+        };
+        // Measure one solo traversal to calibrate the tight deadline.
+        let (svc, src) = service(base.clone());
+        let solo = svc.run_schedule(&burst(src, 1)).expect("calibration");
+        let solo_s = solo.outcome(0).unwrap().completion_s.unwrap();
+
+        // Query 1's deadline survives the queue wait (~solo_s) but not the
+        // batch completion; query 2 has no deadline and is served.
+        let tight = QueryRequest::builder(1, src).deadline(solo_s * 1.2).build();
+        let schedule = vec![
+            ScheduleItem::Query(QueryRequest::builder(0, src).arrival(0.0).build()),
+            ScheduleItem::Query(tight),
+            ScheduleItem::Query(QueryRequest::builder(2, src).arrival(0.0).build()),
+        ];
+        let (svc, _) = service(ServiceConfig {
+            batching: BatchPolicy::windowed(4),
+            ..base
+        });
+        let report = svc.run_schedule(&schedule).expect("batched schedule");
+        let missed = report.outcome(1).expect("tight lane");
+        assert_eq!(missed.disposition, Disposition::DeadlineMissed);
+        assert!(missed.start_s.is_some(), "the lane ran inside the batch");
+        assert!(matches!(
+            missed.error,
+            Some(XbfsError::DeadlineExceeded { .. })
+        ));
+        let served = report.outcome(2).expect("free lane");
+        assert_eq!(served.disposition, Disposition::Served { degraded: false });
+        assert_eq!(report.deadline_missed, 1);
+    }
+
+    #[test]
+    fn faulty_queries_never_join_a_batch() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 1,
+            queue_limit: 8,
+            batching: BatchPolicy::windowed(4),
+            ..ServiceConfig::default()
+        });
+        let faulty = QueryRequest::builder(1, src)
+            .fault_plan(FaultPlan::none())
+            .build();
+        let schedule = vec![
+            ScheduleItem::Query(QueryRequest::builder(0, src).arrival(0.0).build()),
+            ScheduleItem::Query(faulty),
+            ScheduleItem::Query(QueryRequest::builder(2, src).arrival(0.0).build()),
+            ScheduleItem::Query(QueryRequest::builder(3, src).arrival(0.0).build()),
+        ];
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        assert_eq!(report.served, 4);
+        // The fault-carrying query at the queue front ran solo; only the
+        // two behind it shared a batch.
+        let lanes: Vec<u64> = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BatchLane { query, .. } => Some(*query),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lanes, vec![2, 3]);
+    }
+
+    #[test]
+    fn oversized_batch_lanes_is_a_typed_error() {
+        let (svc, src) = service(ServiceConfig {
+            batching: BatchPolicy {
+                window: 4,
+                max_lanes: 65,
+                compat: BatchCompat::FaultFree,
+            },
+            ..ServiceConfig::default()
+        });
+        let schedule = vec![ScheduleItem::Query(
+            QueryRequest::builder(0, src).arrival(0.0).build(),
+        )];
         assert!(matches!(
             svc.run_schedule(&schedule),
             Err(XbfsError::InvalidArgument { .. })

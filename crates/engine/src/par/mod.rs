@@ -26,9 +26,11 @@
 //! even the parents match the sequential engine exactly.
 
 mod bottomup;
+mod multi;
 mod pool;
 mod topdown;
 
+pub use multi::{run_multi, run_multi_traced, MAX_LANES};
 pub use pool::{parallel_ranges, payload_to_string, try_parallel_ranges, QueryPool};
 
 use crate::{

@@ -25,11 +25,12 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
-use super::{bottomup, topdown, ParState};
+use super::multi::MultiParState;
+use super::{bottomup, multi, topdown, ParState};
 use crate::error::XbfsError;
 use crate::policy::SwitchPolicy;
 use crate::stats::Traversal;
@@ -211,6 +212,32 @@ const BU_CHUNK: usize = 1024;
 /// bottom-up frontier bitmap (one relaxed `fetch_or` per item).
 const PUBLISH_CHUNK: usize = 4096;
 
+/// Per-lane accumulator of a multi-source level: one source's share of a
+/// worker's [`Partial`]. Field-for-field the same bookkeeping as the
+/// single-source quad, so the lane-packed kernels fold the *same* stats
+/// the switch heuristic reads — just 64 of them at a time.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LaneAccum {
+    /// Vertices discovered for this lane (claimed or adopted).
+    pub next: Vec<VertexId>,
+    /// Edges examined on behalf of this lane.
+    pub edges_examined: u64,
+    /// Σ degree over `next` — this lane's share of the next `|E|cq`.
+    pub next_edges: u64,
+    /// Max degree over `next` — this lane's next serial critical path.
+    pub next_max_degree: u64,
+}
+
+impl LaneAccum {
+    /// Merge this accumulator into the per-lane merged outcome.
+    pub(crate) fn merge_into(self, out: &mut LaneAccum) {
+        out.next.extend_from_slice(&self.next);
+        out.edges_examined += self.edges_examined;
+        out.next_edges += self.next_edges;
+        out.next_max_degree = out.next_max_degree.max(self.next_max_degree);
+    }
+}
+
 /// What one worker accumulated over the chunks it claimed in one level.
 #[derive(Debug, Default)]
 pub(crate) struct Partial {
@@ -223,6 +250,9 @@ pub(crate) struct Partial {
     pub next_edges: u64,
     /// Max degree over `next` — the next level's serial critical path.
     pub next_max_degree: u64,
+    /// Per-lane accumulators for lane-packed multi-source jobs; empty for
+    /// single-source jobs. Sized lazily by [`Partial::ensure_lanes`].
+    pub lanes: Vec<LaneAccum>,
 }
 
 impl Partial {
@@ -233,6 +263,26 @@ impl Partial {
         self.next.push(v);
         self.next_edges += degree;
         self.next_max_degree = self.next_max_degree.max(degree);
+    }
+
+    /// Size the per-lane accumulators for a multi-source job. Idempotent.
+    #[inline]
+    pub(crate) fn ensure_lanes(&mut self, lanes: usize) {
+        if self.lanes.len() < lanes {
+            self.lanes.resize_with(lanes, LaneAccum::default);
+        }
+    }
+
+    /// [`Partial::discover`] for one lane of a multi-source job: record a
+    /// vertex discovered on `lane`'s behalf and fold its degree into that
+    /// lane's Σdeg / max-deg — the same per-batch stats the switch
+    /// heuristic reads. Callers must have sized the lanes first.
+    #[inline]
+    pub(crate) fn discover_in(&mut self, lane: usize, v: VertexId, degree: u64) {
+        let acc = &mut self.lanes[lane];
+        acc.next.push(v);
+        acc.next_edges += degree;
+        acc.next_max_degree = acc.next_max_degree.max(degree);
     }
 
     pub(crate) fn merge_into(self, out: &mut StolenOutcome) {
@@ -281,6 +331,44 @@ pub(crate) enum LevelJob {
         /// Level the adopted vertices land on.
         next_level: u32,
     },
+    /// Publish up-to-64 per-lane frontiers into one lane-packed `u64`
+    /// bitmap (one word per vertex, one bit per lane).
+    MultiPublish {
+        /// Per-lane frontiers, concatenated by `offsets` into one item
+        /// space (empty lanes contribute nothing).
+        frontiers: Vec<Vec<VertexId>>,
+        /// Prefix sums over the frontier lengths (`lanes + 1` entries).
+        offsets: Vec<usize>,
+        /// The lane-packed words being filled (relaxed `fetch_or`
+        /// publication; read only after the dispatch barrier).
+        words: Arc<Vec<AtomicU64>>,
+    },
+    /// Expand one top-down batch level: each lane's frontier is swept in
+    /// its own order (so `threads == 1` reproduces each lane's sequential
+    /// parents exactly), claiming visited bits in the lane-packed words.
+    MultiTopDown {
+        /// Lane-packed traversal state the claims land in.
+        state: Arc<MultiParState>,
+        /// Per-lane frontiers, concatenated by `offsets`.
+        frontiers: Vec<Vec<VertexId>>,
+        /// Prefix sums over the frontier lengths (`lanes + 1` entries).
+        offsets: Vec<usize>,
+        /// Level the claimed vertices land on.
+        next_level: u32,
+    },
+    /// Expand one bottom-up batch level: a single union sweep over the
+    /// whole vertex range serves every active lane at once — the
+    /// amortization the u64 packing exists for.
+    MultiBottomUp {
+        /// Lane-packed traversal state the adoptions land in.
+        state: Arc<MultiParState>,
+        /// Lane-packed frontier words (read-only during the level).
+        words: Arc<Vec<AtomicU64>>,
+        /// Mask of lanes still traversing this round.
+        active: u64,
+        /// Level the adopted vertices land on.
+        next_level: u32,
+    },
 }
 
 impl LevelJob {
@@ -290,26 +378,35 @@ impl LevelJob {
             LevelJob::Publish { frontier, .. } | LevelJob::TopDown { frontier, .. } => {
                 frontier.len()
             }
-            LevelJob::BottomUp { .. } => csr.num_vertices() as usize,
+            LevelJob::BottomUp { .. } | LevelJob::MultiBottomUp { .. } => {
+                csr.num_vertices() as usize
+            }
+            LevelJob::MultiPublish { offsets, .. } | LevelJob::MultiTopDown { offsets, .. } => {
+                *offsets.last().expect("offsets never empty")
+            }
         }
     }
 
     /// Fixed chunk a worker claims per cursor bump.
     fn chunk(&self) -> usize {
         match self {
-            LevelJob::Publish { .. } => PUBLISH_CHUNK,
-            LevelJob::TopDown { .. } => TD_CHUNK,
-            LevelJob::BottomUp { .. } => BU_CHUNK,
+            LevelJob::Publish { .. } | LevelJob::MultiPublish { .. } => PUBLISH_CHUNK,
+            LevelJob::TopDown { .. } | LevelJob::MultiTopDown { .. } => TD_CHUNK,
+            LevelJob::BottomUp { .. } | LevelJob::MultiBottomUp { .. } => BU_CHUNK,
         }
     }
 
     /// `(op label, level index)` for the kernel span this job emits when
-    /// traced; `None` for the publish phase (bookkeeping, not a kernel).
+    /// traced; `None` for the publish phases (bookkeeping, not a kernel).
     fn kernel_span(&self) -> Option<(&'static str, u32)> {
         match self {
-            LevelJob::Publish { .. } => None,
-            LevelJob::TopDown { next_level, .. } => Some(("td-kernel", next_level - 1)),
-            LevelJob::BottomUp { next_level, .. } => Some(("bu-kernel", next_level - 1)),
+            LevelJob::Publish { .. } | LevelJob::MultiPublish { .. } => None,
+            LevelJob::TopDown { next_level, .. } | LevelJob::MultiTopDown { next_level, .. } => {
+                Some(("td-kernel", next_level - 1))
+            }
+            LevelJob::BottomUp { next_level, .. } | LevelJob::MultiBottomUp { next_level, .. } => {
+                Some(("bu-kernel", next_level - 1))
+            }
         }
     }
 }
@@ -369,6 +466,39 @@ fn claim_chunks(
             LevelJob::BottomUp { bits, next_level } => {
                 bottomup::chunk(csr, bits, range.clone(), state, *next_level, &mut local)
             }
+            LevelJob::MultiPublish {
+                frontiers,
+                offsets,
+                words,
+            } => multi::publish_chunk(frontiers, offsets, words, range.clone()),
+            LevelJob::MultiTopDown {
+                state: mstate,
+                frontiers,
+                offsets,
+                next_level,
+            } => topdown::multi_chunk(
+                csr,
+                mstate,
+                frontiers,
+                offsets,
+                range.clone(),
+                *next_level,
+                &mut local,
+            ),
+            LevelJob::MultiBottomUp {
+                state: mstate,
+                words,
+                active,
+                next_level,
+            } => bottomup::multi_chunk(
+                csr,
+                mstate,
+                words,
+                *active,
+                range.clone(),
+                *next_level,
+                &mut local,
+            ),
         }));
         if let Err(p) = caught {
             failure = Some(XbfsError::KernelPanic {
@@ -579,6 +709,21 @@ impl WorkerPool {
             Some(LevelJob::Publish { bits, .. }) => bits,
             _ => unreachable!("publish job must be in the slot"),
         }
+    }
+
+    /// Drain every worker's per-lane accumulators (in worker order, then
+    /// lane order) into one merged outcome per lane and release the job
+    /// slot — the multi-source sibling of [`WorkerPool::collect`].
+    pub(crate) fn collect_multi(&self, lanes: usize) -> Vec<LaneAccum> {
+        let mut out: Vec<LaneAccum> = vec![LaneAccum::default(); lanes];
+        for slot in &self.partials {
+            let partial = std::mem::take(&mut *slot.lock().expect("pool partial lock"));
+            for (lane, acc) in partial.lanes.into_iter().enumerate() {
+                acc.merge_into(&mut out[lane]);
+            }
+        }
+        *self.job.write().expect("pool job lock") = None;
+        out
     }
 }
 

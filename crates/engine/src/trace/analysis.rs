@@ -185,7 +185,13 @@ pub fn critical_path(events: &[TraceEvent]) -> CriticalPath {
             | TraceEvent::QueryShed { at_s, .. }
             | TraceEvent::QueueDepth { at_s, .. }
             | TraceEvent::CorruptionDetected { at_s, .. }
-            | TraceEvent::CorruptionRepair { at_s, .. } => observe(*at_s, *at_s),
+            | TraceEvent::CorruptionRepair { at_s, .. }
+            | TraceEvent::BatchBegin { at_s, .. }
+            | TraceEvent::BatchLane { at_s, .. }
+            | TraceEvent::BatchEnd { at_s, .. } => observe(*at_s, *at_s),
+            // Like `Level`: an aggregate over the whole lane word, not a
+            // leaf span — stretch the observed window, add no segment.
+            TraceEvent::BatchLevel { seconds, at_s, .. } => observe(*at_s, *at_s + *seconds),
             TraceEvent::Level { start_s, end_s, .. } => observe(*start_s, *end_s),
             TraceEvent::EngineLevel { .. } => {}
         }
@@ -338,6 +344,31 @@ fn structural_key(ev: &TraceEvent) -> String {
             attempt,
             ..
         } => format!("corruption-repair:{rung}:{action}:to={to_level}:attempt={attempt}"),
+        TraceEvent::BatchBegin { lanes, window, .. } => {
+            format!("batch-begin:lanes={lanes}:window={window}")
+        }
+        TraceEvent::BatchLane {
+            lane,
+            query,
+            source,
+            ..
+        } => format!("batch-lane:{lane}:query={query}:source={source}"),
+        TraceEvent::BatchLevel {
+            device,
+            level,
+            direction,
+            lanes,
+            frontier_vertices,
+            edges_examined,
+            ..
+        } => format!(
+            "batch-level:{device}:{level}:{}:lanes={lanes}:fv={frontier_vertices}:\
+             ee={edges_examined}",
+            dir_label(*direction)
+        ),
+        TraceEvent::BatchEnd { lanes, levels, .. } => {
+            format!("batch-end:lanes={lanes}:levels={levels}")
+        }
     }
 }
 

@@ -312,6 +312,59 @@ pub enum TraceEvent {
         /// Simulated clock at detection.
         at_s: f64,
     },
+    /// A lane-packed batch traversal began.
+    BatchBegin {
+        /// Lanes (sources) packed into the batch.
+        lanes: u32,
+        /// Batching window the dispatcher collected under (0 when the
+        /// batch was built outside the service, e.g. by the CLI).
+        window: u32,
+        /// Simulated clock at batch start.
+        at_s: f64,
+    },
+    /// Reconciliation record tying one batch lane back to the query it
+    /// carries — the per-lane counterpart of [`TraceEvent::QueryEnd`].
+    BatchLane {
+        /// Zero-based lane index within the batch word.
+        lane: u32,
+        /// Caller-assigned query id riding the lane.
+        query: u64,
+        /// BFS source vertex of the lane.
+        source: u32,
+        /// Simulated clock when the lane was bound.
+        at_s: f64,
+    },
+    /// One lockstep round of a batch executed on a device: every active
+    /// lane advanced one level under a single union sweep / grouped
+    /// frontier expansion.
+    BatchLevel {
+        /// Device the round was charged to ("cpu" or "gpu").
+        device: &'static str,
+        /// Round index (each lane's level index for this round).
+        level: u32,
+        /// Direction the per-batch switch decision chose.
+        direction: Direction,
+        /// Lanes still active in the round.
+        lanes: u32,
+        /// Σ`|V|cq` over active lanes.
+        frontier_vertices: u64,
+        /// Σ edges examined over active lanes.
+        edges_examined: u64,
+        /// Simulated seconds charged for the round (the slowest lane's
+        /// level price — one sweep serves the word).
+        seconds: f64,
+        /// Simulated clock when the round began.
+        at_s: f64,
+    },
+    /// A lane-packed batch traversal finished.
+    BatchEnd {
+        /// Lanes the batch carried.
+        lanes: u32,
+        /// Lockstep rounds executed (the deepest lane's level count).
+        levels: u32,
+        /// Simulated clock at batch end.
+        at_s: f64,
+    },
     /// The recovery ladder answered a detected corruption with a repair.
     CorruptionRepair {
         /// Rung being repaired.
@@ -573,13 +626,22 @@ impl TraceSink for CountingSink {
                 self.edges_examined
                     .fetch_add(*edges_examined, Ordering::Relaxed);
             }
-            // Service-level admission events: per-traversal counters do
-            // not track them; the service aggregates its own totals.
+            TraceEvent::BatchLevel { edges_examined, .. } => {
+                bump(&self.levels);
+                self.edges_examined
+                    .fetch_add(*edges_examined, Ordering::Relaxed);
+            }
+            // Service-level admission and batch bookkeeping events:
+            // per-traversal counters do not track them; the service
+            // aggregates its own totals.
             TraceEvent::QueryAdmitted { .. }
             | TraceEvent::QueryStart { .. }
             | TraceEvent::QueryEnd { .. }
             | TraceEvent::QueryShed { .. }
-            | TraceEvent::QueueDepth { .. } => {}
+            | TraceEvent::QueueDepth { .. }
+            | TraceEvent::BatchBegin { .. }
+            | TraceEvent::BatchLane { .. }
+            | TraceEvent::BatchEnd { .. } => {}
         }
     }
 }

@@ -45,8 +45,9 @@ pub mod prelude {
     pub use xbfs_archsim::{ArchSpec, FaultPlan, Link, TraversalProfile};
     pub use xbfs_core::{
         chrome_trace_json, decision_audit, prometheus_audit_text, prometheus_text, AdaptiveRuntime,
-        CheckpointPolicy, CrossParams, CrossRun, DecisionAudit, LevelCheckpoint, RecoveredRun,
-        ResilienceConfig, RetryPolicy, RunReport, RunSession, Rung, SingleRun,
+        BatchCompat, BatchPolicy, BatchRun, BatchSession, CheckpointPolicy, CrossParams, CrossRun,
+        DecisionAudit, LaneRun, LevelCheckpoint, RecoveredRun, ResilienceConfig, RetryPolicy,
+        RunReport, RunSession, Rung, SingleRun,
     };
     pub use xbfs_engine::{
         critical_path, trace_diff, AlwaysBottomUp, AlwaysTopDown, BfsOutput, CountingSink,

@@ -1,7 +1,8 @@
-//! Shim coverage: the three deprecated `core::recovery` free functions and
-//! the three deprecated `AdaptiveRuntime` methods must stay numerically
-//! identical to the [`RunSession`] calls they forward to. This file is the
-//! one place outside the shims themselves allowed to use the deprecated
+//! Shim coverage: the three deprecated `core::recovery` free functions,
+//! the three deprecated `AdaptiveRuntime` methods, and the deprecated
+//! `QueryRequest::new` constructor must stay numerically identical to the
+//! [`RunSession`] / builder calls they forward to. This file is the one
+//! place outside the shims themselves allowed to use the deprecated
 //! surface (CI's deprecation-budget gate enforces that).
 
 #![allow(deprecated)]
@@ -192,4 +193,14 @@ fn runtime_method_shims_match_the_session_builder() {
         .expect("fault-free resume");
     assert_eq!(old.output, new.output);
     assert_eq!(old.report, new.report);
+}
+
+#[test]
+fn query_request_new_shim_matches_the_builder() {
+    use xbfs::core::QueryRequest;
+    let old = QueryRequest::new(7, 3, 0.25);
+    let new = QueryRequest::builder(7, 3).arrival(0.25).build();
+    assert_eq!(old, new);
+    assert_eq!(new.deadline_s, None);
+    assert_eq!(new.fault_plan, None);
 }

@@ -113,6 +113,12 @@ proptest! {
                 TraceEvent::CorruptionDetected { .. } | TraceEvent::CorruptionRepair { .. } => {
                     prop_assert!(false, "bit flips only come from scheduled faults");
                 }
+                TraceEvent::BatchBegin { .. }
+                | TraceEvent::BatchLane { .. }
+                | TraceEvent::BatchLevel { .. }
+                | TraceEvent::BatchEnd { .. } => {
+                    prop_assert!(false, "solo sessions never emit batch events");
+                }
             }
         }
         prop_assert!(open_rung.is_none(), "a rung was left open");

@@ -179,7 +179,9 @@ fn chaos_corpus_replays_concurrently_through_the_service() {
         .iter()
         .enumerate()
         .map(|(i, (_, plan))| {
-            let mut req = QueryRequest::new(i as u64, src, 1e-4 * i as f64);
+            let mut req = QueryRequest::builder(i as u64, src)
+                .arrival(1e-4 * i as f64)
+                .build();
             req.fault_plan = Some(plan.clone());
             ScheduleItem::Query(req)
         })
@@ -239,19 +241,19 @@ fn faulty_queries_degrade_alone_while_neighbors_match_their_solo_runs() {
         .1;
 
     // Query 0: loses its GPU and must degrade down the ladder.
-    let mut lost_query = QueryRequest::new(0, healthy_src, 0.0);
+    let mut lost_query = QueryRequest::builder(0, healthy_src).arrival(0.0).build();
     lost_query.fault_plan = Some(gpu_lost.clone());
     // Query 1: a deadline no traversal can meet — typed error, not a panic.
-    let mut doomed = QueryRequest::new(1, other_src, 0.0);
+    let mut doomed = QueryRequest::builder(1, other_src).arrival(0.0).build();
     doomed.deadline_s = Some(1e-12);
     // Queries 2 and 3: healthy neighbors, in flight while 0 and 1 fail.
     let schedule = vec![
         ScheduleItem::Query(lost_query),
         ScheduleItem::Query(doomed),
-        ScheduleItem::Query(QueryRequest::new(2, healthy_src, 0.0)),
-        ScheduleItem::Query(QueryRequest::new(3, other_src, 0.0)),
+        ScheduleItem::Query(QueryRequest::builder(2, healthy_src).arrival(0.0).build()),
+        ScheduleItem::Query(QueryRequest::builder(3, other_src).arrival(0.0).build()),
         // Query 4: one arrival past capacity with a zero-depth queue.
-        ScheduleItem::Query(QueryRequest::new(4, healthy_src, 0.0)),
+        ScheduleItem::Query(QueryRequest::builder(4, healthy_src).arrival(0.0).build()),
     ];
     let config = ServiceConfig {
         capacity: 4,
@@ -346,15 +348,15 @@ fn bit_flipped_queries_repair_alone_while_neighbors_match_their_solo_runs() {
         ..ResilienceConfig::default_runtime()
     };
 
-    let mut flipped = QueryRequest::new(0, healthy_src, 0.0);
+    let mut flipped = QueryRequest::builder(0, healthy_src).arrival(0.0).build();
     flipped.fault_plan = Some(frontier_flip.clone());
-    let mut stormy = QueryRequest::new(1, other_src, 0.0);
+    let mut stormy = QueryRequest::builder(1, other_src).arrival(0.0).build();
     stormy.fault_plan = Some(storm.clone());
     let schedule = vec![
         ScheduleItem::Query(flipped),
         ScheduleItem::Query(stormy),
-        ScheduleItem::Query(QueryRequest::new(2, healthy_src, 0.0)),
-        ScheduleItem::Query(QueryRequest::new(3, other_src, 0.0)),
+        ScheduleItem::Query(QueryRequest::builder(2, healthy_src).arrival(0.0).build()),
+        ScheduleItem::Query(QueryRequest::builder(3, other_src).arrival(0.0).build()),
     ];
     let config = ServiceConfig {
         capacity: 4,
@@ -423,11 +425,11 @@ fn shared_breakers_propagate_permanent_losses_to_later_queries() {
     let solo_lost = solo(&g, src, &gpu_lost);
     let after_s = solo_lost.report.total_seconds * 2.0 + 1.0;
 
-    let mut loser = QueryRequest::new(0, src, 0.0);
+    let mut loser = QueryRequest::builder(0, src).arrival(0.0).build();
     loser.fault_plan = Some(gpu_lost);
     let schedule = vec![
         ScheduleItem::Query(loser),
-        ScheduleItem::Query(QueryRequest::new(1, src, after_s)),
+        ScheduleItem::Query(QueryRequest::builder(1, src).arrival(after_s).build()),
     ];
     let config = ServiceConfig {
         capacity: 2,
@@ -464,12 +466,14 @@ fn drain_completes_or_cancels_queued_queries_and_refuses_late_arrivals() {
     let src = xbfs::core::training::pick_source(&g, 3).expect("non-empty graph");
     let schedule = |n: u64| -> Vec<ScheduleItem> {
         let mut items: Vec<ScheduleItem> = (0..n)
-            .map(|i| ScheduleItem::Query(QueryRequest::new(i, src, 0.0)))
+            .map(|i| ScheduleItem::Query(QueryRequest::builder(i, src).arrival(0.0).build()))
             .collect();
         // Drain lands while the queue is still full (simulated durations
         // are far above 1 ns), then one more query arrives after it.
         items.push(ScheduleItem::Drain { at_s: 1e-9 });
-        items.push(ScheduleItem::Query(QueryRequest::new(n, src, 1e-6)));
+        items.push(ScheduleItem::Query(
+            QueryRequest::builder(n, src).arrival(1e-6).build(),
+        ));
         items
     };
 
