@@ -11,6 +11,7 @@
 //!                     [--checkpoint-interval L] [--spill CK.json]
 //!                     [--resume CK.json] [--report-json R.json]
 //! xbfs-cli bench      [--preset P] [--compare BASELINE.json] [--bench-dir DIR]
+//! xbfs-cli report     --timeseries FILE
 //! ```
 //!
 //! Graphs are the compact binary format by default (`io::encode_csr`);
@@ -29,9 +30,10 @@ use std::process::ExitCode;
 use xbfs_archsim::{ArchSpec, CostModelPolicy, FaultPlan};
 use xbfs_bench::perf;
 use xbfs_core::{
-    chrome_trace_json, prometheus_text, service_chrome_trace_json, training::pick_source,
-    AdaptiveRuntime, BatchCompat, BatchPolicy, CheckpointPolicy, DrainMode, LevelCheckpoint,
-    QueryRequest, QueryService, ResilienceConfig, RetryPolicy, ScheduleItem, ServiceConfig,
+    chrome_trace_json, prometheus_slo_text, prometheus_text, service_chrome_trace_json,
+    timeseries_json_lines, training::pick_source, AdaptiveRuntime, BatchCompat, BatchPolicy,
+    CheckpointPolicy, DrainMode, LevelCheckpoint, QueryRequest, QueryService, ResilienceConfig,
+    RetryPolicy, ScheduleItem, ServiceConfig, SloPolicy, SnapshotPolicy, TraceSamplePolicy,
 };
 use xbfs_engine::{
     hybrid, par, scrub, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
@@ -137,7 +139,7 @@ struct Ui {
 
 impl Ui {
     fn new(args: &Args) -> Self {
-        let stdout_claimed = ["report-json", "trace-out", "metrics-out"]
+        let stdout_claimed = ["report-json", "trace-out", "metrics-out", "timeseries-out"]
             .iter()
             .any(|k| args.get(k) == Some("-"));
         Self {
@@ -742,6 +744,56 @@ fn serve_schedule(args: &Args, g: &Csr) -> Result<Vec<ScheduleItem>, String> {
     Ok(schedule)
 }
 
+/// Parse the live-telemetry flags for `serve`: `--snapshot-every SECS`
+/// turns on the windowed time-series registry; the `--slo-*` targets
+/// (evaluated over those windows) require it, as does `--timeseries-out`.
+/// `--flight-recorder N` bounds each query's in-worker event ring and
+/// `--trace-sample RATE` head-samples the kept per-query trace buffers,
+/// keyed on `--seed` so the kept set replays bit-for-bit.
+fn telemetry_from_args(
+    args: &Args,
+) -> Result<(SnapshotPolicy, Option<SloPolicy>, usize, TraceSamplePolicy), String> {
+    let snapshot = SnapshotPolicy {
+        every_seconds: args.parse_num("snapshot-every")?.unwrap_or(0.0),
+    };
+    let slo_given = ["slo-deadline-ratio", "slo-latency", "slo-latency-ratio"]
+        .iter()
+        .any(|k| args.get(k).is_some());
+    let slo = if slo_given {
+        if !snapshot.enabled() {
+            return Err(
+                "SLO targets are evaluated over telemetry windows; add --snapshot-every SECS"
+                    .into(),
+            );
+        }
+        let mut policy = SloPolicy::default();
+        if let Some(r) = args.parse_num("slo-deadline-ratio")? {
+            policy.deadline_hit_ratio = r;
+        }
+        if let Some(s) = args.parse_num("slo-latency")? {
+            policy.latency_objective_s = s;
+        }
+        if let Some(r) = args.parse_num("slo-latency-ratio")? {
+            policy.latency_hit_ratio = r;
+        }
+        Some(policy)
+    } else {
+        None
+    };
+    if args.get("timeseries-out").is_some() && !snapshot.enabled() {
+        return Err("--timeseries-out needs --snapshot-every SECS".into());
+    }
+    let flight_recorder: usize = args.parse_num("flight-recorder")?.unwrap_or(0);
+    if args.get("postmortem-dir").is_some() && flight_recorder == 0 {
+        return Err("--postmortem-dir needs --flight-recorder N".into());
+    }
+    let trace_sample = TraceSamplePolicy {
+        rate: args.parse_num("trace-sample")?.unwrap_or(1.0),
+        seed: args.parse_num("seed")?.unwrap_or(0xC0FFEE),
+    };
+    Ok((snapshot, slo, flight_recorder, trace_sample))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let ui = Ui::new(args);
     let g = std::sync::Arc::new(load_graph(args)?);
@@ -759,6 +811,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_lanes: args.parse_num("batch-lanes")?.unwrap_or(64),
         compat: BatchCompat::default(),
     };
+    let (snapshot, slo, flight_recorder, trace_sample) = telemetry_from_args(args)?;
+    let snapshot_every = snapshot.every_seconds;
     let config = ServiceConfig {
         capacity: args.parse_num("capacity")?.unwrap_or(2),
         queue_limit: args.parse_num("queue-depth")?.unwrap_or(8),
@@ -767,6 +821,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         keep_query_traces,
         spill_dir: args.get("spill-dir").map(str::to_string),
         batching,
+        snapshot,
+        slo,
+        flight_recorder,
+        trace_sample,
     };
     if let Some(dir) = &config.spill_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
@@ -806,11 +864,32 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.failed,
     ));
     ui.say(format!(
-        "peak queue depth {} | peak in-flight {} | makespan {:.3} ms (simulated)",
+        "peak queue depth {} | peak in-flight {} | mean queue depth {:.2} | \
+         makespan {:.3} ms (simulated)",
         report.peak_queue_depth,
         report.peak_in_flight,
+        report.mean_queue_depth,
         report.makespan_s * 1e3,
     ));
+    if !report.timeseries.is_empty() {
+        ui.say(format!(
+            "telemetry: {} window(s) at {} s cadence",
+            report.timeseries.len(),
+            snapshot_every,
+        ));
+    }
+    if let Some(slo) = &report.slo {
+        ui.say(format!(
+            "SLO {}: deadline hit {:.4} (target {}), latency hit {:.4} \
+             (target {}, objective {} s)",
+            if slo.met { "met" } else { "VIOLATED" },
+            slo.deadline_hit_ratio,
+            slo.policy.deadline_hit_ratio,
+            slo.latency_hit_ratio,
+            slo.policy.latency_hit_ratio,
+            slo.policy.latency_objective_s,
+        ));
+    }
     let (detected, repaired) =
         report
             .outcomes
@@ -865,9 +944,41 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     }
     if let Some(path) = args.get("metrics-out") {
-        write_out(path, &prometheus_text(&report.merged_events()))?;
+        let mut text = prometheus_text(&report.merged_events());
+        if let Some(slo) = &report.slo {
+            text.push_str(&prometheus_slo_text(slo));
+        }
+        write_out(path, &text)?;
         if path != "-" {
             ui.say(format!("wrote service metrics to {path}"));
+        }
+    }
+    if let Some(path) = args.get("timeseries-out") {
+        write_out(
+            path,
+            &timeseries_json_lines(&report.timeseries, report.slo.as_ref()),
+        )?;
+        if path != "-" {
+            ui.say(format!(
+                "wrote telemetry stream to {path} ({} window(s))",
+                report.timeseries.len()
+            ));
+        }
+    }
+    if let Some(dir) = args.get("postmortem-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for pm in &report.postmortems {
+            let path = format!("{dir}/postmortem-query-{}.json", pm.query);
+            std::fs::write(&path, pm.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            ui.say(format!(
+                "wrote post-mortem for query {} ({} event(s), {} overwritten) to {path}",
+                pm.query,
+                pm.events.len(),
+                pm.dropped,
+            ));
+        }
+        if report.postmortems.is_empty() {
+            ui.say("no post-mortems: every started query ended cleanly");
         }
     }
     Ok(())
@@ -1017,6 +1128,159 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Render `values` as a unicode sparkline, scaled to the series maximum.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || !v.is_finite() {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// `report --timeseries FILE`: render the JSON-lines telemetry stream a
+/// `serve --snapshot-every … --timeseries-out FILE` run wrote as a text
+/// dashboard — queue-depth sparkline, per-window rate table, latency
+/// quantile table, and the SLO verdict when the stream carries one.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args.require("timeseries")?;
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+
+    let mut windows: Vec<serde_json::Value> = Vec::new();
+    let mut slo: Option<serde_json::Value> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not JSON: {e}", lineno + 1))?;
+        match v.get("kind").and_then(|k| k.as_str()) {
+            Some("window") => windows.push(v),
+            Some("slo") => slo = Some(v),
+            other => {
+                return Err(format!(
+                    "{path}:{}: unknown record kind {other:?}",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if windows.is_empty() {
+        return Err(format!("{path}: no telemetry windows in the stream"));
+    }
+
+    let f = |w: &serde_json::Value, key: &str| w.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let u = |w: &serde_json::Value, key: &str| w.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    let q = |w: &serde_json::Value, hist: &str, key: &str| w.get(hist).map_or(0.0, |h| f(h, key));
+
+    let start = f(&windows[0], "start_s");
+    let end = f(windows.last().expect("non-empty"), "end_s");
+    println!(
+        "telemetry report: {} window(s), {start:.3} s – {end:.3} s",
+        windows.len()
+    );
+
+    let depths: Vec<f64> = windows.iter().map(|w| f(w, "queue_depth_mean")).collect();
+    let peak = windows
+        .iter()
+        .map(|w| u(w, "queue_depth_peak"))
+        .max()
+        .unwrap_or(0);
+    println!(
+        "queue depth: {} (mean per window, peak {peak})",
+        sparkline(&depths)
+    );
+
+    println!();
+    println!(
+        "{:>6} {:>13} {:>9} {:>9} {:>9} {:>8} {:>7} {:>9}",
+        "window", "span (s)", "admit/s", "shed/s", "done/s", "q mean", "q peak", "busy mean"
+    );
+    for w in &windows {
+        println!(
+            "{:>6} {:>6.3}–{:>6.3} {:>9.2} {:>9.2} {:>9.2} {:>8.2} {:>7} {:>9.2}",
+            u(w, "index"),
+            f(w, "start_s"),
+            f(w, "end_s"),
+            f(w, "admit_rate_hz"),
+            f(w, "shed_rate_hz"),
+            f(w, "complete_rate_hz"),
+            f(w, "queue_depth_mean"),
+            u(w, "queue_depth_peak"),
+            f(w, "in_flight_mean"),
+        );
+    }
+
+    println!();
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "window", "completed", "p50 (s)", "p95 (s)", "p99 (s)", "wait p95 (s)"
+    );
+    for w in &windows {
+        println!(
+            "{:>6} {:>9} {:>10.6} {:>10.6} {:>10.6} {:>12.6}",
+            u(w, "index"),
+            u(w, "completed"),
+            q(w, "latency", "p50_s"),
+            q(w, "latency", "p95_s"),
+            q(w, "latency", "p99_s"),
+            q(w, "queue_wait", "p95_s"),
+        );
+    }
+
+    println!();
+    match &slo {
+        None => println!("SLO: not configured"),
+        Some(s) => {
+            let policy = s.get("policy").cloned().unwrap_or(serde_json::Value::Null);
+            let met = s.get("met").and_then(|v| v.as_bool()).unwrap_or(false);
+            println!(
+                "SLO verdict: {} — deadline hit {:.4} (target {}), latency hit {:.4} \
+                 (target {}, objective {} s)",
+                if met { "MET" } else { "VIOLATED" },
+                f(s, "deadline_hit_ratio"),
+                f(&policy, "deadline_hit_ratio"),
+                f(s, "latency_hit_ratio"),
+                f(&policy, "latency_hit_ratio"),
+                f(&policy, "latency_objective_s"),
+            );
+            if let Some(burns) = s.get("windows").and_then(|v| v.as_array()) {
+                let worst = |key: &str| {
+                    burns
+                        .iter()
+                        .map(|b| (u(b, "index"), f(b, key)))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                };
+                if let (Some((di, db)), Some((li, lb))) =
+                    (worst("deadline_burn"), worst("latency_burn"))
+                {
+                    println!(
+                        "peak burn: deadline {db:.2}x (window {di}), \
+                         latency {lb:.2}x (window {li})"
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 usage: xbfs-cli <command> [flags]
 commands:
@@ -1037,11 +1301,15 @@ commands:
              [--deadline SECS] [--retries N]
              [--checkpoint-interval L] [--spill-dir DIR] [--scrub] [--checksum]
              [--drain-at SECS] [--drain-mode complete|cancel]
+             [--snapshot-every SECS] [--timeseries-out TS.jsonl]
+             [--slo-deadline-ratio R] [--slo-latency SECS] [--slo-latency-ratio R]
+             [--flight-recorder N] [--postmortem-dir DIR] [--trace-sample RATE]
              [--report-json R.json] [--trace-out T.json] [--metrics-out M.prom]
              [--quiet] [--text]
   bench      [--preset scaled|paper] [--compare BASELINE.json] [--tolerance REL]
              [--bench-dir DIR] [--baseline FILE] [--fault-plan OVERLAY.json]
              [--report-json R.json] [--threads-scaling] [--batched] [--quiet]
+  report     --timeseries TS.jsonl
 
 adaptive runs the cross-architecture combination under an optional fault
 plan (JSON, see xbfs_archsim::FaultPlan) with retry, a simulated-time
@@ -1083,6 +1351,24 @@ a slot frees, up to W compatible queued queries (fault-free; --batch-lanes
 caps the word, default 64) run as one lane-packed BatchSession occupying a
 single slot, with per-query deadlines still settled individually at the
 batch completion instant.
+
+serve telemetry (all off by default, all on the simulated clock — the
+same seeded run replays byte-for-byte): --snapshot-every S closes a
+telemetry window every S simulated seconds (queue/in-flight gauges,
+admit/shed/complete rates, batch occupancy, corruption counters, and
+log-bucketed latency + queue-wait histograms with p50/p95/p99);
+--timeseries-out streams the closed windows as JSON lines ('-' for
+stdout). The --slo-* flags set service-level objectives evaluated over
+those windows (deadline hit ratio, latency objective + hit ratio); the
+verdict lands in the narration, the JSON-lines stream, and --metrics-out
+as the xbfs_slo_* families. --flight-recorder N keeps each query's last
+N trace events in a bounded in-worker ring and dumps the ring as a
+post-mortem JSON artifact (--postmortem-dir, postmortem-query-<id>.json)
+when the query ends in a typed error. --trace-sample RATE head-samples
+the kept per-query trace buffers (seeded by --seed; a query is kept or
+dropped whole, never truncated). report renders a --timeseries-out
+stream as a text dashboard: queue-depth sparkline, per-window rate and
+quantile tables, and the SLO verdict with peak burn-rate windows.
 --trace-out writes one chrome trace with the service track plus every
 query as its own process on the service clock; --metrics-out includes the
 xbfs_service_* admission counters.
@@ -1126,6 +1412,7 @@ fn main() -> ExitCode {
         "adaptive" => cmd_adaptive(&args),
         "serve" => cmd_serve(&args),
         "bench" => cmd_bench(&args),
+        "report" => cmd_report(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

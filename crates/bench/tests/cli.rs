@@ -440,6 +440,218 @@ fn repro_trace_out_writes_recovery_trace() {
 }
 
 #[test]
+fn serve_telemetry_stream_is_byte_identical_across_runs() {
+    let graph = tmpfile("serve-telemetry.xbfs");
+    let ts1 = tmpfile("serve-telemetry-1.jsonl");
+    let ts2 = tmpfile("serve-telemetry-2.jsonl");
+    let metrics = tmpfile("serve-telemetry.prom");
+    stdout_of(cli().args(["gen", "--scale", "10", "--out", graph.to_str().unwrap()]));
+
+    let serve = |ts: &PathBuf| {
+        run_ok(cli().args([
+            "serve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--arrivals",
+            "24",
+            "--rate",
+            "2000",
+            "--seed",
+            "11",
+            "--capacity",
+            "1",
+            "--queue-depth",
+            "3",
+            "--snapshot-every",
+            "0.005",
+            "--slo-deadline-ratio",
+            "0.9",
+            "--slo-latency",
+            "0.05",
+            "--slo-latency-ratio",
+            "0.9",
+            "--timeseries-out",
+            ts.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--quiet",
+        ]));
+    };
+    serve(&ts1);
+    serve(&ts2);
+
+    let a = std::fs::read(&ts1).expect("first stream written");
+    let b = std::fs::read(&ts2).expect("second stream written");
+    assert!(!a.is_empty(), "telemetry stream must not be empty");
+    assert_eq!(a, b, "seeded telemetry streams must replay byte-for-byte");
+    let text = String::from_utf8(a).unwrap();
+    assert!(text.contains("\"kind\":\"window\""), "{text}");
+    assert!(text.contains("\"kind\":\"slo\""), "{text}");
+
+    // The metrics export carries the service latency histogram and the
+    // SLO families alongside the admission counters.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        metrics_text.contains("xbfs_service_admitted_total"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("xbfs_service_latency_seconds_bucket"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("xbfs_slo_deadline_target"),
+        "{metrics_text}"
+    );
+    assert!(metrics_text.contains("xbfs_slo_met"), "{metrics_text}");
+
+    // The dashboard renders the stream it just wrote.
+    let dashboard = stdout_of(cli().args(["report", "--timeseries", ts1.to_str().unwrap()]));
+    assert!(dashboard.contains("telemetry report:"), "{dashboard}");
+    assert!(dashboard.contains("SLO verdict:"), "{dashboard}");
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(ts1).ok();
+    std::fs::remove_file(ts2).ok();
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn serve_flight_recorder_writes_postmortems() {
+    let graph = tmpfile("serve-postmortem.xbfs");
+    let dir = tmpfile("serve-postmortems");
+    stdout_of(cli().args(["gen", "--scale", "10", "--out", graph.to_str().unwrap()]));
+
+    // A vanishing per-request deadline makes every started query expire
+    // mid-run with a typed error — the flight recorder dumps each one.
+    let out = stdout_of(cli().args([
+        "serve",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--arrivals",
+        "4",
+        "--seed",
+        "7",
+        "--request-deadline",
+        "0.0000001",
+        "--flight-recorder",
+        "64",
+        "--postmortem-dir",
+        dir.to_str().unwrap(),
+    ]));
+    assert!(out.contains("wrote post-mortem for query"), "{out}");
+
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("post-mortem dir created")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("postmortem-query-")
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "expired queries must leave dumps");
+    let text = std::fs::read_to_string(dumps[0].path()).unwrap();
+    assert!(
+        text.contains("\"disposition\": \"deadline-missed\""),
+        "{text}"
+    );
+    assert!(text.contains("\"events\""), "{text}");
+    assert!(text.contains("\"flight_recorder_capacity\": 64"), "{text}");
+
+    // --postmortem-dir without a recorder is a flag error, not a silent
+    // no-op directory.
+    let bad = cli()
+        .args([
+            "serve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--arrivals",
+            "1",
+            "--postmortem-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("--flight-recorder"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn report_dashboard_renders_pinned_quantiles() {
+    // A hand-written two-window stream with known quantiles pins the
+    // dashboard's parsing and formatting end to end.
+    let ts = tmpfile("report-fixture.jsonl");
+    std::fs::write(
+        &ts,
+        concat!(
+            r#"{"kind":"window","index":0,"start_s":0.0,"end_s":0.5,"queue_depth_mean":1.0,"queue_depth_peak":3,"in_flight_mean":1.8,"in_flight_peak":2,"admitted":6,"shed":1,"completed":5,"deadline_missed":0,"deadline_shed":0,"latency_slo_missed":0,"admit_rate_hz":12.0,"shed_rate_hz":2.0,"complete_rate_hz":10.0,"batch_dispatches":0,"batch_lanes":0,"corruption_detected":0,"corruption_repaired":0,"latency":{"count":5,"sum_s":0.1,"p50_s":0.005,"p95_s":0.05,"p99_s":0.5},"queue_wait":{"count":5,"sum_s":0.01,"p50_s":0.001,"p95_s":0.002,"p99_s":0.002}}"#,
+            "\n",
+            r#"{"kind":"window","index":1,"start_s":0.5,"end_s":1.0,"queue_depth_mean":4.0,"queue_depth_peak":7,"in_flight_mean":2.0,"in_flight_peak":2,"admitted":8,"shed":2,"completed":6,"deadline_missed":1,"deadline_shed":0,"latency_slo_missed":2,"admit_rate_hz":16.0,"shed_rate_hz":4.0,"complete_rate_hz":12.0,"batch_dispatches":0,"batch_lanes":0,"corruption_detected":0,"corruption_repaired":0,"latency":{"count":6,"sum_s":0.5,"p50_s":0.01,"p95_s":0.1,"p99_s":1.0},"queue_wait":{"count":6,"sum_s":0.05,"p50_s":0.005,"p95_s":0.01,"p99_s":0.01}}"#,
+            "\n",
+            r#"{"kind":"slo","policy":{"deadline_hit_ratio":0.99,"latency_objective_s":0.05,"latency_hit_ratio":0.95},"deadline_eligible":11,"deadline_missed":1,"deadline_hit_ratio":0.9090909090909091,"deadline_met":false,"latency_eligible":11,"latency_missed":2,"latency_hit_ratio":0.8181818181818182,"latency_met":false,"met":false,"windows":[{"index":0,"start_s":0.0,"end_s":0.5,"deadline_burn":0.0,"latency_burn":0.0},{"index":1,"start_s":0.5,"end_s":1.0,"deadline_burn":16.67,"latency_burn":6.67}]}"#,
+            "\n",
+        ),
+    )
+    .unwrap();
+
+    let out = stdout_of(cli().args(["report", "--timeseries", ts.to_str().unwrap()]));
+    assert!(
+        out.contains("telemetry report: 2 window(s), 0.000 s – 1.000 s"),
+        "{out}"
+    );
+    // Window means 1.0 and 4.0 scale to ▃ and █ against the max.
+    assert!(
+        out.contains("queue depth: ▃█ (mean per window, peak 7)"),
+        "{out}"
+    );
+    // Rates table carries the per-window throughput.
+    assert!(out.contains("12.00"), "{out}");
+    assert!(out.contains("16.00"), "{out}");
+    // Quantiles render exactly as written.
+    assert!(out.contains("0.005000"), "{out}");
+    assert!(out.contains("0.050000"), "{out}");
+    assert!(out.contains("0.500000"), "{out}");
+    assert!(out.contains("1.000000"), "{out}");
+    // The verdict names both ratios against their targets and the worst
+    // burn windows.
+    assert!(out.contains("SLO verdict: VIOLATED"), "{out}");
+    assert!(out.contains("deadline hit 0.9091 (target 0.99)"), "{out}");
+    assert!(
+        out.contains("latency hit 0.8182 (target 0.95, objective 0.05 s)"),
+        "{out}"
+    );
+    assert!(
+        out.contains("peak burn: deadline 16.67x (window 1), latency 6.67x (window 1)"),
+        "{out}"
+    );
+
+    // A stream with no windows is a clean error.
+    let empty = tmpfile("report-empty.jsonl");
+    std::fs::write(&empty, "").unwrap();
+    let bad = cli()
+        .args(["report", "--timeseries", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("no telemetry windows"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+
+    std::fs::remove_file(ts).ok();
+    std::fs::remove_file(empty).ok();
+}
+
+#[test]
 fn repro_binary_lists_and_rejects() {
     let repro = Command::new(env!("CARGO_BIN_EXE_repro"))
         .arg("--help")

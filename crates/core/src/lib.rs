@@ -53,8 +53,14 @@ pub use features::feature_vector;
 pub use health::{
     BreakerPolicy, BreakerState, BreakerTransition, Device, DeviceHealth, HealthSnapshot,
 };
+pub use observe::timeseries::{
+    prometheus_slo_text, timeseries_json_lines, LogHistogram, QuantileSummary, SloPolicy,
+    SloReport, SnapshotPolicy, TimeSeriesRegistry, TimeWeighted, WindowBurn, WindowSnapshot,
+    LATENCY_BUCKETS_S,
+};
 pub use observe::{
     chrome_trace_json, prometheus_audit_text, prometheus_text, service_chrome_trace_json,
+    trace_event_json,
 };
 pub use oracle::MnGrid;
 pub use predictor::SwitchPredictor;
@@ -63,7 +69,8 @@ pub use recovery::{resume_cross_resilient, run_cross_resilient, run_cross_resili
 pub use recovery::{RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung};
 pub use runtime::AdaptiveRuntime;
 pub use service::{
-    BatchCompat, BatchPolicy, Disposition, DrainMode, QueryOutcome, QueryRequest,
+    BatchCompat, BatchPolicy, Disposition, DrainMode, PostMortem, QueryOutcome, QueryRequest,
     QueryRequestBuilder, QueryService, QueryTrace, ScheduleItem, ServiceConfig, ServiceReport,
+    TraceSamplePolicy,
 };
 pub use session::{BatchRun, BatchSession, LaneRun, RunSession};

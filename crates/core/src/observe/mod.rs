@@ -18,6 +18,10 @@
 //! Both outputs are deterministic for a given event list (stable sorts,
 //! `BTreeMap`-ordered label sets), which is what lets the golden-file test
 //! pin the chrome trace byte-for-byte.
+//!
+//! The [`timeseries`] submodule is the *online* counterpart: a
+//! simulated-clock windowed registry the service feeds while it runs,
+//! with log-bucketed quantiles and SLO evaluation.
 
 use crate::audit::DecisionAudit;
 use crate::service::QueryTrace;
@@ -25,6 +29,8 @@ use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use xbfs_engine::trace::TraceEvent;
 use xbfs_engine::Direction;
+
+pub mod timeseries;
 
 /// Stable lowercase label for a direction, for metric keys and span names.
 fn dir_label(d: Direction) -> &'static str {
@@ -761,7 +767,7 @@ fn escape_label_value(v: &str) -> String {
     out
 }
 
-fn render_labels(labels: &[(&str, &str)]) -> String {
+pub(crate) fn render_labels(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
@@ -872,6 +878,8 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     let mut service_shed = Counter::default();
     let mut service_queries = Counter::default();
     let mut service_wait_seconds = Counter::default();
+    let mut service_latency = Histogram::default();
+    let mut admitted_at: BTreeMap<u64, f64> = BTreeMap::new();
     let mut queue_depth_peak: Option<u32> = None;
     let mut corruption_detected = Counter::default();
     let mut corruption_repairs = Counter::default();
@@ -957,14 +965,23 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
                 engine_levels.add(&key, 1.0);
                 engine_seconds.add(&key, *wall_s);
             }
-            TraceEvent::QueryAdmitted { .. } => {
+            TraceEvent::QueryAdmitted { query, at_s, .. } => {
                 service_admitted.add(&[], 1.0);
+                admitted_at.insert(*query, *at_s);
             }
             TraceEvent::QueryStart { wait_s, .. } => {
                 service_wait_seconds.add(&[], *wait_s);
             }
-            TraceEvent::QueryEnd { outcome, .. } => {
+            TraceEvent::QueryEnd {
+                query,
+                outcome,
+                at_s,
+                ..
+            } => {
                 service_queries.add(&[("outcome", outcome)], 1.0);
+                if let Some(admit_s) = admitted_at.get(query) {
+                    service_latency.observe(&[("outcome", outcome)], at_s - admit_s);
+                }
             }
             TraceEvent::QueryShed { reason, .. } => {
                 service_shed.add(&[("reason", reason)], 1.0);
@@ -1120,6 +1137,12 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
         "Simulated seconds queries spent queued before starting.",
         &service_wait_seconds,
     );
+    write_histogram(
+        &mut out,
+        "xbfs_service_latency_seconds",
+        "Admission-to-completion latency of terminal queries, by outcome.",
+        &service_latency,
+    );
     if let Some(peak) = queue_depth_peak {
         write_gauge(
             &mut out,
@@ -1173,7 +1196,244 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     out
 }
 
-fn write_gauge(out: &mut String, name: &str, help: &str, series: &[(String, f64)]) {
+/// Render one [`TraceEvent`] as a self-describing JSON object (an
+/// `"event"` discriminant plus the variant's fields, verbatim).
+///
+/// This is the flight-recorder post-mortem format: when a query fails,
+/// the service dumps the last N ring-buffered events through this
+/// function so the artifact is greppable without the chrome-trace
+/// machinery. Field names match the [`TraceEvent`] declaration, so the
+/// dump doubles as documentation of what the recorder saw.
+pub fn trace_event_json(ev: &TraceEvent) -> Value {
+    match ev {
+        TraceEvent::RungBegin { rung, at_s } => {
+            json!({"event": "rung-begin", "rung": rung, "at_s": at_s})
+        }
+        TraceEvent::RungEnd {
+            rung,
+            at_s,
+            outcome,
+        } => {
+            json!({"event": "rung-end", "rung": rung, "at_s": at_s, "outcome": outcome.name()})
+        }
+        TraceEvent::RungSkipped { rung, device, at_s } => {
+            json!({"event": "rung-skipped", "rung": rung, "device": device, "at_s": at_s})
+        }
+        TraceEvent::Level {
+            rung,
+            device,
+            level,
+            direction,
+            frontier_vertices,
+            frontier_edges,
+            edges_examined,
+            discovered,
+            start_s,
+            end_s,
+        } => json!({
+            "event": "level", "rung": rung, "device": device, "level": level,
+            "direction": dir_label(*direction), "frontier_vertices": frontier_vertices,
+            "frontier_edges": frontier_edges, "edges_examined": edges_examined,
+            "discovered": discovered, "start_s": start_s, "end_s": end_s,
+        }),
+        TraceEvent::Kernel {
+            device,
+            op,
+            level,
+            attempt,
+            start_s,
+            end_s,
+            ok,
+        } => json!({
+            "event": "kernel", "device": device, "op": op, "level": level,
+            "attempt": attempt, "start_s": start_s, "end_s": end_s, "ok": ok,
+        }),
+        TraceEvent::Transfer {
+            level,
+            bytes,
+            attempt,
+            start_s,
+            end_s,
+            ok,
+        } => json!({
+            "event": "transfer", "level": level, "bytes": bytes, "attempt": attempt,
+            "start_s": start_s, "end_s": end_s, "ok": ok,
+        }),
+        TraceEvent::Backoff {
+            op,
+            level,
+            retry,
+            start_s,
+            end_s,
+        } => json!({
+            "event": "backoff", "op": op, "level": level, "retry": retry,
+            "start_s": start_s, "end_s": end_s,
+        }),
+        TraceEvent::Fault {
+            op,
+            kind,
+            level,
+            attempt,
+            at_s,
+        } => json!({
+            "event": "fault", "op": op, "kind": kind, "level": level,
+            "attempt": attempt, "at_s": at_s,
+        }),
+        TraceEvent::Breaker {
+            device,
+            from,
+            to,
+            cause,
+            at_s,
+        } => json!({
+            "event": "breaker", "device": device, "from": from, "to": to,
+            "cause": cause, "at_s": at_s,
+        }),
+        TraceEvent::Checkpoint {
+            rung,
+            level,
+            bytes,
+            spilled,
+            start_s,
+            end_s,
+        } => json!({
+            "event": "checkpoint", "rung": rung, "level": level, "bytes": bytes,
+            "spilled": spilled, "start_s": start_s, "end_s": end_s,
+        }),
+        TraceEvent::Resume {
+            rung,
+            from_level,
+            translated,
+            external,
+            at_s,
+        } => json!({
+            "event": "resume", "rung": rung, "from_level": from_level,
+            "translated": translated, "external": external, "at_s": at_s,
+        }),
+        TraceEvent::KernelCost {
+            device,
+            level,
+            direction,
+            total_s,
+            overhead_s,
+            work_s,
+            bound,
+            at_s,
+        } => json!({
+            "event": "kernel-cost", "device": device, "level": level,
+            "direction": dir_label(*direction), "total_s": total_s,
+            "overhead_s": overhead_s, "work_s": work_s, "bound": bound, "at_s": at_s,
+        }),
+        TraceEvent::EngineLevel {
+            level,
+            direction,
+            frontier_vertices,
+            frontier_edges,
+            edges_examined,
+            discovered,
+            wall_s,
+        } => json!({
+            "event": "engine-level", "level": level, "direction": dir_label(*direction),
+            "frontier_vertices": frontier_vertices, "frontier_edges": frontier_edges,
+            "edges_examined": edges_examined, "discovered": discovered, "wall_s": wall_s,
+        }),
+        TraceEvent::QueryAdmitted {
+            query,
+            queue_depth,
+            at_s,
+        } => json!({
+            "event": "query-admitted", "query": query, "queue_depth": queue_depth,
+            "at_s": at_s,
+        }),
+        TraceEvent::QueryStart {
+            query,
+            wait_s,
+            at_s,
+        } => {
+            json!({"event": "query-start", "query": query, "wait_s": wait_s, "at_s": at_s})
+        }
+        TraceEvent::QueryEnd {
+            query,
+            outcome,
+            rung,
+            at_s,
+        } => json!({
+            "event": "query-end", "query": query, "outcome": outcome, "rung": rung,
+            "at_s": at_s,
+        }),
+        TraceEvent::QueryShed {
+            query,
+            reason,
+            queue_depth,
+            at_s,
+        } => json!({
+            "event": "query-shed", "query": query, "reason": reason,
+            "queue_depth": queue_depth, "at_s": at_s,
+        }),
+        TraceEvent::QueueDepth { depth, at_s } => {
+            json!({"event": "queue-depth", "depth": depth, "at_s": at_s})
+        }
+        TraceEvent::CorruptionDetected {
+            rung,
+            detector,
+            level,
+            at_s,
+        } => json!({
+            "event": "corruption-detected", "rung": rung, "detector": detector,
+            "level": level, "at_s": at_s,
+        }),
+        TraceEvent::CorruptionRepair {
+            rung,
+            action,
+            to_level,
+            attempt,
+            at_s,
+        } => json!({
+            "event": "corruption-repair", "rung": rung, "action": action,
+            "to_level": to_level, "attempt": attempt, "at_s": at_s,
+        }),
+        TraceEvent::BatchBegin {
+            lanes,
+            window,
+            at_s,
+        } => {
+            json!({"event": "batch-begin", "lanes": lanes, "window": window, "at_s": at_s})
+        }
+        TraceEvent::BatchLane {
+            lane,
+            query,
+            source,
+            at_s,
+        } => json!({
+            "event": "batch-lane", "lane": lane, "query": query, "source": source,
+            "at_s": at_s,
+        }),
+        TraceEvent::BatchLevel {
+            device,
+            level,
+            direction,
+            lanes,
+            frontier_vertices,
+            edges_examined,
+            seconds,
+            at_s,
+        } => json!({
+            "event": "batch-level", "device": device, "level": level,
+            "direction": dir_label(*direction), "lanes": lanes,
+            "frontier_vertices": frontier_vertices, "edges_examined": edges_examined,
+            "seconds": seconds, "at_s": at_s,
+        }),
+        TraceEvent::BatchEnd {
+            lanes,
+            levels,
+            at_s,
+        } => {
+            json!({"event": "batch-end", "lanes": lanes, "levels": levels, "at_s": at_s})
+        }
+    }
+}
+
+pub(crate) fn write_gauge(out: &mut String, name: &str, help: &str, series: &[(String, f64)]) {
     if series.is_empty() {
         return;
     }
@@ -1609,6 +1869,228 @@ mod tests {
         assert_eq!(labels[0], ("op".to_string(), hostile.to_string()));
         assert_eq!(labels[1], ("plain".to_string(), "ok".to_string()));
         assert_eq!(*value, 2.0);
+    }
+
+    /// Admission-layer events with a hostile outcome label: two completed
+    /// queries (latencies 0.004 s and 0.199 s), one shed.
+    fn service_metric_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::QueryAdmitted {
+                query: 1,
+                queue_depth: 0,
+                at_s: 0.0,
+            },
+            TraceEvent::QueryStart {
+                query: 1,
+                wait_s: 0.0,
+                at_s: 0.0,
+            },
+            TraceEvent::QueryAdmitted {
+                query: 2,
+                queue_depth: 1,
+                at_s: 0.001,
+            },
+            TraceEvent::QueueDepth {
+                depth: 1,
+                at_s: 0.001,
+            },
+            TraceEvent::QueryEnd {
+                query: 1,
+                outcome: "served",
+                rung: "cross",
+                at_s: 0.004,
+            },
+            TraceEvent::QueryStart {
+                query: 2,
+                wait_s: 0.003,
+                at_s: 0.004,
+            },
+            TraceEvent::QueryShed {
+                query: 3,
+                reason: "overloaded",
+                queue_depth: 1,
+                at_s: 0.005,
+            },
+            TraceEvent::QueryEnd {
+                query: 2,
+                outcome: "failed \"oom\"\\gpu",
+                rung: "cpu-only",
+                at_s: 0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn service_latency_exposition_round_trips_through_strict_parser() {
+        let text = prometheus_text(&service_metric_events());
+        let samples = parse_exposition(&text);
+
+        // Admission-to-completion latency renders per outcome, hostile
+        // label escaped on the wire and recovered by the parser.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|(n, _, _)| n == "xbfs_service_latency_seconds_bucket")
+            .collect();
+        assert!(!buckets.is_empty(), "latency histogram missing:\n{text}");
+        assert!(
+            buckets
+                .iter()
+                .any(|(_, l, _)| l.iter().any(|(k, v)| k == "outcome" && v == "served")),
+            "{text}"
+        );
+        assert!(
+            buckets.iter().any(|(_, l, _)| l
+                .iter()
+                .any(|(k, v)| k == "outcome" && v == "failed \"oom\"\\gpu")),
+            "{text}"
+        );
+        // 0.004 s first lands in the 0.01 bucket; 0.199 s in the 1 bucket.
+        let count_at = |outcome: &str, le: &str| {
+            buckets
+                .iter()
+                .find(|(_, l, _)| {
+                    l.iter().any(|(k, v)| k == "outcome" && v == outcome)
+                        && l.iter().any(|(k, v)| k == "le" && v == le)
+                })
+                .map(|(_, _, v)| *v)
+                .expect("bucket present")
+        };
+        assert_eq!(count_at("served", "0.01"), 1.0);
+        assert_eq!(count_at("served", "0.001"), 0.0);
+        assert_eq!(count_at("failed \"oom\"\\gpu", "0.1"), 0.0);
+        assert_eq!(count_at("failed \"oom\"\\gpu", "1"), 1.0);
+        assert_eq!(count_at("failed \"oom\"\\gpu", "+Inf"), 1.0);
+
+        // Parse ∘ render is the identity over the whole exposition.
+        for (name, labels, value) in &samples {
+            let pairs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let line = format!("{name}{} {}", render_labels(&pairs), render_value(*value));
+            assert!(text.lines().any(|l| l == line), "missing line: {line}");
+        }
+    }
+
+    #[test]
+    fn service_latency_buckets_are_cumulative_and_close_at_count() {
+        let text = prometheus_text(&service_metric_events());
+        let samples = parse_exposition(&text);
+        let label_key = |labels: &[(String, String)]| {
+            labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        // Group the latency buckets per outcome and check cumulative
+        // monotonicity in `le`, with the +Inf bucket equal to _count.
+        let mut per_series: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for (name, labels, value) in &samples {
+            if name != "xbfs_service_latency_seconds_bucket" {
+                continue;
+            }
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| {
+                    if v == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        v.parse().expect("le bound parses")
+                    }
+                })
+                .expect("bucket has le");
+            per_series
+                .entry(label_key(labels))
+                .or_default()
+                .push((le, *value));
+        }
+        assert_eq!(per_series.len(), 2, "one series per outcome");
+        for (series, mut buckets) in per_series {
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            assert!(
+                buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+                "{series}: bucket counts must be cumulative"
+            );
+            let inf = buckets.last().expect("has +Inf");
+            assert!(inf.0.is_infinite());
+            let count = samples
+                .iter()
+                .find(|(n, l, _)| {
+                    n == "xbfs_service_latency_seconds_count" && label_key(l) == series
+                })
+                .map(|(_, _, v)| *v)
+                .expect("_count present");
+            assert_eq!(inf.1, count, "{series}: +Inf bucket must equal _count");
+        }
+    }
+
+    #[test]
+    fn slo_exposition_round_trips_through_strict_parser() {
+        use crate::observe::timeseries::{prometheus_slo_text, SloPolicy, SloReport, WindowBurn};
+        let report = SloReport {
+            policy: SloPolicy::default(),
+            deadline_eligible: 10,
+            deadline_missed: 1,
+            deadline_hit_ratio: 0.9,
+            deadline_met: false,
+            latency_eligible: 9,
+            latency_missed: 0,
+            latency_hit_ratio: 1.0,
+            latency_met: true,
+            met: false,
+            windows: vec![
+                WindowBurn {
+                    index: 0,
+                    start_s: 0.0,
+                    end_s: 0.5,
+                    deadline_burn: 10.0,
+                    latency_burn: 0.0,
+                },
+                WindowBurn {
+                    index: 1,
+                    start_s: 0.5,
+                    end_s: 1.0,
+                    deadline_burn: 0.0,
+                    latency_burn: 2.0,
+                },
+            ],
+        };
+        let text = prometheus_slo_text(&report);
+        let samples = parse_exposition(&text);
+        let value_of = |name: &str| {
+            samples
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+        };
+        assert_eq!(value_of("xbfs_slo_deadline_hit_ratio"), 0.9);
+        assert_eq!(value_of("xbfs_slo_latency_hit_ratio"), 1.0);
+        assert_eq!(value_of("xbfs_slo_met"), 0.0);
+        // Burn rates carry objective + window labels, one sample each.
+        let burns: Vec<&Sample> = samples
+            .iter()
+            .filter(|(n, _, _)| n == "xbfs_slo_burn_rate")
+            .collect();
+        assert_eq!(burns.len(), 4, "two windows x two objectives:\n{text}");
+        assert!(burns.iter().any(|(_, l, v)| {
+            l.contains(&("objective".to_string(), "deadline".to_string()))
+                && l.contains(&("window".to_string(), "0".to_string()))
+                && *v == 10.0
+        }));
+        // Parse ∘ render identity holds for the SLO families too.
+        for (name, labels, value) in &samples {
+            let pairs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let line = format!("{name}{} {}", render_labels(&pairs), render_value(*value));
+            assert!(text.lines().any(|l| l == line), "missing line: {line}");
+        }
     }
 
     #[test]

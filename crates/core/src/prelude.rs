@@ -9,21 +9,28 @@ pub use crate::audit::{decision_audit, DecisionAudit, LevelAttribution, PhaseSec
 pub use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
 pub use crate::cross::CrossParams;
 pub use crate::health::{BreakerPolicy, BreakerState, BreakerTransition, Device};
+pub use crate::observe::timeseries::{
+    prometheus_slo_text, timeseries_json_lines, LogHistogram, QuantileSummary, SloPolicy,
+    SloReport, SnapshotPolicy, TimeSeriesRegistry, TimeWeighted, WindowSnapshot,
+};
 pub use crate::observe::{
     chrome_trace_json, prometheus_audit_text, prometheus_text, service_chrome_trace_json,
+    trace_event_json,
 };
 pub use crate::recovery::{
     RecoveredRun, ResilienceConfig, ResumeRecord, RetryPolicy, RunReport, Rung,
 };
 pub use crate::runtime::AdaptiveRuntime;
 pub use crate::service::{
-    BatchCompat, BatchPolicy, Disposition, DrainMode, QueryRequest, QueryRequestBuilder,
-    QueryService, ScheduleItem, ServiceConfig, ServiceReport,
+    BatchCompat, BatchPolicy, Disposition, DrainMode, PostMortem, QueryRequest,
+    QueryRequestBuilder, QueryService, ScheduleItem, ServiceConfig, ServiceReport,
+    TraceSamplePolicy,
 };
 pub use crate::session::{BatchRun, BatchSession, LaneRun, RunSession};
 pub use crate::training::TrainingConfig;
 pub use xbfs_archsim::{ArchSpec, FaultPlan, Link};
 pub use xbfs_engine::trace::{
-    CountingSink, MemorySink, NullSink, TraceCounts, TraceEvent, TraceSink, NULL_SINK,
+    CountingSink, MemorySink, NullSink, RingSink, SamplingSink, TeeSink, TraceCounts, TraceEvent,
+    TraceSink, NULL_SINK,
 };
 pub use xbfs_engine::XbfsError;

@@ -42,13 +42,17 @@ use std::sync::Arc;
 
 use crate::cross::CrossParams;
 use crate::health::{BreakerState, Device, TransitionCause};
+use crate::observe::timeseries::{
+    SloPolicy, SloReport, SnapshotPolicy, TimeSeriesRegistry, TimeWeighted, WindowSnapshot,
+};
+use crate::observe::trace_event_json;
 use crate::recovery::{RecoveredRun, ResilienceConfig, Rung};
 use crate::runtime::AdaptiveRuntime;
 use crate::session::{BatchSession, RunSession};
 use serde::{Deserialize, Serialize};
 use xbfs_archsim::{ArchSpec, FaultPlan, Link};
 use xbfs_engine::par::payload_to_string;
-use xbfs_engine::trace::{MemorySink, TraceEvent};
+use xbfs_engine::trace::{MemorySink, RingSink, SamplingSink, TeeSink, TraceEvent, TraceSink};
 use xbfs_engine::{XbfsError, MAX_LANES};
 use xbfs_graph::{Csr, GraphStats, VertexId};
 
@@ -292,6 +296,37 @@ impl BatchPolicy {
     }
 }
 
+/// Head-sampling of per-query traces: the keep/drop decision is made
+/// once per query from a seeded hash of `(seed, query id)`, so a sampled
+/// service run is as deterministic as an unsampled one — the same seed
+/// keeps the same queries on every replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceSamplePolicy {
+    /// Probability a query's trace is kept, in `[0, 1]` (1 = keep all,
+    /// the pre-sampling behavior).
+    pub rate: f64,
+    /// Seed for the per-query keep/drop hash.
+    pub seed: u64,
+}
+
+impl Default for TraceSamplePolicy {
+    fn default() -> Self {
+        Self { rate: 1.0, seed: 0 }
+    }
+}
+
+impl TraceSamplePolicy {
+    /// Validate the rate (finite, in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), XbfsError> {
+        if !(self.rate.is_finite() && (0.0..=1.0).contains(&self.rate)) {
+            return Err(XbfsError::InvalidArgument {
+                what: format!("trace sample rate must be in [0, 1], got {}", self.rate),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Service-level knobs: slots, queue bound, per-query resilience.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -316,6 +351,18 @@ pub struct ServiceConfig {
     pub spill_dir: Option<String>,
     /// The batching stage (off by default: `window` 0).
     pub batching: BatchPolicy,
+    /// Live time-series snapshot cadence (off by default).
+    pub snapshot: SnapshotPolicy,
+    /// Optional service-level objectives evaluated over the run.
+    pub slo: Option<SloPolicy>,
+    /// Per-query flight-recorder capacity: each worker keeps this many of
+    /// its most recent trace events in a bounded ring, dumped as a
+    /// post-mortem when the query ends in a typed error. `0` disables the
+    /// recorder (the default — no ring, no dumps, byte-identical output).
+    pub flight_recorder: usize,
+    /// Head-sampling of the per-query trace buffers (effective only when
+    /// [`ServiceConfig::keep_query_traces`] is on).
+    pub trace_sample: TraceSamplePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -328,13 +375,17 @@ impl Default for ServiceConfig {
             keep_query_traces: false,
             spill_dir: None,
             batching: BatchPolicy::default(),
+            snapshot: SnapshotPolicy::off(),
+            slo: None,
+            flight_recorder: 0,
+            trace_sample: TraceSamplePolicy::default(),
         }
     }
 }
 
 impl ServiceConfig {
-    /// Validate the knobs (capacity ≥ 1, inner resilience and batching
-    /// configs valid).
+    /// Validate the knobs (capacity ≥ 1, inner resilience, batching, and
+    /// telemetry configs valid).
     pub fn validate(&self) -> Result<(), XbfsError> {
         if self.capacity == 0 {
             return Err(XbfsError::InvalidArgument {
@@ -342,6 +393,11 @@ impl ServiceConfig {
             });
         }
         self.batching.validate()?;
+        self.snapshot.validate()?;
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
+        }
+        self.trace_sample.validate()?;
         self.resilience.validate()
     }
 }
@@ -402,6 +458,52 @@ pub struct QueryOutcome {
     pub run: Option<RecoveredRun>,
 }
 
+/// The flight-recorder dump for one query that ended in a typed error:
+/// the last events the query's bounded ring saw before it died, plus
+/// enough identity to reconcile the dump with the query's outcome.
+#[derive(Clone, Debug)]
+pub struct PostMortem {
+    /// Caller-assigned query id.
+    pub query: u64,
+    /// Requested source vertex.
+    pub source: VertexId,
+    /// Terminal disposition label ("failed", "deadline-missed").
+    pub disposition: &'static str,
+    /// The typed error, rendered.
+    pub error: String,
+    /// Service clock at query start.
+    pub start_s: f64,
+    /// Service clock at the terminal event.
+    pub completion_s: f64,
+    /// Ring capacity the recorder ran with.
+    pub capacity: usize,
+    /// Events the ring overwrote before the dump (0 = the dump is the
+    /// query's complete trace).
+    pub dropped: u64,
+    /// The retained events, oldest first, on the query's private clock.
+    pub events: Vec<TraceEvent>,
+}
+
+impl PostMortem {
+    /// Serialize the dump as a pretty-printed JSON artifact (events via
+    /// [`crate::observe::trace_event_json`]).
+    pub fn to_json(&self) -> String {
+        let events: Vec<serde_json::Value> = self.events.iter().map(trace_event_json).collect();
+        serde_json::to_string_pretty(&serde_json::json!({
+            "query": self.query,
+            "source": self.source,
+            "disposition": self.disposition,
+            "error": self.error,
+            "start_s": self.start_s,
+            "completion_s": self.completion_s,
+            "flight_recorder_capacity": self.capacity,
+            "dropped_events": self.dropped,
+            "events": events,
+        }))
+        .expect("post-mortem serializes")
+    }
+}
+
 /// One query's buffered trace, positioned on the service clock.
 #[derive(Clone, Debug)]
 pub struct QueryTrace {
@@ -437,6 +539,10 @@ pub struct ServiceReport {
     pub peak_queue_depth: u32,
     /// Most queries ever running at once.
     pub peak_in_flight: u32,
+    /// Time-weighted mean admission-queue depth over the run's makespan.
+    pub mean_queue_depth: f64,
+    /// Time-weighted mean of occupied slots over the run's makespan.
+    pub mean_in_flight: f64,
     /// Simulated time of the last terminal event.
     pub makespan_s: f64,
     /// Devices permanently lost during the run, with the service time at
@@ -447,6 +553,15 @@ pub struct ServiceReport {
     pub events: Vec<TraceEvent>,
     /// Per-query traces, when [`ServiceConfig::keep_query_traces`] is on.
     pub query_traces: Vec<QueryTrace>,
+    /// Closed telemetry windows, when [`ServiceConfig::snapshot`] is on.
+    pub timeseries: Vec<WindowSnapshot>,
+    /// The SLO verdict, when [`ServiceConfig::slo`] and
+    /// [`ServiceConfig::snapshot`] are both configured.
+    pub slo: Option<SloReport>,
+    /// Flight-recorder dumps for queries that ended in a typed error,
+    /// when [`ServiceConfig::flight_recorder`] is non-zero. Completion
+    /// order.
+    pub postmortems: Vec<PostMortem>,
 }
 
 impl ServiceReport {
@@ -501,6 +616,8 @@ impl ServiceReport {
             "failed": self.failed,
             "peak_queue_depth": self.peak_queue_depth,
             "peak_in_flight": self.peak_in_flight,
+            "mean_queue_depth": self.mean_queue_depth,
+            "mean_in_flight": self.mean_in_flight,
             "makespan_s": self.makespan_s,
             "lost_devices": lost,
             "queries": queries,
@@ -509,8 +626,17 @@ impl ServiceReport {
     }
 }
 
+/// The flight-recorder tail a worker hands back: `(retained events,
+/// overwritten-event count)`.
+type RingDump = (Vec<TraceEvent>, u64);
+
 /// What one query's worker thread hands back.
-type QueryDone = (Result<RecoveredRun, XbfsError>, Vec<TraceEvent>);
+struct QueryDone {
+    result: Result<RecoveredRun, XbfsError>,
+    events: Vec<TraceEvent>,
+    /// The ring contents, when the flight recorder was on.
+    ring: Option<RingDump>,
+}
 
 /// What one slot's worker thread hands back: a solo query's result, or a
 /// whole batch's per-lane results plus the shared batch trace and clock.
@@ -522,6 +648,8 @@ enum Done {
         events: Vec<TraceEvent>,
         /// The batch's shared simulated duration.
         total_seconds: f64,
+        /// The shared ring contents, when the flight recorder was on.
+        ring: Option<RingDump>,
     },
 }
 
@@ -529,7 +657,7 @@ impl Done {
     /// Simulated seconds the slot was occupied.
     fn duration(&self) -> f64 {
         match self {
-            Done::Solo(done) => match &done.0 {
+            Done::Solo(done) => match &done.result {
                 Ok(run) => run.report.total_seconds,
                 Err(XbfsError::DeadlineExceeded { elapsed_s, .. }) => *elapsed_s,
                 // Other terminal errors carry no clock; charge nothing
@@ -537,6 +665,93 @@ impl Done {
                 Err(_) => 0.0,
             },
             Done::Batch { total_seconds, .. } => *total_seconds,
+        }
+    }
+}
+
+/// The run-wide telemetry accumulators `run_schedule` feeds: always-on
+/// time-weighted gauges (they back the report's mean fields) plus the
+/// optional windowed registry.
+struct Telemetry {
+    queue: TimeWeighted,
+    in_flight: TimeWeighted,
+    registry: Option<TimeSeriesRegistry>,
+}
+
+impl Telemetry {
+    fn new(config: &ServiceConfig) -> Self {
+        Self {
+            queue: TimeWeighted::new(0.0),
+            in_flight: TimeWeighted::new(0.0),
+            registry: config
+                .snapshot
+                .enabled()
+                .then(|| TimeSeriesRegistry::new(config.snapshot, config.slo)),
+        }
+    }
+
+    fn admit(&mut self, t: f64) {
+        if let Some(r) = &mut self.registry {
+            r.record_admit(t);
+        }
+    }
+
+    fn shed(&mut self, t: f64, deadline: bool) {
+        if let Some(r) = &mut self.registry {
+            r.record_shed(t, deadline);
+        }
+    }
+
+    fn queue_depth(&mut self, t: f64, depth: u32) {
+        self.queue.set(t, f64::from(depth));
+        if let Some(r) = &mut self.registry {
+            r.record_queue_depth(t, depth);
+        }
+    }
+
+    fn in_flight(&mut self, t: f64, n: u32) {
+        self.in_flight.set(t, f64::from(n));
+        if let Some(r) = &mut self.registry {
+            r.record_in_flight(t, n);
+        }
+    }
+
+    fn start(&mut self, t: f64, wait_s: f64) {
+        if let Some(r) = &mut self.registry {
+            r.record_start(t, wait_s);
+        }
+    }
+
+    fn complete(&mut self, t: f64, latency_s: f64, deadline_missed: bool) {
+        if let Some(r) = &mut self.registry {
+            r.record_complete(t, latency_s, deadline_missed);
+        }
+    }
+
+    fn batch(&mut self, t: f64, lanes: u32) {
+        if let Some(r) = &mut self.registry {
+            r.record_batch(t, lanes);
+        }
+    }
+
+    fn corruption(&mut self, t: f64, detected: u32, repaired: u32) {
+        if (detected | repaired) != 0 {
+            if let Some(r) = &mut self.registry {
+                r.record_corruption(t, detected, repaired);
+            }
+        }
+    }
+
+    /// Close the run at `makespan_s` and fold everything into `report`.
+    fn finish(mut self, report: &mut ServiceReport, makespan_s: f64) {
+        report.mean_queue_depth = self.queue.mean(makespan_s);
+        report.mean_in_flight = self.in_flight.mean(makespan_s);
+        if let Some(r) = &mut self.registry {
+            r.finish(makespan_s);
+            report.slo = r.slo_report();
+        }
+        if let Some(r) = self.registry {
+            report.timeseries = r.into_snapshots();
         }
     }
 }
@@ -647,6 +862,7 @@ impl QueryService {
         let mut lost: Vec<(Device, f64)> = Vec::new();
         let mut drained_at: Option<f64> = None;
         let mut clock = 0.0f64;
+        let mut tele = Telemetry::new(&self.config);
 
         std::thread::scope(|scope| {
             let mut running: Vec<Running<'_>> = Vec::new();
@@ -665,13 +881,14 @@ impl QueryService {
                             Ok(done) => done,
                             // The belt inside the thread caught the unwind;
                             // this is the suspenders for a panic escaping it.
-                            Err(p) => Done::Solo(Box::new((
-                                Err(XbfsError::KernelPanic {
+                            Err(p) => Done::Solo(Box::new(QueryDone {
+                                result: Err(XbfsError::KernelPanic {
                                     payload: payload_to_string(&*p),
                                     range: None,
                                 }),
-                                Vec::new(),
-                            ))),
+                                events: Vec::new(),
+                                ring: None,
+                            })),
                         };
                         let duration = done.duration();
                         r.finished = Some((r.start_s + duration, done));
@@ -705,14 +922,20 @@ impl QueryService {
                     clock = clock.max(completion_s);
                     match done {
                         Done::Solo(done) => {
-                            let (result, events) = *done;
+                            let QueryDone {
+                                result,
+                                events,
+                                ring,
+                            } = *done;
                             self.complete(
                                 &mut report,
+                                &mut tele,
                                 r.slot,
                                 r.start_s,
                                 completion_s,
                                 result,
                                 events,
+                                ring,
                                 &mut lost,
                             );
                         }
@@ -720,6 +943,7 @@ impl QueryService {
                             lanes,
                             events,
                             total_seconds: _,
+                            ring,
                         } => {
                             let mut batch_events = Some(events);
                             for (slot, result) in lanes {
@@ -743,14 +967,18 @@ impl QueryService {
                                 // The shared batch trace rides the lead
                                 // lane; the per-lane `BatchLane` events in
                                 // the service stream reconcile the rest.
+                                // Each failed lane gets its own copy of the
+                                // shared ring dump.
                                 let events = batch_events.take().unwrap_or_default();
                                 self.complete(
                                     &mut report,
+                                    &mut tele,
                                     slot,
                                     r.start_s,
                                     completion_s,
                                     result,
                                     events,
+                                    ring.clone(),
                                     &mut lost,
                                 );
                             }
@@ -765,6 +993,7 @@ impl QueryService {
                             depth: queue.len() as u32,
                             at_s: completion_s,
                         });
+                        tele.queue_depth(completion_s, queue.len() as u32);
                         if self.config.batching.enabled()
                             && lost.is_empty()
                             && self.config.batching.compat.admits(requests[slot])
@@ -780,6 +1009,7 @@ impl QueryService {
                                             depth: queue.len() as u32,
                                             at_s: completion_s,
                                         });
+                                        tele.queue_depth(completion_s, queue.len() as u32);
                                     }
                                     _ => break,
                                 }
@@ -787,6 +1017,7 @@ impl QueryService {
                             if lanes.len() > 1 {
                                 if let Some(run) = self.try_start_batch(
                                     &mut report,
+                                    &mut tele,
                                     scope,
                                     &lanes,
                                     &requests,
@@ -800,6 +1031,7 @@ impl QueryService {
                         }
                         if let Some(run) = self.try_start(
                             &mut report,
+                            &mut tele,
                             scope,
                             slot,
                             requests[slot],
@@ -810,6 +1042,7 @@ impl QueryService {
                             running.push(run);
                         }
                     }
+                    tele.in_flight(completion_s, running.len() as u32);
                     continue;
                 }
 
@@ -824,6 +1057,7 @@ impl QueryService {
                             while let Some(slot) = queue.pop_front() {
                                 self.shed(
                                     &mut report,
+                                    &mut tele,
                                     slot,
                                     "shutdown",
                                     Disposition::ShedShutdown,
@@ -836,6 +1070,7 @@ impl QueryService {
                                 depth: 0,
                                 at_s: *at_s,
                             });
+                            tele.queue_depth(*at_s, 0);
                         }
                     }
                     ScheduleItem::Query(q) => {
@@ -844,6 +1079,7 @@ impl QueryService {
                         if drained_at.is_some_and(|d| at_s >= d) {
                             self.shed(
                                 &mut report,
+                                &mut tele,
                                 slot,
                                 "shutdown",
                                 Disposition::ShedShutdown,
@@ -853,19 +1089,28 @@ impl QueryService {
                             );
                         } else if running.len() < capacity {
                             report.admitted += 1;
+                            tele.admit(at_s);
                             report.events.push(TraceEvent::QueryAdmitted {
                                 query: q.id,
                                 queue_depth: 0,
                                 at_s,
                             });
-                            if let Some(run) =
-                                self.try_start(&mut report, scope, slot, q, at_s, 0, &lost)
-                            {
+                            if let Some(run) = self.try_start(
+                                &mut report,
+                                &mut tele,
+                                scope,
+                                slot,
+                                q,
+                                at_s,
+                                0,
+                                &lost,
+                            ) {
                                 running.push(run);
                             }
                         } else if queue.len() < queue_limit {
                             queue.push_back(slot);
                             report.admitted += 1;
+                            tele.admit(at_s);
                             let depth = queue.len() as u32;
                             report.peak_queue_depth = report.peak_queue_depth.max(depth);
                             report.events.push(TraceEvent::QueryAdmitted {
@@ -874,10 +1119,12 @@ impl QueryService {
                                 at_s,
                             });
                             report.events.push(TraceEvent::QueueDepth { depth, at_s });
+                            tele.queue_depth(at_s, depth);
                         } else {
                             let depth = queue.len() as u32;
                             self.shed(
                                 &mut report,
+                                &mut tele,
                                 slot,
                                 "overloaded",
                                 Disposition::ShedOverloaded,
@@ -892,11 +1139,13 @@ impl QueryService {
                     }
                 }
                 report.peak_in_flight = report.peak_in_flight.max(running.len() as u32);
+                tele.in_flight(clock, running.len() as u32);
             }
         });
 
         report.makespan_s = clock;
         report.lost_devices = lost;
+        tele.finish(&mut report, clock);
         Ok(report)
     }
 
@@ -905,6 +1154,7 @@ impl QueryService {
     fn shed(
         &self,
         report: &mut ServiceReport,
+        tele: &mut Telemetry,
         slot: usize,
         reason: &'static str,
         disposition: Disposition,
@@ -918,6 +1168,7 @@ impl QueryService {
             Disposition::DeadlineMissed => report.deadline_missed += 1,
             _ => {}
         }
+        tele.shed(at_s, disposition == Disposition::DeadlineMissed);
         let o = &mut report.outcomes[slot];
         o.disposition = disposition;
         o.completion_s = Some(at_s);
@@ -937,6 +1188,7 @@ impl QueryService {
     fn try_start<'scope, 'env>(
         &'env self,
         report: &mut ServiceReport,
+        tele: &mut Telemetry,
         scope: &'scope std::thread::Scope<'scope, 'env>,
         slot: usize,
         req: &'env QueryRequest,
@@ -951,6 +1203,7 @@ impl QueryService {
             if remaining <= 0.0 {
                 self.shed(
                     report,
+                    tele,
                     slot,
                     "deadline",
                     Disposition::DeadlineMissed,
@@ -978,6 +1231,7 @@ impl QueryService {
             wait_s,
             at_s: now_s,
         });
+        tele.start(now_s, wait_s);
         {
             let o = &mut report.outcomes[slot];
             o.start_s = Some(now_s);
@@ -985,8 +1239,21 @@ impl QueryService {
         }
         let lost_devices: Vec<Device> = lost.iter().map(|(d, _)| *d).collect();
         let keep_trace = self.config.keep_query_traces;
+        let sample = self.config.trace_sample;
+        let ring_capacity = self.config.flight_recorder;
         let handle = scope.spawn(move || {
             let sink = MemorySink::new();
+            // Head sampling: the keep/drop decision is sealed here, once,
+            // from the seeded hash — a disabled buffer (not kept, or
+            // traces off entirely) costs nothing on the hot path.
+            let buffered = SamplingSink::for_query(
+                &sink,
+                sample.seed,
+                req.id,
+                if keep_trace { sample.rate } else { 0.0 },
+            );
+            let ring = RingSink::new(ring_capacity);
+            let tee = TeeSink::new(&buffered, &ring);
             let plan = req.plan();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let mut session = RunSession::on_platform(
@@ -1000,8 +1267,8 @@ impl QueryService {
                 .fault_plan(&plan)
                 .resilience(config)
                 .presume_lost(&lost_devices);
-                if keep_trace {
-                    session = session.sink(&sink);
+                if tee.enabled() {
+                    session = session.sink(&tee);
                 }
                 session.run()
             }))
@@ -1011,7 +1278,11 @@ impl QueryService {
                     range: None,
                 })
             });
-            Done::Solo(Box::new((result, sink.take())))
+            Done::Solo(Box::new(QueryDone {
+                result,
+                events: sink.take(),
+                ring: (ring_capacity > 0).then(|| (ring.events(), ring.dropped())),
+            }))
         });
         Some(Running {
             slot,
@@ -1026,9 +1297,11 @@ impl QueryService {
     /// deadline already expired while queued are shed here, exactly as a
     /// solo start would shed them; if fewer than two lanes survive, the
     /// remainder runs solo through [`Self::try_start`].
+    #[allow(clippy::too_many_arguments)] // the full dispatch context
     fn try_start_batch<'scope, 'env>(
         &'env self,
         report: &mut ServiceReport,
+        tele: &mut Telemetry,
         scope: &'scope std::thread::Scope<'scope, 'env>,
         lanes: &[usize],
         requests: &[&'env QueryRequest],
@@ -1043,6 +1316,7 @@ impl QueryService {
                 if d - wait_s <= 0.0 {
                     self.shed(
                         report,
+                        tele,
                         slot,
                         "deadline",
                         Disposition::DeadlineMissed,
@@ -1063,6 +1337,7 @@ impl QueryService {
             1 => {
                 return self.try_start(
                     report,
+                    tele,
                     scope,
                     live[0],
                     requests[live[0]],
@@ -1073,6 +1348,7 @@ impl QueryService {
             }
             _ => {}
         }
+        tele.batch(now_s, live.len() as u32);
 
         let window = self.config.batching.window;
         let mut sources: Vec<VertexId> = Vec::with_capacity(live.len());
@@ -1084,6 +1360,7 @@ impl QueryService {
                 wait_s,
                 at_s: now_s,
             });
+            tele.start(now_s, wait_s);
             report.events.push(TraceEvent::BatchLane {
                 lane: lane as u32,
                 query: req.id,
@@ -1100,8 +1377,21 @@ impl QueryService {
         // batch clock; only the base resilience deadline bounds the batch.
         let config = self.config.resilience.clone();
         let keep_trace = self.config.keep_query_traces;
+        let sample = self.config.trace_sample;
+        let ring_capacity = self.config.flight_recorder;
+        // The batch shares one trace; its sampling decision rides the lead
+        // lane's query id so a replay keeps the same batches.
+        let lead_query = requests[live[0]].id;
         let handle = scope.spawn(move || {
             let sink = MemorySink::new();
+            let buffered = SamplingSink::for_query(
+                &sink,
+                sample.seed,
+                lead_query,
+                if keep_trace { sample.rate } else { 0.0 },
+            );
+            let ring = RingSink::new(ring_capacity);
+            let tee = TeeSink::new(&buffered, &ring);
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let mut session = BatchSession::on_platform(
                     &self.csr,
@@ -1113,8 +1403,8 @@ impl QueryService {
                 .sources(&sources)
                 .window(window)
                 .resilience(config);
-                if keep_trace {
-                    session = session.sink(&sink);
+                if tee.enabled() {
+                    session = session.sink(&tee);
                 }
                 session.run()
             }))
@@ -1124,6 +1414,7 @@ impl QueryService {
                     range: None,
                 })
             });
+            let ring_dump = (ring_capacity > 0).then(|| (ring.events(), ring.dropped()));
             match result {
                 Ok(batch) => Done::Batch {
                     total_seconds: batch.total_seconds,
@@ -1133,6 +1424,7 @@ impl QueryService {
                         .map(|(&slot, lane)| (slot, Ok(lane.run)))
                         .collect(),
                     events: sink.take(),
+                    ring: ring_dump,
                 },
                 Err(e) => {
                     let total_seconds = match &e {
@@ -1143,6 +1435,7 @@ impl QueryService {
                         total_seconds,
                         lanes: live.iter().map(|&slot| (slot, Err(e.clone()))).collect(),
                         events: sink.take(),
+                        ring: ring_dump,
                     }
                 }
             }
@@ -1155,19 +1448,29 @@ impl QueryService {
         })
     }
 
-    /// Process one completion: counters, the `QueryEnd` event, and the
-    /// promotion of permanent device losses to the shared ledger.
+    /// Process one completion: counters, the `QueryEnd` event, telemetry,
+    /// the post-mortem dump for typed errors, and the promotion of
+    /// permanent device losses to the shared ledger.
     #[allow(clippy::too_many_arguments)] // the full completion context
     fn complete(
         &self,
         report: &mut ServiceReport,
+        tele: &mut Telemetry,
         slot: usize,
         start_s: f64,
         completion_s: f64,
         result: Result<RecoveredRun, XbfsError>,
         events: Vec<TraceEvent>,
+        ring: Option<RingDump>,
         lost: &mut Vec<(Device, f64)>,
     ) {
+        if let Ok(run) = &result {
+            tele.corruption(
+                completion_s,
+                run.report.corruption_detected,
+                run.report.corruption_repairs,
+            );
+        }
         let (outcome_label, rung_label) = match &result {
             Ok(run) => {
                 // Permanent losses join the service-wide ledger *now*, in
@@ -1225,6 +1528,24 @@ impl QueryService {
             rung: rung_label,
             at_s: completion_s,
         });
+        tele.complete(
+            completion_s,
+            (completion_s - o.arrival_s).max(0.0),
+            o.disposition == Disposition::DeadlineMissed,
+        );
+        if let (Some(error), Some((ring_events, dropped))) = (&o.error, ring) {
+            report.postmortems.push(PostMortem {
+                query: o.id,
+                source: o.source,
+                disposition: o.disposition.name(),
+                error: error.to_string(),
+                start_s,
+                completion_s,
+                capacity: self.config.flight_recorder,
+                dropped,
+                events: ring_events,
+            });
+        }
         if self.config.keep_query_traces {
             report.query_traces.push(QueryTrace {
                 query: o.id,
@@ -1584,5 +1905,188 @@ mod tests {
             svc.run_schedule(&schedule),
             Err(XbfsError::InvalidArgument { .. })
         ));
+    }
+
+    #[test]
+    fn telemetry_means_match_a_hand_computed_schedule() {
+        // Queue: 0 on [0,1), 2 on [1,3), 1 on [3,4), 0 on [4,5] →
+        // area 5 over span 5 → mean 1.0. In-flight: 1 on [0,2), 2 on
+        // [2,5] → area 8 over 5 → mean 1.6.
+        let mut tele = Telemetry::new(&ServiceConfig::default());
+        tele.queue_depth(1.0, 2);
+        tele.queue_depth(3.0, 1);
+        tele.queue_depth(4.0, 0);
+        tele.in_flight(0.0, 1);
+        tele.in_flight(2.0, 2);
+        let mut report = ServiceReport::default();
+        tele.finish(&mut report, 5.0);
+        assert_eq!(report.mean_queue_depth, 1.0);
+        assert_eq!(report.mean_in_flight, 1.6);
+    }
+
+    #[test]
+    fn telemetry_defaults_stay_off_and_means_are_recorded() {
+        let (svc, src) = service(ServiceConfig {
+            capacity: 1,
+            queue_limit: 4,
+            ..ServiceConfig::default()
+        });
+        let schedule: Vec<ScheduleItem> = (0..3)
+            .map(|i| ScheduleItem::Query(QueryRequest::builder(i, src).arrival(0.0).build()))
+            .collect();
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        // Off by default: no windows, no SLO verdict, no dumps.
+        assert!(report.timeseries.is_empty());
+        assert!(report.slo.is_none());
+        assert!(report.postmortems.is_empty());
+        // The always-on gauges still integrate: one slot busy the whole
+        // makespan, a queue that drains as slots free.
+        assert!(report.mean_in_flight > 0.0);
+        assert!(report.mean_in_flight <= 1.0);
+        assert!(report.mean_queue_depth > 0.0);
+        assert!(f64::from(report.peak_queue_depth) >= report.mean_queue_depth);
+    }
+
+    #[test]
+    fn snapshot_windows_replay_byte_identically_and_reconcile_with_the_report() {
+        let config = ServiceConfig {
+            capacity: 1,
+            queue_limit: 8,
+            snapshot: SnapshotPolicy::every(0.001),
+            slo: Some(SloPolicy {
+                deadline_hit_ratio: 0.5,
+                latency_objective_s: 0.002,
+                latency_hit_ratio: 0.5,
+            }),
+            ..ServiceConfig::default()
+        };
+        let run = || {
+            let (svc, src) = service(config.clone());
+            let schedule: Vec<ScheduleItem> = (0..6)
+                .map(|i| {
+                    ScheduleItem::Query(
+                        QueryRequest::builder(i, src)
+                            .arrival(i as f64 * 1e-4)
+                            .build(),
+                    )
+                })
+                .collect();
+            svc.run_schedule(&schedule).expect("schedule")
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.timeseries.is_empty(), "windows were closed");
+        let slo_a = a.slo.as_ref().expect("slo evaluated");
+        let lines_a =
+            crate::observe::timeseries::timeseries_json_lines(&a.timeseries, a.slo.as_ref());
+        let lines_b =
+            crate::observe::timeseries::timeseries_json_lines(&b.timeseries, b.slo.as_ref());
+        assert_eq!(lines_a, lines_b, "telemetry replays byte-for-byte");
+        // Window totals reconcile with the report's counters.
+        let admitted: u64 = a.timeseries.iter().map(|w| w.admitted).sum();
+        let completed: u64 = a.timeseries.iter().map(|w| w.completed).sum();
+        assert_eq!(admitted, u64::from(a.admitted));
+        assert_eq!(
+            completed,
+            u64::from(a.served + a.degraded + a.failed) + u64::from(a.deadline_missed)
+                - a.timeseries.iter().map(|w| w.deadline_shed).sum::<u64>()
+        );
+        assert_eq!(slo_a.latency_eligible, completed);
+    }
+
+    #[test]
+    fn flight_recorder_dump_reconciles_with_the_kept_trace() {
+        // A deadline that lets the query start but expire mid-run gives a
+        // deterministic typed error with a real event stream behind it.
+        let config = ServiceConfig {
+            capacity: 1,
+            keep_query_traces: true,
+            flight_recorder: 4096,
+            ..ServiceConfig::default()
+        };
+        let (svc, src) = service(config);
+        let schedule = vec![ScheduleItem::Query(
+            QueryRequest::builder(0, src)
+                .arrival(0.0)
+                .deadline(1e-7)
+                .build(),
+        )];
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        assert_eq!(report.deadline_missed, 1);
+        let pm = report.postmortems.first().expect("post-mortem attached");
+        assert_eq!(pm.query, 0);
+        assert_eq!(pm.disposition, "deadline-missed");
+        assert_eq!(pm.capacity, 4096);
+        // Capacity exceeded nothing, so the dump IS the query's trace.
+        assert_eq!(pm.dropped, 0);
+        let qt = &report.query_traces[0];
+        assert_eq!(pm.events, qt.events);
+        assert!(!pm.events.is_empty());
+        // The JSON artifact round-trips through serde_json.
+        let v: serde_json::Value = serde_json::from_str(&pm.to_json()).expect("valid json");
+        assert_eq!(v["query"], 0);
+        assert_eq!(v["events"].as_array().unwrap().len(), pm.events.len());
+
+        // A small ring keeps exactly the trace's tail.
+        let (svc, src) = service(ServiceConfig {
+            capacity: 1,
+            keep_query_traces: true,
+            flight_recorder: 4,
+            ..ServiceConfig::default()
+        });
+        let schedule = vec![ScheduleItem::Query(
+            QueryRequest::builder(0, src)
+                .arrival(0.0)
+                .deadline(1e-7)
+                .build(),
+        )];
+        let report = svc.run_schedule(&schedule).expect("schedule");
+        let pm = report.postmortems.first().expect("post-mortem attached");
+        let qt = &report.query_traces[0];
+        assert_eq!(pm.events.len(), 4.min(qt.events.len()));
+        assert_eq!(pm.dropped, qt.events.len() as u64 - pm.events.len() as u64);
+        assert_eq!(
+            pm.events[..],
+            qt.events[qt.events.len() - pm.events.len()..]
+        );
+    }
+
+    #[test]
+    fn trace_sampling_is_deterministic_and_served_queries_get_no_dump() {
+        let config = ServiceConfig {
+            capacity: 1,
+            queue_limit: 8,
+            keep_query_traces: true,
+            flight_recorder: 16,
+            trace_sample: TraceSamplePolicy { rate: 0.5, seed: 7 },
+            ..ServiceConfig::default()
+        };
+        let run = || {
+            let (svc, src) = service(config.clone());
+            let schedule: Vec<ScheduleItem> = (0..8)
+                .map(|i| ScheduleItem::Query(QueryRequest::builder(i, src).arrival(0.0).build()))
+                .collect();
+            svc.run_schedule(&schedule).expect("schedule")
+        };
+        let a = run();
+        let b = run();
+        // Served queries never produce post-mortems, even with the
+        // recorder on.
+        assert_eq!(a.served + a.degraded, 8);
+        assert!(a.postmortems.is_empty());
+        // Sampling kept a strict subset, decided identically on replay.
+        let kept = |r: &ServiceReport| -> Vec<u64> {
+            r.query_traces
+                .iter()
+                .filter(|t| !t.events.is_empty())
+                .map(|t| t.query)
+                .collect()
+        };
+        assert_eq!(kept(&a), kept(&b), "keep/drop decisions replay");
+        assert!(kept(&a).len() < 8, "rate 0.5 drops someone in 8 queries");
+        let expected: Vec<u64> = (0..8)
+            .filter(|&id| xbfs_engine::trace::SamplingSink::would_keep(7, id, 0.5))
+            .collect();
+        assert_eq!(kept(&a), expected, "decision matches the seeded hash");
     }
 }

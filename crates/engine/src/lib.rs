@@ -53,8 +53,8 @@ pub use trace::analysis::{
     critical_path, trace_diff, CriticalPath, PathSegment, PhaseDelta, TraceDiff,
 };
 pub use trace::{
-    CountingSink, MemorySink, NullSink, RungOutcome, ShardedSink, TraceCounts, TraceEvent,
-    TraceSink, NULL_SINK,
+    CountingSink, MemorySink, NullSink, RingSink, RungOutcome, SamplingSink, ShardedSink, TeeSink,
+    TraceCounts, TraceEvent, TraceSink, NULL_SINK,
 };
 pub use validate::{validate, ValidationError};
 

@@ -525,6 +525,215 @@ impl TraceSink for ShardedSink {
     }
 }
 
+/// Interior state of a [`RingSink`]: a fixed-capacity ring plus the
+/// overwrite tally.
+#[derive(Debug)]
+struct RingState {
+    /// Ring storage; grows up to capacity, then wraps.
+    buf: Vec<TraceEvent>,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Events overwritten since construction.
+    dropped: u64,
+}
+
+/// A bounded flight recorder: keeps only the most recent events, up to a
+/// fixed capacity, overwriting the oldest when full.
+///
+/// This is the always-on counterpart of [`MemorySink`]: memory use is
+/// `O(capacity)` no matter how long the run is, so a long-lived service
+/// can leave one attached to every query and, on a typed failure, dump
+/// the last-N events as a post-mortem without having buffered the whole
+/// traversal. Like [`ShardedSink`] it is `Sync` (one mutex; the ring is
+/// small and post-mortem reads are rare), and [`RingSink::events`]
+/// returns the surviving window oldest-first.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl RingSink {
+    /// Flight recorder holding at most `capacity` events. A capacity of
+    /// zero is a valid (if useless) recorder that drops everything.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(RingState {
+                buf: Vec::with_capacity(capacity.min(1024)),
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The fixed event capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("sink lock").buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events overwritten (recorded but since evicted).
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("sink lock").dropped
+    }
+
+    /// The surviving window, oldest event first. The buffer is left
+    /// intact so a post-mortem read does not disturb later reads.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let state = self.state.lock().expect("sink lock");
+        if state.buf.len() < self.capacity {
+            state.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(state.buf.len());
+            out.extend_from_slice(&state.buf[state.head..]);
+            out.extend_from_slice(&state.buf[..state.head]);
+            out
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("sink lock");
+        if state.buf.len() < self.capacity {
+            state.buf.push(event.clone());
+        } else {
+            let head = state.head;
+            state.buf[head] = event.clone();
+            state.head = (head + 1) % self.capacity;
+            state.dropped += 1;
+        }
+    }
+}
+
+/// Mix a sampling seed and a query id into one 64-bit hash
+/// (splitmix64-style finalizer — the same generator family the CLI uses
+/// for arrival streams, so sampled subsets are reproducible anywhere).
+fn sample_hash(seed: u64, query: u64) -> u64 {
+    let mut z = seed ^ query.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Head-sampling wrapper: the keep/drop decision is made *once*, at
+/// construction (query start), from a seeded hash of the query id — so a
+/// given `(seed, rate)` always samples the same deterministic subset of
+/// queries, and a sampled query's trace is complete rather than a random
+/// thinning of events. When the decision is "drop", [`SamplingSink`]
+/// reports itself disabled and instrumented code skips event
+/// construction entirely, exactly as with [`NullSink`].
+pub struct SamplingSink<'a> {
+    inner: &'a dyn TraceSink,
+    keep: bool,
+}
+
+impl std::fmt::Debug for SamplingSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplingSink")
+            .field("keep", &self.keep)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SamplingSink<'a> {
+    /// Decide once whether `query` is sampled under `(seed, rate)` and
+    /// wrap `inner` accordingly. `rate` is the keep fraction in `[0, 1]`;
+    /// 1.0 keeps every query, 0.0 keeps none.
+    pub fn for_query(inner: &'a dyn TraceSink, seed: u64, query: u64, rate: f64) -> Self {
+        Self {
+            inner,
+            keep: Self::would_keep(seed, query, rate),
+        }
+    }
+
+    /// The pure sampling predicate, exposed so callers (the service, or
+    /// tests) can predict membership without building a sink.
+    pub fn would_keep(seed: u64, query: u64, rate: f64) -> bool {
+        if rate >= 1.0 {
+            return true;
+        }
+        if rate <= 0.0 {
+            return false;
+        }
+        // Top 53 bits → uniform in [0, 1); keep the low-hash head.
+        let u = (sample_hash(seed, query) >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+
+    /// Whether this query's events are being kept.
+    pub fn keeps(&self) -> bool {
+        self.keep
+    }
+}
+
+impl TraceSink for SamplingSink<'_> {
+    fn enabled(&self) -> bool {
+        self.keep && self.inner.enabled()
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        if self.keep {
+            self.inner.record(event);
+        }
+    }
+}
+
+/// Fan one event stream out to two sinks — e.g. a full [`MemorySink`]
+/// trace *and* a bounded [`RingSink`] flight recorder on the same run.
+/// Enabled when either branch is; each branch only receives events while
+/// it reports itself enabled.
+pub struct TeeSink<'a> {
+    a: &'a dyn TraceSink,
+    b: &'a dyn TraceSink,
+}
+
+impl std::fmt::Debug for TeeSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink").finish_non_exhaustive()
+    }
+}
+
+impl<'a> TeeSink<'a> {
+    /// Tee into `a` and `b`, in that record order.
+    pub fn new(a: &'a dyn TraceSink, b: &'a dyn TraceSink) -> Self {
+        Self { a, b }
+    }
+}
+
+impl TraceSink for TeeSink<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&self, event: &TraceEvent) {
+        if self.a.enabled() {
+            self.a.record(event);
+        }
+        if self.b.enabled() {
+            self.b.record(event);
+        }
+    }
+}
+
 /// A point-in-time snapshot of a [`CountingSink`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceCounts {
@@ -808,6 +1017,143 @@ mod tests {
             assert_eq!(seen.len(), 100, "thread {t}");
             assert!(seen.windows(2).all(|w| w[0] < w[1]), "thread {t}: {seen:?}");
         }
+    }
+
+    #[test]
+    fn ring_sink_keeps_only_the_newest_events() {
+        let sink = RingSink::new(4);
+        assert!(sink.enabled());
+        assert!(sink.is_empty());
+        assert_eq!(sink.capacity(), 4);
+        // Under capacity: everything survives in order.
+        for i in 0..3 {
+            sink.record(&level_event(i, u64::from(i)));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 0);
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], level_event(0, 0));
+        // Overflow: the oldest are overwritten, survivors stay ordered.
+        for i in 3..10 {
+            sink.record(&level_event(i, u64::from(i)));
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        for (k, ev) in events.iter().enumerate() {
+            let i = 6 + k as u32;
+            assert_eq!(*ev, level_event(i, u64::from(i)));
+        }
+        // events() does not drain.
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn ring_sink_with_zero_capacity_is_disabled() {
+        let sink = RingSink::new(0);
+        assert!(!sink.enabled());
+        sink.record(&level_event(0, 1)); // harmless no-op
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_sink_is_shareable_and_bounded_under_contention() {
+        let sink = RingSink::new(16);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        sink.record(&level_event(t * 100 + i, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 16);
+        assert_eq!(sink.dropped(), 400 - 16);
+        assert_eq!(sink.events().len(), 16);
+    }
+
+    #[test]
+    fn sampling_decision_is_seeded_and_stable() {
+        // Extremes are unconditional.
+        assert!(SamplingSink::would_keep(7, 3, 1.0));
+        assert!(!SamplingSink::would_keep(7, 3, 0.0));
+        // The per-query decision is a pure function of (seed, query,
+        // rate): recomputing never flips it.
+        for query in 0..64u64 {
+            let first = SamplingSink::would_keep(42, query, 0.25);
+            assert_eq!(first, SamplingSink::would_keep(42, query, 0.25));
+        }
+        // A 25% rate over many queries keeps a minority but not none —
+        // the hash spreads queries across the unit interval.
+        let kept = (0..1000u64)
+            .filter(|&q| SamplingSink::would_keep(42, q, 0.25))
+            .count();
+        assert!((100..500).contains(&kept), "kept {kept} of 1000 at 25%");
+        // Different seeds sample different subsets.
+        let other = (0..1000u64)
+            .filter(|&q| SamplingSink::would_keep(43, q, 0.25))
+            .count();
+        let overlap = (0..1000u64)
+            .filter(|&q| {
+                SamplingSink::would_keep(42, q, 0.25) && SamplingSink::would_keep(43, q, 0.25)
+            })
+            .count();
+        assert!(overlap < kept.min(other), "seeds 42/43 sampled identically");
+    }
+
+    #[test]
+    fn sampling_sink_gates_recording_at_query_granularity() {
+        let inner = MemorySink::new();
+        // Find one kept and one dropped query under this (seed, rate).
+        let kept_q = (0..u64::MAX)
+            .find(|&q| SamplingSink::would_keep(9, q, 0.5))
+            .unwrap();
+        let dropped_q = (0..u64::MAX)
+            .find(|&q| !SamplingSink::would_keep(9, q, 0.5))
+            .unwrap();
+
+        let kept = SamplingSink::for_query(&inner, 9, kept_q, 0.5);
+        assert!(kept.keeps());
+        assert!(kept.enabled());
+        kept.record(&level_event(0, 1));
+        assert_eq!(inner.len(), 1);
+
+        let dropped = SamplingSink::for_query(&inner, 9, dropped_q, 0.5);
+        assert!(!dropped.keeps());
+        assert!(!dropped.enabled());
+        dropped.record(&level_event(1, 1));
+        assert_eq!(inner.len(), 1, "dropped query must not record");
+
+        // A kept decision over a disabled inner sink is still disabled.
+        let over_null = SamplingSink::for_query(&NULL_SINK, 9, kept_q, 0.5);
+        assert!(over_null.keeps());
+        assert!(!over_null.enabled());
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_branches() {
+        let full = MemorySink::new();
+        let ring = RingSink::new(2);
+        let tee = TeeSink::new(&full, &ring);
+        assert!(tee.enabled());
+        for i in 0..5 {
+            tee.record(&level_event(i, 1));
+        }
+        assert_eq!(full.len(), 5);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.events()[0], level_event(3, 1));
+        // A disabled branch is skipped without disabling the tee.
+        let tee = TeeSink::new(&NULL_SINK, &full);
+        assert!(tee.enabled());
+        tee.record(&level_event(9, 1));
+        assert_eq!(full.len(), 6);
+        // Both branches disabled ⇒ the tee is disabled.
+        assert!(!TeeSink::new(&NULL_SINK, &NULL_SINK).enabled());
     }
 
     #[test]

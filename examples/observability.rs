@@ -5,6 +5,12 @@
 //! the device lanes, a chrome://tracing JSON file you can drop into
 //! <https://ui.perfetto.dev>, and a Prometheus text snapshot.
 //!
+//! The second act replays a seeded burst through the query service with
+//! the live-telemetry stack on: windowed time-series snapshots, SLO
+//! targets, and a bounded per-query flight recorder. One query carries a
+//! vanishing deadline, expires mid-run, and leaves a post-mortem dump of
+//! its final trace events.
+//!
 //! ```text
 //! cargo run --release --example observability
 //! ```
@@ -138,6 +144,74 @@ fn main() {
     for line in metrics.lines() {
         if !line.starts_with('#') && !line.contains("_bucket") {
             println!("{line}");
+        }
+    }
+
+    // --- act two: live service telemetry ---
+    // A seeded burst through the query service: query 0 carries a
+    // vanishing deadline, so it starts immediately, expires mid-run with
+    // a typed error, and the flight recorder dumps its last events as a
+    // post-mortem. Everything runs on the simulated clock — rerunning
+    // this example reproduces every window and dump byte-for-byte.
+    let service_graph = std::sync::Arc::new(graph);
+    let config = ServiceConfig {
+        capacity: 1,
+        snapshot: SnapshotPolicy {
+            every_seconds: 0.002,
+        },
+        slo: Some(SloPolicy::default()),
+        flight_recorder: 32,
+        ..ServiceConfig::default()
+    };
+    let service = QueryService::from_runtime(&rt, service_graph, &stats, config);
+    let mut schedule = Vec::new();
+    for i in 0..4u64 {
+        let mut req = QueryRequest::builder(i, src)
+            .arrival(i as f64 * 0.001)
+            .build();
+        if i == 0 {
+            req.deadline_s = Some(1e-7); // doomed: expires mid-run
+        }
+        schedule.push(ScheduleItem::Query(req));
+    }
+    let report = service.run_schedule(&schedule).expect("schedule replays");
+
+    println!("\n--- service telemetry ---");
+    println!(
+        "{} window(s); mean queue depth {:.2}; mean in-flight {:.2}",
+        report.timeseries.len(),
+        report.mean_queue_depth,
+        report.mean_in_flight,
+    );
+    for w in &report.timeseries {
+        println!(
+            "  window {} [{:.3}-{:.3} s]: admit {:.0}/s, complete {:.0}/s, \
+             latency p95 {:.6} s",
+            w.index, w.start_s, w.end_s, w.admit_rate_hz, w.complete_rate_hz, w.latency.p95_s,
+        );
+    }
+    if let Some(slo) = &report.slo {
+        println!(
+            "SLO {}: deadline hit {:.4} (target {}), latency hit {:.4} (target {})",
+            if slo.met { "met" } else { "VIOLATED" },
+            slo.deadline_hit_ratio,
+            slo.policy.deadline_hit_ratio,
+            slo.latency_hit_ratio,
+            slo.policy.latency_hit_ratio,
+        );
+    }
+    for pm in &report.postmortems {
+        println!(
+            "post-mortem: query {} ({}) — {} event(s) retained, {} overwritten — {}",
+            pm.query,
+            pm.disposition,
+            pm.events.len(),
+            pm.dropped,
+            pm.error,
+        );
+        for ev in pm.events.iter().rev().take(3).rev() {
+            let line = serde_json::to_string(&trace_event_json(ev)).expect("event serializes");
+            println!("  … {line}");
         }
     }
 }

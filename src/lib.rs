@@ -44,15 +44,19 @@ pub use xbfs_svm as svm;
 pub mod prelude {
     pub use xbfs_archsim::{ArchSpec, FaultPlan, Link, TraversalProfile};
     pub use xbfs_core::{
-        chrome_trace_json, decision_audit, prometheus_audit_text, prometheus_text, AdaptiveRuntime,
-        BatchCompat, BatchPolicy, BatchRun, BatchSession, CheckpointPolicy, CrossParams, CrossRun,
-        DecisionAudit, LaneRun, LevelCheckpoint, RecoveredRun, ResilienceConfig, RetryPolicy,
-        RunReport, RunSession, Rung, SingleRun,
+        chrome_trace_json, decision_audit, prometheus_audit_text, prometheus_slo_text,
+        prometheus_text, service_chrome_trace_json, timeseries_json_lines, trace_event_json,
+        AdaptiveRuntime, BatchCompat, BatchPolicy, BatchRun, BatchSession, CheckpointPolicy,
+        CrossParams, CrossRun, DecisionAudit, Disposition, DrainMode, LaneRun, LevelCheckpoint,
+        LogHistogram, PostMortem, QuantileSummary, QueryRequest, QueryService, RecoveredRun,
+        ResilienceConfig, RetryPolicy, RunReport, RunSession, Rung, ScheduleItem, ServiceConfig,
+        ServiceReport, SingleRun, SloPolicy, SloReport, SnapshotPolicy, TimeSeriesRegistry,
+        TimeWeighted, TraceSamplePolicy, WindowSnapshot,
     };
     pub use xbfs_engine::{
         critical_path, trace_diff, AlwaysBottomUp, AlwaysTopDown, BfsOutput, CountingSink,
-        CriticalPath, Direction, FixedMN, MemorySink, NullSink, SwitchPolicy, TraceDiff,
-        TraceEvent, TraceSink, Traversal, XbfsError,
+        CriticalPath, Direction, FixedMN, MemorySink, NullSink, RingSink, SamplingSink,
+        SwitchPolicy, TeeSink, TraceDiff, TraceEvent, TraceSink, Traversal, XbfsError,
     };
     pub use xbfs_graph::{Csr, EdgeList, Frontier, GraphStats, RmatConfig};
     pub use xbfs_svm::{Regressor, Svr, SvrConfig};

@@ -7,7 +7,10 @@
 use proptest::prelude::*;
 use xbfs::archsim::{ArchSpec, FaultPlan, Link};
 use xbfs::core::checkpoint::CheckpointPolicy;
-use xbfs::core::{chrome_trace_json, prometheus_text, CrossParams, RunSession};
+use xbfs::core::{
+    chrome_trace_json, prometheus_text, service_chrome_trace_json, CrossParams, LogHistogram,
+    QueryTrace, RunSession,
+};
 use xbfs::engine::trace::{CountingSink, MemorySink, TraceEvent};
 use xbfs::engine::{Direction, FixedMN};
 use xbfs::graph::Csr;
@@ -344,6 +347,156 @@ fn chrome_trace_golden_file_is_stable() {
     // The golden bytes are themselves a valid trace document.
     let doc: serde_json::Value = serde_json::from_str(&golden).expect("golden parses");
     assert!(doc["traceEvents"].as_array().is_some());
+}
+
+/// A fixed synthetic *service* schedule — admission events on the service
+/// clock plus one kept per-query trace — pinning the service exporter's
+/// exact bytes, including the queue-depth counter track. Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -q --test observability`.
+fn golden_service_fixture() -> (Vec<TraceEvent>, Vec<QueryTrace>) {
+    use xbfs::engine::trace::RungOutcome;
+    let service = vec![
+        TraceEvent::QueryAdmitted {
+            query: 0,
+            queue_depth: 0,
+            at_s: 0.0,
+        },
+        TraceEvent::QueryStart {
+            query: 0,
+            wait_s: 0.0,
+            at_s: 0.0,
+        },
+        TraceEvent::QueryAdmitted {
+            query: 1,
+            queue_depth: 1,
+            at_s: 0.0005,
+        },
+        TraceEvent::QueueDepth {
+            depth: 1,
+            at_s: 0.0005,
+        },
+        TraceEvent::QueryEnd {
+            query: 0,
+            outcome: "served",
+            rung: "cross",
+            at_s: 0.0040,
+        },
+        TraceEvent::QueueDepth {
+            depth: 0,
+            at_s: 0.0040,
+        },
+        TraceEvent::QueryStart {
+            query: 1,
+            wait_s: 0.0035,
+            at_s: 0.0040,
+        },
+        TraceEvent::QueryShed {
+            query: 2,
+            reason: "overloaded",
+            queue_depth: 1,
+            at_s: 0.0050,
+        },
+        TraceEvent::QueryEnd {
+            query: 1,
+            outcome: "deadline-missed",
+            rung: "cross",
+            at_s: 0.0090,
+        },
+    ];
+    let traces = vec![QueryTrace {
+        query: 0,
+        start_s: 0.0,
+        events: vec![
+            TraceEvent::RungBegin {
+                rung: "cross",
+                at_s: 0.0,
+            },
+            TraceEvent::Level {
+                rung: "cross",
+                device: "cpu",
+                level: 0,
+                direction: Direction::TopDown,
+                frontier_vertices: 1,
+                frontier_edges: 14,
+                edges_examined: 14,
+                discovered: 9,
+                start_s: 0.0,
+                end_s: 0.0012,
+            },
+            TraceEvent::RungEnd {
+                rung: "cross",
+                at_s: 0.0040,
+                outcome: RungOutcome::Served,
+            },
+        ],
+    }];
+    (service, traces)
+}
+
+#[test]
+fn service_chrome_trace_golden_file_is_stable() {
+    let (service, traces) = golden_service_fixture();
+    let text = service_chrome_trace_json(&service, &traces);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("service_chrome_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, golden,
+        "service chrome-trace output drifted from the golden file; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+
+    // The golden bytes are a valid trace carrying the queue-depth counter
+    // track ("ph":"C") on the service process, the per-query process, and
+    // the shed instant.
+    let doc: serde_json::Value = serde_json::from_str(&golden).expect("golden parses");
+    let evs = doc["traceEvents"].as_array().expect("traceEvents");
+    let counters: Vec<&serde_json::Value> = evs
+        .iter()
+        .filter(|e| e["ph"] == "C" && e["name"] == "queue-depth")
+        .collect();
+    assert_eq!(counters.len(), 2, "both queue-depth samples render");
+    assert_eq!(counters[0]["args"]["depth"], 1);
+    assert_eq!(counters[1]["args"]["depth"], 0);
+    assert!(evs.iter().any(|e| e["name"] == "query 0" && e["ph"] == "X"));
+    assert!(evs.iter().any(|e| e["name"] == "shed:2"));
+    assert!(evs
+        .iter()
+        .any(|e| e["ph"] == "M" && e["args"]["name"] == "service"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The telemetry histogram's quantile summary is monotone
+    /// (p50 ≤ p95 ≤ p99), bounded by the largest observation, and counts
+    /// exactly what it observed — for any batch of latencies.
+    #[test]
+    fn log_histogram_quantiles_are_monotone(
+        values in prop::collection::vec(0.0f64..20.0, 1..200)
+    ) {
+        let mut h = LogHistogram::default();
+        for v in &values {
+            h.observe(*v);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert!(s.p50_s <= s.p95_s, "p50 {} > p95 {}", s.p50_s, s.p95_s);
+        prop_assert!(s.p95_s <= s.p99_s, "p95 {} > p99 {}", s.p95_s, s.p99_s);
+        // Quantiles report a log-bucket upper bound: within a factor of
+        // 2.5 of the true value on the 1-2-5 grid (overflowing ranks fall
+        // back to the exact max).
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(s.p99_s <= (2.5 * max).max(1e-6), "p99 {} vs max {max}", s.p99_s);
+        prop_assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
 }
 
 #[test]
