@@ -158,6 +158,7 @@ pub fn switch_context(profile: &TraversalProfile, lp: &LevelProfile) -> SwitchCo
         frontier_vertices: lp.frontier_vertices,
         frontier_edges: lp.frontier_edges,
         max_frontier_degree: lp.max_frontier_degree,
+        unvisited_edges: lp.unvisited_edges,
         total_vertices: profile.total_vertices,
         total_edges: profile.total_edges,
     }

@@ -32,12 +32,14 @@ use xbfs_bench::perf;
 use xbfs_core::{
     chrome_trace_json, prometheus_slo_text, prometheus_text, service_chrome_trace_json,
     timeseries_json_lines, training::pick_source, AdaptiveRuntime, BatchCompat, BatchPolicy,
-    CheckpointPolicy, DrainMode, LevelCheckpoint, QueryRequest, QueryService, ResilienceConfig,
-    RetryPolicy, ScheduleItem, ServiceConfig, SloPolicy, SnapshotPolicy, TraceSamplePolicy,
+    CheckpointPolicy, DrainMode, LevelCheckpoint, OnlineBandit, Placement, PolicyMode, PolicyRun,
+    QueryRequest, QueryService, ResilienceConfig, RetryPolicy, ScheduleItem, ServiceConfig,
+    SloPolicy, SnapshotPolicy, TraceSamplePolicy,
 };
 use xbfs_engine::{
-    hybrid, par, scrub, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, FixedMN, MemorySink,
-    ScrubPolicy, ShardedSink, SwitchPolicy, TraceEvent, TraversalState, XbfsError,
+    hybrid, par, scrub, stcon, tree, validate, AlwaysBottomUp, AlwaysTopDown, Direction, FixedMN,
+    MemorySink, ScrubPolicy, ShardedSink, SwitchPolicy, TraceEvent, TraceSink, TraversalState,
+    XbfsError,
 };
 use xbfs_graph::{components, io, stats, Csr, GraphStats, RmatConfig, RmatGenerator};
 
@@ -55,7 +57,8 @@ struct Args {
 }
 
 impl Args {
-    fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut argv = argv.peekable();
         let mut pairs = Vec::new();
         let mut text = false;
         let mut quiet = false;
@@ -91,6 +94,13 @@ impl Args {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{arg}'"));
             };
+            // `--policy` may stand alone (`bench --policy` writes
+            // POLICY.json) or take a mode (`serve --policy online:7`); a
+            // following flag or the end of argv means the bare form.
+            if key == "policy" && argv.peek().is_none_or(|v| v.starts_with("--")) {
+                pairs.push((key.to_string(), String::new()));
+                continue;
+            }
             let Some(value) = argv.next() else {
                 return Err(format!("--{key} needs a value"));
             };
@@ -335,10 +345,18 @@ fn cmd_bfs_multi(args: &Args, ui: &Ui, g: &Csr, sources: &[u32]) -> Result<(), S
         .to_string());
     }
     let policy_name = args.get("policy").unwrap_or("hybrid");
+    if matches!(
+        PolicyMode::parse(policy_name),
+        Some(PolicyMode::Online { .. })
+    ) {
+        return Err(
+            "--policy online drives the single-source stepping engine; drop --sources".into(),
+        );
+    }
     let mut policy: Box<dyn SwitchPolicy> = match policy_name {
         "td" => Box::new(AlwaysTopDown),
         "bu" => Box::new(AlwaysBottomUp),
-        "hybrid" => Box::new(FixedMN::new(14.0, 24.0)),
+        "hybrid" | "offline" => Box::new(FixedMN::new(14.0, 24.0)),
         "model" => Box::new(CostModelPolicy::new(ArchSpec::cpu_sandy_bridge())),
         other => return Err(format!("unknown policy '{other}'")),
     };
@@ -373,6 +391,86 @@ fn cmd_bfs_multi(args: &Args, ui: &Ui, g: &Csr, sources: &[u32]) -> Result<(), S
     Ok(())
 }
 
+/// `bfs --policy online[:SEED]`: per-level bandit direction choice on the
+/// single-threaded stepping engine. Each level the bandit picks an arm
+/// for the current feature bin and is rewarded with the simulated CPU
+/// cost of the level it just ran — fully deterministic, so a seeded run
+/// replays bit-for-bit. The raw engine has no GPU, so the bandit's
+/// device dimension collapses to the direction choice.
+fn cmd_bfs_online(args: &Args, ui: &Ui, g: &Csr, src: u32, seed: u64) -> Result<(), String> {
+    if args.parse_num::<usize>("threads")?.unwrap_or(1) > 1 {
+        return Err(
+            "--policy online drives the single-threaded stepping engine; drop --threads".into(),
+        );
+    }
+    if args.scrub {
+        return Err("--policy online and --scrub both drive the stepping engine; pick one".into());
+    }
+    let arch = ArchSpec::cpu_sandy_bridge();
+    let cell = std::cell::RefCell::new(PolicyRun::new(OnlineBandit::new(seed)));
+    let mut offline = FixedMN::new(14.0, 24.0);
+    let sink = MemorySink::new();
+    let mut st = TraversalState::start(g, src);
+    let start = std::time::Instant::now();
+    let mut sim_s = 0.0f64;
+    let mut decisions = 0u32;
+    let mut exploring = 0u32;
+    loop {
+        if st.frontier.is_empty() {
+            break;
+        }
+        let ctx = xbfs_core::policy_online::switch_context_for(g, &st);
+        let offline_arm = match offline.direction(&ctx) {
+            Direction::TopDown => Placement::CpuTd,
+            Direction::BottomUp => Placement::CpuBu,
+        };
+        let d = cell.borrow().decide(&ctx, false, offline_arm);
+        let mut forced: Box<dyn SwitchPolicy> = match d.placement.direction() {
+            Direction::TopDown => Box::new(AlwaysTopDown),
+            Direction::BottomUp => Box::new(AlwaysBottomUp),
+        };
+        let Some(rec) = st.step_traced(g, forced.as_mut(), &sink) else {
+            break;
+        };
+        let level = rec.level;
+        let cost_s = xbfs_archsim::cost::level_time_for_record(&arch, rec);
+        sink.record(&TraceEvent::PolicyDecision {
+            level,
+            bin: d.bin,
+            device: d.placement.device(),
+            direction: d.placement.direction(),
+            explore: d.explore,
+            at_s: sim_s,
+        });
+        sim_s += cost_s;
+        decisions += 1;
+        exploring += u32::from(d.explore);
+        cell.borrow_mut().observe(d.bin, d.placement, cost_s);
+    }
+    let t = st.into_traversal();
+    let secs = start.elapsed().as_secs_f64();
+    validate(g, &t.output).map_err(|e| format!("validation failed: {e}"))?;
+    ui.say(format!(
+        "online BFS (online:{seed}): {} level(s), {decisions} decision(s) ({exploring} exploring), \
+         {:.3} ms simulated, {:.3} ms wall",
+        t.levels.len(),
+        sim_s * 1e3,
+        secs * 1e3,
+    ));
+    if args.checksum {
+        ui.say(format!("checksum {:#018x}", fingerprint(&t.output)));
+    }
+    ui.say(format!(
+        "visited {} of {} vertices in {} levels ({} edges examined)",
+        t.output.visited_count(),
+        g.num_vertices(),
+        t.depth(),
+        t.total_edges_examined(),
+    ));
+    export_trace(args, ui, &sink.events())?;
+    Ok(())
+}
+
 fn cmd_bfs(args: &Args) -> Result<(), String> {
     let ui = Ui::new(args);
     let g = load_graph(args)?;
@@ -395,10 +493,15 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
     }
     let tracing = args.get("trace-out").is_some() || args.get("metrics-out").is_some();
     let policy_name = args.get("policy").unwrap_or("hybrid");
+    if let Some(PolicyMode::Online { seed }) = PolicyMode::parse(policy_name) {
+        return cmd_bfs_online(args, &ui, &g, src, seed);
+    }
     let mut policy: Box<dyn SwitchPolicy> = match policy_name {
         "td" => Box::new(AlwaysTopDown),
         "bu" => Box::new(AlwaysBottomUp),
-        "hybrid" => Box::new(FixedMN::new(14.0, 24.0)),
+        // "offline" is the cross-architecture vocabulary for the same
+        // offline-trained hybrid switch point.
+        "hybrid" | "offline" => Box::new(FixedMN::new(14.0, 24.0)),
         "model" => Box::new(CostModelPolicy::new(ArchSpec::cpu_sandy_bridge())),
         other => return Err(format!("unknown policy '{other}'")),
     };
@@ -530,6 +633,8 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         }
     };
 
+    let policy_mode = policy_mode_from_args(args)?;
+
     ui.say("training switch-point predictor (quick configuration)…");
     let rt = AdaptiveRuntime::quick_trained();
     let params = rt.predict_params(&stats);
@@ -538,13 +643,22 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         params.handoff.m, params.handoff.n, params.gpu.m, params.gpu.n
     ));
 
+    let policy_cell = match policy_mode {
+        PolicyMode::Offline => None,
+        PolicyMode::Online { seed } => Some(std::cell::RefCell::new(PolicyRun::new(
+            OnlineBandit::new(seed),
+        ))),
+    };
     let sink = MemorySink::new();
-    let session = rt
+    let mut session = rt
         .session(&g, &stats)
         .params(params)
         .fault_plan(&plan)
         .resilience(config)
         .sink(&sink);
+    if let Some(cell) = &policy_cell {
+        session = session.policy(cell);
+    }
     let run = match &resume_from {
         Some(ck) => {
             ui.say(format!(
@@ -630,6 +744,18 @@ fn cmd_adaptive(args: &Args) -> Result<(), String> {
         run.output.visited_count(),
         g.num_vertices(),
     ));
+    if policy_mode.is_online() {
+        let (decisions, exploring) = sink
+            .events()
+            .iter()
+            .fold((0u32, 0u32), |(d, x), e| match e {
+                TraceEvent::PolicyDecision { explore, .. } => (d + 1, x + u32::from(*explore)),
+                _ => (d, x),
+            });
+        ui.say(format!(
+            "online policy ({policy_mode}): {decisions} level decision(s), {exploring} exploring"
+        ));
+    }
     if let Some(path) = args.get("report-json") {
         write_out(path, &report.to_json())?;
         if path != "-" {
@@ -794,6 +920,17 @@ fn telemetry_from_args(
     Ok((snapshot, slo, flight_recorder, trace_sample))
 }
 
+/// Parse `--policy offline|online[:SEED]` (for `adaptive` and `serve`,
+/// where the offline (M, N) pipeline is the default).
+fn policy_mode_from_args(args: &Args) -> Result<PolicyMode, String> {
+    match args.get("policy") {
+        None => Ok(PolicyMode::Offline),
+        Some("") => Err("--policy needs a mode (offline, online, online:SEED)".into()),
+        Some(s) => PolicyMode::parse(s)
+            .ok_or_else(|| format!("unknown --policy '{s}' (offline, online, online:SEED)")),
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let ui = Ui::new(args);
     let g = std::sync::Arc::new(load_graph(args)?);
@@ -813,6 +950,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let (snapshot, slo, flight_recorder, trace_sample) = telemetry_from_args(args)?;
     let snapshot_every = snapshot.every_seconds;
+    let policy = policy_mode_from_args(args)?;
     let config = ServiceConfig {
         capacity: args.parse_num("capacity")?.unwrap_or(2),
         queue_limit: args.parse_num("queue-depth")?.unwrap_or(8),
@@ -825,6 +963,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         slo,
         flight_recorder,
         trace_sample,
+        policy,
     };
     if let Some(dir) = &config.spill_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
@@ -841,9 +980,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     } else {
         String::new()
     };
+    let policy_note = if config.policy.is_online() {
+        format!(", policy {}", config.policy)
+    } else {
+        String::new()
+    };
     let service = QueryService::from_runtime(&rt, g, &stats, config);
     ui.say(format!(
-        "serving {} schedule item(s) (capacity {}, queue depth {}{batch_note})…",
+        "serving {} schedule item(s) (capacity {}, queue depth {}{batch_note}{policy_note})…",
         schedule.len(),
         args.parse_num::<u32>("capacity")?.unwrap_or(2),
         args.parse_num::<u32>("queue-depth")?.unwrap_or(8),
@@ -1103,6 +1247,49 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         ));
     }
 
+    if let Some(v) = args.get("policy") {
+        if !v.is_empty() {
+            return Err(format!(
+                "bench --policy takes no value (got {v:?}); the sweep always runs the offline \
+                 and online streams side by side"
+            ));
+        }
+        // Offline-vs-online policy streams: seeded and simulated-clock
+        // deterministic, but recorded as a trend artifact that the
+        // --compare gate below never reads.
+        ui.say(format!(
+            "running online-policy sweep ({} queries × {{rmat, road, small-world}}, bandit seed {:#x})…",
+            perf::POLICY_QUERIES,
+            perf::POLICY_BANDIT_SEED
+        ));
+        let policy = perf::run_policy(&preset);
+        for case in &policy.families {
+            let first = case.cohorts.first().map_or(0.0, |c| c.mean_level_regret_s);
+            let last = case.cohorts.last().map_or(0.0, |c| c.mean_level_regret_s);
+            ui.say(format!(
+                "  {:>11}: efficiency {:.4} offline → {:.4} online; cohort regret {:+.3e} → {:+.3e} s ({}, {} exploration(s))",
+                case.family,
+                case.offline_mean_efficiency,
+                case.online_mean_efficiency,
+                first,
+                last,
+                if case.regret_is_non_increasing() {
+                    "non-increasing"
+                } else {
+                    "NOT monotone"
+                },
+                case.explorations,
+            ));
+        }
+        let policy_path = bench_dir.join("POLICY.json");
+        std::fs::write(&policy_path, policy.to_json())
+            .map_err(|e| format!("{}: {e}", policy_path.display()))?;
+        ui.say(format!(
+            "wrote {} (informational; excluded from the perf gate)",
+            policy_path.display()
+        ));
+    }
+
     if let Some(path) = args.get("compare") {
         let baseline = perf::BenchReport::load(std::path::Path::new(path))?;
         let tol = perf::PerfTolerance {
@@ -1187,7 +1374,15 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 
     let f = |w: &serde_json::Value, key: &str| w.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
     let u = |w: &serde_json::Value, key: &str| w.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
-    let q = |w: &serde_json::Value, hist: &str, key: &str| w.get(hist).map_or(0.0, |h| f(h, key));
+    // Empty windows omit their quantile keys entirely (a histogram with no
+    // observations has no p50); render those cells as `-` instead of
+    // fabricating a zero latency.
+    let q = |w: &serde_json::Value, hist: &str, key: &str| {
+        w.get(hist)
+            .and_then(|h| h.get(key))
+            .and_then(|v| v.as_f64())
+            .map_or_else(|| "-".to_string(), |v| format!("{v:.6}"))
+    };
 
     let start = f(&windows[0], "start_s");
     let end = f(windows.last().expect("non-empty"), "end_s");
@@ -1234,7 +1429,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     );
     for w in &windows {
         println!(
-            "{:>6} {:>9} {:>10.6} {:>10.6} {:>10.6} {:>12.6}",
+            "{:>6} {:>9} {:>10} {:>10} {:>10} {:>12}",
             u(w, "index"),
             u(w, "completed"),
             q(w, "latency", "p50_s"),
@@ -1286,7 +1481,8 @@ usage: xbfs-cli <command> [flags]
 commands:
   gen        --scale S [--edgefactor E] [--seed X] --out FILE [--text]
   info       --graph FILE [--text]
-  bfs        --graph FILE [--source V | --sources a,b,c] [--policy td|bu|hybrid|model]
+  bfs        --graph FILE [--source V | --sources a,b,c]
+             [--policy td|bu|hybrid|model|offline|online[:SEED]]
              [--threads T] [--scrub] [--checksum]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   stcon      --graph FILE --from A --to B [--text]
@@ -1294,6 +1490,7 @@ commands:
   adaptive   --graph FILE [--source V] [--fault-plan FILE.json] [--deadline SECS]
              [--retries N] [--checkpoint-interval L] [--spill CK.json]
              [--resume CK.json] [--scrub] [--checksum] [--report-json R.json]
+             [--policy offline|online[:SEED]]
              [--trace-out T.json] [--metrics-out M.prom] [--quiet] [--text]
   serve      --graph FILE (--requests FILE|- | --arrivals N [--rate R] [--seed S]
              [--request-deadline SECS] [--chaos-dir DIR] [--chaos-every K])
@@ -1304,11 +1501,13 @@ commands:
              [--snapshot-every SECS] [--timeseries-out TS.jsonl]
              [--slo-deadline-ratio R] [--slo-latency SECS] [--slo-latency-ratio R]
              [--flight-recorder N] [--postmortem-dir DIR] [--trace-sample RATE]
+             [--policy offline|online[:SEED]]
              [--report-json R.json] [--trace-out T.json] [--metrics-out M.prom]
              [--quiet] [--text]
   bench      [--preset scaled|paper] [--compare BASELINE.json] [--tolerance REL]
              [--bench-dir DIR] [--baseline FILE] [--fault-plan OVERLAY.json]
-             [--report-json R.json] [--threads-scaling] [--batched] [--quiet]
+             [--report-json R.json] [--threads-scaling] [--batched] [--policy]
+             [--quiet]
   report     --timeseries TS.jsonl
 
 adaptive runs the cross-architecture combination under an optional fault
@@ -1388,7 +1587,21 @@ numbers are informational and never part of the deterministic gate.
 --batched prices a 2/4/8-lane BatchSession against the same sources run
 solo and writes the simulated-clock amortization curve to BATCHED.json in
 --bench-dir — deterministic, but its case set is absent from the
-committed baseline, so it too stays out of the --compare gate.";
+committed baseline, so it too stays out of the --compare gate.
+
+--policy offline|online[:SEED] selects the per-level placement policy:
+offline (the default) is the paper's fixed (M, N) pipeline, byte-identical
+to omitting the flag; online replaces it with a seeded deterministic
+bandit over discretized frontier-feature bins that picks TD/BU x CPU/GPU
+each level and learns from realized simulated level costs. Under serve,
+one shared bandit carries learning across queries: each query runs on a
+snapshot taken at admission and its observations fold back at completion,
+both in simulated order, so a seeded stream replays byte-for-byte. bfs
+--policy online[:SEED] runs the same bandit restricted to the raw CPU
+engine's direction choice. bench --policy writes an informational
+POLICY.json (offline vs online vs oracle regret per query cohort, on
+R-MAT plus road-like and small-world generators); like SCALING/BATCHED
+it never joins the --compare gate.";
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);

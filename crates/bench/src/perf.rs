@@ -21,12 +21,15 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use xbfs_archsim::FaultPlan;
+use xbfs_core::training::pick_source;
 use xbfs_core::{
-    decision_audit, AdaptiveRuntime, BatchSession, CheckpointPolicy, DecisionAudit, RunReport,
+    decision_audit, policy_audit, AdaptiveRuntime, BatchSession, CheckpointPolicy, CrossParams,
+    DecisionAudit, PolicyAudit, RunReport, SharedPolicy,
 };
 use xbfs_engine::metrics::{harmonic_mean_teps, Teps};
 use xbfs_engine::trace::analysis::critical_path;
 use xbfs_engine::{hybrid, par, reference, FixedMN, MemorySink};
+use xbfs_graph::{gen, Csr};
 
 /// Version of the `BENCH_<n>.json` schema; bumped on breaking changes so
 /// `compare` refuses to diff incompatible reports instead of misreading
@@ -504,6 +507,256 @@ pub fn run_batched_at(preset: &Preset, paper_scale: u32) -> BatchedReport {
     }
 }
 
+/// Queries in the seeded policy stream each family replays.
+pub const POLICY_QUERIES: usize = 200;
+
+/// Cohorts the stream is split into for the regret trend
+/// ([`POLICY_QUERIES`]` / POLICY_COHORTS` queries each).
+pub const POLICY_COHORTS: usize = 8;
+
+/// Distinct BFS sources the stream cycles through. A small repeated pool
+/// is deliberate: the bandit finishes exploring each source's feature
+/// bins inside the first cohort, so the per-cohort regret trend isolates
+/// *learning* rather than source-to-source variance. The pool size
+/// divides the cohort size exactly, so every cohort sees the identical
+/// source mix and cohort means are comparable.
+pub const POLICY_SOURCE_POOL: usize = 5;
+
+/// The paper SCALE the policy sweep runs at (mapped through the preset).
+pub const POLICY_PAPER_SCALE: u32 = 21;
+
+/// Default bandit seed for the sweep's online stream.
+pub const POLICY_BANDIT_SEED: u64 = 0xB0F5;
+
+/// One cohort of the online stream: consecutive queries aggregated so the
+/// artifact shows regret trending down as the bandit learns.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCohort {
+    /// Cohort index (0-based, in stream order).
+    pub cohort: usize,
+    /// Queries aggregated into this cohort.
+    pub queries: usize,
+    /// Mean of the cohort's per-query [`PolicyAudit::mean_level_regret_s`].
+    pub mean_level_regret_s: f64,
+    /// Mean of the cohort's per-query audit efficiencies.
+    pub mean_efficiency: f64,
+    /// Exploration decisions (unplayed arms) the cohort spent.
+    pub explorations: u32,
+}
+
+/// One graph family's offline-vs-online comparison over the same seeded
+/// query stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyFamilyCase {
+    /// Family label: `"rmat"` (in the offline training distribution),
+    /// `"road"` or `"small-world"` (held out — the regimes the online
+    /// policy exists for).
+    pub family: String,
+    /// Vertices in the generated instance.
+    pub vertices: u32,
+    /// Directed edge slots in the CSR.
+    pub edges: u64,
+    /// The source pool the stream cycles through, in cycle order.
+    pub sources: Vec<u32>,
+    /// The offline SVM's predicted fixed `(M, N)` pair for this graph —
+    /// the baseline every query in the offline stream runs with.
+    pub offline_params: CrossParams,
+    /// Mean audit efficiency (oracle / realized) of the offline stream.
+    pub offline_mean_efficiency: f64,
+    /// Mean audit efficiency of the online stream.
+    pub online_mean_efficiency: f64,
+    /// Mean per-level regret of the offline stream, simulated seconds.
+    pub offline_mean_regret_s: f64,
+    /// Mean per-level regret of the online stream, simulated seconds.
+    pub online_mean_regret_s: f64,
+    /// Per-level policy decisions the online stream traced.
+    pub decisions: u32,
+    /// Decisions that were still exploring unplayed arms.
+    pub explorations: u32,
+    /// The online stream split into [`POLICY_COHORTS`] cohorts.
+    pub cohorts: Vec<PolicyCohort>,
+}
+
+impl PolicyFamilyCase {
+    /// Whether the cohort regret trend is monotone non-increasing (within
+    /// float-summation noise) — the "bandit is learning, not thrashing"
+    /// check the nightly artifact is read for.
+    pub fn regret_is_non_increasing(&self) -> bool {
+        self.cohorts
+            .windows(2)
+            .all(|w| w[1].mean_level_regret_s <= w[0].mean_level_regret_s + 1e-9)
+    }
+}
+
+/// The online-policy sweep: a seeded [`POLICY_QUERIES`]-query stream per
+/// graph family, run twice — once with the offline fixed `(M, N)`
+/// prediction, once with a shared [`SharedPolicy`] bandit that learns
+/// across queries exactly like the service's capacity-1 admission order.
+///
+/// Every metric lives on the simulated clock and the stream is fully
+/// seeded, so the report is deterministic — but like `SCALING.json` and
+/// `BATCHED.json` it is recorded as an informational artifact
+/// (`POLICY.json`) and deliberately excluded from the perf gate
+/// ([`compare`] never reads it): its point is the offline/online *trend*,
+/// not a pinned number.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyReport {
+    /// Preset the sweep ran under.
+    pub preset: String,
+    /// Generated graph SCALE (after the preset's shift).
+    pub scale: u32,
+    /// R-MAT edgefactor (the held-out families match its vertex count).
+    pub edgefactor: u32,
+    /// Bandit seed of the online stream.
+    pub bandit_seed: u64,
+    /// Queries per stream.
+    pub queries: usize,
+    /// One case per graph family.
+    pub families: Vec<PolicyFamilyCase>,
+}
+
+impl PolicyReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("policy report serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("policy report parse error: {e:?}"))
+    }
+}
+
+/// Run the policy sweep under `preset` at the default
+/// [`POLICY_PAPER_SCALE`].
+pub fn run_policy(preset: &Preset) -> PolicyReport {
+    run_policy_at(preset, POLICY_PAPER_SCALE)
+}
+
+/// [`run_policy`] at an explicit paper SCALE (tests use a smaller
+/// instance).
+pub fn run_policy_at(preset: &Preset, paper_scale: u32) -> PolicyReport {
+    let rt = suite_runtime(preset);
+    let scale = preset.scale(paper_scale);
+    let ef = SUITE_EDGEFACTOR;
+    let n: u32 = 1 << scale;
+    // Same vertex count per family; rows × cols = n for the grid.
+    let rows = 1u32 << scale.div_ceil(2);
+    let cols = 1u32 << (scale / 2);
+    let families: Vec<(&str, Csr)> = vec![
+        ("rmat", crate::experiments::graph(scale, ef)),
+        ("road", gen::road_like(rows, cols, n / 32, 0xCA0_5EED)),
+        ("small-world", gen::watts_strogatz(n, 8, 0.05, 0x5A_11AD)),
+    ];
+    let cases = families
+        .iter()
+        .map(|(family, g)| run_policy_family(&rt, family, g, POLICY_BANDIT_SEED))
+        .collect();
+    PolicyReport {
+        preset: preset.name.to_string(),
+        scale,
+        edgefactor: ef,
+        bandit_seed: POLICY_BANDIT_SEED,
+        queries: POLICY_QUERIES,
+        families: cases,
+    }
+}
+
+fn run_policy_family(
+    rt: &AdaptiveRuntime,
+    family: &str,
+    g: &Csr,
+    bandit_seed: u64,
+) -> PolicyFamilyCase {
+    let stats = crate::experiments::stats(g);
+    let offline_params = rt.predict_params(&stats);
+    let pool: Vec<u32> = (0..POLICY_SOURCE_POOL)
+        .map(|i| {
+            pick_source(
+                g,
+                0x90_11C7 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+            .expect("policy family graphs are never edgeless")
+        })
+        .collect();
+
+    // The offline stream is deterministic per source, so audit each pool
+    // member once and replay the stream's cyclic weighting arithmetically.
+    let profiles: Vec<_> = pool.iter().map(|&s| xbfs_archsim::profile(g, s)).collect();
+    let offline_audits: Vec<PolicyAudit> = pool
+        .iter()
+        .zip(&profiles)
+        .map(|(&src, profile)| {
+            let sink = MemorySink::new();
+            rt.session(g, &stats)
+                .source(src)
+                .sink(&sink)
+                .run()
+                .expect("fault-free offline query serves");
+            policy_audit(profile, &rt.cpu, &rt.gpu, &rt.link, &sink.take())
+        })
+        .collect();
+
+    // The online stream shares one bandit across queries the way the
+    // service does: snapshot at admission, fold observations back at
+    // completion, strictly in stream order.
+    let shared = SharedPolicy::online(bandit_seed);
+    let online_audits: Vec<PolicyAudit> = (0..POLICY_QUERIES)
+        .map(|q| {
+            let i = q % pool.len();
+            let cell = shared.run_cell();
+            let sink = MemorySink::new();
+            rt.session(g, &stats)
+                .source(pool[i])
+                .sink(&sink)
+                .policy(&cell)
+                .run()
+                .expect("fault-free online query serves");
+            shared.apply(&cell.borrow_mut().take_observations());
+            policy_audit(&profiles[i], &rt.cpu, &rt.gpu, &rt.link, &sink.take())
+        })
+        .collect();
+
+    let mean = |f: &dyn Fn(&PolicyAudit) -> f64, audits: &[&PolicyAudit]| -> f64 {
+        audits.iter().map(|a| f(a)).sum::<f64>() / audits.len() as f64
+    };
+    let offline_stream: Vec<&PolicyAudit> = (0..POLICY_QUERIES)
+        .map(|q| &offline_audits[q % pool.len()])
+        .collect();
+    let online_refs: Vec<&PolicyAudit> = online_audits.iter().collect();
+
+    let per_cohort = POLICY_QUERIES / POLICY_COHORTS;
+    let cohorts = online_audits
+        .chunks(per_cohort)
+        .enumerate()
+        .map(|(cohort, chunk)| {
+            let refs: Vec<&PolicyAudit> = chunk.iter().collect();
+            PolicyCohort {
+                cohort,
+                queries: chunk.len(),
+                mean_level_regret_s: mean(&|a| a.mean_level_regret_s, &refs),
+                mean_efficiency: mean(&|a| a.efficiency, &refs),
+                explorations: chunk.iter().map(|a| a.explorations).sum(),
+            }
+        })
+        .collect();
+
+    PolicyFamilyCase {
+        family: family.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        sources: pool,
+        offline_params,
+        offline_mean_efficiency: mean(&|a| a.efficiency, &offline_stream),
+        online_mean_efficiency: mean(&|a| a.efficiency, &online_refs),
+        offline_mean_regret_s: mean(&|a| a.mean_level_regret_s, &offline_stream),
+        online_mean_regret_s: mean(&|a| a.mean_level_regret_s, &online_refs),
+        decisions: online_audits.iter().map(|a| a.decisions).sum(),
+        explorations: online_audits.iter().map(|a| a.explorations).sum(),
+        cohorts,
+    }
+}
+
 fn pct(v: f64, base: f64) -> f64 {
     if base != 0.0 {
         (v - base) / base * 100.0
@@ -866,6 +1119,56 @@ mod tests {
             assert!(case.speedup > 1.0);
         }
         let parsed = BatchedReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn policy_sweep_learns_on_held_out_families_and_round_trips() {
+        // A small paper scale keeps the 200-query streams fast.
+        let report = run_policy_at(&Preset::scaled(), 13);
+        let labels: Vec<&str> = report.families.iter().map(|f| f.family.as_str()).collect();
+        assert_eq!(labels, ["rmat", "road", "small-world"]);
+        assert_eq!(report.queries, POLICY_QUERIES);
+        for case in &report.families {
+            assert_eq!(case.sources.len(), POLICY_SOURCE_POOL);
+            assert_eq!(case.cohorts.len(), POLICY_COHORTS);
+            assert!(
+                case.decisions > 0,
+                "{}: stream traced no decisions",
+                case.family
+            );
+            // Learning shows up as a regret trend that never climbs from
+            // one cohort to the next.
+            assert!(
+                case.regret_is_non_increasing(),
+                "{}: cohort regret climbed: {:?}",
+                case.family,
+                case.cohorts
+                    .iter()
+                    .map(|c| c.mean_level_regret_s)
+                    .collect::<Vec<_>>()
+            );
+            // Exploration is front-loaded: the first cohort pays for the
+            // unplayed arms, the last coasts on learned means.
+            assert!(case.cohorts[0].explorations >= case.cohorts[POLICY_COHORTS - 1].explorations);
+        }
+        // On the held-out families — absent from the offline SVM's R-MAT
+        // training set — the learned per-level policy must beat the fixed
+        // offline prediction outright.
+        for held_out in ["road", "small-world"] {
+            let case = report
+                .families
+                .iter()
+                .find(|f| f.family == held_out)
+                .expect("held-out family present");
+            assert!(
+                case.online_mean_efficiency > case.offline_mean_efficiency,
+                "{held_out}: online {} did not beat offline {}",
+                case.online_mean_efficiency,
+                case.offline_mean_efficiency
+            );
+        }
+        let parsed = PolicyReport::from_json(&report.to_json()).expect("parse back");
         assert_eq!(parsed, report);
     }
 

@@ -517,6 +517,67 @@ fn serve_telemetry_stream_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn serve_trace_sample_zero_matches_unsampled_report_bytes() {
+    // `--trace-sample 0` gates only which per-query trace buffers are
+    // retained — scheduling, results, and the service report are
+    // untouched. The report from a fully sampled-out run must byte-match
+    // the default (keep-everything) run.
+    let graph = tmpfile("serve-sample-zero.xbfs");
+    let trace0 = tmpfile("serve-sample-zero.trace.json");
+    let trace1 = tmpfile("serve-sample-one.trace.json");
+    stdout_of(cli().args(["gen", "--scale", "10", "--out", graph.to_str().unwrap()]));
+
+    let serve = |trace: &PathBuf, sample: Option<&str>| {
+        let mut args = vec![
+            "serve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--arrivals",
+            "12",
+            "--rate",
+            "2000",
+            "--seed",
+            "11",
+            "--capacity",
+            "1",
+            "--queue-depth",
+            "4",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--report-json",
+            "-",
+            "--quiet",
+        ];
+        if let Some(rate) = sample {
+            args.extend(["--trace-sample", rate]);
+        }
+        stdout_of(cli().args(args))
+    };
+    let sampled_out = serve(&trace0, Some("0"));
+    let unsampled = serve(&trace1, None);
+    assert!(!unsampled.is_empty(), "report must reach stdout");
+    assert_eq!(
+        sampled_out, unsampled,
+        "sampling must not perturb the service report"
+    );
+
+    // The knob itself did something: the sampled-out chrome trace dropped
+    // every per-query event stream the unsampled run kept.
+    let t0 = std::fs::read_to_string(&trace0).unwrap();
+    let t1 = std::fs::read_to_string(&trace1).unwrap();
+    assert!(
+        t0.len() < t1.len(),
+        "rate 0 must shed per-query events ({} vs {} bytes)",
+        t0.len(),
+        t1.len()
+    );
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(trace0).ok();
+    std::fs::remove_file(trace1).ok();
+}
+
+#[test]
 fn serve_flight_recorder_writes_postmortems() {
     let graph = tmpfile("serve-postmortem.xbfs");
     let dir = tmpfile("serve-postmortems");
@@ -632,6 +693,30 @@ fn report_dashboard_renders_pinned_quantiles() {
         out.contains("peak burn: deadline 16.67x (window 1), latency 6.67x (window 1)"),
         "{out}"
     );
+
+    // A window that completed nothing writes no quantile keys at all; the
+    // dashboard renders those cells as `-` rather than a fabricated 0.
+    let quiet = tmpfile("report-quiet.jsonl");
+    std::fs::write(
+        &quiet,
+        concat!(
+            r#"{"kind":"window","index":0,"start_s":0.0,"end_s":0.5,"queue_depth_mean":0.0,"queue_depth_peak":0,"in_flight_mean":0.0,"in_flight_peak":0,"admitted":0,"shed":0,"completed":0,"deadline_missed":0,"deadline_shed":0,"latency_slo_missed":0,"admit_rate_hz":0.0,"shed_rate_hz":0.0,"complete_rate_hz":0.0,"batch_dispatches":0,"batch_lanes":0,"corruption_detected":0,"corruption_repaired":0,"latency":{"count":0,"sum_s":0.0},"queue_wait":{"count":0,"sum_s":0.0}}"#,
+            "\n",
+        ),
+    )
+    .unwrap();
+    let out = stdout_of(cli().args(["report", "--timeseries", quiet.to_str().unwrap()]));
+    let quantile_row = out
+        .lines()
+        .skip_while(|l| !l.contains("p50 (s)"))
+        .nth(1)
+        .expect("quantile table has a data row");
+    assert_eq!(
+        quantile_row.split_whitespace().collect::<Vec<_>>(),
+        vec!["0", "0", "-", "-", "-", "-"],
+        "{out}"
+    );
+    std::fs::remove_file(&quiet).ok();
 
     // A stream with no windows is a clean error.
     let empty = tmpfile("report-empty.jsonl");

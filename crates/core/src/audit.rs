@@ -321,6 +321,202 @@ pub fn decision_audit(
     }
 }
 
+/// One level of a policy-driven run, priced against the exhaustive
+/// oracle's plan for the same level.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyLevelRegret {
+    /// Level index.
+    pub level: u32,
+    /// Realized simulated seconds: the level's [`TraceEvent::KernelCost`]
+    /// total plus any transfer charged at this level.
+    pub realized_s: f64,
+    /// The oracle pair's fault-free seconds for the same level (its
+    /// handoff transfer included at the level where it fires).
+    pub oracle_s: f64,
+    /// `realized_s - oracle_s`. Negative per-level values are real: a
+    /// per-level policy is free to beat any *fixed* `(M, N)` pair on
+    /// individual levels.
+    pub regret_s: f64,
+    /// Device the traced policy decision chose, when one was recorded.
+    pub device: Option<String>,
+    /// Direction label (`"td"`/`"bu"`) of the traced decision.
+    pub direction: Option<String>,
+    /// Feature bin the decision was drawn from.
+    pub bin: Option<u32>,
+    /// Whether the decision was still exploring unplayed arms.
+    pub explore: Option<bool>,
+}
+
+/// The audit of one *per-level* policy run (online bandit or any forced
+/// placement script) against the exhaustive fixed-pair oracle.
+///
+/// Where [`DecisionAudit`] re-prices a predicted `(M, N)` pair,
+/// `policy_audit` compares what actually ran — level by level, from the
+/// trace's [`TraceEvent::KernelCost`] / [`TraceEvent::Transfer`] spans —
+/// against the best *fixed* pair's plan. Because the policy chooses per
+/// level, its efficiency may legitimately exceed 1.0 once the bandit has
+/// learned: the oracle here is the best member of the offline family, not
+/// of the policy's own (strictly larger) decision space.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyAudit {
+    /// The exhaustive-sweep optimum fixed pair over the profile.
+    pub oracle: CrossParams,
+    /// Realized simulated seconds summed over the trace's levels.
+    pub realized_seconds: f64,
+    /// Fault-free simulated seconds of the oracle pair.
+    pub oracle_seconds: f64,
+    /// `oracle_seconds / realized_seconds` (1.0 when realized is zero).
+    /// Values above 1.0 mean the per-level policy beat every fixed pair.
+    pub efficiency: f64,
+    /// `realized_seconds - oracle_seconds`.
+    pub regret_seconds: f64,
+    /// Mean per-level regret (`regret_seconds / levels`, 0 for an empty
+    /// trace) — the quantity the bench's query cohorts track downward.
+    pub mean_level_regret_s: f64,
+    /// Traced policy decisions.
+    pub decisions: u32,
+    /// Traced decisions still exploring unplayed arms.
+    pub explorations: u32,
+    /// Per-level breakdown, ascending by level.
+    pub levels: Vec<PolicyLevelRegret>,
+}
+
+impl PolicyAudit {
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("PolicyAudit serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, XbfsError> {
+        serde_json::from_str(s).map_err(|e| XbfsError::InvalidArgument {
+            what: format!("policy audit parse error: {e:?}"),
+        })
+    }
+}
+
+/// Audit a policy-driven run's trace against the exhaustive fixed-pair
+/// oracle, level by level.
+///
+/// `profile` must describe the traversal the trace recorded; `events` is
+/// the run's buffered trace (only `KernelCost`, `Transfer`, and
+/// `PolicyDecision` events are read, so a fault-free cross-rung trace is
+/// the intended input). Sweeps the same 900-candidate grid as
+/// [`decision_audit`] — audit after the run, not inside it.
+pub fn policy_audit(
+    profile: &TraversalProfile,
+    cpu: &ArchSpec,
+    gpu: &ArchSpec,
+    link: &Link,
+    events: &[TraceEvent],
+) -> PolicyAudit {
+    let grid = cross_pair_grid();
+    let oracle = best_cross(&sweep_cross_pairs(profile, cpu, gpu, link, &grid, &grid));
+    let oracle_cost = cost_cross(profile, cpu, gpu, link, &oracle.params);
+    let oracle_switch = switch_level(&oracle_cost.placements);
+
+    #[derive(Default)]
+    struct Realized {
+        seconds: f64,
+        device: Option<String>,
+        direction: Option<String>,
+        bin: Option<u32>,
+        explore: Option<bool>,
+    }
+    let mut realized: BTreeMap<u32, Realized> = BTreeMap::new();
+    let mut decisions = 0u32;
+    let mut explorations = 0u32;
+    for ev in events {
+        match ev {
+            TraceEvent::KernelCost { level, total_s, .. } => {
+                realized.entry(*level).or_default().seconds += total_s;
+            }
+            TraceEvent::Transfer {
+                level,
+                start_s,
+                end_s,
+                ..
+            } => {
+                realized.entry(*level).or_default().seconds += end_s - start_s;
+            }
+            TraceEvent::PolicyDecision {
+                level,
+                bin,
+                device,
+                direction,
+                explore,
+                ..
+            } => {
+                decisions += 1;
+                if *explore {
+                    explorations += 1;
+                }
+                let r = realized.entry(*level).or_default();
+                r.device = Some((*device).to_string());
+                r.direction = Some(
+                    match direction {
+                        xbfs_engine::Direction::TopDown => "td",
+                        xbfs_engine::Direction::BottomUp => "bu",
+                    }
+                    .to_string(),
+                );
+                r.bin = Some(*bin);
+                r.explore = Some(*explore);
+            }
+            _ => {}
+        }
+    }
+
+    let levels: Vec<PolicyLevelRegret> = realized
+        .into_iter()
+        .map(|(level, r)| {
+            let mut oracle_s = oracle_cost
+                .level_seconds
+                .get(level as usize)
+                .copied()
+                .unwrap_or(0.0);
+            if oracle_switch == Some(level) {
+                oracle_s += oracle_cost.transfer_seconds;
+            }
+            PolicyLevelRegret {
+                level,
+                realized_s: r.seconds,
+                oracle_s,
+                regret_s: r.seconds - oracle_s,
+                device: r.device,
+                direction: r.direction,
+                bin: r.bin,
+                explore: r.explore,
+            }
+        })
+        .collect();
+
+    let realized_seconds: f64 = levels.iter().map(|l| l.realized_s).sum();
+    let oracle_seconds = oracle_cost.total_seconds;
+    let efficiency = if realized_seconds > 0.0 {
+        oracle_seconds / realized_seconds
+    } else {
+        1.0
+    };
+    let regret_seconds = realized_seconds - oracle_seconds;
+    let mean_level_regret_s = if levels.is_empty() {
+        0.0
+    } else {
+        regret_seconds / levels.len() as f64
+    };
+    PolicyAudit {
+        oracle: oracle.params,
+        realized_seconds,
+        oracle_seconds,
+        efficiency,
+        regret_seconds,
+        mean_level_regret_s,
+        decisions,
+        explorations,
+        levels,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +607,62 @@ mod tests {
             assert!(audit.meets(0.5));
         }
         assert!(!audit.meets(1.5));
+    }
+
+    #[test]
+    fn policy_audit_reconstructs_an_offline_run_and_counts_online_decisions() {
+        let rt = AdaptiveRuntime::quick_trained();
+        let g = xbfs_graph::rmat::rmat_csr(10, 16);
+        let stats = GraphStats::rmat(&g, 0.57, 0.19, 0.19, 0.05);
+        let src = crate::training::pick_source(&g, 3).unwrap();
+        let params = rt.predict_params(&stats);
+        let profile = xbfs_archsim::profile(&g, src);
+
+        // Offline run: no PolicyDecision events; the realized seconds are
+        // exactly the predicted pair's fault-free cost, so the audit's
+        // regret matches the classic decision audit's.
+        let sink = MemorySink::new();
+        rt.session(&g, &stats)
+            .source(src)
+            .params(params)
+            .checkpoints(CheckpointPolicy::disabled())
+            .sink(&sink)
+            .run()
+            .expect("offline run");
+        let audit = policy_audit(&profile, &rt.cpu, &rt.gpu, &rt.link, &sink.take());
+        assert_eq!(audit.decisions, 0);
+        assert_eq!(audit.explorations, 0);
+        let predicted = crate::cross::cost_cross(&profile, &rt.cpu, &rt.gpu, &rt.link, &params);
+        assert!(
+            (audit.realized_seconds - predicted.total_seconds).abs()
+                <= 1e-9 * predicted.total_seconds.max(1.0),
+            "realized {} vs predicted {}",
+            audit.realized_seconds,
+            predicted.total_seconds
+        );
+        assert!(audit.oracle_seconds <= audit.realized_seconds + 1e-12);
+        let level_sum: f64 = audit.levels.iter().map(|l| l.regret_s).sum();
+        assert!((level_sum - audit.regret_seconds).abs() <= 1e-9);
+
+        // Online run: every level carries a traced decision.
+        let shared = crate::policy_online::SharedPolicy::online(5);
+        let cell = shared.run_cell();
+        let sink = MemorySink::new();
+        rt.session(&g, &stats)
+            .source(src)
+            .params(params)
+            .checkpoints(CheckpointPolicy::disabled())
+            .sink(&sink)
+            .policy(&cell)
+            .run()
+            .expect("online run");
+        let online = policy_audit(&profile, &rt.cpu, &rt.gpu, &rt.link, &sink.take());
+        assert!(online.decisions > 0);
+        assert_eq!(online.decisions as usize, online.levels.len());
+        for l in &online.levels {
+            assert!(l.device.is_some() && l.direction.is_some() && l.bin.is_some());
+        }
+        let parsed = PolicyAudit::from_json(&online.to_json()).expect("round trip");
+        assert_eq!(parsed, online);
     }
 }

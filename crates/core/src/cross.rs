@@ -28,6 +28,10 @@ use xbfs_graph::{Csr, VertexId};
 pub enum Placement {
     /// Top-down on the CPU.
     CpuTd,
+    /// Bottom-up on the CPU. Algorithm 3 never emits this — the paper's
+    /// CPU phase is a top-down prefix — but the online policy may place a
+    /// peak level here when the learned cost means favor it.
+    CpuBu,
     /// Top-down on the GPU.
     GpuTd,
     /// Bottom-up on the GPU.
@@ -39,13 +43,22 @@ impl Placement {
     pub fn direction(self) -> Direction {
         match self {
             Placement::CpuTd | Placement::GpuTd => Direction::TopDown,
-            Placement::GpuBu => Direction::BottomUp,
+            Placement::CpuBu | Placement::GpuBu => Direction::BottomUp,
         }
     }
 
     /// `true` if this placement runs on the GPU.
     pub fn on_gpu(self) -> bool {
-        !matches!(self, Placement::CpuTd)
+        matches!(self, Placement::GpuTd | Placement::GpuBu)
+    }
+
+    /// Static device label ("cpu" / "gpu") for trace events.
+    pub fn device(self) -> &'static str {
+        if self.on_gpu() {
+            "gpu"
+        } else {
+            "cpu"
+        }
     }
 }
 
@@ -53,6 +66,7 @@ impl std::fmt::Display for Placement {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Placement::CpuTd => write!(f, "CPUTD"),
+            Placement::CpuBu => write!(f, "CPUBU"),
             Placement::GpuTd => write!(f, "GPUTD"),
             Placement::GpuBu => write!(f, "GPUBU"),
         }
@@ -85,6 +99,19 @@ impl CrossParams {
         FixedMN::try_new(self.handoff.m, self.handoff.n)?;
         FixedMN::try_new(self.gpu.m, self.gpu.n)?;
         Ok(())
+    }
+
+    /// The placement Algorithm 3 would choose at `ctx`, given whether the
+    /// one-way handoff already fired — the offline baseline the online
+    /// policy explores first in every feature bin.
+    pub fn offline_placement(&self, ctx: &SwitchContext, handed_off: bool) -> Placement {
+        if !handed_off && self.stays_on_cpu(ctx) {
+            Placement::CpuTd
+        } else if self.gpu.wants_bottom_up(ctx) {
+            Placement::GpuBu
+        } else {
+            Placement::GpuTd
+        }
     }
 }
 
@@ -176,18 +203,26 @@ struct CrossPolicy {
     params: CrossParams,
     on_gpu: bool,
     placements: Vec<Placement>,
+    /// One-shot placement override installed by
+    /// [`CrossDriver::step_forced`]; consumed by the next decision.
+    force: Option<Placement>,
 }
 
 impl SwitchPolicy for CrossPolicy {
     fn direction(&mut self, ctx: &SwitchContext) -> Direction {
-        let placement = if !self.on_gpu && self.params.stays_on_cpu(ctx) {
-            Placement::CpuTd
-        } else {
-            self.on_gpu = true;
-            if self.params.gpu.wants_bottom_up(ctx) {
-                Placement::GpuBu
-            } else {
-                Placement::GpuTd
+        let placement = match self.force.take() {
+            Some(forced) => {
+                if forced.on_gpu() {
+                    self.on_gpu = true;
+                }
+                forced
+            }
+            None => {
+                let pl = self.params.offline_placement(ctx, self.on_gpu);
+                if pl.on_gpu() {
+                    self.on_gpu = true;
+                }
+                pl
             }
         };
         self.placements.push(placement);
@@ -212,6 +247,7 @@ impl CrossDriver {
                 params,
                 on_gpu: false,
                 placements: Vec::new(),
+                force: None,
             },
         }
     }
@@ -227,6 +263,7 @@ impl CrossDriver {
                 params,
                 on_gpu: handed_off,
                 placements,
+                force: None,
             },
         }
     }
@@ -251,6 +288,34 @@ impl CrossDriver {
     pub fn step(&mut self, csr: &Csr, state: &mut TraversalState) -> Option<Placement> {
         state.step(csr, &mut self.policy)?;
         self.policy.placements.last().copied()
+    }
+
+    /// Execute one level of `state` under an externally chosen
+    /// `placement` (the online policy's decision hook), bypassing the
+    /// `(M1, N1)`/`(M2, N2)` rules for this level only. A GPU placement
+    /// still latches the one-way handoff; the offline rules resume for
+    /// any later un-forced [`step`](Self::step).
+    pub fn step_forced(
+        &mut self,
+        csr: &Csr,
+        state: &mut TraversalState,
+        placement: Placement,
+    ) -> Option<Placement> {
+        self.policy.force = Some(placement);
+        let got = state.step(csr, &mut self.policy);
+        if got.is_none() {
+            self.policy.force = None;
+        }
+        got?;
+        self.policy.placements.last().copied()
+    }
+
+    /// The offline placement the `(M1, N1)`/`(M2, N2)` rules would choose
+    /// at `ctx` given the driver's current handoff latch.
+    pub fn offline_placement(&self, ctx: &SwitchContext) -> Placement {
+        self.policy
+            .params
+            .offline_placement(ctx, self.policy.on_gpu)
     }
 }
 

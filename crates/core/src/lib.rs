@@ -32,6 +32,7 @@ pub mod graph500;
 pub mod health;
 pub mod observe;
 pub mod oracle;
+pub mod policy_online;
 pub mod predictor;
 pub mod prelude;
 pub mod recovery;
@@ -42,7 +43,10 @@ pub mod session;
 pub mod strategies;
 pub mod training;
 
-pub use audit::{decision_audit, DecisionAudit, LevelAttribution, PhaseSeconds};
+pub use audit::{
+    decision_audit, policy_audit, DecisionAudit, LevelAttribution, PhaseSeconds, PolicyAudit,
+    PolicyLevelRegret,
+};
 pub use checkpoint::{CheckpointPolicy, LevelCheckpoint, Residency};
 pub use combination::{run_single, SingleRun};
 pub use cross::{
@@ -63,6 +67,10 @@ pub use observe::{
     trace_event_json,
 };
 pub use oracle::MnGrid;
+pub use policy_online::{
+    feature_bin, Decision, Observation, OnlineBandit, PolicyCell, PolicyMode, PolicyRun,
+    SharedPolicy,
+};
 pub use predictor::SwitchPredictor;
 #[allow(deprecated)]
 pub use recovery::{resume_cross_resilient, run_cross_resilient, run_cross_resilient_with};

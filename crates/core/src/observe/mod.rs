@@ -643,6 +643,33 @@ fn render_events(
                     }),
                 );
             }
+            TraceEvent::PolicyDecision {
+                level,
+                bin,
+                device,
+                direction,
+                explore,
+                at_s,
+            } => {
+                push(
+                    micros(offset_s + *at_s),
+                    seq,
+                    json!({
+                        "name": format!("policy L{level} {}", dir_label(*direction)),
+                        "cat": "policy",
+                        "ph": "i",
+                        "ts": micros(offset_s + *at_s),
+                        "pid": pid,
+                        "tid": device_tid(device),
+                        "s": "t",
+                        "args": {
+                            "level": *level,
+                            "bin": *bin,
+                            "explore": *explore
+                        }
+                    }),
+                );
+            }
         }
     }
     seq0 + events.len()
@@ -888,6 +915,8 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
     let mut batch_lane_queries = Counter::default();
     let mut batch_levels = Counter::default();
     let mut batch_level_seconds = Counter::default();
+    let mut policy_decisions = Counter::default();
+    let mut policy_explorations = Counter::default();
 
     for ev in events {
         match ev {
@@ -1013,6 +1042,18 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
                 batch_level_seconds.add(&key, *seconds);
             }
             TraceEvent::BatchEnd { .. } => {}
+            TraceEvent::PolicyDecision {
+                device,
+                direction,
+                explore,
+                ..
+            } => {
+                let key = [("device", *device), ("direction", dir_label(*direction))];
+                policy_decisions.add(&key, 1.0);
+                if *explore {
+                    policy_explorations.add(&key, 1.0);
+                }
+            }
         }
     }
 
@@ -1192,6 +1233,18 @@ pub fn prometheus_text(events: &[TraceEvent]) -> String {
         "xbfs_batch_level_seconds_total",
         "Simulated seconds charged to lockstep batch rounds.",
         &batch_level_seconds,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_policy_decisions_total",
+        "Online-policy per-level placement decisions, by device and direction.",
+        &policy_decisions,
+    );
+    write_counter(
+        &mut out,
+        "xbfs_policy_explorations_total",
+        "Online-policy decisions still exploring unplayed arms.",
+        &policy_explorations,
     );
     out
 }
@@ -1430,6 +1483,17 @@ pub fn trace_event_json(ev: &TraceEvent) -> Value {
         } => {
             json!({"event": "batch-end", "lanes": lanes, "levels": levels, "at_s": at_s})
         }
+        TraceEvent::PolicyDecision {
+            level,
+            bin,
+            device,
+            direction,
+            explore,
+            at_s,
+        } => json!({
+            "event": "policy-decision", "level": level, "bin": bin, "device": device,
+            "direction": dir_label(*direction), "explore": explore, "at_s": at_s,
+        }),
     }
 }
 

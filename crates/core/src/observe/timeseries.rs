@@ -188,20 +188,22 @@ impl LogHistogram {
     /// The q-quantile (q in `[0, 1]`), defined deterministically as the
     /// upper bound of the bucket holding the `ceil(q·count)`-th smallest
     /// observation — or the maximum observed value when that rank lands
-    /// past the last bucket. Returns 0 for an empty histogram.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// past the last bucket. An empty histogram has no quantiles and
+    /// returns `None`: reporting a bucket bound (or 0) for a window that
+    /// observed nothing would fabricate a latency where none was measured.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= rank {
-                return LATENCY_BUCKETS_S[i];
+                return Some(LATENCY_BUCKETS_S[i]);
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// The standard p50/p95/p99 readout.
@@ -216,7 +218,10 @@ impl LogHistogram {
     }
 }
 
-/// The quantile readout of one window's histogram.
+/// The quantile readout of one window's histogram. Quantile fields are
+/// `None` when the window observed nothing — an empty window has no
+/// latencies, and its JSON omits the keys rather than printing a made-up
+/// bucket bound.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QuantileSummary {
     /// Observations in the window.
@@ -224,22 +229,29 @@ pub struct QuantileSummary {
     /// Sum of observations, seconds.
     pub sum_s: f64,
     /// Median, per [`LogHistogram::quantile`].
-    pub p50_s: f64,
+    pub p50_s: Option<f64>,
     /// 95th percentile.
-    pub p95_s: f64,
+    pub p95_s: Option<f64>,
     /// 99th percentile.
-    pub p99_s: f64,
+    pub p99_s: Option<f64>,
 }
 
 impl QuantileSummary {
     fn to_json(self) -> Value {
-        json!({
-            "count": self.count,
-            "sum_s": self.sum_s,
-            "p50_s": self.p50_s,
-            "p95_s": self.p95_s,
-            "p99_s": self.p99_s,
-        })
+        let mut fields = vec![
+            ("count".to_string(), json!(self.count)),
+            ("sum_s".to_string(), json!(self.sum_s)),
+        ];
+        if let Some(p) = self.p50_s {
+            fields.push(("p50_s".to_string(), json!(p)));
+        }
+        if let Some(p) = self.p95_s {
+            fields.push(("p95_s".to_string(), json!(p)));
+        }
+        if let Some(p) = self.p99_s {
+            fields.push(("p99_s".to_string(), json!(p)));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -862,32 +874,41 @@ mod tests {
         h.observe(3e-1);
         assert_eq!(h.count(), 10);
         // p50: rank ceil(0.5·10)=5 → inside the first bucket → 0.005.
-        assert_eq!(h.quantile(0.50), 5e-3);
+        assert_eq!(h.quantile(0.50), Some(5e-3));
         // p80: rank 8 → still the first bucket (cum 8 ≥ 8).
-        assert_eq!(h.quantile(0.80), 5e-3);
+        assert_eq!(h.quantile(0.80), Some(5e-3));
         // p90: rank 9 → the 40 ms bucket.
-        assert_eq!(h.quantile(0.90), 5e-2);
+        assert_eq!(h.quantile(0.90), Some(5e-2));
         // p99: rank ceil(9.9)=10 → the 300 ms bucket.
-        assert_eq!(h.quantile(0.99), 5e-1);
+        assert_eq!(h.quantile(0.99), Some(5e-1));
         let s = h.summary();
-        assert_eq!(s.p50_s, 5e-3);
+        assert_eq!(s.p50_s, Some(5e-3));
         // p95: rank ceil(9.5)=10 → also the 300 ms bucket.
-        assert_eq!(s.p95_s, 5e-1);
-        assert_eq!(s.p99_s, 5e-1);
+        assert_eq!(s.p95_s, Some(5e-1));
+        assert_eq!(s.p99_s, Some(5e-1));
         assert!((s.sum_s - (8.0 * 3e-3 + 4e-2 + 3e-1)).abs() < 1e-12);
     }
 
     #[test]
     fn log_histogram_edges() {
         let h = LogHistogram::new();
-        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reads 0");
+        assert_eq!(h.quantile(0.5), None, "an empty histogram has no quantiles");
+        assert_eq!(h.quantile(0.99), None);
+        let s = h.summary();
+        assert_eq!((s.p50_s, s.p95_s, s.p99_s), (None, None, None));
+        let json = s.to_json();
+        let obj = json.as_object().expect("summary is an object");
+        assert!(
+            obj.iter().all(|(k, _)| k == "count" || k == "sum_s"),
+            "empty summary must omit quantile keys, got {obj:?}"
+        );
         let mut h = LogHistogram::new();
         h.observe(1e9); // beyond the last bucket
         h.observe(2e9);
-        assert_eq!(h.quantile(0.99), 2e9, "overflow ranks read the max");
+        assert_eq!(h.quantile(0.99), Some(2e9), "overflow ranks read the max");
         let mut h = LogHistogram::new();
         h.observe(-1.0); // clamps to 0 → first bucket
-        assert_eq!(h.quantile(0.5), LATENCY_BUCKETS_S[0]);
+        assert_eq!(h.quantile(0.5), Some(LATENCY_BUCKETS_S[0]));
     }
 
     #[test]

@@ -1058,6 +1058,9 @@ pub(crate) struct ExecArgs<'a> {
     /// resumed run trusts its checkpoint's breaker bank instead).
     pub lost: &'a [Device],
     pub sink: &'a dyn TraceSink,
+    /// Optional online per-level policy; `None` (and passthrough cells)
+    /// take the plain offline path, byte-identical to the pre-policy code.
+    pub policy: Option<&'a crate::policy_online::PolicyCell>,
 }
 
 /// Start the full degradation ladder fresh from `source`.
@@ -1406,6 +1409,10 @@ fn run_rung_cross(
         mut device_discovered,
     } = rec.start_for(Rung::CrossCpuGpu, csr, source, params, cpu, gpu, link)?;
     let n = csr.num_vertices() as u64;
+    // A passthrough cell (frozen, never updated) can only ever pick the
+    // offline arm, so it takes the exact pre-policy code path: no feature
+    // folds, no PolicyDecision events, bit-identical output and trace.
+    let policy = args.policy.filter(|cell| !cell.borrow().is_passthrough());
     loop {
         // Scrub before the capture gate: a corrupt state must be caught
         // here, never frozen into a resume point.
@@ -1420,16 +1427,44 @@ fn run_rung_cross(
         )?;
         let level_start_s = rec.clock.elapsed_s;
         let was_handed = driver.handed_off();
-        let Some(pl) = driver.step(csr, &mut state) else {
+        let decision = match policy {
+            Some(cell) if !state.frontier.is_empty() => {
+                let ctx = crate::policy_online::switch_context_for(csr, &state);
+                let offline = driver.offline_placement(&ctx);
+                Some(cell.borrow().decide(&ctx, was_handed, offline))
+            }
+            _ => None,
+        };
+        let stepped = match decision {
+            Some(d) => driver.step_forced(csr, &mut state, d.placement),
+            None => driver.step(csr, &mut state),
+        };
+        let Some(pl) = stepped else {
             break;
         };
         let lvl = *state.levels.last().expect("step pushed a record");
+        if let Some(d) = decision {
+            if rec.sink.enabled() {
+                rec.sink.record(&TraceEvent::PolicyDecision {
+                    level: lvl.level,
+                    bin: d.bin,
+                    device: pl.device(),
+                    direction: pl.direction(),
+                    explore: d.explore,
+                    at_s: level_start_s,
+                });
+            }
+        }
+        // The policy's reward: the level's kernel time plus the handoff
+        // transfer when this decision fired it.
+        let mut observed_s = 0.0;
         if pl.on_gpu() && !was_handed {
             let bytes = Link::handoff_bytes(n, lvl.frontier_vertices);
             let mut t = link.transfer_time(bytes);
             if rec.checksum_transfers {
                 t += link.checksum_time(bytes);
             }
+            observed_s += t;
             if let OpOutcome::Corrupted { payload, word, bit } = rec.attempt_op(
                 Rung::CrossCpuGpu,
                 FaultOp::Transfer,
@@ -1462,6 +1497,10 @@ fn run_rung_cross(
             0,
         )? {
             apply_bit_flip(&mut state, payload, word, bit);
+        }
+        observed_s += nominal;
+        if let (Some(cell), Some(d)) = (policy, decision) {
+            cell.borrow_mut().observe(d.bin, pl, observed_s);
         }
         rec.note_level(&lvl, Rung::CrossCpuGpu, device_label, level_start_s);
         if pl.on_gpu() {
@@ -1872,6 +1911,7 @@ mod tests {
             config,
             lost: &[],
             sink,
+            policy: None,
         };
         let rec = Recovery::new(plan, config, &[], sink);
         ladder(&args, src, rec, rungs)

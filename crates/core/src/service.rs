@@ -46,6 +46,7 @@ use crate::observe::timeseries::{
     SloPolicy, SloReport, SnapshotPolicy, TimeSeriesRegistry, TimeWeighted, WindowSnapshot,
 };
 use crate::observe::trace_event_json;
+use crate::policy_online::{Observation, OnlineBandit, PolicyMode, PolicyRun, SharedPolicy};
 use crate::recovery::{RecoveredRun, ResilienceConfig, Rung};
 use crate::runtime::AdaptiveRuntime;
 use crate::session::{BatchSession, RunSession};
@@ -363,6 +364,14 @@ pub struct ServiceConfig {
     /// Head-sampling of the per-query trace buffers (effective only when
     /// [`ServiceConfig::keep_query_traces`] is on).
     pub trace_sample: TraceSamplePolicy,
+    /// Per-level placement policy applied to every query (default:
+    /// [`PolicyMode::Offline`], the fixed Algorithm 3 switch points —
+    /// byte-identical to the pre-policy service). With
+    /// [`PolicyMode::Online`], one master bandit learns across the whole
+    /// query stream: each query snapshots it at admission and its realized
+    /// level costs are folded back in simulated completion order, so the
+    /// run stays deterministic despite concurrent workers.
+    pub policy: PolicyMode,
 }
 
 impl Default for ServiceConfig {
@@ -379,6 +388,7 @@ impl Default for ServiceConfig {
             slo: None,
             flight_recorder: 0,
             trace_sample: TraceSamplePolicy::default(),
+            policy: PolicyMode::Offline,
         }
     }
 }
@@ -636,6 +646,10 @@ struct QueryDone {
     events: Vec<TraceEvent>,
     /// The ring contents, when the flight recorder was on.
     ring: Option<RingDump>,
+    /// Online-policy observations the query accumulated (empty when the
+    /// service runs offline). Applied to the master bandit at this
+    /// query's completion event, in simulated order.
+    observations: Vec<Observation>,
 }
 
 /// What one slot's worker thread hands back: a solo query's result, or a
@@ -650,6 +664,8 @@ enum Done {
         total_seconds: f64,
         /// The shared ring contents, when the flight recorder was on.
         ring: Option<RingDump>,
+        /// The batch's shared online-policy observation log.
+        observations: Vec<Observation>,
     },
 }
 
@@ -776,6 +792,9 @@ pub struct QueryService {
     link: Link,
     params: CrossParams,
     config: ServiceConfig,
+    /// The master bandit (online policy only): snapshotted per query at
+    /// admission, updated with each query's observations at completion.
+    policy: Option<SharedPolicy>,
 }
 
 impl QueryService {
@@ -788,6 +807,7 @@ impl QueryService {
         params: CrossParams,
         config: ServiceConfig,
     ) -> Self {
+        let policy = SharedPolicy::from_mode(config.policy);
         Self {
             csr,
             cpu,
@@ -795,6 +815,7 @@ impl QueryService {
             link,
             params,
             config,
+            policy,
         }
     }
 
@@ -807,6 +828,7 @@ impl QueryService {
         config: ServiceConfig,
     ) -> Self {
         let params = runtime.predict_params(stats);
+        let policy = SharedPolicy::from_mode(config.policy);
         Self {
             csr,
             cpu: runtime.cpu.clone(),
@@ -814,6 +836,7 @@ impl QueryService {
             link: runtime.link,
             params,
             config,
+            policy,
         }
     }
 
@@ -888,6 +911,7 @@ impl QueryService {
                                 }),
                                 events: Vec::new(),
                                 ring: None,
+                                observations: Vec::new(),
                             })),
                         };
                         let duration = done.duration();
@@ -926,7 +950,15 @@ impl QueryService {
                                 result,
                                 events,
                                 ring,
+                                observations,
                             } = *done;
+                            // Fold the query's observations into the master
+                            // bandit at its completion *event* — simulated
+                            // order, not thread-join order — so queries
+                            // admitted later deterministically see them.
+                            if let Some(p) = &self.policy {
+                                p.apply(&observations);
+                            }
                             self.complete(
                                 &mut report,
                                 &mut tele,
@@ -944,7 +976,11 @@ impl QueryService {
                             events,
                             total_seconds: _,
                             ring,
+                            observations,
                         } => {
+                            if let Some(p) = &self.policy {
+                                p.apply(&observations);
+                            }
                             let mut batch_events = Some(events);
                             for (slot, result) in lanes {
                                 // A lane that finished past its own
@@ -1241,6 +1277,10 @@ impl QueryService {
         let keep_trace = self.config.keep_query_traces;
         let sample = self.config.trace_sample;
         let ring_capacity = self.config.flight_recorder;
+        // The snapshot is taken HERE, on the event-loop thread, so the
+        // bandit state a query sees is a pure function of admission order
+        // — never of wall-clock thread interleaving.
+        let policy_snapshot: Option<OnlineBandit> = self.policy.as_ref().map(|p| p.snapshot());
         let handle = scope.spawn(move || {
             let sink = MemorySink::new();
             // Head sampling: the keep/drop decision is sealed here, once,
@@ -1255,6 +1295,7 @@ impl QueryService {
             let ring = RingSink::new(ring_capacity);
             let tee = TeeSink::new(&buffered, &ring);
             let plan = req.plan();
+            let cell = policy_snapshot.map(|b| std::cell::RefCell::new(PolicyRun::new(b)));
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let mut session = RunSession::on_platform(
                     &self.csr,
@@ -1270,6 +1311,9 @@ impl QueryService {
                 if tee.enabled() {
                     session = session.sink(&tee);
                 }
+                if let Some(cell) = &cell {
+                    session = session.policy(cell);
+                }
                 session.run()
             }))
             .unwrap_or_else(|p| {
@@ -1278,10 +1322,18 @@ impl QueryService {
                     range: None,
                 })
             });
+            // Partial logs from failed or degraded queries still apply —
+            // the levels they priced ran deterministically before the
+            // error, and discarding them would make learning depend on
+            // failure handling.
+            let observations = cell
+                .map(|c| c.into_inner().take_observations())
+                .unwrap_or_default();
             Done::Solo(Box::new(QueryDone {
                 result,
                 events: sink.take(),
                 ring: (ring_capacity > 0).then(|| (ring.events(), ring.dropped())),
+                observations,
             }))
         });
         Some(Running {
@@ -1382,6 +1434,8 @@ impl QueryService {
         // The batch shares one trace; its sampling decision rides the lead
         // lane's query id so a replay keeps the same batches.
         let lead_query = requests[live[0]].id;
+        // Snapshot on the event-loop thread — see `try_start`.
+        let policy_snapshot: Option<OnlineBandit> = self.policy.as_ref().map(|p| p.snapshot());
         let handle = scope.spawn(move || {
             let sink = MemorySink::new();
             let buffered = SamplingSink::for_query(
@@ -1392,6 +1446,7 @@ impl QueryService {
             );
             let ring = RingSink::new(ring_capacity);
             let tee = TeeSink::new(&buffered, &ring);
+            let cell = policy_snapshot.map(|b| std::cell::RefCell::new(PolicyRun::new(b)));
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let mut session = BatchSession::on_platform(
                     &self.csr,
@@ -1406,6 +1461,9 @@ impl QueryService {
                 if tee.enabled() {
                     session = session.sink(&tee);
                 }
+                if let Some(cell) = &cell {
+                    session = session.policy(cell);
+                }
                 session.run()
             }))
             .unwrap_or_else(|p| {
@@ -1415,6 +1473,9 @@ impl QueryService {
                 })
             });
             let ring_dump = (ring_capacity > 0).then(|| (ring.events(), ring.dropped()));
+            let observations = cell
+                .map(|c| c.into_inner().take_observations())
+                .unwrap_or_default();
             match result {
                 Ok(batch) => Done::Batch {
                     total_seconds: batch.total_seconds,
@@ -1425,6 +1486,7 @@ impl QueryService {
                         .collect(),
                     events: sink.take(),
                     ring: ring_dump,
+                    observations,
                 },
                 Err(e) => {
                     let total_seconds = match &e {
@@ -1436,6 +1498,7 @@ impl QueryService {
                         lanes: live.iter().map(|&slot| (slot, Err(e.clone()))).collect(),
                         events: sink.take(),
                         ring: ring_dump,
+                        observations,
                     }
                 }
             }
@@ -1854,6 +1917,93 @@ mod tests {
         let served = report.outcome(2).expect("free lane");
         assert_eq!(served.disposition, Disposition::Served { degraded: false });
         assert_eq!(report.deadline_missed, 1);
+    }
+
+    /// A completion landing exactly on the deadline instant is MET on both
+    /// the solo path (recovery's budget check) and the batch-lane
+    /// settlement — both compare strictly (`elapsed > deadline`), so the
+    /// boundary tie-breaks identically no matter which path served the
+    /// query.
+    #[test]
+    fn deadline_boundary_instant_is_met_on_solo_and_batch_paths() {
+        let base = ServiceConfig {
+            capacity: 1,
+            queue_limit: 8,
+            ..ServiceConfig::default()
+        };
+
+        // Calibrate the exact solo completion instant.
+        let (svc, src) = service(base.clone());
+        let solo = svc.run_schedule(&burst(src, 1)).expect("calibration");
+        let solo_s = solo.outcome(0).unwrap().completion_s.unwrap();
+
+        let (svc, _) = service(base.clone());
+        let exact = vec![ScheduleItem::Query(
+            QueryRequest::builder(0, src).deadline(solo_s).build(),
+        )];
+        let report = svc.run_schedule(&exact).expect("solo boundary");
+        assert_eq!(
+            report.outcome(0).unwrap().disposition,
+            Disposition::Served { degraded: false },
+            "solo: elapsed == deadline is MET"
+        );
+
+        // One part in 1e12 tighter and the same query misses.
+        let (svc, _) = service(base.clone());
+        let tight = vec![ScheduleItem::Query(
+            QueryRequest::builder(0, src)
+                .deadline(solo_s * (1.0 - 1e-12))
+                .build(),
+        )];
+        let report = svc.run_schedule(&tight).expect("solo tight");
+        assert_eq!(
+            report.outcome(0).unwrap().disposition,
+            Disposition::DeadlineMissed
+        );
+
+        // Batch path: calibrate the shared completion instant of the batch
+        // riding behind a solo query, then pin the same boundary. Per-lane
+        // deadlines never bound the batch run itself, so the calibration
+        // schedule completes at the identical instant.
+        let batched = ServiceConfig {
+            batching: BatchPolicy::windowed(4),
+            ..base
+        };
+        let schedule = |deadline: Option<f64>| {
+            let mut q1 = QueryRequest::builder(1, src).arrival(0.0).build();
+            q1.deadline_s = deadline;
+            vec![
+                ScheduleItem::Query(QueryRequest::builder(0, src).arrival(0.0).build()),
+                ScheduleItem::Query(q1),
+                ScheduleItem::Query(QueryRequest::builder(2, src).arrival(0.0).build()),
+            ]
+        };
+        let (svc, _) = service(batched.clone());
+        let cal = svc
+            .run_schedule(&schedule(None))
+            .expect("batch calibration");
+        let batch_done_s = cal.outcome(1).unwrap().completion_s.unwrap();
+
+        let (svc, _) = service(batched.clone());
+        let report = svc
+            .run_schedule(&schedule(Some(batch_done_s)))
+            .expect("batch boundary");
+        let lane = report.outcome(1).expect("boundary lane");
+        assert!(lane.start_s.is_some(), "the lane ran inside the batch");
+        assert_eq!(
+            lane.disposition,
+            Disposition::Served { degraded: false },
+            "batch lane: elapsed == deadline is MET, matching the solo path"
+        );
+
+        let (svc, _) = service(batched);
+        let report = svc
+            .run_schedule(&schedule(Some(batch_done_s * (1.0 - 1e-12))))
+            .expect("batch tight");
+        assert_eq!(
+            report.outcome(1).unwrap().disposition,
+            Disposition::DeadlineMissed
+        );
     }
 
     #[test]

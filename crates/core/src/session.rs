@@ -34,6 +34,7 @@
 use crate::checkpoint::{CheckpointPolicy, LevelCheckpoint};
 use crate::cross::{CrossDriver, CrossParams, Placement};
 use crate::health::Device;
+use crate::policy_online::{self, Decision, PolicyCell};
 use crate::recovery::{
     execute_fresh, execute_resume, ExecArgs, RecoveredRun, ResilienceConfig, RunReport, Rung,
 };
@@ -74,6 +75,7 @@ pub struct RunSession<'a> {
     config: ResilienceConfig,
     lost: Vec<Device>,
     sink: &'a dyn TraceSink,
+    policy: Option<&'a PolicyCell>,
 }
 
 impl<'a> RunSession<'a> {
@@ -90,6 +92,7 @@ impl<'a> RunSession<'a> {
             config: ResilienceConfig::default_runtime(),
             lost: Vec::new(),
             sink: &NULL_SINK,
+            policy: None,
         }
     }
 
@@ -111,6 +114,7 @@ impl<'a> RunSession<'a> {
             config: ResilienceConfig::default_runtime(),
             lost: Vec::new(),
             sink: &NULL_SINK,
+            policy: None,
         }
     }
 
@@ -164,6 +168,16 @@ impl<'a> RunSession<'a> {
         self
     }
 
+    /// Attach an online per-level policy cell: each cross-architecture
+    /// level consults its bandit instead of Algorithm 3's fixed `(M, N)`
+    /// rules, and realized level costs are observed back into it. A
+    /// passthrough cell (frozen, never updated) takes the plain offline
+    /// path, bit-identical to not attaching one. Default: none.
+    pub fn policy(mut self, cell: &'a PolicyCell) -> Self {
+        self.policy = Some(cell);
+        self
+    }
+
     /// Resolve the platform into concrete devices and parameters.
     fn resolve(&self) -> (&'a ArchSpec, &'a ArchSpec, &'a Link, CrossParams) {
         match self.platform {
@@ -197,6 +211,7 @@ impl<'a> RunSession<'a> {
                 config: &self.config,
                 lost: &self.lost,
                 sink: self.sink,
+                policy: self.policy,
             },
             source,
         )
@@ -218,6 +233,7 @@ impl<'a> RunSession<'a> {
                 config: &self.config,
                 lost: &self.lost,
                 sink: self.sink,
+                policy: self.policy,
             },
             checkpoint,
         )
@@ -296,6 +312,7 @@ pub struct BatchSession<'a> {
     config: ResilienceConfig,
     window: u32,
     sink: &'a dyn TraceSink,
+    policy: Option<&'a PolicyCell>,
 }
 
 impl<'a> BatchSession<'a> {
@@ -310,6 +327,7 @@ impl<'a> BatchSession<'a> {
             config: ResilienceConfig::default_runtime(),
             window: 0,
             sink: &NULL_SINK,
+            policy: None,
         }
     }
 
@@ -330,6 +348,7 @@ impl<'a> BatchSession<'a> {
             config: ResilienceConfig::default_runtime(),
             window: 0,
             sink: &NULL_SINK,
+            policy: None,
         }
     }
 
@@ -364,6 +383,15 @@ impl<'a> BatchSession<'a> {
     /// Send trace events to `sink` (default: the disabled [`NULL_SINK`]).
     pub fn sink(mut self, sink: &'a dyn TraceSink) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Attach an online per-level policy cell — the batched sibling of
+    /// [`RunSession::policy`]. Each lane consults the bandit with its own
+    /// frontier features and observes its own solo-equivalent level cost
+    /// (own level time, plus its own transfer price when it crosses).
+    pub fn policy(mut self, cell: &'a PolicyCell) -> Self {
+        self.policy = Some(cell);
         self
     }
 
@@ -445,6 +473,7 @@ impl<'a> BatchSession<'a> {
                 config: &self.config,
                 lost: &[],
                 sink: self.sink,
+                policy: self.policy,
             },
             source,
         )?;
@@ -495,20 +524,46 @@ impl<'a> BatchSession<'a> {
         let mut handed_off = vec![false; lanes];
         let mut clock = 0.0_f64;
         let mut rounds: u32 = 0;
+        // Passthrough cells take the exact pre-policy path (no feature
+        // folds, no PolicyDecision events) — see `RunSession::policy`.
+        let policy = self.policy.filter(|cell| !cell.borrow().is_passthrough());
 
         loop {
             // Advance every unfinished lane one level; its own driver makes
-            // the same placement decision a solo run would.
+            // the same placement decision a solo run would (or the bandit's,
+            // when an online policy is attached).
             let mut stepped: Vec<(usize, Placement, xbfs_engine::LevelRecord)> = Vec::new();
+            let mut decisions: Vec<Option<Decision>> = Vec::new();
+            let mut crossed_now = vec![false; lanes];
             for lane in 0..lanes {
                 if states[lane].is_complete() {
                     continue;
                 }
-                let pl = drivers[lane]
-                    .step(self.csr, &mut states[lane])
-                    .expect("incomplete lane always steps");
+                let decision = policy.map(|cell| {
+                    let ctx = policy_online::switch_context_for(self.csr, &states[lane]);
+                    let offline = drivers[lane].offline_placement(&ctx);
+                    cell.borrow().decide(&ctx, handed_off[lane], offline)
+                });
+                let pl = match decision {
+                    Some(d) => drivers[lane].step_forced(self.csr, &mut states[lane], d.placement),
+                    None => drivers[lane].step(self.csr, &mut states[lane]),
+                }
+                .expect("incomplete lane always steps");
                 let rec = *states[lane].levels.last().expect("step pushed a record");
+                if let Some(d) = decision {
+                    if traced {
+                        self.sink.record(&TraceEvent::PolicyDecision {
+                            level: rec.level,
+                            bin: d.bin,
+                            device: pl.device(),
+                            direction: pl.direction(),
+                            explore: d.explore,
+                            at_s: clock,
+                        });
+                    }
+                }
                 stepped.push((lane, pl, rec));
+                decisions.push(decision);
             }
             if stepped.is_empty() {
                 break;
@@ -540,12 +595,36 @@ impl<'a> BatchSession<'a> {
                 clock += seconds;
                 for (lane, _, _) in &crossing {
                     handed_off[*lane] = true;
+                    crossed_now[*lane] = true;
+                }
+            }
+
+            // Each lane's bandit reward is its *solo-equivalent* cost: its
+            // own level time plus its own transfer price when it crossed —
+            // not the amortized group charge, which would credit a lane for
+            // savings its placement did not cause.
+            if let Some(cell) = policy {
+                let mut run = cell.borrow_mut();
+                for ((lane, pl, rec), d) in stepped.iter().zip(&decisions) {
+                    let Some(d) = d else { continue };
+                    let arch = if pl.on_gpu() { gpu } else { cpu };
+                    let mut cost_s = cost::level_time_for_record(arch, rec);
+                    if crossed_now[*lane] {
+                        cost_s += link
+                            .transfer_time(Link::handoff_bytes(n as u64, rec.frontier_vertices));
+                    }
+                    run.observe(d.bin, *pl, cost_s);
                 }
             }
 
             // Charge each placement group once: one sweep serves the whole
             // word, bounded by the group's slowest lane.
-            for placement in [Placement::CpuTd, Placement::GpuTd, Placement::GpuBu] {
+            for placement in [
+                Placement::CpuTd,
+                Placement::CpuBu,
+                Placement::GpuTd,
+                Placement::GpuBu,
+            ] {
                 let group: Vec<&(usize, Placement, xbfs_engine::LevelRecord)> = stepped
                     .iter()
                     .filter(|(_, pl, _)| *pl == placement)

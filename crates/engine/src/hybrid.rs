@@ -84,6 +84,7 @@ impl TraversalState {
             frontier_vertices,
             frontier_edges,
             max_frontier_degree,
+            unvisited_edges: self.unvisited_edges,
             total_vertices: n as u64,
             total_edges: csr.num_directed_edges(),
         };
@@ -105,7 +106,9 @@ impl TraversalState {
         };
 
         let discovered = next.len() as u64;
-        let discovered_edges: u64 = next.iter().map(|&v| csr.degree(v)).sum();
+        let discovered_edges = next
+            .iter()
+            .fold(0u64, |sum, &v| sum.saturating_add(csr.degree(v)));
         self.levels.push(LevelRecord {
             level,
             frontier_vertices,
@@ -119,8 +122,8 @@ impl TraversalState {
             direction,
         });
 
-        self.unvisited_vertices -= discovered;
-        self.unvisited_edges -= discovered_edges;
+        self.unvisited_vertices = self.unvisited_vertices.saturating_sub(discovered);
+        self.unvisited_edges = self.unvisited_edges.saturating_sub(discovered_edges);
         self.frontier = next;
         self.next_level += 1;
         self.levels.last()
@@ -231,11 +234,12 @@ pub fn run_traced(
 }
 
 /// `(Σ degree, max degree)` over the frontier — `|E|cq` and the level's
-/// serial critical path.
+/// serial critical path. The sum saturates: a pathological dense frontier
+/// must clamp at `u64::MAX` rather than wrap and flip the switch decision.
 pub(crate) fn frontier_degree_stats(csr: &Csr, frontier: &[VertexId]) -> (u64, u64) {
     frontier.iter().fold((0, 0), |(sum, max), &v| {
         let d = csr.degree(v);
-        (sum + d, max.max(d))
+        (u64::saturating_add(sum, d), max.max(d))
     })
 }
 

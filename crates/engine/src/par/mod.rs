@@ -144,7 +144,7 @@ fn drive(
     let mut frontier_edges = csr.degree(source);
     let mut max_frontier_degree = frontier_edges;
     let mut unvisited_vertices = n as u64 - 1;
-    let mut unvisited_edges = total_edges - frontier_edges;
+    let mut unvisited_edges = total_edges.saturating_sub(frontier_edges);
     let mut records: Vec<LevelRecord> = Vec::new();
     let mut level: u32 = 0;
 
@@ -156,6 +156,7 @@ fn drive(
             frontier_vertices,
             frontier_edges,
             max_frontier_degree,
+            unvisited_edges,
             total_vertices: n as u64,
             total_edges,
         };
@@ -187,8 +188,8 @@ fn drive(
             });
         }
 
-        unvisited_vertices -= discovered;
-        unvisited_edges -= outcome.next_edges;
+        unvisited_vertices = unvisited_vertices.saturating_sub(discovered);
+        unvisited_edges = unvisited_edges.saturating_sub(outcome.next_edges);
         frontier = outcome.next;
         frontier_edges = outcome.next_edges;
         max_frontier_degree = outcome.next_max_degree;

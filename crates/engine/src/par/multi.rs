@@ -233,7 +233,7 @@ pub fn run_multi_traced(
                 frontier_edges: deg,
                 max_frontier_degree: deg,
                 unvisited_vertices: n as u64 - 1,
-                unvisited_edges: total_edges - deg,
+                unvisited_edges: total_edges.saturating_sub(deg),
                 records: Vec::new(),
             }
         })
@@ -259,17 +259,26 @@ pub fn run_multi_traced(
                 .iter()
                 .map(|&l| drives[l].frontier.len() as u64)
                 .sum();
-            let frontier_edges: u64 = active.iter().map(|&l| drives[l].frontier_edges).sum();
+            // Saturating fold: a pathological dense batch (64 lanes of
+            // near-|E| frontiers) must clamp rather than wrap and corrupt
+            // the round's switch decision.
+            let frontier_edges: u64 = active
+                .iter()
+                .fold(0u64, |sum, &l| sum.saturating_add(drives[l].frontier_edges));
             let max_frontier_degree: u64 = active
                 .iter()
                 .map(|&l| drives[l].max_frontier_degree)
                 .max()
                 .unwrap_or(0);
+            let unvisited_edges: u64 = active.iter().fold(0u64, |sum, &l| {
+                sum.saturating_add(drives[l].unvisited_edges)
+            });
             let ctx = SwitchContext {
                 level: round,
                 frontier_vertices,
                 frontier_edges,
                 max_frontier_degree,
+                unvisited_edges,
                 total_vertices: n as u64,
                 total_edges,
             };
@@ -358,8 +367,8 @@ pub fn run_multi_traced(
                     discovered,
                     direction,
                 });
-                d.unvisited_vertices -= discovered;
-                d.unvisited_edges -= outcome.next_edges;
+                d.unvisited_vertices = d.unvisited_vertices.saturating_sub(discovered);
+                d.unvisited_edges = d.unvisited_edges.saturating_sub(outcome.next_edges);
                 d.frontier = outcome.next;
                 d.frontier_edges = outcome.next_edges;
                 d.max_frontier_degree = outcome.next_max_degree;

@@ -229,11 +229,13 @@ pub(crate) struct LaneAccum {
 }
 
 impl LaneAccum {
-    /// Merge this accumulator into the per-lane merged outcome.
+    /// Merge this accumulator into the per-lane merged outcome. Saturating
+    /// folds: a pathological dense lane must clamp at `u64::MAX` rather
+    /// than wrap and corrupt the next round's switch decision.
     pub(crate) fn merge_into(self, out: &mut LaneAccum) {
         out.next.extend_from_slice(&self.next);
-        out.edges_examined += self.edges_examined;
-        out.next_edges += self.next_edges;
+        out.edges_examined = out.edges_examined.saturating_add(self.edges_examined);
+        out.next_edges = out.next_edges.saturating_add(self.next_edges);
         out.next_max_degree = out.next_max_degree.max(self.next_max_degree);
     }
 }
@@ -261,7 +263,7 @@ impl Partial {
     #[inline]
     pub(crate) fn discover(&mut self, v: VertexId, degree: u64) {
         self.next.push(v);
-        self.next_edges += degree;
+        self.next_edges = self.next_edges.saturating_add(degree);
         self.next_max_degree = self.next_max_degree.max(degree);
     }
 
@@ -281,14 +283,14 @@ impl Partial {
     pub(crate) fn discover_in(&mut self, lane: usize, v: VertexId, degree: u64) {
         let acc = &mut self.lanes[lane];
         acc.next.push(v);
-        acc.next_edges += degree;
+        acc.next_edges = acc.next_edges.saturating_add(degree);
         acc.next_max_degree = acc.next_max_degree.max(degree);
     }
 
     pub(crate) fn merge_into(self, out: &mut StolenOutcome) {
         out.next.extend_from_slice(&self.next);
-        out.edges_examined += self.edges_examined;
-        out.next_edges += self.next_edges;
+        out.edges_examined = out.edges_examined.saturating_add(self.edges_examined);
+        out.next_edges = out.next_edges.saturating_add(self.next_edges);
         out.next_max_degree = out.next_max_degree.max(self.next_max_degree);
     }
 }

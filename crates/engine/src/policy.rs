@@ -39,6 +39,10 @@ pub struct SwitchContext {
     /// Largest degree among frontier vertices (top-down's serial critical
     /// path; lets model-driven policies price the level exactly).
     pub max_frontier_degree: u64,
+    /// Directed out-edges of still-unvisited vertices before this level —
+    /// the bottom-up scan's worst-case work, maintained incrementally by
+    /// the drivers.
+    pub unvisited_edges: u64,
     /// `|V|` — total vertices.
     pub total_vertices: u64,
     /// `|E|` — total directed edges (`2 ×` undirected count).
@@ -171,6 +175,7 @@ mod tests {
             frontier_vertices: fv,
             frontier_edges: fe,
             max_frontier_degree: fe.min(50),
+            unvisited_edges: 16_000 - fe,
             total_vertices: 1000,
             total_edges: 16_000,
         }

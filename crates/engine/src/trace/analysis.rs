@@ -188,7 +188,8 @@ pub fn critical_path(events: &[TraceEvent]) -> CriticalPath {
             | TraceEvent::CorruptionRepair { at_s, .. }
             | TraceEvent::BatchBegin { at_s, .. }
             | TraceEvent::BatchLane { at_s, .. }
-            | TraceEvent::BatchEnd { at_s, .. } => observe(*at_s, *at_s),
+            | TraceEvent::BatchEnd { at_s, .. }
+            | TraceEvent::PolicyDecision { at_s, .. } => observe(*at_s, *at_s),
             // Like `Level`: an aggregate over the whole lane word, not a
             // leaf span — stretch the observed window, add no segment.
             TraceEvent::BatchLevel { seconds, at_s, .. } => observe(*at_s, *at_s + *seconds),
@@ -369,6 +370,17 @@ fn structural_key(ev: &TraceEvent) -> String {
         TraceEvent::BatchEnd { lanes, levels, .. } => {
             format!("batch-end:lanes={lanes}:levels={levels}")
         }
+        TraceEvent::PolicyDecision {
+            level,
+            bin,
+            device,
+            direction,
+            explore,
+            ..
+        } => format!(
+            "policy-decision:{device}:level={level}:bin={bin}:{}:explore={explore}",
+            dir_label(*direction)
+        ),
     }
 }
 

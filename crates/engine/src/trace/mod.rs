@@ -381,6 +381,25 @@ pub enum TraceEvent {
         /// Simulated clock when the repair was decided.
         at_s: f64,
     },
+    /// The online per-level policy chose a placement for one level —
+    /// emitted only when a run executes with an online policy attached,
+    /// so policy-off traces are byte-identical to before the policy
+    /// existed.
+    PolicyDecision {
+        /// Level the decision applies to.
+        level: u32,
+        /// Discretized feature bin the decision was drawn from.
+        bin: u32,
+        /// Device the level was placed on ("cpu" or "gpu").
+        device: &'static str,
+        /// Direction the policy chose for the level.
+        direction: Direction,
+        /// `true` while the bandit is still exploring this bin's arms,
+        /// `false` once it exploits the learned cost means.
+        explore: bool,
+        /// Simulated clock when the decision was made.
+        at_s: f64,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -850,7 +869,8 @@ impl TraceSink for CountingSink {
             | TraceEvent::QueueDepth { .. }
             | TraceEvent::BatchBegin { .. }
             | TraceEvent::BatchLane { .. }
-            | TraceEvent::BatchEnd { .. } => {}
+            | TraceEvent::BatchEnd { .. }
+            | TraceEvent::PolicyDecision { .. } => {}
         }
     }
 }
@@ -1104,6 +1124,30 @@ mod tests {
             })
             .count();
         assert!(overlap < kept.min(other), "seeds 42/43 sampled identically");
+    }
+
+    /// The rate extremes are decided before any hashing: 0.0 keeps no
+    /// query and 1.0 keeps every query for *any* `(seed, query)` pair —
+    /// including ones whose hash would land arbitrarily close to the
+    /// boundary — and out-of-range rates clamp to the same answers.
+    #[test]
+    fn sampling_extremes_are_hash_independent() {
+        for seed in [0u64, 1, 7, 42, u64::MAX] {
+            for query in [0u64, 1, 12345, u64::MAX - 1, u64::MAX] {
+                assert!(
+                    SamplingSink::would_keep(seed, query, 1.0),
+                    "rate 1.0 must keep ({seed}, {query})"
+                );
+                assert!(
+                    !SamplingSink::would_keep(seed, query, 0.0),
+                    "rate 0.0 must drop ({seed}, {query})"
+                );
+                // Beyond the valid range, the clamp still decides without
+                // consulting the hash.
+                assert!(SamplingSink::would_keep(seed, query, 2.0));
+                assert!(!SamplingSink::would_keep(seed, query, -1.0));
+            }
+        }
     }
 
     #[test]

@@ -161,6 +161,40 @@ pub fn watts_strogatz(n: VertexId, k: u32, beta: f64, seed: u64) -> Csr {
     Csr::from_edge_list(&el)
 }
 
+/// Road-network-like graph: a `rows × cols` grid (near-uniform degree ≤ 4,
+/// diameter `rows + cols - 2`) plus `chords` seeded long-range edges —
+/// the occasional highway shortcutting the lattice. High diameter and low
+/// skew make it the structural opposite of R-MAT: BFS runs for many
+/// levels with thin frontiers, which is exactly the regime where a single
+/// global (M, N) switch point trained on Kronecker graphs misfires.
+pub fn road_like(rows: VertexId, cols: VertexId, chords: u32, seed: u64) -> Csr {
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    let id = |r: VertexId, c: VertexId| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    if n >= 2 {
+        for _ in 0..chords {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            while v == u {
+                v = rng.gen_range(0..n);
+            }
+            el.push(u, v);
+        }
+    }
+    Csr::from_edge_list(&el)
+}
+
 /// Cycle graph `0 - 1 - … - (n-1) - 0`.
 /// BFS from 0 has `ceil(n / 2)` non-source levels.
 pub fn cycle(n: VertexId) -> Csr {
@@ -294,6 +328,25 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn watts_strogatz_rejects_bad_beta() {
         watts_strogatz(10, 2, 1.5, 0);
+    }
+
+    #[test]
+    fn road_like_is_a_chorded_grid() {
+        let g = road_like(16, 16, 12, 7);
+        assert!(g.is_canonical());
+        assert_eq!(g.num_vertices(), 256);
+        // Grid edges plus at most the requested chords (duplicates and
+        // existing grid edges collapse in CSR construction).
+        let grid_edges = (15 * 16 + 15 * 16) as u64;
+        assert!(g.num_edges() >= grid_edges);
+        assert!(g.num_edges() <= grid_edges + 12);
+        // Low skew: a chord adds at most a few to a degree-≤4 lattice.
+        let max = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        assert!(max <= 8, "max degree {max}");
+        // Deterministic.
+        assert_eq!(g, road_like(16, 16, 12, 7));
+        // No chords = plain grid.
+        assert_eq!(road_like(4, 4, 0, 0), grid(4, 4));
     }
 
     #[test]

@@ -184,10 +184,15 @@ fn main() {
         report.mean_in_flight,
     );
     for w in &report.timeseries {
+        let p95 = w
+            .latency
+            .p95_s
+            .map(|v| format!("{v:.6} s"))
+            .unwrap_or_else(|| "-".to_string());
         println!(
             "  window {} [{:.3}-{:.3} s]: admit {:.0}/s, complete {:.0}/s, \
-             latency p95 {:.6} s",
-            w.index, w.start_s, w.end_s, w.admit_rate_hz, w.complete_rate_hz, w.latency.p95_s,
+             latency p95 {p95}",
+            w.index, w.start_s, w.end_s, w.admit_rate_hz, w.complete_rate_hz,
         );
     }
     if let Some(slo) = &report.slo {

@@ -1,0 +1,110 @@
+//! Off-state compatibility proof for the online policy: a frozen,
+//! never-updated bandit attached to a session must reproduce the offline
+//! `FixedMN` run **bit-identically** — same output, same report JSON,
+//! same trace event stream, and no `PolicyDecision` events at all.
+//!
+//! This is the contract that lets `--policy online` ship default-off: a
+//! passthrough bandit takes the exact offline code path (the session
+//! filters it out up front), so "policy attached but inert" and "no
+//! policy" cannot drift apart.
+
+use proptest::prelude::*;
+use xbfs::archsim::{ArchSpec, Link};
+use xbfs::core::{BatchSession, CrossParams, OnlineBandit, PolicyRun, RunSession};
+use xbfs::engine::trace::{MemorySink, TraceEvent};
+use xbfs::engine::FixedMN;
+use xbfs::graph::{Csr, RmatConfig, RmatGenerator, VertexId};
+
+/// Seeded R-MAT instance plus an arbitrary in-range source.
+fn arb_run() -> impl Strategy<Value = (Csr, VertexId, u64)> {
+    (5u32..9, 2u32..10, any::<u64>(), any::<u64>()).prop_flat_map(
+        |(scale, edgefactor, seed, bandit_seed)| {
+            let g = RmatGenerator::new(RmatConfig::new(scale, edgefactor).with_seed(seed)).csr();
+            let n = g.num_vertices();
+            (Just(g), 0..n, Just(bandit_seed))
+        },
+    )
+}
+
+fn platform() -> (ArchSpec, ArchSpec, Link, CrossParams) {
+    (
+        ArchSpec::cpu_sandy_bridge(),
+        ArchSpec::gpu_k20x(),
+        Link::pcie3(),
+        CrossParams {
+            handoff: FixedMN::new(64.0, 64.0),
+            gpu: FixedMN::new(14.0, 24.0),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn frozen_unplayed_bandit_is_bit_identical_to_offline(
+        (g, source, bandit_seed) in arb_run()
+    ) {
+        let (cpu, gpu, link, params) = platform();
+
+        let offline_sink = MemorySink::new();
+        let offline = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(source)
+            .sink(&offline_sink)
+            .run()
+            .expect("offline run serves");
+
+        // Frozen with zero plays: the session must treat the cell as
+        // absent and take the offline path verbatim.
+        let cell = std::cell::RefCell::new(PolicyRun::new(OnlineBandit::frozen(bandit_seed)));
+        let policy_sink = MemorySink::new();
+        let online = RunSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .source(source)
+            .sink(&policy_sink)
+            .policy(&cell)
+            .run()
+            .expect("passthrough run serves");
+
+        prop_assert_eq!(&online.output.parents, &offline.output.parents);
+        prop_assert_eq!(&online.output.levels, &offline.output.levels);
+        prop_assert_eq!(online.report.to_json(), offline.report.to_json());
+        let policy_events = policy_sink.take();
+        prop_assert_eq!(&policy_events, &offline_sink.take(),
+            "trace streams diverged under a passthrough bandit");
+        prop_assert!(
+            !policy_events.iter().any(|e| matches!(e, TraceEvent::PolicyDecision { .. })),
+            "a passthrough bandit must never decide"
+        );
+        prop_assert!(cell.borrow().observations().is_empty(),
+            "a passthrough bandit must never observe");
+    }
+
+    #[test]
+    fn frozen_unplayed_bandit_is_bit_identical_to_offline_in_batches(
+        (g, source, bandit_seed) in arb_run()
+    ) {
+        let (cpu, gpu, link, params) = platform();
+        let sources = [source, source.saturating_sub(1)];
+
+        let offline = BatchSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .sources(&sources)
+            .run()
+            .expect("offline batch serves");
+
+        let cell = std::cell::RefCell::new(PolicyRun::new(OnlineBandit::frozen(bandit_seed)));
+        let online = BatchSession::on_platform(&g, &cpu, &gpu, &link, &params)
+            .sources(&sources)
+            .policy(&cell)
+            .run()
+            .expect("passthrough batch serves");
+
+        prop_assert_eq!(online.lanes.len(), offline.lanes.len());
+        for (a, b) in online.lanes.iter().zip(&offline.lanes) {
+            prop_assert_eq!(&a.run.output.parents, &b.run.output.parents);
+            prop_assert_eq!(&a.run.output.levels, &b.run.output.levels);
+            prop_assert_eq!(a.run.report.to_json(), b.run.report.to_json());
+        }
+        prop_assert_eq!(online.total_seconds, offline.total_seconds);
+        prop_assert!(cell.borrow().observations().is_empty());
+    }
+}
